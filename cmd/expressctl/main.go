@@ -1,0 +1,71 @@
+// Command expressctl is a client for expressd: it subscribes to or
+// unsubscribes from EXPRESS channels, or floods churn for load testing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/realnet"
+)
+
+func main() {
+	router := flag.String("router", "127.0.0.1:4701", "expressd to connect to")
+	source := flag.String("source", "10.0.0.1", "channel source address S")
+	channel := flag.Uint("channel", 1, "channel suffix (E = 232/8 + suffix)")
+	subscribe := flag.Bool("subscribe", false, "send a subscription")
+	unsubscribe := flag.Bool("unsubscribe", false, "send an unsubscription")
+	churn := flag.Int("churn", 0, "flood N subscribe+unsubscribe pairs across channel suffixes and report throughput")
+	flag.Parse()
+
+	s, err := addr.Parse(*source)
+	if err != nil {
+		log.Fatalf("expressctl: %v", err)
+	}
+	c, err := realnet.Dial(*router)
+	if err != nil {
+		log.Fatalf("expressctl: %v", err)
+	}
+	defer c.Close()
+
+	switch {
+	case *churn > 0:
+		start := time.Now()
+		for i := 0; i < *churn; i++ {
+			ch := addr.Channel{S: s, E: addr.ExpressAddr(uint32(i))}
+			if err := c.Subscribe(ch); err != nil {
+				log.Fatalf("expressctl: %v", err)
+			}
+			if err := c.Unsubscribe(ch); err != nil {
+				log.Fatalf("expressctl: %v", err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			log.Fatalf("expressctl: %v", err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("sent %d events in %v (%.0f events/s)\n",
+			c.Sent(), elapsed, float64(c.Sent())/elapsed.Seconds())
+	case *subscribe:
+		ch := addr.Channel{S: s, E: addr.ExpressAddr(uint32(*channel))}
+		if err := c.Subscribe(ch); err != nil {
+			log.Fatalf("expressctl: %v", err)
+		}
+		c.Flush()
+		fmt.Printf("subscribed to %v\n", ch)
+	case *unsubscribe:
+		ch := addr.Channel{S: s, E: addr.ExpressAddr(uint32(*channel))}
+		if err := c.Unsubscribe(ch); err != nil {
+			log.Fatalf("expressctl: %v", err)
+		}
+		c.Flush()
+		fmt.Printf("unsubscribed from %v\n", ch)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

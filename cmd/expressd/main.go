@@ -1,0 +1,56 @@
+// Command expressd runs the user-level EXPRESS/ECMP router of Section 5.3
+// as a standalone daemon: it accepts TCP neighbors that stream ECMP Count
+// messages, maintains per-channel subscriber state and a FIB image, and
+// forwards aggregate Counts to an optional upstream expressd.
+//
+// A two-level deployment on one machine:
+//
+//	expressd -listen 127.0.0.1:4701                       # core
+//	expressd -listen 127.0.0.1:4702 -upstream 127.0.0.1:4701  # edge
+//	expressctl -router 127.0.0.1:4702 -source 10.0.0.1 -channel 5 -subscribe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/realnet"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:4701", "address to accept ECMP neighbors on")
+	upstream := flag.String("upstream", "", "upstream expressd to forward aggregate Counts to")
+	statsEvery := flag.Duration("stats", 10*time.Second, "interval between stats lines (0 disables)")
+	flag.Parse()
+
+	r, err := realnet.NewRouter(*listen, *upstream)
+	if err != nil {
+		log.Fatalf("expressd: %v", err)
+	}
+	log.Printf("expressd: listening on %s (upstream %q)", r.Addr(), *upstream)
+
+	if *statsEvery > 0 {
+		go func() {
+			var last uint64
+			for range time.Tick(*statsEvery) {
+				ev := r.Events()
+				subs, unsubs := r.EventsByType()
+				log.Printf("expressd: channels=%d events=%d (+%d) subscribes=%d unsubscribes=%d",
+					r.Channels(), ev, ev-last, subs, unsubs)
+				last = ev
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println()
+	log.Printf("expressd: shutting down after %d events", r.Events())
+	r.Close()
+}

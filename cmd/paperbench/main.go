@@ -1,0 +1,68 @@
+// Command paperbench regenerates every quantitative artifact of the paper
+// (the experiment index E1–E12 of DESIGN.md §4) and prints the tables that
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	paperbench            # all experiments (E4/E7/E9/E10 take ~a minute)
+//	paperbench -quick     # only the fast arithmetic/codec experiments
+//	paperbench -only E7   # a single experiment
+//	paperbench -series fig8 > fig8.csv   # plottable Figure 8 data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "skip the heavy simulation/measurement experiments (E4, E7, E9, E10)")
+	only := flag.String("only", "", "run a single experiment by id (e.g. E7)")
+	series := flag.String("series", "", "emit a figure's data series as CSV: fig7 or fig8")
+	flag.Parse()
+
+	switch strings.ToLower(*series) {
+	case "fig7":
+		fmt.Print(experiments.Figure7CSV())
+		return
+	case "fig8":
+		fmt.Print(experiments.Figure8CSV())
+		return
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown series %q (fig7, fig8)\n", *series)
+		os.Exit(2)
+	}
+
+	if *only != "" {
+		runners := map[string]func() *experiments.Table{
+			"E1":  experiments.E1FIBEntry,
+			"E2":  experiments.E2FIBCost,
+			"E3":  experiments.E3MgmtState,
+			"E4":  experiments.E4Maintenance,
+			"E5":  experiments.E5ControlBandwidth,
+			"E6":  experiments.E6ToleranceCurves,
+			"E7":  experiments.E7Proactive,
+			"E8":  experiments.E8AccessControl,
+			"E9":  experiments.E9Comparison,
+			"E10": experiments.E10Relay,
+			"E11": experiments.E11CountingSchemes,
+			"E12": experiments.E12AddrAllocation,
+		}
+		r, ok := runners[strings.ToUpper(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E12)\n", *only)
+			os.Exit(2)
+		}
+		r().WriteTo(os.Stdout)
+		return
+	}
+
+	for _, t := range experiments.AllTables(!*quick) {
+		t.WriteTo(os.Stdout)
+	}
+}

@@ -1,0 +1,118 @@
+// Internet TV: the paper's motivating "sports-tv.net" scenario (Section 1).
+// A content provider runs an authenticated channel to a large audience,
+// polls viewers during the broadcast with an application-defined countId,
+// and a third party's attempt to inject traffic at "the moment of the
+// crucial touchdown" is counted-and-dropped by the network.
+//
+//	go run ./examples/internet-tv
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/ecmp"
+	"repro/internal/express"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+	"repro/internal/wire"
+)
+
+// voteID is an application-defined countId: "an Internet TV station can
+// conduct a poll of votes on some topical interest" (Section 2.2.1).
+const voteID = wire.AppCountBase + 1
+
+func main() {
+	// A tree of 31 routers; viewers at the 16 leaf POPs.
+	cfg := ecmp.DefaultConfig()
+	net := testutil.TreeNet(2026, 4, cfg)
+	station := net.AddSource(net.Routers[0])
+	leaves := net.Routers[len(net.Routers)-16:]
+
+	const audience = 64
+	viewers := make([]*express.Subscriber, audience)
+	voted := make(map[int]uint32, audience)
+	for i := range viewers {
+		viewers[i] = net.AddSubscriber(leaves[i%len(leaves)])
+		// Each viewer's set-top box answers the poll; 0 or 1 per viewer.
+		v, idx := viewers[i], i
+		voted[i] = uint32(i % 3 % 2) // a third of the audience votes "yes"
+		v.OnAppCount = func(_ addr.Channel, id wire.CountID) uint32 {
+			if id == voteID {
+				return voted[idx]
+			}
+			return 0
+		}
+	}
+	pirate := net.AddSource(net.Routers[3]) // attacker host mid-network
+	net.Start()
+
+	// The Super Bowl channel, protected by K(S,E) so only paying
+	// subscribers can join.
+	channel, err := station.CreateChannelAt(0x5B) // "SB"
+	if err != nil {
+		panic(err)
+	}
+	key := wire.Key{'s', 'p', 'o', 'r', 't', 's', 't', 'v'}
+	net.Sim.At(0, func() {
+		if err := station.ChannelKey(channel, key); err != nil {
+			panic(err)
+		}
+	})
+	net.Sim.At(100*netsim.Millisecond, func() {
+		for _, v := range viewers {
+			v.Subscribe(channel, &key, nil)
+		}
+	})
+	net.Sim.RunUntil(3 * netsim.Second)
+
+	// Broadcast a few MPEG-2-sized frames.
+	for i := 0; i < 5; i++ {
+		net.Sim.After(0, func() { _ = station.Send(channel, 1316, "frame") })
+		net.Sim.RunUntil(net.Sim.Now() + 40*netsim.Millisecond)
+	}
+
+	// The pirate transmits a high-rate stream to the same destination
+	// address at the moment of the touchdown...
+	net.Sim.After(0, func() {
+		for i := 0; i < 10; i++ {
+			pirate.Node().SendAll(-1, &netsim.Packet{
+				Src: pirate.Node().Addr, Dst: channel.E, Proto: netsim.ProtoData,
+				TTL: netsim.DefaultTTL, Size: 1316, Payload: "pirate-stream",
+			})
+		}
+	})
+	net.Sim.RunUntil(net.Sim.Now() + netsim.Second)
+
+	delivered, pirated := uint64(0), 0
+	for _, v := range viewers {
+		delivered += v.Delivered
+	}
+	var drops uint64
+	for _, r := range net.Routers {
+		drops += r.FIB().Stats().UnmatchedDrops
+	}
+	fmt.Printf("audience %d: %d legitimate frames delivered (%d each)\n",
+		audience, delivered, delivered/audience)
+	fmt.Printf("pirate packets delivered: %d; counted-and-dropped at routers: %d\n", pirated, drops)
+
+	// Halftime poll: one CountQuery reaches the whole audience and returns
+	// the aggregated vote.
+	var want uint32
+	for _, v := range voted {
+		want += v
+	}
+	net.Sim.After(0, func() {
+		station.CountQuery(channel, voteID, 2*netsim.Second, false, func(count uint32, ok bool) {
+			fmt.Printf("halftime poll: %d yes votes (replied=%v, expected %d)\n", count, ok, want)
+		})
+	})
+	// And a subscriber count for ad pricing — the ISP's charging basis
+	// (Section 2.2.3).
+	net.Sim.After(0, func() {
+		station.CountQuery(channel, wire.CountSubscribers, 2*netsim.Second, false, func(count uint32, ok bool) {
+			fmt.Printf("subscriber count for charging: %d (replied=%v)\n", count, ok)
+		})
+	})
+	net.Sim.RunUntil(net.Sim.Now() + 5*netsim.Second)
+}

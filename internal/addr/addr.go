@@ -1,0 +1,118 @@
+// Package addr defines IPv4-style addressing for the EXPRESS reproduction:
+// unicast addresses, the class-D multicast range, the 232/8 single-source
+// (EXPRESS) range of Figure 2, and the (S,E) channel tuple of Section 2.
+//
+// Addresses are plain uint32 values in host byte order so they are cheap to
+// hash and compare; wire encodings (big endian) live in internal/wire.
+package addr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address held in host byte order.
+type Addr uint32
+
+// Parse parses dotted-quad notation ("10.0.0.1") into an Addr.
+func Parse(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("addr: %q is not dotted quad", s)
+	}
+	var a uint32
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("addr: bad octet %q in %q", p, s)
+		}
+		a = a<<8 | uint32(v)
+	}
+	return Addr(a), nil
+}
+
+// MustParse is Parse that panics on malformed input. It is intended for
+// constants in tests and examples.
+func MustParse(s string) Addr {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address in dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Octets returns the four address bytes, most significant first.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// FromOctets assembles an Addr from four bytes, most significant first.
+func FromOctets(b [4]byte) Addr {
+	return Addr(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+}
+
+// Address-range boundaries from Figure 2 of the paper. Class D spans
+// 224.0.0.0–239.255.255.255; IANA allocated 232/8 (2^24 addresses) for the
+// single-source model, so each host interface can source up to 16 million
+// channels.
+const (
+	classDBase  Addr = 224 << 24 // 224.0.0.0
+	classDLast  Addr = 239<<24 | 0x00ffffff
+	ExpressBase Addr = 232 << 24 // 232.0.0.0, start of the single-source range
+	ExpressLast Addr = 232<<24 | 0x00ffffff
+
+	// ChannelsPerHost is the number of channel destination addresses each
+	// source host can allocate autonomously (2^24, per Section 2).
+	ChannelsPerHost = 1 << 24
+)
+
+// WellKnownECMP is the LAN-local destination address to which all multicast
+// ECMP datagrams are sent (Section 3.2: "All multicast ECMP datagrams are
+// sent to a well-known ECMP address"). The value is taken from the
+// 224.0.0.0/24 link-local block.
+var WellKnownECMP = MustParse("224.0.0.106")
+
+// LocalhostSource is the well-known source value used for the restricted
+// local use of multicast by ECMP itself (Section 3.2 footnote: a well-known
+// localhost value serves as the source for LAN-local ECMP channels).
+var LocalhostSource = MustParse("127.0.0.1")
+
+// IsMulticast reports whether a lies in the class-D range.
+func (a Addr) IsMulticast() bool { return a >= classDBase && a <= classDLast }
+
+// IsExpress reports whether a lies in the 232/8 single-source range.
+func (a Addr) IsExpress() bool { return a >= ExpressBase && a <= ExpressLast }
+
+// ExpressSuffix returns the low 24 bits of an EXPRESS destination address,
+// the part that identifies the channel within the source host's space.
+// Figure 5 stores only these 24 bits in the FIB entry because the 232/8
+// prefix is fixed.
+func (a Addr) ExpressSuffix() uint32 { return uint32(a) & 0x00ffffff }
+
+// ExpressAddr builds a destination address in 232/8 from a 24-bit suffix.
+func ExpressAddr(suffix uint32) Addr {
+	return ExpressBase | Addr(suffix&0x00ffffff)
+}
+
+// Channel identifies an EXPRESS multicast channel: exactly one designated
+// source S and a destination address E in 232/8. Two channels (S,E) and
+// (S',E) are unrelated despite the common destination (Figure 1).
+type Channel struct {
+	S Addr // source host address; only S may send to the channel
+	E Addr // channel destination address in 232/8
+}
+
+// String renders the channel as "(S,E)" in the paper's notation.
+func (c Channel) String() string { return "(" + c.S.String() + "," + c.E.String() + ")" }
+
+// Valid reports whether the channel is well formed: a non-multicast source
+// and an EXPRESS-range destination.
+func (c Channel) Valid() bool {
+	return !c.S.IsMulticast() && c.S != 0 && c.E.IsExpress()
+}

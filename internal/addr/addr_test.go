@@ -1,0 +1,185 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"10.0.0.1", 0x0a000001, true},
+		{"232.0.0.0", 0xe8000000, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"0.0.0.0", 0, true},
+		{"256.0.0.1", 0, false},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("Parse(%q) err = %v, ok want %v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("Parse(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStringParseRoundTripProperty(t *testing.T) {
+	f := func(a uint32) bool {
+		x := Addr(a)
+		back, err := Parse(x.String())
+		return err == nil && back == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOctetsRoundTripProperty(t *testing.T) {
+	f := func(a uint32) bool {
+		return FromOctets(Addr(a).Octets()) == Addr(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanges(t *testing.T) {
+	cases := []struct {
+		a         string
+		multicast bool
+		express   bool
+	}{
+		{"10.0.0.1", false, false},
+		{"223.255.255.255", false, false},
+		{"224.0.0.0", true, false},
+		{"231.255.255.255", true, false},
+		{"232.0.0.0", true, true},
+		{"232.255.255.255", true, true},
+		{"233.0.0.0", true, false},
+		{"239.255.255.255", true, false},
+		{"240.0.0.0", false, false},
+	}
+	for _, c := range cases {
+		a := MustParse(c.a)
+		if a.IsMulticast() != c.multicast {
+			t.Errorf("%s IsMulticast = %v, want %v", c.a, a.IsMulticast(), c.multicast)
+		}
+		if a.IsExpress() != c.express {
+			t.Errorf("%s IsExpress = %v, want %v", c.a, a.IsExpress(), c.express)
+		}
+	}
+}
+
+func TestExpressSuffixProperty(t *testing.T) {
+	// Every 24-bit suffix maps into 232/8 and back.
+	f := func(suffix uint32) bool {
+		e := ExpressAddr(suffix)
+		return e.IsExpress() && e.ExpressSuffix() == suffix&0x00ffffff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelValid(t *testing.T) {
+	good := Channel{S: MustParse("10.0.0.1"), E: ExpressAddr(5)}
+	if !good.Valid() {
+		t.Error("valid channel rejected")
+	}
+	for _, bad := range []Channel{
+		{S: 0, E: ExpressAddr(5)},                             // zero source
+		{S: MustParse("224.0.0.1"), E: ExpressAddr(5)},        // multicast source
+		{S: MustParse("10.0.0.1"), E: MustParse("239.0.0.1")}, // non-express E
+		{S: MustParse("10.0.0.1"), E: MustParse("10.0.0.2")},  // unicast E
+	} {
+		if bad.Valid() {
+			t.Errorf("invalid channel accepted: %v", bad)
+		}
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	al := NewAllocator(MustParse("10.0.0.1"))
+	a, err := al.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := al.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("duplicate allocation")
+	}
+	if !a.Valid() || !b.Valid() {
+		t.Fatal("allocated invalid channel")
+	}
+	if al.Allocated() != 2 {
+		t.Fatalf("Allocated = %d, want 2", al.Allocated())
+	}
+	if err := al.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Release(a); err == nil {
+		t.Error("double release not rejected")
+	}
+	other := Channel{S: MustParse("10.0.0.2"), E: ExpressAddr(0)}
+	if err := al.Release(other); err == nil {
+		t.Error("foreign channel release not rejected")
+	}
+}
+
+func TestAllocateSuffix(t *testing.T) {
+	al := NewAllocator(MustParse("10.0.0.1"))
+	ch, err := al.AllocateSuffix(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.E.ExpressSuffix() != 42 {
+		t.Fatalf("suffix = %d, want 42", ch.E.ExpressSuffix())
+	}
+	if _, err := al.AllocateSuffix(42); err == nil {
+		t.Error("duplicate suffix not rejected")
+	}
+	// The sequential allocator must skip the reserved suffix.
+	for i := 0; i < 100; i++ {
+		c, err := al.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.E.ExpressSuffix() == 42 {
+			t.Fatal("sequential allocation reused a reserved suffix")
+		}
+	}
+}
+
+func TestAllocatorReuseAfterRelease(t *testing.T) {
+	al := NewAllocator(MustParse("10.0.0.1"))
+	seen := make(map[Channel]bool)
+	for i := 0; i < 1000; i++ {
+		ch, err := al.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[ch] {
+			t.Fatalf("channel %v allocated twice while held", ch)
+		}
+		seen[ch] = true
+		if i%3 == 0 {
+			if err := al.Release(ch); err != nil {
+				t.Fatal(err)
+			}
+			delete(seen, ch)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package addr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Allocator is the per-host local database of allocated channel destination
+// addresses described in Section 2.2.1: "Duplicate allocation is an issue
+// only at a single host, which the host operating system can avoid with a
+// local database of allocated channels." No global coordination is needed.
+//
+// Allocator is not safe for concurrent use; the host OS layer (see
+// internal/express) serialises access.
+type Allocator struct {
+	source Addr
+	inUse  map[uint32]bool
+	next   uint32
+}
+
+// ErrExhausted is returned when all 2^24 channel addresses of the host are
+// allocated. Reaching it requires sixteen million live channels on one host.
+var ErrExhausted = errors.New("addr: all 2^24 channels allocated")
+
+// NewAllocator returns a channel allocator for the given source host.
+func NewAllocator(source Addr) *Allocator {
+	return &Allocator{source: source, inUse: make(map[uint32]bool)}
+}
+
+// Source returns the host address this allocator serves.
+func (al *Allocator) Source() Addr { return al.source }
+
+// Allocate reserves the next free channel for the host and returns it.
+func (al *Allocator) Allocate() (Channel, error) {
+	for tries := 0; tries < ChannelsPerHost; tries++ {
+		suffix := al.next
+		al.next = (al.next + 1) & 0x00ffffff
+		if !al.inUse[suffix] {
+			al.inUse[suffix] = true
+			return Channel{S: al.source, E: ExpressAddr(suffix)}, nil
+		}
+	}
+	return Channel{}, ErrExhausted
+}
+
+// AllocateSuffix reserves a specific 24-bit channel suffix, for applications
+// that advertise a fixed channel address out of band.
+func (al *Allocator) AllocateSuffix(suffix uint32) (Channel, error) {
+	suffix &= 0x00ffffff
+	if al.inUse[suffix] {
+		return Channel{}, fmt.Errorf("addr: channel suffix %#06x already allocated", suffix)
+	}
+	al.inUse[suffix] = true
+	return Channel{S: al.source, E: ExpressAddr(suffix)}, nil
+}
+
+// Release returns a channel to the host's free pool. Releasing a channel
+// that is not allocated, or that belongs to a different source, is an error.
+func (al *Allocator) Release(c Channel) error {
+	if c.S != al.source {
+		return fmt.Errorf("addr: channel %v does not belong to source %v", c, al.source)
+	}
+	suffix := c.E.ExpressSuffix()
+	if !al.inUse[suffix] {
+		return fmt.Errorf("addr: channel %v not allocated", c)
+	}
+	delete(al.inUse, suffix)
+	return nil
+}
+
+// Allocated returns the number of channels currently allocated.
+func (al *Allocator) Allocated() int { return len(al.inUse) }

@@ -1,0 +1,36 @@
+package addr_test
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// ExampleAllocator shows local channel allocation (Section 2.2.1): each
+// host owns 2^24 channel addresses and needs no global coordination.
+func ExampleAllocator() {
+	al := addr.NewAllocator(addr.MustParse("171.64.7.9"))
+	a, _ := al.Allocate()
+	b, _ := al.Allocate()
+	fmt.Println(a)
+	fmt.Println(b)
+
+	// The same suffix on another host is a different, unrelated channel.
+	other := addr.NewAllocator(addr.MustParse("10.1.1.1"))
+	c, _ := other.Allocate()
+	fmt.Println(c)
+	fmt.Println("same E, distinct channels:", a.E == c.E && a != c)
+	// Output:
+	// (171.64.7.9,232.0.0.0)
+	// (171.64.7.9,232.0.0.1)
+	// (10.1.1.1,232.0.0.0)
+	// same E, distinct channels: true
+}
+
+// ExampleChannel_Valid shows channel validation.
+func ExampleChannel_Valid() {
+	good := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(42)}
+	bad := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.MustParse("239.1.1.1")}
+	fmt.Println(good.Valid(), bad.Valid())
+	// Output: true false
+}

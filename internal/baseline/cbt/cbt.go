@@ -1,0 +1,274 @@
+// Package cbt implements a Core Based Trees (CBT, RFC 2201-shape)
+// bidirectional shared-tree multicast engine, a group-model baseline.
+//
+// One core router per group anchors a single bidirectional tree: joins
+// travel hop-by-hop toward the core creating tree state; data from any
+// member flows up and down the tree, with non-member senders tunnelling to
+// the core. The paper's comparison points (Section 4.4): "the transmission
+// through the core is similar in behavior and cost to relaying via the SR
+// but without the application-level control. Moreover, there is no option
+// of using a source-specific tree ... if the core introduces excessive
+// delay."
+package cbt
+
+import (
+	"repro/internal/addr"
+	"repro/internal/fib"
+	"repro/internal/netsim"
+	"repro/internal/unicast"
+)
+
+// JoinRequest travels hop-by-hop toward the group's core.
+type JoinRequest struct {
+	G    addr.Addr
+	Core addr.Addr
+}
+
+// QuitNotification removes a branch with no more members below.
+type QuitNotification struct {
+	G addr.Addr
+}
+
+const ctrlSize = 32
+
+// Router is a CBT router.
+type Router struct {
+	node *netsim.Node
+	rt   *unicast.Routing
+	// Cores maps each group to its core router address (statically
+	// configured, as CBT requires core placement by network management —
+	// exactly the property the paper contrasts with application-selected
+	// session relays).
+	Cores map[addr.Addr]addr.Addr
+
+	trees   map[addr.Addr]*tree
+	members map[addr.Addr]map[int]bool
+
+	Metrics Metrics
+
+	OnLocalDeliver func(pkt *netsim.Packet)
+}
+
+// tree is the bidirectional per-group state: the parent interface toward
+// the core and the set of child interfaces.
+type tree struct {
+	parentIf int // -1 at the core itself
+	childIfs map[int]bool
+}
+
+// Metrics counts protocol activity.
+type Metrics struct {
+	JoinsSent, JoinsRecv uint64
+	QuitsSent, QuitsRecv uint64
+	DataForwarded        uint64
+	TunnelledToCore      uint64
+}
+
+// New attaches a CBT router to node.
+func New(node *netsim.Node, rt *unicast.Routing, cores map[addr.Addr]addr.Addr) *Router {
+	r := &Router{
+		node:    node,
+		rt:      rt,
+		Cores:   cores,
+		trees:   make(map[addr.Addr]*tree),
+		members: make(map[addr.Addr]map[int]bool),
+	}
+	node.Handler = r
+	return r
+}
+
+// Node returns the underlying simulator node.
+func (r *Router) Node() *netsim.Node { return r.node }
+
+// StateEntries counts per-group tree records (E9's state metric).
+func (r *Router) StateEntries() int { return len(r.trees) }
+
+// FIBMemoryBytes prices the state at the 12-byte entry encoding.
+func (r *Router) FIBMemoryBytes() int { return len(r.trees) * fib.EntrySize }
+
+// OnTree reports whether this router is on g's shared tree.
+func (r *Router) OnTree(g addr.Addr) bool { return r.trees[g] != nil }
+
+// JoinLocal adds a local member host interface and joins the shared tree.
+func (r *Router) JoinLocal(g addr.Addr, hostIf int) {
+	m := r.members[g]
+	if m == nil {
+		m = make(map[int]bool)
+		r.members[g] = m
+	}
+	m[hostIf] = true
+	r.joinTree(g)
+}
+
+// LeaveLocal removes a local member; the branch quits upward when empty.
+func (r *Router) LeaveLocal(g addr.Addr, hostIf int) {
+	if m := r.members[g]; m != nil {
+		delete(m, hostIf)
+		if len(m) == 0 {
+			delete(r.members, g)
+		}
+	}
+	r.maybeQuit(g)
+}
+
+func (r *Router) joinTree(g addr.Addr) {
+	if r.trees[g] != nil {
+		return
+	}
+	core := r.Cores[g]
+	t := &tree{parentIf: -1, childIfs: make(map[int]bool)}
+	if core != r.node.Addr {
+		route, ok := r.rt.NextHop(r.node.ID, core)
+		if !ok || route.Ifindex < 0 {
+			return
+		}
+		t.parentIf = route.Ifindex
+		r.Metrics.JoinsSent++
+		r.node.Send(route.Ifindex, &netsim.Packet{
+			Src: r.node.Addr, Dst: core, Proto: netsim.ProtoCBT,
+			TTL: 1, Size: ctrlSize, Payload: &JoinRequest{G: g, Core: core},
+		})
+	}
+	r.trees[g] = t
+}
+
+func (r *Router) maybeQuit(g addr.Addr) {
+	t := r.trees[g]
+	if t == nil || len(t.childIfs) > 0 || len(r.members[g]) > 0 {
+		return
+	}
+	if t.parentIf >= 0 {
+		r.Metrics.QuitsSent++
+		r.node.Send(t.parentIf, &netsim.Packet{
+			Src: r.node.Addr, Dst: addr.WellKnownECMP, Proto: netsim.ProtoCBT,
+			TTL: 1, Size: ctrlSize, Payload: &QuitNotification{G: g},
+		})
+	}
+	delete(r.trees, g)
+}
+
+// Receive implements netsim.Handler.
+func (r *Router) Receive(ifindex int, pkt *netsim.Packet) {
+	switch m := pkt.Payload.(type) {
+	case *JoinRequest:
+		r.Metrics.JoinsRecv++
+		r.handleJoin(ifindex, m)
+	case *QuitNotification:
+		r.Metrics.QuitsRecv++
+		if t := r.trees[m.G]; t != nil {
+			delete(t.childIfs, ifindex)
+			r.maybeQuit(m.G)
+		}
+	case *netsim.Encap:
+		r.handleTunnel(pkt, m)
+	default:
+		if pkt.Proto == netsim.ProtoData && pkt.Dst.IsMulticast() {
+			r.forwardData(ifindex, pkt)
+		}
+	}
+}
+
+// handleJoin grafts the requesting branch: the arrival interface becomes a
+// child; if we are not on the tree yet the join continues toward the core.
+func (r *Router) handleJoin(ifindex int, m *JoinRequest) {
+	t := r.trees[m.G]
+	if t == nil {
+		t = &tree{parentIf: -1, childIfs: make(map[int]bool)}
+		r.trees[m.G] = t
+		if m.Core != r.node.Addr {
+			route, ok := r.rt.NextHop(r.node.ID, m.Core)
+			if ok && route.Ifindex >= 0 {
+				t.parentIf = route.Ifindex
+				r.Metrics.JoinsSent++
+				r.node.Send(route.Ifindex, &netsim.Packet{
+					Src: r.node.Addr, Dst: m.Core, Proto: netsim.ProtoCBT,
+					TTL: 1, Size: ctrlSize, Payload: m,
+				})
+			}
+		}
+	}
+	t.childIfs[ifindex] = true
+}
+
+// forwardData implements bidirectional shared-tree forwarding: a packet
+// arriving on any tree interface is forwarded to all other tree interfaces
+// (parent and children) and to local members. A packet arriving from a
+// local sender host enters the tree the same way. Off-tree packets from
+// non-member senders are tunnelled to the core.
+func (r *Router) forwardData(ifindex int, pkt *netsim.Packet) {
+	g := pkt.Dst
+	t := r.trees[g]
+	if t == nil {
+		// Off-tree first-hop router of a non-member sender: tunnel the
+		// packet to the core (CBT's sender model — any host can send).
+		core, ok := r.Cores[g]
+		if !ok {
+			return
+		}
+		route, ok2 := r.rt.NextHop(r.node.ID, core)
+		if !ok2 || route.Ifindex < 0 {
+			return
+		}
+		r.Metrics.TunnelledToCore++
+		r.node.Send(route.Ifindex, &netsim.Packet{
+			Src: r.node.Addr, Dst: core, Proto: netsim.ProtoEncap,
+			TTL: netsim.DefaultTTL, Size: pkt.Size + 20,
+			Payload: &netsim.Encap{Inner: pkt},
+		})
+		return
+	}
+	r.emitOnTree(t, g, ifindex, pkt)
+}
+
+// handleTunnel decapsulates sender traffic at (or en route to) the core.
+func (r *Router) handleTunnel(outer *netsim.Packet, enc *netsim.Encap) {
+	if outer.Dst != r.node.Addr {
+		// Transit: forward the tunnel packet toward the core.
+		route, ok := r.rt.NextHop(r.node.ID, outer.Dst)
+		if ok && route.Ifindex >= 0 && outer.TTL > 1 {
+			fwd := outer.Clone()
+			fwd.TTL--
+			r.node.Send(route.Ifindex, fwd)
+		}
+		return
+	}
+	inner := enc.Inner
+	if inner == nil || !inner.Dst.IsMulticast() {
+		return
+	}
+	if t := r.trees[inner.Dst]; t != nil {
+		r.emitOnTree(t, inner.Dst, -1, inner)
+	}
+}
+
+// emitOnTree sends pkt out of every tree interface except the arrival one.
+func (r *Router) emitOnTree(t *tree, g addr.Addr, arrivalIf int, pkt *netsim.Packet) {
+	if pkt.TTL <= 1 {
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.TTL--
+	sent := false
+	if t.parentIf >= 0 && t.parentIf != arrivalIf {
+		r.node.Send(t.parentIf, fwd)
+		sent = true
+	}
+	for c := range t.childIfs {
+		if c != arrivalIf {
+			r.node.Send(c, fwd)
+			sent = true
+		}
+	}
+	for hostIf := range r.members[g] {
+		if hostIf != arrivalIf {
+			r.node.Send(hostIf, fwd)
+			sent = true
+		}
+	}
+	if sent {
+		r.Metrics.DataForwarded++
+	}
+	if r.OnLocalDeliver != nil && len(r.members[g]) > 0 {
+		r.OnLocalDeliver(pkt)
+	}
+}

@@ -1,0 +1,140 @@
+package cbt
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+	"repro/internal/unicast"
+)
+
+var group = addr.MustParse("239.5.5.5")
+
+// line builds sender -- r0 -- r1 -- r2 -- memberA, with memberB on r1.
+// The core is r1 (the middle).
+func line(t *testing.T) (*netsim.Sim, []*Router, *testutil.Host, *testutil.Host, *testutil.Host) {
+	t.Helper()
+	sim := netsim.New(21)
+	rn := netsim.AddRouters(sim, 3)
+	sim.Connect(rn[0], rn[1], netsim.DefaultWAN.Delay, netsim.DefaultWAN.Bps, 1)
+	sim.Connect(rn[1], rn[2], netsim.DefaultWAN.Delay, netsim.DefaultWAN.Bps, 1)
+	sender, _ := testutil.AttachCountingHost(sim, rn[0], 0)
+	memberA, aIf := testutil.AttachCountingHost(sim, rn[2], 1)
+	memberB, bIf := testutil.AttachCountingHost(sim, rn[1], 2)
+
+	rt := unicast.Compute(sim)
+	cores := map[addr.Addr]addr.Addr{group: rn[1].Addr}
+	routers := make([]*Router, 3)
+	for i, n := range rn {
+		routers[i] = New(n, rt, cores)
+	}
+	routers[2].JoinLocal(group, aIf)
+	routers[1].JoinLocal(group, bIf)
+	return sim, routers, sender, memberA, memberB
+}
+
+func TestNonMemberSenderTunnelsToCore(t *testing.T) {
+	sim, routers, sender, memberA, memberB := line(t)
+	sim.RunUntil(100 * netsim.Millisecond) // let joins settle
+
+	if !routers[1].OnTree(group) || !routers[2].OnTree(group) {
+		t.Fatal("shared tree not built")
+	}
+	if routers[0].OnTree(group) {
+		t.Fatal("non-member branch router should not be on the tree")
+	}
+
+	sim.After(0, func() { sender.SendMulticast(group, 800) })
+	sim.RunUntil(netsim.Second)
+
+	if routers[0].Metrics.TunnelledToCore != 1 {
+		t.Errorf("tunnelled = %d, want 1 (any host can send in the group model)",
+			routers[0].Metrics.TunnelledToCore)
+	}
+	if memberA.Delivered != 1 || memberB.Delivered != 1 {
+		t.Errorf("deliveries = %d/%d, want 1/1", memberA.Delivered, memberB.Delivered)
+	}
+}
+
+func TestBidirectionalMemberSend(t *testing.T) {
+	sim, _, _, memberA, memberB := line(t)
+	sim.RunUntil(100 * netsim.Millisecond)
+
+	// memberA (on r2, a tree leaf) sends: the packet must flow UP the
+	// shared tree through the core and down to memberB — bidirectional
+	// forwarding, no tunnel.
+	sim.After(0, func() { memberA.SendMulticast(group, 800) })
+	sim.RunUntil(netsim.Second)
+
+	if memberB.Delivered != 1 {
+		t.Errorf("memberB delivered = %d, want 1", memberB.Delivered)
+	}
+	if memberA.Delivered != 0 {
+		t.Errorf("sender echoed its own packet: delivered = %d", memberA.Delivered)
+	}
+}
+
+func TestQuitPrunesBranch(t *testing.T) {
+	sim, routers, sender, memberA, memberB := line(t)
+	sim.RunUntil(100 * netsim.Millisecond)
+
+	// memberA leaves: r2's branch quits; only memberB receives afterwards.
+	sim.After(0, func() { routers[2].LeaveLocal(group, 1) })
+	sim.After(50*netsim.Millisecond, func() { sender.SendMulticast(group, 800) })
+	sim.RunUntil(netsim.Second)
+
+	if routers[2].OnTree(group) {
+		t.Error("r2 still on tree after its last member left")
+	}
+	if memberA.Delivered != 0 {
+		t.Errorf("departed member delivered = %d, want 0", memberA.Delivered)
+	}
+	if memberB.Delivered != 1 {
+		t.Errorf("remaining member delivered = %d, want 1", memberB.Delivered)
+	}
+	if routers[2].StateEntries() != 0 {
+		t.Errorf("r2 state entries = %d, want 0", routers[2].StateEntries())
+	}
+}
+
+func TestCoreDetourDelay(t *testing.T) {
+	// Topology where the core is off the direct sender→member path:
+	//
+	//	r0 ---- r1 (member)
+	//	 \
+	//	  r2 (core)
+	//
+	// Sender on r0. Direct path is 1 WAN hop; via the core it is 2.
+	sim := netsim.New(22)
+	rn := netsim.AddRouters(sim, 3)
+	sim.Connect(rn[0], rn[1], netsim.DefaultWAN.Delay, netsim.DefaultWAN.Bps, 1)
+	sim.Connect(rn[0], rn[2], netsim.DefaultWAN.Delay, netsim.DefaultWAN.Bps, 1)
+	sim.Connect(rn[1], rn[2], netsim.DefaultWAN.Delay, netsim.DefaultWAN.Bps, 1)
+	sender, _ := testutil.AttachCountingHost(sim, rn[0], 0)
+	member, mIf := testutil.AttachCountingHost(sim, rn[1], 1)
+
+	rt := unicast.Compute(sim)
+	cores := map[addr.Addr]addr.Addr{group: rn[2].Addr}
+	routers := make([]*Router, 3)
+	for i, n := range rn {
+		routers[i] = New(n, rt, cores)
+	}
+	routers[1].JoinLocal(group, mIf)
+	sim.RunUntil(100 * netsim.Millisecond)
+
+	start := sim.Now()
+	sim.After(0, func() { sender.SendMulticast(group, 800) })
+	sim.RunUntil(netsim.Second)
+
+	if member.Delivered != 1 {
+		t.Fatalf("member delivered = %d, want 1", member.Delivered)
+	}
+	delay := member.DeliveredAt[0] - start
+	// Via the core: host edge + r0→r2 + r2→r1 + edge ≈ 2 WAN hops; direct
+	// would be ≈1. The detour must be visible in the delay.
+	if delay < 2*netsim.DefaultWAN.Delay {
+		t.Errorf("delay %v too low: packet did not detour via the core", delay)
+	}
+	_ = routers
+}

@@ -1,0 +1,276 @@
+// Package dvmrp implements a DVMRP/PIM-DM-style broadcast-and-prune
+// multicast routing engine, one of the group-model baselines the paper
+// argues against: data for a group is flooded along the reverse-path tree
+// to the entire network, and routers with no downstream members prune
+// themselves off per (S,G), with prune state that periodically expires and
+// re-floods (Sections 3.4, 7.1).
+//
+// The engine exists to reproduce the paper's structural claim: EXPRESS
+// "eliminates the need for non-scalable broadcast-and-prune behavior" — on
+// a sparse group, DVMRP touches every link in the domain each prune
+// lifetime, EXPRESS only the subscriber paths (experiment E9).
+package dvmrp
+
+import (
+	"repro/internal/addr"
+	"repro/internal/fib"
+	"repro/internal/netsim"
+	"repro/internal/unicast"
+)
+
+// Message types.
+
+// Prune tells the upstream neighbor to stop forwarding (S,G) this way.
+type Prune struct {
+	S, G     addr.Addr
+	Lifetime netsim.Time
+}
+
+// Graft undoes a prune after a downstream member appears.
+type Graft struct {
+	S, G addr.Addr
+}
+
+const ctrlSize = 32 // prune/graft on the wire incl. IP header
+
+type sg struct{ s, g addr.Addr }
+
+// Router is a DVMRP router on one simulator node.
+type Router struct {
+	node *netsim.Node
+	rt   *unicast.Routing
+	// routerIfs marks interfaces leading to other DVMRP routers (flooding
+	// targets); other interfaces are host edges.
+	routerIfs map[int]bool
+
+	// members[g] is the set of local host interfaces joined to g.
+	members map[addr.Addr]map[int]bool
+
+	// prunedDown[sg][ifindex] is the expiry of a prune received from the
+	// downstream neighbor on that interface.
+	prunedDown map[sg]map[int]netsim.Time
+	// prunedUp[sg] records that we pruned ourselves upstream.
+	prunedUp map[sg]bool
+
+	// PruneLifetime bounds prune state; expiry causes re-flood (the
+	// periodic broadcast cost inherent to the protocol).
+	PruneLifetime netsim.Time
+
+	Metrics Metrics
+
+	// OnLocalDeliver receives data for locally joined groups.
+	OnLocalDeliver func(pkt *netsim.Packet)
+}
+
+// Metrics counts protocol activity.
+type Metrics struct {
+	DataForwarded uint64
+	DataDropped   uint64 // RPF failures
+	PrunesSent    uint64
+	PrunesRecv    uint64
+	GraftsSent    uint64
+	GraftsRecv    uint64
+}
+
+// New attaches a DVMRP router to node. routerIfs lists the interfaces that
+// face other DVMRP routers.
+func New(node *netsim.Node, rt *unicast.Routing, routerIfs []int) *Router {
+	r := &Router{
+		node:          node,
+		rt:            rt,
+		routerIfs:     make(map[int]bool, len(routerIfs)),
+		members:       make(map[addr.Addr]map[int]bool),
+		prunedDown:    make(map[sg]map[int]netsim.Time),
+		prunedUp:      make(map[sg]bool),
+		PruneLifetime: 120 * netsim.Second,
+	}
+	for _, i := range routerIfs {
+		r.routerIfs[i] = true
+	}
+	node.Handler = r
+	return r
+}
+
+// Node returns the underlying simulator node.
+func (r *Router) Node() *netsim.Node { return r.node }
+
+// JoinLocal registers a local member host interface for group g and grafts
+// any pruned source trees back.
+func (r *Router) JoinLocal(g addr.Addr, hostIf int) {
+	m := r.members[g]
+	if m == nil {
+		m = make(map[int]bool)
+		r.members[g] = m
+	}
+	m[hostIf] = true
+	// Graft every (S,g) we pruned upstream.
+	for key := range r.prunedUp {
+		if key.g != g {
+			continue
+		}
+		delete(r.prunedUp, key)
+		r.sendUpstream(key.s, &Graft{S: key.s, G: g})
+		r.Metrics.GraftsSent++
+	}
+}
+
+// LeaveLocal removes a local member host interface.
+func (r *Router) LeaveLocal(g addr.Addr, hostIf int) {
+	if m := r.members[g]; m != nil {
+		delete(m, hostIf)
+		if len(m) == 0 {
+			delete(r.members, g)
+		}
+	}
+}
+
+// StateEntries counts (S,G) prune records plus active membership groups,
+// the router-state metric for experiment E9. Unlike EXPRESS, prune state
+// exists at routers with no members at all.
+func (r *Router) StateEntries() int {
+	n := len(r.prunedUp)
+	for _, m := range r.prunedDown {
+		n += len(m)
+	}
+	return n + len(r.members)
+}
+
+// Receive implements netsim.Handler.
+func (r *Router) Receive(ifindex int, pkt *netsim.Packet) {
+	switch m := pkt.Payload.(type) {
+	case *Prune:
+		r.Metrics.PrunesRecv++
+		r.handlePrune(ifindex, m)
+	case *Graft:
+		r.Metrics.GraftsRecv++
+		r.handleGraft(ifindex, m)
+	default:
+		if pkt.Proto == netsim.ProtoData && pkt.Dst.IsMulticast() {
+			r.forwardData(ifindex, pkt)
+		}
+	}
+}
+
+// forwardData is reverse-path flooding with prunes: accept on the RPF
+// interface toward S, flood to all other router interfaces not pruned, and
+// to local member hosts.
+func (r *Router) forwardData(ifindex int, pkt *netsim.Packet) {
+	route, ok := r.rt.RPFInterface(r.node.ID, pkt.Src)
+	if !ok {
+		r.Metrics.DataDropped++
+		return
+	}
+	// Packets from a directly attached host arrive on a host interface
+	// which is the RPF interface toward that host.
+	if route.Ifindex != ifindex {
+		r.Metrics.DataDropped++
+		// A non-RPF arrival means the sender considers us downstream but we
+		// are not: prune (S,G) toward it so the flood converges onto the
+		// RPF tree (the PIM-DM/DVMRP dependent-neighbor rule, simplified).
+		if r.routerIfs[ifindex] {
+			r.Metrics.PrunesSent++
+			r.sendVia(ifindex, pkt.Src, &Prune{S: pkt.Src, G: pkt.Dst, Lifetime: r.PruneLifetime})
+		}
+		return
+	}
+	key := sg{pkt.Src, pkt.Dst}
+	now := r.node.Sim().Now()
+
+	var outs []int
+	for i := 0; i < r.node.NumIfaces(); i++ {
+		if i == ifindex || !r.routerIfs[i] || !r.node.IfaceUp(i) {
+			continue
+		}
+		if exp, pruned := r.prunedDown[key][i]; pruned && exp > now {
+			continue
+		}
+		outs = append(outs, i)
+	}
+	for hostIf := range r.members[pkt.Dst] {
+		if hostIf != ifindex {
+			outs = append(outs, hostIf)
+		}
+	}
+	if r.OnLocalDeliver != nil && len(r.members[pkt.Dst]) > 0 {
+		r.OnLocalDeliver(pkt)
+	}
+
+	if len(outs) == 0 {
+		// Leaf with no members: prune ourselves off this source tree.
+		if !r.prunedUp[key] && r.routerIfs[ifindex] {
+			r.prunedUp[key] = true
+			r.Metrics.PrunesSent++
+			r.sendVia(ifindex, pkt.Src, &Prune{S: pkt.Src, G: pkt.Dst, Lifetime: r.PruneLifetime})
+			k := key
+			r.node.Sim().After(r.PruneLifetime, func() { delete(r.prunedUp, k) })
+		}
+		r.Metrics.DataDropped++
+		return
+	}
+	if pkt.TTL <= 1 {
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.TTL--
+	for _, i := range outs {
+		r.node.Send(i, fwd)
+	}
+	r.Metrics.DataForwarded++
+}
+
+func (r *Router) handlePrune(ifindex int, m *Prune) {
+	key := sg{m.S, m.G}
+	pd := r.prunedDown[key]
+	if pd == nil {
+		pd = make(map[int]netsim.Time)
+		r.prunedDown[key] = pd
+	}
+	pd[ifindex] = r.node.Sim().Now() + m.Lifetime
+	k, ifi := key, ifindex
+	r.node.Sim().After(m.Lifetime, func() {
+		if pd := r.prunedDown[k]; pd != nil {
+			if exp, ok := pd[ifi]; ok && exp <= r.node.Sim().Now() {
+				delete(pd, ifi)
+				if len(pd) == 0 {
+					delete(r.prunedDown, k)
+				}
+			}
+		}
+	})
+}
+
+func (r *Router) handleGraft(ifindex int, m *Graft) {
+	key := sg{m.S, m.G}
+	if pd := r.prunedDown[key]; pd != nil {
+		delete(pd, ifindex)
+		if len(pd) == 0 {
+			delete(r.prunedDown, key)
+		}
+	}
+	// If we had pruned upstream, graft ourselves back too.
+	if r.prunedUp[key] {
+		delete(r.prunedUp, key)
+		r.Metrics.GraftsSent++
+		r.sendUpstream(m.S, &Graft{S: m.S, G: m.G})
+	}
+}
+
+func (r *Router) sendUpstream(src addr.Addr, payload any) {
+	route, ok := r.rt.RPFInterface(r.node.ID, src)
+	if !ok || route.Ifindex < 0 {
+		return
+	}
+	r.sendVia(route.Ifindex, src, payload)
+}
+
+func (r *Router) sendVia(ifindex int, _ addr.Addr, payload any) {
+	r.node.Send(ifindex, &netsim.Packet{
+		Src: r.node.Addr, Dst: addr.WellKnownECMP, Proto: netsim.ProtoDVMRP,
+		TTL: 1, Size: ctrlSize, Payload: payload,
+	})
+}
+
+// FIBMemoryBytes reports the fast-path memory this router's forwarding
+// state would occupy at the 12-byte entry encoding, for apples-to-apples
+// comparison with the EXPRESS FIB (experiment E9).
+func (r *Router) FIBMemoryBytes() int { return r.StateEntries() * fib.EntrySize }

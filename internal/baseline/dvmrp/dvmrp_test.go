@@ -1,0 +1,134 @@
+package dvmrp
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+	"repro/internal/unicast"
+)
+
+// buildY creates the test network:
+//
+//	src -- r0 -- r1 -- r2 -- member
+//	              \
+//	               r3 -- offpath
+//
+// and returns the routers plus the hosts.
+func buildY(t *testing.T) (*netsim.Sim, []*Router, *testutil.Host, *testutil.Host, *testutil.Host) {
+	t.Helper()
+	sim := netsim.New(11)
+	rn := netsim.AddRouters(sim, 4)
+	sim.Connect(rn[0], rn[1], netsim.DefaultWAN.Delay, netsim.DefaultWAN.Bps, 1)
+	sim.Connect(rn[1], rn[2], netsim.DefaultWAN.Delay, netsim.DefaultWAN.Bps, 1)
+	sim.Connect(rn[1], rn[3], netsim.DefaultWAN.Delay, netsim.DefaultWAN.Bps, 1)
+
+	src, _ := testutil.AttachCountingHost(sim, rn[0], 0)
+	member, memberIf := testutil.AttachCountingHost(sim, rn[2], 1)
+	offpath, offIf := testutil.AttachCountingHost(sim, rn[3], 2)
+
+	rt := unicast.Compute(sim)
+	routers := make([]*Router, 4)
+	routerIfsOf := map[int][]int{0: {0}, 1: {0, 1, 2}, 2: {0}, 3: {0}}
+	for i, n := range rn {
+		routers[i] = New(n, rt, routerIfsOf[i])
+	}
+	routers[2].JoinLocal(testGroup, memberIf)
+	_ = offIf
+	return sim, routers, src, member, offpath
+}
+
+var testGroup = addr.MustParse("239.1.2.3")
+
+func TestFloodAndPrune(t *testing.T) {
+	sim, routers, src, member, offpath := buildY(t)
+
+	sim.At(0, func() { src.SendMulticast(testGroup, 1000) })
+	sim.RunUntil(netsim.Second)
+
+	if member.Delivered != 1 {
+		t.Errorf("member delivered = %d, want 1", member.Delivered)
+	}
+	// Broadcast-and-prune cost: the first packet floods to the off-path
+	// branch even though it has no members...
+	if got := routers[3].Metrics.DataDropped; got == 0 {
+		t.Error("off-path router never saw (and dropped) flooded data")
+	}
+	if routers[3].Metrics.PrunesSent == 0 {
+		t.Error("off-path leaf router sent no prune")
+	}
+	offpathLinkBefore := sim.Links()[2].TotalPackets()
+
+	// ...but after the prune, subsequent packets stay off that branch.
+	sim.After(0, func() { src.SendMulticast(testGroup, 1000) })
+	sim.RunUntil(2 * netsim.Second)
+	if member.Delivered != 2 {
+		t.Errorf("member delivered = %d, want 2", member.Delivered)
+	}
+	if got := sim.Links()[2].TotalPackets(); got != offpathLinkBefore {
+		t.Errorf("pruned branch carried %d new packets, want 0", got-offpathLinkBefore)
+	}
+	if offpath.Delivered != 0 {
+		t.Errorf("non-member host delivered = %d, want 0", offpath.Delivered)
+	}
+}
+
+func TestGraftRestoresDelivery(t *testing.T) {
+	sim, routers, src, _, offpath := buildY(t)
+
+	// Packet 1 floods; r3 prunes.
+	sim.At(0, func() { src.SendMulticast(testGroup, 1000) })
+	sim.RunUntil(netsim.Second)
+	if routers[3].Metrics.PrunesSent == 0 {
+		t.Fatal("expected a prune from the off-path router")
+	}
+
+	// The off-path host joins: r3 grafts and the next packet arrives.
+	// (Host interface on r3 is its second interface, index 1.)
+	sim.After(0, func() { routers[3].JoinLocal(testGroup, 1) })
+	sim.After(100*netsim.Millisecond, func() { src.SendMulticast(testGroup, 1000) })
+	sim.RunUntil(2 * netsim.Second)
+
+	if routers[3].Metrics.GraftsSent == 0 {
+		t.Error("joining after a prune sent no graft")
+	}
+	if offpath.Delivered != 1 {
+		t.Errorf("grafted host delivered = %d, want 1", offpath.Delivered)
+	}
+}
+
+func TestPruneExpiryRefloods(t *testing.T) {
+	sim, routers, src, _, _ := buildY(t)
+	for _, r := range routers {
+		r.PruneLifetime = 500 * netsim.Millisecond
+	}
+
+	sim.At(0, func() { src.SendMulticast(testGroup, 1000) })
+	sim.RunUntil(netsim.Second) // prune expired by now
+	before := routers[3].Metrics.DataDropped
+
+	sim.After(0, func() { src.SendMulticast(testGroup, 1000) })
+	sim.RunUntil(2 * netsim.Second)
+	if got := routers[3].Metrics.DataDropped; got <= before {
+		t.Error("after prune expiry the flood did not resume (the protocol's periodic broadcast cost)")
+	}
+}
+
+func TestRPFCheckDropsWrongInterface(t *testing.T) {
+	sim, routers, _, _, _ := buildY(t)
+
+	// Forge a packet "from" the src host but arriving at r2 from its
+	// member-host side: the RPF check must drop it.
+	srcAddr := netsim.HostAddr(0)
+	sim.At(0, func() {
+		routers[2].Receive(1, &netsim.Packet{
+			Src: srcAddr, Dst: testGroup, Proto: netsim.ProtoData, TTL: 10, Size: 100,
+		})
+	})
+	before := routers[2].Metrics.DataDropped
+	sim.RunUntil(netsim.Second)
+	if routers[2].Metrics.DataDropped != before+1 {
+		t.Error("spoofed packet passed the RPF check")
+	}
+}

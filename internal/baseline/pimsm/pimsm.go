@@ -1,0 +1,485 @@
+// Package pimsm implements a PIM Sparse Mode (RFC 2117-shape) multicast
+// routing engine, the principal group-model baseline of the paper.
+//
+// Receivers join a shared tree rooted at a network-selected rendezvous
+// point (RP); sources register with the RP by unicast encapsulation; the RP
+// joins a source-specific tree back to the source; last-hop routers may
+// switch to the shortest-path tree after a data threshold. The paper's
+// comparison points: the RP detour inflates delay until switchover
+// (Section 4.4), RPs are chosen by network administration rather than the
+// application (Section 4.2), and "packets can traverse routes that are
+// distant from the expected direct path" (Section 3.6).
+package pimsm
+
+import (
+	"repro/internal/addr"
+	"repro/internal/fib"
+	"repro/internal/netsim"
+	"repro/internal/unicast"
+)
+
+// JoinPrune is the hop-by-hop join/prune message. S == 0 denotes a (*,G)
+// shared-tree entry. RPT marks the (S,G,rpt) prune used when a last-hop
+// switches to the source tree.
+type JoinPrune struct {
+	G, S addr.Addr
+	Join bool
+	RPT  bool
+	// Target is the upstream destination the message climbs toward (the RP
+	// for (*,G), the source for (S,G)).
+	Target addr.Addr
+}
+
+// Register carries source data unicast-encapsulated from the source's DR to
+// the RP.
+type Register struct {
+	Inner *netsim.Packet
+}
+
+// RegisterStop tells the DR the RP has native (S,G) forwarding and the
+// register tunnel may stop.
+type RegisterStop struct {
+	G, S addr.Addr
+}
+
+const ctrlSize = 40
+
+type sg struct{ s, g addr.Addr }
+
+// route is a PIM multicast routing entry: (*,G) when s == 0.
+type route struct {
+	iif  int // RPF interface toward the RP (shared) or source (SPT)
+	oifs map[int]bool
+	// rptBits[S] is the set of interfaces pruned off the RP tree for
+	// source S — subtrees that switched to S's shortest-path tree.
+	rptBits map[addr.Addr]map[int]bool
+}
+
+// Router is a PIM-SM router.
+type Router struct {
+	node *netsim.Node
+	rt   *unicast.Routing
+	// RPs maps group → rendezvous point address (static RP configuration).
+	RPs map[addr.Addr]addr.Addr
+
+	shared  map[addr.Addr]*route // (*,G)
+	sources map[sg]*route        // (S,G)
+	members map[addr.Addr]map[int]bool
+
+	// registerStopped marks (S,G) register tunnels the RP has stopped.
+	registerStopped map[sg]bool
+	// rpJoined marks (S,G) trees the RP has joined back toward the source.
+	rpJoined map[sg]bool
+
+	// SPTThresholdBytes is the shared-tree byte count at which a last-hop
+	// router switches to the source tree. 0 switches on the first packet;
+	// a negative value disables switchover.
+	SPTThresholdBytes int
+	sptBytes          map[sg]int
+	sptSwitched       map[sg]bool
+
+	Metrics Metrics
+
+	OnLocalDeliver func(pkt *netsim.Packet)
+}
+
+// Metrics counts protocol activity.
+type Metrics struct {
+	JoinsSent, JoinsRecv   uint64
+	PrunesSent, PrunesRecv uint64
+	RegistersSent          uint64
+	RegistersRecv          uint64
+	RegisterStops          uint64
+	SPTSwitches            uint64
+	DataForwarded          uint64
+	DataDropped            uint64
+}
+
+// New attaches a PIM-SM router to node.
+func New(node *netsim.Node, rt *unicast.Routing, rps map[addr.Addr]addr.Addr) *Router {
+	r := &Router{
+		node:            node,
+		rt:              rt,
+		RPs:             rps,
+		shared:          make(map[addr.Addr]*route),
+		sources:         make(map[sg]*route),
+		members:         make(map[addr.Addr]map[int]bool),
+		registerStopped: make(map[sg]bool),
+		rpJoined:        make(map[sg]bool),
+		sptBytes:        make(map[sg]int),
+		sptSwitched:     make(map[sg]bool),
+	}
+	node.Handler = r
+	return r
+}
+
+// Node returns the underlying simulator node.
+func (r *Router) Node() *netsim.Node { return r.node }
+
+// StateEntries counts (*,G) plus (S,G) routing entries (E9's state metric).
+func (r *Router) StateEntries() int { return len(r.shared) + len(r.sources) }
+
+// FIBMemoryBytes prices the state at the 12-byte entry encoding.
+func (r *Router) FIBMemoryBytes() int { return r.StateEntries() * fib.EntrySize }
+
+// isRP reports whether this router is the RP for g.
+func (r *Router) isRP(g addr.Addr) bool { return r.RPs[g] == r.node.Addr }
+
+// JoinLocal adds a local member host interface for g and joins the shared
+// tree toward the RP.
+func (r *Router) JoinLocal(g addr.Addr, hostIf int) {
+	m := r.members[g]
+	if m == nil {
+		m = make(map[int]bool)
+		r.members[g] = m
+	}
+	m[hostIf] = true
+	e := r.ensureShared(g)
+	e.oifs[hostIf] = true
+}
+
+// LeaveLocal removes a local member.
+func (r *Router) LeaveLocal(g addr.Addr, hostIf int) {
+	if m := r.members[g]; m != nil {
+		delete(m, hostIf)
+		if len(m) == 0 {
+			delete(r.members, g)
+		}
+	}
+	if e := r.shared[g]; e != nil {
+		delete(e.oifs, hostIf)
+		r.maybePruneShared(g)
+	}
+}
+
+// ensureShared creates the (*,G) entry and propagates a (*,G) join toward
+// the RP if this router is not the RP.
+func (r *Router) ensureShared(g addr.Addr) *route {
+	e := r.shared[g]
+	if e != nil {
+		return e
+	}
+	e = &route{iif: -1, oifs: make(map[int]bool), rptBits: make(map[addr.Addr]map[int]bool)}
+	r.shared[g] = e
+	rp := r.RPs[g]
+	if rp == r.node.Addr {
+		return e
+	}
+	rtq, ok := r.rt.NextHop(r.node.ID, rp)
+	if !ok || rtq.Ifindex < 0 {
+		return e
+	}
+	e.iif = rtq.Ifindex
+	r.Metrics.JoinsSent++
+	r.sendCtrl(rtq.Ifindex, &JoinPrune{G: g, Join: true, Target: rp})
+	return e
+}
+
+func (r *Router) maybePruneShared(g addr.Addr) {
+	e := r.shared[g]
+	if e == nil || len(e.oifs) > 0 || len(r.members[g]) > 0 || r.isRP(g) {
+		return
+	}
+	if e.iif >= 0 {
+		r.Metrics.PrunesSent++
+		r.sendCtrl(e.iif, &JoinPrune{G: g, Join: false, Target: r.RPs[g]})
+	}
+	delete(r.shared, g)
+}
+
+// ensureSource creates an (S,G) entry and joins toward the source.
+func (r *Router) ensureSource(s, g addr.Addr) *route {
+	key := sg{s, g}
+	e := r.sources[key]
+	if e != nil {
+		return e
+	}
+	e = &route{iif: -1, oifs: make(map[int]bool)}
+	r.sources[key] = e
+	rtq, ok := r.rt.NextHop(r.node.ID, s)
+	if ok && rtq.Ifindex >= 0 {
+		e.iif = rtq.Ifindex
+		r.Metrics.JoinsSent++
+		r.sendCtrl(rtq.Ifindex, &JoinPrune{G: g, S: s, Join: true, Target: s})
+	}
+	return e
+}
+
+// Receive implements netsim.Handler.
+func (r *Router) Receive(ifindex int, pkt *netsim.Packet) {
+	switch m := pkt.Payload.(type) {
+	case *JoinPrune:
+		r.handleJoinPrune(ifindex, m)
+	case *Register:
+		r.handleRegister(pkt, m)
+	case *RegisterStop:
+		if pkt.Dst == r.node.Addr {
+			r.registerStopped[sg{m.S, m.G}] = true
+		} else {
+			r.forwardUnicast(pkt)
+		}
+	default:
+		if pkt.Proto == netsim.ProtoData && pkt.Dst.IsMulticast() {
+			r.forwardData(ifindex, pkt)
+		} else if pkt.Dst != r.node.Addr {
+			r.forwardUnicast(pkt)
+		}
+	}
+}
+
+func (r *Router) handleJoinPrune(ifindex int, m *JoinPrune) {
+	switch {
+	case m.Join && m.S == 0:
+		r.Metrics.JoinsRecv++
+		e := r.ensureShared(m.G)
+		e.oifs[ifindex] = true
+	case !m.Join && m.S == 0:
+		r.Metrics.PrunesRecv++
+		if e := r.shared[m.G]; e != nil {
+			delete(e.oifs, ifindex)
+			r.maybePruneShared(m.G)
+		}
+	case m.Join && m.S != 0 && !m.RPT:
+		r.Metrics.JoinsRecv++
+		e := r.ensureSource(m.S, m.G)
+		e.oifs[ifindex] = true
+	case !m.Join && m.S != 0 && m.RPT:
+		// (S,G,rpt) prune: stop sending S's RP-tree traffic this way.
+		r.Metrics.PrunesRecv++
+		if e := r.shared[m.G]; e != nil {
+			if e.rptBits[m.S] == nil {
+				e.rptBits[m.S] = make(map[int]bool)
+			}
+			e.rptBits[m.S][ifindex] = true
+		}
+	case !m.Join && m.S != 0:
+		r.Metrics.PrunesRecv++
+		key := sg{m.S, m.G}
+		if e := r.sources[key]; e != nil {
+			delete(e.oifs, ifindex)
+			if len(e.oifs) == 0 {
+				if e.iif >= 0 {
+					r.Metrics.PrunesSent++
+					r.sendCtrl(e.iif, &JoinPrune{G: m.G, S: m.S, Join: false, Target: m.S})
+				}
+				delete(r.sources, key)
+			}
+		}
+	}
+}
+
+// handleRegister processes the unicast register tunnel at transit routers
+// (forward toward the RP) and at the RP (decapsulate onto the shared tree
+// and join the source tree).
+func (r *Router) handleRegister(outer *netsim.Packet, m *Register) {
+	if outer.Dst != r.node.Addr {
+		r.forwardUnicast(outer)
+		return
+	}
+	r.Metrics.RegistersRecv++
+	inner := m.Inner
+	if inner == nil {
+		return
+	}
+	g, s := inner.Dst, inner.Src
+	key := sg{s, g}
+	e := r.shared[g]
+	if e == nil || (len(e.oifs) == 0 && len(r.members[g]) == 0) {
+		// RP with no receivers: stop the register tunnel immediately and
+		// keep no source-tree state.
+		r.sendRegisterStop(s, g)
+		return
+	}
+	// Forward the decapsulated packet down the shared tree.
+	r.emit(r.oifUnion(key, nil), g, -1, inner)
+	// Join the source tree so traffic arrives natively (then stop the
+	// register tunnel).
+	if !r.rpJoined[key] {
+		r.rpJoined[key] = true
+		r.ensureSource(s, g)
+	}
+}
+
+// oifUnion computes the inherited outgoing interface list for (S,G) data:
+// joined(S,G) ∪ joined(*,G) − prune(S,G,rpt) — the PIM inheritance rule
+// that lets source-tree data reach shared-tree-only subtrees.
+func (r *Router) oifUnion(key sg, srcEntry *route) map[int]bool {
+	out := make(map[int]bool)
+	if srcEntry == nil {
+		srcEntry = r.sources[key]
+	}
+	if srcEntry != nil {
+		for i := range srcEntry.oifs {
+			out[i] = true
+		}
+	}
+	if se := r.shared[key.g]; se != nil {
+		rpt := se.rptBits[key.s]
+		for i := range se.oifs {
+			if !rpt[i] {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// forwardData forwards a native multicast packet: (S,G) state first, then
+// (*,G), per the longest-match rule. DRs of directly attached sources also
+// register-encapsulate toward the RP until stopped.
+func (r *Router) forwardData(ifindex int, pkt *netsim.Packet) {
+	g, s := pkt.Dst, pkt.Src
+	key := sg{s, g}
+
+	// DR duty: a packet arriving from a directly attached source host (the
+	// RPF interface toward s is the arrival interface and s is one hop
+	// away) is registered to the RP until a RegisterStop arrives.
+	if r.isDRFor(s, ifindex) && !r.registerStopped[key] {
+		if rp, ok := r.RPs[g]; ok && rp != r.node.Addr {
+			if rtq, ok2 := r.rt.NextHop(r.node.ID, rp); ok2 && rtq.Ifindex >= 0 {
+				r.Metrics.RegistersSent++
+				r.node.Send(rtq.Ifindex, &netsim.Packet{
+					Src: r.node.Addr, Dst: rp, Proto: netsim.ProtoPIM,
+					TTL: netsim.DefaultTTL, Size: pkt.Size + 20,
+					Payload: &Register{Inner: pkt},
+				})
+			}
+		}
+	}
+
+	if e := r.sources[key]; e != nil {
+		if e.iif != -1 && e.iif != ifindex && !r.isDRFor(s, ifindex) {
+			r.Metrics.DataDropped++
+			return
+		}
+		// Native (S,G) data at the RP stops the register tunnel.
+		if r.isRP(g) && !r.registerStopped[key] && e.iif == ifindex {
+			r.registerStopped[key] = true
+			r.sendRegisterStop(s, g)
+		}
+		r.emit(r.oifUnion(key, e), g, ifindex, pkt)
+		return
+	}
+	e := r.shared[g]
+	if e == nil {
+		r.Metrics.DataDropped++
+		return
+	}
+	if e.iif != -1 && e.iif != ifindex && !r.isRP(g) {
+		r.Metrics.DataDropped++
+		return
+	}
+	r.trackSPT(key, pkt, e)
+	r.emit(r.oifUnion(key, nil), g, ifindex, pkt)
+}
+
+// isDRFor reports whether this router is the designated router for a
+// directly attached source host: s is one hop away on ifindex.
+func (r *Router) isDRFor(s addr.Addr, ifindex int) bool {
+	rtq, ok := r.rt.NextHop(r.node.ID, s)
+	return ok && rtq.Ifindex == ifindex && rtq.Cost == 1 && r.nodeAddrOf(rtq.NextHop) == s
+}
+
+func (r *Router) nodeAddrOf(id netsim.NodeID) addr.Addr { return r.node.Sim().Node(id).Addr }
+
+// trackSPT implements the shared-tree→source-tree switchover of last-hop
+// routers: once bytes received for (S,G) over the shared tree pass the
+// threshold, join the SPT and prune S off the RP tree.
+func (r *Router) trackSPT(key sg, pkt *netsim.Packet, shared *route) {
+	if r.SPTThresholdBytes < 0 || r.sptSwitched[key] || len(r.members[key.g]) == 0 {
+		return
+	}
+	r.sptBytes[key] += pkt.Size
+	if r.sptBytes[key] <= r.SPTThresholdBytes {
+		return
+	}
+	r.sptSwitched[key] = true
+	r.Metrics.SPTSwitches++
+	e := r.ensureSource(key.s, key.g)
+	for hostIf := range r.members[key.g] {
+		e.oifs[hostIf] = true
+	}
+	// Prune S off the shared tree upstream.
+	if shared.iif >= 0 {
+		r.Metrics.PrunesSent++
+		r.sendCtrl(shared.iif, &JoinPrune{G: key.g, S: key.s, Join: false, RPT: true, Target: r.RPs[key.g]})
+	}
+}
+
+// emit forwards a packet out the computed interface set (minus arrival)
+// and notifies local delivery.
+func (r *Router) emit(oifs map[int]bool, g addr.Addr, arrivalIf int, pkt *netsim.Packet) {
+	if pkt.TTL <= 1 {
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.TTL--
+	sent := false
+	for oif := range oifs {
+		if oif == arrivalIf {
+			continue
+		}
+		r.node.Send(oif, fwd)
+		sent = true
+	}
+	if sent {
+		r.Metrics.DataForwarded++
+	}
+	if r.OnLocalDeliver != nil && len(r.members[g]) > 0 {
+		r.OnLocalDeliver(pkt)
+	}
+}
+
+func (r *Router) sendRegisterStop(s, g addr.Addr) {
+	// The register tunnel's DR is the source's first-hop router; address
+	// the stop to it by walking one unicast hop back from the source.
+	drAddr := r.drOf(s)
+	if drAddr == 0 {
+		return
+	}
+	r.Metrics.RegisterStops++
+	rtq, ok := r.rt.NextHop(r.node.ID, drAddr)
+	if !ok || rtq.Ifindex < 0 {
+		return
+	}
+	r.node.Send(rtq.Ifindex, &netsim.Packet{
+		Src: r.node.Addr, Dst: drAddr, Proto: netsim.ProtoPIM,
+		TTL: netsim.DefaultTTL, Size: ctrlSize, Payload: &RegisterStop{G: g, S: s},
+	})
+}
+
+// drOf finds the designated router of host s: the router adjacent to s on
+// s's edge link.
+func (r *Router) drOf(s addr.Addr) addr.Addr {
+	id, ok := r.rt.NodeByAddr(s)
+	if !ok {
+		return 0
+	}
+	host := r.node.Sim().Node(id)
+	for _, peers := range host.Neighbors() {
+		for _, p := range peers {
+			return r.nodeAddrOf(p.Node)
+		}
+	}
+	return 0
+}
+
+func (r *Router) sendCtrl(ifindex int, m *JoinPrune) {
+	r.node.Send(ifindex, &netsim.Packet{
+		Src: r.node.Addr, Dst: addr.WellKnownECMP, Proto: netsim.ProtoPIM,
+		TTL: 1, Size: ctrlSize, Payload: m,
+	})
+}
+
+func (r *Router) forwardUnicast(pkt *netsim.Packet) {
+	if pkt.TTL <= 1 {
+		return
+	}
+	rtq, ok := r.rt.NextHop(r.node.ID, pkt.Dst)
+	if !ok || rtq.Ifindex < 0 {
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.TTL--
+	r.node.Send(rtq.Ifindex, fwd)
+}

@@ -1,0 +1,147 @@
+package pimsm
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+	"repro/internal/unicast"
+)
+
+var group = addr.MustParse("239.7.7.7")
+
+// build constructs the stretch topology of the paper's RP-detour argument:
+//
+//	src - r0 - r1 - r2 - r3 - r4(RP)
+//	                |
+//	             member
+//
+// The member is 2 hops from the source directly, but the shared tree pulls
+// data source→RP→member: 4 + 2 = 6 router hops before SPT switchover.
+func build(t *testing.T, sptThreshold int) (*netsim.Sim, []*Router, *testutil.Host, *testutil.Host) {
+	t.Helper()
+	sim := netsim.New(31)
+	rn := netsim.AddRouters(sim, 5)
+	for i := 0; i < 4; i++ {
+		sim.Connect(rn[i], rn[i+1], netsim.DefaultWAN.Delay, netsim.DefaultWAN.Bps, 1)
+	}
+	src, _ := testutil.AttachCountingHost(sim, rn[0], 0)
+	member, mIf := testutil.AttachCountingHost(sim, rn[2], 1)
+
+	rt := unicast.Compute(sim)
+	rps := map[addr.Addr]addr.Addr{group: rn[4].Addr}
+	routers := make([]*Router, 5)
+	for i, n := range rn {
+		routers[i] = New(n, rt, rps)
+		routers[i].SPTThresholdBytes = sptThreshold
+	}
+	routers[2].JoinLocal(group, mIf)
+	return sim, routers, src, member
+}
+
+func TestRegisterPathDelivers(t *testing.T) {
+	sim, routers, src, member := build(t, -1) // no SPT switchover
+	sim.RunUntil(100 * netsim.Millisecond)    // let (*,G) joins reach the RP
+
+	if routers[4].StateEntries() == 0 {
+		t.Fatal("RP has no (*,G) state after member join")
+	}
+
+	sim.After(0, func() { src.SendMulticast(group, 1000) })
+	sim.RunUntil(netsim.Second)
+
+	if member.Delivered == 0 {
+		t.Fatal("member received nothing via the register/shared-tree path")
+	}
+	if routers[0].Metrics.RegistersSent == 0 {
+		t.Error("source DR sent no Register")
+	}
+	if routers[4].Metrics.RegistersRecv == 0 {
+		t.Error("RP received no Register")
+	}
+}
+
+func TestRegisterStopAfterNativePath(t *testing.T) {
+	sim, routers, src, member := build(t, -1)
+	sim.RunUntil(100 * netsim.Millisecond)
+
+	// A burst of packets: the RP joins (S,G), native data reaches it, it
+	// sends RegisterStop, and the DR stops encapsulating.
+	for i := 0; i < 10; i++ {
+		d := netsim.Time(i) * 100 * netsim.Millisecond
+		sim.At(sim.Now()+d, func() { src.SendMulticast(group, 1000) })
+	}
+	sim.RunUntil(5 * netsim.Second)
+
+	if routers[4].Metrics.RegisterStops == 0 {
+		t.Error("RP never sent RegisterStop")
+	}
+	regs := routers[0].Metrics.RegistersSent
+	if regs >= 10 {
+		t.Errorf("DR registered all %d packets; register tunnel never stopped", regs)
+	}
+	if member.Delivered < 10 {
+		t.Errorf("member delivered = %d, want >= 10", member.Delivered)
+	}
+}
+
+// TestSPTSwitchoverReducesDelay reproduces the delay-stretch story of
+// Sections 3.6/4.4: traffic detours via the RP until the last-hop router
+// switches to the source tree, after which delay drops to the direct path.
+func TestSPTSwitchoverReducesDelay(t *testing.T) {
+	sim, routers, src, member := build(t, 0) // switch on first packet
+	sim.RunUntil(100 * netsim.Millisecond)
+
+	sendAt := sim.Now()
+	sim.After(0, func() { src.SendMulticast(group, 1000) })
+	sim.RunUntil(sendAt + 2*netsim.Second)
+	if member.Delivered == 0 {
+		t.Fatal("first packet not delivered")
+	}
+	firstDelay := member.DeliveredAt[0] - sendAt
+
+	// Give the (S,G) join time to reach the source's DR, then measure the
+	// steady-state path.
+	sim.RunUntil(sim.Now() + 3*netsim.Second)
+	sendAt2 := sim.Now()
+	sim.After(0, func() { src.SendMulticast(group, 1000) })
+	sim.RunUntil(sendAt2 + 2*netsim.Second)
+	if member.Delivered < 2 {
+		t.Fatal("second packet not delivered")
+	}
+	lastDelay := member.DeliveredAt[len(member.DeliveredAt)-1] - sendAt2
+
+	if routers[2].Metrics.SPTSwitches == 0 {
+		t.Error("last-hop router never switched to the SPT")
+	}
+	// Direct path ≈ 2 WAN hops; register/shared path ≈ 6. Require a clear
+	// improvement.
+	if lastDelay >= firstDelay {
+		t.Errorf("SPT delay %v not lower than shared-tree delay %v", lastDelay, firstDelay)
+	}
+	if lastDelay > 3*netsim.DefaultWAN.Delay {
+		t.Errorf("steady-state delay %v exceeds the direct path bound", lastDelay)
+	}
+}
+
+func TestNoStateWithoutMembers(t *testing.T) {
+	sim, routers, src, _ := build(t, -1)
+	// Leave before any traffic: tearing down the only membership must
+	// remove all (*,G) state from the path to the RP.
+	// r2's interfaces: 0 toward r1, 1 toward r3, 2 the member host edge.
+	sim.At(50*netsim.Millisecond, func() { routers[2].LeaveLocal(group, 2) })
+	sim.RunUntil(200 * netsim.Millisecond)
+
+	sim.After(0, func() { src.SendMulticast(group, 1000) })
+	sim.RunUntil(netsim.Second)
+
+	for i, r := range routers {
+		if i == 4 {
+			continue // the RP may retain (S,G) state from the register
+		}
+		if n := r.StateEntries(); n != 0 && i != 0 {
+			t.Errorf("router %d holds %d entries after last leave", i, n)
+		}
+	}
+}

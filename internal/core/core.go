@@ -1,0 +1,82 @@
+// Package core is the front door to the paper's primary contribution: the
+// EXPRESS multicast channel model and its management protocol ECMP.
+//
+// The implementation lives in focused packages — internal/ecmp (the router
+// engine), internal/express (the host service interface of Section 2.1),
+// internal/fib (Section 3.4 forwarding), internal/wire (the message
+// encodings) — and this package re-exports the types a user composes so
+// that the library reads as one API:
+//
+//	net := testutil.LineNet(1, 3, core.DefaultConfig())
+//	src := net.AddSource(net.Routers[0])
+//	sub := net.AddSubscriber(net.Routers[2])
+//	net.Start()
+//
+//	ch, _ := src.CreateChannel()
+//	sub.Subscribe(ch, nil, nil)
+//	...
+//
+// The model in one paragraph (Section 2): a channel is (S,E) — exactly one
+// explicitly designated source S and a destination E from the 232/8
+// single-source range. Only S may send; subscribers request (S,E)
+// explicitly; two channels sharing E but not S are unrelated. One protocol
+// (ECMP, three messages) both maintains the distribution tree —
+// subscription is an unsolicited subscriber Count routed toward S by
+// reverse-path forwarding — and aggregates counts and votes back up the
+// same tree.
+package core
+
+import (
+	"repro/internal/addr"
+	"repro/internal/ecmp"
+	"repro/internal/express"
+	"repro/internal/netsim"
+	"repro/internal/unicast"
+	"repro/internal/wire"
+)
+
+// Channel identifies an EXPRESS channel (S,E).
+type Channel = addr.Channel
+
+// Addr is an IPv4-style address.
+type Addr = addr.Addr
+
+// Key is the channel authenticator K(S,E).
+type Key = wire.Key
+
+// CountID selects the attribute a CountQuery aggregates.
+type CountID = wire.CountID
+
+// Reserved and range-marker count identifiers (Sections 3.1–3.3).
+const (
+	CountSubscribers = wire.CountSubscribers
+	CountNeighbors   = wire.CountNeighbors
+	CountLinks       = wire.CountLinks
+	AppCountBase     = wire.AppCountBase
+)
+
+// Router is an EXPRESS/ECMP router.
+type Router = ecmp.Router
+
+// Config tunes a Router.
+type Config = ecmp.Config
+
+// Source and Subscriber are the host-side stacks of Section 2.1.
+type (
+	Source     = express.Source
+	Subscriber = express.Subscriber
+)
+
+// DefaultConfig returns the production-flavoured router defaults.
+func DefaultConfig() Config { return ecmp.DefaultConfig() }
+
+// NewRouter attaches an ECMP router to a simulator node.
+func NewRouter(node *netsim.Node, rt *unicast.Routing, cfg Config) *Router {
+	return ecmp.NewRouter(node, rt, cfg)
+}
+
+// NewSource attaches a source host stack to a node.
+func NewSource(node *netsim.Node) *Source { return express.NewSource(node) }
+
+// NewSubscriber attaches a subscriber host stack to a node.
+func NewSubscriber(node *netsim.Node) *Subscriber { return express.NewSubscriber(node) }

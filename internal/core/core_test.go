@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+)
+
+// TestFacadeEndToEnd drives the whole stack through the core facade alone.
+func TestFacadeEndToEnd(t *testing.T) {
+	net := testutil.LineNet(80, 3, core.DefaultConfig())
+	src := net.AddSource(net.Routers[0])
+	sub := net.AddSubscriber(net.Routers[2])
+	net.Start()
+
+	ch, err := src.CreateChannel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c core.Channel = ch // the facade aliases the real types
+	if !c.Valid() {
+		t.Fatal("allocated channel invalid")
+	}
+
+	net.Sim.At(0, func() { sub.Subscribe(ch, nil, nil) })
+	net.Sim.RunUntil(netsim.Second)
+	net.Sim.After(0, func() { _ = src.Send(ch, 256, "payload") })
+
+	var count uint32
+	net.Sim.After(0, func() {
+		src.CountQuery(ch, core.CountSubscribers, netsim.Second, false,
+			func(n uint32, ok bool) { count = n })
+	})
+	net.Sim.RunUntil(5 * netsim.Second)
+
+	if sub.Delivered != 1 {
+		t.Errorf("delivered = %d, want 1", sub.Delivered)
+	}
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+}

@@ -1,0 +1,97 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+// TestPaperConstantsReproduce checks every number Section 5 prints against
+// the model with the paper's own constants.
+func TestPaperConstantsReproduce(t *testing.T) {
+	m := Paper()
+
+	// "each 12 byte FIB entry uses 0.066 cents of memory (based on a price
+	// of $55 per megabyte)"
+	approx(t, "entry cost", m.EntryCostDollars(), 0.00066, 1e-9)
+
+	// Conference: c_s ≤ 10·10·25·$0.00066·1200/(31536000·0.01)
+	conf := m.Conference()
+	if conf.Entries != 2500 {
+		t.Errorf("conference entries = %d, want 2500", conf.Entries)
+	}
+	want := 10 * 10 * 25 * 0.00066 * 1200 / (31536000 * 0.01)
+	approx(t, "conference cost", conf.TotalDollars, want, 1e-9)
+	if conf.TotalDollars > 0.08 {
+		t.Errorf("conference cost $%v breaks the paper's 'less than eight cents' bound", conf.TotalDollars)
+	}
+
+	// Ticker: 200000 × $0.00066 / 0.01 per year.
+	tick := m.StockTicker()
+	approx(t, "ticker yearly", tick.TotalDollars, 200000*0.00066/0.01, 1e-6)
+}
+
+func TestMgmtStateBudget(t *testing.T) {
+	m := PaperMgmt()
+	// 32×3×2 + 8 = 200 bytes (Section 5.2).
+	if got := m.BytesPerChannel(); got != 200 {
+		t.Errorf("bytes/channel = %d, want 200", got)
+	}
+	// "less than 1/50-th of a cent" at $1/MB (exactly 1/50 with the round
+	// 200-byte budget).
+	if d := m.DollarsPerChannel(); d > 0.01/50 {
+		t.Errorf("cost/channel $%v, want <= $0.0002", d)
+	}
+}
+
+func TestMaintenanceRates(t *testing.T) {
+	m := PaperMaintenance()
+	recv, sent, total := m.EventRates()
+	// "the router receives four million Count messages every 20 minutes,
+	// and sends two million ... 3,333 requests per second"
+	approx(t, "recv/s", recv, 3333, 1)
+	approx(t, "sent/s", sent, 1667, 1)
+	// "approximately 5000 Count events per second"
+	approx(t, "total/s", total, 5000, 1)
+
+	segs, bps := m.ControlBandwidth()
+	// "36 (3333/92) data segments, or 424 kilobits per second"
+	approx(t, "segments/s", segs, 36.2, 0.3)
+	if bps < 400_000 || bps > 450_000 {
+		t.Errorf("control bandwidth %v bit/s, want ≈424-429 kbit/s", bps)
+	}
+}
+
+func TestCyclesConversions(t *testing.T) {
+	// 2,700 cycles on a 400 MHz CPU is 6.75 µs.
+	ns := 2700.0 / 0.4
+	approx(t, "cycles->ns", CyclesPerEvent(ns, 0.4), 2700, 1e-9)
+	// "Event processing at this rate used four percent of the CPU":
+	// 4,500 ev/s × 3,500 cyc / 400 MHz ≈ 3.9%.
+	u := CPUUtilization(4500, 3500, 400e6)
+	approx(t, "CPU util", u, 0.039, 0.002)
+	// "a sustained rate of 33,000 events per second was reached using 43%
+	// of the CPU, or 5200 cycles per event".
+	u2 := CPUUtilization(33000, 5200, 400e6)
+	approx(t, "CPU util 2", u2, 0.43, 0.01)
+}
+
+func TestScenarioScaling(t *testing.T) {
+	m := Paper()
+	// Doubling the session duration doubles its apportioned cost.
+	a := m.SessionCost(1, 10, 25, 600)
+	b := m.SessionCost(1, 10, 25, 1200)
+	approx(t, "duration scaling", b/a, 2, 1e-9)
+	// Higher utilization spreads fixed cost over more sessions → cheaper.
+	m2 := m
+	m2.Utilization = 0.10
+	if m2.SessionCost(1, 10, 25, 600) >= a {
+		t.Error("higher utilization did not reduce apportioned cost")
+	}
+}

@@ -1,0 +1,66 @@
+package costmodel
+
+import "repro/internal/wire"
+
+// MaintenanceModel is the Section 5.3 state-maintenance arithmetic: a
+// router with many active channels processes subscribe/unsubscribe Count
+// events and exchanges batched control traffic with its neighbors.
+type MaintenanceModel struct {
+	// ActiveChannels at the router (one million in the paper's scenario).
+	ActiveChannels int
+	// ChannelLifetimeSec is each channel's active lifetime (20 minutes).
+	ChannelLifetimeSec float64
+	// Fanout is the average downstream fan-out (2 in the paper: "a
+	// multicast tree 20 hops deep with a fanout of two has 2^20 or one
+	// million members").
+	Fanout int
+}
+
+// PaperMaintenance returns the million-channel scenario of Section 5.3.
+func PaperMaintenance() MaintenanceModel {
+	return MaintenanceModel{ActiveChannels: 1_000_000, ChannelLifetimeSec: 20 * 60, Fanout: 2}
+}
+
+// EventRates returns the control-message processing load: with TCP
+// operation each channel costs one subscribe and one unsubscribe Count per
+// downstream neighbor per lifetime (no periodic refresh), received from
+// Fanout children and aggregated into one of each sent upstream.
+//
+// Paper numbers: "the router receives four million Count messages every 20
+// minutes, and sends two million ... processing 3,333 requests per second
+// and generating half as many, for a total of approximately 5000 Count
+// events per second."
+func (m MaintenanceModel) EventRates() (recvPerSec, sentPerSec, totalPerSec float64) {
+	recvPerLifetime := float64(m.ActiveChannels) * float64(m.Fanout) * 2 // sub+unsub per child
+	sentPerLifetime := float64(m.ActiveChannels) * 2                     // aggregate sub+unsub upstream
+	recvPerSec = recvPerLifetime / m.ChannelLifetimeSec
+	sentPerSec = sentPerLifetime / m.ChannelLifetimeSec
+	return recvPerSec, sentPerSec, recvPerSec + sentPerSec/2 + sentPerSec/2
+}
+
+// ControlBandwidth returns the batched control-traffic bandwidth in bits
+// per second for the received direction, using the Section 5.3 packing of
+// CountsPerSegment 16-byte Counts per 1480-byte segment. The paper: "a
+// router would receive 36 (3333/92) data segments, or 424 kilobits per
+// second of control traffic, and send half as much."
+func (m MaintenanceModel) ControlBandwidth() (segmentsPerSec, bitsPerSec float64) {
+	recv, _, _ := m.EventRates()
+	segmentsPerSec = recv / float64(wire.CountsPerSegment)
+	bitsPerSec = segmentsPerSec * float64(wire.MaxSegment) * 8
+	return segmentsPerSec, bitsPerSec
+}
+
+// CyclesPerEvent converts a measured per-event processing time to CPU
+// cycles at the given clock, for comparison with the paper's 400 MHz
+// Pentium-II numbers (≈3,500–5,200 cycles per event; median ≈2,700 per
+// subscribe and ≈3,300 per unsubscribe, plus ≈995 for buffer management and
+// a simulated ≈400-cycle RPF calculation).
+func CyclesPerEvent(nsPerEvent float64, clockGHz float64) float64 {
+	return nsPerEvent * clockGHz
+}
+
+// CPUUtilization returns the fraction of one core consumed processing
+// events at the given rate and per-event cost.
+func CPUUtilization(eventsPerSec, cyclesPerEvent, clockHz float64) float64 {
+	return eventsPerSec * cyclesPerEvent / clockHz
+}

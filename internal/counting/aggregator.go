@@ -1,0 +1,77 @@
+package counting
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+// Aggregator is a single proactive-counting node: it watches the true
+// membership count and advertises it upstream under the error-tolerance
+// curve. This models the Section 6 simulation at one aggregation point —
+// every send decision is made by the curve, which is the regime where the
+// α parameter's bandwidth/accuracy trade-off is visible (Figure 8's
+// "total bandwidth used is approximately 2/3" comparison).
+type Aggregator struct {
+	Curve Curve
+
+	cur        float64
+	advertised float64
+	everAdv    bool
+	lastSent   netsim.Time
+
+	// Sent is every advertisement: the cumulative-messages series of
+	// Figure 8's lower graph.
+	Sent []workload.SizePoint
+}
+
+// Observe updates the true count at time at and returns true if an
+// advertisement was sent.
+func (a *Aggregator) Observe(at netsim.Time, count int) bool {
+	a.cur = float64(count)
+	return a.maybeSend(at)
+}
+
+// Tick re-evaluates the curve at time at without a count change (tolerance
+// decays with time, so a held-back error may become sendable).
+func (a *Aggregator) Tick(at netsim.Time) bool { return a.maybeSend(at) }
+
+func (a *Aggregator) maybeSend(at netsim.Time) bool {
+	if a.everAdv && a.cur == a.advertised {
+		return false
+	}
+	err := RelError(a.cur, a.advertised)
+	dt := (at - a.lastSent).Seconds()
+	if a.everAdv && err <= a.Curve.Eval(dt) {
+		return false
+	}
+	a.advertised = a.cur
+	a.everAdv = true
+	a.lastSent = at
+	a.Sent = append(a.Sent, workload.SizePoint{At: at, Size: int(a.cur)})
+	return true
+}
+
+// Estimate returns the last advertised value.
+func (a *Aggregator) Estimate() int { return int(a.advertised) }
+
+// Figure8Single replays a membership script against a single proactive
+// aggregator, ticking every tickEvery to model continuous curve decay.
+// It returns the advertisement series and the message count.
+func Figure8Single(curve Curve, script []workload.MembershipEvent, end, tickEvery netsim.Time) (sent []workload.SizePoint, messages int) {
+	agg := &Aggregator{Curve: curve}
+	size := 0
+	i := 0
+	for at := netsim.Time(0); at <= end; at += tickEvery {
+		for i < len(script) && script[i].At <= at {
+			if script[i].Join {
+				size++
+			} else {
+				size--
+			}
+			agg.Observe(script[i].At, size)
+			i++
+		}
+		agg.Tick(at)
+	}
+	return agg.Sent, len(agg.Sent)
+}

@@ -1,0 +1,135 @@
+package counting
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Application-layer counting baselines (Section 7.3). These schemes run on
+// end hosts only: the network gives no help, so scalability comes from
+// probabilistic polling plus either suppression or multiple rounds. The
+// paper's criticism: "there is a risk of serious feedback implosion and
+// congestion if the suppressing reply ... is lost on any large branch of
+// the tree or if misbehaving clients respond when they should not."
+
+// SuppressionResult is the outcome of one suppression-based polling round.
+type SuppressionResult struct {
+	Responses int     // replies that actually reached the source
+	Estimate  float64 // group-size estimate derived from the response count
+	Imploded  bool    // responses exceeded the implosion threshold
+}
+
+// SuppressionParams configures the Nonnenmacher/Biersack-style estimator:
+// the source polls with response probability p; receivers hearing another
+// reply first (within the suppression window) stay quiet.
+type SuppressionParams struct {
+	N int // true group size (hidden from the estimator)
+	P float64
+	// SuppressionLossProb is the probability that the suppressing reply is
+	// lost on a branch, so that branch's responders all reply — the failure
+	// mode the paper calls out.
+	SuppressionLossProb float64
+	// Branches approximates the number of independent suppression domains
+	// (subtrees that hear each other's replies).
+	Branches int
+	// MisbehavingFrac is the fraction of clients that respond regardless
+	// of suppression.
+	MisbehavingFrac float64
+	// ImplosionThreshold is how many near-simultaneous replies the source
+	// (and its access link) can absorb.
+	ImplosionThreshold int
+}
+
+// RunSuppression simulates one polling round.
+func RunSuppression(p SuppressionParams, rng *rand.Rand) SuppressionResult {
+	if p.Branches <= 0 {
+		p.Branches = 1
+	}
+	perBranch := p.N / p.Branches
+	responses := 0
+
+	for b := 0; b < p.Branches; b++ {
+		// Count the would-be responders in this suppression domain.
+		responders := 0
+		for i := 0; i < perBranch; i++ {
+			if rng.Float64() < p.P {
+				responders++
+			}
+		}
+		suppressionWorks := rng.Float64() >= p.SuppressionLossProb
+		switch {
+		case responders == 0:
+			// nothing to send
+		case suppressionWorks:
+			responses++ // first reply suppresses the rest of the branch
+		default:
+			responses += responders // lost suppressor: everyone replies
+		}
+		// Misbehaving clients ignore suppression entirely.
+		responses += int(float64(perBranch) * p.MisbehavingFrac * p.P)
+	}
+
+	est := 0.0
+	if p.P > 0 {
+		// With perfect suppression the estimator sees one reply per branch
+		// that had any responder: P(branch responds) = 1−(1−p)^n/B.
+		// Invert for n. (This is the estimator's model, not ground truth.)
+		frac := float64(responses) / float64(p.Branches)
+		if frac >= 1 {
+			frac = 0.999
+		}
+		est = math.Log(1-frac) / math.Log(1-p.P) * float64(p.Branches)
+	}
+	return SuppressionResult{
+		Responses: responses,
+		Estimate:  est,
+		Imploded:  responses > p.ImplosionThreshold,
+	}
+}
+
+// MultiRoundResult is the outcome of a Bolot-style multi-round estimate.
+type MultiRoundResult struct {
+	Rounds    int
+	Responses int // total replies across all rounds
+	Estimate  float64
+}
+
+// RunMultiRound simulates the multi-round probabilistic polling scheme: the
+// source starts with a tiny response probability and doubles it each round
+// until it collects at least target replies, then estimates N from the
+// response rate. It avoids implosion but needs several round trips — the
+// "slower than suppression-based approaches" trade-off of Section 7.3.
+func RunMultiRound(n int, target int, rng *rand.Rand) MultiRoundResult {
+	res := MultiRoundResult{}
+	p := 1.0 / float64(1<<20) // start assuming up to ~10^6 receivers
+	for p < 1.0 {
+		res.Rounds++
+		got := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				got++
+			}
+		}
+		res.Responses += got
+		if got >= target {
+			res.Estimate = float64(got) / p
+			return res
+		}
+		p *= 2
+	}
+	res.Rounds++
+	res.Responses += n
+	res.Estimate = float64(n)
+	return res
+}
+
+// ECMPCountCost returns the message cost of one exact ECMP CountQuery over
+// a distribution tree with the given number of routers and subscriber
+// hosts: one query and one reply per tree edge (routers−1 internal edges
+// plus one edge per subscriber host). maxFanIn is the largest number of
+// near-simultaneous replies any single node must absorb — its tree fan-out,
+// not the group size, which is why no implosion is possible (Section 7.3).
+func ECMPCountCost(routers, subscribers, fanout int) (messages int, maxFanIn int) {
+	edges := (routers - 1) + subscribers
+	return 2 * edges, fanout
+}

@@ -1,0 +1,197 @@
+package counting
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+func TestCurveProperties(t *testing.T) {
+	// Invariants from Section 6: e(0) = EMax; 0 ≤ e ≤ EMax everywhere;
+	// non-increasing in dt; x-intercept at τ.
+	f := func(emaxRaw, alphaRaw, tauRaw uint16, dtRaw uint32) bool {
+		c := Curve{
+			EMax:  0.01 + float64(emaxRaw)/65535*10,
+			Alpha: 0.1 + float64(alphaRaw)/65535*10,
+			Tau:   1 + float64(tauRaw%10000),
+		}
+		dt := float64(dtRaw%20000) / 10
+		e := c.Eval(dt)
+		if e < 0 || e > c.EMax {
+			return false
+		}
+		if c.Eval(0) != c.EMax {
+			return false
+		}
+		if dt >= c.Tau && e != 0 {
+			return false // any change propagates within τ
+		}
+		// Monotone non-increasing.
+		return c.Eval(dt+1) <= e+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurveDeadlineInverse(t *testing.T) {
+	// Deadline is the inverse of Eval wherever the curve is strictly
+	// decreasing: Eval(Deadline(err)) ≈ err for 0 < err < EMax.
+	c := Curve{EMax: 1, Alpha: 4, Tau: 120}
+	for _, err := range []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.99} {
+		dt := c.Deadline(err)
+		got := c.Eval(dt)
+		if math.Abs(got-err) > 1e-9 {
+			t.Errorf("Eval(Deadline(%v)) = %v", err, got)
+		}
+	}
+	if c.Deadline(0) != c.Tau {
+		t.Errorf("Deadline(0) = %v, want τ", c.Deadline(0))
+	}
+	if c.Deadline(c.EMax+1) != 0 {
+		t.Errorf("Deadline(>EMax) = %v, want 0", c.Deadline(c.EMax+1))
+	}
+}
+
+func TestAlphaControlsDecayNotMax(t *testing.T) {
+	// "α controls the rate of decay without changing the maximum allowed
+	// error tolerance."
+	c4 := Curve{EMax: 1, Alpha: 4, Tau: 120}
+	c25 := Curve{EMax: 1, Alpha: 2.5, Tau: 120}
+	if c4.Eval(0) != c25.Eval(0) {
+		t.Error("different α changed the maximum tolerance")
+	}
+	// In the decaying region the higher α curve is lower (tighter).
+	for dt := 15.0; dt < 110; dt += 10 {
+		if e4, e25 := c4.Eval(dt), c25.Eval(dt); e4 >= e25 && e25 > 0 && e4 < 1 {
+			t.Errorf("at dt=%v, α=4 tolerance %v not tighter than α=2.5's %v", dt, e4, e25)
+		}
+	}
+}
+
+func TestRelError(t *testing.T) {
+	cases := []struct {
+		cur, adv, want float64
+	}{
+		{100, 100, 0},
+		{110, 100, 0.1},
+		{100, 110, 0.1},
+		{200, 100, 1},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := RelError(c.cur, c.adv); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("RelError(%v,%v) = %v, want %v", c.cur, c.adv, got, c.want)
+		}
+	}
+	if !math.IsInf(RelError(5, 0), 1) || !math.IsInf(RelError(0, 5), 1) {
+		t.Error("zero on one side should be unbounded error")
+	}
+}
+
+func TestAggregatorBoundsStaleness(t *testing.T) {
+	// Invariant: any change is advertised within τ of the last send.
+	agg := &Aggregator{Curve: Curve{EMax: 0.25, Alpha: 4, Tau: 30}}
+	agg.Observe(0, 100) // initial: sends immediately
+	if agg.Estimate() != 100 {
+		t.Fatal("initial observation not advertised")
+	}
+	// A small change (2%) within tolerance: held back...
+	if agg.Observe(netsim.Second, 102) {
+		t.Fatal("2% change sent immediately despite tolerance")
+	}
+	// ...but must go out by τ after the last send.
+	for at := 2 * netsim.Second; at <= 31*netsim.Second; at += netsim.Second {
+		agg.Tick(at)
+	}
+	if agg.Estimate() != 102 {
+		t.Errorf("estimate %d after τ, want 102 (x-intercept guarantee)", agg.Estimate())
+	}
+}
+
+func TestAggregatorLargeChangeImmediate(t *testing.T) {
+	agg := &Aggregator{Curve: Curve{EMax: 0.25, Alpha: 4, Tau: 30}}
+	agg.Observe(0, 100)
+	// +50% exceeds EMax: must send at once.
+	if !agg.Observe(netsim.Millisecond, 150) {
+		t.Fatal("50% change held back")
+	}
+	// Drop to zero: unbounded error, immediate.
+	if !agg.Observe(2*netsim.Millisecond, 0) {
+		t.Fatal("zero transition held back")
+	}
+}
+
+func TestFigure8SingleMessageCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	script := workload.Figure8Script(workload.DefaultFigure8(), rng)
+	end := 420 * netsim.Second
+	sent4, m4 := Figure8Single(Curve{EMax: 0.05, Alpha: 4, Tau: 120}, script, end, 100*netsim.Millisecond)
+	_, mEager := Figure8Single(Curve{EMax: 0, Alpha: 4, Tau: 120}, script, end, 100*netsim.Millisecond)
+
+	if m4 == 0 {
+		t.Fatal("no messages sent")
+	}
+	if m4 >= mEager {
+		t.Errorf("throttled (%d) not cheaper than zero-tolerance (%d)", m4, mEager)
+	}
+	// The final advertisement must reflect the empty group.
+	if last := sent4[len(sent4)-1]; last.Size != 0 {
+		t.Errorf("final advertised size = %d, want 0", last.Size)
+	}
+}
+
+func TestSuppressionHealthyVsBroken(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	healthy := SuppressionParams{N: 1_000_000, P: 0.001, Branches: 64, ImplosionThreshold: 1000}
+	h := RunSuppression(healthy, rng)
+	if h.Imploded {
+		t.Error("healthy suppression imploded")
+	}
+	if h.Responses > healthy.Branches {
+		t.Errorf("healthy responses %d exceed branch count %d", h.Responses, healthy.Branches)
+	}
+
+	broken := healthy
+	broken.P = 0.01 // mis-tuned for the group size
+	broken.SuppressionLossProb = 0.5
+	worst := 0
+	for i := 0; i < 20; i++ {
+		if r := RunSuppression(broken, rng); r.Responses > worst {
+			worst = r.Responses
+		}
+	}
+	if worst <= healthy.Branches {
+		t.Error("lost suppressors never inflated the response count")
+	}
+}
+
+func TestMultiRoundConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1000, 100_000} {
+		r := RunMultiRound(n, 50, rng)
+		if r.Rounds < 2 {
+			t.Errorf("n=%d: converged in %d rounds; the scheme's cost IS the rounds", n, r.Rounds)
+		}
+		if r.Estimate < float64(n)/3 || r.Estimate > float64(n)*3 {
+			t.Errorf("n=%d: estimate %.0f off by more than 3x", n, r.Estimate)
+		}
+		if r.Responses > 4*50+n/100 {
+			t.Errorf("n=%d: %d responses, should stay near the target per round", n, r.Responses)
+		}
+	}
+}
+
+func TestECMPCountCost(t *testing.T) {
+	msgs, fanIn := ECMPCountCost(100, 800, 2)
+	if msgs != 2*(99+800) {
+		t.Errorf("messages = %d", msgs)
+	}
+	if fanIn != 2 {
+		t.Errorf("fan-in = %d, want the tree fanout", fanIn)
+	}
+}

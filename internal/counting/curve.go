@@ -1,0 +1,91 @@
+// Package counting implements the counting machinery of Sections 6 and 7.3
+// that is independent of the router engine: the proactive-counting error
+// tolerance curves (Figure 7), and the application-layer counting baselines
+// EXPRESS is compared against — probabilistic polling with suppression
+// (Nonnenmacher/Biersack-style) and multi-round probabilistic polling
+// (Bolot-style) — together with the implosion-risk analysis of Section 7.3.
+package counting
+
+import "math"
+
+// Curve is the Section 6 error tolerance curve. A point (dt, e) means: a
+// router holds back an upstream Count update while its relative error is
+// below e, where dt is the time since its last update.
+//
+//	e(dt) = clamp(EMax · (−ln(dt/Tau)) / Alpha, 0, EMax)
+//
+// Tau is the x-intercept — "the maximum delay until any change is
+// transmitted upstream" — and Alpha "controls the rate of decay without
+// changing the maximum allowed error tolerance". (Formula reconstructed
+// from the paper's stated properties; the printed form is OCR-mangled.)
+type Curve struct {
+	EMax  float64
+	Alpha float64
+	Tau   float64 // seconds
+}
+
+// Eval returns the tolerance at dt seconds since the last update.
+func (c Curve) Eval(dt float64) float64 {
+	if dt <= 0 {
+		return c.EMax
+	}
+	if c.Tau <= 0 || c.Alpha <= 0 {
+		return 0
+	}
+	e := c.EMax * (-math.Log(dt / c.Tau)) / c.Alpha
+	switch {
+	case e <= 0:
+		return 0 // includes the negative zero at dt == τ exactly
+	case e > c.EMax:
+		return c.EMax
+	}
+	return e
+}
+
+// Deadline inverts the curve: the dt at which the tolerance decays to err.
+// An error of magnitude err may be held back at most this long.
+func (c Curve) Deadline(err float64) float64 {
+	switch {
+	case err >= c.EMax:
+		return 0
+	case err <= 0:
+		return c.Tau
+	}
+	return c.Tau * math.Exp(-c.Alpha*err/c.EMax)
+}
+
+// XIntercept returns the dt beyond which no error is tolerated (= Tau).
+func (c Curve) XIntercept() float64 { return c.Tau }
+
+// Point is one sample of a curve series.
+type Point struct {
+	X, Y float64
+}
+
+// Series samples the curve at n evenly spaced points over [0, maxDt] —
+// the data behind Figure 7.
+func (c Curve) Series(maxDt float64, n int) []Point {
+	out := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		dt := maxDt * float64(i) / float64(n-1)
+		out = append(out, Point{X: dt, Y: c.Eval(dt)})
+	}
+	return out
+}
+
+// RelError is the symmetric relative error between a current value and the
+// last advertised one: max(cur,adv)/min(cur,adv) − 1, with a zero on
+// exactly one side treated as unbounded error.
+func RelError(cur, adv float64) float64 {
+	if cur == adv {
+		return 0
+	}
+	if cur == 0 || adv == 0 {
+		return math.Inf(1)
+	}
+	hi, lo := cur, adv
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	return hi/lo - 1
+}

@@ -1,0 +1,34 @@
+package counting_test
+
+import (
+	"fmt"
+
+	"repro/internal/counting"
+)
+
+// ExampleCurve shows the Section 6 error-tolerance curve: how long a
+// router may hold back a count update of a given relative error.
+func ExampleCurve() {
+	c := counting.Curve{EMax: 0.25, Alpha: 4, Tau: 120}
+	fmt.Printf("tolerance right after an update: %.2f\n", c.Eval(0))
+	fmt.Printf("tolerance a minute later:        %.3f\n", c.Eval(60))
+	fmt.Printf("tolerance at tau:                %.2f\n", c.Eval(120))
+	fmt.Printf("a 10%% error may wait at most:    %.0f s\n", c.Deadline(0.10))
+	// Output:
+	// tolerance right after an update: 0.25
+	// tolerance a minute later:        0.043
+	// tolerance at tau:                0.00
+	// a 10% error may wait at most:    24 s
+}
+
+// ExampleRelError shows the symmetric relative-error measure the curve is
+// compared against.
+func ExampleRelError() {
+	fmt.Printf("%.2f\n", counting.RelError(110, 100))
+	fmt.Printf("%.2f\n", counting.RelError(100, 110))
+	fmt.Printf("%.2f\n", counting.RelError(200, 100))
+	// Output:
+	// 0.10
+	// 0.10
+	// 1.00
+}

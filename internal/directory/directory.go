@@ -1,0 +1,154 @@
+// Package directory implements session advertisement over a "push" EXPRESS
+// channel, the paper's replacement for multicast-based discovery: "Event
+// advertisement can use web page, a 'push' EXPRESS channel from one or more
+// directory services, email, or other means" (Section 4.1). EXPRESS
+// deliberately does not support wide-area multicast discovery ("these
+// techniques are fundamentally not scalable to the wide area", Section 8);
+// instead, a directory service — itself just a single-source channel —
+// carries announcements of upcoming sessions, including their session-relay
+// channel addresses.
+package directory
+
+import (
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/express"
+	"repro/internal/netsim"
+)
+
+// Announcement advertises one upcoming or live session.
+type Announcement struct {
+	Name    string
+	Channel addr.Channel // the session's (SR,E)
+	Relay   addr.Addr    // the session-relay host, for secondary senders
+	Starts  netsim.Time
+	Ends    netsim.Time
+	// Key distribution is out of ECMP's scope (Section 3.2); restricted
+	// sessions say so and distribute K(S,E) out of band.
+	Restricted bool
+}
+
+// announceBatch is the datagram payload: the directory pushes its full
+// listing periodically so late joiners catch up without a fetch protocol.
+type announceBatch struct {
+	Sessions []Announcement
+}
+
+// Service is a directory provider: it owns the well-known directory
+// channel and re-announces its listing on a fixed period.
+type Service struct {
+	src    *express.Source
+	ch     addr.Channel
+	period netsim.Time
+
+	sessions map[string]Announcement
+	started  bool
+
+	AnnouncementsSent uint64
+}
+
+// NewService creates a directory on host, publishing on the given
+// well-known channel suffix.
+func NewService(host *express.Source, suffix uint32, period netsim.Time) (*Service, error) {
+	ch, err := host.CreateChannelAt(suffix)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		src:      host,
+		ch:       ch,
+		period:   period,
+		sessions: make(map[string]Announcement),
+	}, nil
+}
+
+// Channel returns the directory's channel — the one address users must
+// learn out of band (a web page, in the paper's framing).
+func (s *Service) Channel() addr.Channel { return s.ch }
+
+// Publish adds or updates a session listing. The next push carries it.
+func (s *Service) Publish(a Announcement) { s.sessions[a.Name] = a }
+
+// Withdraw removes a listing.
+func (s *Service) Withdraw(name string) { delete(s.sessions, name) }
+
+// Start begins the periodic push.
+func (s *Service) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.push()
+}
+
+func (s *Service) push() {
+	if len(s.sessions) > 0 {
+		batch := &announceBatch{}
+		for _, a := range s.sessions {
+			batch.Sessions = append(batch.Sessions, a)
+		}
+		sort.Slice(batch.Sessions, func(i, j int) bool {
+			return batch.Sessions[i].Name < batch.Sessions[j].Name
+		})
+		size := 64 * len(batch.Sessions)
+		if err := s.src.Send(s.ch, size, batch); err == nil {
+			s.AnnouncementsSent++
+		}
+	}
+	s.src.Node().Sim().After(s.period, s.push)
+}
+
+// Listener subscribes to a directory channel and maintains the session
+// table it hears.
+type Listener struct {
+	sub *express.Subscriber
+
+	sessions map[string]Announcement
+	// OnUpdate fires whenever a push changes the listener's table.
+	OnUpdate func()
+}
+
+// Listen subscribes sub to the directory channel.
+func Listen(sub *express.Subscriber, directoryCh addr.Channel) *Listener {
+	l := &Listener{sub: sub, sessions: make(map[string]Announcement)}
+	sub.OnData = func(ch addr.Channel, pkt *netsim.Packet) {
+		if ch != directoryCh {
+			return
+		}
+		batch, ok := pkt.Payload.(*announceBatch)
+		if !ok {
+			return
+		}
+		changed := len(batch.Sessions) != len(l.sessions)
+		next := make(map[string]Announcement, len(batch.Sessions))
+		for _, a := range batch.Sessions {
+			if old, ok := l.sessions[a.Name]; !ok || old != a {
+				changed = true
+			}
+			next[a.Name] = a
+		}
+		l.sessions = next
+		if changed && l.OnUpdate != nil {
+			l.OnUpdate()
+		}
+	}
+	sub.Subscribe(directoryCh, nil, nil)
+	return l
+}
+
+// Lookup returns a session by name.
+func (l *Listener) Lookup(name string) (Announcement, bool) {
+	a, ok := l.sessions[name]
+	return a, ok
+}
+
+// Sessions returns the current listing, sorted by name.
+func (l *Listener) Sessions() []Announcement {
+	out := make([]Announcement, 0, len(l.sessions))
+	for _, a := range l.sessions {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

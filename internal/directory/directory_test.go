@@ -1,0 +1,83 @@
+package directory_test
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/directory"
+	"repro/internal/ecmp"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+)
+
+func TestPushDirectory(t *testing.T) {
+	n := testutil.LineNet(55, 3, ecmp.DefaultConfig())
+	dirHost := n.AddSource(n.Routers[0])
+	svc, err := directory.NewService(dirHost, 0x00D1, 2*netsim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listener := directory.Listen(n.AddSubscriber(n.Routers[2]), svc.Channel())
+	n.Start()
+
+	sessionCh := addr.Channel{S: addr.MustParse("10.0.0.5"), E: addr.ExpressAddr(7)}
+	n.Sim.At(0, func() {
+		svc.Publish(directory.Announcement{
+			Name: "sigcomm-keynote", Channel: sessionCh,
+			Relay: addr.MustParse("10.0.0.5"), Starts: 100 * netsim.Second,
+		})
+		svc.Start()
+	})
+	n.Sim.RunUntil(5 * netsim.Second)
+
+	a, ok := listener.Lookup("sigcomm-keynote")
+	if !ok {
+		t.Fatal("listener never learned the session")
+	}
+	if a.Channel != sessionCh {
+		t.Errorf("channel = %v, want %v", a.Channel, sessionCh)
+	}
+
+	// A second session appears; the next push carries both.
+	n.Sim.After(0, func() {
+		svc.Publish(directory.Announcement{Name: "lecture-2", Channel: sessionCh, Restricted: true})
+	})
+	n.Sim.RunUntil(10 * netsim.Second)
+	if got := len(listener.Sessions()); got != 2 {
+		t.Fatalf("sessions = %d, want 2", got)
+	}
+
+	// Withdrawal propagates on the next push.
+	n.Sim.After(0, func() { svc.Withdraw("sigcomm-keynote") })
+	n.Sim.RunUntil(15 * netsim.Second)
+	if _, ok := listener.Lookup("sigcomm-keynote"); ok {
+		t.Error("withdrawn session still listed")
+	}
+	if got := len(listener.Sessions()); got != 1 {
+		t.Errorf("sessions after withdrawal = %d, want 1", got)
+	}
+}
+
+// TestLateJoinerCatchesUp verifies the push model's point: no fetch
+// protocol — a listener that joins late learns the listing on the next
+// periodic push.
+func TestLateJoinerCatchesUp(t *testing.T) {
+	n := testutil.LineNet(56, 3, ecmp.DefaultConfig())
+	dirHost := n.AddSource(n.Routers[0])
+	svc, err := directory.NewService(dirHost, 0x00D1, 2*netsim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	n.Sim.At(0, func() {
+		svc.Publish(directory.Announcement{Name: "always-on-tv"})
+		svc.Start()
+	})
+	n.Sim.RunUntil(10 * netsim.Second)
+
+	late := directory.Listen(n.AddSubscriber(n.Routers[1]), svc.Channel())
+	n.Sim.RunUntil(20 * netsim.Second)
+	if _, ok := late.Lookup("always-on-tv"); !ok {
+		t.Error("late joiner never caught up from the periodic push")
+	}
+}

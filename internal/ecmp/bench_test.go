@@ -1,0 +1,122 @@
+package ecmp_test
+
+import (
+	"testing"
+
+	"repro/internal/ecmp"
+	"repro/internal/express"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+	"repro/internal/wire"
+)
+
+func quietConfig() ecmp.Config {
+	cfg := ecmp.DefaultConfig()
+	cfg.QueryInterval = 3600 * netsim.Second
+	cfg.KeepaliveInterval = 3600 * netsim.Second
+	return cfg
+}
+
+// BenchmarkSubscribeUnsubscribe measures a full membership cycle across a
+// 3-router path: host Count, per-hop processing, FIB updates, teardown.
+func BenchmarkSubscribeUnsubscribe(b *testing.B) {
+	n := testutil.LineNet(90, 3, quietConfig())
+	src := n.AddSource(n.Routers[0])
+	sub := n.AddSubscriber(n.Routers[2])
+	n.Start()
+	ch := testutil.MustChannel(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub.Subscribe(ch, nil, nil)
+		sub.Unsubscribe(ch)
+		n.Sim.RunUntil(n.Sim.Now() + 200*netsim.Millisecond)
+	}
+	if n.TotalFIBEntries() != 0 {
+		b.Fatal("state left behind")
+	}
+}
+
+// BenchmarkTreeDelivery measures one datagram delivered through a depth-3
+// tree to 8 subscribers, end to end in the simulator.
+func BenchmarkTreeDelivery(b *testing.B) {
+	n := testutil.TreeNet(92, 3, quietConfig())
+	src := n.AddSource(n.Routers[0])
+	leaves := n.Routers[len(n.Routers)-8:]
+	subs := make([]*express.Subscriber, 0, 8)
+	for _, leaf := range leaves {
+		subs = append(subs, n.AddSubscriber(leaf))
+	}
+	n.Start()
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() {
+		for _, s := range subs {
+			s.Subscribe(ch, nil, nil)
+		}
+	})
+	n.Sim.RunUntil(netsim.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = src.Send(ch, 1316, nil)
+		n.Sim.RunUntil(n.Sim.Now() + 100*netsim.Millisecond)
+	}
+	b.StopTimer()
+	var delivered uint64
+	for _, s := range subs {
+		delivered += s.Delivered
+	}
+	if delivered != uint64(8*b.N) {
+		b.Fatalf("delivered %d, want %d", delivered, 8*b.N)
+	}
+	b.ReportMetric(8, "deliveries/op")
+}
+
+// BenchmarkCountQueryTree measures one full CountQuery aggregation round
+// over a depth-4 tree with 16 subscribers.
+func BenchmarkCountQueryTree(b *testing.B) {
+	n := testutil.TreeNet(94, 4, quietConfig())
+	src := n.AddSource(n.Routers[0])
+	leaves := n.Routers[len(n.Routers)-16:]
+	subs := make([]*express.Subscriber, 0, 16)
+	for _, leaf := range leaves {
+		subs = append(subs, n.AddSubscriber(leaf))
+	}
+	n.Start()
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() {
+		for _, s := range subs {
+			s.Subscribe(ch, nil, nil)
+		}
+	})
+	n.Sim.RunUntil(netsim.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got uint32
+		src.CountQuery(ch, wire.CountSubscribers, 2*netsim.Second, false,
+			func(v uint32, ok bool) { got = v })
+		n.Sim.RunUntil(n.Sim.Now() + 3*netsim.Second)
+		if got != 16 {
+			b.Fatalf("count = %d, want 16", got)
+		}
+	}
+}
+
+// BenchmarkChannelScale measures router state growth with channel count:
+// the Section 5 claim that "it appears feasible for a router to support
+// millions of multicast channels", in miniature.
+func BenchmarkChannelScale(b *testing.B) {
+	n := testutil.LineNet(95, 2, quietConfig())
+	src := n.AddSource(n.Routers[0])
+	sub := n.AddSubscriber(n.Routers[1])
+	n.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := testutil.MustChannel(src)
+		sub.Subscribe(ch, nil, nil)
+		if i%256 == 0 {
+			n.Sim.RunUntil(n.Sim.Now() + 10*netsim.Millisecond)
+		}
+	}
+	n.Sim.RunUntil(n.Sim.Now() + netsim.Second)
+	b.StopTimer()
+	b.ReportMetric(float64(n.Routers[1].FIB().MemoryBytes())/float64(b.N), "FIB-bytes/channel")
+}

@@ -1,0 +1,154 @@
+// Package ecmp implements the EXPRESS Count Management Protocol of Section
+// 3: the single protocol that maintains per-channel distribution trees and
+// supports source-directed counting and voting. Distribution-tree
+// construction is the restricted case of counting subscribers per subtree.
+//
+// A Router is attached to a netsim.Node and speaks ECMP on every interface.
+// Subscriptions are unsolicited Count messages routed toward the source by
+// reverse-path forwarding over the unicast tables (internal/unicast);
+// queries fan down the tree with per-hop timeout decrement; answers
+// aggregate back up. TCP mode (core interfaces) uses keepalives instead of
+// periodic refresh; UDP mode (edge interfaces) issues periodic queries like
+// IGMP, with no report suppression (Section 3.2).
+package ecmp
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Mode selects per-interface transport behaviour (Section 3.2: "A router
+// can select either TCP or UDP mode for ECMP on each interface").
+type Mode uint8
+
+const (
+	// ModeTCP keeps a reliable connection per neighbor: no per-channel
+	// refresh, one keepalive per neighbor; counts are withdrawn when the
+	// connection fails. Intended for core routers with few neighbors and
+	// many channels.
+	ModeTCP Mode = iota
+	// ModeUDP periodically multicasts a CountQuery (analogous to an IGMP
+	// query) and expires memberships that are not refreshed. Intended for
+	// edge routers with many neighboring end hosts but fewer channels.
+	ModeUDP
+)
+
+func (m Mode) String() string {
+	if m == ModeUDP {
+		return "udp"
+	}
+	return "tcp"
+}
+
+// Propagation selects how subscriber-count changes travel upstream.
+type Propagation uint8
+
+const (
+	// PropagateTree sends upstream only the zero/non-zero transitions
+	// needed for tree maintenance — the paper's minimum ("at a minimum, it
+	// must record whether the count is zero or non-zero").
+	PropagateTree Propagation = iota
+	// PropagateEager sends every change of the subtree sum upstream;
+	// maximal accuracy, maximal message cost. Used as the accuracy
+	// reference in experiment E7.
+	PropagateEager
+	// PropagateProactive throttles updates with the Section 6 error
+	// tolerance curve (see ProactiveParams).
+	PropagateProactive
+)
+
+// ProactiveParams are the error-tolerance curve parameters of Section 6.
+// A change is sent upstream when the relative error between the current
+// subtree sum and the last advertised value exceeds
+//
+//	e(dt) = clamp(EMax · (−ln(dt/Tau)) / Alpha, 0, EMax)
+//
+// where dt is the time since the last upstream update. Tau is the
+// x-intercept — the maximum delay until any change is transmitted upstream —
+// and Alpha controls the rate of decay without changing the maximum
+// tolerance. (The printed formula in the paper is OCR-mangled; this
+// reconstruction matches every stated property — see DESIGN.md §2.)
+type ProactiveParams struct {
+	EMax  float64
+	Alpha float64
+	Tau   netsim.Time
+}
+
+// Tolerance evaluates the curve at elapsed time dt.
+func (p ProactiveParams) Tolerance(dt netsim.Time) float64 {
+	return toleranceCurve(p.EMax, p.Alpha, dt.Seconds(), p.Tau.Seconds())
+}
+
+// Config tunes a Router. The zero value is unusable; use DefaultConfig.
+type Config struct {
+	// QueryInterval is the UDP-mode general query period (Section 3.3's
+	// all-channels query) and the neighbor-discovery period.
+	QueryInterval netsim.Time
+	// HoldTime is how long a UDP-mode membership survives without refresh.
+	HoldTime netsim.Time
+	// KeepaliveInterval is the TCP-mode per-neighbor keepalive period.
+	KeepaliveInterval netsim.Time
+	// KeepaliveMisses is how many missed keepalives declare a neighbor dead.
+	KeepaliveMisses int
+	// Hysteresis delays switching to a new upstream after a route change,
+	// preventing route oscillation (Section 3.2). A failed upstream link
+	// switches immediately.
+	Hysteresis netsim.Time
+	// HopRTT estimates the round-trip to the upstream neighbor; each hop
+	// decrements a query's timeout by TimeoutRTTMult×HopRTT so children
+	// time out and send partial replies before their parents (Section 3.1).
+	HopRTT netsim.Time
+	// TimeoutRTTMult is the "small multiple" of the RTT above.
+	TimeoutRTTMult int
+	// Propagation selects upstream count-update behaviour.
+	Propagation Propagation
+	// Proactive parameterises PropagateProactive.
+	Proactive ProactiveParams
+	// EnableNeighborDiscovery turns on the periodic CountNeighbors query of
+	// Section 3.3.
+	EnableNeighborDiscovery bool
+}
+
+// DefaultConfig returns production-flavoured defaults: 60 s query interval
+// with a 150 s hold time (IGMP-like), 30 s keepalives with 3 misses, 500 ms
+// route-change hysteresis, 10 ms per-hop RTT estimate with a 2× decrement.
+func DefaultConfig() Config {
+	return Config{
+		QueryInterval:     60 * netsim.Second,
+		HoldTime:          150 * netsim.Second,
+		KeepaliveInterval: 30 * netsim.Second,
+		KeepaliveMisses:   3,
+		Hysteresis:        500 * netsim.Millisecond,
+		HopRTT:            10 * netsim.Millisecond,
+		TimeoutRTTMult:    2,
+		Propagation:       PropagateTree,
+		Proactive:         ProactiveParams{EMax: 0.25, Alpha: 4, Tau: 120 * netsim.Second},
+	}
+}
+
+// Metrics counts protocol activity for the cost experiments.
+type Metrics struct {
+	CountsSent, CountsRecv           uint64
+	QueriesSent, QueriesRecv         uint64
+	ResponsesSent, ResponsesRecv     uint64
+	Subscribes, Unsubscribes         uint64 // membership events processed
+	AuthDenied                       uint64
+	UpstreamSwitches                 uint64
+	ProactiveSent                    uint64 // Counts sent due to tolerance breach
+	KeepalivesSent, NeighborFailures uint64
+}
+
+// ControlMessages returns all control messages sent.
+func (m *Metrics) ControlMessages() uint64 {
+	return m.CountsSent + m.QueriesSent + m.ResponsesSent + m.KeepalivesSent
+}
+
+// reserved network-layer countId used to implement the ChannelKey service
+// interface (Section 2.1) within ECMP's three-message vocabulary: a Count
+// with this id and an attached key installs (Value=1) or removes (Value=0)
+// the authoritative authenticator at the source's first-hop router.
+const countKeyInstall wire.CountID = 0x8003
+
+// keepaliveCountID is the TCP-mode per-neighbor keepalive, encoded as a
+// network-layer Count so no fourth message type is needed.
+const keepaliveCountID wire.CountID = 0x8004

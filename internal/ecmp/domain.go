@@ -1,0 +1,51 @@
+package ecmp
+
+import "repro/internal/wire"
+
+// Transit-domain accounting (Section 3.1): "in a large-scale channel that
+// spans many administrative domains, the ingress router for transit domain
+// D might initiate a query to count the number of links used within D.
+// This information could be used to make inter-domain settlements or for
+// resource planning. A sub-range of CountIds is designated for
+// locally-defined use."
+//
+// The locally-defined sub-range is carved as LocalCountBase+domainID:
+// a query with that countId counts distribution-tree links only at routers
+// whose configured domain matches. The query still traverses the whole
+// subtree (links of other domains contribute zero), so one query from the
+// ingress yields exactly D's share of the tree.
+
+// SetDomain assigns the router to an administrative domain (0 = none).
+func (r *Router) SetDomain(id uint16) { r.domain = id }
+
+// Domain returns the router's administrative domain.
+func (r *Router) Domain() uint16 { return r.domain }
+
+// DomainLinksCountID returns the locally-defined countId that counts tree
+// links within the given domain.
+func DomainLinksCountID(domain uint16) wire.CountID {
+	return wire.LocalCountBase + wire.CountID(domain)
+}
+
+// domainLinksContribution answers a domain-scoped link count: this
+// router's downstream tree links if it belongs to the queried domain,
+// zero otherwise.
+func (r *Router) domainLinksContribution(c *channel, id wire.CountID) (uint32, bool) {
+	if id < wire.LocalCountBase || id > wire.LocalCountLast {
+		return 0, false
+	}
+	if uint16(id-wire.LocalCountBase) != r.domain || r.domain == 0 {
+		return 0, true // locally-defined id, but not our domain
+	}
+	sub := c.counts[wire.CountSubscribers]
+	if sub == nil {
+		return 0, true
+	}
+	var links uint32
+	for _, nbrs := range sub.vals {
+		if len(nbrs) > 0 {
+			links++
+		}
+	}
+	return links, true
+}

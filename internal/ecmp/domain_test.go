@@ -1,0 +1,83 @@
+package ecmp_test
+
+import (
+	"testing"
+
+	"repro/internal/ecmp"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+)
+
+// TestDomainScopedLinkCount reproduces the Section 3.1 inter-domain
+// settlement scenario: a channel spans two transit domains; each domain's
+// ingress router counts only the tree links inside its own domain with a
+// locally-defined countId.
+func TestDomainScopedLinkCount(t *testing.T) {
+	cfg := ecmp.DefaultConfig()
+	cfg.EnableNeighborDiscovery = true
+	cfg.QueryInterval = netsim.Second
+	// Line of 6 routers: r0..r2 in domain 1, r3..r5 in domain 2.
+	n := testutil.LineNet(101, 6, cfg)
+	for i, r := range n.Routers {
+		if i < 3 {
+			r.SetDomain(1)
+		} else {
+			r.SetDomain(2)
+		}
+	}
+	src := n.AddSource(n.Routers[0])
+	subA := n.AddSubscriber(n.Routers[5])
+	subB := n.AddSubscriber(n.Routers[5])
+	n.Start()
+
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() {
+		subA.Subscribe(ch, nil, nil)
+		subB.Subscribe(ch, nil, nil)
+	})
+	n.Sim.RunUntil(5 * netsim.Second) // tree built, neighbors discovered
+
+	query := func(domain uint16) uint32 {
+		var got uint32
+		done := false
+		n.Sim.After(0, func() {
+			n.Routers[0].InitiateQuery(ch, ecmp.DomainLinksCountID(domain),
+				2*netsim.Second, false, func(v uint32) { got, done = v, true })
+		})
+		n.Sim.RunUntil(n.Sim.Now() + 5*netsim.Second)
+		if !done {
+			t.Fatalf("domain-%d query never completed", domain)
+		}
+		return got
+	}
+
+	// Tree: src—r0—r1—r2—r3—r4—r5—{subA,subB}. Each on-tree router has one
+	// downstream interface with subscribers (r5's host edges count as one
+	// populated interface per host... r5 has two host edges = 2 links).
+	// Domain 1 (r0,r1,r2): 3 links. Domain 2 (r3,r4): 2 + r5: 2 = 4.
+	d1, d2 := query(1), query(2)
+	if d1 != 3 {
+		t.Errorf("domain-1 links = %d, want 3", d1)
+	}
+	if d2 != 4 {
+		t.Errorf("domain-2 links = %d, want 4", d2)
+	}
+
+	// An unassigned domain sees zero links.
+	if d9 := query(9); d9 != 0 {
+		t.Errorf("domain-9 links = %d, want 0", d9)
+	}
+
+	// The mid-path ingress of domain 2 can initiate the same settlement
+	// query without source cooperation.
+	var got uint32
+	done := false
+	n.Sim.After(0, func() {
+		n.Routers[3].InitiateQuery(ch, ecmp.DomainLinksCountID(2),
+			2*netsim.Second, false, func(v uint32) { got, done = v, true })
+	})
+	n.Sim.RunUntil(n.Sim.Now() + 5*netsim.Second)
+	if !done || got != 4 {
+		t.Errorf("ingress-initiated domain-2 count = %d (done=%v), want 4", got, done)
+	}
+}

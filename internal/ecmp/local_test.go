@@ -1,0 +1,82 @@
+package ecmp_test
+
+import (
+	"testing"
+
+	"repro/internal/ecmp"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+)
+
+// TestRouterLocalSubscription covers the host-stack-on-router path: a
+// router subscribes locally (no separate host node) and receives channel
+// data via OnLocalDeliver — the deployment where the last-hop box is both
+// router and receiver.
+func TestRouterLocalSubscription(t *testing.T) {
+	cfg := ecmp.DefaultConfig()
+	cfg.Propagation = ecmp.PropagateEager
+	n := testutil.LineNet(111, 3, cfg)
+	src := n.AddSource(n.Routers[0])
+	n.Start()
+	ch := testutil.MustChannel(src)
+
+	last := n.Routers[2]
+	delivered := 0
+	last.OnLocalDeliver = func(pkt *netsim.Packet) { delivered++ }
+
+	n.Sim.At(0, func() { last.Subscribe(ch, nil) })
+	n.Sim.RunUntil(netsim.Second)
+	if got := n.Routers[0].SubscriberCount(ch); got != 1 {
+		t.Fatalf("first-hop count = %d, want 1 (local router subscription)", got)
+	}
+
+	n.Sim.After(0, func() { _ = src.Send(ch, 700, nil) })
+	n.Sim.RunUntil(2 * netsim.Second)
+	if delivered != 1 {
+		t.Errorf("locally delivered = %d, want 1", delivered)
+	}
+
+	// Subcast through this router also reaches its local subscriber.
+	n.Sim.After(0, func() { _ = src.Subcast(ch, last.Node().Addr, 700, nil) })
+	n.Sim.RunUntil(3 * netsim.Second)
+	if delivered != 2 {
+		t.Errorf("after subcast delivered = %d, want 2", delivered)
+	}
+
+	n.Sim.After(0, func() { last.Unsubscribe(ch) })
+	n.Sim.RunUntil(4 * netsim.Second)
+	if got := n.TotalFIBEntries(); got != 0 {
+		t.Errorf("FIB entries after local unsubscribe = %d, want 0", got)
+	}
+	// Double unsubscribe is a no-op.
+	n.Sim.After(0, func() { last.Unsubscribe(ch) })
+	n.Sim.RunUntil(5 * netsim.Second)
+}
+
+// TestRouterNeighborsDiscovered covers the Section 3.3 discovery output:
+// after discovery ticks, each router knows its router neighbors per
+// interface, and the modes are readable.
+func TestRouterNeighborsDiscovered(t *testing.T) {
+	cfg := ecmp.DefaultConfig()
+	cfg.EnableNeighborDiscovery = true
+	cfg.QueryInterval = netsim.Second
+	n := testutil.LineNet(112, 3, cfg)
+	n.Start()
+	n.Sim.RunUntil(5 * netsim.Second)
+
+	mid := n.Routers[1]
+	nbrs := mid.RouterNeighbors()
+	total := 0
+	for _, as := range nbrs {
+		total += len(as)
+	}
+	if total != 2 {
+		t.Errorf("middle router discovered %d router neighbors, want 2 (%v)", total, nbrs)
+	}
+	if mid.IfaceMode(0) != ecmp.ModeTCP {
+		t.Errorf("default iface mode = %v, want tcp", mid.IfaceMode(0))
+	}
+	if ecmp.ModeUDP.String() != "udp" || ecmp.ModeTCP.String() != "tcp" {
+		t.Error("Mode.String broken")
+	}
+}

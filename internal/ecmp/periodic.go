@@ -1,0 +1,147 @@
+package ecmp
+
+import (
+	"repro/internal/addr"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// udpQueryTick is the UDP-mode periodic cycle (Section 3.2): multicast a
+// general CountQuery on each UDP interface (soliciting Count
+// retransmissions from all hosts for all channels, like an IGMP general
+// query) and expire memberships that were not refreshed.
+func (r *Router) udpQueryTick() {
+	now := r.node.Sim().Now()
+	for i := 0; i < r.node.NumIfaces(); i++ {
+		if r.ifmode[i] != ModeUDP || !r.node.IfaceUp(i) {
+			continue
+		}
+		r.sendMsg(i, addr.WellKnownECMP, &wire.CountQuery{
+			Channel: addr.Channel{S: addr.LocalhostSource, E: addr.ExpressBase},
+			CountID: wire.CountAllChannels,
+		})
+	}
+	r.expireMemberships(now)
+	r.node.Sim().After(r.cfg.QueryInterval, r.udpQueryTick)
+}
+
+// expireMemberships drops UDP-mode neighbors whose refresh deadline passed.
+func (r *Router) expireMemberships(now netsim.Time) {
+	for _, c := range r.channels {
+		cs := c.counts[wire.CountSubscribers]
+		if cs == nil {
+			continue
+		}
+		var stale []addr.Addr
+		for nbr, dl := range cs.expiry {
+			if dl <= now {
+				stale = append(stale, nbr)
+			}
+		}
+		if len(stale) == 0 {
+			continue
+		}
+		for _, nbr := range stale {
+			for ifi := range cs.vals {
+				if _, ok := cs.vals[ifi][nbr]; ok {
+					cs.set(ifi, nbr, 0)
+					r.metrics.Unsubscribes++
+				}
+			}
+			delete(cs.expiry, nbr)
+		}
+		r.syncFIB(c)
+		r.propagateMembership(c, nil)
+		r.maybeDeleteChannel(c)
+	}
+}
+
+// keepaliveTick is the TCP-mode liveness cycle (Section 3.2): one keepalive
+// per neighbor per interval — "a single per-neighbor keepalive is
+// sufficient to detect a connection failure" — and withdrawal of the counts
+// of neighbors that went silent.
+func (r *Router) keepaliveTick() {
+	now := r.node.Sim().Now()
+	deadAfter := netsim.Time(r.cfg.KeepaliveMisses) * r.cfg.KeepaliveInterval
+
+	seen := make(map[addr.Addr]bool)
+	for ifi, peers := range r.node.Neighbors() {
+		if r.ifmode[ifi] != ModeTCP || !r.node.IfaceUp(ifi) {
+			continue
+		}
+		for _, p := range peers {
+			nbr := r.nodeAddr(p.Node)
+			if seen[nbr] {
+				continue
+			}
+			seen[nbr] = true
+			r.metrics.KeepalivesSent++
+			r.sendMsg(ifi, nbr, &wire.Count{
+				Channel: addr.Channel{S: addr.LocalhostSource, E: addr.ExpressBase},
+				CountID: keepaliveCountID, Value: 1,
+			})
+		}
+	}
+
+	// Withdraw counts from neighbors that stopped proving liveness. The
+	// count is "subtracted from the sum provided upstream if the connection
+	// fails" (Section 3.2).
+	for nbr, last := range r.nbrAlive {
+		if now-last <= deadAfter {
+			continue
+		}
+		delete(r.nbrAlive, nbr)
+		r.dropNeighbor(nbr)
+	}
+	r.node.Sim().After(r.cfg.KeepaliveInterval, r.keepaliveTick)
+}
+
+// dropNeighbor withdraws every count contributed by a failed neighbor.
+func (r *Router) dropNeighbor(nbr addr.Addr) {
+	failed := false
+	for _, c := range r.channels {
+		changed := false
+		for id, cs := range c.counts {
+			for ifi := range cs.vals {
+				if _, ok := cs.vals[ifi][nbr]; !ok {
+					continue
+				}
+				if !r.ifaceOnTCP(ifi) {
+					continue // UDP memberships expire by timeout instead
+				}
+				cs.set(ifi, nbr, 0)
+				changed = true
+				failed = true
+				if id == wire.CountSubscribers {
+					r.metrics.Unsubscribes++
+				}
+			}
+		}
+		if changed {
+			r.syncFIB(c)
+			r.propagateMembership(c, nil)
+			r.maybeDeleteChannel(c)
+		}
+	}
+	if failed {
+		r.metrics.NeighborFailures++
+	}
+}
+
+func (r *Router) ifaceOnTCP(ifindex int) bool { return r.ifmode[ifindex] == ModeTCP }
+
+// neighborDiscoveryTick periodically multicasts the reserved neighbors
+// CountQuery (Section 3.3), letting routers find each other and establish
+// connections.
+func (r *Router) neighborDiscoveryTick() {
+	for i := 0; i < r.node.NumIfaces(); i++ {
+		if !r.node.IfaceUp(i) {
+			continue
+		}
+		r.sendMsg(i, addr.WellKnownECMP, &wire.CountQuery{
+			Channel: addr.Channel{S: addr.LocalhostSource, E: addr.ExpressBase},
+			CountID: wire.CountNeighbors,
+		})
+	}
+	r.node.Sim().After(r.cfg.QueryInterval, r.neighborDiscoveryTick)
+}

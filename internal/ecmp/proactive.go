@@ -1,0 +1,142 @@
+package ecmp
+
+import (
+	"math"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Proactive counting (Section 6): rather than requiring the source to poll,
+// routers push Count updates upstream whenever the relative error between
+// the current subtree sum and the last advertised value exceeds a
+// time-decaying tolerance. The curve is chosen "to allow fast convergence
+// during periods of large change while using little bandwidth during
+// periods of little change".
+
+// toleranceCurve evaluates e(dt) = clamp(eMax·(−ln(dt/τ))/α, 0, eMax).
+// See ProactiveParams for the provenance of this reconstruction.
+func toleranceCurve(eMax, alpha, dt, tau float64) float64 {
+	if dt <= 0 {
+		return eMax
+	}
+	if tau <= 0 || alpha <= 0 {
+		return 0
+	}
+	e := eMax * (-math.Log(dt / tau)) / alpha
+	if e <= 0 {
+		return 0 // includes the negative zero at dt == τ exactly
+	}
+	if e > eMax {
+		return eMax
+	}
+	return e
+}
+
+// toleranceDeadline inverts the curve: the dt at which the tolerance decays
+// to err, i.e. the latest moment an error of magnitude err may be held back.
+func toleranceDeadline(eMax, alpha, err, tau float64) float64 {
+	if err >= eMax {
+		return 0
+	}
+	if err <= 0 {
+		return tau
+	}
+	return tau * math.Exp(-alpha*err/eMax)
+}
+
+// relError is the symmetric relative error between the current sum and the
+// advertised value: max(cur,adv)/min(cur,adv) − 1 (the paper's
+// e_rel = max(c_adv/c_cur, c_cur/c_adv) form). A zero on one side only is
+// an unbounded error.
+func relError(cur, adv uint32) float64 {
+	if cur == adv {
+		return 0
+	}
+	if cur == 0 || adv == 0 {
+		return math.Inf(1)
+	}
+	hi, lo := cur, adv
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	return float64(hi)/float64(lo) - 1
+}
+
+// proactiveEnabled reports whether (c, id) is under proactive maintenance:
+// either requested by a Proactive CountQuery or, for the subscriber count,
+// by router-wide configuration.
+func (r *Router) proactiveEnabled(c *channel, id wire.CountID) bool {
+	if c.proactive[id] {
+		return true
+	}
+	return id == wire.CountSubscribers && r.cfg.Propagation == PropagateProactive
+}
+
+// maybeAdvertise applies the tolerance curve to the current sum for (c, id)
+// and either sends an update upstream now or schedules a re-check for the
+// moment the tolerance will have decayed to the current error.
+func (r *Router) maybeAdvertise(c *channel, id wire.CountID) {
+	if !r.proactiveEnabled(c, id) {
+		return
+	}
+	if c.upIf < 0 {
+		return
+	}
+	cs := c.count(id)
+	total := cs.total()
+	if cs.everAdv && total == cs.advertised {
+		if cs.checkTimer != nil {
+			cs.checkTimer.Stop()
+			cs.checkTimer = nil
+		}
+		return
+	}
+
+	// Zero/non-zero transitions are tree-structure changes and always
+	// propagate immediately: joins must reach the source for data to flow.
+	p := r.cfg.Proactive
+	err := math.Inf(1)
+	if cs.everAdv {
+		err = relError(total, cs.advertised)
+	}
+	now := r.node.Sim().Now()
+	dt := now - cs.lastAdvAt
+	if !cs.everAdv {
+		dt = 0
+	}
+	if err > p.Tolerance(dt) {
+		r.sendProactive(c, id, total)
+		return
+	}
+
+	// Within tolerance: hold back, but re-check when the curve decays to
+	// the current error (and in any case by τ, the x-intercept — "the
+	// maximum delay until any change is transmitted upstream").
+	deadline := cs.lastAdvAt + netsim.Time(toleranceDeadline(p.EMax, p.Alpha, err, p.Tau.Seconds())*float64(netsim.Second))
+	if deadline <= now {
+		r.sendProactive(c, id, total)
+		return
+	}
+	if cs.checkTimer != nil {
+		cs.checkTimer.Stop()
+	}
+	cc := c
+	cs.checkTimer = r.node.Sim().At(deadline, func() {
+		cs.checkTimer = nil
+		r.maybeAdvertise(cc, id)
+	})
+}
+
+func (r *Router) sendProactive(c *channel, id wire.CountID, total uint32) {
+	cs := c.count(id)
+	if cs.checkTimer != nil {
+		cs.checkTimer.Stop()
+		cs.checkTimer = nil
+	}
+	cs.advertised = total
+	cs.everAdv = true
+	cs.lastAdvAt = r.node.Sim().Now()
+	r.metrics.ProactiveSent++
+	r.sendMsg(c.upIf, c.upNbr, &wire.Count{Channel: c.id, CountID: id, Value: total})
+}

@@ -1,0 +1,262 @@
+package ecmp
+
+import (
+	"repro/internal/addr"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// handleQuery processes a CountQuery (Section 3.1). Queries with Seq != 0
+// are aggregation queries that fan down the tree and collect a summed
+// Count; queries with Seq == 0 are membership-refresh solicitations (the
+// UDP-mode periodic query and group-specific re-query of Section 3.2) that
+// are answered with unsolicited Count retransmissions.
+func (r *Router) handleQuery(ifindex int, from addr.Addr, q *wire.CountQuery) {
+	switch q.CountID {
+	case wire.CountNeighbors:
+		// Neighbor discovery (Section 3.3): respond so the querier learns
+		// we are an EXPRESS router, and learn the querier symmetrically.
+		r.noteRouterNeighbor(ifindex, from)
+		r.sendMsg(ifindex, from, &wire.Count{
+			Channel: q.Channel, CountID: wire.CountNeighbors, Seq: q.Seq, Value: 1,
+		})
+		return
+	case wire.CountAllChannels:
+		// General query: retransmit membership for every channel we have
+		// going upstream through this interface (Section 3.3).
+		for _, c := range r.channels {
+			if c.upIf != ifindex {
+				continue
+			}
+			cs := c.counts[wire.CountSubscribers]
+			if cs == nil || cs.total() == 0 {
+				continue
+			}
+			r.sendMsg(ifindex, from, &wire.Count{
+				Channel: c.id, CountID: wire.CountSubscribers, Value: cs.total(),
+			})
+		}
+		return
+	case keepaliveCountID, countKeyInstall:
+		return
+	}
+
+	if q.Seq == 0 {
+		// Channel-specific membership re-query: retransmit our Count if we
+		// subscribe through this interface.
+		c := r.channels[q.Channel]
+		if c == nil || c.upIf != ifindex {
+			return
+		}
+		cs := c.counts[wire.CountSubscribers]
+		if cs == nil || cs.total() == 0 {
+			return
+		}
+		r.sendMsg(ifindex, from, &wire.Count{
+			Channel: c.id, CountID: wire.CountSubscribers, Value: cs.total(),
+		})
+		return
+	}
+
+	r.runAggregation(ifindex, from, q, nil)
+}
+
+// InitiateQuery originates an aggregation query at this router. Any router
+// on the distribution tree may initiate a query without source cooperation
+// (Section 3.1) — e.g. a transit-domain ingress counting the links used
+// within its domain. cb receives the (best-efforts) total.
+func (r *Router) InitiateQuery(ch addr.Channel, id wire.CountID, timeout netsim.Time, proactive bool, cb func(uint32)) {
+	r.querySeq++
+	if r.querySeq == 0 {
+		r.querySeq = 1
+	}
+	q := &wire.CountQuery{
+		Channel:   ch,
+		CountID:   id,
+		Seq:       r.querySeq,
+		TimeoutMs: uint32(timeout / netsim.Millisecond),
+		Proactive: proactive,
+	}
+	r.runAggregation(-1, 0, q, cb)
+}
+
+// runAggregation fans a query down the channel subtree and arranges to
+// aggregate the replies.
+func (r *Router) runAggregation(originIf int, originNbr addr.Addr, q *wire.CountQuery, cb func(uint32)) {
+	c := r.channels[q.Channel]
+	if q.Proactive && c != nil {
+		c.proactive[q.CountID] = true
+	}
+	self := r.selfContribution(c, q.CountID)
+	if c == nil {
+		r.replyQuery(originIf, originNbr, q, self, cb)
+		return
+	}
+	pk := pendKey{id: q.CountID, seq: q.Seq}
+	if _, dup := c.pending[pk]; dup {
+		return
+	}
+
+	// The subscriber membership defines the subtree; network-layer counts
+	// fan only to router neighbors (hosts never see them, Section 3.1).
+	sub := c.counts[wire.CountSubscribers]
+	targets := make(map[addr.Addr]int)
+	if sub != nil {
+		routersOnly := q.CountID.IsNetworkLayer() || q.CountID.IsLocal()
+		for ifi, nbrs := range sub.vals {
+			for nbr := range nbrs {
+				if routersOnly && !r.isRouterNeighbor(ifi, nbr) {
+					continue
+				}
+				targets[nbr] = ifi
+			}
+		}
+	}
+
+	dec := uint32(r.cfg.TimeoutRTTMult) * uint32(r.cfg.HopRTT/netsim.Millisecond)
+	if q.TimeoutMs <= dec || len(targets) == 0 {
+		r.replyQuery(originIf, originNbr, q, self, cb)
+		return
+	}
+	fwdTimeout := q.TimeoutMs - dec
+
+	pq := &pendingQuery{
+		originIf:  originIf,
+		originNbr: originNbr,
+		cb:        cb,
+		remaining: make(map[addr.Addr]bool, len(targets)),
+		sum:       self,
+		selfAdded: true,
+	}
+	c.pending[pk] = pq
+	for nbr, ifi := range targets {
+		pq.remaining[nbr] = true
+		r.sendMsg(ifi, nbr, &wire.CountQuery{
+			Channel: q.Channel, CountID: q.CountID, Seq: q.Seq,
+			TimeoutMs: fwdTimeout, Proactive: q.Proactive,
+		})
+	}
+	cc, qq := c, *q
+	pq.timer = r.node.Sim().After(netsim.Time(fwdTimeout)*netsim.Millisecond, func() {
+		r.finalizeQuery(cc, pk, &qq) // partial reply before the parent times out
+	})
+}
+
+// handleQueryReply accumulates a child's Count for an outstanding query.
+func (r *Router) handleQueryReply(ifindex int, from addr.Addr, m *wire.Count) {
+	if m.CountID == wire.CountNeighbors {
+		r.noteRouterNeighbor(ifindex, from)
+		return
+	}
+	c := r.channels[m.Channel]
+	if c == nil {
+		return
+	}
+	pk := pendKey{id: m.CountID, seq: m.Seq}
+	pq := c.pending[pk]
+	if pq == nil || pq.done || !pq.remaining[from] {
+		return // late, duplicate, or unknown reply
+	}
+	delete(pq.remaining, from)
+	pq.sum += m.Value
+	if len(pq.remaining) == 0 {
+		q := &wire.CountQuery{Channel: m.Channel, CountID: m.CountID, Seq: m.Seq}
+		r.finalizeQuery(c, pk, q)
+	}
+}
+
+// finalizeQuery sends the aggregated total to the query's origin.
+func (r *Router) finalizeQuery(c *channel, pk pendKey, q *wire.CountQuery) {
+	pq := c.pending[pk]
+	if pq == nil || pq.done {
+		return
+	}
+	pq.done = true
+	if pq.timer != nil {
+		pq.timer.Stop()
+	}
+	delete(c.pending, pk)
+	r.replyQuery(pq.originIf, pq.originNbr, q, pq.sum, pq.cb)
+	r.maybeDeleteChannel(c)
+}
+
+// replyQuery delivers a query result to its origin: upstream as a Count, or
+// locally via callback.
+func (r *Router) replyQuery(originIf int, originNbr addr.Addr, q *wire.CountQuery, total uint32, cb func(uint32)) {
+	if originIf < 0 {
+		if cb != nil {
+			cb(total)
+		}
+		return
+	}
+	r.sendMsg(originIf, originNbr, &wire.Count{
+		Channel: q.Channel, CountID: q.CountID, Seq: q.Seq, Value: total,
+	})
+}
+
+// selfContribution is this router's own addend for a countId: local
+// subscriptions for membership/application counts, tree resources for
+// network-layer counts (Section 3.1: counting links used within a domain).
+func (r *Router) selfContribution(c *channel, id wire.CountID) uint32 {
+	if c == nil {
+		return 0
+	}
+	if v, ok := r.domainLinksContribution(c, id); ok {
+		return v
+	}
+	switch id {
+	case wire.CountLinks:
+		sub := c.counts[wire.CountSubscribers]
+		if sub == nil {
+			return 0
+		}
+		var links uint32
+		for _, nbrs := range sub.vals {
+			if len(nbrs) > 0 {
+				links++ // one downstream tree link per populated interface
+			}
+		}
+		return links
+	case wire.CountTreeWeight:
+		return 1 // one on-tree router
+	default:
+		if cs := c.counts[id]; cs != nil {
+			return cs.local
+		}
+		return 0
+	}
+}
+
+// sendChannelQuery issues a membership re-query on one interface after a
+// leave, the IGMPv2-style behaviour of Section 3.2.
+func (r *Router) sendChannelQuery(ifindex int, ch addr.Channel) {
+	r.sendMsg(ifindex, addr.WellKnownECMP, &wire.CountQuery{
+		Channel: ch, CountID: wire.CountSubscribers,
+		TimeoutMs: uint32(r.cfg.HopRTT / netsim.Millisecond),
+	})
+}
+
+func (r *Router) noteRouterNeighbor(ifindex int, nbr addr.Addr) {
+	m := r.nbrRouters[ifindex]
+	if m == nil {
+		m = make(map[addr.Addr]netsim.Time)
+		r.nbrRouters[ifindex] = m
+	}
+	m[nbr] = r.node.Sim().Now()
+}
+
+func (r *Router) isRouterNeighbor(ifindex int, nbr addr.Addr) bool {
+	_, ok := r.nbrRouters[ifindex][nbr]
+	return ok
+}
+
+// RouterNeighbors returns the discovered router neighbors per interface.
+func (r *Router) RouterNeighbors() map[int][]addr.Addr {
+	out := make(map[int][]addr.Addr, len(r.nbrRouters))
+	for ifi, m := range r.nbrRouters {
+		for a := range m {
+			out[ifi] = append(out[ifi], a)
+		}
+	}
+	return out
+}

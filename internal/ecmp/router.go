@@ -1,0 +1,460 @@
+package ecmp
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/fib"
+	"repro/internal/netsim"
+	"repro/internal/unicast"
+	"repro/internal/wire"
+)
+
+// Router is an EXPRESS/ECMP router attached to one simulator node. It
+// forwards EXPRESS data packets via an exact-match (S,E) FIB (Section 3.4)
+// and runs ECMP on every interface to maintain the per-channel distribution
+// trees and answer counting queries (Sections 3.1–3.3).
+type Router struct {
+	node *netsim.Node
+	rt   *unicast.Routing
+	fib  *fib.Table
+	cfg  Config
+
+	channels map[addr.Channel]*channel
+	ifmode   map[int]Mode
+
+	// nbrRouters tracks ECMP routers discovered per interface via the
+	// CountNeighbors query (Section 3.3).
+	nbrRouters map[int]map[addr.Addr]netsim.Time
+	// nbrAlive is the last time each TCP-mode neighbor proved liveness.
+	nbrAlive map[addr.Addr]netsim.Time
+
+	metrics  Metrics
+	querySeq uint16
+	routeVer uint64
+	// domain is the administrative domain for transit accounting
+	// (Section 3.1's locally-defined countIds); 0 means unassigned.
+	domain uint16
+
+	// scratch buffer for FIB oif expansion on the forwarding path.
+	oifScratch []int
+
+	// OnLocalDeliver, when set, receives EXPRESS data packets addressed to
+	// channels this node itself subscribes to (routers normally have none;
+	// the express host stack reuses Router for first-hop duties in tests).
+	OnLocalDeliver func(pkt *netsim.Packet)
+}
+
+// channel is the per-(S,E) management state of Section 5.2: roughly
+// [channel, countId, count] records per count activity plus the cached
+// authenticator.
+type channel struct {
+	id addr.Channel
+
+	upIf  int       // interface toward the source; -1 when unresolved
+	upNbr addr.Addr // upstream neighbor on that interface
+
+	counts  map[wire.CountID]*countState
+	pending map[pendKey]*pendingQuery
+
+	restricted bool     // a key is known to protect this channel
+	key        wire.Key // authoritative or cached authenticator
+	keyKnown   bool     // key field is meaningful
+	keyAuthor  bool     // this router is authoritative (source's first hop)
+	// pendingAuth holds subscriptions forwarded upstream for validation
+	// (Section 3.2): each is confirmed or denied by a CountResponse.
+	pendingAuth []pendingAuth
+
+	// proactive tracks which countIds have proactive counting enabled
+	// (Section 6) on this subtree.
+	proactive map[wire.CountID]bool
+
+	// upstream-switch hysteresis state (Section 3.2).
+	switchTimer *netsim.Timer
+	pendUpIf    int
+	pendUpNbr   addr.Addr
+}
+
+// countState aggregates one countId over the channel's downstream
+// interfaces (the paper's per-interface, per-channel counts).
+type countState struct {
+	// vals[ifindex][neighbor] is the last value advertised by that
+	// neighbor. Zero values are deleted.
+	vals map[int]map[addr.Addr]uint32
+	// expiry[neighbor] is the UDP-mode refresh deadline.
+	expiry map[addr.Addr]netsim.Time
+	// local is this node's own contribution (hosts: their subscription;
+	// routers: network-layer resources such as link counts).
+	local uint32
+
+	advertised uint32      // last value sent upstream
+	lastAdvAt  netsim.Time // when it was sent (proactive curve clock)
+	everAdv    bool
+	checkTimer *netsim.Timer // pending proactive re-evaluation
+}
+
+type pendKey struct {
+	id  wire.CountID
+	seq uint16
+}
+
+type pendingQuery struct {
+	originIf  int // -1 for locally originated queries
+	originNbr addr.Addr
+	cb        func(uint32) // local originator's callback
+
+	remaining map[addr.Addr]bool // neighbors yet to answer
+	sum       uint32
+	selfAdded bool
+	timer     *netsim.Timer
+	done      bool
+}
+
+type pendingAuth struct {
+	ifindex int
+	nbr     addr.Addr
+	key     wire.Key
+	value   uint32
+}
+
+// NewRouter attaches an ECMP router to node, using the shared unicast
+// routing state rt.
+func NewRouter(node *netsim.Node, rt *unicast.Routing, cfg Config) *Router {
+	r := &Router{
+		node:       node,
+		rt:         rt,
+		fib:        fib.New(),
+		cfg:        cfg,
+		channels:   make(map[addr.Channel]*channel),
+		ifmode:     make(map[int]Mode),
+		nbrRouters: make(map[int]map[addr.Addr]netsim.Time),
+		nbrAlive:   make(map[addr.Addr]netsim.Time),
+	}
+	node.Handler = r
+	r.routeVer = rt.Version()
+	// Re-evaluate channel upstreams whenever the IGP converges on a new
+	// topology, even when the changed link is elsewhere in the network.
+	rt.OnChange(func() { r.reconcileUpstreams(false, -1) })
+	return r
+}
+
+// Start launches the router's periodic activity (UDP-mode queries,
+// TCP-mode keepalives, neighbor discovery). Call after interface modes are
+// configured.
+func (r *Router) Start() {
+	if r.cfg.QueryInterval > 0 {
+		r.node.Sim().After(r.jitter(r.cfg.QueryInterval), r.udpQueryTick)
+	}
+	if r.cfg.KeepaliveInterval > 0 {
+		r.node.Sim().After(r.jitter(r.cfg.KeepaliveInterval), r.keepaliveTick)
+	}
+	if r.cfg.EnableNeighborDiscovery {
+		r.node.Sim().After(r.jitter(r.cfg.QueryInterval), r.neighborDiscoveryTick)
+	}
+}
+
+// jitter staggers periodic timers across routers (deterministically, via
+// the sim's seeded generator) so the simulation does not synchronise every
+// router's query on the same instant.
+func (r *Router) jitter(d netsim.Time) netsim.Time {
+	return d/2 + netsim.Time(r.node.Sim().Rand().Int63n(int64(d)))
+}
+
+// Node returns the underlying simulator node.
+func (r *Router) Node() *netsim.Node { return r.node }
+
+// FIB exposes the forwarding table for metrics and tests.
+func (r *Router) FIB() *fib.Table { return r.fib }
+
+// Metrics returns a copy of the protocol counters.
+func (r *Router) Metrics() Metrics { return r.metrics }
+
+// SetIfaceMode configures TCP or UDP mode for an interface (Section 3.2).
+// The default for unconfigured interfaces is TCP.
+func (r *Router) SetIfaceMode(ifindex int, m Mode) { r.ifmode[ifindex] = m }
+
+// IfaceMode returns the mode of an interface.
+func (r *Router) IfaceMode(ifindex int) Mode { return r.ifmode[ifindex] }
+
+// NumChannels returns how many channels have state at this router.
+func (r *Router) NumChannels() int { return len(r.channels) }
+
+// SubscriberCount returns the router's current subtree subscriber sum for a
+// channel (0 if the channel is unknown).
+func (r *Router) SubscriberCount(ch addr.Channel) uint32 {
+	c := r.channels[ch]
+	if c == nil {
+		return 0
+	}
+	cs := c.counts[wire.CountSubscribers]
+	if cs == nil {
+		return 0
+	}
+	return cs.total()
+}
+
+// Receive implements netsim.Handler.
+func (r *Router) Receive(ifindex int, pkt *netsim.Packet) {
+	switch pkt.Proto {
+	case netsim.ProtoECMP:
+		r.receiveControl(ifindex, pkt)
+	case netsim.ProtoData:
+		r.forwardData(ifindex, pkt)
+	case netsim.ProtoEncap:
+		r.receiveEncap(ifindex, pkt)
+	default:
+		// Unknown protocol: forward as plain unicast if not for us.
+		if pkt.Dst != r.node.Addr {
+			r.forwardUnicast(pkt)
+		}
+	}
+}
+
+// LinkChange implements netsim.LinkWatcher: topology changes invalidate the
+// unicast tables and may move channel upstreams (Section 3.2). A link that
+// went down is a failed connection: every count contributed over it is
+// withdrawn immediately, the TCP-mode semantics of Section 3.2.
+func (r *Router) LinkChange(ifindex int, up bool) {
+	r.rt.Invalidate()
+	if !up {
+		r.dropInterface(ifindex)
+	}
+	r.reconcileUpstreams(!up, ifindex)
+}
+
+// dropInterface withdraws all downstream counts recorded on a failed
+// interface.
+func (r *Router) dropInterface(ifindex int) {
+	for _, c := range r.channels {
+		changed := false
+		for id, cs := range c.counts {
+			if len(cs.vals[ifindex]) == 0 {
+				continue
+			}
+			for nbr := range cs.vals[ifindex] {
+				if id == wire.CountSubscribers {
+					r.metrics.Unsubscribes++
+				}
+				delete(cs.expiry, nbr)
+			}
+			delete(cs.vals, ifindex)
+			changed = true
+		}
+		if changed {
+			r.syncFIB(c)
+			r.propagateMembership(c, nil)
+			r.maybeDeleteChannel(c)
+		}
+	}
+}
+
+// forwardData implements the Section 3.4 forwarding procedure for EXPRESS
+// data packets, and plain unicast forwarding for everything else.
+func (r *Router) forwardData(ifindex int, pkt *netsim.Packet) {
+	if !pkt.Dst.IsExpress() {
+		if pkt.Dst == r.node.Addr {
+			if r.OnLocalDeliver != nil {
+				r.OnLocalDeliver(pkt)
+			}
+			return
+		}
+		r.forwardUnicast(pkt)
+		return
+	}
+	if pkt.TTL <= 1 {
+		return
+	}
+	r.oifScratch = r.oifScratch[:0]
+	oifs, disp := r.fib.Forward(pkt.Src, pkt.Dst, ifindex, r.oifScratch)
+	if disp != fib.Forwarded {
+		return // counted and dropped (Section 3.4)
+	}
+	fwd := pkt.Clone()
+	fwd.TTL--
+	for _, oif := range oifs {
+		r.node.Send(oif, fwd)
+	}
+	if r.OnLocalDeliver != nil && r.isLocalSubscriber(addr.Channel{S: pkt.Src, E: pkt.Dst}) {
+		r.OnLocalDeliver(pkt)
+	}
+}
+
+func (r *Router) isLocalSubscriber(ch addr.Channel) bool {
+	c := r.channels[ch]
+	if c == nil {
+		return false
+	}
+	cs := c.counts[wire.CountSubscribers]
+	return cs != nil && cs.local > 0
+}
+
+// forwardUnicast relays a packet along the unicast tables (hosts reach
+// session relays and subcast points through routers this way).
+func (r *Router) forwardUnicast(pkt *netsim.Packet) {
+	if pkt.TTL <= 1 {
+		return
+	}
+	route, ok := r.rt.NextHop(r.node.ID, pkt.Dst)
+	if !ok || route.Ifindex < 0 {
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.TTL--
+	r.node.Send(route.Ifindex, fwd)
+}
+
+// receiveEncap handles subcast (Section 2.1): the source unicasts an
+// encapsulated packet to an on-channel router; the router decapsulates and
+// forwards the inner packet toward all downstream channel receivers. Only
+// the channel source may subcast — the single-source property is preserved
+// by checking the inner source and the outer source match.
+func (r *Router) receiveEncap(ifindex int, pkt *netsim.Packet) {
+	if pkt.Dst != r.node.Addr {
+		r.forwardUnicast(pkt)
+		return
+	}
+	enc, ok := pkt.Payload.(*netsim.Encap)
+	if !ok || enc.Inner == nil {
+		return
+	}
+	inner := enc.Inner
+	if !inner.Dst.IsExpress() {
+		return
+	}
+	if inner.Src != pkt.Src {
+		return // only the channel source may subcast on its channel
+	}
+	ch := addr.Channel{S: inner.Src, E: inner.Dst}
+	e := r.fib.Get(fib.Key{S: ch.S, G: ch.E})
+	if e == nil {
+		return // not on this channel's tree
+	}
+	fwd := inner.Clone()
+	if fwd.TTL <= 1 {
+		return
+	}
+	fwd.TTL--
+	r.oifScratch = e.OIFList(r.oifScratch[:0])
+	for _, oif := range r.oifScratch {
+		r.node.Send(oif, fwd)
+	}
+	if r.OnLocalDeliver != nil && r.isLocalSubscriber(ch) {
+		r.OnLocalDeliver(inner)
+	}
+}
+
+// receiveControl dispatches an ECMP message.
+func (r *Router) receiveControl(ifindex int, pkt *netsim.Packet) {
+	switch m := pkt.Payload.(type) {
+	case *wire.Count:
+		r.metrics.CountsRecv++
+		r.nbrAlive[pkt.Src] = r.node.Sim().Now()
+		if m.Seq != 0 {
+			r.handleQueryReply(ifindex, pkt.Src, m)
+			return
+		}
+		r.handleUnsolicitedCount(ifindex, pkt.Src, m)
+	case *wire.CountQuery:
+		r.metrics.QueriesRecv++
+		r.handleQuery(ifindex, pkt.Src, m)
+	case *wire.CountResponse:
+		r.metrics.ResponsesRecv++
+		r.handleResponse(ifindex, pkt.Src, m)
+	default:
+		panic(fmt.Sprintf("ecmp: unknown control payload %T", pkt.Payload))
+	}
+}
+
+// sendMsg transmits one ECMP message to a specific neighbor out ifindex.
+func (r *Router) sendMsg(ifindex int, to addr.Addr, m wire.Message) {
+	size := wire.IPv4HeaderSize
+	switch mm := m.(type) {
+	case *wire.Count:
+		size += mm.Size()
+		r.metrics.CountsSent++
+	case *wire.CountQuery:
+		size += wire.CountQuerySize
+		r.metrics.QueriesSent++
+	case *wire.CountResponse:
+		size += wire.CountResponseSize
+		r.metrics.ResponsesSent++
+	}
+	r.node.Send(ifindex, &netsim.Packet{
+		Src: r.node.Addr, Dst: to, Proto: netsim.ProtoECMP,
+		TTL: 1, Size: size, Payload: m,
+	})
+}
+
+// channelFor returns (creating if create is set) the state for ch, wiring
+// the upstream interface via RPF.
+func (r *Router) channelFor(ch addr.Channel, create bool) *channel {
+	c := r.channels[ch]
+	if c == nil && create {
+		c = &channel{
+			id:        ch,
+			upIf:      -1,
+			counts:    make(map[wire.CountID]*countState),
+			pending:   make(map[pendKey]*pendingQuery),
+			proactive: make(map[wire.CountID]bool),
+		}
+		if route, ok := r.rt.RPFInterface(r.node.ID, ch.S); ok && route.Ifindex >= 0 {
+			c.upIf = route.Ifindex
+			c.upNbr = r.nodeAddr(route.NextHop)
+		}
+		r.channels[ch] = c
+	}
+	return c
+}
+
+func (r *Router) nodeAddr(id netsim.NodeID) addr.Addr {
+	return r.node.Sim().Node(id).Addr
+}
+
+func (c *channel) count(id wire.CountID) *countState {
+	cs := c.counts[id]
+	if cs == nil {
+		cs = &countState{
+			vals:   make(map[int]map[addr.Addr]uint32),
+			expiry: make(map[addr.Addr]netsim.Time),
+		}
+		c.counts[id] = cs
+	}
+	return cs
+}
+
+// set records a neighbor's value, returning true if the iface's zero/
+// non-zero status may have changed.
+func (cs *countState) set(ifindex int, nbr addr.Addr, v uint32) {
+	m := cs.vals[ifindex]
+	if v == 0 {
+		if m != nil {
+			delete(m, nbr)
+			if len(m) == 0 {
+				delete(cs.vals, ifindex)
+			}
+		}
+		delete(cs.expiry, nbr)
+		return
+	}
+	if m == nil {
+		m = make(map[addr.Addr]uint32)
+		cs.vals[ifindex] = m
+	}
+	m[nbr] = v
+}
+
+// get returns nbr's recorded value on ifindex.
+func (cs *countState) get(ifindex int, nbr addr.Addr) uint32 {
+	return cs.vals[ifindex][nbr]
+}
+
+// total sums all downstream values plus the local contribution.
+func (cs *countState) total() uint32 {
+	t := cs.local
+	for _, m := range cs.vals {
+		for _, v := range m {
+			t += v
+		}
+	}
+	return t
+}

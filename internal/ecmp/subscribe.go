@@ -1,0 +1,392 @@
+package ecmp
+
+import (
+	"crypto/subtle"
+
+	"repro/internal/addr"
+	"repro/internal/fib"
+	"repro/internal/wire"
+)
+
+// handleUnsolicitedCount processes a Count with Seq == 0: a subscription,
+// unsubscription, proactive count update, keepalive, or key installation.
+func (r *Router) handleUnsolicitedCount(ifindex int, from addr.Addr, m *wire.Count) {
+	switch m.CountID {
+	case keepaliveCountID:
+		return // liveness already recorded by the caller
+	case countKeyInstall:
+		r.handleKeyInstall(ifindex, from, m)
+		return
+	case wire.CountNeighbors:
+		r.noteRouterNeighbor(ifindex, from)
+		return
+	}
+	if !m.Channel.Valid() {
+		return
+	}
+
+	if m.CountID == wire.CountSubscribers {
+		r.handleMembership(ifindex, from, m)
+		return
+	}
+	// Proactive update for a non-membership countId: record and re-evaluate
+	// our own upstream advertisement.
+	c := r.channelFor(m.Channel, false)
+	if c == nil {
+		return
+	}
+	cs := c.count(m.CountID)
+	cs.set(ifindex, from, m.Value)
+	r.maybeAdvertise(c, m.CountID)
+}
+
+// handleMembership is the Section 3.2 tree-maintenance path: an unsolicited
+// subscriberId Count subscribes (Value > 0) or unsubscribes (Value == 0)
+// the sending neighbor's subtree.
+func (r *Router) handleMembership(ifindex int, from addr.Addr, m *wire.Count) {
+	c := r.channelFor(m.Channel, m.Value > 0)
+	if c == nil {
+		return
+	}
+	cs := c.count(wire.CountSubscribers)
+	prev := cs.get(ifindex, from)
+
+	if m.Value > 0 && ifindex == c.upIf && from == c.upNbr {
+		// Counts only flow from leaves toward the source; a "subscription"
+		// arriving on the upstream interface would create a loop and is a
+		// protocol violation. Drop it.
+		return
+	}
+
+	// Authenticated access (Sections 3.1–3.2, 3.5): validate locally if we
+	// hold the key (authoritative or cached), otherwise forward upstream
+	// and hold the subscription pending.
+	if m.Value > 0 {
+		if c.restricted || m.HasKey {
+			switch {
+			case c.keyKnown:
+				if !m.HasKey || subtle.ConstantTimeCompare(m.Key[:], c.key[:]) != 1 {
+					r.metrics.AuthDenied++
+					r.sendMsg(ifindex, from, &wire.CountResponse{
+						Channel: m.Channel, CountID: m.CountID, Status: wire.StatusBadKey,
+					})
+					return
+				}
+				r.sendMsg(ifindex, from, &wire.CountResponse{
+					Channel: m.Channel, CountID: m.CountID, Status: wire.StatusOK,
+				})
+			case c.upIf >= 0:
+				// Unknown key: record as pending; the upstream CountResponse
+				// will confirm (caching the key) or deny.
+				c.pendingAuth = append(c.pendingAuth, pendingAuth{
+					ifindex: ifindex, nbr: from, key: m.Key, value: m.Value,
+				})
+			}
+		}
+	}
+
+	if m.Value > 0 {
+		r.metrics.Subscribes++
+	} else if prev > 0 {
+		r.metrics.Unsubscribes++
+	}
+	cs.set(ifindex, from, m.Value)
+	if m.Value > 0 && r.ifmode[ifindex] == ModeUDP {
+		cs.expiry[from] = r.node.Sim().Now() + r.cfg.HoldTime
+	}
+
+	r.syncFIB(c)
+	r.propagateMembership(c, m)
+
+	// UDP mode, like IGMPv2: a zero Count triggers a re-query on that
+	// interface to catch other members that were sharing it (Section 3.2).
+	if m.Value == 0 && prev > 0 && r.ifmode[ifindex] == ModeUDP {
+		r.sendChannelQuery(ifindex, m.Channel)
+	}
+
+	r.maybeDeleteChannel(c)
+}
+
+// syncFIB reconciles the FIB entry for c with the per-interface membership
+// state: an interface is an outgoing interface iff its subscriber sum is
+// non-zero; the incoming interface is the RPF interface toward the source.
+func (r *Router) syncFIB(c *channel) {
+	cs := c.counts[wire.CountSubscribers]
+	key := fib.Key{S: c.id.S, G: c.id.E}
+	var oifs uint32
+	if cs != nil {
+		for i, m := range cs.vals {
+			if len(m) > 0 && i < fib.MaxInterfaces {
+				oifs |= 1 << uint(i)
+			}
+		}
+	}
+	if oifs == 0 && (cs == nil || cs.local == 0) {
+		r.fib.Delete(key)
+		return
+	}
+	e := r.fib.Ensure(key)
+	e.IIF = c.upIf
+	e.OIFs = oifs
+}
+
+// propagateMembership pushes the membership change toward the source
+// according to the configured propagation policy.
+func (r *Router) propagateMembership(c *channel, trigger *wire.Count) {
+	if c.upIf < 0 {
+		return // we are the source's node or the source is unreachable
+	}
+	cs := c.count(wire.CountSubscribers)
+	total := cs.total()
+
+	switch r.cfg.Propagation {
+	case PropagateTree:
+		// Only zero/non-zero transitions travel upstream; a join reaching a
+		// router already on the tree stops here (Section 3.2, Figure 3).
+		wasOn := cs.everAdv && cs.advertised > 0
+		isOn := total > 0
+		if wasOn == isOn && cs.everAdv {
+			return
+		}
+		v := uint32(0)
+		if isOn {
+			v = total // first join carries the current sum
+		}
+		r.advertiseUpstream(c, wire.CountSubscribers, v, trigger)
+	case PropagateEager:
+		if cs.everAdv && cs.advertised == total {
+			return
+		}
+		r.advertiseUpstream(c, wire.CountSubscribers, total, trigger)
+	case PropagateProactive:
+		r.maybeAdvertise(c, wire.CountSubscribers)
+	}
+}
+
+// advertiseUpstream sends a Count for (c, id) with value v to the upstream
+// neighbor. The trigger, when carrying a key, is forwarded for validation.
+func (r *Router) advertiseUpstream(c *channel, id wire.CountID, v uint32, trigger *wire.Count) {
+	cs := c.count(id)
+	cs.advertised = v
+	cs.everAdv = true
+	cs.lastAdvAt = r.node.Sim().Now()
+	out := &wire.Count{Channel: c.id, CountID: id, Value: v}
+	if trigger != nil && trigger.HasKey {
+		out.HasKey, out.Key = true, trigger.Key
+	}
+	r.sendMsg(c.upIf, c.upNbr, out)
+}
+
+// maybeDeleteChannel garbage-collects a channel with no members, no local
+// state and no pending activity.
+func (r *Router) maybeDeleteChannel(c *channel) {
+	cs := c.counts[wire.CountSubscribers]
+	if cs != nil && (cs.total() > 0 || len(cs.vals) > 0) {
+		return
+	}
+	if len(c.pending) > 0 || len(c.pendingAuth) > 0 || c.keyAuthor {
+		return
+	}
+	if c.switchTimer != nil {
+		c.switchTimer.Stop()
+	}
+	for _, s := range c.counts {
+		if s.checkTimer != nil {
+			s.checkTimer.Stop()
+		}
+	}
+	r.fib.Delete(fib.Key{S: c.id.S, G: c.id.E})
+	delete(r.channels, c.id)
+}
+
+// handleKeyInstall installs or removes the authoritative channel key. Only
+// the channel's source host may do so, and only over the RPF interface
+// toward itself — the first-hop router trust model of Section 3.5.
+func (r *Router) handleKeyInstall(ifindex int, from addr.Addr, m *wire.Count) {
+	if from != m.Channel.S {
+		return
+	}
+	route, ok := r.rt.RPFInterface(r.node.ID, m.Channel.S)
+	if !ok || route.Ifindex != ifindex {
+		return
+	}
+	c := r.channelFor(m.Channel, true)
+	if m.Value > 0 && m.HasKey {
+		c.restricted = true
+		c.key = m.Key
+		c.keyKnown = true
+		c.keyAuthor = true
+		r.sendMsg(ifindex, from, &wire.CountResponse{
+			Channel: m.Channel, CountID: countKeyInstall, Status: wire.StatusOK,
+		})
+	} else {
+		c.restricted = false
+		c.keyKnown = false
+		c.keyAuthor = false
+		c.key = wire.Key{}
+		r.maybeDeleteChannel(c)
+	}
+}
+
+// handleResponse processes a CountResponse from upstream: the validation or
+// denial of previously forwarded authenticated subscriptions (Section 3.2).
+func (r *Router) handleResponse(ifindex int, from addr.Addr, m *wire.CountResponse) {
+	c := r.channels[m.Channel]
+	if c == nil {
+		return
+	}
+	if ifindex != c.upIf || from != c.upNbr {
+		return // responses are only authoritative from our upstream
+	}
+	if m.CountID != wire.CountSubscribers {
+		return
+	}
+	pend := c.pendingAuth
+	c.pendingAuth = nil
+	switch m.Status {
+	case wire.StatusOK:
+		// The key that went upstream — the first pending entry's, since that
+		// is the Count our upstream advertisement carried — is now
+		// validated; cache it so further authenticated requests are decided
+		// locally (Section 3.2). Other pending entries are checked against
+		// the cached key: matching ones confirm, the rest are denied.
+		if len(pend) > 0 && !c.keyKnown {
+			c.restricted = true
+			c.keyKnown = true
+			c.key = pend[0].key
+		}
+		changed := false
+		for _, p := range pend {
+			if subtle.ConstantTimeCompare(p.key[:], c.key[:]) == 1 {
+				r.sendMsg(p.ifindex, p.nbr, &wire.CountResponse{
+					Channel: m.Channel, CountID: m.CountID, Status: wire.StatusOK,
+				})
+				continue
+			}
+			r.metrics.AuthDenied++
+			c.count(wire.CountSubscribers).set(p.ifindex, p.nbr, 0)
+			changed = true
+			r.sendMsg(p.ifindex, p.nbr, &wire.CountResponse{
+				Channel: m.Channel, CountID: m.CountID, Status: wire.StatusBadKey,
+			})
+		}
+		if changed {
+			r.syncFIB(c)
+			r.propagateMembership(c, nil)
+			r.maybeDeleteChannel(c)
+		}
+	case wire.StatusBadKey:
+		c.restricted = true
+		for _, p := range pend {
+			r.metrics.AuthDenied++
+			cs := c.count(wire.CountSubscribers)
+			cs.set(p.ifindex, p.nbr, 0)
+			r.sendMsg(p.ifindex, p.nbr, &wire.CountResponse{
+				Channel: m.Channel, CountID: m.CountID, Status: wire.StatusBadKey,
+			})
+		}
+		r.syncFIB(c)
+		r.propagateMembership(c, nil)
+		r.maybeDeleteChannel(c)
+	}
+}
+
+// reconcileUpstreams re-evaluates every channel's RPF interface after a
+// topology change. When the upstream moves, the router sends its current
+// Count to the new upstream and a zero Count to the old one, with
+// hysteresis against route oscillation (Section 3.2). If the old upstream
+// interface is the one that failed, the switch is immediate.
+func (r *Router) reconcileUpstreams(linkDown bool, ifindex int) {
+	v := r.rt.Version()
+	if v == r.routeVer && !linkDown {
+		return
+	}
+	r.routeVer = v
+	for _, c := range r.channels {
+		route, ok := r.rt.RPFInterface(r.node.ID, c.id.S)
+		if !ok || route.Ifindex < 0 {
+			continue // source unreachable; keep state until it expires
+		}
+		newIf, newNbr := route.Ifindex, r.nodeAddr(route.NextHop)
+		if newIf == c.upIf && newNbr == c.upNbr {
+			if c.switchTimer != nil { // route flapped back: cancel pending switch
+				c.switchTimer.Stop()
+				c.switchTimer = nil
+			}
+			continue
+		}
+		immediate := linkDown && c.upIf == ifindex
+		c.pendUpIf, c.pendUpNbr = newIf, newNbr
+		if immediate {
+			r.switchUpstream(c)
+			continue
+		}
+		if c.switchTimer != nil {
+			c.switchTimer.Stop()
+		}
+		cc := c
+		c.switchTimer = r.node.Sim().After(r.cfg.Hysteresis, func() {
+			cc.switchTimer = nil
+			r.switchUpstream(cc)
+		})
+	}
+}
+
+// switchUpstream moves the channel to the pending upstream neighbor.
+func (r *Router) switchUpstream(c *channel) {
+	if c.pendUpIf == c.upIf && c.pendUpNbr == c.upNbr {
+		return
+	}
+	oldIf, oldNbr := c.upIf, c.upNbr
+	c.upIf, c.upNbr = c.pendUpIf, c.pendUpNbr
+	r.metrics.UpstreamSwitches++
+
+	cs := c.count(wire.CountSubscribers)
+	total := cs.total()
+	if total > 0 && c.upIf >= 0 {
+		r.sendMsg(c.upIf, c.upNbr, &wire.Count{
+			Channel: c.id, CountID: wire.CountSubscribers, Value: total,
+		})
+		cs.advertised = total
+		cs.everAdv = true
+		cs.lastAdvAt = r.node.Sim().Now()
+	}
+	if oldIf >= 0 && r.node.IfaceUp(oldIf) {
+		r.sendMsg(oldIf, oldNbr, &wire.Count{
+			Channel: c.id, CountID: wire.CountSubscribers, Value: 0,
+		})
+	}
+	r.syncFIB(c)
+}
+
+// Subscribe performs a local subscription at this node (used when a host
+// stack runs directly on the router, and by tests). value is normally 1.
+func (r *Router) Subscribe(ch addr.Channel, key *wire.Key) {
+	c := r.channelFor(ch, true)
+	cs := c.count(wire.CountSubscribers)
+	cs.local = 1
+	r.metrics.Subscribes++
+	var trigger *wire.Count
+	if key != nil {
+		trigger = &wire.Count{HasKey: true, Key: *key}
+	}
+	r.syncFIB(c)
+	r.propagateMembership(c, trigger)
+}
+
+// Unsubscribe removes a local subscription.
+func (r *Router) Unsubscribe(ch addr.Channel) {
+	c := r.channels[ch]
+	if c == nil {
+		return
+	}
+	cs := c.count(wire.CountSubscribers)
+	if cs.local == 0 {
+		return
+	}
+	cs.local = 0
+	r.metrics.Unsubscribes++
+	r.syncFIB(c)
+	r.propagateMembership(c, nil)
+	r.maybeDeleteChannel(c)
+}

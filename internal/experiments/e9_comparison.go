@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/baseline/cbt"
+	"repro/internal/baseline/dvmrp"
+	"repro/internal/baseline/pimsm"
+	"repro/internal/ecmp"
+	"repro/internal/express"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+	"repro/internal/unicast"
+)
+
+// E9Row is one protocol's measurements on the shared scenario.
+type E9Row struct {
+	Protocol string
+	// StateEntries is total multicast routing state across all routers.
+	StateEntries int
+	// CtrlMsgs is total control messages during setup and the data phase.
+	CtrlMsgs uint64
+	// FirstPktLinkTx and SteadyLinkTx are link transmissions for the first
+	// data packet and a steady-state packet (DVMRP's flood shows up here).
+	FirstPktLinkTx  uint64
+	SteadyLinkTx    uint64
+	MeanDelayMs     float64
+	Stretch         float64 // vs EXPRESS (shortest-path) delivery
+	DeliveredPerPkt float64
+}
+
+const (
+	e9Grid    = 5 // 5×5 router grid
+	e9Members = 8
+)
+
+// e9MemberRouters spreads members around the grid, far from the source at
+// router 0 and mostly off the RP/core (center, router 12).
+var e9MemberRouters = []int{4, 6, 8, 14, 18, 20, 22, 24}
+
+// e9Group is the multicast group the baselines use; EXPRESS uses (S,E).
+var e9Group = addr.MustParse("239.9.9.9")
+
+func totalLinkPackets(sim *netsim.Sim) uint64 {
+	var n uint64
+	for _, l := range sim.Links() {
+		n += l.TotalPackets()
+	}
+	return n
+}
+
+// RunE9Express measures the EXPRESS stack on the scenario.
+func RunE9Express() E9Row {
+	cfg := ecmp.DefaultConfig()
+	cfg.QueryInterval = 3600 * netsim.Second
+	cfg.KeepaliveInterval = 3600 * netsim.Second
+	cfg.HoldTime = 3 * 3600 * netsim.Second
+	n := testutil.GridNet(77, e9Grid, e9Grid, cfg)
+	src := n.AddSource(n.Routers[0])
+	var subs []*express.Subscriber
+	for _, ri := range e9MemberRouters {
+		subs = append(subs, n.AddSubscriber(n.Routers[ri]))
+	}
+	n.Start()
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() {
+		for _, s := range subs {
+			s.Subscribe(ch, nil, nil)
+		}
+	})
+	n.Sim.RunUntil(2 * netsim.Second)
+
+	row := E9Row{Protocol: "EXPRESS"}
+	for _, r := range n.Routers {
+		row.StateEntries += r.FIB().Len()
+	}
+	row.CtrlMsgs = n.TotalControlMessages()
+
+	before := totalLinkPackets(n.Sim)
+	sendAt := n.Sim.Now()
+	n.Sim.After(0, func() { _ = src.Send(ch, 1000, nil) })
+	n.Sim.RunUntil(sendAt + netsim.Second)
+	row.FirstPktLinkTx = totalLinkPackets(n.Sim) - before
+
+	var delays []netsim.Time
+	hookDelays(&delays, subs)
+	before = totalLinkPackets(n.Sim)
+	sendAt = n.Sim.Now()
+	n.Sim.After(0, func() { _ = src.Send(ch, 1000, nil) })
+	n.Sim.RunUntil(sendAt + netsim.Second)
+	row.SteadyLinkTx = totalLinkPackets(n.Sim) - before
+	row.MeanDelayMs, row.DeliveredPerPkt = meanDelayMs(delays, sendAt, len(subs))
+	row.Stretch = 1.0
+	return row
+}
+
+func hookDelays(delays *[]netsim.Time, subs []*express.Subscriber) {
+	for _, s := range subs {
+		ss := s
+		ss.OnData = func(_ addr.Channel, _ *netsim.Packet) {
+			*delays = append(*delays, ss.Node().Sim().Now())
+		}
+	}
+}
+
+func meanDelayMs(arrivals []netsim.Time, sentAt netsim.Time, members int) (float64, float64) {
+	if len(arrivals) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, at := range arrivals {
+		sum += (at - sentAt).Seconds() * 1000
+	}
+	return sum / float64(len(arrivals)), float64(len(arrivals)) / float64(members)
+}
+
+// baselineNet builds the shared grid with a source host and member hosts
+// for a baseline protocol. wire attaches the protocol engine to each router
+// node and returns per-router join/leave hooks.
+func baselineNet() (*netsim.Sim, []*netsim.Node, *unicast.Routing, *testutil.Host, []*testutil.Host, [][2]int) {
+	sim := netsim.New(77)
+	routers := netsim.Grid(sim, e9Grid, e9Grid, netsim.DefaultWAN)
+	srcHost, _ := testutil.AttachCountingHost(sim, routers[0], 0)
+	var members []*testutil.Host
+	var memberAt [][2]int // (routerIdx, hostIf)
+	for i, ri := range e9MemberRouters {
+		h, rIf := testutil.AttachCountingHost(sim, routers[ri], i+1)
+		h.Accept = e9Group
+		members = append(members, h)
+		memberAt = append(memberAt, [2]int{ri, rIf})
+	}
+	rt := unicast.Compute(sim)
+	return sim, routers, rt, srcHost, members, memberAt
+}
+
+func collectDelays(members []*testutil.Host, sentAt netsim.Time) []netsim.Time {
+	var out []netsim.Time
+	for _, m := range members {
+		for _, at := range m.DeliveredAt {
+			if at >= sentAt {
+				out = append(out, at)
+			}
+		}
+	}
+	return out
+}
+
+// RunE9PIM measures PIM-SM; sptSwitch selects shared-tree-only (-1) or
+// switch-on-first-packet (0) behaviour.
+func RunE9PIM(sptSwitch int, label string) E9Row {
+	sim, routers, rt, srcHost, members, memberAt := baselineNet()
+	rps := map[addr.Addr]addr.Addr{e9Group: routers[12].Addr} // center RP
+	engines := make([]*pimsm.Router, len(routers))
+	for i, rn := range routers {
+		engines[i] = pimsm.New(rn, rt, rps)
+		engines[i].SPTThresholdBytes = sptSwitch
+	}
+	for i, ma := range memberAt {
+		engines[ma[0]].JoinLocal(e9Group, ma[1])
+		_ = i
+	}
+	sim.RunUntil(2 * netsim.Second)
+
+	row := E9Row{Protocol: label}
+	before := totalLinkPackets(sim)
+	sendAt := sim.Now()
+	sim.After(0, func() { srcHost.SendMulticast(e9Group, 1000) })
+	sim.RunUntil(sendAt + netsim.Second)
+	row.FirstPktLinkTx = totalLinkPackets(sim) - before
+
+	// Warm up: a few packets let the register tunnel stop, the RP's (S,G)
+	// join complete, and SPT switchover settle before the steady-state
+	// measurement.
+	for i := 0; i < 3; i++ {
+		sim.After(0, func() { srcHost.SendMulticast(e9Group, 1000) })
+		sim.RunUntil(sim.Now() + 2*netsim.Second)
+	}
+	before = totalLinkPackets(sim)
+	sendAt = sim.Now()
+	sim.After(0, func() { srcHost.SendMulticast(e9Group, 1000) })
+	sim.RunUntil(sendAt + netsim.Second)
+	row.SteadyLinkTx = totalLinkPackets(sim) - before
+	row.MeanDelayMs, row.DeliveredPerPkt = meanDelayMs(collectDelays(members, sendAt), sendAt, len(members))
+
+	for _, e := range engines {
+		row.StateEntries += e.StateEntries()
+		m := e.Metrics
+		row.CtrlMsgs += m.JoinsSent + m.PrunesSent + m.RegistersSent + m.RegisterStops
+	}
+	return row
+}
+
+// RunE9CBT measures the core-based bidirectional shared tree.
+func RunE9CBT() E9Row {
+	sim, routers, rt, srcHost, members, memberAt := baselineNet()
+	cores := map[addr.Addr]addr.Addr{e9Group: routers[12].Addr}
+	engines := make([]*cbt.Router, len(routers))
+	for i, rn := range routers {
+		engines[i] = cbt.New(rn, rt, cores)
+	}
+	for _, ma := range memberAt {
+		engines[ma[0]].JoinLocal(e9Group, ma[1])
+	}
+	sim.RunUntil(2 * netsim.Second)
+
+	row := E9Row{Protocol: "CBT"}
+	measureBaselineData(&row, sim, srcHost, members)
+	for _, e := range engines {
+		row.StateEntries += e.StateEntries()
+		m := e.Metrics
+		row.CtrlMsgs += m.JoinsSent + m.QuitsSent
+	}
+	return row
+}
+
+// RunE9DVMRP measures broadcast-and-prune.
+func RunE9DVMRP() E9Row {
+	sim, routers, rt, srcHost, members, memberAt := baselineNet()
+	engines := make([]*dvmrp.Router, len(routers))
+	for i, rn := range routers {
+		var routerIfs []int
+		for ifi, peers := range rn.Neighbors() {
+			for _, p := range peers {
+				if int(p.Node) < len(routers) {
+					routerIfs = append(routerIfs, ifi)
+					break
+				}
+			}
+		}
+		engines[i] = dvmrp.New(rn, rt, routerIfs)
+	}
+	for _, ma := range memberAt {
+		engines[ma[0]].JoinLocal(e9Group, ma[1])
+	}
+	sim.RunUntil(2 * netsim.Second)
+
+	row := E9Row{Protocol: "DVMRP"}
+	measureBaselineData(&row, sim, srcHost, members)
+	for _, e := range engines {
+		row.StateEntries += e.StateEntries()
+		m := e.Metrics
+		row.CtrlMsgs += m.PrunesSent + m.GraftsSent
+	}
+	return row
+}
+
+func measureBaselineData(row *E9Row, sim *netsim.Sim, srcHost *testutil.Host, members []*testutil.Host) {
+	before := totalLinkPackets(sim)
+	sendAt := sim.Now()
+	sim.After(0, func() { srcHost.SendMulticast(e9Group, 1000) })
+	sim.RunUntil(sendAt + netsim.Second)
+	row.FirstPktLinkTx = totalLinkPackets(sim) - before
+
+	// Warm up so prune/convergence state settles before the steady-state
+	// measurement.
+	for i := 0; i < 3; i++ {
+		sim.After(0, func() { srcHost.SendMulticast(e9Group, 1000) })
+		sim.RunUntil(sim.Now() + 2*netsim.Second)
+	}
+	before = totalLinkPackets(sim)
+	sendAt = sim.Now()
+	sim.After(0, func() { srcHost.SendMulticast(e9Group, 1000) })
+	sim.RunUntil(sendAt + netsim.Second)
+	row.SteadyLinkTx = totalLinkPackets(sim) - before
+	row.MeanDelayMs, row.DeliveredPerPkt = meanDelayMs(collectDelays(members, sendAt), sendAt, len(members))
+}
+
+// E9Comparison renders the protocol comparison table.
+func E9Comparison() *Table {
+	t := &Table{
+		ID: "E9",
+		Title: fmt.Sprintf("§3.6/§4.4 — EXPRESS vs group-model baselines (%d×%d grid, source corner, %d members, RP/core center)",
+			e9Grid, e9Grid, e9Members),
+		Header: []string{"protocol", "state entries", "ctrl msgs", "1st-pkt link tx", "steady link tx", "mean delay ms", "stretch", "delivery"},
+	}
+	express := RunE9Express()
+	rows := []E9Row{
+		express,
+		RunE9PIM(-1, "PIM-SM shared"),
+		RunE9PIM(0, "PIM-SM +SPT"),
+		RunE9CBT(),
+		RunE9DVMRP(),
+	}
+	for i := range rows {
+		if i > 0 && express.MeanDelayMs > 0 {
+			rows[i].Stretch = rows[i].MeanDelayMs / express.MeanDelayMs
+		}
+		r := rows[i]
+		t.AddRow(r.Protocol, itoa(r.StateEntries), u64(r.CtrlMsgs), u64(r.FirstPktLinkTx),
+			u64(r.SteadyLinkTx), f2(r.MeanDelayMs), f2(r.Stretch), f2(r.DeliveredPerPkt))
+	}
+	t.Note("shape claims: EXPRESS stretch 1.0 by construction (\"multicast traffic only travels along " +
+		"paths from the source to the subscribers\"); PIM-SM shared tree and CBT detour via the " +
+		"RP/core (stretch > 1) until SPT switchover; DVMRP's first packet floods the whole grid " +
+		"(broadcast-and-prune) and leaves prune state at member-less routers")
+	return t
+}

@@ -1,0 +1,91 @@
+// Package experiments contains one runner per paper artifact (see
+// DESIGN.md §4 for the experiment index E1–E12). Each runner returns a
+// Table whose rows regenerate the corresponding figure or worked scenario;
+// cmd/paperbench prints them all and the repository-root benchmarks wrap
+// them for `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a free-form footnote (paper-vs-measured commentary).
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	sb.WriteByte('\n')
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.WriteTo(&sb)
+	return sb.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func f6(v float64) string { return fmt.Sprintf("%.6f", v) }
+func itoa(v int) string   { return fmt.Sprintf("%d", v) }
+func u64(v uint64) string { return fmt.Sprintf("%d", v) }
+func dollars(v float64) string {
+	if v < 0.01 {
+		return fmt.Sprintf("$%.6f", v)
+	}
+	return fmt.Sprintf("$%.2f", v)
+}

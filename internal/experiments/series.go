@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/counting"
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+// Figure7CSV renders the Figure 7 curve family as CSV (dt, e per α) for
+// plotting.
+func Figure7CSV() string {
+	var sb strings.Builder
+	alphas := []float64{4, 2.5}
+	sb.WriteString("dt_seconds")
+	for _, a := range alphas {
+		fmt.Fprintf(&sb, ",e_alpha_%g", a)
+	}
+	sb.WriteByte('\n')
+	curves := make([]counting.Curve, len(alphas))
+	for i, a := range alphas {
+		curves[i] = counting.Curve{EMax: 1, Alpha: a, Tau: 120}
+	}
+	for dt := 0.0; dt <= 70; dt += 0.5 {
+		fmt.Fprintf(&sb, "%.1f", dt)
+		for _, c := range curves {
+			fmt.Fprintf(&sb, ",%.6f", c.Eval(dt))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Figure8CSV renders the Figure 8 reproduction as CSV: time, actual group
+// size, estimated size and cumulative Counts for α=4 and α=2.5 — the two
+// stacked plots of the paper, sampled on a 1-second grid.
+func Figure8CSV() string {
+	a4 := RunE7(4, 99)
+	a25 := RunE7(2.5, 99)
+
+	sample := func(pts []workload.SizePoint, at netsim.Time) int {
+		v := 0
+		for _, p := range pts {
+			if p.At > at {
+				break
+			}
+			v = p.Size
+		}
+		return v
+	}
+	end := 420 * netsim.Second
+	var sb strings.Builder
+	sb.WriteString("time_s,actual,est_alpha4,est_alpha2.5,counts_alpha4,counts_alpha2.5\n")
+	for at := netsim.Time(0); at <= end; at += netsim.Second {
+		fmt.Fprintf(&sb, "%d,%d,%d,%d,%d,%d\n",
+			at/netsim.Second,
+			sample(a4.Actual, at),
+			sample(a4.Estimate, at),
+			sample(a25.Estimate, at),
+			sample(a4.CountsToSource, at),
+			sample(a25.CountsToSource, at),
+		)
+	}
+	return sb.String()
+}

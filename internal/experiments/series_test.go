@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFigure7CSV(t *testing.T) {
+	csv := Figure7CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "dt_seconds,e_alpha_4,e_alpha_2.5" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+141 { // dt 0..70 step 0.5
+		t.Fatalf("rows = %d, want 142", len(lines))
+	}
+	prev4 := 2.0
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) != 3 {
+			t.Fatalf("bad row %q", line)
+		}
+		e4, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e4 > prev4+1e-12 {
+			t.Fatalf("α=4 curve not monotone at %q", line)
+		}
+		prev4 = e4
+	}
+}
+
+func TestFigure8CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulation")
+	}
+	csv := Figure8CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "time_s,actual,est_alpha4,est_alpha2.5,counts_alpha4,counts_alpha2.5" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) < 400 {
+		t.Fatalf("rows = %d, want >= 400", len(lines))
+	}
+	// Last row: everyone left, estimates drained, message counters final.
+	last := strings.Split(lines[len(lines)-1], ",")
+	for i := 1; i <= 3; i++ {
+		if last[i] != "0" {
+			t.Errorf("final column %d = %s, want 0 (group empty)", i, last[i])
+		}
+	}
+	// Cumulative message columns are non-decreasing.
+	prev := [2]int{}
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		c4, _ := strconv.Atoi(f[4])
+		c25, _ := strconv.Atoi(f[5])
+		if c4 < prev[0] || c25 < prev[1] {
+			t.Fatalf("cumulative counts decreased at %q", line)
+		}
+		prev = [2]int{c4, c25}
+	}
+}

@@ -1,0 +1,209 @@
+package express_test
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/ecmp"
+	"repro/internal/express"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+	"repro/internal/wire"
+)
+
+const voteID = wire.AppCountBase + 7
+
+// TestApplicationVote exercises the application-defined countId path of
+// Section 2.2.1: the source polls, subscribers' applications answer, the
+// tree sums the votes.
+func TestApplicationVote(t *testing.T) {
+	n := testutil.TreeNet(71, 2, ecmp.DefaultConfig())
+	src := n.AddSource(n.Routers[0])
+	leaves := n.Routers[3:]
+	votes := []uint32{1, 0, 1, 1, 0, 1}
+	var subs []*express.Subscriber
+	for i, v := range votes {
+		s := n.AddSubscriber(leaves[i%len(leaves)])
+		vv := v
+		s.OnAppCount = func(_ addr.Channel, id wire.CountID) uint32 {
+			if id == voteID {
+				return vv
+			}
+			return 0
+		}
+		subs = append(subs, s)
+	}
+	n.Start()
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() {
+		for _, s := range subs {
+			s.Subscribe(ch, nil, nil)
+		}
+	})
+	n.Sim.RunUntil(netsim.Second)
+
+	var got uint32
+	var ok bool
+	n.Sim.After(0, func() {
+		src.CountQuery(ch, voteID, 2*netsim.Second, false, func(v uint32, replied bool) {
+			got, ok = v, replied
+		})
+	})
+	n.Sim.RunUntil(10 * netsim.Second)
+	if !ok {
+		t.Fatal("vote query timed out")
+	}
+	if got != 4 {
+		t.Errorf("votes = %d, want 4", got)
+	}
+}
+
+// TestQueryTimeoutPartialResult verifies the per-hop timeout decrement of
+// Section 3.1: with an unreachable subtree, the source still gets a
+// partial count before its own deadline.
+func TestQueryTimeoutPartialResult(t *testing.T) {
+	n := testutil.TreeNet(72, 2, ecmp.DefaultConfig())
+	src := n.AddSource(n.Routers[0])
+	leaves := n.Routers[3:]
+	var subs []*express.Subscriber
+	for i := 0; i < 4; i++ {
+		subs = append(subs, n.AddSubscriber(leaves[i]))
+	}
+	n.Start()
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() {
+		for _, s := range subs {
+			s.Subscribe(ch, nil, nil)
+		}
+	})
+	n.Sim.RunUntil(netsim.Second)
+
+	// Silently black-hole the right subtree (router 2's subtree): its
+	// hosts cannot answer, but the query must still return the left
+	// subtree's count.
+	for _, l := range n.Sim.Links() {
+		a, _, b, _ := l.Ends()
+		if a == n.Routers[0].Node() && b == n.Routers[2].Node() {
+			l.SetSilentFailure(true)
+		}
+	}
+	var got uint32
+	var ok bool
+	n.Sim.After(0, func() {
+		src.CountQuery(ch, wire.CountSubscribers, 2*netsim.Second, false, func(v uint32, replied bool) {
+			got, ok = v, replied
+		})
+	})
+	n.Sim.RunUntil(10 * netsim.Second)
+	if !ok {
+		t.Fatal("query produced no reply at all; want a partial result")
+	}
+	if got != 2 {
+		t.Errorf("partial count = %d, want 2 (the reachable subtree)", got)
+	}
+}
+
+// TestProactiveAppCount verifies Section 6 for application counts: a
+// Proactive CountQuery enables push updates; subsequent SetAppValue changes
+// reach the source without polling.
+func TestProactiveAppCount(t *testing.T) {
+	cfg := ecmp.DefaultConfig()
+	cfg.Proactive = ecmp.ProactiveParams{EMax: 0.1, Alpha: 4, Tau: 5 * netsim.Second}
+	n := testutil.LineNet(73, 3, cfg)
+	src := n.AddSource(n.Routers[0])
+	sub := n.AddSubscriber(n.Routers[2])
+	sub.OnAppCount = func(_ addr.Channel, id wire.CountID) uint32 { return 0 }
+	n.Start()
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() { sub.Subscribe(ch, nil, nil) })
+	n.Sim.RunUntil(netsim.Second)
+
+	// Enable proactive maintenance of the vote count.
+	n.Sim.After(0, func() {
+		src.CountQuery(ch, voteID, 2*netsim.Second, true, func(uint32, bool) {})
+	})
+	n.Sim.RunUntil(5 * netsim.Second)
+
+	counts := src.CountsReceived
+	// The subscriber's application changes its value; the update must
+	// reach the source within τ with no further query.
+	n.Sim.After(0, func() { sub.SetAppValue(ch, voteID, 3) })
+	n.Sim.RunUntil(n.Sim.Now() + 8*netsim.Second)
+	if src.CountsReceived == counts {
+		t.Error("no proactive update reached the source after SetAppValue")
+	}
+}
+
+// TestSourceCannotSendOnForeignChannel enforces the single-source property
+// at the service interface.
+func TestSourceCannotSendOnForeignChannel(t *testing.T) {
+	n := testutil.LineNet(74, 2, ecmp.DefaultConfig())
+	a := n.AddSource(n.Routers[0])
+	b := n.AddSource(n.Routers[1])
+	n.Start()
+	chA := testutil.MustChannel(a)
+	if err := b.Send(chA, 100, nil); err == nil {
+		t.Error("host B sent on host A's channel without error")
+	}
+	if err := b.Subcast(chA, n.Routers[0].Node().Addr, 100, nil); err == nil {
+		t.Error("host B subcast on host A's channel without error")
+	}
+	if err := b.ChannelKey(chA, wire.Key{1}); err == nil {
+		t.Error("host B installed a key for host A's channel")
+	}
+}
+
+// TestManyChannelsPerRouter checks the Section 5 scaling claim in
+// miniature: a router carries state strictly proportional to its channels,
+// and tears all of it down cleanly.
+func TestManyChannelsPerRouter(t *testing.T) {
+	n := testutil.LineNet(75, 2, ecmp.DefaultConfig())
+	src := n.AddSource(n.Routers[0])
+	sub := n.AddSubscriber(n.Routers[1])
+	n.Start()
+
+	const channels = 500
+	chs := make([]addr.Channel, channels)
+	for i := range chs {
+		chs[i] = testutil.MustChannel(src)
+	}
+	n.Sim.At(0, func() {
+		for _, ch := range chs {
+			sub.Subscribe(ch, nil, nil)
+		}
+	})
+	n.Sim.RunUntil(5 * netsim.Second)
+	if got := n.Routers[1].NumChannels(); got != channels {
+		t.Fatalf("router channels = %d, want %d", got, channels)
+	}
+	if got := n.Routers[1].FIB().MemoryBytes(); got != channels*12 {
+		t.Errorf("FIB memory = %d, want %d (12 B/channel, Figure 5)", got, channels*12)
+	}
+	n.Sim.After(0, func() {
+		for _, ch := range chs {
+			sub.Unsubscribe(ch)
+		}
+	})
+	n.Sim.RunUntil(10 * netsim.Second)
+	if got := n.Routers[1].NumChannels(); got != 0 {
+		t.Errorf("router channels after teardown = %d, want 0", got)
+	}
+}
+
+// TestSubscriberRejoinsAfterUnsubscribe covers the re-subscription path.
+func TestSubscriberRejoinsAfterUnsubscribe(t *testing.T) {
+	n := testutil.LineNet(76, 3, ecmp.DefaultConfig())
+	src := n.AddSource(n.Routers[0])
+	sub := n.AddSubscriber(n.Routers[2])
+	n.Start()
+	ch := testutil.MustChannel(src)
+
+	n.Sim.At(0, func() { sub.Subscribe(ch, nil, nil) })
+	n.Sim.At(netsim.Second, func() { sub.Unsubscribe(ch) })
+	n.Sim.At(2*netsim.Second, func() { sub.Subscribe(ch, nil, nil) })
+	n.Sim.At(3*netsim.Second, func() { _ = src.Send(ch, 100, nil) })
+	n.Sim.RunUntil(5 * netsim.Second)
+	if sub.Delivered != 1 {
+		t.Errorf("delivered after rejoin = %d, want 1", sub.Delivered)
+	}
+}

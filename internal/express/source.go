@@ -1,0 +1,208 @@
+// Package express implements the host-side EXPRESS service interface of
+// Section 2.1: channel creation, ChannelKey, CountQuery and subcast for
+// sources; newSubscription/deleteSubscription and count replies for
+// subscribers. Hosts speak ECMP to their first-hop router; no host kernel
+// changes are modelled beyond what the paper requires ("ECMP is implemented
+// on top of UDP and TCP, and so can be deployed on an end system host that
+// supports IP multicast without changing the host operating system").
+package express
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// countKeyInstall mirrors the reserved id in internal/ecmp (the ChannelKey
+// service-interface call encoded in ECMP's three-message vocabulary).
+const countKeyInstall wire.CountID = 0x8003
+
+// Source is a source host: the single designated sender of its channels.
+type Source struct {
+	node  *netsim.Node
+	alloc *addr.Allocator
+
+	querySeq uint16
+	pending  map[pendKey]*pendingCount
+
+	keys map[addr.Channel]wire.Key
+
+	// subscriberEstimate is the source's view of each channel's subscriber
+	// count, updated by unsolicited Counts reaching the tree root (under
+	// eager or proactive propagation).
+	subscriberEstimate map[addr.Channel]uint32
+
+	// CountsReceived tallies Count messages that reached the source, the
+	// quantity plotted in the lower graph of Figure 8.
+	CountsReceived uint64
+
+	// OnEstimate, when set, observes every subscriber-estimate update with
+	// its arrival time (Figure 8's upper graph series).
+	OnEstimate func(ch addr.Channel, estimate uint32, at netsim.Time)
+}
+
+type pendKey struct {
+	ch  addr.Channel
+	id  wire.CountID
+	seq uint16
+}
+
+type pendingCount struct {
+	cb    func(uint32, bool)
+	timer *netsim.Timer
+}
+
+// NewSource attaches a source host stack to node.
+func NewSource(node *netsim.Node) *Source {
+	s := &Source{
+		node:               node,
+		alloc:              addr.NewAllocator(node.Addr),
+		pending:            make(map[pendKey]*pendingCount),
+		keys:               make(map[addr.Channel]wire.Key),
+		subscriberEstimate: make(map[addr.Channel]uint32),
+	}
+	node.Handler = s
+	return s
+}
+
+// Node returns the underlying simulator node.
+func (s *Source) Node() *netsim.Node { return s.node }
+
+// CreateChannel allocates a fresh channel from the host's 2^24 local space
+// (Section 2.2.1: no global coordination needed).
+func (s *Source) CreateChannel() (addr.Channel, error) { return s.alloc.Allocate() }
+
+// CreateChannelAt allocates the specific channel suffix, for applications
+// that advertise a well-known channel address.
+func (s *Source) CreateChannelAt(suffix uint32) (addr.Channel, error) {
+	return s.alloc.AllocateSuffix(suffix)
+}
+
+// ReleaseChannel returns a channel to the host's pool.
+func (s *Source) ReleaseChannel(ch addr.Channel) error { return s.alloc.Release(ch) }
+
+// ChannelKey informs the network that the channel is authenticated: only
+// subscribers presenting k may join (Section 2.1). The key is installed at
+// the source's first-hop router.
+func (s *Source) ChannelKey(ch addr.Channel, k wire.Key) error {
+	if ch.S != s.node.Addr {
+		return fmt.Errorf("express: %v is not a channel of this host", ch)
+	}
+	s.keys[ch] = k
+	s.sendAll(&wire.Count{
+		Channel: ch, CountID: countKeyInstall, Value: 1, HasKey: true, Key: k,
+	}, wire.CountAuthSize)
+	return nil
+}
+
+// Send transmits one datagram on the channel. size is the payload size in
+// bytes (the data content itself is opaque to the network layer).
+func (s *Source) Send(ch addr.Channel, size int, payload any) error {
+	if ch.S != s.node.Addr {
+		return fmt.Errorf("express: %v is not a channel of this host", ch)
+	}
+	pkt := &netsim.Packet{
+		Src: ch.S, Dst: ch.E, Proto: netsim.ProtoData,
+		TTL: netsim.DefaultTTL, Size: wire.IPv4HeaderSize + size, Payload: payload,
+	}
+	s.node.SendAll(-1, pkt)
+	return nil
+}
+
+// Subcast relays a packet through an internal node of the distribution tree
+// (Section 2.1): the source unicasts an encapsulated packet to an
+// "on-channel" router, which decapsulates and forwards it toward all
+// downstream channel receivers only.
+func (s *Source) Subcast(ch addr.Channel, via addr.Addr, size int, payload any) error {
+	if ch.S != s.node.Addr {
+		return fmt.Errorf("express: %v is not a channel of this host", ch)
+	}
+	inner := &netsim.Packet{
+		Src: ch.S, Dst: ch.E, Proto: netsim.ProtoData,
+		TTL: netsim.DefaultTTL, Size: wire.IPv4HeaderSize + size, Payload: payload,
+	}
+	outer := &netsim.Packet{
+		Src: s.node.Addr, Dst: via, Proto: netsim.ProtoEncap,
+		TTL: netsim.DefaultTTL, Size: wire.EncapOverhead + inner.Size,
+		Payload: &netsim.Encap{Inner: inner},
+	}
+	s.node.SendAll(-1, outer)
+	return nil
+}
+
+// CountQuery efficiently collects a best-efforts count for the channel
+// within the timeout (Section 2.1). cb receives the count and whether any
+// reply arrived before the deadline. Pass proactive to request that the
+// network maintain this count proactively from now on (Section 6).
+func (s *Source) CountQuery(ch addr.Channel, id wire.CountID, timeout netsim.Time, proactive bool, cb func(count uint32, ok bool)) {
+	s.querySeq++
+	if s.querySeq == 0 {
+		s.querySeq = 1
+	}
+	seq := s.querySeq
+	pk := pendKey{ch: ch, id: id, seq: seq}
+	pc := &pendingCount{cb: cb}
+	s.pending[pk] = pc
+	pc.timer = s.node.Sim().After(timeout, func() {
+		if _, ok := s.pending[pk]; !ok {
+			return
+		}
+		delete(s.pending, pk)
+		if cb != nil {
+			cb(0, false)
+		}
+	})
+	s.sendAll(&wire.CountQuery{
+		Channel: ch, CountID: id, Seq: seq,
+		TimeoutMs: uint32(timeout / netsim.Millisecond), Proactive: proactive,
+	}, wire.CountQuerySize)
+}
+
+// SubscriberEstimate returns the source's latest estimate of a channel's
+// subscriber count, as maintained by unsolicited Counts reaching the root.
+func (s *Source) SubscriberEstimate(ch addr.Channel) uint32 {
+	return s.subscriberEstimate[ch]
+}
+
+// Receive implements netsim.Handler: the source host's view of ECMP.
+// Subscription Counts propagate "until [they reach] the source" (Section
+// 3.2); the source records them as its live subscriber estimate.
+func (s *Source) Receive(ifindex int, pkt *netsim.Packet) {
+	if pkt.Proto != netsim.ProtoECMP {
+		return // sources are senders; non-control traffic is ignored
+	}
+	switch m := pkt.Payload.(type) {
+	case *wire.Count:
+		s.CountsReceived++
+		pk := pendKey{ch: m.Channel, id: m.CountID, seq: m.Seq}
+		if pc, ok := s.pending[pk]; ok && m.Seq != 0 {
+			delete(s.pending, pk)
+			pc.timer.Stop()
+			if pc.cb != nil {
+				pc.cb(m.Value, true)
+			}
+			return
+		}
+		if m.Seq == 0 && m.CountID == wire.CountSubscribers {
+			s.subscriberEstimate[m.Channel] = m.Value
+			if s.OnEstimate != nil {
+				s.OnEstimate(m.Channel, m.Value, s.node.Sim().Now())
+			}
+		}
+	case *wire.CountResponse:
+		// Key-install acknowledgements and query rejections terminate here.
+	case *wire.CountQuery:
+		// General queries on the source's LAN: a pure source has no
+		// subscriptions to refresh.
+	}
+}
+
+// sendAll emits a control message toward the attached router(s).
+func (s *Source) sendAll(m wire.Message, size int) {
+	s.node.SendAll(-1, &netsim.Packet{
+		Src: s.node.Addr, Dst: addr.WellKnownECMP, Proto: netsim.ProtoECMP,
+		TTL: 1, Size: wire.IPv4HeaderSize + size, Payload: m,
+	})
+}

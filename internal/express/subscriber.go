@@ -1,0 +1,255 @@
+package express
+
+import (
+	"fmt"
+	"repro/internal/addr"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// SubscribeResult reports the outcome of a newSubscription call (Section
+// 2.1: "If a newSubscription fails due to a missing or improper key, the
+// call returns a failure indication via the result parameter").
+type SubscribeResult uint8
+
+const (
+	SubscribeOK SubscribeResult = iota
+	SubscribeDenied
+)
+
+// Subscriber is a subscriber host. It issues newSubscription /
+// deleteSubscription requests, answers CountQuery messages (the OS answers
+// subscriber counts immediately; application-defined countIds are forwarded
+// to the subscribing application, Section 3.1), and delivers channel data.
+type Subscriber struct {
+	node *netsim.Node
+
+	subs map[addr.Channel]*subscription
+
+	// OnData receives every datagram delivered on a subscribed channel.
+	OnData func(ch addr.Channel, pkt *netsim.Packet)
+	// OnAppCount, when set, answers application-defined countId queries
+	// ("a subscriber client could present an application-specific dialog
+	// box and message when such a countId query arrives", Section 2.2.1).
+	OnAppCount func(ch addr.Channel, id wire.CountID) uint32
+
+	// Delivered counts data packets received on subscribed channels.
+	Delivered uint64
+	// AuthTimeout is how long a keyed subscription waits for validation
+	// before reporting success (no news is good news for unrestricted
+	// channels; restricted ones are denied explicitly).
+	AuthTimeout netsim.Time
+
+	// alloc is created on demand when the host also sources channels
+	// (secondary sources in almost-single-source applications, Section 4).
+	alloc *addr.Allocator
+}
+
+type subscription struct {
+	key      *wire.Key
+	resultCb func(SubscribeResult)
+	timer    *netsim.Timer
+	active   bool
+	// appValues holds values for proactively maintained app counts.
+	appValues map[wire.CountID]uint32
+}
+
+// NewSubscriber attaches a subscriber host stack to node.
+func NewSubscriber(node *netsim.Node) *Subscriber {
+	s := &Subscriber{
+		node:        node,
+		subs:        make(map[addr.Channel]*subscription),
+		AuthTimeout: 3 * netsim.Second,
+	}
+	node.Handler = s
+	return s
+}
+
+// Node returns the underlying simulator node.
+func (s *Subscriber) Node() *netsim.Node { return s.node }
+
+// Subscribe requests reception of the channel: newSubscription(channel
+// [, K(S,E)]). key is nil for open channels. resultCb (optional) receives
+// the eventual outcome — denial arrives asynchronously as a CountResponse
+// from the first-hop router.
+func (s *Subscriber) Subscribe(ch addr.Channel, key *wire.Key, resultCb func(SubscribeResult)) {
+	sub := s.subs[ch]
+	if sub == nil {
+		sub = &subscription{appValues: make(map[wire.CountID]uint32)}
+		s.subs[ch] = sub
+	}
+	sub.key = key
+	sub.resultCb = resultCb
+	sub.active = true
+	if resultCb != nil {
+		if sub.timer != nil {
+			sub.timer.Stop()
+		}
+		sub.timer = s.node.Sim().After(s.AuthTimeout, func() {
+			if cur := s.subs[ch]; cur != nil && cur.resultCb != nil {
+				cb := cur.resultCb
+				cur.resultCb = nil
+				cb(SubscribeOK)
+			}
+		})
+	}
+	s.sendCount(ch, wire.CountSubscribers, 0, 1, key)
+}
+
+// Unsubscribe ends a subscription: deleteSubscription(channel). A host
+// unsubscribes by sending a zero Count upstream (Section 3.2).
+func (s *Subscriber) Unsubscribe(ch addr.Channel) {
+	sub := s.subs[ch]
+	if sub == nil {
+		return
+	}
+	if sub.timer != nil {
+		sub.timer.Stop()
+	}
+	delete(s.subs, ch)
+	s.sendCount(ch, wire.CountSubscribers, 0, 0, nil)
+}
+
+// Subscribed reports whether the host currently subscribes to ch.
+func (s *Subscriber) Subscribed(ch addr.Channel) bool {
+	sub := s.subs[ch]
+	return sub != nil && sub.active
+}
+
+// NodeChannel allocates a channel sourced at this host from its local 2^24
+// space. Subscriber hosts become secondary sources this way when an
+// almost-single-source application switches a long-talking member to a
+// direct channel (Section 4.1).
+func (s *Subscriber) NodeChannel(suffix uint32) (addr.Channel, error) {
+	if s.alloc == nil {
+		s.alloc = addr.NewAllocator(s.node.Addr)
+	}
+	return s.alloc.AllocateSuffix(suffix)
+}
+
+// SendOn transmits a datagram on a channel sourced at this host.
+func (s *Subscriber) SendOn(ch addr.Channel, size int, payload any) error {
+	if ch.S != s.node.Addr {
+		return fmt.Errorf("express: %v is not a channel of this host", ch)
+	}
+	s.node.SendAll(-1, &netsim.Packet{
+		Src: ch.S, Dst: ch.E, Proto: netsim.ProtoData,
+		TTL: netsim.DefaultTTL, Size: wire.IPv4HeaderSize + size, Payload: payload,
+	})
+	return nil
+}
+
+// SetAppValue updates a proactively maintained application count (e.g. a
+// vote) and pushes it upstream as an unsolicited Count.
+func (s *Subscriber) SetAppValue(ch addr.Channel, id wire.CountID, v uint32) {
+	sub := s.subs[ch]
+	if sub == nil {
+		return
+	}
+	sub.appValues[id] = v
+	s.sendCount(ch, id, 0, v, nil)
+}
+
+// Receive implements netsim.Handler.
+func (s *Subscriber) Receive(ifindex int, pkt *netsim.Packet) {
+	switch pkt.Proto {
+	case netsim.ProtoData:
+		ch := addr.Channel{S: pkt.Src, E: pkt.Dst}
+		if sub := s.subs[ch]; sub != nil && sub.active {
+			s.Delivered++
+			if s.OnData != nil {
+				s.OnData(ch, pkt)
+			}
+		}
+	case netsim.ProtoECMP:
+		s.receiveControl(ifindex, pkt)
+	}
+}
+
+func (s *Subscriber) receiveControl(ifindex int, pkt *netsim.Packet) {
+	switch m := pkt.Payload.(type) {
+	case *wire.CountQuery:
+		s.handleQuery(m)
+	case *wire.CountResponse:
+		ch := m.Channel
+		sub := s.subs[ch]
+		if sub == nil {
+			return
+		}
+		if m.Status == wire.StatusBadKey {
+			sub.active = false
+			delete(s.subs, ch)
+			if sub.timer != nil {
+				sub.timer.Stop()
+			}
+			if sub.resultCb != nil {
+				cb := sub.resultCb
+				sub.resultCb = nil
+				cb(SubscribeDenied)
+			}
+		} else if m.Status == wire.StatusOK && sub.resultCb != nil {
+			if sub.timer != nil {
+				sub.timer.Stop()
+			}
+			cb := sub.resultCb
+			sub.resultCb = nil
+			cb(SubscribeOK)
+		}
+	}
+}
+
+// handleQuery answers CountQuery messages per Section 3.1: "Depending on
+// the countId, the operating system either answers the query immediately,
+// or forwards it to the subscribing application(s)."
+func (s *Subscriber) handleQuery(q *wire.CountQuery) {
+	switch q.CountID {
+	case wire.CountAllChannels:
+		// General query: retransmit Counts for all subscribed channels
+		// (Section 3.3). No report suppression (Section 3.2).
+		for ch, sub := range s.subs {
+			if sub.active {
+				s.sendCount(ch, wire.CountSubscribers, 0, 1, sub.key)
+			}
+		}
+		return
+	case wire.CountNeighbors:
+		return // hosts are not EXPRESS routers
+	}
+	sub := s.subs[q.Channel]
+	if sub == nil || !sub.active {
+		return
+	}
+	if q.Seq == 0 {
+		// Membership re-query: refresh with an unsolicited Count.
+		if q.CountID == wire.CountSubscribers {
+			s.sendCount(q.Channel, wire.CountSubscribers, 0, 1, sub.key)
+		}
+		return
+	}
+	var v uint32
+	switch {
+	case q.CountID == wire.CountSubscribers:
+		v = 1 // the OS answers immediately
+	case q.CountID.IsApplication():
+		if s.OnAppCount != nil {
+			v = s.OnAppCount(q.Channel, q.CountID)
+		}
+		if q.Proactive {
+			sub.appValues[q.CountID] = v
+		}
+	default:
+		return // network-layer counts never reach leaf hosts
+	}
+	s.sendCount(q.Channel, q.CountID, q.Seq, v, nil)
+}
+
+func (s *Subscriber) sendCount(ch addr.Channel, id wire.CountID, seq uint16, v uint32, key *wire.Key) {
+	m := &wire.Count{Channel: ch, CountID: id, Seq: seq, Value: v}
+	if key != nil {
+		m.HasKey, m.Key = true, *key
+	}
+	s.node.SendAll(-1, &netsim.Packet{
+		Src: s.node.Addr, Dst: addr.WellKnownECMP, Proto: netsim.ProtoECMP,
+		TTL: 1, Size: wire.IPv4HeaderSize + m.Size(), Payload: m,
+	})
+}

@@ -1,0 +1,69 @@
+package fib
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// BenchmarkForwardHit measures the fast-path lookup the paper prices in
+// SRAM terms: exact (S,E) match plus the incoming-interface check.
+func BenchmarkForwardHit(b *testing.B) {
+	t := New()
+	src := addr.MustParse("171.64.7.9")
+	const channels = 1 << 16
+	for i := 0; i < channels; i++ {
+		e := t.Ensure(Key{S: src, G: addr.ExpressAddr(uint32(i))})
+		e.IIF = 0
+		e.SetOIF(1)
+		e.SetOIF(3)
+	}
+	var oifs []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var disp Disposition
+		oifs, disp = t.Forward(src, addr.ExpressAddr(uint32(i%channels)), 0, oifs[:0])
+		if disp != Forwarded {
+			b.Fatal("miss on a populated table")
+		}
+	}
+	b.ReportMetric(float64(channels), "table-entries")
+}
+
+// BenchmarkForwardMiss measures the counted-and-dropped path (Section 3.4).
+func BenchmarkForwardMiss(b *testing.B) {
+	t := New()
+	src := addr.MustParse("171.64.7.9")
+	for i := 0; i < 1<<14; i++ {
+		e := t.Ensure(Key{S: src, G: addr.ExpressAddr(uint32(i))})
+		e.IIF = 0
+		e.SetOIF(1)
+	}
+	rogue := addr.MustParse("10.9.9.9")
+	var oifs []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oifs, _ = t.Forward(rogue, addr.ExpressAddr(uint32(i&0x3fff)), 0, oifs[:0])
+	}
+	_ = oifs
+}
+
+// BenchmarkSnapshot measures packing a full table into line-card format.
+func BenchmarkSnapshot(b *testing.B) {
+	t := New()
+	src := addr.MustParse("171.64.7.9")
+	for i := 0; i < 10_000; i++ {
+		e := t.Ensure(Key{S: src, G: addr.ExpressAddr(uint32(i))})
+		e.IIF = i % MaxInterfaces
+		e.SetOIF((i + 1) % MaxInterfaces)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		packed, _ := t.Snapshot()
+		if len(packed) != 10_000*EntrySize {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package fib
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/addr"
+)
+
+// EntrySize is the fast-path encoding size of Figure 5: source (32 bits) +
+// destination suffix (24 bits) + incoming interface (5 bits) + outgoing
+// interface bitmask (32 bits) packs into 12 bytes, assuming 32 interfaces
+// per router.
+const EntrySize = 12
+
+// Packed layout (big endian):
+//
+//	bytes 0..3   source address S
+//	bytes 4..6   24-bit destination suffix (232/8 prefix implicit)
+//	byte  7      bits 0..4: incoming interface; bit 5: IIF-any flag
+//	bytes 8..11  outgoing interface bitmask
+const iifAnyFlag = 1 << 5
+
+var errBadEncoding = errors.New("fib: bad packed entry")
+
+// EncodeEntry packs an EXPRESS channel entry into the 12-byte fast-path
+// format. Wildcard-source entries are management-plane constructs for the
+// baselines and have no EXPRESS fast-path encoding; encoding one is an
+// error.
+func EncodeEntry(k Key, e *Entry, dst []byte) ([]byte, error) {
+	if k.S == 0 {
+		return nil, errors.New("fib: wildcard-source entry has no EXPRESS encoding")
+	}
+	if !k.G.IsExpress() {
+		return nil, errors.New("fib: destination outside 232/8")
+	}
+	if e.IIF >= MaxInterfaces {
+		return nil, errors.New("fib: incoming interface out of range")
+	}
+	var b [EntrySize]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(k.S))
+	suffix := k.G.ExpressSuffix()
+	b[4] = byte(suffix >> 16)
+	b[5] = byte(suffix >> 8)
+	b[6] = byte(suffix)
+	if e.IIF < 0 {
+		b[7] = iifAnyFlag
+	} else {
+		b[7] = byte(e.IIF) & 0x1f
+	}
+	binary.BigEndian.PutUint32(b[8:12], e.OIFs)
+	return append(dst, b[:]...), nil
+}
+
+// DecodeEntry unpacks a 12-byte fast-path entry.
+func DecodeEntry(b []byte) (Key, Entry, error) {
+	if len(b) < EntrySize {
+		return Key{}, Entry{}, errBadEncoding
+	}
+	k := Key{
+		S: addr.Addr(binary.BigEndian.Uint32(b[0:4])),
+		G: addr.ExpressAddr(uint32(b[4])<<16 | uint32(b[5])<<8 | uint32(b[6])),
+	}
+	e := Entry{OIFs: binary.BigEndian.Uint32(b[8:12])}
+	if b[7]&iifAnyFlag != 0 {
+		e.IIF = -1
+	} else {
+		e.IIF = int(b[7] & 0x1f)
+	}
+	return k, e, nil
+}
+
+// Snapshot encodes every EXPRESS entry in the table into the packed format,
+// the image a control plane would download to line-card SRAM. Entries that
+// have no fast-path encoding (wildcard sources, used only by baselines) are
+// skipped and counted in the second return value.
+func (t *Table) Snapshot() (packed []byte, skipped int) {
+	packed = make([]byte, 0, len(t.entries)*EntrySize)
+	for k, e := range t.entries {
+		p, err := EncodeEntry(k, e, packed)
+		if err != nil {
+			skipped++
+			continue
+		}
+		packed = p
+	}
+	return packed, skipped
+}

@@ -1,0 +1,185 @@
+// Package fib implements the multicast Forwarding Information Base.
+//
+// EXPRESS forwarding (Section 3.4) is an exact (S,E) lookup with an
+// incoming-interface check: a matching packet is forwarded to the entry's
+// outgoing interface set; a non-matching EXPRESS packet is "simply counted
+// and dropped, as opposed to being forwarded to a rendezvous point as in
+// PIM-SM, or broadcast, as with PIM-DM and DVMRP".
+//
+// The same table also serves the group-model baselines via wildcard-source
+// (*,G) entries and a bidirectional flag (CBT), so state-size comparisons
+// (experiment E9) count entries of identical layout.
+package fib
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/addr"
+)
+
+// MaxInterfaces is the number of interfaces representable in one entry's
+// outgoing-interface bitmask. Figure 5 assumes "32 interfaces per router".
+const MaxInterfaces = 32
+
+// Key identifies a forwarding entry. S == 0 denotes a wildcard-source (*,G)
+// entry, used only by the group-model baselines.
+type Key struct {
+	S addr.Addr
+	G addr.Addr
+}
+
+// Entry is the forwarding state for one channel or group.
+type Entry struct {
+	// IIF is the expected incoming interface (the RPF interface toward S,
+	// or toward the RP/core for shared trees). -1 accepts any interface,
+	// which is how CBT's bidirectional shared tree forwards.
+	IIF int
+	// OIFs is the outgoing interface bitmask.
+	OIFs uint32
+}
+
+// HasOIF reports whether interface i is in the outgoing set.
+func (e *Entry) HasOIF(i int) bool { return e.OIFs&(1<<uint(i)) != 0 }
+
+// SetOIF adds interface i to the outgoing set.
+func (e *Entry) SetOIF(i int) {
+	if i < 0 || i >= MaxInterfaces {
+		panic(fmt.Sprintf("fib: interface %d out of range", i))
+	}
+	e.OIFs |= 1 << uint(i)
+}
+
+// ClearOIF removes interface i from the outgoing set.
+func (e *Entry) ClearOIF(i int) { e.OIFs &^= 1 << uint(i) }
+
+// NumOIFs returns the number of outgoing interfaces.
+func (e *Entry) NumOIFs() int { return bits.OnesCount32(e.OIFs) }
+
+// OIFList expands the bitmask to interface indices in ascending order,
+// appending to dst to avoid allocation on the forwarding path.
+func (e *Entry) OIFList(dst []int) []int {
+	m := e.OIFs
+	for m != 0 {
+		i := bits.TrailingZeros32(m)
+		dst = append(dst, i)
+		m &^= 1 << uint(i)
+	}
+	return dst
+}
+
+// Stats counts forwarding outcomes.
+type Stats struct {
+	Lookups        uint64
+	Matched        uint64
+	UnmatchedDrops uint64 // EXPRESS packets with no (S,E) entry: counted and dropped
+	IIFDrops       uint64 // arrived on the wrong interface (RPF failure)
+}
+
+// Table is one router's multicast FIB.
+type Table struct {
+	entries map[Key]*Entry
+	stats   Stats
+}
+
+// New returns an empty FIB.
+func New() *Table {
+	return &Table{entries: make(map[Key]*Entry)}
+}
+
+// Get returns the entry for k, or nil.
+func (t *Table) Get(k Key) *Entry { return t.entries[k] }
+
+// Ensure returns the entry for k, creating an empty one (IIF -1, no OIFs)
+// if absent.
+func (t *Table) Ensure(k Key) *Entry {
+	e := t.entries[k]
+	if e == nil {
+		e = &Entry{IIF: -1}
+		t.entries[k] = e
+	}
+	return e
+}
+
+// Delete removes the entry for k.
+func (t *Table) Delete(k Key) { delete(t.entries, k) }
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// MemoryBytes returns the fast-path memory the table would occupy at the
+// paper's 12-bytes-per-entry encoding (Figure 5) — the quantity the Section
+// 5.1 cost model prices.
+func (t *Table) MemoryBytes() int { return len(t.entries) * EntrySize }
+
+// Stats returns a copy of the forwarding counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// Forward performs the EXPRESS forwarding procedure of Section 3.4 for a
+// packet from s to multicast destination g arriving on iif. It returns the
+// outgoing interface set (appended to dst) and a disposition:
+//
+//   - entry found, iif matches: outgoing interfaces returned;
+//   - entry found, iif differs: nil, the packet is dropped (or punted to
+//     the CPU — the caller decides) and IIFDrops increments;
+//   - no entry: nil, UnmatchedDrops increments (counted and dropped).
+//
+// Exact (S,G) entries take precedence over wildcard (*,G) entries, the
+// PIM-SM longest-match rule, so the same table serves the baselines.
+func (t *Table) Forward(s, g addr.Addr, iif int, dst []int) ([]int, Disposition) {
+	t.stats.Lookups++
+	e := t.entries[Key{S: s, G: g}]
+	if e == nil {
+		e = t.entries[Key{G: g}]
+	}
+	if e == nil {
+		t.stats.UnmatchedDrops++
+		return nil, DropUnmatched
+	}
+	if e.IIF != -1 && e.IIF != iif {
+		t.stats.IIFDrops++
+		return nil, DropWrongIIF
+	}
+	t.stats.Matched++
+	out := dst
+	m := e.OIFs
+	for m != 0 {
+		i := bits.TrailingZeros32(m)
+		if i != iif { // never forward back out the arrival interface
+			out = append(out, i)
+		}
+		m &^= 1 << uint(i)
+	}
+	return out, Forwarded
+}
+
+// Disposition classifies a forwarding decision.
+type Disposition uint8
+
+const (
+	Forwarded Disposition = iota
+	DropUnmatched
+	DropWrongIIF
+)
+
+func (d Disposition) String() string {
+	switch d {
+	case Forwarded:
+		return "forwarded"
+	case DropUnmatched:
+		return "drop-unmatched"
+	case DropWrongIIF:
+		return "drop-wrong-iif"
+	default:
+		return "unknown"
+	}
+}
+
+// Keys returns all entry keys; order is unspecified. For tests and metrics.
+func (t *Table) Keys() []Key {
+	out := make([]Key, 0, len(t.entries))
+	for k := range t.entries {
+		out = append(out, k)
+	}
+	return out
+}

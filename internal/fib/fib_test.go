@@ -1,0 +1,185 @@
+package fib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+var (
+	s1 = addr.MustParse("10.0.0.1")
+	s2 = addr.MustParse("10.0.0.2")
+	e1 = addr.ExpressAddr(100)
+)
+
+func TestForwardExactMatch(t *testing.T) {
+	tb := New()
+	e := tb.Ensure(Key{S: s1, G: e1})
+	e.IIF = 0
+	e.SetOIF(1)
+	e.SetOIF(2)
+
+	oifs, disp := tb.Forward(s1, e1, 0, nil)
+	if disp != Forwarded {
+		t.Fatalf("disposition = %v, want forwarded", disp)
+	}
+	if len(oifs) != 2 || oifs[0] != 1 || oifs[1] != 2 {
+		t.Fatalf("oifs = %v, want [1 2]", oifs)
+	}
+}
+
+func TestForwardNeverEchoesArrivalInterface(t *testing.T) {
+	tb := New()
+	e := tb.Ensure(Key{G: e1}) // wildcard, accept-any
+	e.SetOIF(0)
+	e.SetOIF(1)
+	oifs, disp := tb.Forward(s1, e1, 1, nil)
+	if disp != Forwarded {
+		t.Fatal("not forwarded")
+	}
+	for _, o := range oifs {
+		if o == 1 {
+			t.Fatal("packet echoed out its arrival interface")
+		}
+	}
+}
+
+func TestForwardUnmatchedCountedAndDropped(t *testing.T) {
+	tb := New()
+	e := tb.Ensure(Key{S: s1, G: e1})
+	e.IIF = 0
+	e.SetOIF(1)
+
+	// Same E, different S: the unrelated channel (S',E) of Figure 1.
+	_, disp := tb.Forward(s2, e1, 0, nil)
+	if disp != DropUnmatched {
+		t.Fatalf("disposition = %v, want drop-unmatched", disp)
+	}
+	if tb.Stats().UnmatchedDrops != 1 {
+		t.Errorf("UnmatchedDrops = %d, want 1 (counted and dropped)", tb.Stats().UnmatchedDrops)
+	}
+}
+
+func TestForwardWrongIIF(t *testing.T) {
+	tb := New()
+	e := tb.Ensure(Key{S: s1, G: e1})
+	e.IIF = 0
+	e.SetOIF(1)
+	_, disp := tb.Forward(s1, e1, 2, nil)
+	if disp != DropWrongIIF {
+		t.Fatalf("disposition = %v, want drop-wrong-iif", disp)
+	}
+	if tb.Stats().IIFDrops != 1 {
+		t.Errorf("IIFDrops = %d, want 1", tb.Stats().IIFDrops)
+	}
+}
+
+func TestExactBeatsWildcard(t *testing.T) {
+	tb := New()
+	wild := tb.Ensure(Key{G: e1})
+	wild.IIF = -1
+	wild.SetOIF(5)
+	exact := tb.Ensure(Key{S: s1, G: e1})
+	exact.IIF = 0
+	exact.SetOIF(7)
+
+	oifs, disp := tb.Forward(s1, e1, 0, nil)
+	if disp != Forwarded || len(oifs) != 1 || oifs[0] != 7 {
+		t.Fatalf("exact entry not preferred: %v %v", oifs, disp)
+	}
+	// A different source falls through to the wildcard.
+	oifs, disp = tb.Forward(s2, e1, 3, nil)
+	if disp != Forwarded || len(oifs) != 1 || oifs[0] != 5 {
+		t.Fatalf("wildcard fallback broken: %v %v", oifs, disp)
+	}
+}
+
+func TestEntryOIFOps(t *testing.T) {
+	var e Entry
+	for i := 0; i < MaxInterfaces; i++ {
+		e.SetOIF(i)
+	}
+	if e.NumOIFs() != MaxInterfaces {
+		t.Fatalf("NumOIFs = %d", e.NumOIFs())
+	}
+	e.ClearOIF(7)
+	if e.HasOIF(7) || e.NumOIFs() != MaxInterfaces-1 {
+		t.Fatal("ClearOIF failed")
+	}
+	list := e.OIFList(nil)
+	if len(list) != MaxInterfaces-1 {
+		t.Fatalf("OIFList length %d", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i] <= list[i-1] {
+			t.Fatal("OIFList not ascending")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetOIF(32) did not panic")
+		}
+	}()
+	e.SetOIF(MaxInterfaces)
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(s uint32, suffix uint32, iif uint8, oifs uint32, anyIIF bool) bool {
+		k := Key{S: addr.Addr(s | 1), G: addr.ExpressAddr(suffix)}
+		e := Entry{IIF: int(iif % MaxInterfaces), OIFs: oifs}
+		if anyIIF {
+			e.IIF = -1
+		}
+		buf, err := EncodeEntry(k, &e, nil)
+		if err != nil || len(buf) != EntrySize {
+			return false
+		}
+		k2, e2, err := DecodeEntry(buf)
+		return err == nil && k2 == k && e2 == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	e := &Entry{IIF: 0, OIFs: 1}
+	if _, err := EncodeEntry(Key{G: e1}, e, nil); err == nil {
+		t.Error("wildcard source encoded without error")
+	}
+	if _, err := EncodeEntry(Key{S: s1, G: addr.MustParse("239.0.0.1")}, e, nil); err == nil {
+		t.Error("non-232/8 destination encoded without error")
+	}
+	bad := &Entry{IIF: MaxInterfaces}
+	if _, err := EncodeEntry(Key{S: s1, G: e1}, bad, nil); err == nil {
+		t.Error("out-of-range IIF encoded without error")
+	}
+	if _, _, err := DecodeEntry(make([]byte, EntrySize-1)); err == nil {
+		t.Error("short buffer decoded without error")
+	}
+}
+
+func TestSnapshotAndMemory(t *testing.T) {
+	tb := New()
+	for i := 0; i < 100; i++ {
+		e := tb.Ensure(Key{S: s1, G: addr.ExpressAddr(uint32(i))})
+		e.IIF = i % MaxInterfaces
+		e.SetOIF((i + 1) % MaxInterfaces)
+	}
+	tb.Ensure(Key{G: e1}) // wildcard: no fast-path encoding
+	packed, skipped := tb.Snapshot()
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if len(packed) != 100*EntrySize {
+		t.Errorf("packed = %d bytes, want %d", len(packed), 100*EntrySize)
+	}
+	if tb.MemoryBytes() != 101*EntrySize {
+		t.Errorf("MemoryBytes = %d, want %d", tb.MemoryBytes(), 101*EntrySize)
+	}
+	tb.Delete(Key{G: e1})
+	if tb.Len() != 100 {
+		t.Errorf("Len = %d after delete, want 100", tb.Len())
+	}
+}

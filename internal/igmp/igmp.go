@@ -1,0 +1,229 @@
+// Package igmp implements IGMPv2 and IGMPv3-style host membership on LAN
+// segments, the group-model last-hop machinery EXPRESS is compared against.
+//
+// IGMPv2 (RFC 2236 shape): general and group-specific queries, reports with
+// suppression (a host cancels its pending report when it hears another
+// member report the same group), and leave → group-specific re-query.
+//
+// IGMPv3 (the draft cited as [4]): reports carry INCLUDE/EXCLUDE source
+// lists and there is no report suppression — the behaviour ECMP's UDP mode
+// adopts ("Unlike IGMPv2, but like the proposed IGMPv3, there is no report
+// suppression", Section 3.2).
+package igmp
+
+import (
+	"repro/internal/addr"
+	"repro/internal/netsim"
+)
+
+// Version selects protocol behaviour.
+type Version int
+
+const (
+	V2 Version = 2
+	V3 Version = 3
+)
+
+// FilterMode is the IGMPv3 source-filter mode.
+type FilterMode uint8
+
+const (
+	Include FilterMode = iota // receive only from listed sources
+	Exclude                   // receive from all but listed sources
+)
+
+// Query is a membership query from the querier router. Group == 0 is a
+// general query.
+type Query struct {
+	Group       addr.Addr
+	MaxRespTime netsim.Time
+}
+
+// Report announces membership. V2 reports carry only the group; V3 reports
+// carry a filter mode and source list.
+type Report struct {
+	Version Version
+	Group   addr.Addr
+	Mode    FilterMode
+	Sources []addr.Addr
+}
+
+// Leave is the IGMPv2 leave-group message.
+type Leave struct {
+	Group addr.Addr
+}
+
+const (
+	querySize  = wireBase
+	reportSize = wireBase
+	leaveSize  = wireBase
+	wireBase   = 8 + 20 // 8-byte IGMP header + IP header
+)
+
+// Host is an IGMP host on one LAN interface.
+type Host struct {
+	node    *netsim.Node
+	ifindex int
+	version Version
+
+	// groups the host is a member of; for V3, with filter state.
+	groups map[addr.Addr]*hostGroup
+
+	// pending report timers per group (V2 suppression machinery).
+	pending map[addr.Addr]*netsim.Timer
+
+	// Metrics for the suppression ablation.
+	ReportsSent       uint64
+	ReportsSuppressed uint64
+
+	// OnDeliver receives multicast data for joined groups (subject to the
+	// V3 source filter).
+	OnDeliver func(pkt *netsim.Packet)
+	Delivered uint64
+}
+
+type hostGroup struct {
+	mode    FilterMode
+	sources map[addr.Addr]bool
+}
+
+// NewHost attaches an IGMP host stack to node (single-homed on ifindex 0).
+func NewHost(node *netsim.Node, v Version) *Host {
+	h := &Host{
+		node:    node,
+		version: v,
+		groups:  make(map[addr.Addr]*hostGroup),
+		pending: make(map[addr.Addr]*netsim.Timer),
+	}
+	node.Handler = h
+	return h
+}
+
+// Join joins a group (V2 semantics: any-source).
+func (h *Host) Join(g addr.Addr) {
+	h.groups[g] = &hostGroup{mode: Exclude, sources: map[addr.Addr]bool{}}
+	h.sendReport(g)
+}
+
+// JoinSources joins with an IGMPv3 source filter.
+func (h *Host) JoinSources(g addr.Addr, mode FilterMode, sources []addr.Addr) {
+	set := make(map[addr.Addr]bool, len(sources))
+	for _, s := range sources {
+		set[s] = true
+	}
+	h.groups[g] = &hostGroup{mode: mode, sources: set}
+	h.sendReport(g)
+}
+
+// Leave leaves a group. V2 sends a Leave message; V3 sends an
+// INCLUDE-nothing report.
+func (h *Host) Leave(g addr.Addr) {
+	if _, ok := h.groups[g]; !ok {
+		return
+	}
+	delete(h.groups, g)
+	if t := h.pending[g]; t != nil {
+		t.Stop()
+		delete(h.pending, g)
+	}
+	if h.version == V2 {
+		h.send(&Leave{Group: g}, leaveSize)
+	} else {
+		h.ReportsSent++
+		h.send(&Report{Version: V3, Group: g, Mode: Include}, reportSize)
+	}
+}
+
+// Member reports whether the host is currently joined to g.
+func (h *Host) Member(g addr.Addr) bool { _, ok := h.groups[g]; return ok }
+
+func (h *Host) sendReport(g addr.Addr) {
+	hg := h.groups[g]
+	if hg == nil {
+		return
+	}
+	h.ReportsSent++
+	rep := &Report{Version: h.version, Group: g, Mode: hg.mode}
+	for s := range hg.sources {
+		rep.Sources = append(rep.Sources, s)
+	}
+	h.send(rep, reportSize+4*len(rep.Sources))
+}
+
+func (h *Host) send(payload any, size int) {
+	h.node.SendAll(-1, &netsim.Packet{
+		Src: h.node.Addr, Dst: addr.WellKnownECMP, Proto: netsim.ProtoIGMP,
+		TTL: 1, Size: size, Payload: payload,
+	})
+}
+
+// Receive implements netsim.Handler.
+func (h *Host) Receive(ifindex int, pkt *netsim.Packet) {
+	switch m := pkt.Payload.(type) {
+	case *Query:
+		h.handleQuery(m)
+	case *Report:
+		// V2 suppression: hearing another member's report for a group we
+		// were about to report cancels our pending report.
+		if h.version == V2 && m.Version == V2 {
+			if t := h.pending[m.Group]; t != nil {
+				t.Stop()
+				delete(h.pending, m.Group)
+				h.ReportsSuppressed++
+			}
+		}
+	case *Leave:
+		// hosts ignore leaves
+	default:
+		if pkt.Proto == netsim.ProtoData && pkt.Dst.IsMulticast() {
+			h.deliverData(pkt)
+		}
+	}
+}
+
+func (h *Host) deliverData(pkt *netsim.Packet) {
+	hg := h.groups[pkt.Dst]
+	if hg == nil {
+		return
+	}
+	inSet := hg.sources[pkt.Src]
+	if (hg.mode == Include && !inSet) || (hg.mode == Exclude && inSet) {
+		return // filtered by the V3 source filter
+	}
+	h.Delivered++
+	if h.OnDeliver != nil {
+		h.OnDeliver(pkt)
+	}
+}
+
+func (h *Host) handleQuery(q *Query) {
+	respond := func(g addr.Addr) {
+		if h.version == V2 {
+			// Schedule the report at a random delay in [0, MaxRespTime);
+			// suppression may cancel it before it fires.
+			if h.pending[g] != nil {
+				return
+			}
+			delay := netsim.Time(h.node.Sim().Rand().Int63n(int64(q.MaxRespTime)))
+			h.pending[g] = h.node.Sim().After(delay, func() {
+				delete(h.pending, g)
+				h.sendReport(g)
+			})
+			return
+		}
+		// V3: no suppression; respond directly (small fixed delay).
+		h.node.Sim().After(netsim.Millisecond, func() { h.sendReport(g) })
+	}
+	if q.Group == 0 {
+		for g := range h.groups {
+			respond(g)
+		}
+		return
+	}
+	if _, ok := h.groups[q.Group]; ok {
+		respond(q.Group)
+	}
+}
+
+// Node returns the host's underlying simulator node.
+func (h *Host) Node() *netsim.Node { return h.node }

@@ -1,0 +1,189 @@
+package igmp
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/netsim"
+)
+
+var group = addr.MustParse("239.3.3.3")
+
+// lanWith builds a LAN with one querier router node and n IGMP hosts.
+func lanWith(t *testing.T, n int, v Version) (*netsim.Sim, *netsim.LAN, *Querier, []*Host) {
+	t.Helper()
+	sim := netsim.New(17)
+	lan := sim.NewLAN(netsim.Millisecond, 0, 1)
+	routerNode := sim.AddNode(netsim.RouterAddr(0), "r0")
+	rIf := lan.Attach(routerNode)
+	q := NewQuerier(routerNode, rIf, v)
+	routerNode.Handler = querierHandler{q}
+	hosts := make([]*Host, n)
+	for i := range hosts {
+		hn := sim.AddNode(netsim.HostAddr(i), "h")
+		lan.Attach(hn)
+		hosts[i] = NewHost(hn, v)
+	}
+	return sim, lan, q, hosts
+}
+
+type querierHandler struct{ q *Querier }
+
+func (h querierHandler) Receive(ifindex int, pkt *netsim.Packet) {
+	if pkt.Proto == netsim.ProtoIGMP {
+		h.q.Receive(pkt)
+	}
+}
+
+// TestV2ReportSuppression verifies the IGMPv2 behaviour ECMP deliberately
+// drops: many members, few reports, because hearing another report
+// suppresses yours.
+func TestV2ReportSuppression(t *testing.T) {
+	sim, _, q, hosts := lanWith(t, 20, V2)
+	q.QueryInterval = 10 * netsim.Second
+	q.MaxRespTime = 2 * netsim.Second
+	for _, h := range hosts {
+		hh := h
+		sim.At(0, func() { hh.Join(group) })
+	}
+	q.Start()
+	sim.RunUntil(60 * netsim.Second)
+
+	if !q.HasMembers(group) {
+		t.Fatal("querier lost the membership")
+	}
+	var sent, suppressed uint64
+	for _, h := range hosts {
+		sent += h.ReportsSent
+		suppressed += h.ReportsSuppressed
+	}
+	if suppressed == 0 {
+		t.Error("no reports were suppressed with 20 members on one LAN")
+	}
+	// With suppression, reports per query round should be far below the
+	// member count (the initial unsolicited joins inflate `sent`).
+	perRound := float64(sent-20) / 5 // ~5 query rounds
+	if perRound > 10 {
+		t.Errorf("reports per round ≈ %.1f with 20 members; suppression ineffective", perRound)
+	}
+}
+
+// TestV3NoSuppression verifies the IGMPv3/ECMP behaviour: every member
+// reports; the querier learns the full membership.
+func TestV3NoSuppression(t *testing.T) {
+	sim, _, q, hosts := lanWith(t, 20, V3)
+	q.QueryInterval = 10 * netsim.Second
+	for _, h := range hosts {
+		hh := h
+		sim.At(0, func() { hh.Join(group) })
+	}
+	q.Start()
+	sim.RunUntil(25 * netsim.Second)
+
+	var suppressed uint64
+	for _, h := range hosts {
+		suppressed += h.ReportsSuppressed
+	}
+	if suppressed != 0 {
+		t.Errorf("V3 suppressed %d reports; there is no report suppression in v3", suppressed)
+	}
+	if got := q.ReportsHeard; got < 20 {
+		t.Errorf("querier heard %d reports, want >= 20 (one per member)", got)
+	}
+}
+
+// TestV3SourceFiltering verifies INCLUDE/EXCLUDE semantics — the paper's
+// §2.2.2 point: with the group model a receiver must explicitly exclude
+// unwanted sources, which EXPRESS makes unnecessary.
+func TestV3SourceFiltering(t *testing.T) {
+	sim, lan, _, hosts := lanWith(t, 2, V3)
+	wanted := addr.MustParse("10.0.0.1")
+	unwanted := addr.MustParse("10.0.0.66")
+
+	include, exclude := hosts[0], hosts[1]
+	sim.At(0, func() {
+		include.JoinSources(group, Include, []addr.Addr{wanted})
+		exclude.JoinSources(group, Exclude, []addr.Addr{unwanted})
+	})
+	sim.RunUntil(netsim.Second)
+
+	inject := func(src addr.Addr) {
+		sender := sim.AddNode(src, "sender")
+		lan.Attach(sender)
+		sim.After(0, func() {
+			sender.SendAll(-1, &netsim.Packet{Src: src, Dst: group, Proto: netsim.ProtoData, TTL: 4, Size: 100})
+		})
+		sim.RunUntil(sim.Now() + netsim.Second)
+	}
+	inject(wanted)
+	inject(unwanted)
+
+	if include.Delivered != 1 {
+		t.Errorf("INCLUDE host delivered = %d, want 1 (only the listed source)", include.Delivered)
+	}
+	if exclude.Delivered != 1 {
+		t.Errorf("EXCLUDE host delivered = %d, want 1 (all but the listed source)", exclude.Delivered)
+	}
+}
+
+// TestV2LeaveTriggersRequery verifies the leave → group-specific query →
+// membership timeout sequence.
+func TestV2LeaveTriggersRequery(t *testing.T) {
+	sim, _, q, hosts := lanWith(t, 2, V2)
+	q.QueryInterval = 30 * netsim.Second
+	q.MaxRespTime = netsim.Second
+
+	membershipLost := false
+	q.OnMembershipChange = func(g addr.Addr, members bool) {
+		if g == group && !members {
+			membershipLost = true
+		}
+	}
+	sim.At(0, func() {
+		hosts[0].Join(group)
+		hosts[1].Join(group)
+	})
+	q.Start()
+	sim.RunUntil(2 * netsim.Second)
+
+	queriesBefore := q.QueriesSent
+	// First host leaves: a group-specific query goes out; host 1 still
+	// answers, so membership survives.
+	sim.After(0, func() { hosts[0].Leave(group) })
+	sim.RunUntil(sim.Now() + 5*netsim.Second)
+	if q.QueriesSent == queriesBefore {
+		t.Error("leave did not trigger a group-specific query")
+	}
+	if membershipLost {
+		t.Fatal("membership lost while a member remains")
+	}
+
+	// Second host leaves: now the group must expire.
+	sim.After(0, func() { hosts[1].Leave(group) })
+	sim.RunUntil(sim.Now() + 10*netsim.Second)
+	if !membershipLost {
+		t.Error("membership survived after the last leave")
+	}
+}
+
+// TestQuerierExpiryWithoutResponses verifies the hold-time path: hosts
+// that vanish silently age out.
+func TestQuerierExpiryWithoutResponses(t *testing.T) {
+	sim, lan, q, hosts := lanWith(t, 1, V3)
+	q.QueryInterval = 2 * netsim.Second
+	q.HoldTime = 5 * netsim.Second
+	sim.At(0, func() { hosts[0].Join(group) })
+	q.Start()
+	sim.RunUntil(3 * netsim.Second)
+	if !q.HasMembers(group) {
+		t.Fatal("membership not established")
+	}
+	// The host vanishes (LAN partition for it alone is not modelled;
+	// simply stop it answering by detaching its handler).
+	hosts[0].Node().Handler = nil
+	_ = lan
+	sim.RunUntil(30 * netsim.Second)
+	if q.HasMembers(group) {
+		t.Error("silent member never aged out")
+	}
+}

@@ -1,0 +1,168 @@
+package igmp
+
+import (
+	"repro/internal/addr"
+	"repro/internal/netsim"
+)
+
+// Querier is the router side of IGMP on one LAN interface: it issues
+// periodic general queries, tracks group membership with hold timers, and
+// handles leaves with group-specific re-queries (V2) or relies on
+// per-report state (V3).
+type Querier struct {
+	node    *netsim.Node
+	ifindex int
+	version Version
+
+	QueryInterval netsim.Time
+	MaxRespTime   netsim.Time
+	HoldTime      netsim.Time
+
+	groups map[addr.Addr]*querierGroup
+
+	QueriesSent  uint64
+	ReportsHeard uint64
+
+	// OnMembershipChange fires when a group gains its first member or
+	// loses its last one — the hook a multicast routing protocol (PIM, CBT,
+	// DVMRP) uses to join or prune upstream.
+	OnMembershipChange func(g addr.Addr, members bool)
+}
+
+type querierGroup struct {
+	// member expiry per reporting host (V3 / accurate mode). For V2 with
+	// suppression the querier only knows "some member exists": we track
+	// the latest refresh time instead of per-host state.
+	expiry   netsim.Time
+	members  map[addr.Addr]netsim.Time
+	filterOf map[addr.Addr]*hostGroup
+}
+
+// NewQuerier creates the querier state machine for a router's LAN
+// interface. The caller's packet dispatch must hand ProtoIGMP packets from
+// that interface to Receive.
+func NewQuerier(node *netsim.Node, ifindex int, v Version) *Querier {
+	q := &Querier{
+		node: node, ifindex: ifindex, version: v,
+		QueryInterval: 60 * netsim.Second,
+		MaxRespTime:   10 * netsim.Second,
+		HoldTime:      150 * netsim.Second,
+		groups:        make(map[addr.Addr]*querierGroup),
+	}
+	return q
+}
+
+// Start begins the periodic query cycle.
+func (q *Querier) Start() {
+	q.node.Sim().After(q.QueryInterval/2, q.tick)
+}
+
+func (q *Querier) tick() {
+	q.sendQuery(0)
+	now := q.node.Sim().Now()
+	for g, qg := range q.groups {
+		for h, dl := range qg.members {
+			if dl <= now {
+				delete(qg.members, h)
+			}
+		}
+		if qg.expiry <= now && len(qg.members) == 0 {
+			delete(q.groups, g)
+			if q.OnMembershipChange != nil {
+				q.OnMembershipChange(g, false)
+			}
+		}
+	}
+	q.node.Sim().After(q.QueryInterval, q.tick)
+}
+
+func (q *Querier) sendQuery(group addr.Addr) {
+	q.QueriesSent++
+	q.node.Send(q.ifindex, &netsim.Packet{
+		Src: q.node.Addr, Dst: addr.WellKnownECMP, Proto: netsim.ProtoIGMP,
+		TTL: 1, Size: querySize, Payload: &Query{Group: group, MaxRespTime: q.MaxRespTime},
+	})
+}
+
+// Receive processes an IGMP message heard on the interface.
+func (q *Querier) Receive(pkt *netsim.Packet) {
+	switch m := pkt.Payload.(type) {
+	case *Report:
+		q.ReportsHeard++
+		q.handleReport(pkt.Src, m)
+	case *Leave:
+		q.handleLeave(m.Group)
+	}
+}
+
+func (q *Querier) handleReport(from addr.Addr, m *Report) {
+	now := q.node.Sim().Now()
+	qg := q.groups[m.Group]
+	isNew := qg == nil
+	if m.Version == V3 && m.Mode == Include && len(m.Sources) == 0 {
+		// INCLUDE {} is a leave.
+		if qg != nil {
+			delete(qg.members, from)
+			if len(qg.members) == 0 {
+				delete(q.groups, m.Group)
+				if q.OnMembershipChange != nil {
+					q.OnMembershipChange(m.Group, false)
+				}
+			}
+		}
+		return
+	}
+	if qg == nil {
+		qg = &querierGroup{
+			members:  make(map[addr.Addr]netsim.Time),
+			filterOf: make(map[addr.Addr]*hostGroup),
+		}
+		q.groups[m.Group] = qg
+	}
+	qg.expiry = now + q.HoldTime
+	qg.members[from] = now + q.HoldTime
+	set := make(map[addr.Addr]bool, len(m.Sources))
+	for _, s := range m.Sources {
+		set[s] = true
+	}
+	qg.filterOf[from] = &hostGroup{mode: m.Mode, sources: set}
+	if isNew && q.OnMembershipChange != nil {
+		q.OnMembershipChange(m.Group, true)
+	}
+}
+
+func (q *Querier) handleLeave(g addr.Addr) {
+	qg := q.groups[g]
+	if qg == nil {
+		return
+	}
+	// Group-specific re-query with a short deadline (IGMPv2 leave
+	// processing): if no report arrives, membership times out quickly.
+	q.sendQuery(g)
+	qg.expiry = q.node.Sim().Now() + 2*q.MaxRespTime
+	gg := g
+	q.node.Sim().After(2*q.MaxRespTime+netsim.Millisecond, func() {
+		cur := q.groups[gg]
+		if cur == nil {
+			return
+		}
+		if cur.expiry <= q.node.Sim().Now() {
+			delete(q.groups, gg)
+			if q.OnMembershipChange != nil {
+				q.OnMembershipChange(gg, false)
+			}
+		}
+	})
+}
+
+// HasMembers reports whether the group currently has members on the LAN.
+func (q *Querier) HasMembers(g addr.Addr) bool { _, ok := q.groups[g]; return ok }
+
+// Groups returns the groups with current members.
+func (q *Querier) Groups() []addr.Addr {
+	out := make([]addr.Addr, 0, len(q.groups))
+	for g := range q.groups {
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package integration
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/ecmp"
+	"repro/internal/express"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+	"repro/internal/workload"
+)
+
+// TestTCPModeVsUDPModeRefreshCost is the Section 3.2 mode ablation: "With
+// TCP operation, a periodic refresh of each long-lived channel is
+// unnecessary — a single per-neighbor keepalive is sufficient", whereas
+// UDP mode pays a per-interval query/response cycle that grows with the
+// number of channels.
+func TestTCPModeVsUDPModeRefreshCost(t *testing.T) {
+	const channels = 30
+	run := func(routerMode ecmp.Mode) uint64 {
+		cfg := ecmp.DefaultConfig()
+		cfg.QueryInterval = 2 * netsim.Second
+		cfg.HoldTime = 5 * netsim.Second
+		cfg.KeepaliveInterval = 2 * netsim.Second
+		n := testutil.LineNet(81, 3, cfg)
+		// Router-to-router interfaces get the mode under test; host edges
+		// stay UDP (hosts answer queries but don't speak keepalives).
+		for _, r := range n.Routers {
+			for i := 0; i < r.Node().NumIfaces(); i++ {
+				r.SetIfaceMode(i, routerMode)
+			}
+		}
+		src := n.AddSource(n.Routers[0])
+		sub := n.AddSubscriber(n.Routers[2])
+		n.Start()
+		cs := make([]addr.Channel, 0, channels)
+		for i := 0; i < channels; i++ {
+			cs = append(cs, testutil.MustChannel(src))
+		}
+		n.Sim.At(0, func() {
+			for _, ch := range cs {
+				sub.Subscribe(ch, nil, nil)
+			}
+		})
+		// Long steady state: all cost beyond setup is refresh traffic.
+		n.Sim.RunUntil(120 * netsim.Second)
+		// Membership must survive in both modes.
+		if got := n.Routers[0].SubscriberCount(cs[0]); got != 1 {
+			t.Fatalf("mode %v: membership lost (count=%d)", routerMode, got)
+		}
+		return n.TotalControlMessages()
+	}
+	tcp := run(ecmp.ModeTCP)
+	udp := run(ecmp.ModeUDP)
+	if tcp >= udp {
+		t.Errorf("TCP-mode control traffic (%d msgs) not below UDP mode (%d) for %d long-lived channels",
+			tcp, udp, channels)
+	}
+	// TCP cost is per-neighbor keepalives, independent of channel count;
+	// UDP cost includes per-channel refreshes. The gap should be large.
+	if udp < 2*tcp {
+		t.Logf("note: UDP %d vs TCP %d — expected a wider gap", udp, tcp)
+	}
+}
+
+// TestRandomChurnInvariants drives randomized membership churn and checks
+// the protocol's global invariants at quiescence — a property test over
+// the whole router network:
+//
+//  1. the source's first-hop count equals the true membership (eager mode);
+//  2. every on-tree router's FIB has a valid incoming interface;
+//  3. when everyone has left, no state remains anywhere.
+func TestRandomChurnInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			cfg := ecmp.DefaultConfig()
+			cfg.Propagation = ecmp.PropagateEager
+			cfg.QueryInterval = 3600 * netsim.Second
+			cfg.KeepaliveInterval = 3600 * netsim.Second
+			n := testutil.GridNet(seed, 4, 4, cfg)
+			src := n.AddSource(n.Routers[0])
+			rng := rand.New(rand.NewSource(seed))
+			subs := make([]*express.Subscriber, 12)
+			for i := range subs {
+				subs[i] = n.AddSubscriber(n.Routers[rng.Intn(len(n.Routers))])
+			}
+			n.Start()
+			ch := testutil.MustChannel(src)
+
+			script := workload.Churn(len(subs), 20, 10*netsim.Second, rng)
+			joined := make(map[int]bool)
+			for _, ev := range script {
+				e := ev
+				joined[e.Host] = e.Join
+				n.Sim.At(e.At, func() {
+					if e.Join {
+						subs[e.Host].Subscribe(ch, nil, nil)
+					} else {
+						subs[e.Host].Unsubscribe(ch)
+					}
+				})
+			}
+			n.Sim.RunUntil(15 * netsim.Second)
+
+			want := uint32(0)
+			for _, j := range joined {
+				if j {
+					want++
+				}
+			}
+			if got := n.Routers[0].SubscriberCount(ch); got != want {
+				t.Errorf("seed %d: first-hop count = %d, want %d", seed, got, want)
+			}
+
+			// Data reaches exactly the current members.
+			n.Sim.After(0, func() { _ = src.Send(ch, 200, nil) })
+			n.Sim.RunUntil(n.Sim.Now() + netsim.Second)
+			for i, s := range subs {
+				wantPkts := uint64(0)
+				if joined[i] {
+					wantPkts = 1
+				}
+				if s.Delivered != wantPkts {
+					t.Errorf("seed %d: host %d delivered %d, want %d", seed, i, s.Delivered, wantPkts)
+				}
+			}
+
+			// Everyone leaves: zero residue network-wide.
+			n.Sim.After(0, func() {
+				for i, s := range subs {
+					if joined[i] {
+						s.Unsubscribe(ch)
+					}
+				}
+			})
+			n.Sim.RunUntil(n.Sim.Now() + 5*netsim.Second)
+			if got := n.TotalFIBEntries(); got != 0 {
+				t.Errorf("seed %d: %d FIB entries after full teardown", seed, got)
+			}
+			for i, r := range n.Routers {
+				if r.NumChannels() != 0 {
+					t.Errorf("seed %d: router %d holds %d channels after teardown", seed, i, r.NumChannels())
+				}
+			}
+		})
+	}
+}
+
+// TestSubscribersOnSharedLAN exercises the broadcast-segment path: several
+// hosts and their first-hop router on one LAN, UDP-mode ECMP (the edge
+// deployment of Section 3.2).
+func TestSubscribersOnSharedLAN(t *testing.T) {
+	cfg := ecmp.DefaultConfig()
+	cfg.QueryInterval = 2 * netsim.Second
+	cfg.HoldTime = 5 * netsim.Second
+	n := testutil.LineNet(83, 2, cfg)
+	src := n.AddSource(n.Routers[0])
+
+	lan := n.Sim.NewLAN(100*netsim.Microsecond, 100_000_000, 1)
+	edgeIf := lan.Attach(n.Routers[1].Node())
+	n.Routers[1].SetIfaceMode(edgeIf, ecmp.ModeUDP)
+	h1 := n.AddSubscriberOnLAN(lan)
+	h2 := n.AddSubscriberOnLAN(lan)
+	h3 := n.AddSubscriberOnLAN(lan) // never subscribes
+	n.Start()
+
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() {
+		h1.Subscribe(ch, nil, nil)
+		h2.Subscribe(ch, nil, nil)
+	})
+	n.Sim.RunUntil(netsim.Second)
+	n.Sim.After(0, func() { _ = src.Send(ch, 500, nil) })
+	n.Sim.RunUntil(2 * netsim.Second)
+
+	if h1.Delivered != 1 || h2.Delivered != 1 {
+		t.Errorf("LAN subscribers delivered %d/%d, want 1/1", h1.Delivered, h2.Delivered)
+	}
+	// LAN broadcast reaches h3's NIC, but its stack filters the
+	// unsubscribed channel.
+	if h3.Delivered != 0 {
+		t.Errorf("non-subscriber delivered %d", h3.Delivered)
+	}
+
+	// One member leaving must not tear down the LAN's membership: the
+	// group-specific re-query finds the remaining member.
+	n.Sim.After(0, func() { h1.Unsubscribe(ch) })
+	n.Sim.RunUntil(n.Sim.Now() + 10*netsim.Second)
+	n.Sim.After(0, func() { _ = src.Send(ch, 500, nil) })
+	n.Sim.RunUntil(n.Sim.Now() + netsim.Second)
+	if h2.Delivered != 2 {
+		t.Errorf("remaining LAN member delivered %d, want 2", h2.Delivered)
+	}
+}

@@ -1,0 +1,328 @@
+// Package integration exercises the full EXPRESS stack end to end: hosts,
+// ECMP routers, unicast routing and the simulator together.
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/ecmp"
+	"repro/internal/express"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+	"repro/internal/wire"
+)
+
+// TestSubscribeAndDeliver is the core paper scenario: a source at one edge,
+// subscribers at the other, data delivered only to subscribers, along the
+// source→subscriber unicast paths.
+func TestSubscribeAndDeliver(t *testing.T) {
+	cfg := ecmp.DefaultConfig()
+	cfg.Propagation = ecmp.PropagateEager // interior routers track exact sums
+	n := testutil.LineNet(1, 3, cfg)
+	src := n.AddSource(n.Routers[0])
+	sub1 := n.AddSubscriber(n.Routers[2])
+	sub2 := n.AddSubscriber(n.Routers[2])
+	sub3 := n.AddSubscriber(n.Routers[1])
+	bystander := n.AddSubscriber(n.Routers[1]) // never subscribes
+	n.Start()
+
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() {
+		sub1.Subscribe(ch, nil, nil)
+		sub2.Subscribe(ch, nil, nil)
+		sub3.Subscribe(ch, nil, nil)
+	})
+	n.Sim.RunUntil(1 * netsim.Second)
+
+	for i, r := range n.Routers {
+		if r.FIB().Len() != 1 {
+			t.Fatalf("router %d: FIB entries = %d, want 1", i, r.FIB().Len())
+		}
+	}
+	if got := n.Routers[0].SubscriberCount(ch); got != 3 {
+		t.Errorf("first-hop router subscriber count = %d, want 3", got)
+	}
+
+	n.Sim.After(0, func() {
+		if err := src.Send(ch, 1000, "frame-1"); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	})
+	n.Sim.RunUntil(2 * netsim.Second)
+
+	for i, s := range []*express.Subscriber{sub1, sub2, sub3} {
+		if s.Delivered != 1 {
+			t.Errorf("subscriber %d delivered = %d, want 1", i, s.Delivered)
+		}
+	}
+	if bystander.Delivered != 0 {
+		t.Errorf("non-subscriber delivered = %d, want 0", bystander.Delivered)
+	}
+}
+
+// TestCountQuery checks the Section 3.1 aggregation: the source learns the
+// exact subscriber count with a single query.
+func TestCountQuery(t *testing.T) {
+	n := testutil.TreeNet(2, 3, ecmp.DefaultConfig()) // depth-3 tree, 8 leaves
+	src := n.AddSource(n.Routers[0])
+	leaves := n.Routers[len(n.Routers)-8:]
+	var subs []*express.Subscriber
+	for _, leaf := range leaves {
+		subs = append(subs, n.AddSubscriber(leaf), n.AddSubscriber(leaf))
+	}
+	n.Start()
+
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() {
+		for _, s := range subs {
+			s.Subscribe(ch, nil, nil)
+		}
+	})
+	n.Sim.RunUntil(1 * netsim.Second)
+
+	var got uint32
+	var ok bool
+	n.Sim.After(0, func() {
+		src.CountQuery(ch, wire.CountSubscribers, 2*netsim.Second, false, func(v uint32, replied bool) {
+			got, ok = v, replied
+		})
+	})
+	n.Sim.RunUntil(5 * netsim.Second)
+
+	if !ok {
+		t.Fatal("CountQuery timed out with no reply")
+	}
+	if got != uint32(len(subs)) {
+		t.Errorf("CountQuery = %d, want %d", got, len(subs))
+	}
+}
+
+// TestUnsubscribeTeardown verifies that the last unsubscription tears the
+// whole tree down: zero Counts propagate to the source and all FIB and
+// channel state is reclaimed.
+func TestUnsubscribeTeardown(t *testing.T) {
+	n := testutil.LineNet(3, 4, ecmp.DefaultConfig())
+	src := n.AddSource(n.Routers[0])
+	sub1 := n.AddSubscriber(n.Routers[3])
+	sub2 := n.AddSubscriber(n.Routers[3])
+	n.Start()
+
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() {
+		sub1.Subscribe(ch, nil, nil)
+		sub2.Subscribe(ch, nil, nil)
+	})
+	n.Sim.RunUntil(1 * netsim.Second)
+	if n.TotalFIBEntries() != 4 {
+		t.Fatalf("FIB entries after subscribe = %d, want 4", n.TotalFIBEntries())
+	}
+
+	n.Sim.After(0, func() { sub1.Unsubscribe(ch) })
+	n.Sim.RunUntil(2 * netsim.Second)
+	if n.TotalFIBEntries() != 4 {
+		t.Errorf("FIB entries after partial unsubscribe = %d, want 4 (sub2 still on)", n.TotalFIBEntries())
+	}
+
+	// Data should still reach the remaining subscriber.
+	n.Sim.After(0, func() { src.Send(ch, 100, nil) })
+	n.Sim.RunUntil(3 * netsim.Second)
+	if sub2.Delivered != 1 {
+		t.Errorf("remaining subscriber delivered = %d, want 1", sub2.Delivered)
+	}
+	if sub1.Delivered != 0 {
+		t.Errorf("unsubscribed host delivered = %d, want 0", sub1.Delivered)
+	}
+
+	n.Sim.After(0, func() { sub2.Unsubscribe(ch) })
+	n.Sim.RunUntil(4 * netsim.Second)
+	if n.TotalFIBEntries() != 0 {
+		t.Errorf("FIB entries after full unsubscribe = %d, want 0", n.TotalFIBEntries())
+	}
+	for i, r := range n.Routers {
+		if r.NumChannels() != 0 {
+			t.Errorf("router %d still holds %d channels", i, r.NumChannels())
+		}
+	}
+}
+
+// TestUnauthorizedSenderDropped verifies the access-control property that
+// motivates the paper's Super Bowl example: a third party sending to the
+// channel's destination address is counted and dropped at its first-hop
+// router (Section 3.4) because (S',E) matches no FIB entry.
+func TestUnauthorizedSenderDropped(t *testing.T) {
+	n := testutil.LineNet(4, 3, ecmp.DefaultConfig())
+	src := n.AddSource(n.Routers[0])
+	sub := n.AddSubscriber(n.Routers[2])
+	rogue := n.AddSource(n.Routers[1]) // attacker host at a mid-path router
+	n.Start()
+
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() { sub.Subscribe(ch, nil, nil) })
+	n.Sim.RunUntil(1 * netsim.Second)
+
+	// The rogue sends to the victim's channel destination address E with
+	// its own source address: the channel (rogue,E) is unrelated to
+	// (src,E) — Figure 1's channel-addressing property.
+	n.Sim.After(0, func() {
+		pkt := &netsim.Packet{
+			Src: rogue.Node().Addr, Dst: ch.E, Proto: netsim.ProtoData,
+			TTL: netsim.DefaultTTL, Size: 1000,
+		}
+		rogue.Node().SendAll(-1, pkt)
+	})
+	n.Sim.RunUntil(2 * netsim.Second)
+
+	if sub.Delivered != 0 {
+		t.Fatalf("subscriber received %d rogue packets, want 0", sub.Delivered)
+	}
+	drops := n.Routers[1].FIB().Stats().UnmatchedDrops
+	if drops == 0 {
+		t.Error("rogue traffic was not counted-and-dropped at the first-hop router")
+	}
+
+	// Spoofing the legitimate source from the wrong place fails the
+	// incoming-interface (RPF) check instead.
+	n.Sim.After(0, func() {
+		pkt := &netsim.Packet{
+			Src: ch.S, Dst: ch.E, Proto: netsim.ProtoData,
+			TTL: netsim.DefaultTTL, Size: 1000,
+		}
+		rogue.Node().SendAll(-1, pkt)
+	})
+	n.Sim.RunUntil(3 * netsim.Second)
+	if got := n.Routers[1].FIB().Stats().IIFDrops; got == 0 {
+		t.Error("spoofed-source traffic did not fail the RPF incoming-interface check")
+	}
+	if sub.Delivered != 0 {
+		t.Fatalf("subscriber received %d spoofed packets, want 0", sub.Delivered)
+	}
+}
+
+// TestAuthenticatedSubscription verifies the Section 3.1/3.2 key flow: the
+// source installs K(S,E) at its first-hop router; a subscriber with the
+// right key joins, one with a wrong key is denied by CountResponse, and the
+// denial unwinds the partially built branch.
+func TestAuthenticatedSubscription(t *testing.T) {
+	n := testutil.LineNet(5, 3, ecmp.DefaultConfig())
+	src := n.AddSource(n.Routers[0])
+	good := n.AddSubscriber(n.Routers[2])
+	bad := n.AddSubscriber(n.Routers[2])
+	n.Start()
+
+	ch := testutil.MustChannel(src)
+	key := wire.Key{1, 2, 3, 4, 5, 6, 7, 8}
+	wrong := wire.Key{9, 9, 9, 9, 9, 9, 9, 9}
+
+	var goodRes, badRes express.SubscribeResult
+	var goodDone, badDone bool
+	n.Sim.At(0, func() {
+		if err := src.ChannelKey(ch, key); err != nil {
+			t.Errorf("ChannelKey: %v", err)
+		}
+	})
+	n.Sim.At(100*netsim.Millisecond, func() {
+		good.Subscribe(ch, &key, func(r express.SubscribeResult) { goodRes, goodDone = r, true })
+	})
+	n.Sim.At(5*netsim.Second, func() {
+		bad.Subscribe(ch, &wrong, func(r express.SubscribeResult) { badRes, badDone = r, true })
+	})
+	n.Sim.RunUntil(10 * netsim.Second)
+
+	if !goodDone || goodRes != express.SubscribeOK {
+		t.Errorf("good key: done=%v result=%v, want OK", goodDone, goodRes)
+	}
+	if !badDone || badRes != express.SubscribeDenied {
+		t.Errorf("bad key: done=%v result=%v, want Denied", badDone, badRes)
+	}
+
+	n.Sim.After(0, func() { src.Send(ch, 500, nil) })
+	n.Sim.RunUntil(11 * netsim.Second)
+	if good.Delivered != 1 {
+		t.Errorf("authorized subscriber delivered = %d, want 1", good.Delivered)
+	}
+	if bad.Delivered != 0 {
+		t.Errorf("denied subscriber delivered = %d, want 0", bad.Delivered)
+	}
+}
+
+// TestTwoChannelsSameE verifies Figure 1: channels (S,E) and (S',E) are
+// unrelated despite the common destination address.
+func TestTwoChannelsSameE(t *testing.T) {
+	n := testutil.LineNet(6, 3, ecmp.DefaultConfig())
+	srcA := n.AddSource(n.Routers[0])
+	srcB := n.AddSource(n.Routers[2])
+	subA := n.AddSubscriber(n.Routers[1])
+	subB := n.AddSubscriber(n.Routers[1])
+	n.Start()
+
+	chA, err := srcA.CreateChannelAt(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chB, err := srcB.CreateChannelAt(42) // same E suffix, different S
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chA.E != chB.E {
+		t.Fatalf("expected identical destination addresses, got %v vs %v", chA.E, chB.E)
+	}
+
+	n.Sim.At(0, func() {
+		subA.Subscribe(chA, nil, nil)
+		subB.Subscribe(chB, nil, nil)
+	})
+	n.Sim.RunUntil(1 * netsim.Second)
+	n.Sim.After(0, func() {
+		srcA.Send(chA, 100, "from-A")
+		srcB.Send(chB, 100, "from-B")
+	})
+	n.Sim.RunUntil(2 * netsim.Second)
+
+	if subA.Delivered != 1 {
+		t.Errorf("subA delivered = %d, want 1 (only A's packet)", subA.Delivered)
+	}
+	if subB.Delivered != 1 {
+		t.Errorf("subB delivered = %d, want 1 (only B's packet)", subB.Delivered)
+	}
+}
+
+// TestSubcast verifies the Section 2.1 subcast: the source relays a packet
+// through an internal tree node, and only subscribers below that node
+// receive it.
+func TestSubcast(t *testing.T) {
+	n := testutil.TreeNet(7, 2, ecmp.DefaultConfig()) // 7 routers, leaves 3..6
+	src := n.AddSource(n.Routers[0])
+	leaves := n.Routers[3:]
+	var subs []*express.Subscriber
+	for _, leaf := range leaves {
+		subs = append(subs, n.AddSubscriber(leaf))
+	}
+	n.Start()
+
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() {
+		for _, s := range subs {
+			s.Subscribe(ch, nil, nil)
+		}
+	})
+	n.Sim.RunUntil(1 * netsim.Second)
+
+	// Subcast via router 1 (the left child): only the two left-subtree
+	// leaves (routers 3 and 4) should receive.
+	n.Sim.After(0, func() {
+		if err := src.Subcast(ch, n.Routers[1].Node().Addr, 400, "partial"); err != nil {
+			t.Errorf("Subcast: %v", err)
+		}
+	})
+	n.Sim.RunUntil(2 * netsim.Second)
+
+	for i, s := range subs {
+		want := uint64(0)
+		if i < 2 {
+			want = 1
+		}
+		if s.Delivered != want {
+			t.Errorf("leaf %d delivered = %d, want %d", i, s.Delivered, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/ecmp"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+)
+
+// TestSubcastOnlyFromSource verifies the single-source property of subcast
+// (Section 7.1: "with EXPRESS, only the channel source can subcast on a
+// channel"). A third party unicasting an encapsulated channel packet to an
+// on-tree router must be rejected.
+func TestSubcastOnlyFromSource(t *testing.T) {
+	n := testutil.TreeNet(47, 2, ecmp.DefaultConfig())
+	src := n.AddSource(n.Routers[0])
+	sub := n.AddSubscriber(n.Routers[3])
+	attacker := n.AddSource(n.Routers[2])
+	n.Start()
+
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() { sub.Subscribe(ch, nil, nil) })
+	n.Sim.RunUntil(netsim.Second)
+
+	// The attacker forges an encapsulated packet whose *inner* source is
+	// the real channel source, unicast to the on-tree router above the
+	// subscriber. The outer source is the attacker — the router must
+	// refuse to decapsulate.
+	onTree := n.Routers[1].Node().Addr
+	n.Sim.After(0, func() {
+		inner := &netsim.Packet{
+			Src: ch.S, Dst: ch.E, Proto: netsim.ProtoData,
+			TTL: netsim.DefaultTTL, Size: 800, Payload: "forged",
+		}
+		attacker.Node().SendAll(-1, &netsim.Packet{
+			Src: attacker.Node().Addr, Dst: onTree, Proto: netsim.ProtoEncap,
+			TTL: netsim.DefaultTTL, Size: 820, Payload: &netsim.Encap{Inner: inner},
+		})
+	})
+	n.Sim.RunUntil(2 * netsim.Second)
+	if sub.Delivered != 0 {
+		t.Fatalf("forged subcast delivered %d packets", sub.Delivered)
+	}
+
+	// The genuine source's subcast through the same router works.
+	n.Sim.After(0, func() {
+		if err := src.Subcast(ch, onTree, 800, "real"); err != nil {
+			t.Errorf("Subcast: %v", err)
+		}
+	})
+	n.Sim.RunUntil(3 * netsim.Second)
+	if sub.Delivered != 1 {
+		t.Errorf("genuine subcast delivered %d, want 1", sub.Delivered)
+	}
+}
+
+// TestSubcastOffTreeRouterDropped verifies that a subcast via a router not
+// on the channel's tree is dropped (no FIB entry → nothing to forward to).
+func TestSubcastOffTreeRouterDropped(t *testing.T) {
+	n := testutil.TreeNet(48, 2, ecmp.DefaultConfig())
+	src := n.AddSource(n.Routers[0])
+	sub := n.AddSubscriber(n.Routers[3]) // left subtree
+	n.Start()
+
+	ch := testutil.MustChannel(src)
+	n.Sim.At(0, func() { sub.Subscribe(ch, nil, nil) })
+	n.Sim.RunUntil(netsim.Second)
+
+	// Router 2 heads the right subtree: not on this channel's tree.
+	offTree := n.Routers[2].Node().Addr
+	n.Sim.After(0, func() { _ = src.Subcast(ch, offTree, 800, "misdirected") })
+	n.Sim.RunUntil(2 * netsim.Second)
+	if sub.Delivered != 0 {
+		t.Errorf("off-tree subcast delivered %d packets", sub.Delivered)
+	}
+}

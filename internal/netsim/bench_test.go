@@ -1,0 +1,66 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+type sinkHandler struct{ n uint64 }
+
+func (s *sinkHandler) Receive(int, *Packet) { s.n++ }
+
+// BenchmarkLinkTransmit measures one point-to-point packet delivery: a
+// schedule, a heap pop, and the handler dispatch.
+func BenchmarkLinkTransmit(b *testing.B) {
+	s := New(1)
+	a := s.AddNode(addr.MustParse("10.0.0.1"), "a")
+	c := s.AddNode(addr.MustParse("10.0.0.2"), "b")
+	s.Connect(a, c, Millisecond, 0, 1)
+	sink := &sinkHandler{}
+	c.Handler = sink
+	pkt := &Packet{Src: a.Addr, Dst: c.Addr, Size: 1000, TTL: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(0, pkt)
+		s.Run()
+	}
+	if sink.n != uint64(b.N) {
+		b.Fatalf("delivered %d, want %d", sink.n, b.N)
+	}
+}
+
+// BenchmarkLANFanout measures broadcasting to a 16-host segment.
+func BenchmarkLANFanout(b *testing.B) {
+	s := New(1)
+	lan := s.NewLAN(Millisecond, 0, 1)
+	tx := s.AddNode(addr.MustParse("10.0.0.1"), "tx")
+	lan.Attach(tx)
+	sink := &sinkHandler{}
+	for i := 0; i < 16; i++ {
+		n := s.AddNode(HostAddr(i), "h")
+		n.Handler = sink
+		lan.Attach(n)
+	}
+	pkt := &Packet{Src: tx.Addr, Dst: addr.WellKnownECMP, Size: 100, TTL: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Send(0, pkt)
+		s.Run()
+	}
+	b.ReportMetric(16, "deliveries/op")
+}
+
+// BenchmarkTimerChurn measures schedule+cancel cycles, the pattern the
+// proactive-counting re-check timers generate.
+func BenchmarkTimerChurn(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := s.After(Second, func() {})
+		t.Stop()
+		if i%1024 == 0 {
+			s.RunUntil(s.Now()) // drain tombstones
+		}
+	}
+}

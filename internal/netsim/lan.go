@@ -1,0 +1,123 @@
+package netsim
+
+// LAN is a broadcast segment: every packet transmitted by one attached node
+// is delivered to all other attached nodes. It models the shared Ethernet
+// between an edge router and its end hosts, which is where ECMP's UDP mode
+// and IGMP operate (Sections 3.2–3.3).
+type LAN struct {
+	sim   *Sim
+	Delay Time
+	Bps   int64
+	Cost  int
+	up    bool
+	ports []*lanPort
+}
+
+type lanPort struct {
+	lan      *LAN
+	node     *Node
+	ifc      *Iface
+	nextFree Time
+	stats    LinkStats
+}
+
+// NewLAN creates an empty broadcast segment.
+func (s *Sim) NewLAN(delay Time, bps int64, cost int) *LAN {
+	if cost < 1 {
+		cost = 1
+	}
+	l := &LAN{sim: s, Delay: delay, Bps: bps, Cost: cost, up: true}
+	s.lans = append(s.lans, l)
+	return l
+}
+
+// LANs returns all LAN segments in creation order.
+func (s *Sim) LANs() []*LAN { return s.lans }
+
+// Attach connects a node to the LAN and returns the new interface index.
+func (l *LAN) Attach(n *Node) int {
+	p := &lanPort{lan: l, node: n}
+	p.ifc = n.addIface(p)
+	l.ports = append(l.ports, p)
+	return p.ifc.Index
+}
+
+// Up reports the segment's state.
+func (l *LAN) Up() bool { return l.up }
+
+// SetUp changes the segment state, notifying every attached node.
+func (l *LAN) SetUp(up bool) {
+	if l.up == up {
+		return
+	}
+	l.up = up
+	for _, p := range l.ports {
+		p.node.notifyLink(p.ifc.Index, up)
+	}
+}
+
+// Members returns the attached nodes.
+func (l *LAN) Members() []*Node {
+	out := make([]*Node, len(l.ports))
+	for i, p := range l.ports {
+		out[i] = p.node
+	}
+	return out
+}
+
+func (p *lanPort) isUp() bool { return p.lan.up }
+
+func (p *lanPort) peerInfo() []PeerInfo {
+	out := make([]PeerInfo, 0, len(p.lan.ports)-1)
+	for _, q := range p.lan.ports {
+		if q == p {
+			continue
+		}
+		out = append(out, PeerInfo{Node: q.node.ID, Ifindex: q.ifc.Index, Cost: p.lan.Cost, Up: p.lan.up})
+	}
+	return out
+}
+
+func (p *lanPort) transmit(from *Node, pkt *Packet) {
+	l := p.lan
+	if !l.up {
+		p.stats.Dropped++
+		return
+	}
+	p.stats.Packets++
+	p.stats.Bytes += uint64(pkt.Size)
+	now := l.sim.Now()
+	start := now
+	if p.nextFree > start {
+		start = p.nextFree
+	}
+	txEnd := start
+	if l.Bps > 0 {
+		txEnd += Time(int64(pkt.Size) * 8 * int64(Second) / l.Bps)
+	}
+	p.nextFree = txEnd
+	arrive := txEnd + l.Delay
+	for _, q := range l.ports {
+		if q == p {
+			continue
+		}
+		dstNode, dstIf := q.node, q.ifc.Index
+		l.sim.At(arrive, func() {
+			if !l.up {
+				return
+			}
+			dstNode.deliver(dstIf, pkt)
+		})
+	}
+}
+
+// Stats returns the transmit counters for the port belonging to node n, or a
+// zero value if n is not attached.
+func (l *LAN) Stats(n *Node) LinkStats {
+	for _, p := range l.ports {
+		if p.node == n {
+			return p.stats
+		}
+	}
+	return LinkStats{}
+}

@@ -1,0 +1,134 @@
+package netsim
+
+// LinkStats counts traffic in one direction of a link (or out of one LAN
+// port). Benchmarks use these to compare per-link data and control load
+// across protocols (experiment E9).
+type LinkStats struct {
+	Packets uint64
+	Bytes   uint64
+	Dropped uint64 // dropped because the link was down or by loss injection
+}
+
+// linkEnd is one direction of a point-to-point link.
+type linkEnd struct {
+	link *Link
+	node *Node
+	ifc  *Iface
+	// nextFree is when the transmitter finishes serialising the previous
+	// packet; models output queueing on the link.
+	nextFree Time
+	stats    LinkStats
+}
+
+// Link is a duplex point-to-point link between two nodes.
+type Link struct {
+	sim   *Sim
+	a, b  linkEnd
+	Delay Time  // one-way propagation delay
+	Bps   int64 // bandwidth in bits per second; 0 means infinite
+	Cost  int   // unicast routing metric (>=1)
+	up    bool
+	// silent makes the link black-hole all traffic WITHOUT notifying the
+	// endpoints — the silent failure mode that only keepalives can detect
+	// (Section 3.2's TCP connection failure).
+	silent bool
+	// LossEvery injects a deterministic drop of every k-th packet per
+	// direction when >0 (failure injection for tests).
+	LossEvery int
+}
+
+// Connect joins nodes x and y with a duplex link and returns it along with
+// the new interface index on each node.
+func (s *Sim) Connect(x, y *Node, delay Time, bps int64, cost int) (*Link, int, int) {
+	if cost < 1 {
+		cost = 1
+	}
+	l := &Link{sim: s, Delay: delay, Bps: bps, Cost: cost, up: true}
+	l.a = linkEnd{link: l, node: x}
+	l.b = linkEnd{link: l, node: y}
+	l.a.ifc = x.addIface(&l.a)
+	l.b.ifc = y.addIface(&l.b)
+	s.links = append(s.links, l)
+	return l, l.a.ifc.Index, l.b.ifc.Index
+}
+
+// Links returns all links in creation order; the slice must not be modified.
+func (s *Sim) Links() []*Link { return s.links }
+
+// Up reports the link's administrative state.
+func (l *Link) Up() bool { return l.up }
+
+// SetUp changes the link state and notifies both endpoint handlers.
+func (l *Link) SetUp(up bool) {
+	if l.up == up {
+		return
+	}
+	l.up = up
+	l.a.node.notifyLink(l.a.ifc.Index, up)
+	l.b.node.notifyLink(l.b.ifc.Index, up)
+}
+
+// SetSilentFailure makes the link drop everything without notifying either
+// endpoint (no LinkChange fires). Keepalive-based failure detection is the
+// only way the protocol layer can notice.
+func (l *Link) SetSilentFailure(on bool) { l.silent = on }
+
+// Ends returns the endpoints as (node, ifindex) pairs.
+func (l *Link) Ends() (na *Node, ifa int, nb *Node, ifb int) {
+	return l.a.node, l.a.ifc.Index, l.b.node, l.b.ifc.Index
+}
+
+// StatsAtoB and StatsBtoA return the per-direction counters.
+func (l *Link) StatsAtoB() LinkStats { return l.a.stats }
+func (l *Link) StatsBtoA() LinkStats { return l.b.stats }
+
+// TotalPackets returns packets carried in both directions.
+func (l *Link) TotalPackets() uint64 { return l.a.stats.Packets + l.b.stats.Packets }
+
+func (e *linkEnd) other() *linkEnd {
+	if e == &e.link.a {
+		return &e.link.b
+	}
+	return &e.link.a
+}
+
+func (e *linkEnd) isUp() bool { return e.link.up }
+
+func (e *linkEnd) peerInfo() []PeerInfo {
+	o := e.other()
+	return []PeerInfo{{Node: o.node.ID, Ifindex: o.ifc.Index, Cost: e.link.Cost, Up: e.link.up}}
+}
+
+func (e *linkEnd) transmit(from *Node, pkt *Packet) {
+	l := e.link
+	if !l.up || l.silent {
+		e.stats.Dropped++
+		return
+	}
+	e.stats.Packets++
+	e.stats.Bytes += uint64(pkt.Size)
+	if l.LossEvery > 0 && e.stats.Packets%uint64(l.LossEvery) == 0 {
+		e.stats.Dropped++
+		return
+	}
+	now := l.sim.Now()
+	start := now
+	if e.nextFree > start {
+		start = e.nextFree
+	}
+	txEnd := start
+	if l.Bps > 0 {
+		txEnd += Time(int64(pkt.Size) * 8 * int64(Second) / l.Bps)
+	}
+	e.nextFree = txEnd
+	arrive := txEnd + l.Delay
+	dst := e.other()
+	dstIf := dst.ifc.Index
+	dstNode := dst.node
+	l.sim.At(arrive, func() {
+		if !l.up { // link died while in flight
+			return
+		}
+		dstNode.deliver(dstIf, pkt)
+	})
+}

@@ -1,0 +1,265 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func TestEventOrderingDeterministic(t *testing.T) {
+	s := New(1)
+	var order []int
+	// Same timestamp: insertion order must win, every run.
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*Millisecond, func() { order = append(order, i) })
+	}
+	s.At(Millisecond, func() { order = append(order, -1) })
+	s.Run()
+	if order[0] != -1 {
+		t.Fatal("earlier event did not run first")
+	}
+	for i := 0; i < 10; i++ {
+		if order[i+1] != i {
+			t.Fatalf("tie-break violated insertion order: %v", order)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.After(Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("Stop returned false on a pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop returned true")
+	}
+	s.Run()
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	var nilTimer *Timer
+	if nilTimer.Stop() {
+		t.Error("nil timer Stop returned true")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.At(2*Second, func() { ran = true })
+	s.RunUntil(Second)
+	if ran {
+		t.Error("future event ran early")
+	}
+	if s.Now() != Second {
+		t.Errorf("Now = %v, want 1s", s.Now())
+	}
+	s.RunUntil(3 * Second)
+	if !ran {
+		t.Error("event did not run")
+	}
+}
+
+func TestSchedulingInPastRunsNow(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.At(Second, func() {
+		s.At(0, func() { at = s.Now() }) // in the past
+	})
+	s.Run()
+	if at != Second {
+		t.Errorf("past-scheduled event ran at %v, want 1s", at)
+	}
+}
+
+func TestLinkDelayAndBandwidth(t *testing.T) {
+	s := New(1)
+	a := s.AddNode(addr.MustParse("10.0.0.1"), "a")
+	b := s.AddNode(addr.MustParse("10.0.0.2"), "b")
+	// 10 ms propagation, 1 Mbit/s: a 1250-byte packet serialises in 10 ms.
+	s.Connect(a, b, 10*Millisecond, 1_000_000, 1)
+
+	var arrive []Time
+	b.Handler = handlerFunc(func(ifindex int, pkt *Packet) { arrive = append(arrive, s.Now()) })
+
+	s.At(0, func() {
+		a.Send(0, &Packet{Src: a.Addr, Dst: b.Addr, Size: 1250, TTL: 4})
+		a.Send(0, &Packet{Src: a.Addr, Dst: b.Addr, Size: 1250, TTL: 4})
+	})
+	s.Run()
+	if len(arrive) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(arrive))
+	}
+	if arrive[0] != 20*Millisecond {
+		t.Errorf("first arrival %v, want 20ms (10 tx + 10 prop)", arrive[0])
+	}
+	// The second packet queues behind the first: 20 ms tx end + 10 ms prop.
+	if arrive[1] != 30*Millisecond {
+		t.Errorf("second arrival %v, want 30ms (queued)", arrive[1])
+	}
+}
+
+func TestLinkDownDropsAndNotifies(t *testing.T) {
+	s := New(1)
+	a := s.AddNode(addr.MustParse("10.0.0.1"), "a")
+	b := s.AddNode(addr.MustParse("10.0.0.2"), "b")
+	l, _, _ := s.Connect(a, b, Millisecond, 0, 1)
+
+	notified := 0
+	b.Handler = &watcher{onLink: func(ifindex int, up bool) { notified++ }}
+
+	l.SetUp(false)
+	if notified != 1 {
+		t.Fatalf("link-down notifications = %d, want 1", notified)
+	}
+	a.Send(0, &Packet{Size: 100, TTL: 4})
+	s.Run()
+	if b.Delivered != 0 {
+		t.Error("packet delivered over a down link")
+	}
+	if l.StatsAtoB().Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", l.StatsAtoB().Dropped)
+	}
+	l.SetUp(true)
+	if notified != 2 {
+		t.Errorf("link-up notifications = %d, want 2", notified)
+	}
+}
+
+func TestLinkDiesInFlight(t *testing.T) {
+	s := New(1)
+	a := s.AddNode(addr.MustParse("10.0.0.1"), "a")
+	b := s.AddNode(addr.MustParse("10.0.0.2"), "b")
+	l, _, _ := s.Connect(a, b, 10*Millisecond, 0, 1)
+	s.At(0, func() { a.Send(0, &Packet{Size: 100, TTL: 4}) })
+	s.At(5*Millisecond, func() { l.SetUp(false) }) // mid-flight
+	s.Run()
+	if b.Delivered != 0 {
+		t.Error("packet survived a link that died in flight")
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	s := New(1)
+	a := s.AddNode(addr.MustParse("10.0.0.1"), "a")
+	b := s.AddNode(addr.MustParse("10.0.0.2"), "b")
+	l, _, _ := s.Connect(a, b, Millisecond, 0, 1)
+	l.LossEvery = 3
+	s.At(0, func() {
+		for i := 0; i < 9; i++ {
+			a.Send(0, &Packet{Size: 100, TTL: 4})
+		}
+	})
+	s.Run()
+	if b.Delivered != 6 {
+		t.Errorf("delivered = %d, want 6 (every 3rd dropped)", b.Delivered)
+	}
+}
+
+func TestLANBroadcast(t *testing.T) {
+	s := New(1)
+	lan := s.NewLAN(Millisecond, 0, 1)
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i] = s.AddNode(HostAddr(i), "h")
+		lan.Attach(nodes[i])
+	}
+	s.At(0, func() { nodes[0].Send(0, &Packet{Size: 100, TTL: 4}) })
+	s.Run()
+	if nodes[0].Delivered != 0 {
+		t.Error("LAN echoed the packet to its sender")
+	}
+	for i := 1; i < 4; i++ {
+		if nodes[i].Delivered != 1 {
+			t.Errorf("node %d delivered = %d, want 1", i, nodes[i].Delivered)
+		}
+	}
+	if len(lan.Members()) != 4 {
+		t.Errorf("members = %d", len(lan.Members()))
+	}
+}
+
+func TestNeighborsAndPeerInfo(t *testing.T) {
+	s := New(1)
+	rs := Line(s, 3, DefaultWAN)
+	nbrs := rs[1].Neighbors()
+	total := 0
+	for _, peers := range nbrs {
+		total += len(peers)
+	}
+	if total != 2 {
+		t.Fatalf("middle router sees %d neighbors, want 2", total)
+	}
+	// LAN neighbors exclude self.
+	lan := s.NewLAN(Millisecond, 0, 1)
+	lan.Attach(rs[0])
+	lan.Attach(rs[1])
+	lan.Attach(rs[2])
+	for _, r := range rs {
+		for _, peers := range r.Neighbors() {
+			for _, p := range peers {
+				if p.Node == r.ID {
+					t.Fatal("node lists itself as a neighbor")
+				}
+			}
+		}
+	}
+}
+
+func TestTopologyBuilders(t *testing.T) {
+	s := New(1)
+	tree := BinaryTree(s, 3, DefaultWAN)
+	if len(tree) != 15 {
+		t.Fatalf("depth-3 tree has %d routers, want 15", len(tree))
+	}
+	leaves := TreeLeaves(tree, 3)
+	if len(leaves) != 8 {
+		t.Fatalf("leaves = %d, want 8", len(leaves))
+	}
+	s2 := New(2)
+	grid := Grid(s2, 4, 3, DefaultWAN)
+	if len(grid) != 12 {
+		t.Fatalf("grid = %d routers", len(grid))
+	}
+	if len(s2.Links()) != 3*3+4*2 {
+		t.Fatalf("grid links = %d, want 17", len(s2.Links()))
+	}
+	s3 := New(3)
+	rnd := Random(s3, 20, 3.0, DefaultWAN)
+	if len(rnd) != 20 {
+		t.Fatal("random size")
+	}
+	if got := len(s3.Links()); got < 19 || got > 30 {
+		t.Fatalf("random links = %d, want ~30", got)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() uint64 {
+		s := New(7)
+		rs := Random(s, 12, 3, DefaultWAN)
+		for i, r := range rs {
+			rr, d := r, Time(i)*Millisecond
+			s.At(d, func() { rr.SendAll(-1, &Packet{Size: 64, TTL: 2}) })
+		}
+		s.Run()
+		return s.EventsExecuted()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("event counts differ across identical runs: %d vs %d", a, b)
+	}
+}
+
+type handlerFunc func(int, *Packet)
+
+func (f handlerFunc) Receive(ifindex int, pkt *Packet) { f(ifindex, pkt) }
+
+type watcher struct {
+	onLink func(int, bool)
+}
+
+func (w *watcher) Receive(int, *Packet)      {}
+func (w *watcher) LinkChange(i int, up bool) { w.onLink(i, up) }

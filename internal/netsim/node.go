@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// NodeID identifies a node within one Sim; it doubles as the vertex id for
+// unicast route computation.
+type NodeID int
+
+// Handler is the protocol stack attached to a node. Exactly one handler is
+// attached per node; composite stacks (e.g. an ECMP router that also speaks
+// IGMP on edge LANs) multiplex on Packet.Proto themselves.
+type Handler interface {
+	// Receive is called for every packet delivered to the node. ifindex is
+	// the arrival interface.
+	Receive(ifindex int, pkt *Packet)
+}
+
+// LinkWatcher is implemented by handlers that want link up/down
+// notifications (ECMP uses them to re-select upstream neighbors, unicast
+// routing to recompute tables).
+type LinkWatcher interface {
+	LinkChange(ifindex int, up bool)
+}
+
+// attachment is one side of a link or LAN port.
+type attachment interface {
+	// transmit sends pkt out of this attachment; from is the transmitting
+	// node (used by LANs to not loop the packet back).
+	transmit(from *Node, pkt *Packet)
+	peerInfo() []PeerInfo
+	isUp() bool
+}
+
+// PeerInfo describes a directly connected neighbor as seen from one
+// interface.
+type PeerInfo struct {
+	Node    NodeID
+	Ifindex int  // the neighbor's interface back toward us
+	Cost    int  // link metric for unicast routing
+	Up      bool // current link state
+}
+
+// Iface is a node's port onto a link or LAN.
+type Iface struct {
+	Index  int
+	attach attachment
+}
+
+// Node is a router or host in the simulated internetwork.
+type Node struct {
+	ID      NodeID
+	Addr    addr.Addr
+	Name    string
+	sim     *Sim
+	ifaces  []*Iface
+	Handler Handler
+
+	// Delivered counts packets handed to the handler, for tests.
+	Delivered uint64
+}
+
+// AddNode creates a node with the given unicast address and human-readable
+// name. Addresses must be unique per Sim if unicast routing is in use.
+func (s *Sim) AddNode(a addr.Addr, name string) *Node {
+	n := &Node{ID: NodeID(len(s.nodes)), Addr: a, Name: name, sim: s}
+	s.nodes = append(s.nodes, n)
+	return n
+}
+
+// Nodes returns all nodes in creation order; the slice must not be modified.
+func (s *Sim) Nodes() []*Node { return s.nodes }
+
+// Node returns the node with the given id.
+func (s *Sim) Node(id NodeID) *Node { return s.nodes[id] }
+
+// NodeByAddr finds a node by unicast address, or nil.
+func (s *Sim) NodeByAddr(a addr.Addr) *Node {
+	for _, n := range s.nodes {
+		if n.Addr == a {
+			return n
+		}
+	}
+	return nil
+}
+
+// Sim returns the simulation the node belongs to.
+func (n *Node) Sim() *Sim { return n.sim }
+
+// NumIfaces returns the number of interfaces on the node.
+func (n *Node) NumIfaces() int { return len(n.ifaces) }
+
+// Neighbors returns information about every directly connected peer,
+// indexed by local interface. A LAN interface contributes one entry per
+// attached peer.
+func (n *Node) Neighbors() map[int][]PeerInfo {
+	out := make(map[int][]PeerInfo, len(n.ifaces))
+	for _, ifc := range n.ifaces {
+		out[ifc.Index] = ifc.attach.peerInfo()
+	}
+	// Remove self-entries contributed by shared LANs.
+	for idx, peers := range out {
+		kept := peers[:0]
+		for _, p := range peers {
+			if p.Node != n.ID {
+				kept = append(kept, p)
+			}
+		}
+		out[idx] = kept
+	}
+	return out
+}
+
+// IfaceUp reports whether the attachment behind ifindex is up.
+func (n *Node) IfaceUp(ifindex int) bool {
+	return n.ifaces[ifindex].attach.isUp()
+}
+
+// Send transmits pkt out of the given interface. The packet is delivered to
+// the peer(s) after serialization and propagation delay. Send panics on a
+// bad ifindex: that is a protocol-engine bug, not a runtime condition.
+func (n *Node) Send(ifindex int, pkt *Packet) {
+	if ifindex < 0 || ifindex >= len(n.ifaces) {
+		panic(fmt.Sprintf("netsim: node %s sending on bad ifindex %d", n.Name, ifindex))
+	}
+	n.ifaces[ifindex].attach.transmit(n, pkt)
+}
+
+// SendAll transmits pkt out of every interface except skipIfindex (pass -1
+// to send on all). Used by flood-style protocols (DVMRP) and LAN queries.
+func (n *Node) SendAll(skipIfindex int, pkt *Packet) {
+	for _, ifc := range n.ifaces {
+		if ifc.Index == skipIfindex {
+			continue
+		}
+		ifc.attach.transmit(n, pkt)
+	}
+}
+
+// deliver hands a packet to the node's handler at the current sim time.
+func (n *Node) deliver(ifindex int, pkt *Packet) {
+	n.Delivered++
+	if n.Handler != nil {
+		n.Handler.Receive(ifindex, pkt)
+	}
+}
+
+func (n *Node) notifyLink(ifindex int, up bool) {
+	if w, ok := n.Handler.(LinkWatcher); ok {
+		w.LinkChange(ifindex, up)
+	}
+}
+
+func (n *Node) addIface(a attachment) *Iface {
+	ifc := &Iface{Index: len(n.ifaces), attach: a}
+	n.ifaces = append(n.ifaces, ifc)
+	return ifc
+}

@@ -1,0 +1,57 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// Protocol numbers carried in Packet.Proto. They play the role of the IPv4
+// protocol field: nodes dispatch received packets on this value.
+const (
+	ProtoData  uint8 = 17  // application datagrams (UDP-like)
+	ProtoECMP  uint8 = 103 // ECMP control messages (value borrowed from PIM)
+	ProtoEncap uint8 = 4   // IP-in-IP encapsulation (subcast, relays, PIM register)
+	ProtoIGMP  uint8 = 2   // IGMP host membership messages
+	ProtoPIM   uint8 = 104 // PIM-SM baseline control
+	ProtoCBT   uint8 = 7   // CBT baseline control
+	ProtoDVMRP uint8 = 105 // DVMRP baseline control
+)
+
+// Packet is a datagram in flight. Payload is an arbitrary protocol message
+// and must be treated as read-only by receivers: a multicast delivery hands
+// the same Payload pointer to every receiver.
+//
+// Size is the simulated on-the-wire size in bytes, used for serialization
+// delay and per-link byte counters; it is carried explicitly so protocol
+// engines can account for real header formats (internal/wire) without
+// serialising on every hop.
+type Packet struct {
+	Src, Dst addr.Addr
+	Proto    uint8
+	TTL      uint8
+	Size     int
+	Payload  any
+}
+
+// DefaultTTL is the initial TTL for packets originated by hosts.
+const DefaultTTL = 64
+
+// Encap wraps an inner packet for IP-in-IP style delivery (Section 2.1
+// subcast, Section 4 relaying, and the PIM-SM register path all use it).
+type Encap struct {
+	Inner *Packet
+}
+
+// String renders a short human-readable form for traces.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%v->%v proto=%d ttl=%d size=%d", p.Src, p.Dst, p.Proto, p.TTL, p.Size)
+}
+
+// Clone returns a shallow copy of the packet (shared Payload) with the same
+// TTL; forwarding engines clone before mutating TTL so that other receivers
+// of a multicast delivery are unaffected.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}

@@ -1,0 +1,153 @@
+// Package netsim is a deterministic discrete-event simulator of an
+// internetwork: nodes joined by point-to-point links and broadcast LAN
+// segments, with propagation delay, serialization (bandwidth) delay, link
+// failure, and per-link traffic counters.
+//
+// It is the substitute for the real Internet topology that the paper's
+// protocols run over (see DESIGN.md §2). Determinism is load-bearing: the
+// event queue breaks ties by insertion order and all randomness flows
+// through a seeded generator, so every experiment in EXPERIMENTS.md is
+// reproducible bit-for-bit.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations in simulated time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the time as seconds with millisecond precision.
+func (t Time) String() string {
+	return fmt.Sprintf("%d.%03ds", t/Second, (t%Second)/Millisecond)
+}
+
+// Seconds converts the time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at  Time
+	seq uint64 // insertion order, breaks ties deterministically
+	fn  func()
+	// cancelled events stay in the heap and are skipped when popped; this
+	// makes Timer.Stop O(1) instead of O(log n) heap surgery.
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Sim is a discrete-event simulation instance.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	nodes []*Node
+	links []*Link
+	lans  []*LAN
+
+	executed uint64
+}
+
+// New returns an empty simulation whose randomness is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// EventsExecuted returns the number of events run so far, a cheap progress
+// and cost metric for benchmarks.
+func (s *Sim) EventsExecuted() uint64 { return s.executed }
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It is safe to call on a nil Timer or after the
+// event has fired (both are no-ops). It reports whether the event was
+// prevented from running.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past (or at
+// the present instant) runs the event at the current time, after all events
+// already queued for that time.
+func (s *Sim) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d Time, fn func()) *Timer { return s.At(s.now+d, fn) }
+
+// Run executes events until the queue is empty.
+func (s *Sim) Run() { s.RunUntil(1<<62 - 1) }
+
+// RunUntil executes events with time <= deadline, then sets the clock to
+// deadline (or leaves it at the last event if the queue drained later than
+// deadline... it cannot: events beyond deadline stay queued).
+func (s *Sim) RunUntil(deadline Time) {
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&s.events)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		s.executed++
+		ev.fn()
+	}
+	if s.now < deadline && deadline < 1<<62-1 {
+		s.now = deadline
+	}
+}
+
+// Pending returns the number of events still queued (including cancelled
+// tombstones).
+func (s *Sim) Pending() int { return len(s.events) }

@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// Topology builders. Each returns the routers it created; hosts are attached
+// separately by the caller (protocol engines differ in how they wire hosts).
+// Addresses are assigned sequentially from the 10/8 space for routers.
+
+// RouterAddr returns the conventional address of the i-th router.
+func RouterAddr(i int) addr.Addr {
+	return addr.Addr(10<<24) + addr.Addr(i+1)
+}
+
+// HostAddr returns the conventional address of the i-th host.
+func HostAddr(i int) addr.Addr {
+	return addr.Addr(172<<24|16<<16) + addr.Addr(i+1)
+}
+
+// LinkParams bundles the physical characteristics used by the builders.
+type LinkParams struct {
+	Delay Time
+	Bps   int64
+	Cost  int
+}
+
+// DefaultWAN models a wide-area link: 5 ms propagation, 155 Mbit/s.
+var DefaultWAN = LinkParams{Delay: 5 * Millisecond, Bps: 155_000_000, Cost: 1}
+
+// DefaultLAN models an edge Ethernet: 100 µs, 100 Mbit/s.
+var DefaultLAN = LinkParams{Delay: 100 * Microsecond, Bps: 100_000_000, Cost: 1}
+
+// AddRouters creates n routers named r0..r{n-1}.
+func AddRouters(s *Sim, n int) []*Node {
+	routers := make([]*Node, n)
+	for i := range routers {
+		routers[i] = s.AddNode(RouterAddr(i), fmt.Sprintf("r%d", i))
+	}
+	return routers
+}
+
+// Line builds r0 - r1 - ... - r{n-1}.
+func Line(s *Sim, n int, p LinkParams) []*Node {
+	rs := AddRouters(s, n)
+	for i := 0; i+1 < n; i++ {
+		s.Connect(rs[i], rs[i+1], p.Delay, p.Bps, p.Cost)
+	}
+	return rs
+}
+
+// Star builds a hub router r0 with n spokes r1..rn. This is the paper's
+// worst-case "star topology with no fanout in the network except at the
+// root" (Section 5.1).
+func Star(s *Sim, spokes int, p LinkParams) (hub *Node, leaves []*Node) {
+	rs := AddRouters(s, spokes+1)
+	for i := 1; i <= spokes; i++ {
+		s.Connect(rs[0], rs[i], p.Delay, p.Bps, p.Cost)
+	}
+	return rs[0], rs[1:]
+}
+
+// BinaryTree builds a complete binary tree of the given depth (depth 0 is a
+// single root). It returns all routers in breadth-first order; the leaves
+// are the last 2^depth entries. The paper's million-member example is "a
+// multicast tree 20 hops deep with a fanout of two" (Section 5.3); Figure
+// 8's simulation also uses tree aggregation.
+func BinaryTree(s *Sim, depth int, p LinkParams) []*Node {
+	n := (1 << (depth + 1)) - 1
+	rs := AddRouters(s, n)
+	for i := 0; i < n; i++ {
+		left, right := 2*i+1, 2*i+2
+		if left < n {
+			s.Connect(rs[i], rs[left], p.Delay, p.Bps, p.Cost)
+		}
+		if right < n {
+			s.Connect(rs[i], rs[right], p.Delay, p.Bps, p.Cost)
+		}
+	}
+	return rs
+}
+
+// TreeLeaves returns the leaf routers of a BinaryTree result.
+func TreeLeaves(rs []*Node, depth int) []*Node {
+	return rs[len(rs)-(1<<depth):]
+}
+
+// Grid builds a w×h grid (torus=false) of routers, a stand-in for a
+// transit-domain mesh. Router (x,y) is rs[y*w+x].
+func Grid(s *Sim, w, h int, p LinkParams) []*Node {
+	rs := AddRouters(s, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				s.Connect(rs[y*w+x], rs[y*w+x+1], p.Delay, p.Bps, p.Cost)
+			}
+			if y+1 < h {
+				s.Connect(rs[y*w+x], rs[(y+1)*w+x], p.Delay, p.Bps, p.Cost)
+			}
+		}
+	}
+	return rs
+}
+
+// Random builds a connected random graph: a spanning chain (guaranteeing
+// connectivity) plus extra random edges up to the requested average degree.
+// The simulator's seeded generator keeps it deterministic.
+func Random(s *Sim, n int, avgDegree float64, p LinkParams) []*Node {
+	rs := AddRouters(s, n)
+	connected := make(map[[2]NodeID]bool)
+	for i := 0; i+1 < n; i++ {
+		s.Connect(rs[i], rs[i+1], p.Delay, p.Bps, p.Cost)
+		connected[[2]NodeID{rs[i].ID, rs[i+1].ID}] = true
+	}
+	want := int(avgDegree*float64(n)/2) - (n - 1)
+	for added := 0; added < want; {
+		i := s.rng.Intn(n)
+		j := s.rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		key := [2]NodeID{rs[i].ID, rs[j].ID}
+		if connected[key] {
+			continue
+		}
+		connected[key] = true
+		s.Connect(rs[i], rs[j], p.Delay, p.Bps, p.Cost)
+		added++
+	}
+	return rs
+}
+
+// AttachHost creates a host node and connects it to the given router over a
+// point-to-point edge link, returning the host and the interface indices
+// (host side, router side).
+func AttachHost(s *Sim, router *Node, hostIdx int, p LinkParams) (h *Node, hostIf, routerIf int) {
+	h = s.AddNode(HostAddr(hostIdx), fmt.Sprintf("h%d", hostIdx))
+	_, hIf, rIf := s.Connect(h, router, p.Delay, p.Bps, p.Cost)
+	return h, hIf, rIf
+}

@@ -1,0 +1,103 @@
+package realnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// BenchmarkRouterEventProcessing is the package-local form of experiment
+// E4: one router, 8 churning TCP neighbors over loopback, measured per
+// membership event.
+func BenchmarkRouterEventProcessing(b *testing.B) {
+	r, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	const neighbors = 8
+	clients := make([]*Client, neighbors)
+	for i := range clients {
+		c, err := Dial(r.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	src := addr.MustParse("171.64.1.1")
+	b.ResetTimer()
+	perClient := b.N/neighbors + 1
+	for i, c := range clients {
+		for j := 0; j < perClient; j++ {
+			ch := addr.Channel{S: src, E: addr.ExpressAddr(uint32(i*perClient + j))}
+			c.Subscribe(ch)
+			c.Unsubscribe(ch)
+		}
+		c.Flush()
+	}
+	want := uint64(neighbors * perClient * 2)
+	deadline := time.Now().Add(120 * time.Second)
+	for r.Events() < want {
+		if time.Now().After(deadline) {
+			b.Fatalf("processed %d/%d", r.Events(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(r.Events()), "events-total")
+}
+
+// BenchmarkTwoLevelAggregation measures the edge→core forwarding path:
+// only zero/non-zero transitions propagate upstream. The two clients'
+// streams interleave arbitrarily at the edge, so the core sees between 2
+// events per channel (both members overlap) and 4 (they never overlap) —
+// always bounded by transitions, never by the edge's raw event count.
+func BenchmarkTwoLevelAggregation(b *testing.B) {
+	core, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer core.Close()
+	edge, err := NewRouter("127.0.0.1:0", core.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer edge.Close()
+	c1, err := Dial(edge.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(edge.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c2.Close()
+
+	src := addr.MustParse("171.64.1.1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := addr.Channel{S: src, E: addr.ExpressAddr(uint32(i))}
+		// Two subscribers at the edge, two unsubscribes: 4 edge events,
+		// exactly 2 core events (join, leave).
+		c1.Subscribe(ch)
+		c2.Subscribe(ch)
+		c1.Unsubscribe(ch)
+		c2.Unsubscribe(ch)
+	}
+	c1.Flush()
+	c2.Flush()
+	wantEdge := uint64(4 * b.N)
+	deadline := time.Now().Add(120 * time.Second)
+	for edge.Events() < wantEdge {
+		if time.Now().After(deadline) {
+			b.Fatalf("edge processed %d/%d", edge.Events(), wantEdge)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+	coreEv := core.Events()
+	b.ReportMetric(float64(coreEv)/float64(b.N), "core-events/channel")
+}

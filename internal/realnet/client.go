@@ -1,0 +1,63 @@
+package realnet
+
+import (
+	"bufio"
+	"net"
+
+	"repro/internal/addr"
+	"repro/internal/wire"
+)
+
+// Client is a neighbor that streams membership events to a Router — the
+// "eight active Ethernet neighbors continuously sending subscribe and
+// unsubscribe events" of the Section 5.3 measurement.
+type Client struct {
+	conn net.Conn
+	w    *bufio.Writer
+	buf  []byte
+	sent uint64
+}
+
+// Dial connects a client neighbor to a router.
+func Dial(routerAddr string) (*Client, error) {
+	c, err := net.Dial("tcp", routerAddr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(false) // allow batching, as TCP-mode ECMP intends
+	}
+	return &Client{
+		conn: c,
+		w:    bufio.NewWriterSize(c, wire.MaxSegment),
+		buf:  make([]byte, 0, wire.CountAuthSize),
+	}, nil
+}
+
+// Subscribe sends a subscription Count for ch.
+func (c *Client) Subscribe(ch addr.Channel) error { return c.sendCount(ch, 1) }
+
+// Unsubscribe sends a zero Count for ch.
+func (c *Client) Unsubscribe(ch addr.Channel) error { return c.sendCount(ch, 0) }
+
+func (c *Client) sendCount(ch addr.Channel, v uint32) error {
+	m := wire.Count{Channel: ch, CountID: wire.CountSubscribers, Value: v}
+	c.buf = m.AppendTo(c.buf[:0])
+	if _, err := c.w.Write(c.buf); err != nil {
+		return err
+	}
+	c.sent++
+	return nil
+}
+
+// Flush pushes buffered events to the router.
+func (c *Client) Flush() error { return c.w.Flush() }
+
+// Sent returns the number of events written.
+func (c *Client) Sent() uint64 { return c.sent }
+
+// Close flushes and closes the connection.
+func (c *Client) Close() error {
+	c.w.Flush()
+	return c.conn.Close()
+}

@@ -1,0 +1,137 @@
+package realnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+)
+
+func waitFor(t *testing.T, deadline time.Duration, cond func() bool) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached before deadline")
+}
+
+func TestSubscribeUnsubscribeOverTCP(t *testing.T) {
+	r, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(1)}
+	if err := c.Subscribe(ch); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	waitFor(t, 2*time.Second, func() bool { return r.Events() == 1 })
+	if r.Channels() != 1 {
+		t.Errorf("channels = %d, want 1", r.Channels())
+	}
+
+	if err := c.Unsubscribe(ch); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	waitFor(t, 2*time.Second, func() bool { return r.Events() == 2 })
+	if r.Channels() != 0 {
+		t.Errorf("channels = %d, want 0 after unsubscribe", r.Channels())
+	}
+	subs, unsubs := r.EventsByType()
+	if subs != 1 || unsubs != 1 {
+		t.Errorf("events by type = %d/%d, want 1/1", subs, unsubs)
+	}
+}
+
+func TestAggregateForwardsUpstream(t *testing.T) {
+	core, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	edge, err := NewRouter("127.0.0.1:0", core.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+
+	// Two neighbors subscribe to the same channel at the edge: exactly one
+	// aggregate subscription must reach the core (tree-mode propagation).
+	c1, err := Dial(edge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(edge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(7)}
+	c1.Subscribe(ch)
+	c1.Flush()
+	c2.Subscribe(ch)
+	c2.Flush()
+
+	waitFor(t, 2*time.Second, func() bool { return edge.Events() == 2 })
+	waitFor(t, 2*time.Second, func() bool { return core.Events() == 1 })
+	if core.Channels() != 1 {
+		t.Errorf("core channels = %d, want 1", core.Channels())
+	}
+
+	// Both unsubscribe: the edge withdraws once upstream.
+	c1.Unsubscribe(ch)
+	c1.Flush()
+	c2.Unsubscribe(ch)
+	c2.Flush()
+	waitFor(t, 2*time.Second, func() bool { return edge.Events() == 4 })
+	waitFor(t, 2*time.Second, func() bool { return core.Events() == 2 && core.Channels() == 0 })
+}
+
+func TestManyChannelsManyEvents(t *testing.T) {
+	r, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const neighbors = 8
+	const perNeighbor = 2000
+	clients := make([]*Client, neighbors)
+	for i := range clients {
+		c, err := Dial(r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	src := addr.MustParse("10.0.0.1")
+	for i, c := range clients {
+		for j := 0; j < perNeighbor; j++ {
+			ch := addr.Channel{S: src, E: addr.ExpressAddr(uint32(i*perNeighbor + j))}
+			c.Subscribe(ch)
+			c.Unsubscribe(ch)
+		}
+		c.Flush()
+	}
+	want := uint64(neighbors * perNeighbor * 2)
+	waitFor(t, 10*time.Second, func() bool { return r.Events() == want })
+	if r.Channels() != 0 {
+		t.Errorf("channels = %d, want 0 after balanced churn", r.Channels())
+	}
+}

@@ -1,0 +1,101 @@
+package relay
+
+import (
+	"repro/internal/addr"
+	"repro/internal/express"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Participant is a session member: an EXPRESS subscriber to the session
+// channel that relays its own transmissions through the SR by unicast and
+// follows secondary-source announcements onto direct channels.
+type Participant struct {
+	sub *express.Subscriber
+	sr  addr.Addr
+	ch  addr.Channel
+
+	// OnContent receives relayed session content in sequence-number order
+	// awareness: gaps are counted in Missed.
+	OnContent func(rp *RelayedPacket)
+	nextSeq   uint32
+	Missed    uint64
+	Received  uint64
+
+	// direct channels joined via announcements.
+	directChannels map[addr.Channel]bool
+
+	// LastHeard is the arrival time of the most recent session packet; the
+	// standby machinery uses it as a primary-liveness watchdog.
+	LastHeard netsim.Time
+}
+
+// Join creates a participant on host, subscribed to the session channel.
+func Join(host *netsim.Node, srAddr addr.Addr, ch addr.Channel) *Participant {
+	p := &Participant{
+		sr:             srAddr,
+		ch:             ch,
+		directChannels: make(map[addr.Channel]bool),
+	}
+	p.sub = express.NewSubscriber(host)
+	p.sub.OnData = p.onData
+	p.sub.Subscribe(ch, nil, nil)
+	return p
+}
+
+// Subscriber exposes the underlying EXPRESS subscriber.
+func (p *Participant) Subscriber() *express.Subscriber { return p.sub }
+
+// Node returns the participant's host node.
+func (p *Participant) Node() *netsim.Node { return p.sub.Node() }
+
+// RequestFloor asks the SR for the floor.
+func (p *Participant) RequestFloor() { p.send(&Request{Kind: FloorRequest}, 32) }
+
+// ReleaseFloor returns the floor.
+func (p *Participant) ReleaseFloor() { p.send(&Request{Kind: FloorRelease}, 32) }
+
+// Say relays content through the SR (honoured only while holding the floor
+// or as lecturer).
+func (p *Participant) Say(size int, payload any) {
+	p.send(&Request{Kind: Data, Payload: payload, Size: size}, size+32)
+}
+
+func (p *Participant) send(req *Request, size int) {
+	req.From = p.sub.Node().Addr
+	p.sub.Node().SendAll(-1, &netsim.Packet{
+		Src: p.sub.Node().Addr, Dst: p.sr, Proto: netsim.ProtoData,
+		TTL: netsim.DefaultTTL, Size: wire.IPv4HeaderSize + size, Payload: req,
+	})
+}
+
+// onData handles channel traffic: sequence tracking, announcements, and
+// content delivery.
+func (p *Participant) onData(ch addr.Channel, pkt *netsim.Packet) {
+	p.LastHeard = p.sub.Node().Sim().Now()
+	rp, ok := pkt.Payload.(*RelayedPacket)
+	if !ok {
+		// Direct-channel traffic from a switched secondary source.
+		p.Received++
+		if p.OnContent != nil {
+			p.OnContent(&RelayedPacket{From: pkt.Src, Payload: pkt.Payload})
+		}
+		return
+	}
+	if ann, ok := rp.Payload.(*Announcement); ok {
+		// Follow the secondary source onto its direct channel.
+		if !p.directChannels[ann.NewChannel] {
+			p.directChannels[ann.NewChannel] = true
+			p.sub.Subscribe(ann.NewChannel, nil, nil)
+		}
+		return
+	}
+	if p.nextSeq != 0 && rp.Seq > p.nextSeq {
+		p.Missed += uint64(rp.Seq - p.nextSeq)
+	}
+	p.nextSeq = rp.Seq + 1
+	p.Received++
+	if p.OnContent != nil {
+		p.OnContent(rp)
+	}
+}

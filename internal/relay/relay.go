@@ -1,0 +1,236 @@
+// Package relay implements the session-relay (SR) middleware of Section 4:
+// almost-single-source applications (distance learning, conferences) built
+// on EXPRESS channels. The SR host is the source of the session's channel;
+// participants subscribe to (SR,E) and relay their transmissions through
+// the SR by unicast. The SR provides the application-level control the
+// paper contrasts with network-layer rendezvous points: floor control
+// ("an intelligent audience microphone"), sequence numbering for reliable
+// relays, standby fail-over, and secondary-source switchover to a direct
+// channel.
+package relay
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/express"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Request is what a participant unicasts to the SR.
+type Request struct {
+	From addr.Addr
+	Kind RequestKind
+	// Data payload for Kind == Data.
+	Payload any
+	Size    int
+}
+
+// RequestKind discriminates participant→SR messages.
+type RequestKind uint8
+
+const (
+	// FloorRequest asks to be granted the floor.
+	FloorRequest RequestKind = iota
+	// FloorRelease returns the floor.
+	FloorRelease
+	// Data is content to relay onto the session channel (only honoured
+	// for the lecturer or the current floor holder).
+	Data
+)
+
+// Announcement is relayed on the channel when a secondary source switches
+// to a direct channel of its own (Section 4.1): participants subscribe to
+// the new channel on receipt.
+type Announcement struct {
+	NewChannel addr.Channel
+}
+
+// RelayedPacket wraps relayed data with the SR's sequence number — the
+// per-session sequencing that reliable multicast protocols need
+// (Section 4.2).
+type RelayedPacket struct {
+	Seq     uint32
+	From    addr.Addr
+	Payload any
+}
+
+// FloorPolicy tunes the "audience microphone" of Section 4.2.
+type FloorPolicy struct {
+	// MaxQuestionsPerMember caps how often one member may hold the floor
+	// ("no member disrupts the session with excessive questions"). 0 means
+	// unlimited.
+	MaxQuestionsPerMember int
+	// MaxFloorTime bounds one turn; 0 means unbounded.
+	MaxFloorTime netsim.Time
+}
+
+// SR is a session relay.
+type SR struct {
+	src *express.Source
+	ch  addr.Channel
+
+	// Lecturer is the primary source; its Data requests bypass floor
+	// control and may also originate locally via SendPrimary.
+	Lecturer addr.Addr
+
+	policy FloorPolicy
+
+	floorHolder addr.Addr
+	floorQueue  []addr.Addr
+	granted     map[addr.Addr]int
+	floorTimer  *netsim.Timer
+
+	seq uint32
+
+	Metrics Metrics
+
+	// OnRelay observes every packet relayed onto the channel.
+	OnRelay func(rp *RelayedPacket)
+}
+
+// Metrics counts SR activity.
+type Metrics struct {
+	Relayed        uint64
+	RefusedNoFloor uint64
+	FloorGrants    uint64
+	FloorDenials   uint64
+}
+
+// New creates a session relay on host (which becomes the channel source).
+// The returned SR owns the node's handler; ECMP control continues to flow
+// to the underlying express.Source.
+func New(host *netsim.Node, policy FloorPolicy) (*SR, addr.Channel, error) {
+	src := express.NewSource(host)
+	ch, err := src.CreateChannel()
+	if err != nil {
+		return nil, addr.Channel{}, err
+	}
+	sr := &SR{
+		src:     src,
+		ch:      ch,
+		policy:  policy,
+		granted: make(map[addr.Addr]int),
+	}
+	host.Handler = sr
+	return sr, ch, nil
+}
+
+// Channel returns the session channel (SR,E).
+func (sr *SR) Channel() addr.Channel { return sr.ch }
+
+// Source exposes the underlying EXPRESS source (for CountQuery etc.).
+func (sr *SR) Source() *express.Source { return sr.src }
+
+// SendPrimary relays lecturer content originating at the SR host itself.
+func (sr *SR) SendPrimary(size int, payload any) {
+	sr.relay(sr.Lecturer, size, payload)
+}
+
+// AnnounceNewSource tells all participants that a secondary source moved to
+// its own direct channel (Section 4.1's alternative to pure relaying).
+func (sr *SR) AnnounceNewSource(newCh addr.Channel) {
+	sr.seq++
+	rp := &RelayedPacket{Seq: sr.seq, From: sr.src.Node().Addr, Payload: &Announcement{NewChannel: newCh}}
+	_ = sr.src.Send(sr.ch, 64, rp)
+}
+
+// SessionSize polls the subscriber count — the RTCP-style session
+// measurement of Section 4.5, implemented with CountQuery instead of
+// multi-sender RTCP.
+func (sr *SR) SessionSize(timeout netsim.Time, cb func(uint32, bool)) {
+	sr.src.CountQuery(sr.ch, wire.CountSubscribers, timeout, false, cb)
+}
+
+// Receive implements netsim.Handler: unicast relay requests are processed
+// here; everything else (ECMP control) is delegated to the source stack.
+func (sr *SR) Receive(ifindex int, pkt *netsim.Packet) {
+	if req, ok := pkt.Payload.(*Request); ok && pkt.Dst == sr.src.Node().Addr {
+		sr.handleRequest(req)
+		return
+	}
+	sr.src.Receive(ifindex, pkt)
+}
+
+func (sr *SR) handleRequest(req *Request) {
+	switch req.Kind {
+	case FloorRequest:
+		sr.requestFloor(req.From)
+	case FloorRelease:
+		if req.From == sr.floorHolder {
+			sr.releaseFloor()
+		}
+	case Data:
+		if req.From != sr.Lecturer && req.From != sr.floorHolder {
+			// Strict monitoring and control of the traffic over the
+			// channel (Section 4.1): non-holders are refused.
+			sr.Metrics.RefusedNoFloor++
+			return
+		}
+		sr.relay(req.From, req.Size, req.Payload)
+	}
+}
+
+// requestFloor queues the member and grants when the floor is free ("the
+// SR can ensure that one question is transmitted to the audience at a
+// time").
+func (sr *SR) requestFloor(m addr.Addr) {
+	if sr.policy.MaxQuestionsPerMember > 0 && sr.granted[m] >= sr.policy.MaxQuestionsPerMember {
+		sr.Metrics.FloorDenials++
+		return
+	}
+	for _, q := range sr.floorQueue {
+		if q == m {
+			return // already queued
+		}
+	}
+	if sr.floorHolder == m {
+		return
+	}
+	sr.floorQueue = append(sr.floorQueue, m)
+	sr.grantNext()
+}
+
+func (sr *SR) grantNext() {
+	if sr.floorHolder != 0 || len(sr.floorQueue) == 0 {
+		return
+	}
+	sr.floorHolder = sr.floorQueue[0]
+	sr.floorQueue = sr.floorQueue[1:]
+	sr.granted[sr.floorHolder]++
+	sr.Metrics.FloorGrants++
+	if sr.policy.MaxFloorTime > 0 {
+		holder := sr.floorHolder
+		sr.floorTimer = sr.src.Node().Sim().After(sr.policy.MaxFloorTime, func() {
+			if sr.floorHolder == holder {
+				sr.releaseFloor()
+			}
+		})
+	}
+}
+
+func (sr *SR) releaseFloor() {
+	if sr.floorTimer != nil {
+		sr.floorTimer.Stop()
+		sr.floorTimer = nil
+	}
+	sr.floorHolder = 0
+	sr.grantNext()
+}
+
+// FloorHolder returns the member currently holding the floor (0 if none).
+func (sr *SR) FloorHolder() addr.Addr { return sr.floorHolder }
+
+// relay stamps and multicasts content on the session channel.
+func (sr *SR) relay(from addr.Addr, size int, payload any) {
+	sr.seq++
+	rp := &RelayedPacket{Seq: sr.seq, From: from, Payload: payload}
+	if err := sr.src.Send(sr.ch, size, rp); err != nil {
+		panic(fmt.Sprintf("relay: SR cannot send on own channel: %v", err))
+	}
+	sr.Metrics.Relayed++
+	if sr.OnRelay != nil {
+		sr.OnRelay(rp)
+	}
+}

@@ -1,0 +1,186 @@
+package relay
+
+import (
+	"testing"
+
+	"repro/internal/ecmp"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+)
+
+// lecture builds a session: SR host on the hub of a star, participants on
+// the spokes.
+func lecture(t *testing.T, spokes int, policy FloorPolicy) (*testutil.Net, *SR, []*Participant) {
+	t.Helper()
+	n := testutil.StarNet(41, spokes, ecmp.DefaultConfig())
+	srHost, _, hubIf := netsim.AttachHost(n.Sim, n.Routers[0].Node(), 90, netsim.DefaultLAN)
+	n.Routers[0].SetIfaceMode(hubIf, ecmp.ModeUDP)
+	sr, ch, err := New(srHost, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Lecturer = srHost.Addr
+
+	var parts []*Participant
+	for i := 1; i <= spokes; i++ {
+		h, _, rIf := netsim.AttachHost(n.Sim, n.Routers[i].Node(), 100+i, netsim.DefaultLAN)
+		n.Routers[i].SetIfaceMode(rIf, ecmp.ModeUDP)
+		parts = append(parts, Join(h, srHost.Addr, ch))
+	}
+	n.Start()
+	n.Sim.RunUntil(500 * netsim.Millisecond) // let subscriptions settle
+	return n, sr, parts
+}
+
+func TestLecturerBroadcast(t *testing.T) {
+	n, sr, parts := lecture(t, 4, FloorPolicy{})
+	n.Sim.After(0, func() { sr.SendPrimary(1200, "slide-1") })
+	n.Sim.RunUntil(n.Sim.Now() + netsim.Second)
+
+	for i, p := range parts {
+		if p.Received != 1 {
+			t.Errorf("participant %d received = %d, want 1", i, p.Received)
+		}
+	}
+	if sr.Metrics.Relayed != 1 {
+		t.Errorf("relayed = %d, want 1", sr.Metrics.Relayed)
+	}
+}
+
+func TestFloorControl(t *testing.T) {
+	n, sr, parts := lecture(t, 3, FloorPolicy{MaxQuestionsPerMember: 1})
+
+	// Without the floor, a participant's data is refused.
+	n.Sim.After(0, func() { parts[0].Say(500, "heckle") })
+	n.Sim.RunUntil(n.Sim.Now() + netsim.Second)
+	if sr.Metrics.RefusedNoFloor != 1 {
+		t.Errorf("refused = %d, want 1", sr.Metrics.RefusedNoFloor)
+	}
+	if parts[1].Received != 0 {
+		t.Errorf("heckle was relayed to participant 1")
+	}
+
+	// Two participants request the floor; only the first speaks, and the
+	// second gets it after release — one question at a time.
+	n.Sim.After(0, func() {
+		parts[0].RequestFloor()
+		parts[1].RequestFloor()
+	})
+	n.Sim.RunUntil(n.Sim.Now() + netsim.Second)
+	if got := sr.FloorHolder(); got != parts[0].Node().Addr {
+		t.Fatalf("floor holder = %v, want participant 0", got)
+	}
+
+	n.Sim.After(0, func() { parts[1].Say(500, "out-of-turn") })
+	n.Sim.RunUntil(n.Sim.Now() + netsim.Second)
+	if sr.Metrics.RefusedNoFloor != 2 {
+		t.Errorf("queued (non-holder) participant's data was relayed")
+	}
+
+	n.Sim.After(0, func() { parts[0].Say(500, "question-1") })
+	n.Sim.RunUntil(n.Sim.Now() + netsim.Second)
+	if parts[2].Received != 1 {
+		t.Errorf("floor holder's question not relayed: received = %d", parts[2].Received)
+	}
+
+	n.Sim.After(0, func() { parts[0].ReleaseFloor() })
+	n.Sim.RunUntil(n.Sim.Now() + netsim.Second)
+	if got := sr.FloorHolder(); got != parts[1].Node().Addr {
+		t.Errorf("floor holder after release = %v, want participant 1", got)
+	}
+
+	// Quota: participant 0 already used its one question.
+	n.Sim.After(0, func() { parts[0].RequestFloor() })
+	n.Sim.RunUntil(n.Sim.Now() + netsim.Second)
+	if sr.Metrics.FloorDenials != 1 {
+		t.Errorf("quota not enforced: denials = %d, want 1", sr.Metrics.FloorDenials)
+	}
+}
+
+func TestSequenceNumbersDetectLoss(t *testing.T) {
+	n, sr, parts := lecture(t, 2, FloorPolicy{})
+
+	// Drop every 3rd packet on participant 0's spoke link.
+	link := findEdgeLink(n, parts[0].Node())
+	if link == nil {
+		t.Fatal("no edge link found")
+	}
+	link.LossEvery = 3
+
+	for i := 0; i < 9; i++ {
+		d := netsim.Time(i+1) * 50 * netsim.Millisecond
+		n.Sim.After(d, func() { sr.SendPrimary(800, "frame") })
+	}
+	n.Sim.RunUntil(n.Sim.Now() + 5*netsim.Second)
+
+	if parts[0].Missed == 0 {
+		t.Error("sequence numbers detected no loss on the lossy branch")
+	}
+	if parts[1].Missed != 0 {
+		t.Errorf("lossless participant missed %d", parts[1].Missed)
+	}
+	if parts[1].Received != 9 {
+		t.Errorf("lossless participant received %d, want 9", parts[1].Received)
+	}
+}
+
+// findEdgeLink locates the host's access link.
+func findEdgeLink(n *testutil.Net, host *netsim.Node) *netsim.Link {
+	for _, l := range n.Sim.Links() {
+		a, _, b, _ := l.Ends()
+		if a == host || b == host {
+			return l
+		}
+	}
+	return nil
+}
+
+func TestSecondarySourceSwitchover(t *testing.T) {
+	n, sr, parts := lecture(t, 3, FloorPolicy{})
+
+	// A long-talking secondary source creates its own channel and the SR
+	// announces it; participants subscribe and receive directly.
+	secondary := parts[0]
+	// Reuse the participant's host as an EXPRESS source for its direct
+	// channel: channels are (host, E), so any host can source one.
+	directCh, err := secondary.Subscriber().NodeChannel(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Sim.After(0, func() { sr.AnnounceNewSource(directCh) })
+	n.Sim.RunUntil(n.Sim.Now() + netsim.Second)
+
+	for i, p := range parts {
+		if !p.Subscriber().Subscribed(directCh) {
+			t.Errorf("participant %d did not follow the announcement", i)
+		}
+	}
+
+	// The secondary sends on its direct channel; others receive without SR
+	// relaying.
+	before := sr.Metrics.Relayed
+	n.Sim.After(0, func() { secondary.Subscriber().SendOn(directCh, 900, "long-talk") })
+	n.Sim.RunUntil(n.Sim.Now() + netsim.Second)
+	if parts[1].Received == 0 || parts[2].Received == 0 {
+		t.Errorf("direct-channel data not received: %d/%d", parts[1].Received, parts[2].Received)
+	}
+	if sr.Metrics.Relayed != before {
+		t.Error("direct-channel data passed through the SR")
+	}
+}
+
+func TestSessionSizeCount(t *testing.T) {
+	n, sr, parts := lecture(t, 5, FloorPolicy{})
+	var got uint32
+	var ok bool
+	n.Sim.After(0, func() {
+		sr.SessionSize(2*netsim.Second, func(v uint32, replied bool) { got, ok = v, replied })
+	})
+	n.Sim.RunUntil(n.Sim.Now() + 5*netsim.Second)
+	if !ok {
+		t.Fatal("SessionSize query timed out")
+	}
+	if got != uint32(len(parts)) {
+		t.Errorf("session size = %d, want %d", got, len(parts))
+	}
+}

@@ -1,0 +1,125 @@
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/netsim"
+)
+
+// Service implements Section 4.3, "Session Relaying as an ISP Service":
+// an ISP provides well-positioned session-relay servers and applications
+// contract for an SR channel for a given period of time, "similar to the
+// way that conventional satellite time is reserved or purchased".
+//
+// The service manages a fleet of SR hosts and a reservation book: a
+// customer leases one relay for a time window; overlapping leases go to
+// different relays; the lease activates and expires automatically on the
+// simulation clock.
+type Service struct {
+	sim    *netsim.Sim
+	relays []*serviceRelay
+	nextID int
+}
+
+type serviceRelay struct {
+	host   *netsim.Node
+	policy FloorPolicy
+	leases []*Lease
+}
+
+// Lease is one reservation of a relay for a time window.
+type Lease struct {
+	ID       int
+	Relay    addr.Addr
+	Channel  addr.Channel
+	From, To netsim.Time
+	sr       *SR
+	active   bool
+}
+
+// SR returns the live relay while the lease is active, nil otherwise.
+func (l *Lease) SR() *SR { return l.sr }
+
+// Active reports whether the lease window is open.
+func (l *Lease) Active() bool { return l.active }
+
+// ErrNoCapacity is returned when every relay is booked for the window.
+var ErrNoCapacity = errors.New("relay: no relay available for the requested window")
+
+// NewService builds a relay service over the given SR hosts (the ISP
+// places them "near the topological center" of its network, Section 4.2).
+func NewService(sim *netsim.Sim, hosts []*netsim.Node, policy FloorPolicy) *Service {
+	s := &Service{sim: sim}
+	for _, h := range hosts {
+		s.relays = append(s.relays, &serviceRelay{host: h, policy: policy})
+	}
+	return s
+}
+
+// Reserve books a relay for [from, to). The relay's channel is allocated
+// immediately (so the customer can advertise it with the event, Section
+// 4.1) but relaying only works inside the window.
+func (s *Service) Reserve(from, to netsim.Time) (*Lease, error) {
+	if to <= from {
+		return nil, fmt.Errorf("relay: bad window [%v, %v)", from, to)
+	}
+	for _, r := range s.relays {
+		if r.freeDuring(from, to) {
+			s.nextID++
+			sr, ch, err := New(r.host, r.policy)
+			if err != nil {
+				return nil, err
+			}
+			lease := &Lease{
+				ID: s.nextID, Relay: r.host.Addr, Channel: ch,
+				From: from, To: to, sr: sr,
+			}
+			r.leases = append(r.leases, lease)
+			sort.Slice(r.leases, func(i, j int) bool { return r.leases[i].From < r.leases[j].From })
+			s.sim.At(from, func() { lease.active = true })
+			s.sim.At(to, func() {
+				lease.active = false
+				lease.sr = nil
+			})
+			// Outside the window the SR refuses to relay: wrap the floor
+			// policy check by clearing the lecturer until activation.
+			sr.Lecturer = 0
+			s.sim.At(from, func() {
+				if lease.sr != nil {
+					lease.sr.Lecturer = r.host.Addr
+				}
+			})
+			return lease, nil
+		}
+	}
+	return nil, ErrNoCapacity
+}
+
+// freeDuring reports whether the relay has no overlapping lease.
+func (r *serviceRelay) freeDuring(from, to netsim.Time) bool {
+	for _, l := range r.leases {
+		if from < l.To && l.From < to {
+			return false
+		}
+	}
+	return true
+}
+
+// Capacity returns the number of relays in the fleet.
+func (s *Service) Capacity() int { return len(s.relays) }
+
+// ActiveLeases counts currently active leases.
+func (s *Service) ActiveLeases() int {
+	n := 0
+	for _, r := range s.relays {
+		for _, l := range r.leases {
+			if l.active {
+				n++
+			}
+		}
+	}
+	return n
+}

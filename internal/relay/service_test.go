@@ -1,0 +1,85 @@
+package relay
+
+import (
+	"testing"
+
+	"repro/internal/ecmp"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+)
+
+// TestServiceReservations verifies the §4.3 ISP-service model: windows on
+// one relay cannot overlap, overlapping demand spills to another relay,
+// and a full fleet rejects further bookings.
+func TestServiceReservations(t *testing.T) {
+	n := testutil.StarNet(45, 2, ecmp.DefaultConfig())
+	h1, _, i1 := netsim.AttachHost(n.Sim, n.Routers[0].Node(), 80, netsim.DefaultLAN)
+	n.Routers[0].SetIfaceMode(i1, ecmp.ModeUDP)
+	h2, _, i2 := netsim.AttachHost(n.Sim, n.Routers[1].Node(), 81, netsim.DefaultLAN)
+	n.Routers[1].SetIfaceMode(i2, ecmp.ModeUDP)
+	svc := NewService(n.Sim, []*netsim.Node{h1, h2}, FloorPolicy{})
+
+	a, err := svc.Reserve(0, 10*netsim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Reserve(5*netsim.Second, 15*netsim.Second) // overlaps a
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Relay == b.Relay {
+		t.Fatal("overlapping leases booked onto the same relay")
+	}
+	if _, err := svc.Reserve(7*netsim.Second, 9*netsim.Second); err == nil {
+		t.Fatal("triple-booked a two-relay fleet")
+	}
+	// A disjoint window reuses relay 1.
+	c, err := svc.Reserve(20*netsim.Second, 30*netsim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Relay != a.Relay {
+		t.Errorf("disjoint lease went to %v, expected reuse of %v", c.Relay, a.Relay)
+	}
+}
+
+// TestServiceLeaseLifecycle verifies activation and expiry on the clock:
+// the SR relays only inside the contracted window.
+func TestServiceLeaseLifecycle(t *testing.T) {
+	n := testutil.StarNet(46, 3, ecmp.DefaultConfig())
+	srHost, _, hubIf := netsim.AttachHost(n.Sim, n.Routers[0].Node(), 80, netsim.DefaultLAN)
+	n.Routers[0].SetIfaceMode(hubIf, ecmp.ModeUDP)
+	svc := NewService(n.Sim, []*netsim.Node{srHost}, FloorPolicy{})
+
+	lease, err := svc.Reserve(2*netsim.Second, 6*netsim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A participant subscribes ahead of the event (the channel address was
+	// advertised with the booking).
+	pHost, _, rIf := netsim.AttachHost(n.Sim, n.Routers[1].Node(), 81, netsim.DefaultLAN)
+	n.Routers[1].SetIfaceMode(rIf, ecmp.ModeUDP)
+	p := Join(pHost, lease.Relay, lease.Channel)
+	n.Start()
+
+	// Before the window: the SR refuses to relay (no lecturer configured).
+	n.Sim.At(netsim.Second, func() { p.Say(100, "early") })
+	// Inside the window: relaying works.
+	n.Sim.At(3*netsim.Second, func() {
+		if !lease.Active() {
+			t.Error("lease not active inside its window")
+		}
+		lease.SR().SendPrimary(100, "on-time")
+	})
+	n.Sim.RunUntil(5 * netsim.Second)
+	if p.Received != 1 {
+		t.Errorf("received = %d, want 1 (only the in-window packet)", p.Received)
+	}
+	n.Sim.RunUntil(8 * netsim.Second)
+	if lease.Active() {
+		t.Error("lease still active after expiry")
+	}
+	if svc.ActiveLeases() != 0 {
+		t.Errorf("active leases = %d after expiry", svc.ActiveLeases())
+	}
+}

@@ -1,0 +1,109 @@
+package relay
+
+import (
+	"repro/internal/addr"
+	"repro/internal/netsim"
+)
+
+// Standby implements the backup-SR fail-over of Section 4.2: the
+// application controls the number, placement and switch-over policy of
+// backup relays, and chooses between "hot" standby (participants
+// pre-subscribe to the backup channel for faster fail-over) and "cold"
+// standby (the backup channel is only joined after the primary fails,
+// saving on expected channel charging).
+type StandbyMode uint8
+
+const (
+	Hot StandbyMode = iota
+	Cold
+)
+
+func (m StandbyMode) String() string {
+	if m == Hot {
+		return "hot"
+	}
+	return "cold"
+}
+
+// StandbyConfig wires a participant to a backup SR.
+type StandbyConfig struct {
+	Mode StandbyMode
+	// BackupAddr and BackupChannel identify the backup relay.
+	BackupAddr    addr.Addr
+	BackupChannel addr.Channel
+	// Watchdog is how long primary silence is tolerated before fail-over.
+	Watchdog netsim.Time
+}
+
+// StandbyParticipant extends Participant with fail-over.
+type StandbyParticipant struct {
+	*Participant
+	cfg StandbyConfig
+
+	// FailedOverAt is when the participant switched to the backup (0 if
+	// the primary never failed).
+	FailedOverAt netsim.Time
+	// FirstBackupData is when the first packet arrived via the backup
+	// channel; FirstBackupData − FailedOverAt is the fail-over gap the
+	// hot/cold choice trades against channel cost.
+	FirstBackupData netsim.Time
+
+	failedOver bool
+	timer      *netsim.Timer
+}
+
+// JoinWithStandby joins a session with a configured backup relay.
+func JoinWithStandby(host *netsim.Node, srAddr addr.Addr, ch addr.Channel, cfg StandbyConfig) *StandbyParticipant {
+	sp := &StandbyParticipant{cfg: cfg}
+	sp.Participant = Join(host, srAddr, ch)
+	if cfg.Mode == Hot {
+		// Hot standby: pre-subscribe to the backup channel now, paying its
+		// state cost up front.
+		sp.sub.Subscribe(cfg.BackupChannel, nil, nil)
+	}
+	inner := sp.Participant.sub.OnData
+	sp.sub.OnData = func(c addr.Channel, pkt *netsim.Packet) {
+		if c == cfg.BackupChannel {
+			if sp.failedOver && sp.FirstBackupData == 0 {
+				sp.FirstBackupData = host.Sim().Now()
+			}
+			if sp.failedOver {
+				inner(c, pkt)
+			}
+			return // backup traffic is ignored until fail-over
+		}
+		sp.resetWatchdog()
+		inner(c, pkt)
+	}
+	sp.resetWatchdog()
+	return sp
+}
+
+// FailedOver reports whether the participant switched to the backup.
+func (sp *StandbyParticipant) FailedOver() bool { return sp.failedOver }
+
+func (sp *StandbyParticipant) resetWatchdog() {
+	if sp.timer != nil {
+		sp.timer.Stop()
+	}
+	if sp.failedOver || sp.cfg.Watchdog <= 0 {
+		return
+	}
+	sp.timer = sp.sub.Node().Sim().After(sp.cfg.Watchdog, sp.failOver)
+}
+
+// failOver switches to the backup relay: hot standby already has the
+// subscription in place; cold standby must build the branch now.
+func (sp *StandbyParticipant) failOver() {
+	if sp.failedOver {
+		return
+	}
+	sp.failedOver = true
+	sp.FailedOverAt = sp.sub.Node().Sim().Now()
+	sp.sr = sp.cfg.BackupAddr
+	if sp.cfg.Mode == Cold {
+		sp.sub.Subscribe(sp.cfg.BackupChannel, nil, nil)
+	}
+	sp.sub.Unsubscribe(sp.ch)
+	sp.ch = sp.cfg.BackupChannel
+}

@@ -1,0 +1,268 @@
+// Package reliable is a NACK-based reliable multicast transport over
+// EXPRESS channels, the application the paper motivates in Sections 1 and
+// 2.2.1: "counting ... can be used to efficiently collect positive
+// acknowledgements or negative acknowledgments to determine how many
+// subscribers missed a particular packet" — wide-area multicast file
+// updates without the feedback implosion that plagues unicast-ACK schemes.
+//
+// The sender stamps datagrams with sequence numbers, then runs repair
+// rounds: one CountQuery per suspect sequence number counts the receivers
+// still missing it (the NACK count), and any block with a non-zero count
+// is retransmitted — to the whole channel, or via subcast through a relay
+// router when the losses cluster in one subtree (Section 2.1). Receivers
+// buffer out-of-order arrivals and deliver in order.
+package reliable
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/express"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Window is how many outstanding sequence numbers map onto the
+// application-defined countId space at once. NACK queries for sequence s
+// use countId nackBase + s mod Window, so at most Window sequences may be
+// unrepaired simultaneously.
+const Window = 512
+
+// nackBase is the first application-defined countId used for NACK counts.
+const nackBase = wire.AppCountBase + 0x200
+
+// nackID maps a sequence number to its NACK countId.
+func nackID(seq uint32) wire.CountID {
+	return nackBase + wire.CountID(seq%Window)
+}
+
+// Datagram is the transport's wire unit.
+type Datagram struct {
+	Seq     uint32
+	Payload any
+	Retx    bool // retransmission marker (for stats; semantics identical)
+}
+
+// Sender is the reliable source side.
+type Sender struct {
+	src *express.Source
+	ch  addr.Channel
+
+	nextSeq uint32
+	// unrepaired holds sent datagrams not yet confirmed hole-free.
+	unrepaired map[uint32]*sentRecord
+
+	Metrics SenderMetrics
+}
+
+type sentRecord struct {
+	size    int
+	payload any
+}
+
+// SenderMetrics counts transport activity.
+type SenderMetrics struct {
+	Sent          uint64
+	RepairRounds  uint64
+	NACKQueries   uint64
+	Retransmitted uint64
+	Subcasts      uint64
+}
+
+// NewSender wraps an EXPRESS source and channel.
+func NewSender(src *express.Source, ch addr.Channel) *Sender {
+	return &Sender{src: src, ch: ch, unrepaired: make(map[uint32]*sentRecord)}
+}
+
+// Send transmits the next in-sequence datagram and returns its sequence
+// number.
+func (s *Sender) Send(size int, payload any) (uint32, error) {
+	if len(s.unrepaired) >= Window {
+		return 0, fmt.Errorf("reliable: repair window full (%d outstanding)", Window)
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	if err := s.src.Send(s.ch, size, &Datagram{Seq: seq, Payload: payload}); err != nil {
+		return 0, err
+	}
+	s.unrepaired[seq] = &sentRecord{size: size, payload: payload}
+	s.Metrics.Sent++
+	return seq, nil
+}
+
+// Outstanding returns the number of sequences not yet confirmed repaired.
+func (s *Sender) Outstanding() int { return len(s.unrepaired) }
+
+// RepairRound queries the NACK count for every outstanding sequence and
+// retransmits those still missing somewhere. via, when non-zero, subcasts
+// the repairs through that on-tree router instead of re-multicasting to
+// the whole channel. done is called when the round completes, with the
+// number of sequences that needed repair.
+//
+// NACKs can only report holes *below* a receiver's high-water mark, so the
+// round first multicasts a probe datagram (consuming one sequence number):
+// any tail loss becomes a detectable hole beneath the probe. A lost probe
+// is covered by the next round's probe.
+func (s *Sender) RepairRound(timeout netsim.Time, via addr.Addr, done func(repaired int)) {
+	s.Metrics.RepairRounds++
+	if len(s.unrepaired) == 0 {
+		if done != nil {
+			done(0)
+		}
+		return
+	}
+	if _, err := s.Send(1, probePayload{}); err == nil {
+		// The probe needs no reliability of its own: receivers that got it
+		// answer 0 and it clears; receivers that lost it are re-probed by
+		// the next round.
+	}
+	pending := len(s.unrepaired)
+	repaired := 0
+	for seq, rec := range s.unrepaired {
+		seq, rec := seq, rec
+		s.Metrics.NACKQueries++
+		s.src.CountQuery(s.ch, nackID(seq), timeout, false, func(missing uint32, ok bool) {
+			if ok && missing == 0 {
+				delete(s.unrepaired, seq) // everyone has it
+			} else {
+				repaired++
+				s.retransmit(seq, rec, via)
+			}
+			pending--
+			if pending == 0 && done != nil {
+				done(repaired)
+			}
+		})
+	}
+}
+
+// probePayload marks repair-round probe datagrams; receivers deliver them
+// like any datagram (applications see Datagram.Payload of this type and
+// may ignore it).
+type probePayload struct{}
+
+// IsProbe reports whether a delivered datagram is a repair-round probe.
+func IsProbe(d *Datagram) bool {
+	_, ok := d.Payload.(probePayload)
+	return ok
+}
+
+func (s *Sender) retransmit(seq uint32, rec *sentRecord, via addr.Addr) {
+	d := &Datagram{Seq: seq, Payload: rec.payload, Retx: true}
+	s.Metrics.Retransmitted++
+	if via != 0 {
+		s.Metrics.Subcasts++
+		_ = s.src.Subcast(s.ch, via, rec.size, d)
+		return
+	}
+	_ = s.src.Send(s.ch, rec.size, d)
+}
+
+// Receiver is the reliable subscriber side: it answers NACK queries for
+// the holes in its sequence space and delivers datagrams in order.
+type Receiver struct {
+	sub *express.Subscriber
+	ch  addr.Channel
+
+	// next is the lowest sequence not yet delivered to the application.
+	next   uint32
+	buffer map[uint32]*Datagram
+	seen   map[uint32]bool
+
+	// OnDeliver receives datagrams in sequence order.
+	OnDeliver func(d *Datagram)
+
+	Metrics ReceiverMetrics
+}
+
+// ReceiverMetrics counts receiver activity.
+type ReceiverMetrics struct {
+	Received   uint64
+	Duplicates uint64
+	Delivered  uint64
+	NACKsSent  uint64 // non-zero answers to NACK queries
+}
+
+// NewReceiver subscribes sub to the channel and installs the transport's
+// data and count handlers. The subscriber must not be otherwise in use.
+func NewReceiver(sub *express.Subscriber, ch addr.Channel) *Receiver {
+	r := &Receiver{
+		sub:    sub,
+		ch:     ch,
+		buffer: make(map[uint32]*Datagram),
+		seen:   make(map[uint32]bool),
+	}
+	sub.OnData = func(c addr.Channel, pkt *netsim.Packet) {
+		if c != ch {
+			return
+		}
+		if d, ok := pkt.Payload.(*Datagram); ok {
+			r.onDatagram(d)
+		}
+	}
+	sub.OnAppCount = r.answerNACK
+	sub.Subscribe(ch, nil, nil)
+	return r
+}
+
+// Next returns the lowest undelivered sequence number.
+func (r *Receiver) Next() uint32 { return r.next }
+
+// Missing reports whether seq is a known hole: some higher sequence has
+// arrived but seq has not.
+func (r *Receiver) Missing(seq uint32) bool {
+	return seq < r.highestSeen() && !r.seen[seq] && seq >= r.next
+}
+
+func (r *Receiver) highestSeen() uint32 {
+	hi := r.next
+	for s := range r.buffer {
+		if s >= hi {
+			hi = s + 1
+		}
+	}
+	return hi
+}
+
+func (r *Receiver) onDatagram(d *Datagram) {
+	if r.seen[d.Seq] || d.Seq < r.next {
+		r.Metrics.Duplicates++
+		return
+	}
+	r.Metrics.Received++
+	r.seen[d.Seq] = true
+	r.buffer[d.Seq] = d
+	for {
+		nd, ok := r.buffer[r.next]
+		if !ok {
+			break
+		}
+		delete(r.buffer, r.next)
+		r.next++
+		r.Metrics.Delivered++
+		if r.OnDeliver != nil {
+			r.OnDeliver(nd)
+		}
+	}
+}
+
+// answerNACK responds to a per-sequence NACK query: 1 if the receiver has
+// an unseen sequence congruent to the queried slot below its high-water
+// mark — a hole it can prove. Sequences it has never heard of (at or above
+// the high-water mark) are not NACKable, the standard limitation of pure
+// NACK schemes; the sender's repair-round probe converts tail losses into
+// holes so they become reportable.
+func (r *Receiver) answerNACK(_ addr.Channel, id wire.CountID) uint32 {
+	if id < nackBase || id >= nackBase+Window {
+		return 0
+	}
+	slot := uint32(id - nackBase)
+	hi := r.highestSeen()
+	for seq := r.next; seq < hi; seq++ {
+		if seq%Window == slot && !r.seen[seq] {
+			r.Metrics.NACKsSent++
+			return 1
+		}
+	}
+	return 0
+}

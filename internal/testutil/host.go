@@ -1,0 +1,59 @@
+package testutil
+
+import (
+	"repro/internal/addr"
+	"repro/internal/netsim"
+)
+
+// Host is a minimal data-plane host for baseline-protocol tests: it counts
+// multicast deliveries and can originate multicast sends. (EXPRESS tests
+// use the full express.Source/Subscriber stacks instead.)
+type Host struct {
+	node *netsim.Node
+	// Delivered counts data packets received, DeliveredAt records their
+	// arrival times (for delay/stretch measurements).
+	Delivered   uint64
+	DeliveredAt []netsim.Time
+	// Accept, when non-zero, only counts packets for this group.
+	Accept addr.Addr
+}
+
+// NewHost attaches a counting host to an existing node.
+func NewHost(node *netsim.Node) *Host {
+	h := &Host{node: node}
+	node.Handler = h
+	return h
+}
+
+// AttachCountingHost creates a host node linked to router and returns it
+// with the router-side interface index.
+func AttachCountingHost(sim *netsim.Sim, router *netsim.Node, idx int) (*Host, int) {
+	n, _, rIf := netsim.AttachHost(sim, router, idx, netsim.DefaultLAN)
+	return NewHost(n), rIf
+}
+
+// Node returns the underlying node.
+func (h *Host) Node() *netsim.Node { return h.node }
+
+// Addr returns the host's unicast address.
+func (h *Host) Addr() addr.Addr { return h.node.Addr }
+
+// SendMulticast originates a multicast data packet to group g.
+func (h *Host) SendMulticast(g addr.Addr, size int) {
+	h.node.SendAll(-1, &netsim.Packet{
+		Src: h.node.Addr, Dst: g, Proto: netsim.ProtoData,
+		TTL: netsim.DefaultTTL, Size: size,
+	})
+}
+
+// Receive implements netsim.Handler.
+func (h *Host) Receive(ifindex int, pkt *netsim.Packet) {
+	if pkt.Proto != netsim.ProtoData || !pkt.Dst.IsMulticast() {
+		return
+	}
+	if h.Accept != 0 && pkt.Dst != h.Accept {
+		return
+	}
+	h.Delivered++
+	h.DeliveredAt = append(h.DeliveredAt, h.node.Sim().Now())
+}

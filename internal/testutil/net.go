@@ -1,0 +1,129 @@
+// Package testutil provides ready-made EXPRESS networks for tests and
+// benchmarks: topology construction, unicast route computation, ECMP router
+// attachment, and host wiring in one call.
+package testutil
+
+import (
+	"repro/internal/addr"
+	"repro/internal/ecmp"
+	"repro/internal/express"
+	"repro/internal/netsim"
+	"repro/internal/unicast"
+)
+
+// Net bundles a simulated EXPRESS internetwork.
+type Net struct {
+	Sim     *netsim.Sim
+	Routing *unicast.Routing
+	Routers []*ecmp.Router
+	// RouterOf maps a node id to its ECMP router (nil for hosts).
+	RouterOf map[netsim.NodeID]*ecmp.Router
+
+	hostIdx int
+}
+
+// NewNet wraps a sim whose router nodes are already created (by a
+// netsim topology builder) and attaches an ECMP router to each.
+func NewNet(sim *netsim.Sim, routers []*netsim.Node, cfg ecmp.Config) *Net {
+	n := &Net{Sim: sim, RouterOf: make(map[netsim.NodeID]*ecmp.Router)}
+	n.Routing = unicast.Compute(sim)
+	for _, rn := range routers {
+		r := ecmp.NewRouter(rn, n.Routing, cfg)
+		n.Routers = append(n.Routers, r)
+		n.RouterOf[rn.ID] = r
+	}
+	return n
+}
+
+// Start invalidates routing (to include any hosts attached after NewNet)
+// and starts every router's periodic machinery.
+func (n *Net) Start() {
+	n.Routing.Invalidate()
+	for _, r := range n.Routers {
+		r.Start()
+	}
+}
+
+// AddSource attaches a source host to router r over an edge link.
+func (n *Net) AddSource(r *ecmp.Router) *express.Source {
+	h, _, rIf := netsim.AttachHost(n.Sim, r.Node(), n.hostIdx, netsim.DefaultLAN)
+	n.hostIdx++
+	r.SetIfaceMode(rIf, ecmp.ModeUDP)
+	n.Routing.Invalidate()
+	return express.NewSource(h)
+}
+
+// AddSubscriber attaches a subscriber host to router r over an edge link.
+func (n *Net) AddSubscriber(r *ecmp.Router) *express.Subscriber {
+	h, _, rIf := netsim.AttachHost(n.Sim, r.Node(), n.hostIdx, netsim.DefaultLAN)
+	n.hostIdx++
+	r.SetIfaceMode(rIf, ecmp.ModeUDP)
+	n.Routing.Invalidate()
+	return express.NewSubscriber(h)
+}
+
+// AddSubscriberOnLAN attaches a subscriber host to an existing LAN segment.
+func (n *Net) AddSubscriberOnLAN(lan *netsim.LAN) *express.Subscriber {
+	h := n.Sim.AddNode(netsim.HostAddr(n.hostIdx), "h")
+	n.hostIdx++
+	lan.Attach(h)
+	n.Routing.Invalidate()
+	return express.NewSubscriber(h)
+}
+
+// LineNet builds a line of n ECMP routers.
+func LineNet(seed int64, nRouters int, cfg ecmp.Config) *Net {
+	sim := netsim.New(seed)
+	routers := netsim.Line(sim, nRouters, netsim.DefaultWAN)
+	return NewNet(sim, routers, cfg)
+}
+
+// TreeNet builds a complete binary tree of ECMP routers with the given
+// depth. Leaves are Net.Routers[len-2^depth:].
+func TreeNet(seed int64, depth int, cfg ecmp.Config) *Net {
+	sim := netsim.New(seed)
+	routers := netsim.BinaryTree(sim, depth, netsim.DefaultWAN)
+	return NewNet(sim, routers, cfg)
+}
+
+// StarNet builds a hub-and-spoke of ECMP routers; Routers[0] is the hub.
+func StarNet(seed int64, spokes int, cfg ecmp.Config) *Net {
+	sim := netsim.New(seed)
+	hub, leaves := netsim.Star(sim, spokes, netsim.DefaultWAN)
+	return NewNet(sim, append([]*netsim.Node{hub}, leaves...), cfg)
+}
+
+// GridNet builds a w×h mesh of ECMP routers.
+func GridNet(seed int64, w, h int, cfg ecmp.Config) *Net {
+	sim := netsim.New(seed)
+	routers := netsim.Grid(sim, w, h, netsim.DefaultWAN)
+	return NewNet(sim, routers, cfg)
+}
+
+// TotalFIBEntries sums multicast FIB entries across all routers.
+func (n *Net) TotalFIBEntries() int {
+	total := 0
+	for _, r := range n.Routers {
+		total += r.FIB().Len()
+	}
+	return total
+}
+
+// TotalControlMessages sums ECMP control messages sent by all routers.
+func (n *Net) TotalControlMessages() uint64 {
+	var total uint64
+	for _, r := range n.Routers {
+		m := r.Metrics()
+		total += m.ControlMessages()
+	}
+	return total
+}
+
+// MustChannel allocates a channel from src, panicking on failure (tests).
+func MustChannel(src *express.Source) addr.Channel {
+	ch, err := src.CreateChannel()
+	if err != nil {
+		panic(err)
+	}
+	return ch
+}

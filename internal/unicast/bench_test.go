@@ -1,0 +1,35 @@
+package unicast
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// BenchmarkSPFGrid measures a full all-pairs recompute on a 10×10 grid —
+// the convergence cost after every topology change.
+func BenchmarkSPFGrid(b *testing.B) {
+	sim := netsim.New(1)
+	netsim.Grid(sim, 10, 10, netsim.DefaultWAN)
+	rt := Compute(sim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Invalidate()
+		rt.Version() // forces the recompute
+	}
+	b.ReportMetric(100, "routers")
+}
+
+// BenchmarkNextHop measures the per-packet route lookup.
+func BenchmarkNextHop(b *testing.B) {
+	sim := netsim.New(1)
+	rs := netsim.Grid(sim, 8, 8, netsim.DefaultWAN)
+	rt := Compute(sim)
+	dst := rs[63].Addr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := rt.NextHop(rs[0].ID, dst); !ok {
+			b.Fatal("unroutable")
+		}
+	}
+}

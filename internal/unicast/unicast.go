@@ -1,0 +1,266 @@
+// Package unicast computes the unicast routing tables that ECMP's
+// reverse-path forwarding relies on (Section 3: "The RPF routing component
+// of ECMP relies on, and scales with, existing unicast topology
+// information").
+//
+// It is a link-state protocol in the small: the link-state database is the
+// simulator topology itself, and a Dijkstra SPF run per node produces
+// next-hop tables. Recomputation is lazy — topology changes mark the tables
+// dirty, and the next query recomputes — which models routers converging
+// after an IGP flood without simulating the flood itself.
+package unicast
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/addr"
+	"repro/internal/netsim"
+)
+
+// Route is one next-hop entry.
+type Route struct {
+	Ifindex int           // outgoing interface toward the destination
+	NextHop netsim.NodeID // neighbor on that interface
+	Cost    int           // total path metric
+}
+
+// Table holds one node's routes to every reachable node.
+type Table struct {
+	routes map[netsim.NodeID]Route
+}
+
+// Lookup returns the route toward dst and whether one exists. Looking up
+// the node itself returns a zero route with ok=true and Ifindex -1.
+func (t *Table) Lookup(dst netsim.NodeID) (Route, bool) {
+	r, ok := t.routes[dst]
+	return r, ok
+}
+
+// Routing is the set of tables for every node plus the change tracking that
+// keeps them current.
+type Routing struct {
+	sim     *netsim.Sim
+	tables  map[netsim.NodeID]*Table
+	byAddr  map[addr.Addr]netsim.NodeID
+	dirty   bool
+	version uint64
+	// watchers are notified once per clean→dirty transition — the stand-in
+	// for the IGP flooding a topology change to every router.
+	watchers []func()
+}
+
+// Compute builds routing state for the simulation's current topology.
+func Compute(s *netsim.Sim) *Routing {
+	r := &Routing{sim: s, dirty: true}
+	r.refresh()
+	return r
+}
+
+// Invalidate marks the tables stale; the next query recomputes. Protocol
+// engines call this from their LinkChange hooks. Watchers registered with
+// OnChange are notified on the clean→dirty transition, as if the IGP had
+// flooded the change network-wide.
+func (r *Routing) Invalidate() {
+	if r.dirty {
+		return
+	}
+	r.dirty = true
+	for _, w := range r.watchers {
+		w()
+	}
+}
+
+// OnChange registers a callback invoked whenever the topology becomes
+// stale. ECMP routers use it to re-evaluate channel upstreams (Section
+// 3.2's topology-change handling) even when the changed link is not
+// directly attached.
+func (r *Routing) OnChange(fn func()) { r.watchers = append(r.watchers, fn) }
+
+// Version increments on every recompute; engines use it to detect that
+// routes may have moved (topology-change re-subscription, Section 3.2).
+func (r *Routing) Version() uint64 {
+	r.refresh()
+	return r.version
+}
+
+func (r *Routing) refresh() {
+	if !r.dirty {
+		return
+	}
+	r.dirty = false
+	r.version++
+	nodes := r.sim.Nodes()
+	r.byAddr = make(map[addr.Addr]netsim.NodeID, len(nodes))
+	for _, n := range nodes {
+		r.byAddr[n.Addr] = n.ID
+	}
+	r.tables = make(map[netsim.NodeID]*Table, len(nodes))
+	for _, n := range nodes {
+		r.tables[n.ID] = dijkstra(n, nodes)
+	}
+}
+
+// NodeByAddr resolves a unicast address to a node id.
+func (r *Routing) NodeByAddr(a addr.Addr) (netsim.NodeID, bool) {
+	r.refresh()
+	id, ok := r.byAddr[a]
+	return id, ok
+}
+
+// NextHop returns the route from node `from` toward the node owning address
+// dst. ok is false when dst is unknown or unreachable.
+func (r *Routing) NextHop(from netsim.NodeID, dst addr.Addr) (Route, bool) {
+	r.refresh()
+	id, ok := r.byAddr[dst]
+	if !ok {
+		return Route{}, false
+	}
+	return r.NextHopTo(from, id)
+}
+
+// NextHopTo is NextHop with the destination given as a node id.
+func (r *Routing) NextHopTo(from, to netsim.NodeID) (Route, bool) {
+	r.refresh()
+	t, ok := r.tables[from]
+	if !ok {
+		return Route{}, false
+	}
+	return t.Lookup(to)
+}
+
+// RPFInterface returns the interface on node `at` that unicast routing uses
+// to reach source src — the reverse-path-forwarding check interface. An
+// EXPRESS packet for (S,E) is accepted only if it arrives here (Section
+// 3.4), and subscriptions for (S,E) are forwarded out of it (Section 3.2).
+func (r *Routing) RPFInterface(at netsim.NodeID, src addr.Addr) (Route, bool) {
+	return r.NextHop(at, src)
+}
+
+// PathCost returns the total metric between two nodes, or -1 if unreachable.
+func (r *Routing) PathCost(from, to netsim.NodeID) int {
+	rt, ok := r.NextHopTo(from, to)
+	if !ok {
+		return -1
+	}
+	return rt.Cost
+}
+
+// Path returns the node sequence from→…→to following next hops, inclusive.
+// It returns nil if unreachable. Useful for verifying that multicast flows
+// only along source→subscriber unicast paths (Section 3.6).
+func (r *Routing) Path(from, to netsim.NodeID) []netsim.NodeID {
+	r.refresh()
+	path := []netsim.NodeID{from}
+	cur := from
+	for cur != to {
+		rt, ok := r.NextHopTo(cur, to)
+		if !ok || rt.Ifindex < 0 {
+			if cur == to {
+				break
+			}
+			return nil
+		}
+		cur = rt.NextHop
+		path = append(path, cur)
+		if len(path) > len(r.tables)+1 {
+			return nil // loop guard; cannot happen with consistent tables
+		}
+	}
+	return path
+}
+
+// dijkstra runs SPF from src over the up links/LANs, with deterministic
+// tie-breaking (lower node id wins) so simulations are reproducible.
+func dijkstra(src *netsim.Node, nodes []*netsim.Node) *Table {
+	const inf = math.MaxInt32
+	dist := make([]int, len(nodes))
+	first := make([]Route, len(nodes)) // first hop from src toward each node
+	done := make([]bool, len(nodes))
+	for i := range dist {
+		dist[i] = inf
+		first[i] = Route{Ifindex: -1, NextHop: -1}
+	}
+	dist[src.ID] = 0
+
+	pq := &routeHeap{{id: src.ID, cost: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(routeItem)
+		u := item.id
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		un := nodes[u]
+		for ifidx, peers := range un.Neighbors() {
+			for _, p := range peers {
+				if !p.Up {
+					continue
+				}
+				nd := dist[u] + p.Cost
+				v := p.Node
+				better := nd < dist[v]
+				// Deterministic tie-break: equal cost prefers the path whose
+				// first hop has the lower neighbor id, then lower ifindex.
+				if nd == dist[v] && !done[v] {
+					nf := firstHopFor(u, src.ID, first, ifidx, un, p)
+					of := first[v]
+					if nf.NextHop < of.NextHop || (nf.NextHop == of.NextHop && nf.Ifindex < of.Ifindex) {
+						better = true
+					}
+				}
+				if better {
+					dist[v] = nd
+					first[v] = firstHopFor(u, src.ID, first, ifidx, un, p)
+					first[v].Cost = nd
+					heap.Push(pq, routeItem{id: v, cost: nd})
+				}
+			}
+		}
+	}
+
+	t := &Table{routes: make(map[netsim.NodeID]Route, len(nodes))}
+	for _, n := range nodes {
+		if dist[n.ID] == inf {
+			continue
+		}
+		if n.ID == src.ID {
+			t.routes[n.ID] = Route{Ifindex: -1, NextHop: n.ID, Cost: 0}
+			continue
+		}
+		t.routes[n.ID] = first[n.ID]
+	}
+	return t
+}
+
+// firstHopFor determines the first-hop route for a node reached through u.
+func firstHopFor(u, srcID netsim.NodeID, first []Route, ifidx int, un *netsim.Node, p netsim.PeerInfo) Route {
+	if u == srcID {
+		return Route{Ifindex: ifidx, NextHop: p.Node}
+	}
+	return Route{Ifindex: first[u].Ifindex, NextHop: first[u].NextHop}
+}
+
+type routeItem struct {
+	id   netsim.NodeID
+	cost int
+}
+
+type routeHeap []routeItem
+
+func (h routeHeap) Len() int { return len(h) }
+func (h routeHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].id < h[j].id
+}
+func (h routeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *routeHeap) Push(x any)   { *h = append(*h, x.(routeItem)) }
+func (h *routeHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}

@@ -1,0 +1,144 @@
+package unicast
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestLineShortestPaths(t *testing.T) {
+	sim := netsim.New(1)
+	rs := netsim.Line(sim, 5, netsim.DefaultWAN)
+	rt := Compute(sim)
+
+	r, ok := rt.NextHopTo(rs[0].ID, rs[4].ID)
+	if !ok || r.Cost != 4 || r.NextHop != rs[1].ID {
+		t.Fatalf("r0→r4: %+v ok=%v, want cost 4 via r1", r, ok)
+	}
+	path := rt.Path(rs[0].ID, rs[4].ID)
+	if len(path) != 5 {
+		t.Fatalf("path = %v, want 5 nodes", path)
+	}
+	for i, n := range path {
+		if n != rs[i].ID {
+			t.Fatalf("path[%d] = %v, want %v", i, n, rs[i].ID)
+		}
+	}
+}
+
+func TestRPFInterface(t *testing.T) {
+	sim := netsim.New(1)
+	rs := netsim.Line(sim, 3, netsim.DefaultWAN)
+	host, _, _ := netsim.AttachHost(sim, rs[0], 0, netsim.DefaultLAN)
+	rt := Compute(sim)
+
+	// From r2, the RPF interface toward the host points at r1.
+	r, ok := rt.RPFInterface(rs[2].ID, host.Addr)
+	if !ok || r.NextHop != rs[1].ID {
+		t.Fatalf("RPF from r2 toward host: %+v ok=%v", r, ok)
+	}
+	// From r0 it points at the host itself.
+	r, ok = rt.RPFInterface(rs[0].ID, host.Addr)
+	if !ok || r.NextHop != host.ID {
+		t.Fatalf("RPF from r0 toward host: %+v ok=%v", r, ok)
+	}
+}
+
+func TestGridDistances(t *testing.T) {
+	sim := netsim.New(1)
+	rs := netsim.Grid(sim, 4, 4, netsim.DefaultWAN)
+	rt := Compute(sim)
+	// Manhattan distance on a grid with unit costs.
+	if c := rt.PathCost(rs[0].ID, rs[15].ID); c != 6 {
+		t.Errorf("corner-to-corner cost = %d, want 6", c)
+	}
+	if c := rt.PathCost(rs[5].ID, rs[6].ID); c != 1 {
+		t.Errorf("adjacent cost = %d, want 1", c)
+	}
+	if c := rt.PathCost(rs[3].ID, rs[3].ID); c != 0 {
+		t.Errorf("self cost = %d, want 0", c)
+	}
+}
+
+func TestRecomputeOnLinkFailure(t *testing.T) {
+	sim := netsim.New(1)
+	// Square: r0-r1, r1-r3, r0-r2, r2-r3.
+	rs := netsim.AddRouters(sim, 4)
+	l01, _, _ := sim.Connect(rs[0], rs[1], netsim.Millisecond, 0, 1)
+	sim.Connect(rs[1], rs[3], netsim.Millisecond, 0, 1)
+	sim.Connect(rs[0], rs[2], netsim.Millisecond, 0, 1)
+	sim.Connect(rs[2], rs[3], netsim.Millisecond, 0, 1)
+	rt := Compute(sim)
+
+	r, _ := rt.NextHopTo(rs[0].ID, rs[3].ID)
+	firstHop := r.NextHop
+	if firstHop != rs[1].ID {
+		t.Fatalf("tie-break chose %v, want r1 (lower id)", firstHop)
+	}
+	v1 := rt.Version()
+
+	l01.SetUp(false)
+	rt.Invalidate()
+	if rt.Version() == v1 {
+		t.Fatal("version did not change after invalidation")
+	}
+	r, ok := rt.NextHopTo(rs[0].ID, rs[3].ID)
+	if !ok || r.NextHop != rs[2].ID || r.Cost != 2 {
+		t.Fatalf("after failure: %+v, want via r2 cost 2", r)
+	}
+
+	// Partition: no route at all.
+	for _, l := range sim.Links() {
+		l.SetUp(false)
+	}
+	rt.Invalidate()
+	if _, ok := rt.NextHopTo(rs[0].ID, rs[3].ID); ok {
+		t.Fatal("route survived a full partition")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Two equal-cost paths: the chosen first hop must be identical across
+	// repeated computations.
+	var first netsim.NodeID = -1
+	for i := 0; i < 5; i++ {
+		sim := netsim.New(9)
+		rs := netsim.AddRouters(sim, 4)
+		sim.Connect(rs[0], rs[1], netsim.Millisecond, 0, 1)
+		sim.Connect(rs[0], rs[2], netsim.Millisecond, 0, 1)
+		sim.Connect(rs[1], rs[3], netsim.Millisecond, 0, 1)
+		sim.Connect(rs[2], rs[3], netsim.Millisecond, 0, 1)
+		rt := Compute(sim)
+		r, _ := rt.NextHopTo(rs[0].ID, rs[3].ID)
+		if first == -1 {
+			first = r.NextHop
+		} else if r.NextHop != first {
+			t.Fatalf("tie-break not deterministic: %v vs %v", r.NextHop, first)
+		}
+	}
+}
+
+func TestNodeByAddr(t *testing.T) {
+	sim := netsim.New(1)
+	rs := netsim.Line(sim, 2, netsim.DefaultWAN)
+	rt := Compute(sim)
+	id, ok := rt.NodeByAddr(rs[1].Addr)
+	if !ok || id != rs[1].ID {
+		t.Fatalf("NodeByAddr: %v %v", id, ok)
+	}
+	if _, ok := rt.NodeByAddr(0xdeadbeef); ok {
+		t.Fatal("unknown address resolved")
+	}
+}
+
+func TestPathUnreachableReturnsNil(t *testing.T) {
+	sim := netsim.New(1)
+	rs := netsim.AddRouters(sim, 2) // disconnected
+	rt := Compute(sim)
+	if p := rt.Path(rs[0].ID, rs[1].ID); p != nil {
+		t.Fatalf("path across partition = %v, want nil", p)
+	}
+	if c := rt.PathCost(rs[0].ID, rs[1].ID); c != -1 {
+		t.Fatalf("cost across partition = %d, want -1", c)
+	}
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func BenchmarkCountEncode(b *testing.B) {
+	m := Count{
+		Channel: addr.Channel{S: addr.MustParse("171.64.7.9"), E: addr.ExpressAddr(0xbeef)},
+		CountID: CountSubscribers, Value: 12345,
+	}
+	buf := make([]byte, 0, CountSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.AppendTo(buf[:0])
+	}
+	if len(buf) != CountSize {
+		b.Fatal("bad encoding")
+	}
+}
+
+func BenchmarkCountDecode(b *testing.B) {
+	m := Count{
+		Channel: addr.Channel{S: addr.MustParse("171.64.7.9"), E: addr.ExpressAddr(0xbeef)},
+		CountID: CountSubscribers, Value: 12345,
+	}
+	buf := m.AppendTo(nil)
+	var out Count
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := out.DecodeFromBytes(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchSegment(b *testing.B) {
+	// Pack and parse one full 92-Count segment per op.
+	msgs := make([]*Count, CountsPerSegment)
+	for i := range msgs {
+		msgs[i] = &Count{
+			Channel: addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(uint32(i))},
+			CountID: CountSubscribers, Value: 1,
+		}
+	}
+	batch := NewBatch()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		batch.Reset()
+		for _, m := range msgs {
+			if !batch.Add(m) {
+				b.Fatal("segment overflow")
+			}
+		}
+	}
+	b.ReportMetric(float64(batch.Len()), "counts/segment")
+}
+
+func BenchmarkIPv4Checksum(b *testing.B) {
+	h := IPv4Header{TotalLen: 1500, TTL: 64, Protocol: 103,
+		Src: addr.MustParse("10.0.0.1"), Dst: addr.MustParse("232.0.0.1")}
+	buf := make([]byte, 0, IPv4HeaderSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = h.AppendTo(buf[:0])
+	}
+}

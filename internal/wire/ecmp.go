@@ -1,0 +1,314 @@
+// Package wire defines the on-the-wire encodings for the EXPRESS
+// reproduction: the three ECMP messages of Section 3 (CountQuery, Count,
+// CountResponse), message batching into transport segments, a minimal IPv4
+// header, and the 12-byte FIB entry encoding of Figure 5 (the latter is
+// re-exported through internal/fib).
+//
+// Codecs follow the DecodeFromBytes/AppendTo convention: decoding borrows
+// from the input buffer and never allocates; encoding appends to a caller
+// buffer so batches can be built without copies.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// Message type identifiers. ECMP consists of exactly three messages
+// (Section 3): CountQuery, Count, and CountResponse.
+const (
+	TypeCountQuery    uint8 = 1
+	TypeCount         uint8 = 2
+	TypeCountResponse uint8 = 3
+	// TypeCountAuth is the authenticated Count variant: the same layout
+	// with the 8-byte K(S,E) appended. A distinct type byte keeps the
+	// encoding self-delimiting so batches parse without per-message length
+	// prefixes.
+	TypeCountAuth uint8 = 4
+)
+
+// CountID identifies the attribute being counted. A reserved id designates
+// subscribers (tree maintenance), others designate neighbor discovery and
+// network-layer resources; a sub-range has application-defined semantics
+// (Sections 3.1–3.3).
+type CountID uint16
+
+const (
+	// CountSubscribers is the reserved subscriberId: the number of
+	// subscribers in a subtree. An unsolicited Count with this id is a
+	// subscription; a zero Count is an unsubscription (Section 3.2).
+	CountSubscribers CountID = 0x0001
+	// CountNeighbors designates neighboring EXPRESS routers; periodic
+	// multicast queries with this id implement neighbor discovery
+	// (Section 3.3).
+	CountNeighbors CountID = 0x0002
+	// CountAllChannels solicits Count retransmissions for all channels,
+	// analogous to an IGMP general query (Section 3.3).
+	CountAllChannels CountID = 0x0003
+
+	// AppCountBase..AppCountLast have application-defined semantics and are
+	// forwarded all the way to subscribing applications (e.g. votes,
+	// positive/negative acknowledgement collection; Section 2.2.1).
+	AppCountBase CountID = 0x0100
+	AppCountLast CountID = 0x3fff
+
+	// LocalCountBase..LocalCountLast are designated for locally-defined use
+	// by transit domains (Section 3.1).
+	LocalCountBase CountID = 0x4000
+	LocalCountLast CountID = 0x7fff
+
+	// NetCountBase and above are network-layer resource counts that are
+	// answered by routers and not propagated to leaf hosts (Section 3.1
+	// footnote). CountLinks counts distribution-tree links within a domain,
+	// CountTreeWeight is a weighted tree-size measure (Section 2.1).
+	NetCountBase    CountID = 0x8000
+	CountLinks      CountID = 0x8001
+	CountTreeWeight CountID = 0x8002
+)
+
+// IsNetworkLayer reports whether the id is answered by routers rather than
+// being forwarded to leaf hosts.
+func (c CountID) IsNetworkLayer() bool { return c >= NetCountBase }
+
+// IsApplication reports whether the id carries application-defined
+// semantics (delivered to the subscribing application, not the OS).
+func (c CountID) IsApplication() bool { return c >= AppCountBase && c <= AppCountLast }
+
+// IsLocal reports whether the id lies in the locally-defined transit-domain
+// range (Section 3.1). Like network-layer ids, these are answered by
+// routers and never forwarded to leaf hosts.
+func (c CountID) IsLocal() bool { return c >= LocalCountBase && c <= LocalCountLast }
+
+// Status codes carried in CountResponse.
+const (
+	StatusOK               uint8 = 0
+	StatusBadKey           uint8 = 1 // invalid authenticator (Section 3.1)
+	StatusUnsupportedCount uint8 = 2 // unsupported countId (Section 3.1)
+	StatusNotOnChannel     uint8 = 3
+)
+
+// KeySize is the size of the channel authenticator K(S,E). Section 5.2
+// budgets "another eight bytes to store K(S,E)".
+const KeySize = 8
+
+// Key is the channel authenticator. It is an opaque capability, not
+// cryptographic material; key distribution is explicitly out of ECMP's
+// scope (Section 3.2).
+type Key [KeySize]byte
+
+// IsZero reports whether the key is unset.
+func (k Key) IsZero() bool { return k == Key{} }
+
+// Wire sizes. CountSize is the paper's constant: "approximately 92 16-byte
+// Count messages fit in a 1480-byte maximum-sized TCP segment" (Section
+// 5.3); the authenticated form appends a 1-byte flag and the 8-byte key.
+const (
+	CountSize         = 16
+	CountAuthSize     = CountSize + KeySize
+	CountQuerySize    = 18
+	CountResponseSize = 13
+	MaxSegment        = 1480 // maximum-sized TCP segment payload on Ethernet
+)
+
+// CountsPerSegment is how many unauthenticated Counts batch into one
+// maximum-sized segment: 92, matching Section 5.3.
+const CountsPerSegment = MaxSegment / CountSize
+
+var (
+	ErrShort      = errors.New("wire: buffer too short")
+	ErrBadType    = errors.New("wire: unexpected message type")
+	ErrBadChannel = errors.New("wire: destination not in 232/8")
+)
+
+// CountQuery asks for a count of the attribute identified by CountID over
+// the channel subtree below the receiver. TimeoutMs is decremented at each
+// hop by a small multiple of the measured upstream RTT so children time out
+// before parents (Section 3.1). Proactive requests that proactive counting
+// be enabled for this countId (Section 6).
+type CountQuery struct {
+	Channel   addr.Channel
+	CountID   CountID
+	Seq       uint16
+	TimeoutMs uint32
+	Proactive bool
+}
+
+// Count carries a count value upstream. An unsolicited Count (Seq 0) with
+// CountSubscribers is a subscription when Value > 0 and an unsubscription
+// when Value == 0 (Section 3.2). HasKey/Key carry the authenticator for
+// restricted channels.
+type Count struct {
+	Channel addr.Channel
+	CountID CountID
+	Seq     uint16
+	Value   uint32
+	HasKey  bool
+	Key     Key
+}
+
+// CountResponse acknowledges or rejects a Count (Section 3.1): an upstream
+// router uses it to validate or deny an authenticated subscription.
+type CountResponse struct {
+	Channel addr.Channel
+	CountID CountID
+	Seq     uint16
+	Status  uint8
+}
+
+// putChannel encodes S (4 bytes) plus the 24-bit E suffix (the 232/8 prefix
+// is implicit, as in the Figure 5 FIB entry).
+func putChannel(b []byte, c addr.Channel) {
+	binary.BigEndian.PutUint32(b, uint32(c.S))
+	suffix := c.E.ExpressSuffix()
+	b[4] = byte(suffix >> 16)
+	b[5] = byte(suffix >> 8)
+	b[6] = byte(suffix)
+}
+
+func getChannel(b []byte) addr.Channel {
+	s := addr.Addr(binary.BigEndian.Uint32(b))
+	suffix := uint32(b[4])<<16 | uint32(b[5])<<8 | uint32(b[6])
+	return addr.Channel{S: s, E: addr.ExpressAddr(suffix)}
+}
+
+// AppendTo appends the encoded message and returns the extended buffer.
+func (m *CountQuery) AppendTo(b []byte) []byte {
+	var flags byte
+	if m.Proactive {
+		flags |= 1
+	}
+	b = append(b, TypeCountQuery)
+	var ch [7]byte
+	putChannel(ch[:], m.Channel)
+	b = append(b, ch[:]...)
+	b = binary.BigEndian.AppendUint16(b, uint16(m.CountID))
+	b = binary.BigEndian.AppendUint16(b, m.Seq)
+	b = binary.BigEndian.AppendUint32(b, m.TimeoutMs)
+	return append(b, flags, 0) // flags + reserved pad
+}
+
+// DecodeFromBytes parses the message and returns the number of bytes
+// consumed.
+func (m *CountQuery) DecodeFromBytes(b []byte) (int, error) {
+	if len(b) < CountQuerySize {
+		return 0, ErrShort
+	}
+	if b[0] != TypeCountQuery {
+		return 0, ErrBadType
+	}
+	m.Channel = getChannel(b[1:8])
+	m.CountID = CountID(binary.BigEndian.Uint16(b[8:10]))
+	m.Seq = binary.BigEndian.Uint16(b[10:12])
+	m.TimeoutMs = binary.BigEndian.Uint32(b[12:16])
+	m.Proactive = b[16]&1 != 0
+	_ = b[17] // reserved
+	return CountQuerySize, nil
+}
+
+// AppendTo appends the encoded message and returns the extended buffer. The
+// unauthenticated form is exactly 16 bytes, matching Section 5.3's packing.
+func (m *Count) AppendTo(b []byte) []byte {
+	typ := TypeCount
+	if m.HasKey {
+		typ = TypeCountAuth
+	}
+	b = append(b, typ)
+	var ch [7]byte
+	putChannel(ch[:], m.Channel)
+	b = append(b, ch[:]...)
+	b = binary.BigEndian.AppendUint16(b, uint16(m.CountID))
+	b = binary.BigEndian.AppendUint16(b, m.Seq)
+	b = binary.BigEndian.AppendUint32(b, m.Value)
+	if m.HasKey {
+		b = append(b, m.Key[:]...)
+	}
+	return b
+}
+
+// Size returns the encoded size of the message.
+func (m *Count) Size() int {
+	if m.HasKey {
+		return CountAuthSize
+	}
+	return CountSize
+}
+
+// DecodeFromBytes parses the message and returns the bytes consumed.
+func (m *Count) DecodeFromBytes(b []byte) (int, error) {
+	if len(b) < CountSize {
+		return 0, ErrShort
+	}
+	if b[0] != TypeCount && b[0] != TypeCountAuth {
+		return 0, ErrBadType
+	}
+	m.Channel = getChannel(b[1:8])
+	m.CountID = CountID(binary.BigEndian.Uint16(b[8:10]))
+	m.Seq = binary.BigEndian.Uint16(b[10:12])
+	m.Value = binary.BigEndian.Uint32(b[12:16])
+	m.HasKey = false
+	m.Key = Key{}
+	if b[0] == TypeCountAuth {
+		if len(b) < CountAuthSize {
+			return 0, ErrShort
+		}
+		m.HasKey = true
+		copy(m.Key[:], b[16:16+KeySize])
+		return CountAuthSize, nil
+	}
+	return CountSize, nil
+}
+
+// AppendTo appends the encoded message and returns the extended buffer.
+func (m *CountResponse) AppendTo(b []byte) []byte {
+	b = append(b, TypeCountResponse)
+	var ch [7]byte
+	putChannel(ch[:], m.Channel)
+	b = append(b, ch[:]...)
+	b = binary.BigEndian.AppendUint16(b, uint16(m.CountID))
+	b = binary.BigEndian.AppendUint16(b, m.Seq)
+	return append(b, m.Status)
+}
+
+// DecodeFromBytes parses the message and returns the bytes consumed.
+func (m *CountResponse) DecodeFromBytes(b []byte) (int, error) {
+	if len(b) < CountResponseSize {
+		return 0, ErrShort
+	}
+	if b[0] != TypeCountResponse {
+		return 0, ErrBadType
+	}
+	m.Channel = getChannel(b[1:8])
+	m.CountID = CountID(binary.BigEndian.Uint16(b[8:10]))
+	m.Seq = binary.BigEndian.Uint16(b[10:12])
+	m.Status = b[12]
+	return CountResponseSize, nil
+}
+
+// Message is any of the three ECMP messages.
+type Message interface {
+	AppendTo([]byte) []byte
+	DecodeFromBytes([]byte) (int, error)
+}
+
+// Decode parses the next message in b by its leading type byte.
+func Decode(b []byte) (Message, int, error) {
+	if len(b) == 0 {
+		return nil, 0, ErrShort
+	}
+	var m Message
+	switch b[0] {
+	case TypeCountQuery:
+		m = &CountQuery{}
+	case TypeCount, TypeCountAuth:
+		m = &Count{}
+	case TypeCountResponse:
+		m = &CountResponse{}
+	default:
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadType, b[0])
+	}
+	n, err := m.DecodeFromBytes(b)
+	return m, n, err
+}

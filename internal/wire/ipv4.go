@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"encoding/binary"
+
+	"repro/internal/addr"
+)
+
+// IPv4Header is the subset of the IPv4 header the reproduction needs: the
+// real 20-byte layout with no options. The simulator carries structured
+// payloads for speed, but the real-socket router (internal/realnet), the
+// encapsulation paths (subcast, session relay, PIM register), and the size
+// accounting all use this encoding.
+type IPv4Header struct {
+	TotalLen uint16
+	TTL      uint8
+	Protocol uint8
+	Src, Dst addr.Addr
+	ID       uint16
+}
+
+// IPv4HeaderSize is the encoded size (no options).
+const IPv4HeaderSize = 20
+
+// AppendTo appends the 20-byte header. The checksum is computed over the
+// header as the real protocol requires.
+func (h *IPv4Header) AppendTo(b []byte) []byte {
+	start := len(b)
+	b = append(b,
+		0x45, 0, // version 4, IHL 5, DSCP/ECN 0
+		byte(h.TotalLen>>8), byte(h.TotalLen),
+		byte(h.ID>>8), byte(h.ID),
+		0, 0, // flags/fragment offset
+		h.TTL, h.Protocol,
+		0, 0, // checksum placeholder
+	)
+	b = binary.BigEndian.AppendUint32(b, uint32(h.Src))
+	b = binary.BigEndian.AppendUint32(b, uint32(h.Dst))
+	sum := ipChecksum(b[start : start+IPv4HeaderSize])
+	b[start+10] = byte(sum >> 8)
+	b[start+11] = byte(sum)
+	return b
+}
+
+// DecodeFromBytes parses the header, verifying version, length and checksum.
+func (h *IPv4Header) DecodeFromBytes(b []byte) (int, error) {
+	if len(b) < IPv4HeaderSize {
+		return 0, ErrShort
+	}
+	if b[0] != 0x45 {
+		return 0, ErrBadType
+	}
+	if ipChecksum(b[:IPv4HeaderSize]) != 0 {
+		return 0, ErrChecksum
+	}
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Src = addr.Addr(binary.BigEndian.Uint32(b[12:16]))
+	h.Dst = addr.Addr(binary.BigEndian.Uint32(b[16:20]))
+	return IPv4HeaderSize, nil
+}
+
+// ErrChecksum reports a corrupted IPv4 header.
+var ErrChecksum = errChecksum{}
+
+type errChecksum struct{}
+
+func (errChecksum) Error() string { return "wire: bad IPv4 header checksum" }
+
+// ipChecksum is the standard internet checksum (RFC 1071) over b. Computing
+// it over a header whose checksum field holds the correct value yields 0.
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// EncapOverhead is the per-packet cost of IP-in-IP encapsulation used by
+// subcast (Section 2.1) and session relaying (Section 4.1).
+const EncapOverhead = IPv4HeaderSize
+
+// EncapPacket wraps an already-encoded inner IPv4 packet with an outer
+// header addressed to the relay point.
+func EncapPacket(outerSrc, outerDst addr.Addr, ttl uint8, proto uint8, inner []byte) []byte {
+	h := IPv4Header{
+		TotalLen: uint16(IPv4HeaderSize + len(inner)),
+		TTL:      ttl,
+		Protocol: proto,
+		Src:      outerSrc,
+		Dst:      outerDst,
+	}
+	out := make([]byte, 0, IPv4HeaderSize+len(inner))
+	out = h.AppendTo(out)
+	return append(out, inner...)
+}

@@ -1,0 +1,81 @@
+package wire
+
+import "encoding/binary"
+
+// UDPHeader is the 8-byte UDP header used when ECMP runs in UDP mode
+// ("ECMP is implemented on top of UDP and TCP", Section 3.6) and by the
+// realnet framing. The checksum is carried but, as UDP permits, may be 0
+// (unset); VerifyUDP only rejects a non-zero mismatch.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // header + payload
+	Checksum         uint16
+}
+
+// UDPHeaderSize is the encoded size.
+const UDPHeaderSize = 8
+
+// ECMPPort is the well-known port ECMP listens on in this implementation.
+const ECMPPort = 4701
+
+// AppendTo appends the encoded header.
+func (h *UDPHeader) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint16(b, h.Length)
+	return binary.BigEndian.AppendUint16(b, h.Checksum)
+}
+
+// DecodeFromBytes parses the header and returns the bytes consumed.
+func (h *UDPHeader) DecodeFromBytes(b []byte) (int, error) {
+	if len(b) < UDPHeaderSize {
+		return 0, ErrShort
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Length = binary.BigEndian.Uint16(b[4:6])
+	h.Checksum = binary.BigEndian.Uint16(b[6:8])
+	return UDPHeaderSize, nil
+}
+
+// UDPDatagram frames a payload with a UDP header, computing the checksum
+// over the header-with-zero-checksum plus payload (the pseudo-header is
+// omitted — the simulator's IPv4 header has its own checksum).
+func UDPDatagram(srcPort, dstPort uint16, payload []byte) []byte {
+	h := UDPHeader{SrcPort: srcPort, DstPort: dstPort, Length: uint16(UDPHeaderSize + len(payload))}
+	out := make([]byte, 0, UDPHeaderSize+len(payload))
+	out = h.AppendTo(out)
+	out = append(out, payload...)
+	sum := ipChecksum(out)
+	if sum == 0 {
+		sum = 0xffff // 0 means "no checksum" in UDP; transmit all-ones
+	}
+	binary.BigEndian.PutUint16(out[6:8], sum)
+	return out
+}
+
+// VerifyUDP checks a framed datagram's length and checksum, returning the
+// payload.
+func VerifyUDP(b []byte) ([]byte, error) {
+	var h UDPHeader
+	if _, err := h.DecodeFromBytes(b); err != nil {
+		return nil, err
+	}
+	if int(h.Length) != len(b) {
+		return nil, ErrShort
+	}
+	if h.Checksum != 0 {
+		// Recompute with the checksum field zeroed.
+		tmp := make([]byte, len(b))
+		copy(tmp, b)
+		tmp[6], tmp[7] = 0, 0
+		sum := ipChecksum(tmp)
+		if sum == 0 {
+			sum = 0xffff
+		}
+		if sum != h.Checksum {
+			return nil, ErrChecksum
+		}
+	}
+	return b[UDPHeaderSize:], nil
+}

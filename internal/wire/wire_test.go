@@ -1,0 +1,247 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+// genChannel draws a valid channel.
+func genChannel(rng *rand.Rand) addr.Channel {
+	return addr.Channel{
+		S: addr.Addr(rng.Uint32()&0x7fffffff | 0x01000000), // non-multicast, non-zero
+		E: addr.ExpressAddr(rng.Uint32()),
+	}
+}
+
+func TestCountRoundTripProperty(t *testing.T) {
+	f := func(s uint32, suffix uint32, id uint16, seq uint16, value uint32, hasKey bool, key [KeySize]byte) bool {
+		in := Count{
+			Channel: addr.Channel{S: addr.Addr(s&0x7fffffff | 1), E: addr.ExpressAddr(suffix)},
+			CountID: CountID(id), Seq: seq, Value: value,
+			HasKey: hasKey, Key: key,
+		}
+		if !hasKey {
+			in.Key = Key{}
+		}
+		buf := in.AppendTo(nil)
+		if want := in.Size(); len(buf) != want {
+			t.Logf("encoded size %d, want %d", len(buf), want)
+			return false
+		}
+		var out Count
+		n, err := out.DecodeFromBytes(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountQueryRoundTripProperty(t *testing.T) {
+	f := func(s uint32, suffix uint32, id uint16, seq uint16, timeout uint32, proactive bool) bool {
+		in := CountQuery{
+			Channel: addr.Channel{S: addr.Addr(s | 1), E: addr.ExpressAddr(suffix)},
+			CountID: CountID(id), Seq: seq, TimeoutMs: timeout, Proactive: proactive,
+		}
+		buf := in.AppendTo(nil)
+		if len(buf) != CountQuerySize {
+			return false
+		}
+		var out CountQuery
+		n, err := out.DecodeFromBytes(buf)
+		return err == nil && n == CountQuerySize && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountResponseRoundTripProperty(t *testing.T) {
+	f := func(s uint32, suffix uint32, id uint16, seq uint16, status uint8) bool {
+		in := CountResponse{
+			Channel: addr.Channel{S: addr.Addr(s | 1), E: addr.ExpressAddr(suffix)},
+			CountID: CountID(id), Seq: seq, Status: status,
+		}
+		buf := in.AppendTo(nil)
+		var out CountResponse
+		n, err := out.DecodeFromBytes(buf)
+		return err == nil && n == CountResponseSize && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	// The Section 5.3 packing arithmetic depends on these constants.
+	if CountSize != 16 {
+		t.Errorf("CountSize = %d, want 16 (the paper's 16-byte Count)", CountSize)
+	}
+	if CountsPerSegment != 92 {
+		t.Errorf("CountsPerSegment = %d, want 92", CountsPerSegment)
+	}
+	c := Count{Channel: addr.Channel{S: 1, E: addr.ExpressBase}, Value: 1}
+	if got := len(c.AppendTo(nil)); got != 16 {
+		t.Errorf("encoded unauthenticated Count = %d bytes, want 16", got)
+	}
+	c.HasKey = true
+	if got := len(c.AppendTo(nil)); got != CountAuthSize {
+		t.Errorf("encoded authenticated Count = %d bytes, want %d", got, CountAuthSize)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var c Count
+	if _, err := c.DecodeFromBytes(nil); err != ErrShort {
+		t.Errorf("nil buffer: err = %v, want ErrShort", err)
+	}
+	if _, err := c.DecodeFromBytes(make([]byte, 15)); err != ErrShort {
+		t.Errorf("15-byte buffer: err = %v, want ErrShort", err)
+	}
+	bad := make([]byte, 32)
+	bad[0] = 0x7f
+	if _, err := c.DecodeFromBytes(bad); err != ErrBadType {
+		t.Errorf("bad type: err = %v, want ErrBadType", err)
+	}
+	// Authenticated type byte but truncated key.
+	authMsg := Count{Channel: addr.Channel{S: 1, E: addr.ExpressBase}, HasKey: true}
+	auth := authMsg.AppendTo(nil)
+	if _, err := c.DecodeFromBytes(auth[:20]); err != ErrShort {
+		t.Errorf("truncated auth Count: err = %v, want ErrShort", err)
+	}
+	var q CountQuery
+	if _, err := q.DecodeFromBytes(make([]byte, CountQuerySize-1)); err != ErrShort {
+		t.Errorf("short query: err = %v, want ErrShort", err)
+	}
+}
+
+func TestBatchPackingAndDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := NewBatch()
+	var sent []Message
+	for {
+		m := &Count{Channel: genChannel(rng), CountID: CountSubscribers, Value: rng.Uint32()}
+		if rng.Intn(4) == 0 {
+			m.HasKey = true
+			rng.Read(m.Key[:])
+		}
+		if !b.Add(m) {
+			break
+		}
+		sent = append(sent, m)
+	}
+	if b.Size() > MaxSegment {
+		t.Fatalf("batch size %d exceeds segment", b.Size())
+	}
+	if b.Len() != len(sent) {
+		t.Fatalf("batch len %d, want %d", b.Len(), len(sent))
+	}
+	got, err := DecodeBatch(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sent) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(sent))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], sent[i]) {
+			t.Fatalf("message %d mismatch: %+v vs %+v", i, got[i], sent[i])
+		}
+	}
+}
+
+func TestBatchMixedTypes(t *testing.T) {
+	b := NewBatch()
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(9)}
+	msgs := []Message{
+		&CountQuery{Channel: ch, CountID: CountSubscribers, Seq: 1, TimeoutMs: 500},
+		&Count{Channel: ch, CountID: CountSubscribers, Seq: 1, Value: 17},
+		&CountResponse{Channel: ch, CountID: CountSubscribers, Seq: 1, Status: StatusOK},
+		&Count{Channel: ch, CountID: CountSubscribers, Value: 1, HasKey: true, Key: Key{1, 2, 3, 4, 5, 6, 7, 8}},
+	}
+	for _, m := range msgs {
+		if !b.Add(m) {
+			t.Fatal("batch refused a message that fits")
+		}
+	}
+	got, err := DecodeBatch(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		if !reflect.DeepEqual(got[i], msgs[i]) {
+			t.Errorf("message %d: got %+v want %+v", i, got[i], msgs[i])
+		}
+	}
+}
+
+func TestIPv4HeaderRoundTripAndChecksum(t *testing.T) {
+	h := IPv4Header{TotalLen: 1048, TTL: 63, Protocol: 103, Src: addr.MustParse("171.64.7.9"), Dst: addr.MustParse("232.0.1.2"), ID: 777}
+	buf := h.AppendTo(nil)
+	if len(buf) != IPv4HeaderSize {
+		t.Fatalf("header size %d, want %d", len(buf), IPv4HeaderSize)
+	}
+	var out IPv4Header
+	if _, err := out.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out != h {
+		t.Fatalf("round trip: %+v vs %+v", out, h)
+	}
+	// Corrupt one byte: the checksum must catch it.
+	for i := 0; i < IPv4HeaderSize; i++ {
+		corrupt := bytes.Clone(buf)
+		corrupt[i] ^= 0x40
+		if _, err := out.DecodeFromBytes(corrupt); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestEncapPacket(t *testing.T) {
+	inner := []byte{0xde, 0xad, 0xbe, 0xef}
+	pkt := EncapPacket(addr.MustParse("10.0.0.1"), addr.MustParse("10.0.0.9"), 64, 4, inner)
+	var h IPv4Header
+	n, err := h.DecodeFromBytes(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Protocol != 4 || int(h.TotalLen) != len(pkt) {
+		t.Errorf("outer header: %+v", h)
+	}
+	if !bytes.Equal(pkt[n:], inner) {
+		t.Error("inner payload corrupted")
+	}
+}
+
+func TestCountIDRanges(t *testing.T) {
+	cases := []struct {
+		id  CountID
+		net bool
+		app bool
+	}{
+		{CountSubscribers, false, false},
+		{CountNeighbors, false, false},
+		{AppCountBase, false, true},
+		{AppCountLast, false, true},
+		{LocalCountBase, false, false},
+		{CountLinks, true, false},
+		{CountTreeWeight, true, false},
+	}
+	for _, c := range cases {
+		if c.id.IsNetworkLayer() != c.net {
+			t.Errorf("%#x IsNetworkLayer = %v, want %v", c.id, c.id.IsNetworkLayer(), c.net)
+		}
+		if c.id.IsApplication() != c.app {
+			t.Errorf("%#x IsApplication = %v, want %v", c.id, c.id.IsApplication(), c.app)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package workload generates the subscriber-behaviour traces the
+// experiments replay: membership churn for the Section 5.3 state-
+// maintenance measurement, the Figure 8 join/leave script, and Zipf channel
+// popularity for multi-channel scenarios. All generators are deterministic
+// given a seed.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/netsim"
+)
+
+// MembershipEvent is one subscribe or unsubscribe by one host.
+type MembershipEvent struct {
+	At   netsim.Time
+	Host int // index into the experiment's host slice
+	Join bool
+}
+
+// Figure8Params shapes the Section 6 simulation scenario: "an initial burst
+// of subscriptions at time 0, followed by slow subscriptions until time
+// 200, a burst of subscriptions at time 200, then no activity until time
+// 300, when all hosts unsubscribe quickly." About 250 subscribers and a 3
+// minute active duration.
+type Figure8Params struct {
+	InitialBurst int         // joins in the burst at t=0
+	SlowJoins    int         // joins spread over (burstLen, 200s)
+	SecondBurst  int         // joins in the burst at t=200
+	BurstLen     netsim.Time // duration of each burst
+	SlowEnd      netsim.Time // end of the slow-join phase (200 s)
+	QuietEnd     netsim.Time // when the mass unsubscribe starts (300 s)
+	LeaveLen     netsim.Time // how quickly everyone leaves
+}
+
+// DefaultFigure8 returns the paper's scenario: 100 + 50 + 100 = 250
+// subscribers.
+func DefaultFigure8() Figure8Params {
+	return Figure8Params{
+		InitialBurst: 100,
+		SlowJoins:    50,
+		SecondBurst:  100,
+		BurstLen:     5 * netsim.Second,
+		SlowEnd:      200 * netsim.Second,
+		QuietEnd:     300 * netsim.Second,
+		LeaveLen:     10 * netsim.Second,
+	}
+}
+
+// Total returns the number of hosts the script involves.
+func (p Figure8Params) Total() int { return p.InitialBurst + p.SlowJoins + p.SecondBurst }
+
+// Figure8Script renders the scenario into a sorted event list. Host
+// indices are assigned in join order.
+func Figure8Script(p Figure8Params, rng *rand.Rand) []MembershipEvent {
+	var evs []MembershipEvent
+	host := 0
+	add := func(at netsim.Time) {
+		evs = append(evs, MembershipEvent{At: at, Host: host, Join: true})
+		host++
+	}
+	for i := 0; i < p.InitialBurst; i++ {
+		add(netsim.Time(rng.Int63n(int64(p.BurstLen))))
+	}
+	slowSpan := int64(p.SlowEnd - p.BurstLen)
+	for i := 0; i < p.SlowJoins; i++ {
+		add(p.BurstLen + netsim.Time(rng.Int63n(slowSpan)))
+	}
+	for i := 0; i < p.SecondBurst; i++ {
+		add(p.SlowEnd + netsim.Time(rng.Int63n(int64(p.BurstLen))))
+	}
+	for h := 0; h < host; h++ {
+		evs = append(evs, MembershipEvent{
+			At:   p.QuietEnd + netsim.Time(rng.Int63n(int64(p.LeaveLen))),
+			Host: h,
+			Join: false,
+		})
+	}
+	sortEvents(evs)
+	return evs
+}
+
+// Churn generates steady-state membership churn: eventsPerSec alternating
+// subscribes and unsubscribes across nHosts for the given duration. Each
+// host toggles state, so subscribes and unsubscribes balance — the Section
+// 5.3 workload ("eight active Ethernet neighbors continuously sending
+// subscribe and unsubscribe events").
+func Churn(nHosts int, eventsPerSec float64, duration netsim.Time, rng *rand.Rand) []MembershipEvent {
+	var evs []MembershipEvent
+	joined := make([]bool, nHosts)
+	interval := float64(netsim.Second) / eventsPerSec
+	for t := 0.0; t < float64(duration); t += interval {
+		h := rng.Intn(nHosts)
+		joined[h] = !joined[h]
+		evs = append(evs, MembershipEvent{At: netsim.Time(t), Host: h, Join: joined[h]})
+	}
+	return evs
+}
+
+// ActualSize returns the true membership over time implied by a script:
+// a step function sampled at each event, as (time, size) points.
+func ActualSize(evs []MembershipEvent) []SizePoint {
+	out := make([]SizePoint, 0, len(evs))
+	size := 0
+	for _, e := range evs {
+		if e.Join {
+			size++
+		} else {
+			size--
+		}
+		out = append(out, SizePoint{At: e.At, Size: size})
+	}
+	return out
+}
+
+// SizePoint is a (time, membership) sample.
+type SizePoint struct {
+	At   netsim.Time
+	Size int
+}
+
+// Zipf draws channel indices with Zipf popularity (exponent s > 1) over n
+// channels — the distribution of viewers across the "thousands of Internet
+// radio stations and TV channels" of Section 1.
+func Zipf(rng *rand.Rand, s float64, n int) *rand.Zipf {
+	return rand.NewZipf(rng, s, 1, uint64(n-1))
+}
+
+// sortEvents sorts by time, breaking ties by host then join, keeping the
+// generator deterministic.
+func sortEvents(evs []MembershipEvent) {
+	sort.Slice(evs, func(i, j int) bool { return less(evs[i], evs[j]) })
+}
+
+func less(a, b MembershipEvent) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Host != b.Host {
+		return a.Host < b.Host
+	}
+	return a.Join && !b.Join
+}

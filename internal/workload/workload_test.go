@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestFigure8ScriptShape(t *testing.T) {
+	p := DefaultFigure8()
+	rng := rand.New(rand.NewSource(1))
+	evs := Figure8Script(p, rng)
+
+	if len(evs) != 2*p.Total() {
+		t.Fatalf("events = %d, want %d (each host joins and leaves)", len(evs), 2*p.Total())
+	}
+	// Sorted by time.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("script not sorted")
+		}
+	}
+	joins, leaves := 0, 0
+	for _, e := range evs {
+		if e.Join {
+			joins++
+			if e.At >= p.QuietEnd {
+				t.Errorf("join at %v after the quiet phase began", e.At)
+			}
+		} else {
+			leaves++
+			if e.At < p.QuietEnd {
+				t.Errorf("leave at %v before the quiet phase ended", e.At)
+			}
+		}
+	}
+	if joins != p.Total() || leaves != p.Total() {
+		t.Errorf("joins/leaves = %d/%d, want %d/%d", joins, leaves, p.Total(), p.Total())
+	}
+
+	// The paper's shape: a burst at 0, slow growth to 200 s, a burst at
+	// 200 s, all gone shortly after 300 s.
+	sizeAt := func(at netsim.Time) int {
+		n := 0
+		for _, e := range evs {
+			if e.At > at {
+				break
+			}
+			if e.Join {
+				n++
+			} else {
+				n--
+			}
+		}
+		return n
+	}
+	if s := sizeAt(p.BurstLen); s < p.InitialBurst {
+		t.Errorf("size after initial burst = %d, want >= %d", s, p.InitialBurst)
+	}
+	if s := sizeAt(p.SlowEnd + p.BurstLen); s != p.Total() {
+		t.Errorf("size after second burst = %d, want %d", s, p.Total())
+	}
+	if s := sizeAt(p.QuietEnd + p.LeaveLen + netsim.Second); s != 0 {
+		t.Errorf("size after mass leave = %d, want 0", s)
+	}
+}
+
+func TestFigure8Deterministic(t *testing.T) {
+	p := DefaultFigure8()
+	a := Figure8Script(p, rand.New(rand.NewSource(42)))
+	b := Figure8Script(p, rand.New(rand.NewSource(42)))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scripts")
+	}
+	c := Figure8Script(p, rand.New(rand.NewSource(43)))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scripts")
+	}
+}
+
+func TestChurnBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	evs := Churn(8, 100, 10*netsim.Second, rng)
+	if len(evs) != 1000 {
+		t.Fatalf("events = %d, want 1000", len(evs))
+	}
+	// Each host's events alternate join/leave, so per-host membership is
+	// always 0 or 1.
+	state := make(map[int]bool)
+	for _, e := range evs {
+		if state[e.Host] == e.Join {
+			t.Fatalf("host %d got a non-alternating event", e.Host)
+		}
+		state[e.Host] = e.Join
+	}
+}
+
+func TestActualSize(t *testing.T) {
+	evs := []MembershipEvent{
+		{At: 0, Host: 0, Join: true},
+		{At: 1, Host: 1, Join: true},
+		{At: 2, Host: 0, Join: false},
+	}
+	pts := ActualSize(evs)
+	want := []int{1, 2, 1}
+	for i, p := range pts {
+		if p.Size != want[i] {
+			t.Errorf("size[%d] = %d, want %d", i, p.Size, want[i])
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := Zipf(rng, 1.5, 1000)
+	counts := make(map[uint64]int)
+	for i := 0; i < 100_000; i++ {
+		counts[z.Uint64()]++
+	}
+	if counts[0] < counts[10] {
+		t.Error("Zipf head not heavier than the tail")
+	}
+}
