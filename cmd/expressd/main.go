@@ -25,10 +25,16 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:4701", "address to accept ECMP neighbors on")
 	upstream := flag.String("upstream", "", "upstream expressd to forward aggregate Counts to")
+	shards := flag.Int("shards", 0, "channel-table shards (0 = default)")
+	flushInterval := flag.Duration("flush-interval", 0, "upstream batcher age trigger (0 = default)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "interval between stats lines (0 disables)")
 	flag.Parse()
 
-	r, err := realnet.NewRouter(*listen, *upstream)
+	r, err := realnet.NewRouterOpts(*listen, realnet.Options{
+		Upstream:      *upstream,
+		Shards:        *shards,
+		FlushInterval: *flushInterval,
+	})
 	if err != nil {
 		log.Fatalf("expressd: %v", err)
 	}
@@ -38,11 +44,12 @@ func main() {
 		go func() {
 			var last uint64
 			for range time.Tick(*statsEvery) {
-				ev := r.Events()
-				subs, unsubs := r.EventsByType()
-				log.Printf("expressd: channels=%d events=%d (+%d) subscribes=%d unsubscribes=%d",
-					r.Channels(), ev, ev-last, subs, unsubs)
-				last = ev
+				st := r.Stats()
+				log.Printf("expressd: channels=%d events=%d (+%d) subscribes=%d unsubscribes=%d "+
+					"up-counts=%d up-segments=%d up-drops=%d",
+					st.Channels, st.Events, st.Events-last, st.Subscribes, st.Unsubscribes,
+					st.UpstreamCounts, st.UpstreamSegments, st.UpstreamDrops)
+				last = st.Events
 			}
 		}()
 	}

@@ -1,0 +1,120 @@
+// Command loadgen is a multi-connection churn generator for the user-level
+// ECMP router (Section 5.3 / experiment E4). It spins up a router with a
+// configurable shard count — or targets an already-running expressd — and
+// drives it from N concurrent neighbor connections, each streaming
+// subscribe/unsubscribe churn over its own channel space, then reports
+// sustained events/second.
+//
+// The E4 scaling curve on one machine:
+//
+//	loadgen -shards 1  -conns 8 -duration 5s
+//	loadgen -shards 4  -conns 8 -duration 5s
+//	loadgen -shards 16 -conns 8 -duration 5s
+//
+// Against an external router (shard count is then the router's):
+//
+//	expressd -listen 127.0.0.1:4701 &
+//	loadgen -target 127.0.0.1:4701 -conns 8 -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/realnet"
+)
+
+func main() {
+	target := flag.String("target", "", "drive an external router at this address instead of an in-process one")
+	shards := flag.Int("shards", 8, "channel-table shards for the in-process router")
+	conns := flag.Int("conns", 8, "concurrent neighbor connections")
+	duration := flag.Duration("duration", 5*time.Second, "churn duration")
+	space := flag.Int("space", 4096, "channels per connection (cycled)")
+	flushEvery := flag.Int("flush", 512, "events buffered per connection before a flush")
+	flag.Parse()
+
+	var r *realnet.Router
+	addrStr := *target
+	if addrStr == "" {
+		var err error
+		r, err = realnet.NewRouterOpts("127.0.0.1:0", realnet.Options{Shards: *shards})
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		defer r.Close()
+		addrStr = r.Addr()
+		log.Printf("loadgen: in-process router on %s with %d shards", addrStr, *shards)
+	} else {
+		log.Printf("loadgen: driving external router at %s", addrStr)
+	}
+
+	src := addr.MustParse("171.64.1.1")
+	var sent atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < *conns; i++ {
+		c, err := realnet.Dial(addrStr)
+		if err != nil {
+			log.Fatalf("loadgen: conn %d: %v", i, err)
+		}
+		defer c.Close()
+		wg.Add(1)
+		go func(i int, c *realnet.Client) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					c.Flush()
+					return
+				default:
+				}
+				ch := addr.Channel{S: src, E: addr.ExpressAddr(uint32(i)<<16 | uint32(j%*space))}
+				if c.Subscribe(ch) != nil || c.Unsubscribe(ch) != nil {
+					return
+				}
+				sent.Add(2)
+				if j%*flushEvery == *flushEvery-1 {
+					if c.Flush() != nil {
+						return
+					}
+				}
+			}
+		}(i, c)
+	}
+
+	start := time.Now()
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+
+	want := sent.Load()
+	if r != nil {
+		// Wait for the router to drain what the generators sent.
+		deadline := time.Now().Add(30 * time.Second)
+		for r.Events() < want {
+			if time.Now().After(deadline) {
+				log.Fatalf("loadgen: router processed %d/%d events before timeout", r.Events(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("conns=%d duration=%v GOMAXPROCS=%d\n", *conns, elapsed.Round(time.Millisecond), runtime.GOMAXPROCS(0))
+	fmt.Printf("events sent      %12d\n", want)
+	fmt.Printf("events/second    %12.0f\n", float64(want)/elapsed.Seconds())
+	if r != nil {
+		st := r.Stats()
+		fmt.Printf("shards           %12d\n", st.Shards)
+		fmt.Printf("router events    %12d (subscribes %d, unsubscribes %d)\n", st.Events, st.Subscribes, st.Unsubscribes)
+		fmt.Printf("live channels    %12d\n", st.Channels)
+	}
+	os.Exit(0)
+}

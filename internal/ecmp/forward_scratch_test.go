@@ -1,0 +1,93 @@
+package ecmp
+
+// Internal-package tests for the data-forwarding fast path: the oifScratch
+// buffer must retain its capacity across packets. (testutil cannot be used
+// here — it imports ecmp — so the topology is built by hand.)
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/fib"
+	"repro/internal/netsim"
+	"repro/internal/unicast"
+)
+
+// scratchNet builds one router with an upstream interface and two
+// downstream interfaces, and a FIB entry fanning a channel out both.
+func scratchNet() (*netsim.Sim, *Router, int, *netsim.Packet, []*netsim.Node) {
+	sim := netsim.New(1)
+	rn := sim.AddNode(addr.MustParse("10.0.0.1"), "r")
+	up := sim.AddNode(addr.MustParse("10.0.0.2"), "up")
+	d1 := sim.AddNode(addr.MustParse("10.0.0.3"), "d1")
+	d2 := sim.AddNode(addr.MustParse("10.0.0.4"), "d2")
+	_, _, iif := sim.Connect(up, rn, netsim.Millisecond, 0, 1)
+	_, oif1, _ := sim.Connect(rn, d1, netsim.Millisecond, 0, 1)
+	_, oif2, _ := sim.Connect(rn, d2, netsim.Millisecond, 0, 1)
+
+	rt := unicast.Compute(sim)
+	r := NewRouter(rn, rt, DefaultConfig())
+
+	src := addr.MustParse("171.64.1.1")
+	e := addr.ExpressAddr(9)
+	fe := r.fib.Ensure(fib.Key{S: src, G: e})
+	fe.IIF = iif
+	fe.SetOIF(oif1)
+	fe.SetOIF(oif2)
+
+	pkt := &netsim.Packet{Src: src, Dst: e, Proto: netsim.ProtoData, TTL: 64, Size: 1316}
+	return sim, r, iif, pkt, []*netsim.Node{d1, d2}
+}
+
+// TestForwardDataScratchRetained is the regression test for the
+// forwarding-path allocation bug: fib.Forward grows the scratch slice, but
+// the result was never stored back into r.oifScratch, so the buffer stayed
+// nil forever and every multi-interface forward reallocated.
+func TestForwardDataScratchRetained(t *testing.T) {
+	sim, r, iif, pkt, dsts := scratchNet()
+
+	r.forwardData(iif, pkt)
+	if cap(r.oifScratch) == 0 {
+		t.Fatal("oifScratch capacity is 0 after a multi-interface forward; grown slice not stored back")
+	}
+	c0 := cap(r.oifScratch)
+	for i := 0; i < 100; i++ {
+		r.forwardData(iif, pkt)
+	}
+	if cap(r.oifScratch) != c0 {
+		t.Errorf("oifScratch capacity changed %d -> %d across identical forwards", c0, cap(r.oifScratch))
+	}
+
+	// The allocs-per-op assertion: forwarding with a warm scratch must
+	// allocate strictly less than the buggy behaviour (scratch lost every
+	// packet), which pays one slice allocation per forward.
+	warm := testing.AllocsPerRun(100, func() { r.forwardData(iif, pkt) })
+	cold := testing.AllocsPerRun(100, func() {
+		r.oifScratch = nil // simulate the bug: capacity never retained
+		r.forwardData(iif, pkt)
+	})
+	if warm >= cold {
+		t.Errorf("warm-scratch forward allocates %.1f/op, not less than cold %.1f/op", warm, cold)
+	}
+
+	sim.Run()
+	for _, d := range dsts {
+		if d.Delivered == 0 {
+			t.Errorf("downstream node %s received nothing", d.Name)
+		}
+	}
+}
+
+// BenchmarkForwardDataAllocs reports allocations on the per-packet
+// forwarding path (scratch reuse keeps the oif expansion allocation-free;
+// the remaining allocs are the packet clone and simulator events).
+func BenchmarkForwardDataAllocs(b *testing.B) {
+	sim, r, iif, pkt, _ := scratchNet()
+	r.forwardData(iif, pkt) // warm the scratch
+	sim.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.forwardData(iif, pkt)
+	}
+}

@@ -264,11 +264,14 @@ func (r *Router) forwardData(ifindex int, pkt *netsim.Packet) {
 	if pkt.TTL <= 1 {
 		return
 	}
-	r.oifScratch = r.oifScratch[:0]
-	oifs, disp := r.fib.Forward(pkt.Src, pkt.Dst, ifindex, r.oifScratch)
+	oifs, disp := r.fib.Forward(pkt.Src, pkt.Dst, ifindex, r.oifScratch[:0])
 	if disp != fib.Forwarded {
 		return // counted and dropped (Section 3.4)
 	}
+	// Store the grown slice back so the scratch buffer keeps its capacity
+	// across packets (as receiveEncap does); without this every
+	// multi-interface forward reallocates.
+	r.oifScratch = oifs
 	fwd := pkt.Clone()
 	fwd.TTL--
 	for _, oif := range oifs {

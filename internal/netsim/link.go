@@ -126,7 +126,12 @@ func (e *linkEnd) transmit(from *Node, pkt *Packet) {
 	dstIf := dst.ifc.Index
 	dstNode := dst.node
 	l.sim.At(arrive, func() {
-		if !l.up { // link died while in flight
+		// A link that died OR went silent while the packet was in flight
+		// black-holes it: SetSilentFailure promises "all traffic" is
+		// dropped, including packets already serialized onto the wire —
+		// the keepalive experiments of Section 3.2 depend on nothing
+		// leaking through after the failure instant.
+		if !l.up || l.silent {
 			return
 		}
 		dstNode.deliver(dstIf, pkt)

@@ -263,3 +263,82 @@ type watcher struct {
 
 func (w *watcher) Receive(int, *Packet)      {}
 func (w *watcher) LinkChange(i int, up bool) { w.onLink(i, up) }
+
+// TestSilentFailureDropsInFlight is the regression test for the in-flight
+// delivery check: packets already serialized onto the wire when
+// SetSilentFailure(true) fires must be black-holed like everything else —
+// the §3.2 keepalive experiments depend on NOTHING crossing a silent link
+// after the failure instant.
+func TestSilentFailureDropsInFlight(t *testing.T) {
+	s := New(1)
+	a := s.AddNode(addr.MustParse("10.0.0.1"), "a")
+	b := s.AddNode(addr.MustParse("10.0.0.2"), "b")
+	l, _, _ := s.Connect(a, b, 10*Millisecond, 0, 1)
+	s.At(0, func() { a.Send(0, &Packet{Size: 100, TTL: 4}) })
+	s.At(5*Millisecond, func() { l.SetSilentFailure(true) }) // mid-flight
+	s.Run()
+	if b.Delivered != 0 {
+		t.Error("packet survived a link that went silent in flight")
+	}
+
+	// Sanity: once the link is un-silenced, the same flight is delivered.
+	l.SetSilentFailure(false)
+	s.At(s.Now(), func() { a.Send(0, &Packet{Size: 100, TTL: 4}) })
+	s.Run()
+	if b.Delivered != 1 {
+		t.Errorf("delivered = %d, want 1 after the link recovered", b.Delivered)
+	}
+}
+
+// TestTimerTombstoneCompaction is the regression test for the event-heap
+// leak: cancelled-timer tombstones used to stay queued forever and
+// Pending() counted them. Long proactive-counting runs arm and cancel one
+// check timer per Count, so the heap must shed tombstones and Pending()
+// must report live events only.
+func TestTimerTombstoneCompaction(t *testing.T) {
+	s := New(1)
+	const n = 1000
+	timers := make([]*Timer, n)
+	for i := 0; i < n; i++ {
+		timers[i] = s.After(Time(i+1)*Second, func() {})
+	}
+	// Cancel 600 of 1000: well past the half-tombstone threshold.
+	for i := 0; i < 600; i++ {
+		timers[i].Stop()
+	}
+	if got := s.Pending(); got != 400 {
+		t.Errorf("Pending() = %d, want 400 live events", got)
+	}
+	if got := len(s.events); got >= n {
+		t.Errorf("event heap holds %d entries after cancelling 600/1000; tombstones were not compacted", got)
+	}
+
+	// The surviving timers still fire, in order, exactly once each.
+	fired := 0
+	last := Time(-1)
+	for i := 600; i < n; i++ {
+		s.At(Time(i+1)*Second, func() {})
+	}
+	s.events = s.events[:0] // rebuild a clean heap for the ordering check
+	s.cancelled = 0
+	for i := 0; i < 100; i++ {
+		i := i
+		tm := s.After(Time(100-i)*Millisecond, func() {
+			fired++
+			if s.Now() <= last {
+				t.Errorf("event at %v ran after %v", s.Now(), last)
+			}
+			last = s.Now()
+		})
+		if i%2 == 1 {
+			tm.Stop()
+		}
+	}
+	s.Run()
+	if fired != 50 {
+		t.Errorf("fired = %d, want 50 (every odd timer cancelled)", fired)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after Run, want 0", s.Pending())
+	}
+}

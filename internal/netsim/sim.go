@@ -71,6 +71,12 @@ type Sim struct {
 	seq    uint64
 	rng    *rand.Rand
 
+	// cancelled counts tombstones still in the heap. When they outnumber
+	// the live events the heap is compacted, so long runs that arm and
+	// cancel many timers (proactive-counting check timers, keepalives) do
+	// not accumulate unbounded garbage.
+	cancelled int
+
 	nodes []*Node
 	links []*Link
 	lans  []*LAN
@@ -94,7 +100,10 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 func (s *Sim) EventsExecuted() uint64 { return s.executed }
 
 // Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+type Timer struct {
+	s  *Sim
+	ev *event
+}
 
 // Stop cancels the timer. It is safe to call on a nil Timer or after the
 // event has fired (both are no-ops). It reports whether the event was
@@ -104,7 +113,31 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.ev.cancelled = true
+	if t.s != nil {
+		t.s.cancelled++
+		if t.s.cancelled*2 > len(t.s.events) {
+			t.s.compact()
+		}
+	}
 	return true
+}
+
+// compact removes cancelled tombstones from the event heap in one O(n)
+// pass and re-establishes the heap invariant. Ordering is unaffected: live
+// events keep their (at, seq) keys.
+func (s *Sim) compact() {
+	live := s.events[:0]
+	for _, ev := range s.events {
+		if !ev.cancelled {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(s.events); i++ {
+		s.events[i] = nil
+	}
+	s.events = live
+	s.cancelled = 0
+	heap.Init(&s.events)
 }
 
 // At schedules fn to run at absolute time at. Scheduling in the past (or at
@@ -117,7 +150,7 @@ func (s *Sim) At(at Time, fn func()) *Timer {
 	ev := &event{at: at, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	return &Timer{s: s, ev: ev}
 }
 
 // After schedules fn to run d after the current time.
@@ -137,6 +170,7 @@ func (s *Sim) RunUntil(deadline Time) {
 		}
 		heap.Pop(&s.events)
 		if ev.cancelled {
+			s.cancelled--
 			continue
 		}
 		s.now = ev.at
@@ -148,6 +182,6 @@ func (s *Sim) RunUntil(deadline Time) {
 	}
 }
 
-// Pending returns the number of events still queued (including cancelled
-// tombstones).
-func (s *Sim) Pending() int { return len(s.events) }
+// Pending returns the number of live events still queued; cancelled
+// tombstones awaiting compaction are not counted.
+func (s *Sim) Pending() int { return len(s.events) - s.cancelled }

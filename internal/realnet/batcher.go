@@ -1,0 +1,150 @@
+package realnet
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/wire"
+)
+
+// batcher coalesces upstream Count advertisements. The first implementation
+// wrote one Count per membership event straight to the upstream socket; the
+// batcher instead records dirty channels (latest aggregate per channel) in
+// per-shard sets and flushes them as packed wire segments — Section 5.3's
+// "approximately 92 16-byte Count messages fit in a 1480-byte maximum-sized
+// TCP segment" — on a size or age trigger. Coalescing means a channel that
+// changes many times between flushes costs one Count carrying the final
+// value, which is what makes advertising every value change (not just
+// zero↔non-zero transitions) affordable.
+type batcher struct {
+	table    *table
+	out      *neighbor
+	interval time.Duration
+	trigger  int
+
+	// pending counts dirty channels across all shards; crossing trigger
+	// kicks an immediate flush instead of waiting for the age ticker.
+	pending atomic.Int64
+	kick    chan struct{}
+	quit    chan struct{}
+	done    chan struct{}
+
+	counts  atomic.Uint64 // Count messages flushed upstream (post-coalescing)
+	flushes atomic.Uint64 // flush passes that emitted at least one segment
+
+	// flusher-goroutine state: the segment under construction and one spare
+	// dirty map per shard, swapped in while the taken map is drained, so
+	// steady-state flushing allocates only the emitted segments.
+	batch  *wire.Batch
+	spares []map[addr.Channel]uint32
+}
+
+func newBatcher(t *table, out *neighbor, interval time.Duration, trigger int) *batcher {
+	b := &batcher{
+		table:    t,
+		out:      out,
+		interval: interval,
+		trigger:  trigger,
+		kick:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		batch:    wire.NewBatch(),
+		spares:   make([]map[addr.Channel]uint32, len(t.shards)),
+	}
+	for i := range b.spares {
+		b.spares[i] = make(map[addr.Channel]uint32)
+	}
+	go b.run()
+	return b
+}
+
+// markLocked records a changed aggregate for ch. The caller MUST hold
+// sh.mu; marking under the shard lock keeps per-channel dirty values in
+// event order (an unlocked mark could let a stale total overwrite a newer
+// zero after the channel was deleted).
+func (b *batcher) markLocked(sh *shard, ch addr.Channel, total uint32) {
+	if _, ok := sh.dirty[ch]; !ok {
+		if b.pending.Add(1) >= int64(b.trigger) {
+			select {
+			case b.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+	sh.dirty[ch] = total
+}
+
+// run is the flusher goroutine: age trigger via ticker, size trigger via
+// kick, and a final drain on shutdown.
+func (b *batcher) run() {
+	defer close(b.done)
+	tick := time.NewTicker(b.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-b.kick:
+			b.flush()
+		case <-tick.C:
+			b.flush()
+		case <-b.quit:
+			b.flush()
+			return
+		}
+	}
+}
+
+// stop drains the batcher: every dirty channel marked before stop returns
+// is flushed to the upstream queue.
+func (b *batcher) stop() {
+	close(b.quit)
+	<-b.done
+}
+
+// flush sweeps every shard's dirty set into packed segments. Shard locks
+// are held only for the map swap, never across encoding or socket work.
+func (b *batcher) flush() {
+	if b.pending.Load() == 0 {
+		return
+	}
+	emitted := false
+	var msg wire.Count
+	for i, sh := range b.table.shards {
+		sh.mu.Lock()
+		if len(sh.dirty) == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		taken := sh.dirty
+		sh.dirty = b.spares[i]
+		sh.mu.Unlock()
+		b.pending.Add(-int64(len(taken)))
+		for ch, v := range taken {
+			msg = wire.Count{Channel: ch, CountID: wire.CountSubscribers, Value: v}
+			if !b.batch.Add(&msg) {
+				b.emit()
+				b.batch.Add(&msg)
+			}
+			b.counts.Add(1)
+			emitted = true
+		}
+		clear(taken)
+		b.spares[i] = taken
+	}
+	b.emit()
+	if emitted {
+		b.flushes.Add(1)
+	}
+}
+
+// emit hands the segment under construction to the upstream neighbor's
+// bounded output queue.
+func (b *batcher) emit() {
+	if b.batch.Len() == 0 {
+		return
+	}
+	seg := make([]byte, b.batch.Size())
+	copy(seg, b.batch.Bytes())
+	b.out.enqueue(seg)
+	b.batch.Reset()
+}

@@ -1,6 +1,8 @@
 package realnet
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -49,11 +51,81 @@ func BenchmarkRouterEventProcessing(b *testing.B) {
 	b.ReportMetric(float64(r.Events()), "events-total")
 }
 
-// BenchmarkTwoLevelAggregation measures the edge→core forwarding path:
-// only zero/non-zero transitions propagate upstream. The two clients'
-// streams interleave arbitrarily at the edge, so the core sees between 2
-// events per channel (both members overlap) and 4 (they never overlap) —
-// always bounded by transitions, never by the edge's raw event count.
+// benchmarkShardChurn measures sustained events/sec with conns concurrent
+// neighbor connections churning disjoint channel spaces against one router
+// with the given shard count — the E4 scaling curve. Each connection's
+// read loop is an independent goroutine inside the router, so shard count
+// directly sets how much of the event path can run in parallel.
+func benchmarkShardChurn(b *testing.B, shards, conns int) {
+	r, err := NewRouterOpts("127.0.0.1:0", Options{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	clients := make([]*Client, conns)
+	for i := range clients {
+		c, err := Dial(r.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	src := addr.MustParse("171.64.1.1")
+	per := b.N/(conns*2) + 1
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				ch := addr.Channel{S: src, E: addr.ExpressAddr(uint32(i*per + j))}
+				c.Subscribe(ch)
+				c.Unsubscribe(ch)
+				if j%512 == 511 {
+					c.Flush()
+				}
+			}
+			c.Flush()
+		}(i, c)
+	}
+	wg.Wait()
+	want := uint64(conns*per) * 2
+	deadline := time.Now().Add(120 * time.Second)
+	for r.Events() < want {
+		if time.Now().After(deadline) {
+			b.Fatalf("processed %d/%d", r.Events(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(r.Events())/elapsed.Seconds(), "events/s")
+	b.ReportMetric(float64(shards), "shards")
+}
+
+// BenchmarkShardScaling is the E4 scaling curve: identical multi-connection
+// churn at 1, 4, and 16 shards. On multicore hardware the single-shard
+// point serializes every connection on one mutex while 16 shards let the
+// per-connection read loops proceed in parallel; compare the events/s
+// metric across sub-benchmarks (GOMAXPROCS must exceed 1 for the curve to
+// separate).
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkShardChurn(b, shards, 8)
+		})
+	}
+}
+
+// BenchmarkTwoLevelAggregation measures the edge→core forwarding path with
+// the coalescing batcher: every aggregate value change is advertised
+// upstream (Section 3.2), but changes landing within one flush window
+// collapse into a single Count carrying the final value, so the core sees
+// at most the number of distinct flushed values per channel — never the
+// edge's raw event count.
 func BenchmarkTwoLevelAggregation(b *testing.B) {
 	core, err := NewRouter("127.0.0.1:0", "")
 	if err != nil {
@@ -81,7 +153,7 @@ func BenchmarkTwoLevelAggregation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ch := addr.Channel{S: src, E: addr.ExpressAddr(uint32(i))}
 		// Two subscribers at the edge, two unsubscribes: 4 edge events,
-		// exactly 2 core events (join, leave).
+		// ≤4 coalesced core events per channel.
 		c1.Subscribe(ch)
 		c2.Subscribe(ch)
 		c1.Unsubscribe(ch)
@@ -98,6 +170,8 @@ func BenchmarkTwoLevelAggregation(b *testing.B) {
 		time.Sleep(100 * time.Microsecond)
 	}
 	b.StopTimer()
-	coreEv := core.Events()
-	b.ReportMetric(float64(coreEv)/float64(b.N), "core-events/channel")
+	st := edge.Stats()
+	b.ReportMetric(float64(core.Events())/float64(b.N), "core-events/channel")
+	b.ReportMetric(float64(st.UpstreamCounts)/float64(b.N), "upstream-counts/channel")
+	b.ReportMetric(float64(st.UpstreamSegments), "upstream-segments")
 }

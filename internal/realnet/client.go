@@ -40,6 +40,11 @@ func (c *Client) Subscribe(ch addr.Channel) error { return c.sendCount(ch, 1) }
 // Unsubscribe sends a zero Count for ch.
 func (c *Client) Unsubscribe(ch addr.Channel) error { return c.sendCount(ch, 0) }
 
+// SendCount advertises an arbitrary aggregate subscriber count for ch, as
+// a downstream router forwarding its subtree sum would (Section 3.2's
+// value-change propagation).
+func (c *Client) SendCount(ch addr.Channel, v uint32) error { return c.sendCount(ch, v) }
+
 func (c *Client) sendCount(ch addr.Channel, v uint32) error {
 	m := wire.Count{Channel: ch, CountID: wire.CountSubscribers, Value: v}
 	c.buf = m.AppendTo(c.buf[:0])

@@ -1,0 +1,94 @@
+package realnet
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// neighbor is one TCP peer of the router: a downstream neighbor that
+// streams membership events to us, or the upstream neighbor we forward
+// aggregate Counts to. Output goes through a bounded queue drained by a
+// dedicated writer goroutine, so a slow or dead peer can never stall event
+// processing: when the queue is full the segment is dropped and accounted
+// instead of blocking the control plane (TCP itself provides reliability
+// for what does get queued; a dropped aggregate is repaired by the next
+// value change on the same channel).
+type neighbor struct {
+	id   int
+	conn net.Conn
+
+	out      chan []byte // encoded segments awaiting the writer
+	deadline time.Duration
+
+	segs  atomic.Uint64 // segments accepted into the queue
+	drops atomic.Uint64 // segments dropped: queue full or dead peer
+
+	closeOnce sync.Once
+	done      chan struct{} // writer goroutine exited
+}
+
+func newNeighbor(id int, conn net.Conn, queueLen int, deadline time.Duration) *neighbor {
+	n := &neighbor{
+		id:       id,
+		conn:     conn,
+		out:      make(chan []byte, queueLen),
+		deadline: deadline,
+		done:     make(chan struct{}),
+	}
+	go n.writer()
+	return n
+}
+
+// enqueue offers a segment to the output queue without ever blocking.
+func (n *neighbor) enqueue(seg []byte) {
+	select {
+	case n.out <- seg:
+		n.segs.Add(1)
+	default:
+		n.drops.Add(1)
+	}
+}
+
+// closeOutput stops the writer after it drains the queue. Safe to call
+// more than once; callers wait on n.done for the final flush.
+func (n *neighbor) closeOutput() {
+	n.closeOnce.Do(func() { close(n.out) })
+}
+
+// writer drains the output queue onto the socket under a write deadline.
+// After a write error the peer is considered dead: remaining segments are
+// drained and counted as drops so enqueuers and shutdown never stall.
+func (n *neighbor) writer() {
+	defer close(n.done)
+	w := bufio.NewWriterSize(n.conn, wire.MaxSegment)
+	dead := false
+	for seg := range n.out {
+		if dead {
+			n.drops.Add(1)
+			continue
+		}
+		if n.deadline > 0 {
+			n.conn.SetWriteDeadline(time.Now().Add(n.deadline))
+		}
+		if _, err := w.Write(seg); err != nil {
+			n.drops.Add(1)
+			dead = true
+			continue
+		}
+		// Flush when the queue momentarily empties: batches stay intact
+		// under load, latency stays low when idle.
+		if len(n.out) == 0 {
+			if err := w.Flush(); err != nil {
+				dead = true
+			}
+		}
+	}
+	if !dead {
+		w.Flush()
+	}
+}

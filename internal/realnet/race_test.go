@@ -1,0 +1,181 @@
+package realnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// churnUntil streams subscribe/unsubscribe churn on c until stop is closed
+// or the connection dies (expected once the router shuts down).
+func churnUntil(c *Client, id int, stop <-chan struct{}) {
+	src := addr.MustParse("10.0.0.1")
+	for j := 0; ; j++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		ch := addr.Channel{S: src, E: addr.ExpressAddr(uint32(id)<<16 | uint32(j%4096))}
+		if c.Subscribe(ch) != nil {
+			return
+		}
+		if c.Unsubscribe(ch) != nil {
+			return
+		}
+		if j%256 == 255 {
+			if c.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// TestConcurrentChurnUnderRace drives one router from 6 concurrent
+// neighbor connections — the shard locks, per-shard counters, batcher
+// marking, and upstream writer all under load at once. Run with -race in
+// CI; the final state must still be exact.
+func TestConcurrentChurnUnderRace(t *testing.T) {
+	core, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	r, err := NewRouterOpts("127.0.0.1:0", Options{Upstream: core.Addr(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const conns = 6
+	const perConn = 1000
+	src := addr.MustParse("10.0.0.1")
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		c, err := Dial(r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			for j := 0; j < perConn; j++ {
+				ch := addr.Channel{S: src, E: addr.ExpressAddr(uint32(i*perConn + j))}
+				c.Subscribe(ch)
+				c.Unsubscribe(ch)
+			}
+			c.Flush()
+		}(i, c)
+	}
+	wg.Wait()
+	want := uint64(conns * perConn * 2)
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Events() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("processed %d/%d events", r.Events(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if r.Channels() != 0 {
+		t.Errorf("channels = %d, want 0 after balanced churn", r.Channels())
+	}
+}
+
+// TestShutdownDuringTraffic closes a router while ≥4 neighbors are still
+// streaming events at full rate — the shutdown path (listener close,
+// connection teardown, batcher drain, writer flush) racing live
+// processCount calls and live upstream sends. The old single-lock router
+// never covered Close racing the post-unlock upstream write.
+func TestShutdownDuringTraffic(t *testing.T) {
+	core, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouterOpts("127.0.0.1:0", Options{Upstream: core.Addr(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const conns = 5
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	clients := make([]*Client, conns)
+	for i := 0; i < conns; i++ {
+		c, err := Dial(r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			churnUntil(c, i, stop)
+		}(i, c)
+	}
+
+	// Let traffic build, then shut down mid-stream. Close must return
+	// without deadlock and without tripping the race detector.
+	time.Sleep(50 * time.Millisecond)
+	if err := r.Close(); err != nil {
+		t.Logf("close returned %v (listener close error is acceptable)", err)
+	}
+	close(stop)
+	wg.Wait()
+	for _, c := range clients {
+		c.Close()
+	}
+	// A second Close must be a no-op.
+	if err := r.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+	core.Close()
+}
+
+// TestShutdownDrainsBatcher verifies Close flushes every advertised change
+// to the upstream socket before tearing the writer down: the core must end
+// at the exact final value even though the edge closed immediately after
+// the last event.
+func TestShutdownDrainsBatcher(t *testing.T) {
+	core, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	// A long flush interval: only the shutdown drain can deliver in time.
+	edge, err := NewRouterOpts("127.0.0.1:0", Options{
+		Upstream:      core.Addr(),
+		FlushInterval: time.Hour,
+		FlushBatch:    1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Dial(edge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(5)}
+	c.SendCount(ch, 31)
+	c.Flush()
+	deadline := time.Now().Add(5 * time.Second)
+	for edge.Events() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("edge never processed the event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	if err := edge.Close(); err != nil {
+		t.Fatalf("edge close: %v", err)
+	}
+	for core.SubscriberCount(ch) != 31 {
+		if time.Now().After(deadline) {
+			t.Fatalf("core count = %d, want 31 after edge shutdown drain", core.SubscriberCount(ch))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

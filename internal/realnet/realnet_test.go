@@ -1,6 +1,8 @@
 package realnet
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -41,6 +43,9 @@ func TestSubscribeUnsubscribeOverTCP(t *testing.T) {
 	if r.Channels() != 1 {
 		t.Errorf("channels = %d, want 1", r.Channels())
 	}
+	if got := r.SubscriberCount(ch); got != 1 {
+		t.Errorf("subscriber count = %d, want 1", got)
+	}
 
 	if err := c.Unsubscribe(ch); err != nil {
 		t.Fatal(err)
@@ -68,8 +73,9 @@ func TestAggregateForwardsUpstream(t *testing.T) {
 	}
 	defer edge.Close()
 
-	// Two neighbors subscribe to the same channel at the edge: exactly one
-	// aggregate subscription must reach the core (tree-mode propagation).
+	// Two neighbors subscribe to the same channel at the edge: the core
+	// must converge on the aggregate subtree count (the batcher may
+	// coalesce the two changes into a single Count carrying 2).
 	c1, err := Dial(edge.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -88,18 +94,78 @@ func TestAggregateForwardsUpstream(t *testing.T) {
 	c2.Flush()
 
 	waitFor(t, 2*time.Second, func() bool { return edge.Events() == 2 })
-	waitFor(t, 2*time.Second, func() bool { return core.Events() == 1 })
+	waitFor(t, 2*time.Second, func() bool { return core.SubscriberCount(ch) == 2 })
 	if core.Channels() != 1 {
 		t.Errorf("core channels = %d, want 1", core.Channels())
 	}
 
-	// Both unsubscribe: the edge withdraws once upstream.
+	// Both unsubscribe: the core converges back to zero and deletes the
+	// channel.
 	c1.Unsubscribe(ch)
 	c1.Flush()
 	c2.Unsubscribe(ch)
 	c2.Flush()
 	waitFor(t, 2*time.Second, func() bool { return edge.Events() == 4 })
-	waitFor(t, 2*time.Second, func() bool { return core.Events() == 2 && core.Channels() == 0 })
+	waitFor(t, 2*time.Second, func() bool {
+		return core.SubscriberCount(ch) == 0 && core.Channels() == 0
+	})
+}
+
+// TestIntermediateCountChangesPropagate is the regression test for the
+// transition-only advertisement bug: the old router only forwarded
+// zero↔non-zero transitions upstream, so a downstream subtree going from 3
+// to 7 subscribers never updated the ancestor's total, contradicting
+// Section 3.2's "sends a count update when its count changes".
+func TestIntermediateCountChangesPropagate(t *testing.T) {
+	core, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	edge, err := NewRouter("127.0.0.1:0", core.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+
+	c1, err := Dial(edge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(edge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(42)}
+
+	c1.SendCount(ch, 3)
+	c1.Flush()
+	waitFor(t, 2*time.Second, func() bool { return core.SubscriberCount(ch) == 3 })
+
+	// 3 → 7 with no zero transition: exactly the change the old router
+	// swallowed.
+	c1.SendCount(ch, 7)
+	c1.Flush()
+	waitFor(t, 2*time.Second, func() bool { return core.SubscriberCount(ch) == 7 })
+
+	// A second subtree adds 5: ancestor total 12.
+	c2.SendCount(ch, 5)
+	c2.Flush()
+	waitFor(t, 2*time.Second, func() bool { return core.SubscriberCount(ch) == 12 })
+
+	// First subtree withdraws entirely: 12 → 5, still non-zero.
+	c1.SendCount(ch, 0)
+	c1.Flush()
+	waitFor(t, 2*time.Second, func() bool { return core.SubscriberCount(ch) == 5 })
+
+	c2.SendCount(ch, 0)
+	c2.Flush()
+	waitFor(t, 2*time.Second, func() bool {
+		return core.SubscriberCount(ch) == 0 && core.Channels() == 0 && edge.Channels() == 0
+	})
 }
 
 func TestManyChannelsManyEvents(t *testing.T) {
@@ -133,5 +199,94 @@ func TestManyChannelsManyEvents(t *testing.T) {
 	waitFor(t, 10*time.Second, func() bool { return r.Events() == want })
 	if r.Channels() != 0 {
 		t.Errorf("channels = %d, want 0 after balanced churn", r.Channels())
+	}
+}
+
+// TestShardCountsConsistent churns disjoint channel spaces from concurrent
+// connections and checks the sharded table converges to the exact final
+// state, for several shard counts (including 1, the degenerate case).
+func TestShardCountsConsistent(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			r, err := NewRouterOpts("127.0.0.1:0", Options{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+
+			const conns = 6
+			const perConn = 500
+			src := addr.MustParse("10.0.0.1")
+			var wg sync.WaitGroup
+			for i := 0; i < conns; i++ {
+				c, err := Dial(r.Addr())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				wg.Add(1)
+				go func(i int, c *Client) {
+					defer wg.Done()
+					for j := 0; j < perConn; j++ {
+						ch := addr.Channel{S: src, E: addr.ExpressAddr(uint32(i*perConn + j))}
+						c.Subscribe(ch)
+						c.Unsubscribe(ch)
+						c.Subscribe(ch) // leave every channel subscribed once
+					}
+					c.Flush()
+				}(i, c)
+			}
+			wg.Wait()
+			want := uint64(conns * perConn * 3)
+			waitFor(t, 10*time.Second, func() bool { return r.Events() == want })
+			if got := r.Channels(); got != conns*perConn {
+				t.Errorf("channels = %d, want %d", got, conns*perConn)
+			}
+			ch := addr.Channel{S: src, E: addr.ExpressAddr(0)}
+			if got := r.SubscriberCount(ch); got != 1 {
+				t.Errorf("subscriber count = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestBatcherCoalesces verifies the upstream batcher aggregates a run of
+// changes on one channel into far fewer Counts than events, while the
+// final value still converges.
+func TestBatcherCoalesces(t *testing.T) {
+	core, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	edge, err := NewRouterOpts("127.0.0.1:0", Options{
+		Upstream:      core.Addr(),
+		FlushInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+
+	c, err := Dial(edge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(9)}
+	const steps = 1000
+	for v := uint32(1); v <= steps; v++ {
+		c.SendCount(ch, v)
+	}
+	c.Flush()
+	waitFor(t, 5*time.Second, func() bool { return edge.Events() == steps })
+	waitFor(t, 5*time.Second, func() bool { return core.SubscriberCount(ch) == steps })
+	st := edge.Stats()
+	if st.UpstreamCounts >= steps {
+		t.Errorf("upstream counts = %d for %d events; batcher did not coalesce", st.UpstreamCounts, steps)
+	}
+	if st.UpstreamDrops != 0 {
+		t.Errorf("upstream drops = %d, want 0", st.UpstreamDrops)
 	}
 }

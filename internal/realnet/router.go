@@ -10,9 +10,14 @@
 // route used — plus a simulated RPF neighbor calculation of approximately
 // 400 cycles, exactly as the paper's measurement did.
 //
-// Experiment E4 drives this router with churning neighbors over loopback
-// and reports events/second and ns/event (converted to cycles at a stated
-// clock for comparison with the paper's 400 MHz Pentium-II numbers).
+// Beyond the paper's single-threaded measurement, the router is built in
+// production shape: the channel table is sharded by hash(S,E) so concurrent
+// neighbor connections process events in parallel, and upstream
+// advertisements are coalesced by a batcher into packed Count segments
+// (Section 5.3's 92-Counts-per-segment arithmetic) instead of one write per
+// event. Experiment E4 drives this router with churning neighbors over
+// loopback and reports events/second and ns/event; the shard-scaling
+// benchmarks extend E4 with a 1/4/16-shard curve.
 package realnet
 
 import (
@@ -22,73 +27,129 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/addr"
 	"repro/internal/fib"
 	"repro/internal/wire"
 )
 
+// Options tunes the router's control plane. The zero value of every field
+// selects a sensible default, so Options{} behaves like the original
+// single-lock, write-per-event router did — just faster.
+type Options struct {
+	// Upstream is the address of the upstream neighbor to forward
+	// aggregate Counts to; empty at the tree root.
+	Upstream string
+	// Shards is the number of channel-table shards (rounded up to a power
+	// of two). Default 8.
+	Shards int
+	// FlushInterval is the age trigger of the upstream batcher: the
+	// longest a changed aggregate waits before it is flushed. Default
+	// 500µs.
+	FlushInterval time.Duration
+	// FlushBatch is the size trigger: when this many channels are dirty an
+	// immediate flush is kicked. Default wire.CountsPerSegment (92), one
+	// full segment.
+	FlushBatch int
+	// WriteDeadline bounds each segment write to a neighbor socket.
+	// Default 5s.
+	WriteDeadline time.Duration
+	// QueueLen is the per-neighbor bounded output queue length, in
+	// segments. When a queue is full, segments are dropped and accounted
+	// rather than stalling event processing. Default 256.
+	QueueLen int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 500 * time.Microsecond
+	}
+	if o.FlushBatch <= 0 {
+		o.FlushBatch = wire.CountsPerSegment
+	}
+	if o.WriteDeadline <= 0 {
+		o.WriteDeadline = 5 * time.Second
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 256
+	}
+	return o
+}
+
+// Stats is a snapshot of the router's counters.
+type Stats struct {
+	Events       uint64 // membership events processed
+	Subscribes   uint64
+	Unsubscribes uint64
+	Channels     int // channels currently holding state
+	Shards       int
+
+	UpstreamCounts   uint64 // coalesced Count messages flushed upstream
+	UpstreamSegments uint64 // segments accepted into the upstream queue
+	UpstreamDrops    uint64 // segments dropped (queue full or dead upstream)
+	Flushes          uint64 // batcher flush passes that emitted data
+}
+
 // Router is a TCP-mode ECMP router. Neighbors connect over TCP and stream
 // batched Count messages; the router maintains per-channel per-neighbor
-// subscriber counts, a FIB image, and forwards aggregate Counts to its
-// upstream neighbor (if any).
+// subscriber counts, a FIB image, and forwards coalesced aggregate Counts
+// to its upstream neighbor (if any).
 type Router struct {
 	ln       net.Listener
+	opts     Options
+	table    *table
 	upstream *neighbor // nil at the tree root
+	batcher  *batcher  // nil at the tree root
 
-	mu       sync.Mutex
-	channels map[addr.Channel]*chanState
-	conns    []*neighbor
-	closed   bool
-
-	// events counts processed membership events (subscribe+unsubscribe).
-	events atomic.Uint64
-	// subscribes and unsubscribes split the total for the per-type cost
-	// profile of Section 5.3.
-	subscribes   atomic.Uint64
-	unsubscribes atomic.Uint64
+	mu     sync.Mutex
+	conns  []*neighbor
+	closed bool
 
 	// rpfSink absorbs the simulated RPF calculation so the compiler cannot
 	// elide it.
 	rpfSink atomic.Uint32
 
-	wg sync.WaitGroup
+	readWG sync.WaitGroup // accept loop + per-neighbor read loops
 }
 
 // chanState is the per-channel management record (Section 5.2's budget).
 type chanState struct {
 	downCounts map[int]uint32 // per-neighbor (interface) subscriber counts
 	oifs       uint32         // FIB outgoing-interface image
-	advertised uint32
+	advertised uint32         // last aggregate handed to the batcher
 	everAdv    bool
 	route      int // recorded unicast route (upstream neighbor id)
 }
 
-type neighbor struct {
-	id   int
-	conn net.Conn
-	wmu  sync.Mutex
-	w    *bufio.Writer
-}
-
 // NewRouter listens on listenAddr ("127.0.0.1:0" for an ephemeral port).
 // If upstreamAddr is non-empty the router connects to its upstream neighbor
-// there and forwards aggregate Counts to it.
+// there and forwards aggregate Counts to it. Default Options otherwise.
 func NewRouter(listenAddr, upstreamAddr string) (*Router, error) {
+	return NewRouterOpts(listenAddr, Options{Upstream: upstreamAddr})
+}
+
+// NewRouterOpts is NewRouter with explicit tuning.
+func NewRouterOpts(listenAddr string, opts Options) (*Router, error) {
+	opts = opts.withDefaults()
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, err
 	}
-	r := &Router{ln: ln, channels: make(map[addr.Channel]*chanState)}
-	if upstreamAddr != "" {
-		c, err := net.Dial("tcp", upstreamAddr)
+	r := &Router{ln: ln, opts: opts, table: newTable(opts.Shards)}
+	if opts.Upstream != "" {
+		c, err := net.Dial("tcp", opts.Upstream)
 		if err != nil {
 			ln.Close()
 			return nil, err
 		}
-		r.upstream = &neighbor{id: -1, conn: c, w: bufio.NewWriterSize(c, wire.MaxSegment)}
+		r.upstream = newNeighbor(-1, c, opts.QueueLen, opts.WriteDeadline)
+		r.batcher = newBatcher(r.table, r.upstream, opts.FlushInterval, opts.FlushBatch)
 	}
-	r.wg.Add(1)
+	r.readWG.Add(1)
 	go r.acceptLoop()
 	return r, nil
 }
@@ -97,39 +158,88 @@ func NewRouter(listenAddr, upstreamAddr string) (*Router, error) {
 func (r *Router) Addr() string { return r.ln.Addr().String() }
 
 // Events returns the number of membership events processed.
-func (r *Router) Events() uint64 { return r.events.Load() }
+func (r *Router) Events() uint64 { return r.table.totalEvents() }
 
 // EventsByType returns (subscribes, unsubscribes) processed.
-func (r *Router) EventsByType() (uint64, uint64) {
-	return r.subscribes.Load(), r.unsubscribes.Load()
-}
+func (r *Router) EventsByType() (uint64, uint64) { return r.table.eventsByType() }
 
 // Channels returns the number of channels with state.
-func (r *Router) Channels() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.channels)
+func (r *Router) Channels() int { return r.table.numChannels() }
+
+// SubscriberCount returns the current aggregate subscriber count for ch
+// across all downstream neighbors (0 when the channel has no state).
+func (r *Router) SubscriberCount(ch addr.Channel) uint32 {
+	sh := r.table.shardFor(ch)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cs := sh.channels[ch]
+	if cs == nil {
+		return 0
+	}
+	var total uint32
+	for _, v := range cs.downCounts {
+		total += v
+	}
+	return total
 }
 
-// Close shuts the router down and waits for its goroutines.
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() Stats {
+	subs, unsubs := r.table.eventsByType()
+	s := Stats{
+		Events:       subs + unsubs,
+		Subscribes:   subs,
+		Unsubscribes: unsubs,
+		Channels:     r.table.numChannels(),
+		Shards:       len(r.table.shards),
+	}
+	if r.batcher != nil {
+		s.UpstreamCounts = r.batcher.counts.Load()
+		s.Flushes = r.batcher.flushes.Load()
+	}
+	if r.upstream != nil {
+		s.UpstreamSegments = r.upstream.segs.Load()
+		s.UpstreamDrops = r.upstream.drops.Load()
+	}
+	return s
+}
+
+// Close shuts the router down: stop accepting, sever downstream neighbors,
+// wait for their read loops, drain the batcher so every advertised change
+// reaches the upstream queue, then flush and close the writers.
 func (r *Router) Close() error {
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
 	r.closed = true
 	conns := append([]*neighbor(nil), r.conns...)
 	r.mu.Unlock()
+
 	err := r.ln.Close()
 	for _, n := range conns {
 		n.conn.Close()
 	}
+	// All read loops done: no further marks can reach the batcher.
+	r.readWG.Wait()
+	if r.batcher != nil {
+		r.batcher.stop() // final flush of every dirty channel
+	}
+	for _, n := range conns {
+		n.closeOutput()
+		<-n.done
+	}
 	if r.upstream != nil {
+		r.upstream.closeOutput()
+		<-r.upstream.done
 		r.upstream.conn.Close()
 	}
-	r.wg.Wait()
 	return err
 }
 
 func (r *Router) acceptLoop() {
-	defer r.wg.Done()
+	defer r.readWG.Done()
 	for {
 		c, err := r.ln.Accept()
 		if err != nil {
@@ -141,10 +251,10 @@ func (r *Router) acceptLoop() {
 			c.Close()
 			return
 		}
-		n := &neighbor{id: len(r.conns), conn: c, w: bufio.NewWriterSize(c, wire.MaxSegment)}
+		n := newNeighbor(len(r.conns), c, r.opts.QueueLen, r.opts.WriteDeadline)
 		r.conns = append(r.conns, n)
 		r.mu.Unlock()
-		r.wg.Add(1)
+		r.readWG.Add(1)
 		go r.readLoop(n)
 	}
 }
@@ -152,7 +262,7 @@ func (r *Router) acceptLoop() {
 // readLoop parses the self-delimiting ECMP message stream from one
 // neighbor and processes each message.
 func (r *Router) readLoop(n *neighbor) {
-	defer r.wg.Done()
+	defer r.readWG.Done()
 	br := bufio.NewReaderSize(n.conn, 64<<10)
 	var hdr [1]byte
 	buf := make([]byte, wire.CountAuthSize)
@@ -189,7 +299,9 @@ func (r *Router) readLoop(n *neighbor) {
 	}
 }
 
-// processCount is the measured per-event path.
+// processCount is the measured per-event path. Only the owning shard is
+// locked, so events from different neighbors proceed in parallel whenever
+// they touch different shards.
 func (r *Router) processCount(n *neighbor, m *wire.Count) {
 	if m.CountID != wire.CountSubscribers || m.Seq != 0 {
 		return
@@ -199,18 +311,19 @@ func (r *Router) processCount(n *neighbor, m *wire.Count) {
 	// calculation of approximately 400 cycles").
 	r.rpfSink.Store(simulateRPF(uint32(m.Channel.S), uint32(m.Channel.E)))
 
-	r.mu.Lock()
+	sh := r.table.shardFor(m.Channel)
+	sh.mu.Lock()
 	// Hashed lookup of the channel data structure; allocate when needed.
-	cs := r.channels[m.Channel]
+	cs := sh.channels[m.Channel]
 	if cs == nil {
 		if m.Value == 0 {
-			r.mu.Unlock()
-			r.unsubscribes.Add(1)
-			r.events.Add(1)
+			sh.mu.Unlock()
+			sh.unsubscribes.Add(1)
+			sh.events.Add(1)
 			return
 		}
 		cs = &chanState{downCounts: make(map[int]uint32), route: -1}
-		r.channels[m.Channel] = cs
+		sh.channels[m.Channel] = cs
 	}
 	// Determine the physical interface of the request and compute the FIB
 	// manipulation.
@@ -232,34 +345,27 @@ func (r *Router) processCount(n *neighbor, m *wire.Count) {
 	if r.upstream != nil {
 		cs.route = r.upstream.id
 	}
-	sendUp := false
-	var upVal uint32
-	if r.upstream != nil {
-		wasOn := cs.everAdv && cs.advertised > 0
-		isOn := total > 0
-		if wasOn != isOn || !cs.everAdv {
-			cs.advertised = total
-			cs.everAdv = true
-			sendUp = true
-			upVal = total
-		}
+	// TCP-mode semantics (Section 3.2): a router "sends a count update when
+	// its count changes" — any value change is advertised, not just the
+	// zero↔non-zero transitions tree maintenance strictly needs. The
+	// batcher coalesces runs of changes, so this costs at most one Count
+	// per channel per flush.
+	if r.batcher != nil && (!cs.everAdv || cs.advertised != total) {
+		cs.advertised = total
+		cs.everAdv = true
+		r.batcher.markLocked(sh, m.Channel, total)
 	}
 	if total == 0 {
-		delete(r.channels, m.Channel)
+		delete(sh.channels, m.Channel)
 	}
-	r.mu.Unlock()
+	sh.mu.Unlock()
 
 	if m.Value == 0 {
-		r.unsubscribes.Add(1)
+		sh.unsubscribes.Add(1)
 	} else {
-		r.subscribes.Add(1)
+		sh.subscribes.Add(1)
 	}
-	r.events.Add(1)
-
-	if sendUp {
-		out := wire.Count{Channel: m.Channel, CountID: wire.CountSubscribers, Value: upVal}
-		r.upstream.send(&out)
-	}
+	sh.events.Add(1)
 }
 
 // simulateRPF burns approximately 400 cycles of integer work, standing in
@@ -271,15 +377,6 @@ func simulateRPF(s, e uint32) uint32 {
 		h ^= h >> 13
 	}
 	return h
-}
-
-func (n *neighbor) send(m *wire.Count) {
-	n.wmu.Lock()
-	defer n.wmu.Unlock()
-	var buf [wire.CountAuthSize]byte
-	b := m.AppendTo(buf[:0])
-	n.w.Write(b)
-	n.w.Flush()
 }
 
 // ErrClosed is returned by operations on a closed router.

@@ -1,0 +1,94 @@
+package realnet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/addr"
+)
+
+// table is the sharded channel table: the single global mutex of the first
+// implementation serialized every membership event, so the table is split
+// into power-of-two shards selected by hash(S,E). Each shard carries its
+// own lock, its own per-type event counters, and its own dirty-channel set
+// for the upstream batcher, so neighbors whose events land on different
+// shards never contend.
+type table struct {
+	shards []*shard
+	mask   uint32
+}
+
+// shard is one independently locked slice of the channel table.
+type shard struct {
+	mu       sync.Mutex
+	channels map[addr.Channel]*chanState
+	// dirty holds channels whose aggregate changed since the last batcher
+	// flush, with the latest total. Guarded by mu; swapped out wholesale by
+	// the batcher so marking stays on the shard's own lock.
+	dirty map[addr.Channel]uint32
+
+	events       atomic.Uint64
+	subscribes   atomic.Uint64
+	unsubscribes atomic.Uint64
+}
+
+// newTable builds a table with n shards, rounded up to a power of two.
+func newTable(n int) *table {
+	if n < 1 {
+		n = 1
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t := &table{shards: make([]*shard, size), mask: uint32(size - 1)}
+	for i := range t.shards {
+		t.shards[i] = &shard{
+			channels: make(map[addr.Channel]*chanState),
+			dirty:    make(map[addr.Channel]uint32),
+		}
+	}
+	return t
+}
+
+// hashChannel mixes (S,E) so that consecutive channel suffixes spread
+// across shards (Fibonacci-style multiplicative hashing).
+func hashChannel(ch addr.Channel) uint32 {
+	h := uint32(ch.S) * 2654435761
+	h ^= uint32(ch.E) * 2246822519
+	h ^= h >> 16
+	return h
+}
+
+// shardFor returns the shard owning ch.
+func (t *table) shardFor(ch addr.Channel) *shard {
+	return t.shards[hashChannel(ch)&t.mask]
+}
+
+// numChannels sums live channels across shards.
+func (t *table) numChannels() int {
+	n := 0
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		n += len(sh.channels)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// events sums processed membership events across shards.
+func (t *table) totalEvents() uint64 {
+	var n uint64
+	for _, sh := range t.shards {
+		n += sh.events.Load()
+	}
+	return n
+}
+
+func (t *table) eventsByType() (subs, unsubs uint64) {
+	for _, sh := range t.shards {
+		subs += sh.subscribes.Load()
+		unsubs += sh.unsubscribes.Load()
+	}
+	return subs, unsubs
+}
