@@ -208,17 +208,14 @@ func BenchmarkE8_AccessControl(b *testing.B) {
 	t := fib.New()
 	// A populated table so the miss is a real hash miss.
 	for i := 0; i < 1024; i++ {
-		k := fib.Key{S: addr.MustParse("10.0.0.1"), G: addr.ExpressAddr(uint32(i))}
-		e := t.Ensure(k)
-		e.IIF = 0
+		e := fib.Entry{IIF: 0}
 		e.SetOIF(1)
+		t.Set(fib.Key{S: addr.MustParse("10.0.0.1"), G: addr.ExpressAddr(uint32(i))}, e)
 	}
 	rogue := addr.MustParse("10.9.9.9")
-	var oifs []int
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		var disp fib.Disposition
-		oifs, disp = t.Forward(rogue, addr.ExpressAddr(uint32(i%1024)), 0, oifs[:0])
+		_, disp := t.ForwardMask(rogue, addr.ExpressAddr(uint32(i%1024)), 0)
 		if disp != fib.DropUnmatched {
 			b.Fatal("rogue packet was forwarded")
 		}

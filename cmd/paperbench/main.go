@@ -8,6 +8,7 @@
 //	paperbench -quick     # only the fast arithmetic/codec experiments
 //	paperbench -only E7   # a single experiment
 //	paperbench -series fig8 > fig8.csv   # plottable Figure 8 data
+//	paperbench -json      # machine-readable benchmarks -> BENCH_paperbench.json
 package main
 
 import (
@@ -23,7 +24,26 @@ func main() {
 	quick := flag.Bool("quick", false, "skip the heavy simulation/measurement experiments (E4, E7, E9, E10)")
 	only := flag.String("only", "", "run a single experiment by id (e.g. E7)")
 	series := flag.String("series", "", "emit a figure's data series as CSV: fig7 or fig8")
+	jsonMode := flag.Bool("json", false, "run the benchmark suite and write machine-readable JSON (honors -quick)")
+	jsonOut := flag.String("jsonout", "BENCH_paperbench.json", "output file for -json ('-' for stdout only)")
 	flag.Parse()
+
+	if *jsonMode {
+		rep := experiments.BenchJSON(*quick)
+		b, err := rep.MarshalIndent()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(b)
+		if *jsonOut != "-" {
+			if err := os.WriteFile(*jsonOut, b, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	switch strings.ToLower(*series) {
 	case "fig7":

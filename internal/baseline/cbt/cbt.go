@@ -84,7 +84,7 @@ func (r *Router) Node() *netsim.Node { return r.node }
 func (r *Router) StateEntries() int { return len(r.trees) }
 
 // FIBMemoryBytes prices the state at the 12-byte entry encoding.
-func (r *Router) FIBMemoryBytes() int { return len(r.trees) * fib.EntrySize }
+func (r *Router) FIBMemoryBytes() int { return fib.MemoryFor(len(r.trees)) }
 
 // OnTree reports whether this router is on g's shared tree.
 func (r *Router) OnTree(g addr.Addr) bool { return r.trees[g] != nil }

@@ -273,4 +273,4 @@ func (r *Router) sendVia(ifindex int, _ addr.Addr, payload any) {
 // FIBMemoryBytes reports the fast-path memory this router's forwarding
 // state would occupy at the 12-byte entry encoding, for apples-to-apples
 // comparison with the EXPRESS FIB (experiment E9).
-func (r *Router) FIBMemoryBytes() int { return r.StateEntries() * fib.EntrySize }
+func (r *Router) FIBMemoryBytes() int { return fib.MemoryFor(r.StateEntries()) }

@@ -120,7 +120,7 @@ func (r *Router) Node() *netsim.Node { return r.node }
 func (r *Router) StateEntries() int { return len(r.shared) + len(r.sources) }
 
 // FIBMemoryBytes prices the state at the 12-byte entry encoding.
-func (r *Router) FIBMemoryBytes() int { return r.StateEntries() * fib.EntrySize }
+func (r *Router) FIBMemoryBytes() int { return fib.MemoryFor(r.StateEntries()) }
 
 // isRP reports whether this router is the RP for g.
 func (r *Router) isRP(g addr.Addr) bool { return r.RPs[g] == r.node.Addr }

@@ -2,6 +2,7 @@ package ecmp
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/addr"
 	"repro/internal/fib"
@@ -35,9 +36,6 @@ type Router struct {
 	// domain is the administrative domain for transit accounting
 	// (Section 3.1's locally-defined countIds); 0 means unassigned.
 	domain uint16
-
-	// scratch buffer for FIB oif expansion on the forwarding path.
-	oifScratch []int
 
 	// OnLocalDeliver, when set, receives EXPRESS data packets addressed to
 	// channels this node itself subscribes to (routers normally have none;
@@ -264,18 +262,18 @@ func (r *Router) forwardData(ifindex int, pkt *netsim.Packet) {
 	if pkt.TTL <= 1 {
 		return
 	}
-	oifs, disp := r.fib.Forward(pkt.Src, pkt.Dst, ifindex, r.oifScratch[:0])
+	// Lock-free mask lookup, iterated bit by bit: no scratch slice, no
+	// allocation between the packet and the output interfaces.
+	mask, disp := r.fib.ForwardMask(pkt.Src, pkt.Dst, ifindex)
 	if disp != fib.Forwarded {
 		return // counted and dropped (Section 3.4)
 	}
-	// Store the grown slice back so the scratch buffer keeps its capacity
-	// across packets (as receiveEncap does); without this every
-	// multi-interface forward reallocates.
-	r.oifScratch = oifs
-	fwd := pkt.Clone()
-	fwd.TTL--
-	for _, oif := range oifs {
-		r.node.Send(oif, fwd)
+	if mask != 0 {
+		fwd := pkt.Clone()
+		fwd.TTL--
+		for m := mask; m != 0; m &= m - 1 {
+			r.node.Send(bits.TrailingZeros32(m), fwd)
+		}
 	}
 	if r.OnLocalDeliver != nil && r.isLocalSubscriber(addr.Channel{S: pkt.Src, E: pkt.Dst}) {
 		r.OnLocalDeliver(pkt)
@@ -328,8 +326,8 @@ func (r *Router) receiveEncap(ifindex int, pkt *netsim.Packet) {
 		return // only the channel source may subcast on its channel
 	}
 	ch := addr.Channel{S: inner.Src, E: inner.Dst}
-	e := r.fib.Get(fib.Key{S: ch.S, G: ch.E})
-	if e == nil {
+	e, ok := r.fib.Get(fib.Key{S: ch.S, G: ch.E})
+	if !ok {
 		return // not on this channel's tree
 	}
 	fwd := inner.Clone()
@@ -337,9 +335,8 @@ func (r *Router) receiveEncap(ifindex int, pkt *netsim.Packet) {
 		return
 	}
 	fwd.TTL--
-	r.oifScratch = e.OIFList(r.oifScratch[:0])
-	for _, oif := range r.oifScratch {
-		r.node.Send(oif, fwd)
+	for m := e.OIFs; m != 0; m &= m - 1 {
+		r.node.Send(bits.TrailingZeros32(m), fwd)
 	}
 	if r.OnLocalDeliver != nil && r.isLocalSubscriber(ch) {
 		r.OnLocalDeliver(inner)

@@ -125,9 +125,9 @@ func (r *Router) syncFIB(c *channel) {
 		r.fib.Delete(key)
 		return
 	}
-	e := r.fib.Ensure(key)
-	e.IIF = c.upIf
-	e.OIFs = oifs
+	// One atomic publication: concurrent forwards see the old entry or the
+	// new one, never a half-updated IIF/OIF pair.
+	r.fib.Set(key, fib.Entry{IIF: c.upIf, OIFs: oifs})
 }
 
 // propagateMembership pushes the membership change toward the source

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"encoding/json"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/fib"
+	"repro/internal/wire"
+)
+
+// Machine-readable benchmark output for `paperbench -json`: the data-plane
+// microbenchmarks (FIB lookup serial and parallel, wire batch decode) plus
+// the E4 maintenance-rate and E9 state-cost summaries, in one JSON document
+// that CI and plotting scripts can diff across runs.
+
+// BenchResult is one benchmark measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Goroutines is set for the parallel lookup series (0 = serial).
+	Goroutines int `json:"goroutines,omitempty"`
+}
+
+// BenchReport is the full -json document.
+type BenchReport struct {
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+
+	// E4: measured ECMP state-maintenance rate over loopback TCP.
+	E4 *BenchE4 `json:"e4_maintenance,omitempty"`
+	// E9: EXPRESS routing-state footprint on the shared E9 scenario.
+	E9 *BenchE9 `json:"e9_state,omitempty"`
+}
+
+// BenchE4 summarizes RunE4Maintenance for the JSON report.
+type BenchE4 struct {
+	Neighbors    int     `json:"neighbors"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// BenchE9 summarizes RunE9Express state cost.
+type BenchE9 struct {
+	StateEntries int `json:"state_entries"`
+	BytesPerFIB  int `json:"bytes_per_fib_entry"`
+	TotalBytes   int `json:"total_fib_bytes"`
+}
+
+func toResult(name string, gos int, r testing.BenchmarkResult) BenchResult {
+	return BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Goroutines:  gos,
+	}
+}
+
+// benchTable builds the lookup workload: 1<<14 (S,G) channels, IIF 0,
+// two OIFs each.
+func benchTable() (*fib.Table, int) {
+	const channels = 1 << 14
+	t := fib.New()
+	for i := 0; i < channels; i++ {
+		k := fib.Key{S: addr.Addr(0x0a000000 + i), G: addr.Addr(0xe8000001 + i)}
+		t.Set(k, fib.Entry{IIF: 0, OIFs: 1<<1 | 1<<3})
+	}
+	return t, channels
+}
+
+func benchForwardSerial() testing.BenchmarkResult {
+	t, channels := benchTable()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var miss int
+		for i := 0; i < b.N; i++ {
+			j := i & (channels - 1)
+			_, disp := t.ForwardMask(addr.Addr(0x0a000000+j), addr.Addr(0xe8000001+j), 0)
+			if disp != fib.Forwarded {
+				miss++
+			}
+		}
+		if miss != 0 {
+			b.Fatalf("%d unexpected misses", miss)
+		}
+	})
+}
+
+func benchForwardParallel(gos int) testing.BenchmarkResult {
+	t, channels := benchTable()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var miss atomic.Int64
+		var wg sync.WaitGroup
+		per := b.N / gos
+		b.ResetTimer()
+		for g := 0; g < gos; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					j := (g*per + i) & (channels - 1)
+					_, disp := t.ForwardMask(addr.Addr(0x0a000000+j), addr.Addr(0xe8000001+j), 0)
+					if disp != fib.Forwarded {
+						miss.Add(1)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if miss.Load() != 0 {
+			b.Fatalf("%d unexpected misses", miss.Load())
+		}
+	})
+}
+
+func benchWalkCounts() testing.BenchmarkResult {
+	batch := wire.NewBatch()
+	for i := 0; i < wire.CountsPerSegment; i++ {
+		m := wire.Count{
+			Channel: addr.Channel{S: addr.Addr(0x0a000001 + i), E: addr.ExpressAddr(uint32(i + 1))},
+			CountID: wire.CountSubscribers,
+			Value:   uint32(i),
+		}
+		batch.Add(&m)
+	}
+	seg := append([]byte(nil), batch.Bytes()...)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(seg)))
+		var sum uint64
+		for i := 0; i < b.N; i++ {
+			n, err := wire.WalkCounts(seg, func(m wire.Count) { sum += uint64(m.Value) })
+			if err != nil || n != wire.CountsPerSegment {
+				b.Fatalf("n=%d err=%v", n, err)
+			}
+		}
+		_ = sum
+	})
+}
+
+// BenchJSON runs the benchmark suite and returns the report. quick skips the
+// E4 loopback measurement (the slowest piece).
+func BenchJSON(quick bool) *BenchReport {
+	rep := &BenchReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+
+	rep.Benchmarks = append(rep.Benchmarks, toResult("fib/ForwardMask", 0, benchForwardSerial()))
+	for _, gos := range []int{1, 4, 16} {
+		rep.Benchmarks = append(rep.Benchmarks,
+			toResult("fib/ForwardMaskParallel", gos, benchForwardParallel(gos)))
+	}
+	rep.Benchmarks = append(rep.Benchmarks, toResult("wire/WalkCountsSegment", 0, benchWalkCounts()))
+
+	if !quick {
+		e4 := &BenchE4{Neighbors: 8}
+		if res, err := RunE4Maintenance(8, 128, 2); err != nil {
+			e4.Error = err.Error()
+		} else {
+			e4.Events = res.Events
+			e4.EventsPerSec = res.EventsPerSec
+			e4.NsPerEvent = res.NsPerEvent
+		}
+		rep.E4 = e4
+
+		e9 := RunE9Express()
+		rep.E9 = &BenchE9{
+			StateEntries: e9.StateEntries,
+			BytesPerFIB:  fib.EntrySize,
+			TotalBytes:   e9.StateEntries * fib.EntrySize,
+		}
+	}
+	return rep
+}
+
+// MarshalIndent renders the report as indented JSON with a trailing newline.
+func (r *BenchReport) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,53 +1,146 @@
 package fib
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/addr"
 )
 
+// populate fills a table with channels from one source, IIF 0, two OIFs.
+func populate(b *testing.B, channels int) (*Table, addr.Addr) {
+	b.Helper()
+	t := New()
+	src := addr.MustParse("171.64.7.9")
+	for i := 0; i < channels; i++ {
+		t.Set(Key{S: src, G: addr.ExpressAddr(uint32(i))}, Entry{IIF: 0, OIFs: 1<<1 | 1<<3})
+	}
+	return t, src
+}
+
 // BenchmarkForwardHit measures the fast-path lookup the paper prices in
 // SRAM terms: exact (S,E) match plus the incoming-interface check.
 func BenchmarkForwardHit(b *testing.B) {
-	t := New()
-	src := addr.MustParse("171.64.7.9")
 	const channels = 1 << 16
-	for i := 0; i < channels; i++ {
-		e := t.Ensure(Key{S: src, G: addr.ExpressAddr(uint32(i))})
-		e.IIF = 0
-		e.SetOIF(1)
-		e.SetOIF(3)
-	}
-	var oifs []int
+	t, src := populate(b, channels)
+	var sink uint32
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var disp Disposition
-		oifs, disp = t.Forward(src, addr.ExpressAddr(uint32(i%channels)), 0, oifs[:0])
+		mask, disp := t.ForwardMask(src, addr.ExpressAddr(uint32(i%channels)), 0)
 		if disp != Forwarded {
 			b.Fatal("miss on a populated table")
 		}
+		sink += mask
 	}
+	_ = sink
 	b.ReportMetric(float64(channels), "table-entries")
 }
 
 // BenchmarkForwardMiss measures the counted-and-dropped path (Section 3.4).
 func BenchmarkForwardMiss(b *testing.B) {
-	t := New()
-	src := addr.MustParse("171.64.7.9")
-	for i := 0; i < 1<<14; i++ {
-		e := t.Ensure(Key{S: src, G: addr.ExpressAddr(uint32(i))})
-		e.IIF = 0
-		e.SetOIF(1)
-	}
+	t, _ := populate(b, 1<<14)
 	rogue := addr.MustParse("10.9.9.9")
-	var oifs []int
+	var sink uint32
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		oifs, _ = t.Forward(rogue, addr.ExpressAddr(uint32(i&0x3fff)), 0, oifs[:0])
+		mask, _ := t.ForwardMask(rogue, addr.ExpressAddr(uint32(i&0x3fff)), 0)
+		sink += mask
 	}
-	_ = oifs
+	_ = sink
+}
+
+// BenchmarkForwardParallel is the concurrency claim of this table: lookup
+// throughput must scale with reader goroutines instead of plateauing on a
+// shared lock. Each goroutine walks its own key range; compare ns/op across
+// the 1/4/16 sub-benchmarks (with GOMAXPROCS > 1, more goroutines → lower
+// ns/op, since ns/op counts wall time per total lookup).
+func BenchmarkForwardParallel(b *testing.B) {
+	const channels = 1 << 16
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			t, src := populate(b, channels)
+			var miss atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			per := b.N/g + 1
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					var sink uint32
+					base := w * per
+					for i := 0; i < per; i++ {
+						mask, disp := t.ForwardMask(src, addr.ExpressAddr(uint32((base+i)%channels)), 0)
+						if disp != Forwarded {
+							miss.Add(1)
+							return
+						}
+						sink += mask
+					}
+					_ = sink
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if miss.Load() != 0 {
+				b.Fatal("miss on a populated table")
+			}
+			b.ReportMetric(float64(g), "goroutines")
+		})
+	}
+}
+
+// BenchmarkForwardParallelWithChurn holds reader throughput while one writer
+// continuously adds and removes channels — the RCU contract under load.
+func BenchmarkForwardParallelWithChurn(b *testing.B) {
+	const channels = 1 << 14
+	t, src := populate(b, channels)
+	stop := make(chan struct{})
+	var churn uint64
+	go func() {
+		for i := uint32(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := Key{S: src, G: addr.ExpressAddr(channels + i%1024)}
+			t.Set(k, Entry{IIF: 0, OIFs: 2})
+			t.Delete(k)
+			churn++
+		}
+	}()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var i uint32
+		var sink uint32
+		for pb.Next() {
+			mask, _ := t.ForwardMask(src, addr.ExpressAddr(i%channels), 0)
+			sink += mask
+			i++
+		}
+		_ = sink
+	})
+	close(stop)
+	b.ReportMetric(float64(churn), "writer-ops-total")
+}
+
+// BenchmarkSetDelete measures the writer path: copy-on-write publication
+// cost amortized over insert+delete pairs.
+func BenchmarkSetDelete(b *testing.B) {
+	t, src := populate(b, 1<<12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := Key{S: src, G: addr.ExpressAddr(uint32(1<<12 + i%1024))}
+		t.Set(k, Entry{IIF: 0, OIFs: 2})
+		t.Delete(k)
+	}
 }
 
 // BenchmarkSnapshot measures packing a full table into line-card format.
@@ -55,9 +148,9 @@ func BenchmarkSnapshot(b *testing.B) {
 	t := New()
 	src := addr.MustParse("171.64.7.9")
 	for i := 0; i < 10_000; i++ {
-		e := t.Ensure(Key{S: src, G: addr.ExpressAddr(uint32(i))})
-		e.IIF = i % MaxInterfaces
+		e := Entry{IIF: i % MaxInterfaces}
 		e.SetOIF((i + 1) % MaxInterfaces)
+		t.Set(Key{S: src, G: addr.ExpressAddr(uint32(i))}, e)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -13,6 +13,13 @@ import (
 // per router.
 const EntrySize = 12
 
+// MemoryFor prices n forwarding entries at the paper's 12-byte logical
+// layout. The baselines and E-series cost tables use it so every protocol's
+// state is compared in the same currency, independent of how any particular
+// implementation stores entries in memory (the packed RCU table here spends
+// 16 aligned bytes per slot for atomic word access).
+func MemoryFor(n int) int { return n * EntrySize }
+
 // Packed layout (big endian):
 //
 //	bytes 0..3   source address S
@@ -73,11 +80,18 @@ func DecodeEntry(b []byte) (Key, Entry, error) {
 // Snapshot encodes every EXPRESS entry in the table into the packed format,
 // the image a control plane would download to line-card SRAM. Entries that
 // have no fast-path encoding (wildcard sources, used only by baselines) are
-// skipped and counted in the second return value.
+// skipped and counted in the second return value. Snapshot walks the current
+// RCU generation without blocking writers.
 func (t *Table) Snapshot() (packed []byte, skipped int) {
-	packed = make([]byte, 0, len(t.entries)*EntrySize)
-	for k, e := range t.entries {
-		p, err := EncodeEntry(k, e, packed)
+	a := t.p.Load()
+	packed = make([]byte, 0, t.Len()*EntrySize)
+	for i := range a.slots {
+		kk := a.slots[i].key.Load()
+		if kk == emptyKey || kk == tombKey {
+			continue
+		}
+		k, e := unpackKey(kk), unpackVal(a.slots[i].val.Load())
+		p, err := EncodeEntry(k, &e, packed)
 		if err != nil {
 			skipped++
 			continue

@@ -6,6 +6,18 @@
 // and dropped, as opposed to being forwarded to a rendezvous point as in
 // PIM-SM, or broadcast, as with PIM-DM and DVMRP".
 //
+// The table is built the way the paper prices it (§5.1, Figure 5): entries
+// live in a flat open-addressing array of packed slots, not a pointer-chasing
+// map, and the data plane reads it without taking any lock. Readers load the
+// current slot array through an atomic.Pointer and probe with atomic loads;
+// writers serialize on a mutex and publish changes either in place (an
+// atomic slot store, ordered so the payload is visible before the key) or,
+// when the array must grow or shed tombstones, by building a fresh array and
+// swapping the pointer — RCU-style, so a concurrent lookup always sees a
+// consistent table, either pre- or post-update. Forwarding statistics are
+// striped across cache-line-padded atomic counters so concurrent lookups do
+// not serialize on a shared counter word.
+//
 // The same table also serves the group-model baselines via wildcard-source
 // (*,G) entries and a bidirectional flag (CBT), so state-size comparisons
 // (experiment E9) count entries of identical layout.
@@ -14,6 +26,8 @@ package fib
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/addr"
 )
@@ -58,12 +72,15 @@ func (e *Entry) NumOIFs() int { return bits.OnesCount32(e.OIFs) }
 
 // OIFList expands the bitmask to interface indices in ascending order,
 // appending to dst to avoid allocation on the forwarding path.
-func (e *Entry) OIFList(dst []int) []int {
-	m := e.OIFs
-	for m != 0 {
-		i := bits.TrailingZeros32(m)
-		dst = append(dst, i)
-		m &^= 1 << uint(i)
+func (e *Entry) OIFList(dst []int) []int { return AppendMask(dst, e.OIFs) }
+
+// AppendMask expands an outgoing-interface bitmask to interface indices in
+// ascending order, appending to dst. Callers on the data path should prefer
+// iterating the mask directly (for m := mask; m != 0; m &= m - 1 { ... }) —
+// this helper exists for control-plane and test code that wants indices.
+func AppendMask(dst []int, mask uint32) []int {
+	for m := mask; m != 0; m &= m - 1 {
+		dst = append(dst, bits.TrailingZeros32(m))
 	}
 	return dst
 }
@@ -76,81 +93,302 @@ type Stats struct {
 	IIFDrops       uint64 // arrived on the wrong interface (RPF failure)
 }
 
-// Table is one router's multicast FIB.
-type Table struct {
-	entries map[Key]*Entry
-	stats   Stats
+// statStripes is the number of independent forwarding-counter stripes.
+// Lookups pick a stripe by key hash, so concurrent forwards of different
+// channels land on different cache lines.
+const (
+	statStripes = 8
+	statShift   = 64 - 3 // top bits of the key hash select the stripe
+)
+
+// statStripe is one cache line of forwarding counters. The padding keeps
+// adjacent stripes on distinct 64-byte lines so per-stripe atomics do not
+// false-share.
+type statStripe struct {
+	lookups        atomic.Uint64
+	matched        atomic.Uint64
+	unmatchedDrops atomic.Uint64
+	iifDrops       atomic.Uint64
+	_              [32]byte
 }
 
-// New returns an empty FIB.
-func New() *Table {
-	return &Table{entries: make(map[Key]*Entry)}
+// slot is one packed FIB entry: the 64-bit key word (S in the high half, the
+// destination in the low half) and the 64-bit payload word (OIF bitmask in
+// the low half, IIF byte above it). The logical entry is Figure 5's 12
+// bytes — S(4) + destination(3+1) + IIF(5 bits) + OIFs(4) — stored in two
+// aligned words so readers can load each half atomically; EncodeEntry still
+// emits exactly 12 bytes for the line-card image.
+type slot struct {
+	key atomic.Uint64
+	val atomic.Uint64
 }
 
-// Get returns the entry for k, or nil.
-func (t *Table) Get(k Key) *Entry { return t.entries[k] }
+const (
+	emptyKey = 0        // never a real key: a real entry's G is non-zero
+	tombKey  = 1 << 63  // S = 128/8 host with G == 0: also never real
+	iifAny   = 0xff     // IIF byte value meaning "accept any interface"
+	minSlots = 8        // initial capacity (power of two)
+)
 
-// Ensure returns the entry for k, creating an empty one (IIF -1, no OIFs)
-// if absent.
-func (t *Table) Ensure(k Key) *Entry {
-	e := t.entries[k]
-	if e == nil {
-		e = &Entry{IIF: -1}
-		t.entries[k] = e
+func packKey(k Key) uint64 { return uint64(k.S)<<32 | uint64(k.G) }
+
+func unpackKey(kk uint64) Key {
+	return Key{S: addr.Addr(kk >> 32), G: addr.Addr(uint32(kk))}
+}
+
+func packVal(e Entry) uint64 {
+	iif := uint64(iifAny)
+	if e.IIF >= 0 {
+		iif = uint64(e.IIF)
+	}
+	return uint64(e.OIFs) | iif<<32
+}
+
+func unpackVal(v uint64) Entry {
+	e := Entry{OIFs: uint32(v), IIF: int(v>>32) & 0xff}
+	if e.IIF == iifAny {
+		e.IIF = -1
 	}
 	return e
 }
 
+// hashKey mixes the packed key so consecutive channel suffixes spread across
+// the table (Fibonacci multiplicative hashing, high bits folded down because
+// probing masks the low bits).
+func hashKey(kk uint64) uint64 {
+	h := kk * 0x9e3779b97f4a7c15
+	return h ^ h>>29
+}
+
+// slotArray is one published generation of the table. Readers treat it as
+// immutable structure: slots are only ever written through atomic stores
+// that keep every probe sequence valid (empty slots never reappear within a
+// generation, so probes terminate).
+type slotArray struct {
+	slots []slot
+	mask  uint64
+}
+
+func newSlotArray(n int) *slotArray {
+	return &slotArray{slots: make([]slot, n), mask: uint64(n - 1)}
+}
+
+// find probes for kk and returns its payload word. It is the lock-free read
+// path: atomic key loads, linear probing, stop at the first empty slot.
+func (a *slotArray) find(kk, h uint64) (uint64, bool) {
+	i := h & a.mask
+	for {
+		got := a.slots[i].key.Load()
+		if got == kk {
+			return a.slots[i].val.Load(), true
+		}
+		if got == emptyKey {
+			return 0, false
+		}
+		i = (i + 1) & a.mask
+	}
+}
+
+// Table is one router's multicast FIB.
+type Table struct {
+	p    atomic.Pointer[slotArray]
+	live atomic.Int64 // entries currently in the table
+
+	mu   sync.Mutex // serializes writers; readers never take it
+	used int        // live entries + tombstones in the current array
+
+	stats [statStripes]statStripe
+}
+
+// New returns an empty FIB.
+func New() *Table {
+	t := &Table{}
+	t.p.Store(newSlotArray(minSlots))
+	return t
+}
+
+// Get returns the entry for k and whether it exists. Safe for concurrent
+// use with writers.
+func (t *Table) Get(k Key) (Entry, bool) {
+	kk := packKey(k)
+	v, ok := t.p.Load().find(kk, hashKey(kk))
+	if !ok {
+		return Entry{}, false
+	}
+	return unpackVal(v), true
+}
+
+// Set inserts or replaces the entry for k.
+func (t *Table) Set(k Key, e Entry) {
+	if k.G == 0 {
+		panic("fib: zero group/channel destination")
+	}
+	if e.IIF >= iifAny {
+		panic(fmt.Sprintf("fib: incoming interface %d out of range", e.IIF))
+	}
+	kk, vv := packKey(k), packVal(e)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a := t.p.Load()
+	// Grow (or compact tombstones away) before the array passes 3/4 full,
+	// so reader probes always terminate at an empty slot.
+	if (t.used+1)*4 > len(a.slots)*3 {
+		a = t.rebuildLocked(a)
+	}
+	h := hashKey(kk)
+	i := h & a.mask
+	for {
+		got := a.slots[i].key.Load()
+		if got == kk {
+			a.slots[i].val.Store(vv)
+			return
+		}
+		if got == emptyKey {
+			// Insert only into empty slots, never recycle a tombstone in
+			// place: a slot's key is written at most once per generation
+			// (empty→key, key→tombstone), so a reader that matched a key
+			// can never observe another key's payload. Tombstones are
+			// reclaimed by rebuildLocked.
+			//
+			// Publish payload before key: a concurrent reader that observes
+			// the new key is guaranteed to read a fully written payload.
+			a.slots[i].val.Store(vv)
+			a.slots[i].key.Store(kk)
+			t.used++
+			t.live.Add(1)
+			return
+		}
+		i = (i + 1) & a.mask
+	}
+}
+
 // Delete removes the entry for k.
-func (t *Table) Delete(k Key) { delete(t.entries, k) }
+func (t *Table) Delete(k Key) {
+	kk := packKey(k)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a := t.p.Load()
+	h := hashKey(kk)
+	i := h & a.mask
+	for {
+		got := a.slots[i].key.Load()
+		if got == kk {
+			// Tombstone, not empty: probes for keys that hashed past this
+			// slot must keep walking.
+			a.slots[i].key.Store(tombKey)
+			t.live.Add(-1)
+			return
+		}
+		if got == emptyKey {
+			return
+		}
+		i = (i + 1) & a.mask
+	}
+}
+
+// rebuildLocked builds a fresh array holding only live entries and publishes
+// it — the copy-on-write half of the RCU scheme. The array doubles when
+// genuinely full and stays the same size when the pressure is tombstones.
+// Concurrent readers keep probing the old generation until the pointer swap
+// and see a consistent (slightly stale) table. Caller holds t.mu.
+func (t *Table) rebuildLocked(a *slotArray) *slotArray {
+	live := int(t.live.Load())
+	n := len(a.slots)
+	if (live+1)*2 > n {
+		n *= 2
+	}
+	if n < minSlots {
+		n = minSlots
+	}
+	na := newSlotArray(n)
+	for i := range a.slots {
+		kk := a.slots[i].key.Load()
+		if kk == emptyKey || kk == tombKey {
+			continue
+		}
+		j := hashKey(kk) & na.mask
+		for na.slots[j].key.Load() != emptyKey {
+			j = (j + 1) & na.mask
+		}
+		na.slots[j].val.Store(a.slots[i].val.Load())
+		na.slots[j].key.Store(kk)
+	}
+	t.used = live
+	t.p.Store(na)
+	return na
+}
 
 // Len returns the number of entries.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return int(t.live.Load()) }
 
 // MemoryBytes returns the fast-path memory the table would occupy at the
 // paper's 12-bytes-per-entry encoding (Figure 5) — the quantity the Section
 // 5.1 cost model prices.
-func (t *Table) MemoryBytes() int { return len(t.entries) * EntrySize }
+func (t *Table) MemoryBytes() int { return MemoryFor(t.Len()) }
 
-// Stats returns a copy of the forwarding counters.
-func (t *Table) Stats() Stats { return t.stats }
+// Stats returns the forwarding counters, summed across stripes.
+func (t *Table) Stats() Stats {
+	var s Stats
+	for i := range t.stats {
+		st := &t.stats[i]
+		s.Lookups += st.lookups.Load()
+		s.Matched += st.matched.Load()
+		s.UnmatchedDrops += st.unmatchedDrops.Load()
+		s.IIFDrops += st.iifDrops.Load()
+	}
+	return s
+}
 
-// Forward performs the EXPRESS forwarding procedure of Section 3.4 for a
-// packet from s to multicast destination g arriving on iif. It returns the
-// outgoing interface set (appended to dst) and a disposition:
+// ForwardMask performs the EXPRESS forwarding procedure of Section 3.4 for a
+// packet from s to multicast destination g arriving on iif, without locking
+// and without allocating. It returns the outgoing-interface bitmask (with
+// the arrival interface already removed — a packet is never echoed back out
+// its arrival interface) and a disposition:
 //
-//   - entry found, iif matches: outgoing interfaces returned;
-//   - entry found, iif differs: nil, the packet is dropped (or punted to
-//     the CPU — the caller decides) and IIFDrops increments;
-//   - no entry: nil, UnmatchedDrops increments (counted and dropped).
+//   - entry found, iif matches: outgoing bitmask returned;
+//   - entry found, iif differs: 0, the packet is dropped (or punted to the
+//     CPU — the caller decides) and IIFDrops increments;
+//   - no entry: 0, UnmatchedDrops increments (counted and dropped).
 //
 // Exact (S,G) entries take precedence over wildcard (*,G) entries, the
 // PIM-SM longest-match rule, so the same table serves the baselines.
+func (t *Table) ForwardMask(s, g addr.Addr, iif int) (uint32, Disposition) {
+	a := t.p.Load()
+	kk := packKey(Key{S: s, G: g})
+	h := hashKey(kk)
+	st := &t.stats[h>>statShift]
+	st.lookups.Add(1)
+	v, ok := a.find(kk, h)
+	if !ok && s != 0 {
+		wk := uint64(g) // wildcard (*,G) fallback
+		v, ok = a.find(wk, hashKey(wk))
+	}
+	if !ok {
+		st.unmatchedDrops.Add(1)
+		return 0, DropUnmatched
+	}
+	eiif := int(v>>32) & 0xff
+	if eiif != iifAny && eiif != iif {
+		st.iifDrops.Add(1)
+		return 0, DropWrongIIF
+	}
+	st.matched.Add(1)
+	mask := uint32(v)
+	if iif >= 0 && iif < MaxInterfaces {
+		mask &^= 1 << uint(iif)
+	}
+	return mask, Forwarded
+}
+
+// Forward is ForwardMask with the bitmask expanded to interface indices
+// (appended to dst, ascending). Data planes that can iterate a bitmask
+// should call ForwardMask directly and skip the expansion.
 func (t *Table) Forward(s, g addr.Addr, iif int, dst []int) ([]int, Disposition) {
-	t.stats.Lookups++
-	e := t.entries[Key{S: s, G: g}]
-	if e == nil {
-		e = t.entries[Key{G: g}]
+	mask, disp := t.ForwardMask(s, g, iif)
+	if disp != Forwarded {
+		return nil, disp
 	}
-	if e == nil {
-		t.stats.UnmatchedDrops++
-		return nil, DropUnmatched
-	}
-	if e.IIF != -1 && e.IIF != iif {
-		t.stats.IIFDrops++
-		return nil, DropWrongIIF
-	}
-	t.stats.Matched++
-	out := dst
-	m := e.OIFs
-	for m != 0 {
-		i := bits.TrailingZeros32(m)
-		if i != iif { // never forward back out the arrival interface
-			out = append(out, i)
-		}
-		m &^= 1 << uint(i)
-	}
-	return out, Forwarded
+	return AppendMask(dst, mask), Forwarded
 }
 
 // Disposition classifies a forwarding decision.
@@ -176,10 +414,16 @@ func (d Disposition) String() string {
 }
 
 // Keys returns all entry keys; order is unspecified. For tests and metrics.
+// Concurrent writers may be reflected partially, as with any RCU reader.
 func (t *Table) Keys() []Key {
-	out := make([]Key, 0, len(t.entries))
-	for k := range t.entries {
-		out = append(out, k)
+	a := t.p.Load()
+	out := make([]Key, 0, t.Len())
+	for i := range a.slots {
+		kk := a.slots[i].key.Load()
+		if kk == emptyKey || kk == tombKey {
+			continue
+		}
+		out = append(out, unpackKey(kk))
 	}
 	return out
 }

@@ -13,12 +13,18 @@ var (
 	e1 = addr.ExpressAddr(100)
 )
 
+// entry builds an Entry from an IIF and outgoing interface list.
+func entry(iif int, oifs ...int) Entry {
+	e := Entry{IIF: iif}
+	for _, o := range oifs {
+		e.SetOIF(o)
+	}
+	return e
+}
+
 func TestForwardExactMatch(t *testing.T) {
 	tb := New()
-	e := tb.Ensure(Key{S: s1, G: e1})
-	e.IIF = 0
-	e.SetOIF(1)
-	e.SetOIF(2)
+	tb.Set(Key{S: s1, G: e1}, entry(0, 1, 2))
 
 	oifs, disp := tb.Forward(s1, e1, 0, nil)
 	if disp != Forwarded {
@@ -27,13 +33,15 @@ func TestForwardExactMatch(t *testing.T) {
 	if len(oifs) != 2 || oifs[0] != 1 || oifs[1] != 2 {
 		t.Fatalf("oifs = %v, want [1 2]", oifs)
 	}
+	mask, disp := tb.ForwardMask(s1, e1, 0)
+	if disp != Forwarded || mask != 1<<1|1<<2 {
+		t.Fatalf("ForwardMask = %#x %v, want 0x6 forwarded", mask, disp)
+	}
 }
 
 func TestForwardNeverEchoesArrivalInterface(t *testing.T) {
 	tb := New()
-	e := tb.Ensure(Key{G: e1}) // wildcard, accept-any
-	e.SetOIF(0)
-	e.SetOIF(1)
+	tb.Set(Key{G: e1}, entry(-1, 0, 1)) // wildcard, accept-any
 	oifs, disp := tb.Forward(s1, e1, 1, nil)
 	if disp != Forwarded {
 		t.Fatal("not forwarded")
@@ -43,13 +51,15 @@ func TestForwardNeverEchoesArrivalInterface(t *testing.T) {
 			t.Fatal("packet echoed out its arrival interface")
 		}
 	}
+	mask, _ := tb.ForwardMask(s1, e1, 1)
+	if mask&(1<<1) != 0 {
+		t.Fatal("mask contains the arrival interface")
+	}
 }
 
 func TestForwardUnmatchedCountedAndDropped(t *testing.T) {
 	tb := New()
-	e := tb.Ensure(Key{S: s1, G: e1})
-	e.IIF = 0
-	e.SetOIF(1)
+	tb.Set(Key{S: s1, G: e1}, entry(0, 1))
 
 	// Same E, different S: the unrelated channel (S',E) of Figure 1.
 	_, disp := tb.Forward(s2, e1, 0, nil)
@@ -63,9 +73,7 @@ func TestForwardUnmatchedCountedAndDropped(t *testing.T) {
 
 func TestForwardWrongIIF(t *testing.T) {
 	tb := New()
-	e := tb.Ensure(Key{S: s1, G: e1})
-	e.IIF = 0
-	e.SetOIF(1)
+	tb.Set(Key{S: s1, G: e1}, entry(0, 1))
 	_, disp := tb.Forward(s1, e1, 2, nil)
 	if disp != DropWrongIIF {
 		t.Fatalf("disposition = %v, want drop-wrong-iif", disp)
@@ -77,12 +85,8 @@ func TestForwardWrongIIF(t *testing.T) {
 
 func TestExactBeatsWildcard(t *testing.T) {
 	tb := New()
-	wild := tb.Ensure(Key{G: e1})
-	wild.IIF = -1
-	wild.SetOIF(5)
-	exact := tb.Ensure(Key{S: s1, G: e1})
-	exact.IIF = 0
-	exact.SetOIF(7)
+	tb.Set(Key{G: e1}, entry(-1, 5))
+	tb.Set(Key{S: s1, G: e1}, entry(0, 7))
 
 	oifs, disp := tb.Forward(s1, e1, 0, nil)
 	if disp != Forwarded || len(oifs) != 1 || oifs[0] != 7 {
@@ -92,6 +96,132 @@ func TestExactBeatsWildcard(t *testing.T) {
 	oifs, disp = tb.Forward(s2, e1, 3, nil)
 	if disp != Forwarded || len(oifs) != 1 || oifs[0] != 5 {
 		t.Fatalf("wildcard fallback broken: %v %v", oifs, disp)
+	}
+}
+
+// TestPrecedenceAcrossChurn drives precedence through add/remove sequences
+// against the packed table: the exact entry wins while present, its removal
+// re-exposes the wildcard, and removing the wildcard too yields a counted
+// drop — the PIM-SM longest-match rule under deletion (tombstones must not
+// break wildcard probes).
+func TestPrecedenceAcrossChurn(t *testing.T) {
+	tb := New()
+	tb.Set(Key{G: e1}, entry(-1, 5))
+	tb.Set(Key{S: s1, G: e1}, entry(0, 7))
+
+	if mask, disp := tb.ForwardMask(s1, e1, 0); disp != Forwarded || mask != 1<<7 {
+		t.Fatalf("exact lookup = %#x %v, want 0x80 forwarded", mask, disp)
+	}
+	// Wrong IIF on the exact entry drops: the wildcard must NOT be tried
+	// once an exact match exists.
+	if _, disp := tb.ForwardMask(s1, e1, 3); disp != DropWrongIIF {
+		t.Fatalf("exact entry with wrong iif = %v, want drop-wrong-iif", disp)
+	}
+
+	tb.Delete(Key{S: s1, G: e1})
+	if mask, disp := tb.ForwardMask(s1, e1, 3); disp != Forwarded || mask != 1<<5 {
+		t.Fatalf("post-delete fallback = %#x %v, want wildcard 0x20", mask, disp)
+	}
+
+	tb.Delete(Key{G: e1})
+	if _, disp := tb.ForwardMask(s1, e1, 3); disp != DropUnmatched {
+		t.Fatalf("post-wildcard-delete = %v, want drop-unmatched", disp)
+	}
+
+	// Re-adding after tombstoning must behave identically.
+	tb.Set(Key{S: s1, G: e1}, entry(0, 9))
+	if mask, disp := tb.ForwardMask(s1, e1, 0); disp != Forwarded || mask != 1<<9 {
+		t.Fatalf("re-added exact = %#x %v, want 0x200 forwarded", mask, disp)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+}
+
+// TestWildcardManySources: one (*,G) entry serves arbitrary sources, as the
+// shared-tree baselines require, while an unrelated exact channel on a
+// different destination is unaffected.
+func TestWildcardManySources(t *testing.T) {
+	tb := New()
+	g2 := addr.ExpressAddr(200)
+	tb.Set(Key{G: e1}, entry(-1, 3))
+	tb.Set(Key{S: s1, G: g2}, entry(1, 4))
+	for i := uint32(1); i <= 64; i++ {
+		s := addr.Addr(0x0a000000 + i)
+		if mask, disp := tb.ForwardMask(s, e1, 0); disp != Forwarded || mask != 1<<3 {
+			t.Fatalf("source %v: mask %#x disp %v", s, mask, disp)
+		}
+	}
+	if _, disp := tb.ForwardMask(s2, g2, 1); disp != DropUnmatched {
+		t.Fatalf("exact-only destination matched a foreign source: %v", disp)
+	}
+}
+
+func TestGetSetDelete(t *testing.T) {
+	tb := New()
+	if _, ok := tb.Get(Key{S: s1, G: e1}); ok {
+		t.Fatal("Get on empty table returned an entry")
+	}
+	tb.Set(Key{S: s1, G: e1}, entry(2, 4))
+	e, ok := tb.Get(Key{S: s1, G: e1})
+	if !ok || e.IIF != 2 || e.OIFs != 1<<4 {
+		t.Fatalf("Get = %+v %v", e, ok)
+	}
+	// Replace in place.
+	tb.Set(Key{S: s1, G: e1}, entry(-1, 6))
+	e, ok = tb.Get(Key{S: s1, G: e1})
+	if !ok || e.IIF != -1 || e.OIFs != 1<<6 {
+		t.Fatalf("Get after replace = %+v %v", e, ok)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d after replace, want 1", tb.Len())
+	}
+	tb.Delete(Key{S: s1, G: e1})
+	if _, ok := tb.Get(Key{S: s1, G: e1}); ok || tb.Len() != 0 {
+		t.Fatal("entry survived Delete")
+	}
+	// Deleting a missing key is a no-op.
+	tb.Delete(Key{S: s1, G: e1})
+	if tb.Len() != 0 {
+		t.Fatal("Len changed on no-op delete")
+	}
+}
+
+// TestGrowthAndKeys inserts past several growth generations and verifies
+// every entry survives the rebuilds.
+func TestGrowthAndKeys(t *testing.T) {
+	tb := New()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tb.Set(Key{S: s1, G: addr.ExpressAddr(uint32(i))}, entry(i%MaxInterfaces, (i+1)%MaxInterfaces))
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	if len(tb.Keys()) != n {
+		t.Fatalf("Keys = %d, want %d", len(tb.Keys()), n)
+	}
+	for i := 0; i < n; i++ {
+		e, ok := tb.Get(Key{S: s1, G: addr.ExpressAddr(uint32(i))})
+		if !ok || e.IIF != i%MaxInterfaces {
+			t.Fatalf("entry %d lost or corrupted across growth: %+v %v", i, e, ok)
+		}
+	}
+	// Delete every other entry, then verify the survivors again (tombstone
+	// pressure forces a same-size rebuild on later inserts).
+	for i := 0; i < n; i += 2 {
+		tb.Delete(Key{S: s1, G: addr.ExpressAddr(uint32(i))})
+	}
+	for i := 0; i < n; i++ {
+		tb.Set(Key{S: s2, G: addr.ExpressAddr(uint32(n + i))}, entry(0, 1))
+	}
+	for i := 1; i < n; i += 2 {
+		if _, ok := tb.Get(Key{S: s1, G: addr.ExpressAddr(uint32(i))}); !ok {
+			t.Fatalf("survivor %d lost after tombstone churn", i)
+		}
+	}
+	if tb.Len() != n/2+n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n/2+n)
 	}
 }
 
@@ -124,6 +254,39 @@ func TestEntryOIFOps(t *testing.T) {
 	e.SetOIF(MaxInterfaces)
 }
 
+// TestForwardZeroAlloc is the allocation contract of the fast path: neither
+// the mask lookup nor the expansion into a warm caller slice may allocate.
+func TestForwardZeroAlloc(t *testing.T) {
+	tb := New()
+	src := addr.MustParse("171.64.7.9")
+	for i := 0; i < 1024; i++ {
+		tb.Set(Key{S: src, G: addr.ExpressAddr(uint32(i))}, entry(0, 1, 3))
+	}
+	var sink uint32
+	if a := testing.AllocsPerRun(1000, func() {
+		m, _ := tb.ForwardMask(src, addr.ExpressAddr(uint32(sink%1024)), 0)
+		sink += m
+	}); a != 0 {
+		t.Errorf("ForwardMask allocates %.1f/op, want 0", a)
+	}
+	dst := make([]int, 0, MaxInterfaces)
+	if a := testing.AllocsPerRun(1000, func() {
+		oifs, _ := tb.Forward(src, addr.ExpressAddr(uint32(sink%1024)), 0, dst[:0])
+		sink += uint32(len(oifs))
+	}); a != 0 {
+		t.Errorf("Forward with warm dst allocates %.1f/op, want 0", a)
+	}
+	// The miss path (counted and dropped) must be equally free.
+	rogue := addr.MustParse("10.9.9.9")
+	if a := testing.AllocsPerRun(1000, func() {
+		_, disp := tb.ForwardMask(rogue, addr.ExpressAddr(7), 0)
+		sink += uint32(disp)
+	}); a != 0 {
+		t.Errorf("miss path allocates %.1f/op, want 0", a)
+	}
+	_ = sink
+}
+
 func TestEncodeDecodeRoundTripProperty(t *testing.T) {
 	f := func(s uint32, suffix uint32, iif uint8, oifs uint32, anyIIF bool) bool {
 		k := Key{S: addr.Addr(s | 1), G: addr.ExpressAddr(suffix)}
@@ -139,6 +302,31 @@ func TestEncodeDecodeRoundTripProperty(t *testing.T) {
 		return err == nil && k2 == k && e2 == e
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackedSlotRoundTripProperty locks the in-memory slot packing in: any
+// storable entry survives the packKey/packVal round trip through the table.
+func TestPackedSlotRoundTripProperty(t *testing.T) {
+	f := func(s uint32, g uint32, iif uint8, oifs uint32, anyIIF, wild bool) bool {
+		if g == 0 {
+			g = 1
+		}
+		k := Key{S: addr.Addr(s), G: addr.Addr(g)}
+		if wild {
+			k.S = 0
+		}
+		e := Entry{IIF: int(iif % MaxInterfaces), OIFs: oifs}
+		if anyIIF {
+			e.IIF = -1
+		}
+		tb := New()
+		tb.Set(k, e)
+		got, ok := tb.Get(k)
+		return ok && got == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -163,11 +351,9 @@ func TestEncodeErrors(t *testing.T) {
 func TestSnapshotAndMemory(t *testing.T) {
 	tb := New()
 	for i := 0; i < 100; i++ {
-		e := tb.Ensure(Key{S: s1, G: addr.ExpressAddr(uint32(i))})
-		e.IIF = i % MaxInterfaces
-		e.SetOIF((i + 1) % MaxInterfaces)
+		tb.Set(Key{S: s1, G: addr.ExpressAddr(uint32(i))}, entry(i%MaxInterfaces, (i+1)%MaxInterfaces))
 	}
-	tb.Ensure(Key{G: e1}) // wildcard: no fast-path encoding
+	tb.Set(Key{G: e1}, Entry{IIF: -1}) // wildcard: no fast-path encoding
 	packed, skipped := tb.Snapshot()
 	if skipped != 1 {
 		t.Errorf("skipped = %d, want 1", skipped)

@@ -1,0 +1,117 @@
+package fib
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// TestConcurrentForwardDuringChurn locks the RCU contract in: reader
+// goroutines hammer ForwardMask while writers add and remove channels (with
+// enough volume to force several growth rebuilds and tombstone compactions).
+// Run with -race in CI. Every lookup must return a coherent result — a
+// disposition from the valid set, a mask that never echoes the arrival
+// interface, and for keys outside the churn range, exactly the stable
+// entry's interfaces — and the final table must equal the stable set.
+func TestConcurrentForwardDuringChurn(t *testing.T) {
+	tb := New()
+	src := addr.MustParse("171.64.7.9")
+
+	// A stable region writers never touch: lookups there must always hit.
+	const stable = 512
+	for i := 0; i < stable; i++ {
+		tb.Set(Key{S: src, G: addr.ExpressAddr(uint32(i))}, Entry{IIF: 0, OIFs: 1<<2 | 1<<0})
+	}
+
+	const (
+		writers   = 2
+		readers   = 4
+		churnOps  = 20_000
+		churnSpan = 4_096
+	)
+	var writerWG, readerWG sync.WaitGroup
+	var writersDone atomic.Bool
+	errs := make(chan string, readers)
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			base := uint32(stable + w*churnSpan)
+			for i := 0; i < churnOps; i++ {
+				g := addr.ExpressAddr(base + uint32(i%churnSpan))
+				k := Key{S: src, G: g}
+				tb.Set(k, Entry{IIF: 1, OIFs: 1 << 3})
+				if i%3 == 0 {
+					// Wildcard churn exercises the fallback probe too.
+					tb.Set(Key{G: g}, Entry{IIF: -1, OIFs: 1 << 4})
+					tb.Delete(Key{G: g})
+				}
+				tb.Delete(k)
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			var i uint32
+			for !writersDone.Load() {
+				// Stable range: must forward with exactly the stable OIFs
+				// minus the arrival interface, or IIF-drop on a wrong iif.
+				iif := int(i % MaxInterfaces)
+				mask, disp := tb.ForwardMask(src, addr.ExpressAddr(i%stable), iif)
+				if iif == 0 {
+					if disp != Forwarded || mask != 1<<2 {
+						errs <- "stable entry lookup returned wrong mask/disposition"
+						return
+					}
+				} else if disp != DropWrongIIF {
+					errs <- "stable entry accepted a wrong arrival interface"
+					return
+				}
+				if mask&(1<<uint(iif)) != 0 {
+					errs <- "mask echoed the arrival interface"
+					return
+				}
+				// Churn range: any disposition is legal mid-churn, but it
+				// must be a member of the valid set.
+				_, disp = tb.ForwardMask(src, addr.ExpressAddr(stable+i%(writers*churnSpan)), 1)
+				if disp != Forwarded && disp != DropUnmatched && disp != DropWrongIIF {
+					errs <- "invalid disposition under churn"
+					return
+				}
+				i++
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	writersDone.Store(true)
+	readerWG.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+
+	if tb.Len() != stable {
+		t.Fatalf("Len = %d after balanced churn, want %d", tb.Len(), stable)
+	}
+	for i := 0; i < stable; i++ {
+		e, ok := tb.Get(Key{S: src, G: addr.ExpressAddr(uint32(i))})
+		if !ok || e.OIFs != 1<<2|1<<0 {
+			t.Fatalf("stable entry %d lost or corrupted: %+v %v", i, e, ok)
+		}
+	}
+	st := tb.Stats()
+	if st.Lookups == 0 || st.Matched == 0 {
+		t.Fatal("striped stats recorded nothing")
+	}
+	if st.Lookups < st.Matched+st.UnmatchedDrops+st.IIFDrops {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+}

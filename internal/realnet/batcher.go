@@ -34,8 +34,9 @@ type batcher struct {
 	flushes atomic.Uint64 // flush passes that emitted at least one segment
 
 	// flusher-goroutine state: the segment under construction and one spare
-	// dirty map per shard, swapped in while the taken map is drained, so
-	// steady-state flushing allocates only the emitted segments.
+	// dirty map per shard, swapped in while the taken map is drained;
+	// emitted segments travel in pooled buffers (segPool), so steady-state
+	// flushing is allocation-free.
 	batch  *wire.Batch
 	spares []map[addr.Channel]uint32
 }
@@ -138,13 +139,14 @@ func (b *batcher) flush() {
 }
 
 // emit hands the segment under construction to the upstream neighbor's
-// bounded output queue.
+// bounded output queue in a pooled buffer, recycled by the writer after the
+// socket write — steady-state flushing allocates nothing.
 func (b *batcher) emit() {
 	if b.batch.Len() == 0 {
 		return
 	}
-	seg := make([]byte, b.batch.Size())
-	copy(seg, b.batch.Bytes())
+	seg := getSeg()
+	*seg = append(*seg, b.batch.Bytes()...)
 	b.out.enqueue(seg)
 	b.batch.Reset()
 }

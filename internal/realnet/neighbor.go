@@ -22,7 +22,10 @@ type neighbor struct {
 	id   int
 	conn net.Conn
 
-	out      chan []byte // encoded segments awaiting the writer
+	// out carries pooled segment buffers (see segPool); ownership passes to
+	// the writer, which returns each buffer to the pool after the socket
+	// write (or on drop).
+	out      chan *[]byte
 	deadline time.Duration
 
 	segs  atomic.Uint64 // segments accepted into the queue
@@ -36,7 +39,7 @@ func newNeighbor(id int, conn net.Conn, queueLen int, deadline time.Duration) *n
 	n := &neighbor{
 		id:       id,
 		conn:     conn,
-		out:      make(chan []byte, queueLen),
+		out:      make(chan *[]byte, queueLen),
 		deadline: deadline,
 		done:     make(chan struct{}),
 	}
@@ -44,13 +47,16 @@ func newNeighbor(id int, conn net.Conn, queueLen int, deadline time.Duration) *n
 	return n
 }
 
-// enqueue offers a segment to the output queue without ever blocking.
-func (n *neighbor) enqueue(seg []byte) {
+// enqueue offers a pooled segment to the output queue without ever
+// blocking. On acceptance the writer owns the buffer; on drop it returns to
+// the pool immediately.
+func (n *neighbor) enqueue(seg *[]byte) {
 	select {
 	case n.out <- seg:
 		n.segs.Add(1)
 	default:
 		n.drops.Add(1)
+		putSeg(seg)
 	}
 }
 
@@ -70,12 +76,15 @@ func (n *neighbor) writer() {
 	for seg := range n.out {
 		if dead {
 			n.drops.Add(1)
+			putSeg(seg)
 			continue
 		}
 		if n.deadline > 0 {
 			n.conn.SetWriteDeadline(time.Now().Add(n.deadline))
 		}
-		if _, err := w.Write(seg); err != nil {
+		_, err := w.Write(*seg)
+		putSeg(seg)
+		if err != nil {
 			n.drops.Add(1)
 			dead = true
 			continue

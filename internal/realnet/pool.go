@@ -1,0 +1,34 @@
+package realnet
+
+import (
+	"bufio"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Buffer recycling for the wire path. The decode side already borrows from
+// the read buffer (wire codecs never allocate per message); these pools make
+// the remaining per-segment and per-connection buffers recycle too, so the
+// steady-state control plane neither allocates per event nor per flush.
+
+// segPool recycles encoded upstream segments between the batcher (producer)
+// and the neighbor writer goroutine (consumer). Capacity is one full
+// maximum-sized TCP segment — Section 5.3's packing unit — so a pooled
+// buffer always fits any batch the batcher emits.
+var segPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, wire.MaxSegment)
+		return &b
+	},
+}
+
+func getSeg() *[]byte  { return segPool.Get().(*[]byte) }
+func putSeg(b *[]byte) { *b = (*b)[:0]; segPool.Put(b) }
+
+// readerPool recycles the 64 KiB per-connection read buffers: neighbor
+// churn (benchmarks dial hundreds of short-lived connections) reuses
+// buffers instead of growing the heap by 64 KiB per accept.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 64<<10) },
+}

@@ -30,7 +30,6 @@ import (
 	"time"
 
 	"repro/internal/addr"
-	"repro/internal/fib"
 	"repro/internal/wire"
 )
 
@@ -166,6 +165,28 @@ func (r *Router) EventsByType() (uint64, uint64) { return r.table.eventsByType()
 // Channels returns the number of channels with state.
 func (r *Router) Channels() int { return r.table.numChannels() }
 
+// OIFMask returns the FIB outgoing-interface image for ch — the bitmask a
+// line card would hold for the channel. Interfaces ≥ fib.MaxInterfaces have
+// no bit (they are still counted in SubscriberCount).
+func (r *Router) OIFMask(ch addr.Channel) uint32 {
+	sh := r.table.shardFor(ch)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cs := sh.channels[ch]; cs != nil {
+		return cs.oifs
+	}
+	return 0
+}
+
+// NumNeighbors returns how many downstream neighbor connections have been
+// accepted. Neighbor ids are assigned in acceptance order, so tests can
+// dial sequentially and wait on this to pin a connection to an id.
+func (r *Router) NumNeighbors() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.conns)
+}
+
 // SubscriberCount returns the current aggregate subscriber count for ch
 // across all downstream neighbors (0 when the channel has no state).
 func (r *Router) SubscriberCount(ch addr.Channel) uint32 {
@@ -263,7 +284,12 @@ func (r *Router) acceptLoop() {
 // neighbor and processes each message.
 func (r *Router) readLoop(n *neighbor) {
 	defer r.readWG.Done()
-	br := bufio.NewReaderSize(n.conn, 64<<10)
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(n.conn)
+	defer func() {
+		br.Reset(nil)
+		readerPool.Put(br)
+	}()
 	var hdr [1]byte
 	buf := make([]byte, wire.CountAuthSize)
 	for {
@@ -329,12 +355,10 @@ func (r *Router) processCount(n *neighbor, m *wire.Count) {
 	// manipulation.
 	if m.Value == 0 {
 		delete(cs.downCounts, n.id)
-		if n.id < fib.MaxInterfaces {
-			cs.oifs &^= 1 << uint(n.id%fib.MaxInterfaces)
-		}
+		cs.clearOIF(n.id)
 	} else {
 		cs.downCounts[n.id] = m.Value
-		cs.oifs |= 1 << uint(n.id%fib.MaxInterfaces)
+		cs.setOIF(n.id)
 	}
 	var total uint32
 	for _, v := range cs.downCounts {

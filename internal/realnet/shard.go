@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/addr"
+	"repro/internal/fib"
 )
 
 // table is the sharded channel table: the single global mutex of the first
@@ -91,4 +92,23 @@ func (t *table) eventsByType() (subs, unsubs uint64) {
 		unsubs += sh.unsubscribes.Load()
 	}
 	return subs, unsubs
+}
+
+// setOIF and clearOIF maintain the channel's FIB outgoing-interface image.
+// Both sides apply the identical range guard: an interface beyond the
+// entry's 32-bit mask (Figure 5's "32 interfaces per router") simply has no
+// bit — it is tracked in downCounts but cannot appear in the fast-path
+// image. The first implementation guarded only the clear side while the set
+// side aliased id%32, so neighbor 33's subscribe permanently lit bit 1.
+
+func (cs *chanState) setOIF(id int) {
+	if id >= 0 && id < fib.MaxInterfaces {
+		cs.oifs |= 1 << uint(id)
+	}
+}
+
+func (cs *chanState) clearOIF(id int) {
+	if id >= 0 && id < fib.MaxInterfaces {
+		cs.oifs &^= 1 << uint(id)
+	}
 }

@@ -1,0 +1,139 @@
+package realnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/fib"
+)
+
+// TestChanStateOIFGuardSymmetry is the unit regression for the OIF-bit
+// aliasing bug: the subscribe path applied id%32 unguarded while the
+// unsubscribe path was guarded by id<32, so neighbor id 33 subscribing lit
+// bit 1 (33%32) and nothing ever cleared it. Both sides must now apply the
+// identical range guard.
+func TestChanStateOIFGuardSymmetry(t *testing.T) {
+	cs := &chanState{downCounts: make(map[int]uint32)}
+
+	// In-range ids behave like a plain bitmask.
+	cs.setOIF(0)
+	cs.setOIF(31)
+	if cs.oifs != 1|1<<31 {
+		t.Fatalf("oifs = %#x, want bits 0 and 31", cs.oifs)
+	}
+	cs.clearOIF(31)
+	if cs.oifs != 1 {
+		t.Fatalf("oifs = %#x after clear(31), want bit 0 only", cs.oifs)
+	}
+
+	// Out-of-range ids must be no-ops on BOTH sides: no aliasing on set, no
+	// aliasing on clear.
+	for _, id := range []int{fib.MaxInterfaces, 33, 64, 65, -1} {
+		before := cs.oifs
+		cs.setOIF(id)
+		if cs.oifs != before {
+			t.Errorf("setOIF(%d) changed mask %#x -> %#x (aliased)", id, before, cs.oifs)
+		}
+		cs.clearOIF(id)
+		if cs.oifs != before {
+			t.Errorf("clearOIF(%d) changed mask %#x -> %#x (aliased)", id, before, cs.oifs)
+		}
+	}
+	// Specifically the historical failure: id 33 must not touch bit 1.
+	cs.setOIF(1)
+	cs.setOIF(33)
+	cs.clearOIF(33)
+	if cs.oifs&(1<<1) == 0 {
+		t.Error("clearOIF(33) cleared bit 1 (33%32 aliasing)")
+	}
+	if cs.oifs != 1|1<<1 {
+		t.Errorf("oifs = %#x, want bits 0 and 1 only", cs.oifs)
+	}
+}
+
+// dialSequential connects n clients one at a time, waiting for the router
+// to accept each before dialing the next, so client i is neighbor id i.
+func dialSequential(t *testing.T, r *Router, n int) []*Client {
+	t.Helper()
+	clients := make([]*Client, n)
+	for i := range clients {
+		c, err := Dial(r.Addr())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients[i] = c
+		deadline := time.Now().Add(5 * time.Second)
+		for r.NumNeighbors() < i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("router accepted %d/%d connections", r.NumNeighbors(), i+1)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	return clients
+}
+
+func waitEvents(t *testing.T, r *Router, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Events() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("router processed %d/%d events", r.Events(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestOIFMaskBeyond32Neighbors drives the aliasing scenario over real
+// sockets: a router with 33 downstream neighbors. Neighbor 32's membership
+// is counted but can never appear in (or corrupt) the 32-bit FIB image.
+func TestOIFMaskBeyond32Neighbors(t *testing.T) {
+	r, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	clients := dialSequential(t, r, 33)
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(7)}
+
+	// Neighbor 32 subscribes: under the old code this aliased onto bit 0.
+	clients[32].Subscribe(ch)
+	clients[32].Flush()
+	waitEvents(t, r, 1)
+	if got := r.OIFMask(ch); got != 0 {
+		t.Fatalf("OIFMask = %#x after id-32 subscribe, want 0 (no alias)", got)
+	}
+	if got := r.SubscriberCount(ch); got != 1 {
+		t.Fatalf("SubscriberCount = %d, want 1 (still counted)", got)
+	}
+
+	// An in-range neighbor joins: exactly its bit appears.
+	clients[1].Subscribe(ch)
+	clients[1].Flush()
+	waitEvents(t, r, 2)
+	if got := r.OIFMask(ch); got != 1<<1 {
+		t.Fatalf("OIFMask = %#x, want bit 1 only", got)
+	}
+
+	// Neighbor 32 leaves: bit 1 must survive (the old clear guard happened
+	// to be correct, but the set-side alias it paired with is gone).
+	clients[32].Unsubscribe(ch)
+	clients[32].Flush()
+	waitEvents(t, r, 3)
+	if got := r.OIFMask(ch); got != 1<<1 {
+		t.Fatalf("OIFMask = %#x after id-32 unsubscribe, want bit 1 intact", got)
+	}
+	if got := r.SubscriberCount(ch); got != 1 {
+		t.Fatalf("SubscriberCount = %d, want 1", got)
+	}
+
+	clients[1].Unsubscribe(ch)
+	clients[1].Flush()
+	waitEvents(t, r, 4)
+	if got := r.OIFMask(ch); got != 0 {
+		t.Fatalf("OIFMask = %#x after all leave, want 0", got)
+	}
+}

@@ -1,5 +1,7 @@
 package wire
 
+import "fmt"
+
 // Batch packs ECMP messages into transport segments of at most MaxSegment
 // bytes. Section 5.3's bandwidth arithmetic depends on this packing:
 // "approximately 92 16-byte Count messages fit in a 1480-byte maximum-sized
@@ -40,7 +42,9 @@ func (b *Batch) Bytes() []byte { return b.buf }
 // Reset empties the batch for reuse.
 func (b *Batch) Reset() { b.buf = b.buf[:0]; b.msgs = 0 }
 
-// DecodeBatch parses a concatenated segment into messages.
+// DecodeBatch parses a concatenated segment into messages. It allocates one
+// Message per entry; hot paths that only care about Counts should use
+// WalkCounts, which decodes the same segment without allocating.
 func DecodeBatch(seg []byte) ([]Message, error) {
 	var out []Message
 	for len(seg) > 0 {
@@ -52,4 +56,43 @@ func DecodeBatch(seg []byte) ([]Message, error) {
 		seg = seg[n:]
 	}
 	return out, nil
+}
+
+// WalkCounts decodes a concatenated segment in place, invoking fn once per
+// Count (authenticated or not) and silently skipping interleaved queries and
+// responses. The Count is passed by value into fn — a pointer would escape
+// to the heap — so a full 92-Count segment decodes with zero allocations.
+// It returns the number of Counts delivered; on a malformed segment the
+// Counts preceding the error are still delivered.
+func WalkCounts(seg []byte, fn func(m Count)) (int, error) {
+	var (
+		cnt  Count
+		q    CountQuery
+		resp CountResponse
+		done int
+	)
+	for len(seg) > 0 {
+		var (
+			n   int
+			err error
+		)
+		switch seg[0] {
+		case TypeCount, TypeCountAuth:
+			if n, err = cnt.DecodeFromBytes(seg); err == nil {
+				fn(cnt)
+				done++
+			}
+		case TypeCountQuery:
+			n, err = q.DecodeFromBytes(seg)
+		case TypeCountResponse:
+			n, err = resp.DecodeFromBytes(seg)
+		default:
+			err = fmt.Errorf("%w: %d", ErrBadType, seg[0])
+		}
+		if err != nil {
+			return done, err
+		}
+		seg = seg[n:]
+	}
+	return done, nil
 }

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// fullSegment packs CountsPerSegment (92) Counts into one maximum-sized
+// segment, the Section 5.3 unit the batcher ships upstream.
+func fullSegment(tb testing.TB) []byte {
+	tb.Helper()
+	b := NewBatch()
+	for i := 0; i < CountsPerSegment; i++ {
+		m := Count{
+			Channel: addr.Channel{S: addr.Addr(0x0a000001 + i), E: addr.ExpressAddr(uint32(i + 1))},
+			CountID: CountSubscribers,
+			Seq:     uint16(i),
+			Value:   uint32(i * 3),
+		}
+		if !b.Add(&m) {
+			tb.Fatalf("segment full after %d counts, want %d", i, CountsPerSegment)
+		}
+	}
+	seg := make([]byte, len(b.Bytes()))
+	copy(seg, b.Bytes())
+	return seg
+}
+
+func TestWalkCountsMatchesDecodeBatch(t *testing.T) {
+	seg := fullSegment(t)
+
+	want, err := DecodeBatch(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Count
+	n, err := WalkCounts(seg, func(m Count) { got = append(got, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) || len(got) != len(want) {
+		t.Fatalf("WalkCounts delivered %d (collected %d), DecodeBatch %d", n, len(got), len(want))
+	}
+	for i, m := range want {
+		if *m.(*Count) != got[i] {
+			t.Fatalf("count %d: walk %+v != batch %+v", i, got[i], *m.(*Count))
+		}
+	}
+}
+
+func TestWalkCountsSkipsNonCounts(t *testing.T) {
+	var seg []byte
+	seg = (&CountQuery{Channel: addr.Channel{S: 1, E: addr.ExpressAddr(2)}, CountID: CountSubscribers, Seq: 9}).AppendTo(seg)
+	seg = (&Count{Channel: addr.Channel{S: 1, E: addr.ExpressAddr(2)}, CountID: CountSubscribers, Value: 5}).AppendTo(seg)
+	seg = (&CountResponse{Channel: addr.Channel{S: 1, E: addr.ExpressAddr(2)}, Status: StatusOK}).AppendTo(seg)
+	seg = (&Count{Channel: addr.Channel{S: 3, E: addr.ExpressAddr(4)}, CountID: CountSubscribers, Value: 7, HasKey: true, Key: Key{1, 2, 3}}).AppendTo(seg)
+
+	var vals []uint32
+	n, err := WalkCounts(seg, func(m Count) { vals = append(vals, m.Value) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(vals) != 2 || vals[0] != 5 || vals[1] != 7 {
+		t.Fatalf("got %d counts %v, want values [5 7]", n, vals)
+	}
+}
+
+func TestWalkCountsMalformed(t *testing.T) {
+	seg := (&Count{Channel: addr.Channel{S: 1, E: addr.ExpressAddr(2)}, Value: 1}).AppendTo(nil)
+
+	// Unknown type byte after one valid Count: the valid prefix is delivered.
+	bad := append(append([]byte{}, seg...), 0xff)
+	n, err := WalkCounts(bad, func(Count) {})
+	if !errors.Is(err, ErrBadType) || n != 1 {
+		t.Fatalf("n=%d err=%v, want 1 ErrBadType", n, err)
+	}
+
+	// Truncated trailing Count.
+	trunc := append(append([]byte{}, seg...), seg[:CountSize-1]...)
+	n, err = WalkCounts(trunc, func(Count) {})
+	if !errors.Is(err, ErrShort) || n != 1 {
+		t.Fatalf("n=%d err=%v, want 1 ErrShort", n, err)
+	}
+}
+
+// TestWalkCountsZeroAlloc is the acceptance check: decoding a full 92-Count
+// segment through WalkCounts must not allocate.
+func TestWalkCountsZeroAlloc(t *testing.T) {
+	seg := fullSegment(t)
+	var sum uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		n, err := WalkCounts(seg, func(m Count) { sum += uint64(m.Value) })
+		if err != nil || n != CountsPerSegment {
+			t.Fatalf("n=%d err=%v", n, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("WalkCounts allocated %.1f/op, want 0", allocs)
+	}
+	_ = sum
+}
+
+func BenchmarkWalkCountsSegment(b *testing.B) {
+	seg := fullSegment(b)
+	b.SetBytes(int64(len(seg)))
+	b.ReportAllocs()
+	var sum uint64
+	for i := 0; i < b.N; i++ {
+		WalkCounts(seg, func(m Count) { sum += uint64(m.Value) })
+	}
+	_ = sum
+}
+
+func BenchmarkDecodeBatchSegment(b *testing.B) {
+	seg := fullSegment(b)
+	b.SetBytes(int64(len(seg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DecodeBatch(seg)
+	}
+}
