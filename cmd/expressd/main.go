@@ -27,13 +27,17 @@ func main() {
 	upstream := flag.String("upstream", "", "upstream expressd to forward aggregate Counts to")
 	shards := flag.Int("shards", 0, "channel-table shards (0 = default)")
 	flushInterval := flag.Duration("flush-interval", 0, "upstream batcher age trigger (0 = default)")
+	keepalive := flag.Duration("keepalive", 0, "neighbor liveness probe interval; enables the silent-neighbor reaper and upstream keepalives (0 disables)")
+	keepaliveMisses := flag.Int("keepalive-misses", 0, "missed probe budget before a silent neighbor's counts are withdrawn (0 = default)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "interval between stats lines (0 disables)")
 	flag.Parse()
 
 	r, err := realnet.NewRouterOpts(*listen, realnet.Options{
-		Upstream:      *upstream,
-		Shards:        *shards,
-		FlushInterval: *flushInterval,
+		Upstream:          *upstream,
+		Shards:            *shards,
+		FlushInterval:     *flushInterval,
+		KeepaliveInterval: *keepalive,
+		KeepaliveMisses:   *keepaliveMisses,
 	})
 	if err != nil {
 		log.Fatalf("expressd: %v", err)
@@ -46,9 +50,11 @@ func main() {
 			for range time.Tick(*statsEvery) {
 				st := r.Stats()
 				log.Printf("expressd: channels=%d events=%d (+%d) subscribes=%d unsubscribes=%d "+
-					"up-counts=%d up-segments=%d up-drops=%d",
+					"up-counts=%d up-segments=%d up-drops=%d "+
+					"nbr-failures=%d withdrawn=%d resyncs=%d up-reconnects=%d",
 					st.Channels, st.Events, st.Events-last, st.Subscribes, st.Unsubscribes,
-					st.UpstreamCounts, st.UpstreamSegments, st.UpstreamDrops)
+					st.UpstreamCounts, st.UpstreamSegments, st.UpstreamDrops,
+					st.NeighborFailures, st.WithdrawnCounts, st.SessionResyncs, st.UpstreamReconnects)
 				last = st.Events
 			}
 		}()

@@ -15,12 +15,20 @@
 //
 //	expressd -listen 127.0.0.1:4701 &
 //	loadgen -target 127.0.0.1:4701 -conns 8 -duration 5s
+//
+// Fault-injection mode (experiment E8): -flap runs the churn over resilient
+// Sessions and keeps resetting their live connections at the given mean
+// interval; after the churn stops it reports reconnect totals and how long
+// the router takes to converge back to the exact per-session desired state.
+//
+//	loadgen -conns 8 -duration 10s -flap 500ms
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -38,6 +46,7 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "churn duration")
 	space := flag.Int("space", 4096, "channels per connection (cycled)")
 	flushEvery := flag.Int("flush", 512, "events buffered per connection before a flush")
+	flap := flag.Duration("flap", 0, "mean interval between injected connection resets (0 disables fault injection)")
 	flag.Parse()
 
 	var r *realnet.Router
@@ -53,6 +62,11 @@ func main() {
 		log.Printf("loadgen: in-process router on %s with %d shards", addrStr, *shards)
 	} else {
 		log.Printf("loadgen: driving external router at %s", addrStr)
+	}
+
+	if *flap > 0 {
+		runFlap(addrStr, r, *conns, *duration, *space, *flushEvery, *flap)
+		return
 	}
 
 	src := addr.MustParse("171.64.1.1")
@@ -117,4 +131,157 @@ func main() {
 		fmt.Printf("live channels    %12d\n", st.Channels)
 	}
 	os.Exit(0)
+}
+
+// connTap holds the fault handle of a session's current connection; the
+// FaultDialer callback replaces it on every (re)connect, so the flapper
+// always resets the live link.
+type connTap struct {
+	mu sync.Mutex
+	fc *realnet.FaultConn
+}
+
+func (tp *connTap) set(fc *realnet.FaultConn) {
+	tp.mu.Lock()
+	tp.fc = fc
+	tp.mu.Unlock()
+}
+
+func (tp *connTap) reset() bool {
+	tp.mu.Lock()
+	fc := tp.fc
+	tp.mu.Unlock()
+	if fc == nil {
+		return false
+	}
+	fc.Reset()
+	return true
+}
+
+// runFlap is the fault-injection mode: churn over resilient Sessions while a
+// flapper goroutine keeps killing their connections, then measure how long
+// the router takes to converge back to the exact desired state.
+func runFlap(addrStr string, r *realnet.Router, conns int, duration time.Duration, space, flushEvery int, flap time.Duration) {
+	src := addr.MustParse("171.64.1.1")
+	taps := make([]*connTap, conns)
+	sessions := make([]*realnet.Session, conns)
+	for i := range sessions {
+		tp := &connTap{}
+		taps[i] = tp
+		s, err := realnet.DialSession(addrStr, realnet.SessionOptions{
+			KeepaliveInterval: 50 * time.Millisecond,
+			ReconnectBase:     5 * time.Millisecond,
+			ReconnectMax:      250 * time.Millisecond,
+			Dial:              realnet.FaultDialer(tp.set),
+		})
+		if err != nil {
+			log.Fatalf("loadgen: session %d: %v", i, err)
+		}
+		defer s.Close()
+		sessions[i] = s
+	}
+
+	var sent atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *realnet.Session) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					s.Flush()
+					return
+				default:
+				}
+				ch := addr.Channel{S: src, E: addr.ExpressAddr(uint32(i)<<16 | uint32(j%space))}
+				// Never zero: every touched channel stays in the desired
+				// state, so convergence below checks real counts.
+				s.SendCount(ch, uint32(j%7)+1)
+				sent.Add(1)
+				if j%flushEvery == flushEvery-1 {
+					s.Flush()
+				}
+			}
+		}(i, s)
+	}
+
+	var resets atomic.Uint64
+	flapDone := make(chan struct{})
+	go func() {
+		defer close(flapDone)
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		for {
+			pause := flap/2 + time.Duration(rng.Int63n(int64(flap)))
+			select {
+			case <-stop:
+				return
+			case <-time.After(pause):
+			}
+			if taps[rng.Intn(len(taps))].reset() {
+				resets.Add(1)
+			}
+		}
+	}()
+
+	start := time.Now()
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	<-flapDone
+	elapsed := time.Since(start)
+
+	// Recovery: with the flapper quiet, every session reconnects and resyncs;
+	// the router must converge to the exact union of the desired states.
+	var recovery time.Duration
+	converged := true
+	if r != nil {
+		recoveryStart := time.Now()
+		deadline := recoveryStart.Add(30 * time.Second)
+		for !sessionsConverged(r, sessions) {
+			if time.Now().After(deadline) {
+				converged = false
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		recovery = time.Since(recoveryStart)
+	}
+
+	var reconnects uint64
+	for _, s := range sessions {
+		reconnects += s.Reconnects()
+	}
+	fmt.Printf("conns=%d duration=%v flap=%v GOMAXPROCS=%d\n",
+		conns, elapsed.Round(time.Millisecond), flap, runtime.GOMAXPROCS(0))
+	fmt.Printf("events sent      %12d\n", sent.Load())
+	fmt.Printf("events/second    %12.0f\n", float64(sent.Load())/elapsed.Seconds())
+	fmt.Printf("resets injected  %12d\n", resets.Load())
+	fmt.Printf("reconnects       %12d\n", reconnects)
+	if r != nil {
+		st := r.Stats()
+		fmt.Printf("withdrawals      %12d (neighbor failures %d, resyncs %d)\n",
+			st.WithdrawnCounts, st.NeighborFailures, st.SessionResyncs)
+		fmt.Printf("recovery time    %12v\n", recovery.Round(time.Millisecond))
+		if !converged {
+			log.Fatal("loadgen: router did not converge to the sessions' desired state")
+		}
+		fmt.Printf("converged        %12s\n", "exact")
+	}
+	os.Exit(0)
+}
+
+// sessionsConverged reports whether the router's per-channel aggregates
+// match every session's desired state exactly. Channel spaces are disjoint
+// per connection, so each channel has a single owning session.
+func sessionsConverged(r *realnet.Router, sessions []*realnet.Session) bool {
+	for _, s := range sessions {
+		for ch, v := range s.State() {
+			if r.SubscriberCount(ch) != v {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -21,6 +21,7 @@ func quietConfig() ecmp.Config {
 // 3-router path: host Count, per-hop processing, FIB updates, teardown.
 func BenchmarkSubscribeUnsubscribe(b *testing.B) {
 	n := testutil.LineNet(90, 3, quietConfig())
+	defer n.Close()
 	src := n.AddSource(n.Routers[0])
 	sub := n.AddSubscriber(n.Routers[2])
 	n.Start()
@@ -40,6 +41,7 @@ func BenchmarkSubscribeUnsubscribe(b *testing.B) {
 // tree to 8 subscribers, end to end in the simulator.
 func BenchmarkTreeDelivery(b *testing.B) {
 	n := testutil.TreeNet(92, 3, quietConfig())
+	defer n.Close()
 	src := n.AddSource(n.Routers[0])
 	leaves := n.Routers[len(n.Routers)-8:]
 	subs := make([]*express.Subscriber, 0, 8)
@@ -74,6 +76,7 @@ func BenchmarkTreeDelivery(b *testing.B) {
 // over a depth-4 tree with 16 subscribers.
 func BenchmarkCountQueryTree(b *testing.B) {
 	n := testutil.TreeNet(94, 4, quietConfig())
+	defer n.Close()
 	src := n.AddSource(n.Routers[0])
 	leaves := n.Routers[len(n.Routers)-16:]
 	subs := make([]*express.Subscriber, 0, 16)
@@ -105,6 +108,7 @@ func BenchmarkCountQueryTree(b *testing.B) {
 // millions of multicast channels", in miniature.
 func BenchmarkChannelScale(b *testing.B) {
 	n := testutil.LineNet(95, 2, quietConfig())
+	defer n.Close()
 	src := n.AddSource(n.Routers[0])
 	sub := n.AddSubscriber(n.Routers[1])
 	n.Start()

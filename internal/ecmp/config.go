@@ -150,5 +150,7 @@ func (m *Metrics) ControlMessages() uint64 {
 const countKeyInstall wire.CountID = 0x8003
 
 // keepaliveCountID is the TCP-mode per-neighbor keepalive, encoded as a
-// network-layer Count so no fourth message type is needed.
-const keepaliveCountID wire.CountID = 0x8004
+// network-layer Count so no fourth message type is needed. It aliases the
+// shared wire constant so the simulated routers and the realnet sessions
+// speak the same id.
+const keepaliveCountID = wire.CountKeepalive

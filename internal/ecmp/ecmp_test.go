@@ -252,6 +252,7 @@ func TestTreeVsEagerControlCost(t *testing.T) {
 		cfg.QueryInterval = 3600 * netsim.Second
 		cfg.KeepaliveInterval = 3600 * netsim.Second
 		n := testutil.LineNet(66, 4, cfg)
+		defer n.Close()
 		src := n.AddSource(n.Routers[0])
 		subs := make([]*express.Subscriber, 8)
 		for i := range subs {

@@ -1,0 +1,131 @@
+package ecmp
+
+// Internal-package tests for the router lifecycle fixes: Close must stop the
+// periodic reschedule chains (they used to fire forever, bloating any
+// long-lived simulation that built many routers), and discovered router
+// neighbors must age out instead of living forever on a stale timestamp.
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/netsim"
+	"repro/internal/unicast"
+)
+
+// tickNet builds two connected ECMP routers with periodic machinery armed:
+// a UDP-mode interface (query tick), TCP keepalives, and neighbor discovery.
+func tickNet(cfg Config) (*netsim.Sim, *Router, *Router) {
+	sim := netsim.New(1)
+	an := sim.AddNode(addr.MustParse("10.0.0.1"), "a")
+	bn := sim.AddNode(addr.MustParse("10.0.0.2"), "b")
+	_, aIf, _ := sim.Connect(an, bn, netsim.Millisecond, 0, 1)
+	rt := unicast.Compute(sim)
+	a := NewRouter(an, rt, cfg)
+	b := NewRouter(bn, rt, cfg)
+	a.SetIfaceMode(aIf, ModeUDP)
+	return sim, a, b
+}
+
+// TestRouterCloseStopsTimers verifies Close freezes a router: no more
+// periodic queries or keepalives, and — once every router on the simulator
+// is closed — the event queue drains completely instead of rescheduling to
+// the end of time.
+func TestRouterCloseStopsTimers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableNeighborDiscovery = true
+	sim, a, b := tickNet(cfg)
+	a.Start()
+	b.Start()
+
+	sim.RunUntil(5 * cfg.QueryInterval)
+	// a's interface runs UDP mode (periodic queries); b's runs the TCP
+	// default (keepalives).
+	before, beforeB := a.Metrics(), b.Metrics()
+	if before.QueriesSent == 0 {
+		t.Fatal("no periodic queries before Close; the fixture is wrong")
+	}
+	if beforeB.KeepalivesSent == 0 {
+		t.Fatal("no keepalives before Close; the fixture is wrong")
+	}
+
+	a.Close()
+	b.Close()
+	sim.RunUntil(50 * cfg.QueryInterval)
+	after, afterB := a.Metrics(), b.Metrics()
+	if after.QueriesSent != before.QueriesSent {
+		t.Errorf("queries kept flowing after Close: %d -> %d", before.QueriesSent, after.QueriesSent)
+	}
+	if afterB.KeepalivesSent != beforeB.KeepalivesSent {
+		t.Errorf("keepalives kept flowing after Close: %d -> %d", beforeB.KeepalivesSent, afterB.KeepalivesSent)
+	}
+	if p := sim.Pending(); p != 0 {
+		t.Errorf("%d events still pending after all routers closed, want 0", p)
+	}
+	a.Close() // idempotent
+}
+
+// TestRouterNeighborAging verifies discovered router neighbors expire after
+// routerNeighborRounds missed discovery intervals — both lazily on lookup
+// and via the periodic prune — and that a refresh restarts the clock.
+func TestRouterNeighborAging(t *testing.T) {
+	cfg := DefaultConfig()
+	sim, a, _ := tickNet(cfg)
+	nbr := addr.MustParse("10.0.0.2")
+	ttl := routerNeighborRounds * cfg.QueryInterval
+
+	a.noteRouterNeighbor(0, nbr)
+	if !a.isRouterNeighbor(0, nbr) {
+		t.Fatal("fresh entry not recognized")
+	}
+	if got := a.RouterNeighbors()[0]; len(got) != 1 {
+		t.Fatalf("RouterNeighbors = %v, want one entry", got)
+	}
+
+	// A refresh inside the TTL keeps the entry alive past the original
+	// deadline.
+	sim.RunUntil(ttl / 2)
+	a.noteRouterNeighbor(0, nbr)
+	sim.RunUntil(ttl)
+	if !a.isRouterNeighbor(0, nbr) {
+		t.Error("refreshed entry expired on the original clock")
+	}
+
+	// Past the refreshed TTL the entry is gone: filtered from the exported
+	// view and lazily deleted on lookup.
+	sim.RunUntil(ttl/2 + ttl + netsim.Millisecond)
+	if got := a.RouterNeighbors()[0]; len(got) != 0 {
+		t.Errorf("RouterNeighbors = %v after TTL, want none", got)
+	}
+	if a.isRouterNeighbor(0, nbr) {
+		t.Error("expired entry still recognized")
+	}
+	if _, ok := a.nbrRouters[0][nbr]; ok {
+		t.Error("lazy lookup did not delete the expired entry")
+	}
+
+	// The discovery tick prunes entries on interfaces nothing queries
+	// through anymore.
+	a.noteRouterNeighbor(1, nbr)
+	sim.RunUntil(sim.Now() + ttl + netsim.Millisecond)
+	a.pruneRouterNeighbors()
+	if len(a.nbrRouters[1]) != 0 {
+		t.Error("prune left an expired entry behind")
+	}
+}
+
+// TestRouterNeighborAgingDisabled pins the QueryInterval<=0 escape hatch:
+// with no periodic queries nothing would ever refresh an entry, so expiry
+// must be off.
+func TestRouterNeighborAgingDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryInterval = 0
+	sim, a, _ := tickNet(cfg)
+	nbr := addr.MustParse("10.0.0.2")
+
+	a.noteRouterNeighbor(0, nbr)
+	sim.RunUntil(1000 * netsim.Second)
+	if !a.isRouterNeighbor(0, nbr) {
+		t.Error("entry expired with aging disabled")
+	}
+}

@@ -11,6 +11,9 @@ import (
 // retransmissions from all hosts for all channels, like an IGMP general
 // query) and expire memberships that were not refreshed.
 func (r *Router) udpQueryTick() {
+	if r.stopped {
+		return
+	}
 	now := r.node.Sim().Now()
 	for i := 0; i < r.node.NumIfaces(); i++ {
 		if r.ifmode[i] != ModeUDP || !r.node.IfaceUp(i) {
@@ -22,7 +25,7 @@ func (r *Router) udpQueryTick() {
 		})
 	}
 	r.expireMemberships(now)
-	r.node.Sim().After(r.cfg.QueryInterval, r.udpQueryTick)
+	r.qTimer = r.node.Sim().After(r.cfg.QueryInterval, r.udpQueryTick)
 }
 
 // expireMemberships drops UDP-mode neighbors whose refresh deadline passed.
@@ -61,6 +64,9 @@ func (r *Router) expireMemberships(now netsim.Time) {
 // sufficient to detect a connection failure" — and withdrawal of the counts
 // of neighbors that went silent.
 func (r *Router) keepaliveTick() {
+	if r.stopped {
+		return
+	}
 	now := r.node.Sim().Now()
 	deadAfter := netsim.Time(r.cfg.KeepaliveMisses) * r.cfg.KeepaliveInterval
 
@@ -93,7 +99,7 @@ func (r *Router) keepaliveTick() {
 		delete(r.nbrAlive, nbr)
 		r.dropNeighbor(nbr)
 	}
-	r.node.Sim().After(r.cfg.KeepaliveInterval, r.keepaliveTick)
+	r.kaTimer = r.node.Sim().After(r.cfg.KeepaliveInterval, r.keepaliveTick)
 }
 
 // dropNeighbor withdraws every count contributed by a failed neighbor.
@@ -134,6 +140,10 @@ func (r *Router) ifaceOnTCP(ifindex int) bool { return r.ifmode[ifindex] == Mode
 // CountQuery (Section 3.3), letting routers find each other and establish
 // connections.
 func (r *Router) neighborDiscoveryTick() {
+	if r.stopped {
+		return
+	}
+	r.pruneRouterNeighbors()
 	for i := 0; i < r.node.NumIfaces(); i++ {
 		if !r.node.IfaceUp(i) {
 			continue
@@ -143,5 +153,5 @@ func (r *Router) neighborDiscoveryTick() {
 			CountID: wire.CountNeighbors,
 		})
 	}
-	r.node.Sim().After(r.cfg.QueryInterval, r.neighborDiscoveryTick)
+	r.ndTimer = r.node.Sim().After(r.cfg.QueryInterval, r.neighborDiscoveryTick)
 }

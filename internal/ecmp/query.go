@@ -236,6 +236,21 @@ func (r *Router) sendChannelQuery(ifindex int, ch addr.Channel) {
 	})
 }
 
+// routerNeighborRounds is how many discovery rounds a router neighbor may
+// miss before its entry expires: entries were timestamped but never aged, so
+// a router that moved away (or a renumbered interface) stayed a "router
+// neighbor" forever and kept receiving forwarded queries.
+const routerNeighborRounds = 3
+
+// routerNeighborTTL is the entry lifetime; 0 (no periodic queries) disables
+// expiry, since nothing would ever refresh the entries.
+func (r *Router) routerNeighborTTL() netsim.Time {
+	if r.cfg.QueryInterval <= 0 {
+		return 0
+	}
+	return routerNeighborRounds * r.cfg.QueryInterval
+}
+
 func (r *Router) noteRouterNeighbor(ifindex int, nbr addr.Addr) {
 	m := r.nbrRouters[ifindex]
 	if m == nil {
@@ -246,15 +261,46 @@ func (r *Router) noteRouterNeighbor(ifindex int, nbr addr.Addr) {
 }
 
 func (r *Router) isRouterNeighbor(ifindex int, nbr addr.Addr) bool {
-	_, ok := r.nbrRouters[ifindex][nbr]
-	return ok
+	seen, ok := r.nbrRouters[ifindex][nbr]
+	if !ok {
+		return false
+	}
+	if ttl := r.routerNeighborTTL(); ttl > 0 && r.node.Sim().Now()-seen > ttl {
+		delete(r.nbrRouters[ifindex], nbr)
+		return false
+	}
+	return true
 }
 
-// RouterNeighbors returns the discovered router neighbors per interface.
+// pruneRouterNeighbors drops entries that outlived the TTL; called from the
+// discovery tick so departed routers also age out of interfaces nothing
+// queries through anymore.
+func (r *Router) pruneRouterNeighbors() {
+	ttl := r.routerNeighborTTL()
+	if ttl <= 0 {
+		return
+	}
+	now := r.node.Sim().Now()
+	for _, m := range r.nbrRouters {
+		for nbr, seen := range m {
+			if now-seen > ttl {
+				delete(m, nbr)
+			}
+		}
+	}
+}
+
+// RouterNeighbors returns the discovered router neighbors per interface,
+// excluding entries past their TTL.
 func (r *Router) RouterNeighbors() map[int][]addr.Addr {
+	ttl := r.routerNeighborTTL()
+	now := r.node.Sim().Now()
 	out := make(map[int][]addr.Addr, len(r.nbrRouters))
 	for ifi, m := range r.nbrRouters {
-		for a := range m {
+		for a, seen := range m {
+			if ttl > 0 && now-seen > ttl {
+				continue
+			}
 			out[ifi] = append(out[ifi], a)
 		}
 	}

@@ -33,6 +33,11 @@ type Router struct {
 	metrics  Metrics
 	querySeq uint16
 	routeVer uint64
+	// stopped halts the periodic reschedule chains; set by Close.
+	stopped bool
+	// The live periodic timers, held so Close can cancel them (each tick
+	// replaces its own entry when it reschedules).
+	qTimer, kaTimer, ndTimer *netsim.Timer
 	// domain is the administrative domain for transit accounting
 	// (Section 3.1's locally-defined countIds); 0 means unassigned.
 	domain uint16
@@ -141,13 +146,38 @@ func NewRouter(node *netsim.Node, rt *unicast.Routing, cfg Config) *Router {
 // configured.
 func (r *Router) Start() {
 	if r.cfg.QueryInterval > 0 {
-		r.node.Sim().After(r.jitter(r.cfg.QueryInterval), r.udpQueryTick)
+		r.qTimer = r.node.Sim().After(r.jitter(r.cfg.QueryInterval), r.udpQueryTick)
 	}
 	if r.cfg.KeepaliveInterval > 0 {
-		r.node.Sim().After(r.jitter(r.cfg.KeepaliveInterval), r.keepaliveTick)
+		r.kaTimer = r.node.Sim().After(r.jitter(r.cfg.KeepaliveInterval), r.keepaliveTick)
 	}
 	if r.cfg.EnableNeighborDiscovery {
-		r.node.Sim().After(r.jitter(r.cfg.QueryInterval), r.neighborDiscoveryTick)
+		r.ndTimer = r.node.Sim().After(r.jitter(r.cfg.QueryInterval), r.neighborDiscoveryTick)
+	}
+}
+
+// Close stops the router's periodic activity and cancels every outstanding
+// per-channel timer. Before it existed, the tick chains rescheduled forever:
+// a test (or experiment sweep) building hundreds of routers on one simulator
+// kept every dead router's queries and keepalives firing to the end of the
+// run. Close is idempotent; a closed router still forwards and answers, it
+// just originates nothing on its own.
+func (r *Router) Close() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	r.qTimer.Stop()
+	r.kaTimer.Stop()
+	r.ndTimer.Stop()
+	for _, c := range r.channels {
+		c.switchTimer.Stop()
+		for _, pq := range c.pending {
+			pq.timer.Stop()
+		}
+		for _, cs := range c.counts {
+			cs.checkTimer.Stop()
+		}
 	}
 }
 

@@ -25,6 +25,7 @@ func TestTCPModeVsUDPModeRefreshCost(t *testing.T) {
 		cfg.HoldTime = 5 * netsim.Second
 		cfg.KeepaliveInterval = 2 * netsim.Second
 		n := testutil.LineNet(81, 3, cfg)
+		defer n.Close()
 		// Router-to-router interfaces get the mode under test; host edges
 		// stay UDP (hosts answer queries but don't speak keepalives).
 		for _, r := range n.Routers {
@@ -81,6 +82,7 @@ func TestRandomChurnInvariants(t *testing.T) {
 			cfg.QueryInterval = 3600 * netsim.Second
 			cfg.KeepaliveInterval = 3600 * netsim.Second
 			n := testutil.GridNet(seed, 4, 4, cfg)
+			defer n.Close()
 			src := n.AddSource(n.Routers[0])
 			rng := rand.New(rand.NewSource(seed))
 			subs := make([]*express.Subscriber, 12)

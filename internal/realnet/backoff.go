@@ -1,0 +1,30 @@
+package realnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoffDelay returns the pause before reconnect attempt (0-based):
+// exponential growth base·2^attempt capped at max, then jittered uniformly
+// into [delay/2, delay] so a whole subtree of neighbors cut off by one link
+// failure cannot synchronize their dial storms against the recovering
+// upstream. The lower bound keeps the schedule testable and guarantees the
+// cap is still an effective floor of max/2 between attempts.
+func backoffDelay(rng *rand.Rand, base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}

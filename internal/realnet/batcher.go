@@ -19,7 +19,7 @@ import (
 // zero↔non-zero transitions) affordable.
 type batcher struct {
 	table    *table
-	out      *neighbor
+	up       *upSession
 	interval time.Duration
 	trigger  int
 
@@ -41,10 +41,10 @@ type batcher struct {
 	spares []map[addr.Channel]uint32
 }
 
-func newBatcher(t *table, out *neighbor, interval time.Duration, trigger int) *batcher {
+func newBatcher(t *table, up *upSession, interval time.Duration, trigger int) *batcher {
 	b := &batcher{
 		table:    t,
-		out:      out,
+		up:       up,
 		interval: interval,
 		trigger:  trigger,
 		kick:     make(chan struct{}, 1),
@@ -138,15 +138,36 @@ func (b *batcher) flush() {
 	}
 }
 
-// emit hands the segment under construction to the upstream neighbor's
-// bounded output queue in a pooled buffer, recycled by the writer after the
-// socket write — steady-state flushing allocates nothing.
+// emit hands the segment under construction to the upstream session's
+// current connection in a pooled buffer, recycled by the writer after the
+// socket write — steady-state flushing allocates nothing. While the
+// upstream link is down the segment is dropped and accounted; the
+// full-state resync after reconnection repairs whatever was lost.
 func (b *batcher) emit() {
 	if b.batch.Len() == 0 {
 		return
 	}
 	seg := getSeg()
 	*seg = append(*seg, b.batch.Bytes()...)
-	b.out.enqueue(seg)
+	b.up.enqueue(seg)
 	b.batch.Reset()
+}
+
+// markAll marks every live channel dirty with its current aggregate — the
+// full-state replay sent after the upstream session reconnects (Section
+// 3.2's count re-addition on recovery). Channels that went to zero while
+// the link was down need no tombstone: the upstream withdrew this whole
+// session's contribution when it accepted the new epoch, so absence from
+// the replay already means zero there.
+func (b *batcher) markAll() {
+	for _, sh := range b.table.shards {
+		sh.mu.Lock()
+		for ch, cs := range sh.channels {
+			total := cs.total()
+			cs.advertised = total
+			cs.everAdv = true
+			b.markLocked(sh, ch, total)
+		}
+		sh.mu.Unlock()
+	}
 }

@@ -10,7 +10,10 @@ import (
 
 // Client is a neighbor that streams membership events to a Router — the
 // "eight active Ethernet neighbors continuously sending subscribe and
-// unsubscribe events" of the Section 5.3 measurement.
+// unsubscribe events" of the Section 5.3 measurement. A Client is a bare
+// connection: when it drops, the router withdraws its counts and nothing
+// reconnects. Wrap the link in a Session for the fault-tolerant behaviour
+// of Section 3.2 (reconnect, resync, keepalives).
 type Client struct {
 	conn net.Conn
 	w    *bufio.Writer
@@ -24,14 +27,20 @@ func Dial(routerAddr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	if tc, ok := c.(*net.TCPConn); ok {
+	return newClient(c), nil
+}
+
+// newClient wraps an established connection (the Session reconnect path
+// reuses this with fault-injected or deadline-wrapped conns).
+func newClient(conn net.Conn) *Client {
+	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(false) // allow batching, as TCP-mode ECMP intends
 	}
 	return &Client{
-		conn: c,
-		w:    bufio.NewWriterSize(c, wire.MaxSegment),
+		conn: conn,
+		w:    bufio.NewWriterSize(conn, wire.MaxSegment),
 		buf:  make([]byte, 0, wire.CountAuthSize),
-	}, nil
+	}
 }
 
 // Subscribe sends a subscription Count for ch.
@@ -55,14 +64,39 @@ func (c *Client) sendCount(ch addr.Channel, v uint32) error {
 	return nil
 }
 
+// sendHello opens a session on the connection; it must precede any Count.
+func (c *Client) sendHello(h *wire.Hello) error {
+	c.buf = h.AppendTo(c.buf[:0])
+	_, err := c.w.Write(c.buf)
+	return err
+}
+
+// sendKeepalive proves liveness to the router's reaper without touching
+// any channel state.
+func (c *Client) sendKeepalive() error {
+	m := wire.Count{
+		Channel: addr.Channel{S: addr.LocalhostSource, E: addr.ExpressBase},
+		CountID: wire.CountKeepalive,
+		Value:   1,
+	}
+	c.buf = m.AppendTo(c.buf[:0])
+	_, err := c.w.Write(c.buf)
+	return err
+}
+
 // Flush pushes buffered events to the router.
 func (c *Client) Flush() error { return c.w.Flush() }
 
 // Sent returns the number of events written.
 func (c *Client) Sent() uint64 { return c.sent }
 
-// Close flushes and closes the connection.
+// Close flushes and closes the connection. A flush failure is reported —
+// buffered membership events never reached the router — but a failed close
+// takes precedence, since then the connection's fate itself is unknown.
 func (c *Client) Close() error {
-	c.w.Flush()
-	return c.conn.Close()
+	ferr := c.w.Flush()
+	if cerr := c.conn.Close(); cerr != nil {
+		return cerr
+	}
+	return ferr
 }

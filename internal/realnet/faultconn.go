@@ -1,0 +1,219 @@
+package realnet
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Fault-injection errors, distinguishable from real socket errors in tests.
+var (
+	// ErrInjectedReset is returned by a FaultConn after Reset: the
+	// connection behaves as if the peer sent RST.
+	ErrInjectedReset = errors.New("realnet: injected connection reset")
+	// ErrInjectedPartial is returned by a FaultConn write truncated by
+	// LimitWrites: some bytes were written, then the socket "failed".
+	ErrInjectedPartial = errors.New("realnet: injected partial write")
+)
+
+// FaultConn wraps a net.Conn and injects failures deterministically, so the
+// partition/reconnect/flap tests can exercise every failure mode of the
+// session layer without depending on kernel timing:
+//
+//   - Reset() makes all subsequent I/O fail immediately (and closes the
+//     underlying socket, so the peer observes the failure too) — a crashed
+//     or RST-ing neighbor.
+//   - Stall() blocks writes without failing them — a partition or a
+//     wedged peer; the data simply never leaves. Writes unblock when
+//     Unstall or Reset is called, or when the recorded write deadline
+//     passes (returning os.ErrDeadlineExceeded like a real socket).
+//   - FailAfterWrites(n) lets n more writes succeed, then resets — a
+//     connection dying mid-stream at a byte position of the test's choosing.
+//   - LimitWrites(n) truncates every write to at most n bytes and fails it —
+//     a partial write, the hardest case for framed-stream senders.
+//
+// All knobs may be flipped concurrently with I/O.
+type FaultConn struct {
+	inner net.Conn
+
+	mu              sync.Mutex
+	reset           bool
+	resetCh         chan struct{} // closed by Reset; releases stalled writers
+	stallCh         chan struct{} // non-nil while stalled; closed by Unstall
+	failAfterWrites int           // -1 disabled; 0 means the next write resets
+	writeLimit      int           // >0: truncate-and-fail writes beyond this
+	writeDeadline   time.Time
+	closeOnce       sync.Once
+	closeErr        error
+}
+
+// NewFaultConn wraps inner. The zero configuration injects nothing: the
+// wrapper is transparent until a fault knob is flipped.
+func NewFaultConn(inner net.Conn) *FaultConn {
+	return &FaultConn{inner: inner, resetCh: make(chan struct{}), failAfterWrites: -1}
+}
+
+// Reset makes the connection fail: all subsequent reads and writes return
+// ErrInjectedReset, stalled writers are released, and the underlying socket
+// is closed so the peer sees the failure.
+func (c *FaultConn) Reset() {
+	c.mu.Lock()
+	if !c.reset {
+		c.reset = true
+		close(c.resetCh)
+	}
+	c.mu.Unlock()
+	c.inner.Close()
+}
+
+// Stall blocks subsequent writes until Unstall, Reset, or the write
+// deadline. Reads are unaffected (a stalled peer's silence is already
+// indistinguishable from an idle one).
+func (c *FaultConn) Stall() {
+	c.mu.Lock()
+	if c.stallCh == nil {
+		c.stallCh = make(chan struct{})
+	}
+	c.mu.Unlock()
+}
+
+// Unstall releases writers blocked by Stall.
+func (c *FaultConn) Unstall() {
+	c.mu.Lock()
+	if c.stallCh != nil {
+		close(c.stallCh)
+		c.stallCh = nil
+	}
+	c.mu.Unlock()
+}
+
+// FailAfterWrites lets n more writes succeed and then resets the
+// connection. n = 0 resets on the very next write.
+func (c *FaultConn) FailAfterWrites(n int) {
+	c.mu.Lock()
+	c.failAfterWrites = n
+	c.mu.Unlock()
+}
+
+// LimitWrites truncates every write longer than n bytes: the first n bytes
+// reach the socket, then the write fails with ErrInjectedPartial. n <= 0
+// disables the limit.
+func (c *FaultConn) LimitWrites(n int) {
+	c.mu.Lock()
+	c.writeLimit = n
+	c.mu.Unlock()
+}
+
+func (c *FaultConn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.reset
+	c.mu.Unlock()
+	if dead {
+		return 0, ErrInjectedReset
+	}
+	return c.inner.Read(b)
+}
+
+func (c *FaultConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.reset {
+		c.mu.Unlock()
+		return 0, ErrInjectedReset
+	}
+	stall := c.stallCh
+	deadline := c.writeDeadline
+	c.mu.Unlock()
+
+	if stall != nil {
+		var dlC <-chan time.Time
+		if !deadline.IsZero() {
+			t := time.NewTimer(time.Until(deadline))
+			defer t.Stop()
+			dlC = t.C
+		}
+		select {
+		case <-stall:
+		case <-c.resetCh:
+			return 0, ErrInjectedReset
+		case <-dlC:
+			return 0, os.ErrDeadlineExceeded
+		}
+	}
+
+	c.mu.Lock()
+	if c.reset {
+		c.mu.Unlock()
+		return 0, ErrInjectedReset
+	}
+	if c.failAfterWrites >= 0 {
+		if c.failAfterWrites == 0 {
+			c.mu.Unlock()
+			c.Reset()
+			return 0, ErrInjectedReset
+		}
+		c.failAfterWrites--
+	}
+	limit := c.writeLimit
+	c.mu.Unlock()
+
+	if limit > 0 && len(b) > limit {
+		n, err := c.inner.Write(b[:limit])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedPartial
+	}
+	return c.inner.Write(b)
+}
+
+// Close closes the underlying connection once; repeated closes are no-ops
+// so a clean Close after an injected failure still reports success.
+func (c *FaultConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.inner.Close() })
+	c.mu.Lock()
+	reset := c.reset
+	c.mu.Unlock()
+	if reset {
+		return nil // the injected failure already "closed" the socket
+	}
+	return c.closeErr
+}
+
+func (c *FaultConn) LocalAddr() net.Addr  { return c.inner.LocalAddr() }
+func (c *FaultConn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+func (c *FaultConn) SetDeadline(t time.Time) error {
+	c.SetWriteDeadline(t)
+	return c.inner.SetDeadline(t)
+}
+
+func (c *FaultConn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline records the deadline locally (so stalled writes honour
+// it) and passes it to the underlying socket.
+func (c *FaultConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}
+
+// FaultDialer adapts net.Dial into a session Dial hook that wraps every new
+// connection in a FaultConn and hands it to cb before any bytes flow, so a
+// test (or loadgen's -flap mode) can hold the handle and inject faults into
+// whichever connection is currently live.
+func FaultDialer(cb func(*FaultConn)) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		fc := NewFaultConn(conn)
+		if cb != nil {
+			cb(fc)
+		}
+		return fc, nil
+	}
+}

@@ -17,7 +17,8 @@ import (
 // processing: when the queue is full the segment is dropped and accounted
 // instead of blocking the control plane (TCP itself provides reliability
 // for what does get queued; a dropped aggregate is repaired by the next
-// value change on the same channel).
+// value change on the same channel, or by the full-state resync after a
+// session reconnect).
 type neighbor struct {
 	id   int
 	conn net.Conn
@@ -31,8 +32,26 @@ type neighbor struct {
 	segs  atomic.Uint64 // segments accepted into the queue
 	drops atomic.Uint64 // segments dropped: queue full or dead peer
 
+	// lastSeen is when the last complete inbound message arrived (unix
+	// nanoseconds), the liveness evidence consumed by the keepalive reaper.
+	lastSeen atomic.Int64
+	// superseded is set when a session reconnect replaced this connection:
+	// any counts still in flight on it are stale and must not be applied.
+	superseded atomic.Bool
+	// gone is set when the read loop exited; the reaper skips dead entries.
+	gone atomic.Bool
+
 	closeOnce sync.Once
 	done      chan struct{} // writer goroutine exited
+
+	failOnce sync.Once
+	failed   chan struct{} // closed on the writer's first socket error
+
+	// retireOnce serializes count withdrawal for this connection between
+	// its own read loop (socket died) and a session rebind superseding it;
+	// sync.Once blocks the second caller until the first finished, so a
+	// rebind never replays state while the old withdrawal still sweeps.
+	retireOnce sync.Once
 }
 
 func newNeighbor(id int, conn net.Conn, queueLen int, deadline time.Duration) *neighbor {
@@ -42,7 +61,9 @@ func newNeighbor(id int, conn net.Conn, queueLen int, deadline time.Duration) *n
 		out:      make(chan *[]byte, queueLen),
 		deadline: deadline,
 		done:     make(chan struct{}),
+		failed:   make(chan struct{}),
 	}
+	n.lastSeen.Store(time.Now().UnixNano())
 	go n.writer()
 	return n
 }
@@ -66,9 +87,16 @@ func (n *neighbor) closeOutput() {
 	n.closeOnce.Do(func() { close(n.out) })
 }
 
+// fail marks the peer dead exactly once; the upstream session selects on
+// n.failed to trigger reconnection.
+func (n *neighbor) fail() {
+	n.failOnce.Do(func() { close(n.failed) })
+}
+
 // writer drains the output queue onto the socket under a write deadline.
-// After a write error the peer is considered dead: remaining segments are
-// drained and counted as drops so enqueuers and shutdown never stall.
+// After a write error the peer is considered dead: the failure is signalled
+// on n.failed and remaining segments are drained and counted as drops so
+// enqueuers and shutdown never stall.
 func (n *neighbor) writer() {
 	defer close(n.done)
 	w := bufio.NewWriterSize(n.conn, wire.MaxSegment)
@@ -87,6 +115,7 @@ func (n *neighbor) writer() {
 		if err != nil {
 			n.drops.Add(1)
 			dead = true
+			n.fail()
 			continue
 		}
 		// Flush when the queue momentarily empties: batches stay intact
@@ -94,10 +123,13 @@ func (n *neighbor) writer() {
 		if len(n.out) == 0 {
 			if err := w.Flush(); err != nil {
 				dead = true
+				n.fail()
 			}
 		}
 	}
 	if !dead {
-		w.Flush()
+		if err := w.Flush(); err != nil {
+			n.fail()
+		}
 	}
 }

@@ -135,9 +135,11 @@ func TestShutdownDuringTraffic(t *testing.T) {
 }
 
 // TestShutdownDrainsBatcher verifies Close flushes every advertised change
-// to the upstream socket before tearing the writer down: the core must end
-// at the exact final value even though the edge closed immediately after
-// the last event.
+// to the upstream socket before tearing the writer down. Under the Section
+// 3.2 failure semantics the core then withdraws the departed edge's counts,
+// so the proof of delivery is cumulative: the core must have processed the
+// drained subscribe (TCP orders the data before the FIN), after which its
+// aggregate drops back to zero via withdrawal, not via an explicit zero.
 func TestShutdownDrainsBatcher(t *testing.T) {
 	core, err := NewRouter("127.0.0.1:0", "")
 	if err != nil {
@@ -158,6 +160,9 @@ func TestShutdownDrainsBatcher(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The client stays open across edge.Close: closing it first would make
+	// the (still-running) edge withdraw its count and drain a zero instead.
+	defer c.Close()
 	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(5)}
 	c.SendCount(ch, 31)
 	c.Flush()
@@ -168,13 +173,26 @@ func TestShutdownDrainsBatcher(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	c.Close()
 	if err := edge.Close(); err != nil {
 		t.Fatalf("edge close: %v", err)
 	}
-	for core.SubscriberCount(ch) != 31 {
+	// The drained Count{31} must have reached the core before the edge's
+	// connection closed...
+	for core.Stats().Subscribes < 1 {
 		if time.Now().After(deadline) {
-			t.Fatalf("core count = %d, want 31 after edge shutdown drain", core.SubscriberCount(ch))
+			t.Fatal("core never processed the drained count")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...after which the core withdraws the dead edge session's contribution.
+	for {
+		st := core.Stats()
+		if core.SubscriberCount(ch) == 0 && st.WithdrawnCounts == 1 && st.NeighborFailures == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("core count = %d, withdrawn = %d, failures = %d; want 0/1/1 after edge departure",
+				core.SubscriberCount(ch), st.WithdrawnCounts, st.NeighborFailures)
 		}
 		time.Sleep(time.Millisecond)
 	}

@@ -12,18 +12,20 @@
 //
 // Beyond the paper's single-threaded measurement, the router is built in
 // production shape: the channel table is sharded by hash(S,E) so concurrent
-// neighbor connections process events in parallel, and upstream
-// advertisements are coalesced by a batcher into packed Count segments
-// (Section 5.3's 92-Counts-per-segment arithmetic) instead of one write per
-// event. Experiment E4 drives this router with churning neighbors over
-// loopback and reports events/second and ns/event; the shard-scaling
-// benchmarks extend E4 with a 1/4/16-shard curve.
+// neighbor connections process events in parallel, upstream advertisements
+// are coalesced by a batcher into packed Count segments (Section 5.3's
+// 92-Counts-per-segment arithmetic), and neighbor links carry the Section
+// 3.2 failure semantics for real networks — a failed connection's counts
+// are withdrawn from every shard (driving zero re-aggregation upstream),
+// sessions reconnect with capped exponential backoff, and a Hello/epoch
+// handshake plus full-state replay resynchronizes exactly on recovery.
 package realnet
 
 import (
 	"bufio"
 	"errors"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -58,6 +60,29 @@ type Options struct {
 	// segments. When a queue is full, segments are dropped and accounted
 	// rather than stalling event processing. Default 256.
 	QueueLen int
+
+	// KeepaliveInterval enables liveness probing when > 0. Downstream, a
+	// reaper closes neighbor connections that have been silent for
+	// KeepaliveMisses×KeepaliveInterval, withdrawing their counts (Section
+	// 3.2's failure subtraction). Upstream, the router sends one keepalive
+	// Count per interval so a quiet link still proves liveness to its
+	// parent's reaper. 0 (the default) disables both — anonymous Clients
+	// do not send keepalives and must not be reaped. Enable symmetrically
+	// on both ends of router-to-router links.
+	KeepaliveInterval time.Duration
+	// KeepaliveMisses is the probe miss budget before a silent neighbor is
+	// declared dead. Default 3.
+	KeepaliveMisses int
+	// ReconnectBase and ReconnectMax bound the jittered exponential
+	// backoff between upstream reconnect attempts. Defaults 10ms and 2s.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// SessionID identifies this router to its upstream across reconnects
+	// (carried in the Hello handshake). 0 picks a random id.
+	SessionID uint64
+	// Dial overrides how the upstream connection is established; tests and
+	// loadgen inject fault-wrapped connections here. Default net.Dial tcp.
+	Dial func(addr string) (net.Conn, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +101,21 @@ func (o Options) withDefaults() Options {
 	if o.QueueLen <= 0 {
 		o.QueueLen = 256
 	}
+	if o.KeepaliveMisses <= 0 {
+		o.KeepaliveMisses = 3
+	}
+	if o.ReconnectBase <= 0 {
+		o.ReconnectBase = 10 * time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = 2 * time.Second
+	}
+	for o.SessionID == 0 {
+		o.SessionID = rand.Uint64()
+	}
+	if o.Dial == nil {
+		o.Dial = dialTCP
+	}
 	return o
 }
 
@@ -91,6 +131,11 @@ type Stats struct {
 	UpstreamSegments uint64 // segments accepted into the upstream queue
 	UpstreamDrops    uint64 // segments dropped (queue full or dead upstream)
 	Flushes          uint64 // batcher flush passes that emitted data
+
+	NeighborFailures   uint64 // downstream connections whose counts were withdrawn
+	WithdrawnCounts    uint64 // per-channel contributions withdrawn on failure
+	SessionResyncs     uint64 // session reconnects accepted (Hello with a newer epoch)
+	UpstreamReconnects uint64 // times the upstream link was re-established
 }
 
 // Router is a TCP-mode ECMP router. Neighbors connect over TCP and stream
@@ -98,21 +143,35 @@ type Stats struct {
 // subscriber counts, a FIB image, and forwards coalesced aggregate Counts
 // to its upstream neighbor (if any).
 type Router struct {
-	ln       net.Listener
-	opts     Options
-	table    *table
-	upstream *neighbor // nil at the tree root
-	batcher  *batcher  // nil at the tree root
+	ln      net.Listener
+	opts    Options
+	table   *table
+	upSess  *upSession // nil at the tree root
+	batcher *batcher   // nil at the tree root
 
-	mu     sync.Mutex
-	conns  []*neighbor
-	closed bool
+	mu       sync.Mutex
+	conns    []*neighbor
+	sessions map[uint64]*sessionRecord
+	closed   bool
+
+	failures  atomic.Uint64 // neighbor connections retired with live counts
+	withdrawn atomic.Uint64 // per-channel contributions withdrawn
+	resyncs   atomic.Uint64 // accepted session rebinds
 
 	// rpfSink absorbs the simulated RPF calculation so the compiler cannot
 	// elide it.
 	rpfSink atomic.Uint32
 
-	readWG sync.WaitGroup // accept loop + per-neighbor read loops
+	readWG     sync.WaitGroup // accept loop + per-neighbor read loops
+	reaperQuit chan struct{}
+	reaperDone chan struct{}
+}
+
+// sessionRecord tracks one downstream neighbor session across reconnects:
+// the epoch of its newest accepted Hello and the connection bound to it.
+type sessionRecord struct {
+	epoch uint64
+	n     *neighbor
 }
 
 // chanState is the per-channel management record (Section 5.2's budget).
@@ -138,15 +197,27 @@ func NewRouterOpts(listenAddr string, opts Options) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Router{ln: ln, opts: opts, table: newTable(opts.Shards)}
+	r := &Router{
+		ln:       ln,
+		opts:     opts,
+		table:    newTable(opts.Shards),
+		sessions: make(map[uint64]*sessionRecord),
+	}
 	if opts.Upstream != "" {
-		c, err := net.Dial("tcp", opts.Upstream)
+		s, err := newUpSession(r, opts.Upstream)
 		if err != nil {
 			ln.Close()
 			return nil, err
 		}
-		r.upstream = newNeighbor(-1, c, opts.QueueLen, opts.WriteDeadline)
-		r.batcher = newBatcher(r.table, r.upstream, opts.FlushInterval, opts.FlushBatch)
+		r.upSess = s
+		r.batcher = newBatcher(r.table, s, opts.FlushInterval, opts.FlushBatch)
+		s.batcher = r.batcher
+		s.start()
+	}
+	if opts.KeepaliveInterval > 0 {
+		r.reaperQuit = make(chan struct{})
+		r.reaperDone = make(chan struct{})
+		go r.reaper()
 	}
 	r.readWG.Add(1)
 	go r.acceptLoop()
@@ -179,7 +250,8 @@ func (r *Router) OIFMask(ch addr.Channel) uint32 {
 }
 
 // NumNeighbors returns how many downstream neighbor connections have been
-// accepted. Neighbor ids are assigned in acceptance order, so tests can
+// accepted, including connections later retired or superseded by a session
+// reconnect. Neighbor ids are assigned in acceptance order, so tests can
 // dial sequentially and wait on this to pin a connection to an id.
 func (r *Router) NumNeighbors() int {
 	r.mu.Lock()
@@ -197,37 +269,40 @@ func (r *Router) SubscriberCount(ch addr.Channel) uint32 {
 	if cs == nil {
 		return 0
 	}
-	var total uint32
-	for _, v := range cs.downCounts {
-		total += v
-	}
-	return total
+	return cs.total()
 }
 
 // Stats returns a snapshot of the router's counters.
 func (r *Router) Stats() Stats {
 	subs, unsubs := r.table.eventsByType()
 	s := Stats{
-		Events:       subs + unsubs,
-		Subscribes:   subs,
-		Unsubscribes: unsubs,
-		Channels:     r.table.numChannels(),
-		Shards:       len(r.table.shards),
+		Events:           subs + unsubs,
+		Subscribes:       subs,
+		Unsubscribes:     unsubs,
+		Channels:         r.table.numChannels(),
+		Shards:           len(r.table.shards),
+		NeighborFailures: r.failures.Load(),
+		WithdrawnCounts:  r.withdrawn.Load(),
+		SessionResyncs:   r.resyncs.Load(),
 	}
 	if r.batcher != nil {
 		s.UpstreamCounts = r.batcher.counts.Load()
 		s.Flushes = r.batcher.flushes.Load()
 	}
-	if r.upstream != nil {
-		s.UpstreamSegments = r.upstream.segs.Load()
-		s.UpstreamDrops = r.upstream.drops.Load()
+	if r.upSess != nil {
+		s.UpstreamSegments = r.upSess.segsTotal()
+		s.UpstreamDrops = r.upSess.dropsTotal()
+		s.UpstreamReconnects = r.upSess.reconnects.Load()
 	}
 	return s
 }
 
-// Close shuts the router down: stop accepting, sever downstream neighbors,
-// wait for their read loops, drain the batcher so every advertised change
-// reaches the upstream queue, then flush and close the writers.
+// Close shuts the router down: stop accepting, stop the reaper, sever
+// downstream neighbors, wait for their read loops, drain the batcher so
+// every advertised change reaches the upstream queue, then flush and close
+// the writers. Shutdown does not withdraw counts — the read loops observe
+// the closed flag and skip retirement, so the final drain carries the last
+// real aggregates, not zeros.
 func (r *Router) Close() error {
 	r.mu.Lock()
 	if r.closed {
@@ -239,6 +314,10 @@ func (r *Router) Close() error {
 	r.mu.Unlock()
 
 	err := r.ln.Close()
+	if r.reaperQuit != nil {
+		close(r.reaperQuit)
+		<-r.reaperDone
+	}
 	for _, n := range conns {
 		n.conn.Close()
 	}
@@ -251,10 +330,8 @@ func (r *Router) Close() error {
 		n.closeOutput()
 		<-n.done
 	}
-	if r.upstream != nil {
-		r.upstream.closeOutput()
-		<-r.upstream.done
-		r.upstream.conn.Close()
+	if r.upSess != nil {
+		r.upSess.stop()
 	}
 	return err
 }
@@ -280,10 +357,55 @@ func (r *Router) acceptLoop() {
 	}
 }
 
+// reaper enforces the keepalive miss budget: a downstream connection that
+// produced no complete message for KeepaliveMisses×KeepaliveInterval is
+// declared dead and closed, which routes it through the normal read-loop
+// retirement (count withdrawal + upstream re-aggregation).
+func (r *Router) reaper() {
+	defer close(r.reaperDone)
+	tick := time.NewTicker(r.opts.KeepaliveInterval)
+	defer tick.Stop()
+	budget := time.Duration(r.opts.KeepaliveMisses) * r.opts.KeepaliveInterval
+	for {
+		select {
+		case <-r.reaperQuit:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		r.mu.Lock()
+		conns := append([]*neighbor(nil), r.conns...)
+		r.mu.Unlock()
+		for _, n := range conns {
+			if n.gone.Load() || n.superseded.Load() {
+				continue
+			}
+			if now.Sub(time.Unix(0, n.lastSeen.Load())) > budget {
+				n.conn.Close()
+			}
+		}
+	}
+}
+
 // readLoop parses the self-delimiting ECMP message stream from one
-// neighbor and processes each message.
+// neighbor, then retires the connection when the stream ends: unless the
+// router itself is shutting down, every count the neighbor contributed is
+// withdrawn (Section 3.2 — "the count is subtracted from the sum provided
+// upstream if the connection fails").
 func (r *Router) readLoop(n *neighbor) {
 	defer r.readWG.Done()
+	r.serveConn(n)
+	n.gone.Store(true)
+	n.conn.Close()
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if !closed {
+		r.retire(n)
+	}
+}
+
+func (r *Router) serveConn(n *neighbor) {
 	br := readerPool.Get().(*bufio.Reader)
 	br.Reset(n.conn)
 	defer func() {
@@ -306,6 +428,8 @@ func (r *Router) readLoop(n *neighbor) {
 			need = wire.CountQuerySize
 		case wire.TypeCountResponse:
 			need = wire.CountResponseSize
+		case wire.TypeHello:
+			need = wire.HelloSize
 		default:
 			return // protocol error: drop the connection
 		}
@@ -313,8 +437,19 @@ func (r *Router) readLoop(n *neighbor) {
 		if _, err := io.ReadFull(br, buf[1:need]); err != nil {
 			return
 		}
-		var m wire.Count
-		if hdr[0] == wire.TypeCount || hdr[0] == wire.TypeCountAuth {
+		// Any complete message proves liveness (keepalives included).
+		n.lastSeen.Store(time.Now().UnixNano())
+		switch hdr[0] {
+		case wire.TypeHello:
+			var h wire.Hello
+			if _, err := h.DecodeFromBytes(buf[:need]); err != nil {
+				return
+			}
+			if !r.bindSession(n, &h) {
+				return // stale epoch or shutdown: drop the connection
+			}
+		case wire.TypeCount, wire.TypeCountAuth:
+			var m wire.Count
 			if _, err := m.DecodeFromBytes(buf[:need]); err != nil {
 				return
 			}
@@ -322,6 +457,89 @@ func (r *Router) readLoop(n *neighbor) {
 		}
 		// Queries/responses are accepted for protocol completeness; the
 		// Section 5.3 experiment exercises the membership path.
+	}
+}
+
+// bindSession processes a Hello. First contact registers the session; a
+// reconnect (same SessionID, strictly higher epoch) supersedes the previous
+// connection — its counts are withdrawn before this read loop goes on to
+// apply the replayed state, and the neighbor id is inherited so the
+// channel's OIF bit stays stable across flaps. A stale or duplicate epoch
+// rejects the connection: it can only come from a connection that predates
+// the one already accepted.
+func (r *Router) bindSession(n *neighbor, h *wire.Hello) bool {
+	if h.SessionID == 0 {
+		return false
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	rec := r.sessions[h.SessionID]
+	if rec == nil {
+		r.sessions[h.SessionID] = &sessionRecord{epoch: h.Epoch, n: n}
+		r.mu.Unlock()
+		return true
+	}
+	if h.Epoch <= rec.epoch || rec.n == n {
+		r.mu.Unlock()
+		return false
+	}
+	old := rec.n
+	rec.epoch = h.Epoch
+	rec.n = n
+	n.id = old.id // written before any Count of the new epoch is processed
+	r.mu.Unlock()
+
+	// Mark the old connection stale before sweeping, so a count of the old
+	// epoch still in flight can no longer land after the withdrawal; then
+	// close it and withdraw synchronously — retire blocks until the sweep
+	// completed, even if the old read loop started it first.
+	old.superseded.Store(true)
+	old.conn.Close()
+	r.retire(old)
+	r.resyncs.Add(1)
+	return true
+}
+
+// retire withdraws every count contributed by a neighbor connection exactly
+// once. Concurrent callers — the connection's own read loop noticing the
+// dead socket, and a session rebind superseding it — serialize on the
+// sync.Once: the second caller blocks until the withdrawal completed, so a
+// rebind never replays state while the old sweep is still running.
+func (r *Router) retire(n *neighbor) {
+	n.retireOnce.Do(func() { r.withdrawNeighbor(n) })
+}
+
+// withdrawNeighbor removes n's contribution from every shard, driving the
+// same re-aggregation upstream as explicit zero Counts would (Section 3.2).
+func (r *Router) withdrawNeighbor(n *neighbor) {
+	var withdrawn uint64
+	for _, sh := range r.table.shards {
+		sh.mu.Lock()
+		for ch, cs := range sh.channels {
+			if _, ok := cs.downCounts[n.id]; !ok {
+				continue
+			}
+			delete(cs.downCounts, n.id)
+			cs.clearOIF(n.id)
+			total := cs.total()
+			if r.batcher != nil && (!cs.everAdv || cs.advertised != total) {
+				cs.advertised = total
+				cs.everAdv = true
+				r.batcher.markLocked(sh, ch, total)
+			}
+			if total == 0 {
+				delete(sh.channels, ch)
+			}
+			withdrawn++
+		}
+		sh.mu.Unlock()
+	}
+	if withdrawn > 0 {
+		r.withdrawn.Add(withdrawn)
+		r.failures.Add(1)
 	}
 }
 
@@ -339,6 +557,13 @@ func (r *Router) processCount(n *neighbor, m *wire.Count) {
 
 	sh := r.table.shardFor(m.Channel)
 	sh.mu.Lock()
+	// A superseded connection's counts predate the session's current epoch
+	// and must not land; checked under the shard lock so the check orders
+	// against the rebind's withdrawal sweep.
+	if n.superseded.Load() {
+		sh.mu.Unlock()
+		return
+	}
 	// Hashed lookup of the channel data structure; allocate when needed.
 	cs := sh.channels[m.Channel]
 	if cs == nil {
@@ -360,15 +585,9 @@ func (r *Router) processCount(n *neighbor, m *wire.Count) {
 		cs.downCounts[n.id] = m.Value
 		cs.setOIF(n.id)
 	}
-	var total uint32
-	for _, v := range cs.downCounts {
-		total += v
-	}
+	total := cs.total()
 	// Record the unicast route used (the upstream neighbor).
 	cs.route = -1
-	if r.upstream != nil {
-		cs.route = r.upstream.id
-	}
 	// TCP-mode semantics (Section 3.2): a router "sends a count update when
 	// its count changes" — any value change is advertised, not just the
 	// zero↔non-zero transitions tree maintenance strictly needs. The
@@ -403,5 +622,5 @@ func simulateRPF(s, e uint32) uint32 {
 	return h
 }
 
-// ErrClosed is returned by operations on a closed router.
+// ErrClosed is returned by operations on a closed router or session.
 var ErrClosed = errors.New("realnet: router closed")

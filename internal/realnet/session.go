@@ -1,0 +1,322 @@
+package realnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/wire"
+)
+
+// SessionOptions tunes a resilient client session. The zero value of every
+// field selects a sensible default.
+type SessionOptions struct {
+	// SessionID identifies this neighbor to the router across reconnects.
+	// 0 picks a random id.
+	SessionID uint64
+	// KeepaliveInterval is how often the session proves liveness and
+	// flushes buffered events. Default 500ms; negative disables (then only
+	// explicit Flush calls and full buffers touch the socket).
+	KeepaliveInterval time.Duration
+	// WriteDeadline bounds every socket write, so a stalled (partitioned)
+	// connection turns into a detectable error instead of a hung session.
+	// Default 5s.
+	WriteDeadline time.Duration
+	// ReconnectBase and ReconnectMax bound the jittered exponential
+	// backoff between reconnect attempts. Defaults 10ms and 2s.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// Dial overrides how connections are established; tests and loadgen
+	// inject fault-wrapped connections here. Default net.Dial tcp.
+	Dial func(addr string) (net.Conn, error)
+}
+
+func (o SessionOptions) withDefaults() SessionOptions {
+	for o.SessionID == 0 {
+		o.SessionID = rand.Uint64()
+	}
+	if o.KeepaliveInterval == 0 {
+		o.KeepaliveInterval = 500 * time.Millisecond
+	}
+	if o.WriteDeadline <= 0 {
+		o.WriteDeadline = 5 * time.Second
+	}
+	if o.ReconnectBase <= 0 {
+		o.ReconnectBase = 10 * time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = 2 * time.Second
+	}
+	if o.Dial == nil {
+		o.Dial = dialTCP
+	}
+	return o
+}
+
+// Session is a fault-tolerant neighbor link: a Client wrapped with the
+// Section 3.2 failure semantics. It tracks the desired per-channel counts,
+// so a send never fails — while the connection is down the state is merely
+// recorded, and on reconnection (capped exponential backoff with jitter)
+// the session opens a new epoch with a Hello and replays the entire state.
+// The router withdraws the old epoch's counts when it accepts the new one,
+// so after resync the upstream aggregate is exact: nothing stale, nothing
+// doubled.
+type Session struct {
+	target string
+	opts   SessionOptions
+
+	mu    sync.Mutex
+	c     *Client // nil while disconnected
+	state map[addr.Channel]uint32
+	epoch uint64
+	down  chan struct{} // 1-buffered signal to the monitor
+
+	closed     atomic.Bool
+	reconnects atomic.Uint64
+
+	rng  *rand.Rand // monitor goroutine only
+	quit chan struct{}
+	done chan struct{}
+}
+
+// DialSession connects a resilient neighbor session to a router. The
+// initial connection is synchronous so an unreachable router fails fast;
+// every later failure is handled by reconnection instead of errors.
+func DialSession(routerAddr string, opts SessionOptions) (*Session, error) {
+	opts = opts.withDefaults()
+	s := &Session{
+		target: routerAddr,
+		opts:   opts,
+		state:  make(map[addr.Channel]uint32),
+		down:   make(chan struct{}, 1),
+		rng:    rand.New(rand.NewSource(int64(opts.SessionID) ^ time.Now().UnixNano())),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	conn, err := opts.Dial(routerAddr)
+	if err != nil {
+		return nil, err
+	}
+	if !s.resync(conn) {
+		return nil, ErrClosed // first hello/flush failed on a fresh conn
+	}
+	go s.run()
+	return s, nil
+}
+
+// Subscribe records and sends a single subscription for ch.
+func (s *Session) Subscribe(ch addr.Channel) error { return s.SendCount(ch, 1) }
+
+// Unsubscribe records and sends a zero count for ch.
+func (s *Session) Unsubscribe(ch addr.Channel) error { return s.SendCount(ch, 0) }
+
+// SendCount sets the desired aggregate count for ch. The update is sent on
+// the live connection when there is one and replayed after the next
+// reconnect otherwise; the only error is using a closed session.
+func (s *Session) SendCount(ch addr.Channel, v uint32) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v == 0 {
+		delete(s.state, ch)
+	} else {
+		s.state[ch] = v
+	}
+	if s.c != nil {
+		if err := s.c.sendCount(ch, v); err != nil {
+			s.markDownLocked()
+		}
+	}
+	return nil
+}
+
+// Flush pushes buffered events to the router; a failure marks the link
+// down (the resync will repair it) rather than surfacing an error.
+func (s *Session) Flush() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c != nil {
+		if err := s.c.Flush(); err != nil {
+			s.markDownLocked()
+		}
+	}
+	return nil
+}
+
+// State returns a copy of the desired per-channel counts — what the router
+// must converge to once the session is connected and drained.
+func (s *Session) State() map[addr.Channel]uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[addr.Channel]uint32, len(s.state))
+	for ch, v := range s.state {
+		out[ch] = v
+	}
+	return out
+}
+
+// Connected reports whether the session currently holds a live connection.
+func (s *Session) Connected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c != nil
+}
+
+// Reconnects returns how many times the session re-established its link.
+func (s *Session) Reconnects() uint64 { return s.reconnects.Load() }
+
+// Epoch returns the session's current epoch (1 on the initial connection,
+// +1 per reconnect).
+func (s *Session) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Close stops the monitor and closes the connection. The final flush error
+// is reported as Client.Close does.
+func (s *Session) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	close(s.quit)
+	<-s.done
+	s.mu.Lock()
+	c := s.c
+	s.c = nil
+	s.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// markDownLocked drops the dead connection and wakes the monitor. Callers
+// hold s.mu.
+func (s *Session) markDownLocked() {
+	if s.c == nil {
+		return
+	}
+	s.c.conn.Close()
+	s.c = nil
+	select {
+	case s.down <- struct{}{}:
+	default:
+	}
+}
+
+// run is the monitor goroutine: reconnect on failure, keepalive on a timer.
+func (s *Session) run() {
+	defer close(s.done)
+	var kaC <-chan time.Time
+	if s.opts.KeepaliveInterval > 0 {
+		t := time.NewTicker(s.opts.KeepaliveInterval)
+		defer t.Stop()
+		kaC = t.C
+	}
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.down:
+			s.reconnect()
+		case <-kaC:
+			s.keepalive()
+		}
+	}
+}
+
+// reconnect redials under the backoff schedule until resync succeeds or
+// the session is closed.
+func (s *Session) reconnect() {
+	for attempt := 0; ; attempt++ {
+		delay := backoffDelay(s.rng, s.opts.ReconnectBase, s.opts.ReconnectMax, attempt)
+		select {
+		case <-s.quit:
+			return
+		case <-time.After(delay):
+		}
+		conn, err := s.opts.Dial(s.target)
+		if err != nil {
+			continue
+		}
+		if s.resync(conn) {
+			s.reconnects.Add(1)
+			return
+		}
+	}
+}
+
+// resync installs conn as the live link: the next epoch's Hello, then a
+// replay of the entire desired state, flushed before any new send can
+// interleave (the session lock is held throughout, so resync is atomic
+// with respect to senders). Returns false if the fresh connection already
+// failed — the caller retries with the next backoff step.
+func (s *Session) resync(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		conn.Close()
+		return true // stop the reconnect loop; Close won the race
+	}
+	c := newClient(deadlineConn{Conn: conn, d: s.opts.WriteDeadline})
+	h := wire.Hello{SessionID: s.opts.SessionID, Epoch: s.epoch + 1}
+	if err := c.sendHello(&h); err != nil {
+		conn.Close()
+		return false
+	}
+	for ch, v := range s.state {
+		if err := c.sendCount(ch, v); err != nil {
+			conn.Close()
+			return false
+		}
+	}
+	if err := c.Flush(); err != nil {
+		conn.Close()
+		return false
+	}
+	s.epoch++
+	s.c = c
+	return true
+}
+
+// keepalive proves liveness and flushes anything buffered; a failure marks
+// the link down so the monitor reconnects.
+func (s *Session) keepalive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c == nil {
+		return
+	}
+	if err := s.c.sendKeepalive(); err != nil {
+		s.markDownLocked()
+		return
+	}
+	if err := s.c.Flush(); err != nil {
+		s.markDownLocked()
+	}
+}
+
+// deadlineConn arms a fresh write deadline before every socket write, so a
+// stalled connection fails the writer within d instead of blocking the
+// session forever. (An absolute deadline set once would either go stale or
+// spuriously expire on an idle-but-healthy connection.)
+type deadlineConn struct {
+	net.Conn
+	d time.Duration
+}
+
+func (c deadlineConn) Write(b []byte) (int, error) {
+	if c.d > 0 {
+		c.Conn.SetWriteDeadline(time.Now().Add(c.d))
+	}
+	return c.Conn.Write(b)
+}

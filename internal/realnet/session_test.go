@@ -1,0 +1,564 @@
+package realnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/wire"
+)
+
+// discardListener accepts connections and drains them, standing in for a
+// router when a test only needs a live TCP peer.
+func discardListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// tcpPair returns the two ends of a loopback TCP connection.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		client.Close()
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+// TestClientCloseReturnsFlushError is the regression test for the swallowed
+// flush error: Close used to discard the Flush result, so a client whose
+// final buffered events never reached the router reported a clean shutdown.
+func TestClientCloseReturnsFlushError(t *testing.T) {
+	ln := discardListener(t)
+
+	// Failure path: the connection dies before the final flush, so the
+	// buffered Subscribe is lost and Close must say so.
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := NewFaultConn(raw)
+	c := newClient(fc)
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(1)}
+	if err := c.Subscribe(ch); err != nil {
+		t.Fatal(err) // buffered, must not touch the socket yet
+	}
+	fc.FailAfterWrites(0)
+	if err := c.Close(); !errors.Is(err, ErrInjectedReset) {
+		t.Errorf("Close = %v, want the flush error (%v)", err, ErrInjectedReset)
+	}
+
+	// Success path unchanged: a healthy connection closes clean.
+	c2, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Subscribe(ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Errorf("Close = %v, want nil on a healthy connection", err)
+	}
+}
+
+// TestBackoffSchedule pins the reconnect schedule: exponential growth from
+// base, capped at max, jittered into [delay/2, delay].
+func TestBackoffSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base, max := 10*time.Millisecond, 2*time.Second
+	for attempt := 0; attempt <= 12; attempt++ {
+		want := base << attempt
+		if want > max || want <= 0 {
+			want = max
+		}
+		for trial := 0; trial < 100; trial++ {
+			got := backoffDelay(rng, base, max, attempt)
+			if got < want/2 || got > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, got, want/2, want)
+			}
+		}
+	}
+	// Defaults: non-positive base falls back to 10ms; max below base is
+	// raised to base.
+	if d := backoffDelay(rng, 0, 0, 0); d < 5*time.Millisecond || d > 10*time.Millisecond {
+		t.Errorf("default backoff = %v, want within [5ms, 10ms]", d)
+	}
+	if d := backoffDelay(rng, time.Second, time.Millisecond, 0); d < 500*time.Millisecond || d > time.Second {
+		t.Errorf("max<base backoff = %v, want within [500ms, 1s]", d)
+	}
+}
+
+// TestFaultConn exercises the injection harness itself: transparent
+// passthrough, truncated writes, stalls honouring write deadlines, and
+// reset semantics including the idempotent Close.
+func TestFaultConn(t *testing.T) {
+	a, b := tcpPair(t)
+	fc := NewFaultConn(a)
+
+	// Transparent until a knob is flipped.
+	if _, err := fc.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := b.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("peer read %q, %v", buf[:n], err)
+	}
+
+	// Partial write: first 3 bytes land, then the write fails.
+	fc.LimitWrites(3)
+	n, err = fc.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjectedPartial) {
+		t.Fatalf("limited write = (%d, %v), want (3, ErrInjectedPartial)", n, err)
+	}
+	if n, _ := b.Read(buf); string(buf[:n]) != "abc" {
+		t.Fatalf("peer read %q, want abc", buf[:n])
+	}
+	fc.LimitWrites(0)
+
+	// Stall blocks the write until Unstall.
+	fc.Stall()
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("x"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	fc.Unstall()
+	if err := <-wrote; err != nil {
+		t.Fatalf("unstalled write = %v", err)
+	}
+	if n, _ := b.Read(buf); string(buf[:n]) != "x" {
+		t.Fatalf("peer read %q after unstall, want x", buf[:n])
+	}
+
+	// A stalled write with a deadline fails like a real socket would.
+	fc.Stall()
+	fc.SetWriteDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := fc.Write([]byte("y")); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled+deadline write = %v, want deadline exceeded", err)
+	}
+	fc.Unstall()
+	fc.SetWriteDeadline(time.Time{})
+
+	// Reset kills both directions and the peer observes the close; Close
+	// afterwards still reports success.
+	fc.Reset()
+	if _, err := fc.Write([]byte("z")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset write = %v", err)
+	}
+	if _, err := fc.Read(buf); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset read = %v", err)
+	}
+	if _, err := b.Read(buf); err == nil {
+		t.Fatal("peer did not observe the reset")
+	}
+	if err := fc.Close(); err != nil {
+		t.Fatalf("Close after Reset = %v, want nil", err)
+	}
+}
+
+// TestDisconnectWithdrawsCounts is the basic Section 3.2 failure semantics:
+// when a neighbor's connection drops, "the count is subtracted from the sum
+// provided upstream" — the edge withdraws and the core re-aggregates to 0.
+func TestDisconnectWithdrawsCounts(t *testing.T) {
+	core, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	edge, err := NewRouter("127.0.0.1:0", core.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+
+	c, err := Dial(edge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(3)}
+	c.SendCount(ch, 3)
+	c.Flush()
+	waitFor(t, 5*time.Second, func() bool { return core.SubscriberCount(ch) == 3 })
+
+	c.Close() // the neighbor goes away without unsubscribing
+	waitFor(t, 5*time.Second, func() bool {
+		return core.SubscriberCount(ch) == 0 && edge.Channels() == 0
+	})
+	st := edge.Stats()
+	if st.NeighborFailures != 1 || st.WithdrawnCounts != 1 {
+		t.Errorf("edge failures/withdrawn = %d/%d, want 1/1", st.NeighborFailures, st.WithdrawnCounts)
+	}
+}
+
+// faultTap captures the most recent connection produced by a FaultDialer so
+// the test can inject faults into whichever link is currently live.
+type faultTap struct {
+	mu sync.Mutex
+	fc *FaultConn
+	n  int
+}
+
+func (ft *faultTap) hook(fc *FaultConn) {
+	ft.mu.Lock()
+	ft.fc = fc
+	ft.n++
+	ft.mu.Unlock()
+}
+
+func (ft *faultTap) current() *FaultConn {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.fc
+}
+
+// TestSessionReconnectResync kills a client session's connection mid-stream,
+// mutates the desired state during the partition, and verifies the router
+// converges to exactly the new state after the reconnect: the withdrawn old
+// counts are replaced by the replay, nothing stale and nothing doubled.
+func TestSessionReconnectResync(t *testing.T) {
+	r, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var tap faultTap
+	s, err := DialSession(r.Addr(), SessionOptions{
+		KeepaliveInterval: 20 * time.Millisecond,
+		ReconnectBase:     5 * time.Millisecond,
+		Dial:              FaultDialer(tap.hook),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	src := addr.MustParse("10.0.0.1")
+	chA := addr.Channel{S: src, E: addr.ExpressAddr(1)}
+	chB := addr.Channel{S: src, E: addr.ExpressAddr(2)}
+	chC := addr.Channel{S: src, E: addr.ExpressAddr(3)}
+	s.SendCount(chA, 3)
+	s.SendCount(chB, 5)
+	s.Flush()
+	waitFor(t, 5*time.Second, func() bool {
+		return r.SubscriberCount(chA) == 3 && r.SubscriberCount(chB) == 5
+	})
+
+	// Kill the connection, then change the desired state while down: A moves
+	// 3→7 and C appears. The session records both; the resync must deliver
+	// the final state, not the pre-partition one.
+	tap.current().Reset()
+	s.SendCount(chA, 7)
+	s.SendCount(chC, 2)
+
+	waitFor(t, 5*time.Second, func() bool {
+		return r.SubscriberCount(chA) == 7 &&
+			r.SubscriberCount(chB) == 5 &&
+			r.SubscriberCount(chC) == 2
+	})
+	if got := s.Reconnects(); got != 1 {
+		t.Errorf("session reconnects = %d, want 1", got)
+	}
+	if got := s.Epoch(); got != 2 {
+		t.Errorf("session epoch = %d, want 2", got)
+	}
+	st := r.Stats()
+	if st.SessionResyncs != 1 {
+		t.Errorf("router resyncs = %d, want 1", st.SessionResyncs)
+	}
+	if st.WithdrawnCounts != 2 {
+		t.Errorf("router withdrawn = %d, want 2 (A and B from the dead connection)", st.WithdrawnCounts)
+	}
+}
+
+// TestRouterUpstreamReconnectResync is the acceptance scenario for the
+// fault-tolerant session layer, on the router-to-router link: kill the
+// edge→core connection mid-stream, watch the core's aggregate drop to zero
+// (the Section 3.2 subtraction), change the subtree state during the
+// partition, then watch the edge reconnect under backoff and resync the core
+// to exactly the new aggregates.
+func TestRouterUpstreamReconnectResync(t *testing.T) {
+	core, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+
+	var tap faultTap
+	edge, err := NewRouterOpts("127.0.0.1:0", Options{
+		Upstream:          core.Addr(),
+		KeepaliveInterval: 50 * time.Millisecond,
+		ReconnectBase:     40 * time.Millisecond,
+		Dial:              FaultDialer(tap.hook),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+
+	// The downstream neighbor is itself a session (it must keepalive, since
+	// the edge's reaper is armed).
+	s, err := DialSession(edge.Addr(), SessionOptions{KeepaliveInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	src := addr.MustParse("10.0.0.1")
+	ch1 := addr.Channel{S: src, E: addr.ExpressAddr(10)}
+	ch2 := addr.Channel{S: src, E: addr.ExpressAddr(11)}
+	s.SendCount(ch1, 4)
+	s.SendCount(ch2, 9)
+	s.Flush()
+	waitFor(t, 5*time.Second, func() bool {
+		return core.SubscriberCount(ch1) == 4 && core.SubscriberCount(ch2) == 9
+	})
+
+	// Partition: the core withdraws the edge's whole contribution well before
+	// the edge's recovery completes (keepalive failure + backoff).
+	tap.current().Reset()
+	waitFor(t, 5*time.Second, func() bool {
+		return core.SubscriberCount(ch1) == 0 && core.SubscriberCount(ch2) == 0
+	})
+
+	// The subtree changes while the link is down; the resync must carry the
+	// new aggregate, not the pre-partition one.
+	s.SendCount(ch1, 6)
+	s.Flush()
+
+	waitFor(t, 5*time.Second, func() bool {
+		return core.SubscriberCount(ch1) == 6 && core.SubscriberCount(ch2) == 9
+	})
+	if got := edge.Stats().UpstreamReconnects; got != 1 {
+		t.Errorf("edge upstream reconnects = %d, want 1", got)
+	}
+	cst := core.Stats()
+	if cst.SessionResyncs != 1 {
+		t.Errorf("core session resyncs = %d, want 1", cst.SessionResyncs)
+	}
+	if cst.WithdrawnCounts != 2 {
+		t.Errorf("core withdrawn = %d, want 2", cst.WithdrawnCounts)
+	}
+	if cst.NeighborFailures != 1 {
+		t.Errorf("core neighbor failures = %d, want 1", cst.NeighborFailures)
+	}
+}
+
+// TestStallPartitionKeepaliveBudget is the silent-partition case: the link
+// stalls without closing, so only the keepalive machinery can detect it. The
+// core's reaper must declare the edge dead within the miss budget and
+// withdraw; the edge's stalled writer must hit its write deadline, tear the
+// connection down, and recover on a fresh one.
+func TestStallPartitionKeepaliveBudget(t *testing.T) {
+	core, err := NewRouterOpts("127.0.0.1:0", Options{
+		KeepaliveInterval: 25 * time.Millisecond,
+		KeepaliveMisses:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+
+	var tap faultTap
+	edge, err := NewRouterOpts("127.0.0.1:0", Options{
+		Upstream:          core.Addr(),
+		KeepaliveInterval: 20 * time.Millisecond,
+		WriteDeadline:     150 * time.Millisecond,
+		ReconnectBase:     5 * time.Millisecond,
+		Dial:              FaultDialer(tap.hook),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+
+	s, err := DialSession(edge.Addr(), SessionOptions{KeepaliveInterval: 15 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(20)}
+	s.SendCount(ch, 5)
+	s.Flush()
+	waitFor(t, 5*time.Second, func() bool { return core.SubscriberCount(ch) == 5 })
+
+	// Stall: bytes stop flowing but the socket stays open. The core hears
+	// nothing for KeepaliveMisses×KeepaliveInterval and reaps the neighbor,
+	// withdrawing its counts.
+	start := time.Now()
+	tap.current().Stall()
+	waitFor(t, 5*time.Second, func() bool { return core.SubscriberCount(ch) == 0 })
+	if detect := time.Since(start); detect > 2*time.Second {
+		t.Errorf("withdrawal took %v, far beyond the keepalive miss budget", detect)
+	}
+	if core.Stats().NeighborFailures != 1 {
+		t.Errorf("core neighbor failures = %d, want 1", core.Stats().NeighborFailures)
+	}
+
+	// The edge's stalled writer times out, fails the connection, and the
+	// session recovers on a fresh (unstalled) one: exact resync to 5.
+	waitFor(t, 5*time.Second, func() bool { return core.SubscriberCount(ch) == 5 })
+	if got := edge.Stats().UpstreamReconnects; got < 1 {
+		t.Errorf("edge upstream reconnects = %d, want >= 1", got)
+	}
+	if got := core.Stats().SessionResyncs; got < 1 {
+		t.Errorf("core session resyncs = %d, want >= 1", got)
+	}
+}
+
+// TestStaleEpochRejected covers the partition-healing corner: a connection
+// presenting an old (or merely equal) epoch is a leftover from before the
+// partition and must be dropped, never allowed to overwrite the state of the
+// session's current epoch.
+func TestStaleEpochRejected(t *testing.T) {
+	r, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(30)}
+	send := func(t *testing.T, conn net.Conn, msgs ...wire.Message) {
+		t.Helper()
+		var buf []byte
+		for _, m := range msgs {
+			buf = m.AppendTo(buf)
+		}
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expectDropped := func(t *testing.T, conn net.Conn) {
+		t.Helper()
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Fatal("router kept a connection it should have dropped")
+		}
+	}
+
+	// Epoch 5 establishes the session with count 3.
+	c1, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	send(t, c1, &wire.Hello{SessionID: 42, Epoch: 5},
+		&wire.Count{Channel: ch, CountID: wire.CountSubscribers, Value: 3})
+	waitFor(t, 5*time.Second, func() bool { return r.SubscriberCount(ch) == 3 })
+
+	// A duplicate epoch is rejected and its counts never land.
+	c2, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	send(t, c2, &wire.Hello{SessionID: 42, Epoch: 5},
+		&wire.Count{Channel: ch, CountID: wire.CountSubscribers, Value: 100})
+	expectDropped(t, c2)
+
+	// So is an older epoch.
+	c3, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	send(t, c3, &wire.Hello{SessionID: 42, Epoch: 4})
+	expectDropped(t, c3)
+
+	if got := r.SubscriberCount(ch); got != 3 {
+		t.Fatalf("count = %d after stale connections, want 3", got)
+	}
+	if got := r.Stats().SessionResyncs; got != 0 {
+		t.Fatalf("resyncs = %d after stale connections, want 0", got)
+	}
+
+	// A newer epoch supersedes: the old connection's count is withdrawn and
+	// the replayed value stands alone — 7, not 10.
+	c4, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c4.Close()
+	send(t, c4, &wire.Hello{SessionID: 42, Epoch: 6},
+		&wire.Count{Channel: ch, CountID: wire.CountSubscribers, Value: 7})
+	waitFor(t, 5*time.Second, func() bool { return r.SubscriberCount(ch) == 7 })
+	expectDropped(t, c1)
+	if got := r.Stats().SessionResyncs; got != 1 {
+		t.Errorf("resyncs = %d, want 1", got)
+	}
+}
+
+// TestSessionCloseReportsFlushError propagates the satellite fix through the
+// session layer: a session whose final flush cannot reach the router must
+// not report a clean close.
+func TestSessionCloseReportsFlushError(t *testing.T) {
+	ln := discardListener(t)
+	var tap faultTap
+	s, err := DialSession(ln.Addr().String(), SessionOptions{
+		KeepaliveInterval: -1, // no keepalives: the buffered event stays put
+		Dial:              FaultDialer(tap.hook),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(40)}
+	s.SendCount(ch, 1)
+	tap.current().FailAfterWrites(0)
+	if err := s.Close(); !errors.Is(err, ErrInjectedReset) {
+		t.Errorf("Close = %v, want the flush error (%v)", err, ErrInjectedReset)
+	}
+}

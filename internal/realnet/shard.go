@@ -94,6 +94,16 @@ func (t *table) eventsByType() (subs, unsubs uint64) {
 	return subs, unsubs
 }
 
+// total sums the channel's per-neighbor downstream counts — the aggregate
+// advertised upstream. Callers must hold the owning shard's lock.
+func (cs *chanState) total() uint32 {
+	var t uint32
+	for _, v := range cs.downCounts {
+		t += v
+	}
+	return t
+}
+
 // setOIF and clearOIF maintain the channel's FIB outgoing-interface image.
 // Both sides apply the identical range guard: an interface beyond the
 // entry's 32-bit mask (Figure 5's "32 interfaces per router") simply has no

@@ -1,0 +1,198 @@
+package realnet
+
+import (
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/wire"
+)
+
+// upSession is the router's resilient link to its upstream neighbor: it
+// owns the current connection (wrapped in a neighbor writer), detects write
+// failure, redials with capped exponential backoff plus jitter, and on
+// every reconnect performs the Section 3.2 recovery handshake — a Hello
+// carrying the session's next epoch, followed by a full-state replay of all
+// current aggregates (batcher.markAll), so the upstream ends with exactly
+// this subtree's contribution and nothing stale from before the partition.
+type upSession struct {
+	r      *Router
+	target string
+	id     uint64
+	epoch  atomic.Uint64
+
+	cur     atomic.Pointer[neighbor] // nil while the link is down
+	batcher *batcher                 // set once, right after construction
+
+	reconnects atomic.Uint64
+	segsPrev   atomic.Uint64 // segments accounted on torn-down connections
+	dropsPrev  atomic.Uint64 // drops accounted on torn-down connections
+	rng        *rand.Rand    // monitor-goroutine only
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+// newUpSession dials the upstream synchronously (construction still fails
+// fast when the upstream is unreachable at startup) and sends the opening
+// Hello. Call start after wiring the batcher.
+func newUpSession(r *Router, target string) (*upSession, error) {
+	conn, err := r.opts.Dial(target)
+	if err != nil {
+		return nil, err
+	}
+	s := &upSession{
+		r:      r,
+		target: target,
+		id:     r.opts.SessionID,
+		rng:    rand.New(rand.NewSource(int64(r.opts.SessionID) ^ time.Now().UnixNano())),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	n := newNeighbor(-1, conn, r.opts.QueueLen, r.opts.WriteDeadline)
+	s.hello(n)
+	s.cur.Store(n)
+	return s, nil
+}
+
+// start launches the monitor goroutine; the batcher must be wired first.
+func (s *upSession) start() { go s.run() }
+
+// hello enqueues the session-opening Hello with the next epoch as the first
+// segment of a new connection (the queue is FIFO, so it precedes any
+// aggregate the batcher emits afterwards).
+func (s *upSession) hello(n *neighbor) {
+	seg := getSeg()
+	h := wire.Hello{SessionID: s.id, Epoch: s.epoch.Add(1)}
+	*seg = h.AppendTo(*seg)
+	n.enqueue(seg)
+}
+
+// enqueue routes a segment to the live connection, or accounts a drop while
+// the link is down (resync repairs the loss once it is back).
+func (s *upSession) enqueue(seg *[]byte) {
+	if n := s.cur.Load(); n != nil {
+		n.enqueue(seg)
+		return
+	}
+	s.dropsPrev.Add(1)
+	putSeg(seg)
+}
+
+// run watches the live connection for write failure and drives recovery;
+// it also sends periodic keepalives so a quiet link still proves liveness
+// to the upstream's reaper.
+func (s *upSession) run() {
+	defer close(s.done)
+	var kaC <-chan time.Time
+	if s.r.opts.KeepaliveInterval > 0 {
+		t := time.NewTicker(s.r.opts.KeepaliveInterval)
+		defer t.Stop()
+		kaC = t.C
+	}
+	for {
+		n := s.cur.Load()
+		if n == nil {
+			// Only reachable when a reconnect was aborted by quit.
+			<-s.quit
+			return
+		}
+		select {
+		case <-s.quit:
+			return
+		case <-n.failed:
+			s.reconnect(n)
+		case <-kaC:
+			s.keepalive()
+		}
+	}
+}
+
+// keepalive enqueues one liveness Count (Section 3.2: "a single
+// per-neighbor keepalive is sufficient to detect a connection failure").
+func (s *upSession) keepalive() {
+	n := s.cur.Load()
+	if n == nil {
+		return
+	}
+	seg := getSeg()
+	m := wire.Count{
+		Channel: addr.Channel{S: addr.LocalhostSource, E: addr.ExpressBase},
+		CountID: wire.CountKeepalive,
+		Value:   1,
+	}
+	*seg = m.AppendTo(*seg)
+	n.enqueue(seg)
+}
+
+// reconnect tears down the failed connection and redials under the backoff
+// schedule until it succeeds or the router shuts down. On success the new
+// epoch's Hello goes out first, then every channel is marked dirty so the
+// batcher replays the full state.
+func (s *upSession) reconnect(old *neighbor) {
+	s.cur.Store(nil)
+	old.closeOutput()
+	old.conn.Close()
+	<-old.done // writer drained; its counters are final
+	s.segsPrev.Add(old.segs.Load())
+	s.dropsPrev.Add(old.drops.Load())
+
+	for attempt := 0; ; attempt++ {
+		delay := backoffDelay(s.rng, s.r.opts.ReconnectBase, s.r.opts.ReconnectMax, attempt)
+		select {
+		case <-s.quit:
+			return
+		case <-time.After(delay):
+		}
+		conn, err := s.r.opts.Dial(s.target)
+		if err != nil {
+			continue
+		}
+		select {
+		case <-s.quit:
+			conn.Close()
+			return
+		default:
+		}
+		n := newNeighbor(-1, conn, s.r.opts.QueueLen, s.r.opts.WriteDeadline)
+		s.hello(n)
+		s.cur.Store(n)
+		s.reconnects.Add(1)
+		s.batcher.markAll() // full-state resync rides the normal flush path
+		return
+	}
+}
+
+// stop ends the monitor and drains the live connection (if any) so segments
+// already queued — including the final shutdown flush — reach the socket.
+func (s *upSession) stop() {
+	close(s.quit)
+	<-s.done
+	if n := s.cur.Load(); n != nil {
+		n.closeOutput()
+		<-n.done
+		n.conn.Close()
+	}
+}
+
+// segsTotal and dropsTotal aggregate accounting across reconnects.
+func (s *upSession) segsTotal() uint64 {
+	t := s.segsPrev.Load()
+	if n := s.cur.Load(); n != nil {
+		t += n.segs.Load()
+	}
+	return t
+}
+
+func (s *upSession) dropsTotal() uint64 {
+	t := s.dropsPrev.Load()
+	if n := s.cur.Load(); n != nil {
+		t += n.drops.Load()
+	}
+	return t
+}
+
+// dialTCP is the default Options.Dial.
+func dialTCP(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }

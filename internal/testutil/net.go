@@ -44,6 +44,16 @@ func (n *Net) Start() {
 	}
 }
 
+// Close stops every router's periodic machinery and cancels its timers.
+// Tests and sweeps that build many networks on long-lived simulators must
+// call this (or defer it) so finished routers stop firing queries and
+// keepalives into the remainder of the run.
+func (n *Net) Close() {
+	for _, r := range n.Routers {
+		r.Close()
+	}
+}
+
 // AddSource attaches a source host to router r over an edge link.
 func (n *Net) AddSource(r *ecmp.Router) *express.Source {
 	h, _, rIf := netsim.AttachHost(n.Sim, r.Node(), n.hostIdx, netsim.DefaultLAN)

@@ -306,6 +306,8 @@ func Decode(b []byte) (Message, int, error) {
 		m = &Count{}
 	case TypeCountResponse:
 		m = &CountResponse{}
+	case TypeHello:
+		m = &Hello{}
 	default:
 		return nil, 0, fmt.Errorf("%w: %d", ErrBadType, b[0])
 	}

@@ -1,0 +1,59 @@
+package wire
+
+import "encoding/binary"
+
+// Hello opens (or re-opens) a resilient neighbor session on a TCP-mode ECMP
+// connection. It is not one of the paper's three ECMP messages; it is the
+// control-plane hardening that Section 3.2's failure semantics assume: "the
+// count is subtracted from the sum provided upstream if the connection
+// fails" and re-added on recovery. The downstream side sends a Hello as the
+// first message of every connection, identifying itself with a stable
+// SessionID and a strictly increasing Epoch. The upstream side uses the
+// pair to tell a reconnect from a new neighbor: a known SessionID with a
+// higher Epoch supersedes the previous connection, so any state the old
+// (possibly half-open) connection contributed is withdrawn before the
+// replayed per-channel counts of the new epoch are applied. A Hello with a
+// stale or duplicate Epoch is rejected — it can only come from a connection
+// that predates the one already accepted.
+type Hello struct {
+	// SessionID identifies the downstream neighbor across reconnects.
+	// Zero is invalid (it would alias anonymous connections).
+	SessionID uint64
+	// Epoch increases by one on every connection attempt of the session.
+	Epoch uint64
+}
+
+// TypeHello extends the self-delimiting message vocabulary; see Hello.
+const TypeHello uint8 = 5
+
+// helloVersion guards the layout; bump on incompatible change.
+const helloVersion uint8 = 1
+
+// HelloSize is the encoded size: type, version, SessionID, Epoch.
+const HelloSize = 2 + 8 + 8
+
+// CountKeepalive is the TCP-mode per-neighbor keepalive, encoded as a
+// network-layer Count so no extra message type is needed (Section 3.2: "a
+// single per-neighbor keepalive is sufficient to detect a connection
+// failure"). Routers refresh the sender's liveness and do not propagate it.
+const CountKeepalive CountID = 0x8004
+
+// AppendTo appends the encoded message and returns the extended buffer.
+func (m *Hello) AppendTo(b []byte) []byte {
+	b = append(b, TypeHello, helloVersion)
+	b = binary.BigEndian.AppendUint64(b, m.SessionID)
+	return binary.BigEndian.AppendUint64(b, m.Epoch)
+}
+
+// DecodeFromBytes parses the message and returns the bytes consumed.
+func (m *Hello) DecodeFromBytes(b []byte) (int, error) {
+	if len(b) < HelloSize {
+		return 0, ErrShort
+	}
+	if b[0] != TypeHello || b[1] != helloVersion {
+		return 0, ErrBadType
+	}
+	m.SessionID = binary.BigEndian.Uint64(b[2:10])
+	m.Epoch = binary.BigEndian.Uint64(b[10:18])
+	return HelloSize, nil
+}

@@ -1,0 +1,43 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := Hello{SessionID: 0xdeadbeefcafe0001, Epoch: 42}
+	b := in.AppendTo(nil)
+	if len(b) != HelloSize {
+		t.Fatalf("encoded size = %d, want %d", len(b), HelloSize)
+	}
+	var out Hello
+	n, err := out.DecodeFromBytes(b)
+	if err != nil || n != HelloSize {
+		t.Fatalf("decode = (%d, %v), want (%d, nil)", n, err, HelloSize)
+	}
+	if out != in {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+
+	// Hello participates in the generic type-dispatched decoder.
+	m, n, err := Decode(b)
+	if err != nil || n != HelloSize {
+		t.Fatalf("Decode = (%d, %v), want (%d, nil)", n, err, HelloSize)
+	}
+	if h, ok := m.(*Hello); !ok || *h != in {
+		t.Errorf("Decode message = %#v, want %+v", m, in)
+	}
+}
+
+func TestHelloDecodeErrors(t *testing.T) {
+	var h Hello
+	if _, err := h.DecodeFromBytes(make([]byte, HelloSize-1)); !errors.Is(err, ErrShort) {
+		t.Errorf("short buffer error = %v, want ErrShort", err)
+	}
+	b := (&Hello{SessionID: 1, Epoch: 1}).AppendTo(nil)
+	b[1] = helloVersion + 1
+	if _, err := h.DecodeFromBytes(b); !errors.Is(err, ErrBadType) {
+		t.Errorf("bad version error = %v, want ErrBadType", err)
+	}
+}
