@@ -5,65 +5,154 @@
 //
 // A two-level deployment on one machine:
 //
-//	expressd -listen 127.0.0.1:4701                       # core
-//	expressd -listen 127.0.0.1:4702 -upstream 127.0.0.1:4701  # edge
+//	expressd -listen 127.0.0.1:4701 -admin 127.0.0.1:9090      # core
+//	expressd -listen 127.0.0.1:4702 -upstream 127.0.0.1:4701   # edge
 //	expressctl -router 127.0.0.1:4702 -source 10.0.0.1 -channel 5 -subscribe
+//
+// With -admin set, the daemon serves /metrics (Prometheus text), /statsz
+// (JSON snapshot), /healthz and /debug/pprof/ on that address.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/realnet"
 )
 
+// config is everything main parses from flags, separated so tests can run a
+// daemon without touching the flag package or the process signal handler.
+type config struct {
+	listen     string
+	upstream   string
+	admin      string
+	shards     int
+	flushEvery time.Duration
+	keepalive  time.Duration
+	kaMisses   int
+	statsEvery time.Duration
+}
+
+// daemon owns the router plus its periodic stats logger and optional admin
+// endpoint, and tears them down in the right order: background loops first,
+// then the admin listener, then the router (so /healthz never reports a
+// half-closed router as live, and the stats goroutine never scrapes a
+// closed one).
+type daemon struct {
+	r     *realnet.Router
+	admin *obs.Admin
+
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closing sync.Once
+}
+
+func newDaemon(cfg config) (*daemon, error) {
+	r, err := realnet.NewRouterOpts(cfg.listen, realnet.Options{
+		Upstream:          cfg.upstream,
+		Shards:            cfg.shards,
+		FlushInterval:     cfg.flushEvery,
+		KeepaliveInterval: cfg.keepalive,
+		KeepaliveMisses:   cfg.kaMisses,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{r: r, done: make(chan struct{})}
+
+	if cfg.admin != "" {
+		d.admin, err = obs.NewAdmin(cfg.admin, r.Obs(), d.health)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	if cfg.statsEvery > 0 {
+		d.wg.Add(1)
+		go d.statsLoop(cfg.statsEvery)
+	}
+	return d, nil
+}
+
+// statsLoop logs a stats line each interval until Close. time.Tick would
+// leak its ticker and keep firing into a closed router; the ticker here is
+// stopped and the loop joined before the router shuts down.
+func (d *daemon) statsLoop(every time.Duration) {
+	defer d.wg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	var last uint64
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-tick.C:
+		}
+		st := d.r.Stats()
+		log.Printf("expressd: channels=%d events=%d (+%d) subscribes=%d unsubscribes=%d "+
+			"up-counts=%d up-segments=%d up-drops=%d "+
+			"nbr-failures=%d withdrawn=%d resyncs=%d up-reconnects=%d",
+			st.Channels, st.Events, st.Events-last, st.Subscribes, st.Unsubscribes,
+			st.UpstreamCounts, st.UpstreamSegments, st.UpstreamDrops,
+			st.NeighborFailures, st.WithdrawnCounts, st.SessionResyncs, st.UpstreamReconnects)
+		last = st.Events
+	}
+}
+
+func (d *daemon) health() error {
+	select {
+	case <-d.done:
+		return errors.New("shutting down")
+	default:
+		return nil
+	}
+}
+
+// Close is idempotent and safe from any goroutine.
+func (d *daemon) Close() {
+	d.closing.Do(func() {
+		close(d.done)
+		d.wg.Wait()
+		if d.admin != nil {
+			d.admin.Close()
+		}
+		d.r.Close()
+	})
+}
+
 func main() {
-	listen := flag.String("listen", "127.0.0.1:4701", "address to accept ECMP neighbors on")
-	upstream := flag.String("upstream", "", "upstream expressd to forward aggregate Counts to")
-	shards := flag.Int("shards", 0, "channel-table shards (0 = default)")
-	flushInterval := flag.Duration("flush-interval", 0, "upstream batcher age trigger (0 = default)")
-	keepalive := flag.Duration("keepalive", 0, "neighbor liveness probe interval; enables the silent-neighbor reaper and upstream keepalives (0 disables)")
-	keepaliveMisses := flag.Int("keepalive-misses", 0, "missed probe budget before a silent neighbor's counts are withdrawn (0 = default)")
-	statsEvery := flag.Duration("stats", 10*time.Second, "interval between stats lines (0 disables)")
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:4701", "address to accept ECMP neighbors on")
+	flag.StringVar(&cfg.upstream, "upstream", "", "upstream expressd to forward aggregate Counts to")
+	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP address serving /metrics, /statsz, /healthz and /debug/pprof (empty disables)")
+	flag.IntVar(&cfg.shards, "shards", 0, "channel-table shards (0 = default)")
+	flag.DurationVar(&cfg.flushEvery, "flush-interval", 0, "upstream batcher age trigger (0 = default)")
+	flag.DurationVar(&cfg.keepalive, "keepalive", 0, "neighbor liveness probe interval; enables the silent-neighbor reaper and upstream keepalives (0 disables)")
+	flag.IntVar(&cfg.kaMisses, "keepalive-misses", 0, "missed probe budget before a silent neighbor's counts are withdrawn (0 = default)")
+	flag.DurationVar(&cfg.statsEvery, "stats", 10*time.Second, "interval between stats lines (0 disables)")
 	flag.Parse()
 
-	r, err := realnet.NewRouterOpts(*listen, realnet.Options{
-		Upstream:          *upstream,
-		Shards:            *shards,
-		FlushInterval:     *flushInterval,
-		KeepaliveInterval: *keepalive,
-		KeepaliveMisses:   *keepaliveMisses,
-	})
+	d, err := newDaemon(cfg)
 	if err != nil {
 		log.Fatalf("expressd: %v", err)
 	}
-	log.Printf("expressd: listening on %s (upstream %q)", r.Addr(), *upstream)
-
-	if *statsEvery > 0 {
-		go func() {
-			var last uint64
-			for range time.Tick(*statsEvery) {
-				st := r.Stats()
-				log.Printf("expressd: channels=%d events=%d (+%d) subscribes=%d unsubscribes=%d "+
-					"up-counts=%d up-segments=%d up-drops=%d "+
-					"nbr-failures=%d withdrawn=%d resyncs=%d up-reconnects=%d",
-					st.Channels, st.Events, st.Events-last, st.Subscribes, st.Unsubscribes,
-					st.UpstreamCounts, st.UpstreamSegments, st.UpstreamDrops,
-					st.NeighborFailures, st.WithdrawnCounts, st.SessionResyncs, st.UpstreamReconnects)
-				last = st.Events
-			}
-		}()
+	log.Printf("expressd: listening on %s (upstream %q)", d.r.Addr(), cfg.upstream)
+	if d.admin != nil {
+		log.Printf("expressd: admin endpoint on http://%s/", d.admin.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println()
-	log.Printf("expressd: shutting down after %d events", r.Events())
-	r.Close()
+	log.Printf("expressd: shutting down after %d events", d.r.Events())
+	d.Close()
 }

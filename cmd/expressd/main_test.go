@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/obs"
+	"repro/internal/realnet"
+)
+
+func init() {
+	log.SetOutput(io.Discard) // silence the daemon's stats lines under test
+}
+
+// TestCleanShutdown is the regression test for the stats-logger leak: the
+// loop used time.Tick, whose ticker can never be stopped, so every daemon
+// left a goroutine firing into a closed router forever. The loop must join
+// before Router.Close and the daemon must come down goroutine-clean.
+func TestCleanShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	d, err := newDaemon(config{listen: "127.0.0.1:0", statsEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(25 * time.Millisecond) // let the logger tick a few times
+	d.Close()
+	d.Close() // idempotent
+
+	if err := d.health(); err == nil {
+		t.Error("health() = nil after Close, want shutting-down error")
+	}
+
+	// The stats goroutine (and the router's own loops) must be gone; give
+	// the runtime a moment to reap them.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after Close: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestAdminEndpointsUnderLoad is the acceptance test: a two-level core+edge
+// deployment under client load, with the edge's -admin endpoint serving all
+// four surfaces and the /statsz scrape showing live propagation-latency and
+// batcher-flush histograms.
+func TestAdminEndpointsUnderLoad(t *testing.T) {
+	core, err := newDaemon(config{listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+
+	edge, err := newDaemon(config{
+		listen:     "127.0.0.1:0",
+		upstream:   core.r.Addr(),
+		admin:      "127.0.0.1:0",
+		flushEvery: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+	base := "http://" + edge.admin.Addr()
+
+	// Load: four neighbors churning subscriptions across a channel space.
+	const conns, perConn = 4, 300
+	for i := 0; i < conns; i++ {
+		c, err := realnet.Dial(edge.r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		src := addr.MustParse("171.64.9.1")
+		for j := 0; j < perConn; j++ {
+			ch := addr.Channel{S: src, E: addr.ExpressAddr(uint32(j % 64))}
+			if err := c.Subscribe(ch); err != nil {
+				t.Fatal(err)
+			}
+			if j%3 == 0 {
+				if err := c.Unsubscribe(ch); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Scrape /statsz until the hot-path histograms show the load above:
+	// ingest->flush propagation latency and batcher flush sizes.
+	var snap obs.Snapshot
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body := get(t, base+"/statsz")
+		if code != http.StatusOK {
+			t.Fatalf("/statsz status = %d", code)
+		}
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("/statsz not JSON: %v\n%s", err, body)
+		}
+		if snap.Histograms["router_prop_latency_ns"].Count > 0 &&
+			snap.Histograms["router_flush_size_counts"].Count > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("histograms never populated; snapshot: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	pl := snap.Histograms["router_prop_latency_ns"]
+	if pl.P50 <= 0 || pl.Max == 0 {
+		t.Errorf("prop latency snapshot implausible: %+v", pl)
+	}
+	fs := snap.Histograms["router_flush_size_counts"]
+	if fs.Sum == 0 {
+		t.Errorf("flush size histogram has zero sum: %+v", fs)
+	}
+	if got := snap.Counters["router_events_total"]; got == 0 {
+		t.Error("router_events_total = 0 under load")
+	}
+
+	// /metrics: Prometheus text with the histogram series and counters.
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE router_prop_latency_ns histogram",
+		"router_prop_latency_ns_bucket{le=\"+Inf\"}",
+		"router_flush_size_counts_sum",
+		"# TYPE router_events_total counter",
+		"router_neighbors ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /healthz: live while running.
+	if code, body := get(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+
+	// /debug/pprof/: index and one profile.
+	if code, _ := get(t, base+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+
+	// The edge's flushes must actually have reached the core.
+	cdeadline := time.Now().Add(5 * time.Second)
+	for core.r.Events() == 0 {
+		if time.Now().After(cdeadline) {
+			t.Fatal("core saw no upstream events from the edge")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAdminAddrInUse: a bad admin address must fail daemon startup and not
+// leak the already-listening router.
+func TestAdminAddrInUse(t *testing.T) {
+	d, err := newDaemon(config{listen: "127.0.0.1:0", admin: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if _, err := newDaemon(config{listen: "127.0.0.1:0", admin: d.admin.Addr()}); err == nil {
+		t.Fatal("second daemon on the same admin address succeeded, want error")
+	}
+	// The failed daemon's router must not hold its port: a third daemon on
+	// fresh ports still starts.
+	d3, err := newDaemon(config{listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("daemon after failed startup: %v", err)
+	}
+	d3.Close()
+}

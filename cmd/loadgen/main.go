@@ -25,10 +25,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
 	"sync"
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/obs"
 	"repro/internal/realnet"
 )
 
@@ -47,6 +50,7 @@ func main() {
 	space := flag.Int("space", 4096, "channels per connection (cycled)")
 	flushEvery := flag.Int("flush", 512, "events buffered per connection before a flush")
 	flap := flag.Duration("flap", 0, "mean interval between injected connection resets (0 disables fault injection)")
+	statsz := flag.String("statsz", "", "an external router's /statsz URL to scrape for server-side histograms (e.g. http://127.0.0.1:9090/statsz)")
 	flag.Parse()
 
 	var r *realnet.Router
@@ -130,7 +134,64 @@ func main() {
 		fmt.Printf("router events    %12d (subscribes %d, unsubscribes %d)\n", st.Events, st.Subscribes, st.Unsubscribes)
 		fmt.Printf("live channels    %12d\n", st.Channels)
 	}
+	reportServerSide(r, *statsz)
 	os.Exit(0)
+}
+
+// reportServerSide prints the router's own hot-path histograms — a second,
+// independent measurement of the numbers loadgen derives client-side. For an
+// in-process router it snapshots the registry directly; for an external
+// expressd it scrapes the admin endpoint's /statsz.
+func reportServerSide(r *realnet.Router, statszURL string) {
+	var snap obs.Snapshot
+	switch {
+	case r != nil:
+		snap = r.Obs().Snapshot()
+	case statszURL != "":
+		resp, err := http.Get(statszURL)
+		if err != nil {
+			log.Printf("loadgen: scrape %s: %v", statszURL, err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Printf("loadgen: scrape %s: status %d", statszURL, resp.StatusCode)
+			return
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			log.Printf("loadgen: scrape %s: %v", statszURL, err)
+			return
+		}
+	default:
+		return
+	}
+	dur := func(v float64) string { return time.Duration(v).Round(time.Microsecond).String() }
+	num := func(v float64) string { return fmt.Sprintf("%.0f", v) }
+	var lines []string
+	lines = appendHist(lines, snap, "router_prop_latency_ns", "prop latency", dur)
+	lines = appendHist(lines, snap, "router_flush_size_counts", "flush size", num)
+	lines = appendHist(lines, snap, "router_flush_interval_ns", "flush interval", dur)
+	lines = appendHist(lines, snap, "router_upstream_queue_depth", "queue depth", num)
+	if len(lines) == 0 {
+		return
+	}
+	source := statszURL
+	if r != nil {
+		source = "in-process registry"
+	}
+	fmt.Printf("server-side (from %s):\n", source)
+	for _, l := range lines {
+		fmt.Print(l)
+	}
+}
+
+func appendHist(lines []string, snap obs.Snapshot, name, label string, fmtv func(float64) string) []string {
+	h, ok := snap.Histograms[name]
+	if !ok || h.Count == 0 {
+		return lines
+	}
+	return append(lines, fmt.Sprintf("  %-15s n=%-8d p50=%-10s p90=%-10s p99=%-10s max=%s\n",
+		label, h.Count, fmtv(h.P50), fmtv(h.P90), fmtv(h.P99), fmtv(float64(h.Max))))
 }
 
 // connTap holds the fault handle of a session's current connection; the

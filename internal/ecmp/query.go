@@ -93,7 +93,15 @@ func (r *Router) runAggregation(originIf int, originNbr addr.Addr, q *wire.Count
 		return
 	}
 	pk := pendKey{id: q.CountID, seq: q.Seq}
-	if _, dup := c.pending[pk]; dup {
+	if pq, dup := c.pending[pk]; dup {
+		// A retransmitted query while the aggregation is still in flight:
+		// the origin re-asked because our reply hasn't arrived. Dropping
+		// the duplicate silently would starve the re-querying parent —
+		// instead the origin is re-attached, and finalizeQuery sends the
+		// eventual total to every attached origin.
+		pq.extraOrigins = append(pq.extraOrigins, queryOrigin{
+			ifindex: originIf, nbr: originNbr, cb: cb,
+		})
 		return
 	}
 
@@ -127,8 +135,10 @@ func (r *Router) runAggregation(originIf int, originNbr addr.Addr, q *wire.Count
 		remaining: make(map[addr.Addr]bool, len(targets)),
 		sum:       self,
 		selfAdded: true,
+		startedAt: r.node.Sim().Now(),
 	}
 	c.pending[pk] = pq
+	r.queryFanout.Observe(uint64(len(targets)))
 	for nbr, ifi := range targets {
 		pq.remaining[nbr] = true
 		r.sendMsg(ifi, nbr, &wire.CountQuery{
@@ -176,7 +186,13 @@ func (r *Router) finalizeQuery(c *channel, pk pendKey, q *wire.CountQuery) {
 		pq.timer.Stop()
 	}
 	delete(c.pending, pk)
+	if rtt := r.node.Sim().Now() - pq.startedAt; rtt >= 0 {
+		r.queryRTT.Observe(uint64(rtt))
+	}
 	r.replyQuery(pq.originIf, pq.originNbr, q, pq.sum, pq.cb)
+	for _, o := range pq.extraOrigins {
+		r.replyQuery(o.ifindex, o.nbr, q, pq.sum, o.cb)
+	}
 	r.maybeDeleteChannel(c)
 }
 

@@ -1,0 +1,148 @@
+package ecmp
+
+// Regression test for aggregation-query retransmission: a duplicate
+// CountQuery (same pendKey) arriving while the aggregation is still in
+// flight used to be dropped silently, so a parent that re-queried after
+// losing the first reply never got an answer. The duplicate's origin is now
+// re-attached and receives the eventual total. (testutil cannot be used
+// here — it imports ecmp — so the topology is built by hand.)
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/netsim"
+	"repro/internal/unicast"
+	"repro/internal/wire"
+)
+
+// captureHandler records ECMP payloads delivered to a bare node.
+type captureHandler struct {
+	counts []wire.Count
+}
+
+func (h *captureHandler) Receive(ifindex int, pkt *netsim.Packet) {
+	if m, ok := pkt.Payload.(*wire.Count); ok {
+		h.counts = append(h.counts, *m)
+	}
+}
+
+// retransmitNet builds parent — router — child, with the router holding one
+// channel whose only subscriber neighbor is the child, so an aggregation
+// query from the parent fans exactly to the child.
+func retransmitNet(t *testing.T) (sim *netsim.Sim, r *Router, parent, child *captureHandler, ifP, ifC int, pAddr, cAddr addr.Addr, ch addr.Channel) {
+	t.Helper()
+	sim = netsim.New(7)
+	rn := sim.AddNode(addr.MustParse("10.0.0.1"), "r")
+	pn := sim.AddNode(addr.MustParse("10.0.0.2"), "parent")
+	cn := sim.AddNode(addr.MustParse("10.0.0.3"), "child")
+	_, ifP, _ = sim.Connect(rn, pn, netsim.Millisecond, 0, 1)
+	_, ifC, _ = sim.Connect(rn, cn, netsim.Millisecond, 0, 1)
+	parent, child = &captureHandler{}, &captureHandler{}
+	pn.Handler = parent
+	cn.Handler = child
+
+	rt := unicast.Compute(sim)
+	r = NewRouter(rn, rt, DefaultConfig())
+
+	ch = addr.Channel{S: addr.MustParse("171.64.1.1"), E: addr.ExpressAddr(9)}
+	c := &channel{
+		id:        ch,
+		upIf:      ifP,
+		upNbr:     pn.Addr,
+		counts:    make(map[wire.CountID]*countState),
+		pending:   make(map[pendKey]*pendingQuery),
+		proactive: make(map[wire.CountID]bool),
+	}
+	c.counts[wire.CountSubscribers] = &countState{
+		vals: map[int]map[addr.Addr]uint32{ifC: {cn.Addr: 3}},
+	}
+	r.channels[ch] = c
+	return sim, r, parent, child, ifP, ifC, pn.Addr, cn.Addr, ch
+}
+
+func aggQuery(ch addr.Channel, seq uint16) *wire.CountQuery {
+	return &wire.CountQuery{
+		Channel: ch, CountID: wire.CountSubscribers, Seq: seq, TimeoutMs: 1000,
+	}
+}
+
+// TestQueryRetransmissionGetsReply is the bugfix acceptance test: the
+// parent's retransmitted query joins the in-flight aggregation and the
+// final total is sent for both copies.
+func TestQueryRetransmissionGetsReply(t *testing.T) {
+	sim, r, parent, _, ifP, ifC, pAddr, cAddr, ch := retransmitNet(t)
+
+	r.handleQuery(ifP, pAddr, aggQuery(ch, 7))
+	if len(r.channels[ch].pending) != 1 {
+		t.Fatal("aggregation did not pend")
+	}
+	// The retransmission arrives while the child's answer is outstanding.
+	r.handleQuery(ifP, pAddr, aggQuery(ch, 7))
+	if got := len(r.channels[ch].pending); got != 1 {
+		t.Fatalf("pending aggregations = %d, want 1 (dup must join, not fork)", got)
+	}
+
+	// The child answers; the aggregation completes.
+	r.handleQueryReply(ifC, cAddr, &wire.Count{
+		Channel: ch, CountID: wire.CountSubscribers, Seq: 7, Value: 5,
+	})
+	sim.Run()
+
+	if len(parent.counts) != 2 {
+		t.Fatalf("parent received %d replies, want 2 (original + retransmission)", len(parent.counts))
+	}
+	for i, m := range parent.counts {
+		if m.Seq != 7 || m.Value != 5 {
+			t.Errorf("reply %d = seq %d value %d, want seq 7 value 5", i, m.Seq, m.Value)
+		}
+	}
+	if rtt := r.queryRTT.Snapshot(); rtt.Count != 1 {
+		t.Errorf("query RTT observations = %d, want 1", rtt.Count)
+	}
+	if fo := r.queryFanout.Snapshot(); fo.Count != 1 || fo.Max != 1 {
+		t.Errorf("fanout histogram = %+v, want one observation of 1", fo)
+	}
+}
+
+// TestQueryRetransmissionAfterFinalize: a duplicate arriving after the
+// aggregation completed is a fresh aggregation (the pending entry is gone),
+// not a stale re-reply — both copies still get answers.
+func TestQueryRetransmissionAfterFinalize(t *testing.T) {
+	sim, r, parent, _, ifP, ifC, pAddr, cAddr, ch := retransmitNet(t)
+
+	r.handleQuery(ifP, pAddr, aggQuery(ch, 9))
+	r.handleQueryReply(ifC, cAddr, &wire.Count{
+		Channel: ch, CountID: wire.CountSubscribers, Seq: 9, Value: 4,
+	})
+	// Retransmission after the first aggregation finished.
+	r.handleQuery(ifP, pAddr, aggQuery(ch, 9))
+	r.handleQueryReply(ifC, cAddr, &wire.Count{
+		Channel: ch, CountID: wire.CountSubscribers, Seq: 9, Value: 4,
+	})
+	sim.Run()
+
+	if len(parent.counts) != 2 {
+		t.Fatalf("parent received %d replies, want 2", len(parent.counts))
+	}
+}
+
+// TestLocalQueryRetransmissionCallback covers the locally-originated form:
+// a second InitiateQuery colliding on the same pendKey must still fire its
+// callback with the aggregated total.
+func TestLocalQueryRetransmissionCallback(t *testing.T) {
+	sim, r, _, _, _, ifC, _, cAddr, ch := retransmitNet(t)
+
+	var got []uint32
+	q := aggQuery(ch, 11)
+	r.runAggregation(-1, 0, q, func(v uint32) { got = append(got, v) })
+	r.runAggregation(-1, 0, q, func(v uint32) { got = append(got, v) })
+	r.handleQueryReply(ifC, cAddr, &wire.Count{
+		Channel: ch, CountID: wire.CountSubscribers, Seq: 11, Value: 6,
+	})
+	sim.Run()
+
+	if len(got) != 2 || got[0] != 6 || got[1] != 6 {
+		t.Fatalf("callbacks fired with %v, want [6 6]", got)
+	}
+}

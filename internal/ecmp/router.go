@@ -7,6 +7,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/fib"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/unicast"
 	"repro/internal/wire"
 )
@@ -33,6 +34,12 @@ type Router struct {
 	metrics  Metrics
 	querySeq uint16
 	routeVer uint64
+	// obsReg exposes the router's histograms (aggregation-query RTT and
+	// fan-out width, in simulated time) plus its FIB's rebuild/load
+	// metrics; scraped by tests and by cost-experiment reporting.
+	obsReg      *obs.Registry
+	queryRTT    *obs.Histogram // simulated ns, initiation → final total
+	queryFanout *obs.Histogram // downstream neighbors queried per aggregation
 	// stopped halts the periodic reschedule chains; set by Close.
 	stopped bool
 	// The live periodic timers, held so Close can cancel them (each tick
@@ -106,11 +113,25 @@ type pendingQuery struct {
 	originNbr addr.Addr
 	cb        func(uint32) // local originator's callback
 
+	// extraOrigins holds the origins of retransmitted copies of this query
+	// (a parent re-asking before the aggregation completed): each receives
+	// the eventual total too, instead of the duplicate being dropped and
+	// the re-querying parent starving.
+	extraOrigins []queryOrigin
+
 	remaining map[addr.Addr]bool // neighbors yet to answer
 	sum       uint32
 	selfAdded bool
+	startedAt netsim.Time // aggregation start, for the RTT histogram
 	timer     *netsim.Timer
 	done      bool
+}
+
+// queryOrigin identifies one requester of an aggregation's total.
+type queryOrigin struct {
+	ifindex int
+	nbr     addr.Addr
+	cb      func(uint32)
 }
 
 type pendingAuth struct {
@@ -132,7 +153,11 @@ func NewRouter(node *netsim.Node, rt *unicast.Routing, cfg Config) *Router {
 		ifmode:     make(map[int]Mode),
 		nbrRouters: make(map[int]map[addr.Addr]netsim.Time),
 		nbrAlive:   make(map[addr.Addr]netsim.Time),
+		obsReg:     obs.NewRegistry(),
 	}
+	r.queryRTT = r.obsReg.NewHistogram("ecmp_query_rtt_ns", "aggregation-query round trip, initiation to final total (simulated ns)")
+	r.queryFanout = r.obsReg.NewHistogram("ecmp_query_fanout", "downstream neighbors queried per aggregation")
+	r.fib.RegisterMetrics(r.obsReg, "fib_")
 	node.Handler = r
 	r.routeVer = rt.Version()
 	// Re-evaluate channel upstreams whenever the IGP converges on a new
@@ -196,6 +221,10 @@ func (r *Router) FIB() *fib.Table { return r.fib }
 
 // Metrics returns a copy of the protocol counters.
 func (r *Router) Metrics() Metrics { return r.metrics }
+
+// Obs returns the router's metric registry: aggregation-query RTT and
+// fan-out histograms plus the FIB's rebuild-duration and load metrics.
+func (r *Router) Obs() *obs.Registry { return r.obsReg }
 
 // SetIfaceMode configures TCP or UDP mode for an interface (Section 3.2).
 // The default for unconfigured interfaces is TCP.

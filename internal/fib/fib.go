@@ -28,8 +28,10 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/addr"
+	"repro/internal/obs"
 )
 
 // MaxInterfaces is the number of interfaces representable in one entry's
@@ -198,11 +200,18 @@ type Table struct {
 	used int        // live entries + tombstones in the current array
 
 	stats [statStripes]statStripe
+
+	// rebuilds and rebuildNs observe the copy-on-write generation
+	// rebuilds: how often the table paid a full rebuild and how long each
+	// one blocked the writer (readers never block — they keep probing the
+	// old generation until the pointer swap).
+	rebuilds  atomic.Uint64
+	rebuildNs *obs.Histogram
 }
 
 // New returns an empty FIB.
 func New() *Table {
-	t := &Table{}
+	t := &Table{rebuildNs: obs.NewHistogram()}
 	t.p.Store(newSlotArray(minSlots))
 	return t
 }
@@ -292,6 +301,7 @@ func (t *Table) Delete(k Key) {
 // Concurrent readers keep probing the old generation until the pointer swap
 // and see a consistent (slightly stale) table. Caller holds t.mu.
 func (t *Table) rebuildLocked(a *slotArray) *slotArray {
+	start := time.Now()
 	live := int(t.live.Load())
 	n := len(a.slots)
 	if (live+1)*2 > n {
@@ -315,11 +325,39 @@ func (t *Table) rebuildLocked(a *slotArray) *slotArray {
 	}
 	t.used = live
 	t.p.Store(na)
+	t.rebuilds.Add(1)
+	t.rebuildNs.Observe(uint64(time.Since(start)))
 	return na
 }
 
 // Len returns the number of entries.
 func (t *Table) Len() int { return int(t.live.Load()) }
+
+// LoadFactor returns the occupied fraction of the current slot array —
+// live entries plus tombstones over capacity. Writers grow or compact
+// before it passes 3/4, so a healthy table reads below 0.75.
+func (t *Table) LoadFactor() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return float64(t.used) / float64(len(t.p.Load().slots))
+}
+
+// Rebuilds returns how many generation rebuilds the table has performed.
+func (t *Table) Rebuilds() uint64 { return t.rebuilds.Load() }
+
+// RegisterMetrics exposes the table's observability surface — forwarding
+// counters, size, load factor, and the generation-rebuild duration
+// histogram — on reg under the given name prefix.
+func (t *Table) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.RegisterHistogram(prefix+"rebuild_ns", "generation rebuild duration (ns, writer-side)", t.rebuildNs)
+	reg.NewCounterFunc(prefix+"rebuilds_total", "copy-on-write generation rebuilds", t.rebuilds.Load)
+	reg.NewGaugeFunc(prefix+"entries", "live forwarding entries", func() float64 { return float64(t.Len()) })
+	reg.NewGaugeFunc(prefix+"load_factor", "slot-array occupancy (live + tombstones)", t.LoadFactor)
+	reg.NewCounterFunc(prefix+"lookups_total", "forwarding lookups", func() uint64 { return t.Stats().Lookups })
+	reg.NewCounterFunc(prefix+"matched_total", "lookups that matched and forwarded", func() uint64 { return t.Stats().Matched })
+	reg.NewCounterFunc(prefix+"unmatched_drops_total", "EXPRESS packets counted and dropped (no entry)", func() uint64 { return t.Stats().UnmatchedDrops })
+	reg.NewCounterFunc(prefix+"iif_drops_total", "packets dropped on the RPF interface check", func() uint64 { return t.Stats().IIFDrops })
+}
 
 // MemoryBytes returns the fast-path memory the table would occupy at the
 // paper's 12-bytes-per-entry encoding (Figure 5) — the quantity the Section

@@ -1,0 +1,71 @@
+package fib
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/obs"
+)
+
+// TestRebuildMetrics verifies the generation-rebuild instrumentation: every
+// grow/compact is counted and timed, and the load factor stays under the
+// 3/4 growth threshold.
+func TestRebuildMetrics(t *testing.T) {
+	tb := New()
+	src := addr.MustParse("171.64.7.9")
+	for i := 0; i < 1000; i++ {
+		tb.Set(Key{S: src, G: addr.ExpressAddr(uint32(i))}, entry(0, 1))
+	}
+	if tb.Rebuilds() == 0 {
+		t.Fatal("1000 inserts from minSlots triggered no rebuild")
+	}
+	if s := tb.rebuildNs.Snapshot(); s.Count != tb.Rebuilds() {
+		t.Errorf("rebuild histogram count = %d, want %d", s.Count, tb.Rebuilds())
+	}
+	if lf := tb.LoadFactor(); lf <= 0 || lf > 0.75 {
+		t.Errorf("load factor = %g, want in (0, 0.75]", lf)
+	}
+
+	// Deleting everything leaves tombstones; the next insert pressure
+	// compacts them away in a same-size rebuild.
+	before := tb.Rebuilds()
+	for i := 0; i < 1000; i++ {
+		tb.Delete(Key{S: src, G: addr.ExpressAddr(uint32(i))})
+	}
+	for i := 2000; i < 3000; i++ {
+		tb.Set(Key{S: src, G: addr.ExpressAddr(uint32(i))}, entry(0, 1))
+	}
+	if tb.Rebuilds() == before {
+		t.Error("tombstone pressure triggered no compacting rebuild")
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	tb := New()
+	reg := obs.NewRegistry()
+	tb.RegisterMetrics(reg, "fib_")
+	src := addr.MustParse("171.64.7.9")
+	for i := 0; i < 100; i++ {
+		tb.Set(Key{S: src, G: addr.ExpressAddr(uint32(i))}, entry(0, 1))
+	}
+	tb.ForwardMask(src, addr.ExpressAddr(5), 0)
+	tb.ForwardMask(addr.MustParse("10.0.0.1"), addr.ExpressAddr(5), 0)
+
+	s := reg.Snapshot()
+	if s.Gauges["fib_entries"] != 100 {
+		t.Errorf("fib_entries = %g, want 100", s.Gauges["fib_entries"])
+	}
+	if s.Counters["fib_lookups_total"] != 2 || s.Counters["fib_matched_total"] != 1 {
+		t.Errorf("lookups = %d matched = %d, want 2 and 1",
+			s.Counters["fib_lookups_total"], s.Counters["fib_matched_total"])
+	}
+	if s.Counters["fib_unmatched_drops_total"] != 1 {
+		t.Errorf("unmatched drops = %d, want 1", s.Counters["fib_unmatched_drops_total"])
+	}
+	if s.Counters["fib_rebuilds_total"] == 0 || s.Histograms["fib_rebuild_ns"].Count == 0 {
+		t.Error("rebuilds not visible through the registry")
+	}
+	if lf, ok := s.Gauges["fib_load_factor"]; !ok || lf <= 0 {
+		t.Errorf("fib_load_factor = %g, want > 0", lf)
+	}
+}

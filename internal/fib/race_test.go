@@ -58,8 +58,12 @@ func TestConcurrentForwardDuringChurn(t *testing.T) {
 		readerWG.Add(1)
 		go func() {
 			defer readerWG.Done()
+			// done is sampled at the bottom so every reader performs at
+			// least one lookup even if the writers finish before this
+			// goroutine is first scheduled (single-CPU machines under
+			// parallel test load) — the stats assertions below need it.
 			var i uint32
-			for !writersDone.Load() {
+			for done := false; !done; done = writersDone.Load() {
 				// Stable range: must forward with exactly the stable OIFs
 				// minus the arrival interface, or IIF-drop on a wrong iif.
 				iif := int(i % MaxInterfaces)

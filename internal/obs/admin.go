@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Admin is the operational HTTP endpoint of a daemon: the scrape surface
+// (/metrics text, /statsz JSON), a liveness probe (/healthz), and the
+// stdlib profiler (/debug/pprof/). It binds its own listener so the data
+// and control sockets of the router stay untouched, and it shuts down
+// cleanly — Close unblocks the serve loop and closes the listener.
+type Admin struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewAdmin serves reg on addr (":0" picks an ephemeral port). healthy, if
+// non-nil, gates /healthz: a non-nil error reports 503 with the error text.
+func NewAdmin(addr string, reg *Registry, healthy func() error) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if healthy != nil {
+			if err := healthy(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	a := &Admin{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+// Addr returns the bound listen address.
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the server immediately (in-flight scrapes are cut; a metrics
+// endpoint has no request worth draining for).
+func (a *Admin) Close() error { return a.srv.Close() }

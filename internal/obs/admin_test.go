@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func adminGet(t *testing.T, a *Admin, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + a.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("events_total", "events").Add(5)
+	reg.NewHistogram("latency_ns", "").Observe(1000)
+
+	a, err := NewAdmin("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	code, body := adminGet(t, a, "/metrics")
+	if code != 200 || !strings.Contains(body, "events_total 5") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if !strings.Contains(body, "latency_ns_count 1") {
+		t.Errorf("/metrics missing histogram:\n%s", body)
+	}
+
+	code, body = adminGet(t, a, "/statsz")
+	if code != 200 {
+		t.Fatalf("/statsz = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/statsz not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["events_total"] != 5 || snap.Histograms["latency_ns"].Count != 1 {
+		t.Errorf("/statsz snapshot = %+v", snap)
+	}
+
+	if code, body = adminGet(t, a, "/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	if code, _ = adminGet(t, a, "/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestAdminHealthzUnhealthy(t *testing.T) {
+	a, err := NewAdmin("127.0.0.1:0", NewRegistry(), func() error {
+		return errors.New("router closed")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	code, body := adminGet(t, a, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "router closed") {
+		t.Errorf("/healthz = %d %q, want 503 with reason", code, body)
+	}
+}
+
+func TestAdminClose(t *testing.T) {
+	a, err := NewAdmin("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := a.Addr()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("admin still serving after Close")
+	}
+}

@@ -1,0 +1,30 @@
+package obs
+
+import "testing"
+
+// The instrumentation contract: recording must be safe to place on the
+// router's allocation-free fast paths. The strict zero assertion is skipped
+// under the race detector, whose sync.Pool instrumentation may allocate.
+
+func TestObserveZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is not meaningful under -race")
+	}
+	h := NewHistogram()
+	h.Observe(1) // warm the stripe and pool
+	var v uint64
+	if a := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v += 4093
+	}); a != 0 {
+		t.Errorf("Histogram.Observe allocates %.2f/op, want 0", a)
+	}
+	var c Counter
+	if a := testing.AllocsPerRun(1000, func() { c.Inc() }); a != 0 {
+		t.Errorf("Counter.Inc allocates %.2f/op, want 0", a)
+	}
+	var g Gauge
+	if a := testing.AllocsPerRun(1000, func() { g.Set(int64(v)) }); a != 0 {
+		t.Errorf("Gauge.Set allocates %.2f/op, want 0", a)
+	}
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// numBuckets is one bucket per power of two of a uint64 value, plus the
+// zero bucket: bucket 0 holds exactly 0, bucket b (b ≥ 1) holds values in
+// [2^(b-1), 2^b). 65 buckets cover the full range, so recording never
+// clamps — a 30 s latency in nanoseconds lands in bucket 35.
+const numBuckets = 65
+
+// bucketOf maps a value to its log2 bucket.
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// bucketBounds returns the [lo, hi) value range of bucket b.
+func bucketBounds(b int) (lo, hi uint64) {
+	if b == 0 {
+		return 0, 1
+	}
+	if b >= 64 {
+		return 1 << 63, 1<<64 - 1
+	}
+	return 1 << (b - 1), 1 << b
+}
+
+// histStripe is one writer's slice of a histogram. The leading pad keeps a
+// stripe's first counter off the cache line of whatever the allocator
+// placed before it; stripes are allocated independently, so two stripes
+// never share a line in practice.
+type histStripe struct {
+	_       [64]byte
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+func (s *histStripe) observe(v uint64) {
+	s.buckets[bucketOf(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+	for {
+		cur := s.max.Load()
+		if v <= cur || s.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Histogram is a lock-free log2-bucketed histogram built for hot-path
+// writers: observations land on per-CPU stripes (a sync.Pool hands each P
+// its last-used stripe back, so steady-state recording is two or three
+// uncontended atomic adds and never allocates), and scrapes merge the
+// stripes into one snapshot. The stripe set is fixed at construction —
+// GC-cleared pools re-route writers onto existing stripes rather than
+// growing the set — so a histogram's memory is bounded regardless of run
+// length.
+type Histogram struct {
+	slots []atomic.Pointer[histStripe] // lazily filled, never shrinks
+	next  atomic.Uint32                // round-robin slot cursor for pool misses
+	pool  sync.Pool                    // routes each P back to its stripe
+}
+
+// NewHistogram returns an unregistered histogram; Registry.NewHistogram is
+// the usual constructor.
+func NewHistogram() *Histogram {
+	n := 1
+	for n < runtime.NumCPU() && n < 64 {
+		n <<= 1
+	}
+	return &Histogram{slots: make([]atomic.Pointer[histStripe], n)}
+}
+
+// stripe returns the calling P's stripe, routing through the pool so
+// consecutive observations from one P hit the same cache lines.
+func (h *Histogram) stripe() *histStripe {
+	if sp, _ := h.pool.Get().(*histStripe); sp != nil {
+		return sp
+	}
+	i := (h.next.Add(1) - 1) % uint32(len(h.slots))
+	if sp := h.slots[i].Load(); sp != nil {
+		return sp
+	}
+	sp := &histStripe{}
+	if !h.slots[i].CompareAndSwap(nil, sp) {
+		sp = h.slots[i].Load()
+	}
+	return sp
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	sp := h.stripe()
+	sp.observe(v)
+	h.pool.Put(sp)
+}
+
+// ObserveInt records a non-negative int (negatives clamp to 0).
+func (h *Histogram) ObserveInt(v int) {
+	if v < 0 {
+		v = 0
+	}
+	h.Observe(uint64(v))
+}
+
+// HistSnapshot is a merged, read-only view of a histogram.
+type HistSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     uint64        `json:"sum"`
+	Max     uint64        `json:"max"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one non-empty bucket: N observations with value < Le (and
+// ≥ the previous bucket's Le) — the upper bound is exclusive, halved-open
+// like the Prometheus "le" convention rounded up to the next power of two.
+type BucketCount struct {
+	Le uint64 `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// Mean returns the arithmetic mean of the recorded values.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot merges every stripe into one view. It runs concurrently with
+// writers; counters are read individually, so a snapshot taken mid-update
+// may be off by in-flight observations but never corrupt.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var merged [numBuckets]uint64
+	var s HistSnapshot
+	for i := range h.slots {
+		sp := h.slots[i].Load()
+		if sp == nil {
+			continue
+		}
+		s.Count += sp.count.Load()
+		s.Sum += sp.sum.Load()
+		if m := sp.max.Load(); m > s.Max {
+			s.Max = m
+		}
+		for b := range sp.buckets {
+			merged[b] += sp.buckets[b].Load()
+		}
+	}
+	if s.Count == 0 {
+		return s
+	}
+	// Interpolation inside the top bucket can overshoot the largest value
+	// actually seen; clamping to it keeps p99 <= max in reports.
+	s.P50 = min(quantile(&merged, s.Count, 0.50), float64(s.Max))
+	s.P90 = min(quantile(&merged, s.Count, 0.90), float64(s.Max))
+	s.P99 = min(quantile(&merged, s.Count, 0.99), float64(s.Max))
+	for b, n := range merged {
+		if n == 0 {
+			continue
+		}
+		_, hi := bucketBounds(b)
+		s.Buckets = append(s.Buckets, BucketCount{Le: hi, N: n})
+	}
+	return s
+}
+
+// quantile estimates the q-quantile from log2 buckets by locating the
+// bucket where the cumulative count crosses rank and interpolating
+// linearly inside it. Log2 bucketing bounds the relative error at 2×,
+// which is what a scrape-time percentile needs: the order of magnitude
+// and the trend, not the exact nanosecond.
+func quantile(buckets *[numBuckets]uint64, count uint64, q float64) float64 {
+	rank := q * float64(count)
+	var cum float64
+	for b, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(n)
+		if cum < rank {
+			continue
+		}
+		lo, hi := bucketBounds(b)
+		frac := (rank - prev) / float64(n)
+		return float64(lo) + frac*float64(hi-lo)
+	}
+	return 0
+}

@@ -1,0 +1,237 @@
+// Package obs is the observability core of the repo's daemons: atomic
+// counters and gauges, lock-free log2-bucketed histograms with a per-CPU
+// striped write path, and a registry that exposes everything in a
+// plain-text exposition format (Prometheus-compatible) and as a /statsz
+// JSON snapshot. It depends only on the standard library and is built so
+// instrumentation can sit on allocation-free fast paths: recording a
+// counter or histogram observation allocates nothing and takes no lock.
+//
+// The paper's §5.3 user-level router is where this matters: channel
+// maintenance is measured in thousands of cycles per event, so the
+// instrumentation watching it must cost tens of cycles, not a mutex.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// kind classifies a metric for the text exposition's TYPE line.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered entry. Exactly one of the value fields is set.
+type metric struct {
+	name string
+	help string
+	kind kind
+
+	counter     *Counter
+	counterFunc func() uint64
+	gauge       *Gauge
+	gaugeFunc   func() float64
+	hist        *Histogram
+}
+
+// Registry holds a named set of metrics and renders them for scraping.
+// Registration takes a lock; reading registered metrics does not.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", m.name))
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge to pre-existing atomic counters (router stats).
+func (r *Registry) NewCounterFunc(name, help string, fn func() uint64) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, counterFunc: fn})
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge computed by fn at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, gaugeFunc: fn})
+}
+
+// NewHistogram registers and returns a histogram.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := NewHistogram()
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// RegisterHistogram registers an existing histogram — for packages that own
+// their instrument (a FIB's rebuild timer) and expose it to whichever
+// daemon's registry scrapes them.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+}
+
+// snapshotMetrics copies the registered slice so render loops run without
+// the lock (scrape-time funcs may themselves take locks, e.g. a channel
+// count summing shard maps).
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*metric(nil), r.metrics...)
+}
+
+// Snapshot is the /statsz JSON document: flat maps per metric class.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot reads every metric once.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	for _, m := range r.snapshotMetrics() {
+		switch {
+		case m.counter != nil:
+			s.Counters[m.name] = m.counter.Load()
+		case m.counterFunc != nil:
+			s.Counters[m.name] = m.counterFunc()
+		case m.gauge != nil:
+			s.Gauges[m.name] = float64(m.gauge.Load())
+		case m.gaugeFunc != nil:
+			s.Gauges[m.name] = m.gaugeFunc()
+		case m.hist != nil:
+			s.Histograms[m.name] = m.hist.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteText renders the registry in the plain-text exposition format:
+//
+//	# HELP name help
+//	# TYPE name counter|gauge|histogram
+//	name value
+//
+// Histograms render cumulative le-labeled buckets plus _sum and _count,
+// so any Prometheus-format scraper ingests them directly.
+func (r *Registry) WriteText(w io.Writer) error {
+	ms := r.snapshotMetrics()
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case m.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Load())
+		case m.counterFunc != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counterFunc())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Load())
+		case m.gaugeFunc != nil:
+			_, err = fmt.Fprintf(w, "%s %g\n", m.name, m.gaugeFunc())
+		case m.hist != nil:
+			err = writeTextHist(w, m.name, m.hist.Snapshot())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTextHist(w io.Writer, name string, s HistSnapshot) error {
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.N
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n", name, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	return err
+}

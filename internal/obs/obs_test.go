@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "a counter")
+	g := r.NewGauge("g", "a gauge")
+	c.Inc()
+	c.Add(41)
+	g.Set(7)
+	g.Add(-3)
+	if c.Load() != 42 {
+		t.Errorf("counter = %d, want 42", c.Load())
+	}
+	if g.Load() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Load())
+	}
+	s := r.Snapshot()
+	if s.Counters["c_total"] != 42 || s.Gauges["g"] != 4 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterFunc("events_total", "", func() uint64 { return 99 })
+	r.NewGaugeFunc("load", "", func() float64 { return 0.5 })
+	s := r.Snapshot()
+	if s.Counters["events_total"] != 99 || s.Gauges["load"] != 0.5 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.NewCounter("x", "")
+	r.NewCounter("x", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	for _, tc := range []struct {
+		v      uint64
+		bucket int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11}} {
+		if got := bucketOf(tc.v); got != tc.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.bucket)
+		}
+	}
+	lo, hi := bucketBounds(11)
+	if lo != 1024 || hi != 2048 {
+		t.Errorf("bucketBounds(11) = [%d, %d), want [1024, 2048)", lo, hi)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram()
+	// 1000 observations uniform over [0, 1000): percentiles should land
+	// within the 2× relative error bound of log2 buckets.
+	for i := 0; i < 1000; i++ {
+		h.Observe(uint64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Sum != 999*1000/2 {
+		t.Errorf("sum = %d, want %d", s.Sum, 999*1000/2)
+	}
+	if s.Max != 999 {
+		t.Errorf("max = %d, want 999", s.Max)
+	}
+	if s.P50 < 250 || s.P50 > 1000 {
+		t.Errorf("p50 = %g, want within 2x of 500", s.P50)
+	}
+	if s.P99 < 495 || s.P99 > 1980 {
+		t.Errorf("p99 = %g, want within 2x of 990", s.P99)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Errorf("quantiles not monotone: p50=%g p90=%g p99=%g", s.P50, s.P90, s.P99)
+	}
+	var n uint64
+	for _, b := range s.Buckets {
+		n += b.N
+	}
+	if n != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", n, s.Count)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.Mean() != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(1 << 20)
+	}
+	s := h.Snapshot()
+	lo, hi := float64(uint64(1)<<20), float64(uint64(1)<<21)
+	for _, q := range []float64{s.P50, s.P90, s.P99} {
+		if q < lo || q > hi || math.IsNaN(q) {
+			t.Errorf("quantile %g outside the value's bucket [%g, %g)", q, lo, hi)
+		}
+	}
+}
+
+// TestHistogramConcurrent is the race-clean acceptance check: many writers
+// against concurrent scrapes, with exact conservation of the total count.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const writers, per = 8, 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if s := h.Snapshot(); s.Count != writers*per {
+		t.Errorf("count = %d, want %d (lost observations)", s.Count, writers*per)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("events_total", "processed events")
+	g := r.NewGauge("channels", "")
+	h := r.NewHistogram("latency_ns", "flush latency")
+	c.Add(3)
+	g.Set(2)
+	h.Observe(5)
+	h.Observe(100)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP events_total processed events",
+		"# TYPE events_total counter",
+		"events_total 3",
+		"# TYPE channels gauge",
+		"channels 2",
+		"# TYPE latency_ns histogram",
+		`latency_ns_bucket{le="8"} 1`,
+		`latency_ns_bucket{le="128"} 2`,
+		`latency_ns_bucket{le="+Inf"} 2`,
+		"latency_ns_sum 105",
+		"latency_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var v uint64
+		for pb.Next() {
+			h.Observe(v)
+			v += 997
+		}
+	})
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

@@ -33,25 +33,33 @@ type batcher struct {
 	counts  atomic.Uint64 // Count messages flushed upstream (post-coalescing)
 	flushes atomic.Uint64 // flush passes that emitted at least one segment
 
+	obs *routerObs
+
 	// flusher-goroutine state: the segment under construction and one spare
 	// dirty map per shard, swapped in while the taken map is drained;
 	// emitted segments travel in pooled buffers (segPool), so steady-state
-	// flushing is allocation-free.
-	batch  *wire.Batch
-	spares []map[addr.Channel]uint32
+	// flushing is allocation-free. ageScratch carries the swept shards'
+	// dirty-window open times to the post-emit latency observation, and
+	// lastEmit is when the previous emitting pass finished.
+	batch      *wire.Batch
+	spares     []map[addr.Channel]uint32
+	ageScratch []int64
+	lastEmit   int64
 }
 
-func newBatcher(t *table, up *upSession, interval time.Duration, trigger int) *batcher {
+func newBatcher(t *table, up *upSession, interval time.Duration, trigger int, o *routerObs) *batcher {
 	b := &batcher{
-		table:    t,
-		up:       up,
-		interval: interval,
-		trigger:  trigger,
-		kick:     make(chan struct{}, 1),
-		quit:     make(chan struct{}),
-		done:     make(chan struct{}),
-		batch:    wire.NewBatch(),
-		spares:   make([]map[addr.Channel]uint32, len(t.shards)),
+		table:      t,
+		up:         up,
+		interval:   interval,
+		trigger:    trigger,
+		obs:        o,
+		kick:       make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		batch:      wire.NewBatch(),
+		spares:     make([]map[addr.Channel]uint32, len(t.shards)),
+		ageScratch: make([]int64, 0, len(t.shards)),
 	}
 	for i := range b.spares {
 		b.spares[i] = make(map[addr.Channel]uint32)
@@ -66,6 +74,12 @@ func newBatcher(t *table, up *upSession, interval time.Duration, trigger int) *b
 // zero after the channel was deleted).
 func (b *batcher) markLocked(sh *shard, ch addr.Channel, total uint32) {
 	if _, ok := sh.dirty[ch]; !ok {
+		if len(sh.dirty) == 0 {
+			// First mark of the shard's flush window: the ingest end of
+			// the propagation-latency measurement. One clock read per
+			// window, amortized over every event it coalesces.
+			sh.dirtyAt = time.Now().UnixNano()
+		}
 		if b.pending.Add(1) >= int64(b.trigger) {
 			select {
 			case b.kick <- struct{}{}:
@@ -108,7 +122,8 @@ func (b *batcher) flush() {
 	if b.pending.Load() == 0 {
 		return
 	}
-	emitted := false
+	total := 0
+	b.ageScratch = b.ageScratch[:0]
 	var msg wire.Count
 	for i, sh := range b.table.shards {
 		sh.mu.Lock()
@@ -118,8 +133,10 @@ func (b *batcher) flush() {
 		}
 		taken := sh.dirty
 		sh.dirty = b.spares[i]
+		openedAt := sh.dirtyAt
 		sh.mu.Unlock()
 		b.pending.Add(-int64(len(taken)))
+		b.ageScratch = append(b.ageScratch, openedAt)
 		for ch, v := range taken {
 			msg = wire.Count{Channel: ch, CountID: wire.CountSubscribers, Value: v}
 			if !b.batch.Add(&msg) {
@@ -127,14 +144,30 @@ func (b *batcher) flush() {
 				b.batch.Add(&msg)
 			}
 			b.counts.Add(1)
-			emitted = true
+			total++
 		}
 		clear(taken)
 		b.spares[i] = taken
 	}
 	b.emit()
-	if emitted {
+	if total > 0 {
 		b.flushes.Add(1)
+		// Everything swept this pass now sits in the upstream queue:
+		// observe the ingest→flush latency per swept shard, the pass's
+		// coalesced size, and the spacing since the previous emitting pass.
+		now := time.Now().UnixNano()
+		for _, openedAt := range b.ageScratch {
+			if d := now - openedAt; d > 0 {
+				b.obs.propLatency.Observe(uint64(d))
+			}
+		}
+		b.obs.flushSize.ObserveInt(total)
+		if b.lastEmit > 0 {
+			if d := now - b.lastEmit; d > 0 {
+				b.obs.flushInterval.Observe(uint64(d))
+			}
+		}
+		b.lastEmit = now
 	}
 }
 

@@ -1,0 +1,85 @@
+package realnet
+
+import "repro/internal/obs"
+
+// routerObs is the router's observability surface: the histograms fed from
+// the hot paths plus the registry that exposes them (and the pre-existing
+// atomic counters) to the admin endpoint. Recording is lock-free and
+// allocation-free, so instrumentation does not perturb the §5.3 per-event
+// cost it exists to measure.
+type routerObs struct {
+	reg *obs.Registry
+
+	// propLatency is the ingest→upstream-flush propagation latency: the
+	// time from a shard's first dirty mark of a flush window until the
+	// window's counts were handed to the upstream queue. One observation
+	// per swept shard per flush pass.
+	propLatency *obs.Histogram
+	// flushSize is the number of coalesced Counts emitted per flush pass.
+	flushSize *obs.Histogram
+	// flushInterval is the spacing between flush passes that emitted data.
+	flushInterval *obs.Histogram
+	// queueDepth samples the upstream output queue depth at every enqueue.
+	queueDepth *obs.Histogram
+}
+
+func newRouterObs() *routerObs {
+	reg := obs.NewRegistry()
+	return &routerObs{
+		reg:           reg,
+		propLatency:   reg.NewHistogram("router_prop_latency_ns", "ingest to upstream-flush propagation latency (ns)"),
+		flushSize:     reg.NewHistogram("router_flush_size_counts", "coalesced Counts per batcher flush pass"),
+		flushInterval: reg.NewHistogram("router_flush_interval_ns", "spacing between emitting flush passes (ns)"),
+		queueDepth:    reg.NewHistogram("router_upstream_queue_depth", "upstream output queue depth at enqueue"),
+	}
+}
+
+// Obs returns the router's metric registry, ready to serve on an obs.Admin
+// endpoint or snapshot directly (loadgen's server-side percentiles).
+func (r *Router) Obs() *obs.Registry { return r.obs.reg }
+
+// registerMetrics bridges the router's existing atomic counters into the
+// registry as scrape-time funcs; nothing new is counted, the same words
+// that feed Stats() feed /metrics.
+func (r *Router) registerMetrics() {
+	reg := r.obs.reg
+	reg.NewCounterFunc("router_events_total", "membership events processed", r.table.totalEvents)
+	reg.NewCounterFunc("router_subscribes_total", "subscribe events processed", func() uint64 {
+		s, _ := r.table.eventsByType()
+		return s
+	})
+	reg.NewCounterFunc("router_unsubscribes_total", "unsubscribe events processed", func() uint64 {
+		_, u := r.table.eventsByType()
+		return u
+	})
+	reg.NewCounterFunc("router_neighbor_failures_total", "downstream connections whose counts were withdrawn", r.failures.Load)
+	reg.NewCounterFunc("router_withdrawn_counts_total", "per-channel contributions withdrawn on failure", r.withdrawn.Load)
+	reg.NewCounterFunc("router_session_resyncs_total", "session reconnects accepted (Hello with a newer epoch)", r.resyncs.Load)
+	reg.NewGaugeFunc("router_channels", "channels currently holding state", func() float64 {
+		return float64(r.table.numChannels())
+	})
+	reg.NewGaugeFunc("router_shards", "channel-table shards", func() float64 {
+		return float64(len(r.table.shards))
+	})
+	reg.NewGaugeFunc("router_neighbors", "downstream neighbor connections accepted", func() float64 {
+		return float64(r.NumNeighbors())
+	})
+	reg.NewCounterFunc("router_neighbor_drops_total", "segments dropped toward downstream neighbors", func() uint64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		var n uint64
+		for _, c := range r.conns {
+			n += c.drops.Load()
+		}
+		return n
+	})
+	if r.batcher != nil {
+		reg.NewCounterFunc("router_upstream_counts_total", "coalesced Count messages flushed upstream", r.batcher.counts.Load)
+		reg.NewCounterFunc("router_flushes_total", "batcher flush passes that emitted data", r.batcher.flushes.Load)
+	}
+	if r.upSess != nil {
+		reg.NewCounterFunc("router_upstream_segments_total", "segments accepted into the upstream queue", r.upSess.segsTotal)
+		reg.NewCounterFunc("router_upstream_drops_total", "segments dropped (queue full or dead upstream)", r.upSess.dropsTotal)
+		reg.NewCounterFunc("router_upstream_reconnects_total", "times the upstream link was re-established", r.upSess.reconnects.Load)
+	}
+}

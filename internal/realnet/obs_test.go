@@ -1,0 +1,155 @@
+package realnet
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/wire"
+)
+
+// TestProcessCountZeroAlloc pins the acceptance contract for the
+// instrumented count-ingest path: with the channel and neighbor entries
+// warm, processing a Count — including the batcher dirty-mark and its
+// propagation-latency timestamping — allocates nothing.
+func TestProcessCountZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is not meaningful under -race")
+	}
+	core, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	edge, err := NewRouter("127.0.0.1:0", core.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+
+	c, err := Dial(edge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	src := addr.MustParse("171.64.1.1")
+	ch := addr.Channel{S: src, E: addr.ExpressAddr(42)}
+	if err := c.Subscribe(ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitEvents(t, edge, 1)
+
+	edge.mu.Lock()
+	n := edge.conns[0]
+	edge.mu.Unlock()
+
+	// Warm the dirty map and both count values, then measure. The client's
+	// read loop is parked on its socket, so driving processCount directly
+	// from here matches the read loop's calling context exactly.
+	m := wire.Count{Channel: ch, CountID: wire.CountSubscribers, Value: 2}
+	edge.processCount(n, &m)
+	v := uint32(1)
+	if a := testing.AllocsPerRun(5000, func() {
+		m := wire.Count{Channel: ch, CountID: wire.CountSubscribers, Value: v}
+		edge.processCount(n, &m)
+		v ^= 3 // alternate 1 and 2 so every event changes the aggregate
+	}); a != 0 {
+		t.Errorf("instrumented count-ingest allocates %.2f/op, want 0", a)
+	}
+}
+
+// TestStatsScrapeVsChurnRace is the Router.Stats() consistency check:
+// neighbors churn subscriptions while concurrent scrapers pull Stats(),
+// registry snapshots, and the text exposition. Run under -race in CI.
+func TestStatsScrapeVsChurnRace(t *testing.T) {
+	core, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := NewRouterOpts("127.0.0.1:0", Options{
+		Upstream:      core.Addr(),
+		FlushInterval: 200 * time.Microsecond,
+	})
+	if err != nil {
+		core.Close()
+		t.Fatal(err)
+	}
+
+	const conns, perConn = 4, 400
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := edge.Stats()
+				if st.Subscribes+st.Unsubscribes != st.Events {
+					t.Errorf("inconsistent stats: subs %d + unsubs %d != events %d",
+						st.Subscribes, st.Unsubscribes, st.Events)
+					return
+				}
+				edge.Obs().Snapshot()
+				edge.Obs().WriteText(io.Discard)
+				core.Obs().Snapshot()
+			}
+		}()
+	}
+
+	var churn sync.WaitGroup
+	src := addr.MustParse("171.64.1.1")
+	for i := 0; i < conns; i++ {
+		churn.Add(1)
+		go func(i int) {
+			defer churn.Done()
+			c, err := Dial(edge.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perConn; j++ {
+				ch := addr.Channel{S: src, E: addr.ExpressAddr(uint32(i)<<16 | uint32(j%64))}
+				c.Subscribe(ch)
+				c.Unsubscribe(ch)
+				if j%32 == 31 {
+					c.Flush()
+				}
+			}
+			c.Flush()
+		}(i)
+	}
+	churn.Wait()
+	waitEvents(t, edge, conns*perConn*2)
+	close(stop)
+	scrapers.Wait()
+
+	// Scrape one more time after the dust settles: the batcher must have
+	// recorded real flushes and latencies from the churn.
+	snap := edge.Obs().Snapshot()
+	if snap.Histograms["router_flush_size_counts"].Count == 0 {
+		t.Error("no batcher flushes recorded during churn")
+	}
+	if snap.Histograms["router_prop_latency_ns"].Count == 0 {
+		t.Error("no propagation latencies recorded during churn")
+	}
+	if snap.Counters["router_events_total"] != conns*perConn*2 {
+		t.Errorf("events_total = %d, want %d", snap.Counters["router_events_total"], conns*perConn*2)
+	}
+	if err := edge.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

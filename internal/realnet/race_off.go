@@ -1,0 +1,7 @@
+//go:build !race
+
+package realnet
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// regression tests skip their strict zero assertions under -race.
+const raceEnabled = false

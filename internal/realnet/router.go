@@ -146,6 +146,7 @@ type Router struct {
 	ln      net.Listener
 	opts    Options
 	table   *table
+	obs     *routerObs
 	upSess  *upSession // nil at the tree root
 	batcher *batcher   // nil at the tree root
 
@@ -201,6 +202,7 @@ func NewRouterOpts(listenAddr string, opts Options) (*Router, error) {
 		ln:       ln,
 		opts:     opts,
 		table:    newTable(opts.Shards),
+		obs:      newRouterObs(),
 		sessions: make(map[uint64]*sessionRecord),
 	}
 	if opts.Upstream != "" {
@@ -210,10 +212,11 @@ func NewRouterOpts(listenAddr string, opts Options) (*Router, error) {
 			return nil, err
 		}
 		r.upSess = s
-		r.batcher = newBatcher(r.table, s, opts.FlushInterval, opts.FlushBatch)
+		r.batcher = newBatcher(r.table, s, opts.FlushInterval, opts.FlushBatch, r.obs)
 		s.batcher = r.batcher
 		s.start()
 	}
+	r.registerMetrics()
 	if opts.KeepaliveInterval > 0 {
 		r.reaperQuit = make(chan struct{})
 		r.reaperDone = make(chan struct{})

@@ -27,6 +27,10 @@ type shard struct {
 	// flush, with the latest total. Guarded by mu; swapped out wholesale by
 	// the batcher so marking stays on the shard's own lock.
 	dirty map[addr.Channel]uint32
+	// dirtyAt is when the current dirty window opened (unix nanoseconds of
+	// the first mark since the last sweep) — the ingest end of the
+	// propagation-latency measurement. Guarded by mu.
+	dirtyAt int64
 
 	events       atomic.Uint64
 	subscribes   atomic.Uint64

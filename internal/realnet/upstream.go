@@ -71,9 +71,12 @@ func (s *upSession) hello(n *neighbor) {
 }
 
 // enqueue routes a segment to the live connection, or accounts a drop while
-// the link is down (resync repairs the loss once it is back).
+// the link is down (resync repairs the loss once it is back). The queue
+// depth is sampled on every enqueue — backpressure toward the upstream
+// shows up as a right-shifting depth histogram long before drops start.
 func (s *upSession) enqueue(seg *[]byte) {
 	if n := s.cur.Load(); n != nil {
+		s.r.obs.queueDepth.ObserveInt(len(n.out))
 		n.enqueue(seg)
 		return
 	}
