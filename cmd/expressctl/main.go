@@ -1,5 +1,9 @@
 // Command expressctl is a client for expressd: it subscribes to or
-// unsubscribes from EXPRESS channels, or floods churn for load testing.
+// unsubscribes from EXPRESS channels, floods churn for load testing, or —
+// with the recv subcommand — joins a channel as a data receiver and prints
+// the packets the router replicates to it:
+//
+//	expressctl recv -router 127.0.0.1:4702 -source 10.0.0.1 -channel 5 -count 10
 package main
 
 import (
@@ -10,10 +14,67 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/dataplane"
 	"repro/internal/realnet"
 )
 
+// runRecv is the `expressctl recv` subcommand: open a UDP receiver socket,
+// dial a resilient session that advertises its port in the Hello, subscribe,
+// and print every data packet until -count packets arrived or -timeout of
+// silence passed.
+func runRecv(argv []string) {
+	fs := flag.NewFlagSet("recv", flag.ExitOnError)
+	router := fs.String("router", "127.0.0.1:4701", "expressd to subscribe through")
+	source := fs.String("source", "10.0.0.1", "channel source address S")
+	channel := fs.Uint("channel", 1, "channel suffix (E = 232/8 + suffix)")
+	count := fs.Int("count", 0, "stop after this many packets (0 = run until timeout or interrupt)")
+	timeout := fs.Duration("timeout", 30*time.Second, "give up after this much silence")
+	fs.Parse(argv)
+
+	s, err := addr.Parse(*source)
+	if err != nil {
+		log.Fatalf("expressctl recv: %v", err)
+	}
+	ch := addr.Channel{S: s, E: addr.ExpressAddr(uint32(*channel))}
+
+	r, err := dataplane.NewReceiver()
+	if err != nil {
+		log.Fatalf("expressctl recv: %v", err)
+	}
+	defer r.Close()
+	// Keepalive faster than expressd's default reaper budget (-keepalive
+	// 100ms × 3 misses), so a quiet receiver session is never reaped.
+	sess, err := realnet.DialSession(*router, realnet.SessionOptions{
+		DataPort:          r.Port(),
+		KeepaliveInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatalf("expressctl recv: %v", err)
+	}
+	defer sess.Close()
+	if err := sess.Subscribe(ch); err != nil {
+		log.Fatalf("expressctl recv: %v", err)
+	}
+	if err := sess.Flush(); err != nil {
+		log.Fatalf("expressctl recv: %v", err)
+	}
+	fmt.Printf("listening on udp %s, subscribed to %v via %s\n", r.Addr(), ch, *router)
+
+	for n := 0; *count == 0 || n < *count; n++ {
+		pkt, err := r.RecvTimeout(*timeout)
+		if err != nil {
+			log.Fatalf("expressctl recv: %v", err)
+		}
+		fmt.Printf("%v seq=%d flags=%#x %d bytes: %q\n",
+			pkt.Channel, pkt.Seq, pkt.Flags, len(pkt.Payload), pkt.Payload)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "recv" {
+		runRecv(os.Args[2:])
+		return
+	}
 	router := flag.String("router", "127.0.0.1:4701", "expressd to connect to")
 	source := flag.String("source", "10.0.0.1", "channel source address S")
 	channel := flag.Uint("channel", 1, "channel suffix (E = 232/8 + suffix)")

@@ -5,9 +5,13 @@
 //
 // A two-level deployment on one machine:
 //
-//	expressd -listen 127.0.0.1:4701 -admin 127.0.0.1:9090      # core
-//	expressd -listen 127.0.0.1:4702 -upstream 127.0.0.1:4701   # edge
+//	expressd -listen 127.0.0.1:4701 -data-port 4801 -admin 127.0.0.1:9090     # core
+//	expressd -listen 127.0.0.1:4702 -data-port 4802 -upstream 127.0.0.1:4701  # edge
 //	expressctl -router 127.0.0.1:4702 -source 10.0.0.1 -channel 5 -subscribe
+//
+// With -data-port set, the daemon also runs the UDP data plane: packets a
+// source injects at the core's data port are replicated hop by hop to every
+// subscribed neighbor and receiver (see expressctl recv).
 //
 // With -admin set, the daemon serves /metrics (Prometheus text), /statsz
 // (JSON snapshot), /healthz and /debug/pprof/ on that address.
@@ -18,8 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -34,11 +40,27 @@ type config struct {
 	listen     string
 	upstream   string
 	admin      string
+	dataPort   int
 	shards     int
 	flushEvery time.Duration
 	keepalive  time.Duration
 	kaMisses   int
 	statsEvery time.Duration
+}
+
+// dataListen derives the UDP data-plane bind address from -data-port: the
+// same host the control plane listens on, so one flag turns the daemon into
+// a data-forwarding router. A negative port (the default) leaves the plane
+// off; 0 binds a kernel-chosen port (logged at startup).
+func (c config) dataListen() string {
+	if c.dataPort < 0 {
+		return ""
+	}
+	host, _, err := net.SplitHostPort(c.listen)
+	if err != nil || host == "" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, strconv.Itoa(c.dataPort))
 }
 
 // daemon owns the router plus its periodic stats logger and optional admin
@@ -62,6 +84,7 @@ func newDaemon(cfg config) (*daemon, error) {
 		FlushInterval:     cfg.flushEvery,
 		KeepaliveInterval: cfg.keepalive,
 		KeepaliveMisses:   cfg.kaMisses,
+		DataListen:        cfg.dataListen(),
 	})
 	if err != nil {
 		return nil, err
@@ -104,6 +127,11 @@ func (d *daemon) statsLoop(every time.Duration) {
 			st.UpstreamCounts, st.UpstreamSegments, st.UpstreamDrops,
 			st.NeighborFailures, st.WithdrawnCounts, st.SessionResyncs, st.UpstreamReconnects)
 		last = st.Events
+		if dp := d.r.DataPlane(); dp != nil {
+			ds := dp.Stats()
+			log.Printf("expressd: data packets=%d bytes=%d replicated=%d sent=%d drops=%d bad=%d no-port=%d",
+				ds.Packets, ds.Bytes, ds.Replicated, ds.Sent, ds.Drops, ds.BadPackets, ds.NoPort)
+		}
 	}
 }
 
@@ -133,6 +161,7 @@ func main() {
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:4701", "address to accept ECMP neighbors on")
 	flag.StringVar(&cfg.upstream, "upstream", "", "upstream expressd to forward aggregate Counts to")
 	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP address serving /metrics, /statsz, /healthz and /debug/pprof (empty disables)")
+	flag.IntVar(&cfg.dataPort, "data-port", -1, "UDP port for the data plane on the -listen host (0 = kernel-chosen, negative disables)")
 	flag.IntVar(&cfg.shards, "shards", 0, "channel-table shards (0 = default)")
 	flag.DurationVar(&cfg.flushEvery, "flush-interval", 0, "upstream batcher age trigger (0 = default)")
 	flag.DurationVar(&cfg.keepalive, "keepalive", 0, "neighbor liveness probe interval; enables the silent-neighbor reaper and upstream keepalives (0 disables)")
@@ -145,6 +174,9 @@ func main() {
 		log.Fatalf("expressd: %v", err)
 	}
 	log.Printf("expressd: listening on %s (upstream %q)", d.r.Addr(), cfg.upstream)
+	if da := d.r.DataAddr(); da != "" {
+		log.Printf("expressd: data plane on udp %s", da)
+	}
 	if d.admin != nil {
 		log.Printf("expressd: admin endpoint on http://%s/", d.admin.Addr())
 	}

@@ -1,0 +1,159 @@
+package main
+
+// Data-plane load mode (experiment E13): N receivers subscribe to one
+// channel, a source injects paced UDP packets at the router's data port, and
+// loadgen reports offered rate, per-receiver goodput, loss, and the
+// router's own dp_forward_ns / dp_fanout histograms.
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/dataplane"
+	"repro/internal/realnet"
+)
+
+// dataReceiver is one subscriber: a UDP receiver socket plus the session
+// that advertises it, and the counters its read loop maintains.
+type dataReceiver struct {
+	r    *dataplane.Receiver
+	sess *realnet.Session
+
+	pkts  atomic.Uint64
+	bytes atomic.Uint64
+}
+
+// runData drives the data plane: subscribe recvs receivers through the
+// router, pace pps packets of payload bytes at it for duration, and report.
+// dataTarget is the UDP address packets are injected at — the in-process
+// router's own data port, or an external expressd's -data-port.
+func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, pps, payload int, duration time.Duration, statszURL string) {
+	ch := addr.Channel{S: addr.MustParse("171.64.1.1"), E: addr.ExpressAddr(13)}
+
+	rxs := make([]*dataReceiver, recvs)
+	for i := range rxs {
+		rx := &dataReceiver{}
+		var err error
+		if rx.r, err = dataplane.NewReceiver(); err != nil {
+			log.Fatalf("loadgen: receiver %d: %v", i, err)
+		}
+		defer rx.r.Close()
+		// Keepalive well inside any realistic reaper budget (expressd
+		// -keepalive 100ms × 3 misses), or an otherwise idle receiver
+		// session gets reaped mid-run and the route flaps.
+		rx.sess, err = realnet.DialSession(ctrlAddr, realnet.SessionOptions{
+			DataPort:          rx.r.Port(),
+			KeepaliveInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatalf("loadgen: session %d: %v", i, err)
+		}
+		defer rx.sess.Close()
+		if err := rx.sess.Subscribe(ch); err != nil || rx.sess.Flush() != nil {
+			log.Fatalf("loadgen: subscribe %d: %v", i, err)
+		}
+		rxs[i] = rx
+	}
+
+	src, err := dataplane.NewSource(dataTarget, ch, dataplane.SourceOptions{PacePPS: pps})
+	if err != nil {
+		log.Fatalf("loadgen: source: %v", err)
+	}
+	defer src.Close()
+
+	// Warm up until the forwarding state is programmed end to end: probe
+	// packets flow as soon as the counts have propagated and every hop has
+	// the route and the receivers' ports. Only sequence numbers beyond the
+	// warm-up are measured.
+	warmDeadline := time.Now().Add(10 * time.Second)
+	for rxs[0].r.Drain() == 0 {
+		if time.Now().After(warmDeadline) {
+			log.Fatal("loadgen: forwarding state did not converge (no probe delivered in 10s)")
+		}
+		if err := src.Send([]byte("probe")); err != nil {
+			log.Fatalf("loadgen: probe: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	measureFrom := src.Seq()
+	for _, rx := range rxs {
+		rx.r.Drain() // discard straggler probes before counting
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, rx := range rxs {
+		wg.Add(1)
+		go func(rx *dataReceiver) {
+			defer wg.Done()
+			for {
+				pkt, err := rx.r.RecvTimeout(100 * time.Millisecond)
+				if err != nil {
+					select {
+					case <-stop:
+						return
+					default:
+						continue // timeout while the run is still going
+					}
+				}
+				if pkt.Seq <= measureFrom {
+					continue
+				}
+				rx.pkts.Add(1)
+				rx.bytes.Add(uint64(len(pkt.Payload)))
+			}
+		}(rx)
+	}
+
+	buf := make([]byte, payload)
+	start := time.Now()
+	deadline := start.Add(duration)
+	for time.Now().Before(deadline) {
+		if err := src.Send(buf); err != nil {
+			log.Fatalf("loadgen: send: %v", err)
+		}
+	}
+	elapsed := time.Since(start)
+	sent := uint64(src.Seq() - measureFrom)
+	// Give in-flight packets a flush window to land before stopping the
+	// read loops.
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	var rxPkts, rxBytes uint64
+	minRx := ^uint64(0)
+	for _, rx := range rxs {
+		n := rx.pkts.Load()
+		rxPkts += n
+		rxBytes += rx.bytes.Load()
+		if n < minRx {
+			minRx = n
+		}
+	}
+	expected := sent * uint64(recvs)
+	lossPct := 0.0
+	if expected > 0 {
+		lossPct = 100 * float64(expected-rxPkts) / float64(expected)
+	}
+	fmt.Printf("recvs=%d payload=%dB duration=%v GOMAXPROCS=%d\n",
+		recvs, payload, elapsed.Round(time.Millisecond), runtime.GOMAXPROCS(0))
+	fmt.Printf("offered          %12d pkts (%.0f pps)\n", sent, float64(sent)/elapsed.Seconds())
+	fmt.Printf("delivered        %12d pkts (%.0f pps aggregate, min receiver %d)\n",
+		rxPkts, float64(rxPkts)/elapsed.Seconds(), minRx)
+	fmt.Printf("goodput          %12.1f Mbit/s aggregate\n", 8*float64(rxBytes)/elapsed.Seconds()/1e6)
+	fmt.Printf("loss             %12.2f %%\n", lossPct)
+	if r != nil {
+		ds := r.DataPlane().Stats()
+		fmt.Printf("router data      packets=%d replicated=%d sent=%d drops=%d no-port=%d bad=%d\n",
+			ds.Packets, ds.Replicated, ds.Sent, ds.Drops, ds.NoPort, ds.BadPackets)
+	}
+	reportServerSide(r, statszURL)
+	os.Exit(0)
+}

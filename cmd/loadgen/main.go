@@ -22,6 +22,12 @@
 // the router takes to converge back to the exact per-session desired state.
 //
 //	loadgen -conns 8 -duration 10s -flap 500ms
+//
+// Data-plane mode (experiment E13): -data subscribes -recvs receivers to one
+// channel and paces UDP packets through the router's data plane, reporting
+// goodput, loss, and the router's dp_forward_ns / dp_fanout histograms.
+//
+//	loadgen -data -recvs 4 -pps 50000 -payload 256 -duration 5s
 package main
 
 import (
@@ -51,13 +57,22 @@ func main() {
 	flushEvery := flag.Int("flush", 512, "events buffered per connection before a flush")
 	flap := flag.Duration("flap", 0, "mean interval between injected connection resets (0 disables fault injection)")
 	statsz := flag.String("statsz", "", "an external router's /statsz URL to scrape for server-side histograms (e.g. http://127.0.0.1:9090/statsz)")
+	data := flag.Bool("data", false, "data-plane mode: subscribe -recvs receivers and pace UDP packets through the router (experiment E13)")
+	dataTarget := flag.String("data-target", "", "an external router's UDP data address to inject packets at (with -target; default: the in-process router's)")
+	pps := flag.Int("pps", 0, "data mode: target packet rate (0 = unpaced, as fast as the source can send)")
+	recvs := flag.Int("recvs", 4, "data mode: subscribed receivers (the replication fan-out)")
+	payload := flag.Int("payload", 256, "data mode: payload bytes per packet")
 	flag.Parse()
 
 	var r *realnet.Router
 	addrStr := *target
 	if addrStr == "" {
+		opts := realnet.Options{Shards: *shards}
+		if *data {
+			opts.DataListen = "127.0.0.1:0"
+		}
 		var err error
-		r, err = realnet.NewRouterOpts("127.0.0.1:0", realnet.Options{Shards: *shards})
+		r, err = realnet.NewRouterOpts("127.0.0.1:0", opts)
 		if err != nil {
 			log.Fatalf("loadgen: %v", err)
 		}
@@ -66,6 +81,18 @@ func main() {
 		log.Printf("loadgen: in-process router on %s with %d shards", addrStr, *shards)
 	} else {
 		log.Printf("loadgen: driving external router at %s", addrStr)
+	}
+
+	if *data {
+		dt := *dataTarget
+		if dt == "" {
+			if r == nil {
+				log.Fatal("loadgen: -data with -target needs -data-target (the router's UDP data address)")
+			}
+			dt = r.DataAddr()
+		}
+		runData(addrStr, dt, r, *recvs, *pps, *payload, *duration, *statsz)
+		return
 	}
 
 	if *flap > 0 {
@@ -172,6 +199,8 @@ func reportServerSide(r *realnet.Router, statszURL string) {
 	lines = appendHist(lines, snap, "router_flush_size_counts", "flush size", num)
 	lines = appendHist(lines, snap, "router_flush_interval_ns", "flush interval", dur)
 	lines = appendHist(lines, snap, "router_upstream_queue_depth", "queue depth", num)
+	lines = appendHist(lines, snap, "dp_forward_ns", "dp forward", dur)
+	lines = appendHist(lines, snap, "dp_fanout", "dp fanout", num)
 	if len(lines) == 0 {
 		return
 	}

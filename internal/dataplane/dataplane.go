@@ -1,0 +1,291 @@
+// Package dataplane is the EXPRESS forwarding fast path over real UDP
+// sockets: the part of the system a line card would implement, grown from
+// the paper's observation (Sections 2, 5) that the (S,E) channel model
+// makes forwarding an exact-match lookup with no rendezvous, flooding, or
+// shared-tree logic.
+//
+// Each router runs a Plane: a UDP socket whose ingest workers read channel
+// data packets (the 12-byte wire.DataPacket framing) in batches into a
+// reusable scatter buffer, resolve the outgoing-interface set with a single
+// lock-free fib.Table.ForwardMask lookup, and replicate the datagram to the
+// registered egress port of every interface in the mask. The steady-state
+// hot path — decode, lookup, replicate — performs zero heap allocations:
+// decoding borrows from the read buffer, the lookup is the packed FIB's
+// atomic probe, and replication copies into pooled buffers handed to
+// bounded per-port queues (the same backpressure design as realnet's
+// per-neighbor control-plane queues: a slow or dead destination drops and
+// accounts, it never stalls ingest).
+//
+// The plane holds no membership logic of its own. The control plane
+// (realnet.Router) programs it through two tables:
+//
+//   - SetRoute(ch, mask): the (S,E) → OIF-bitmask FIB, updated on every
+//     membership change and cleared by the neighbor-withdrawal path;
+//   - SetPort(i, addr): interface index → downstream UDP address, learned
+//     from the Hello handshake's DataPort and cleared when the session's
+//     counts are withdrawn.
+package dataplane
+
+import (
+	"math/bits"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/addr"
+	"repro/internal/fib"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Options tunes a Plane. The zero value of every field selects a sensible
+// default.
+type Options struct {
+	// Listen is the UDP address the plane ingests channel packets on.
+	// Default "127.0.0.1:0".
+	Listen string
+	// Workers is the number of ingest workers draining the socket. The
+	// default 1 preserves datagram order end to end (one reader, FIFO
+	// per-port queues, one writer per port); more workers raise throughput
+	// but may reorder packets that arrive back to back.
+	Workers int
+	// QueueLen is the per-port bounded egress queue length, in packets.
+	// When a destination's queue is full the packet is dropped and
+	// accounted, never blocking ingest. Default 1024.
+	QueueLen int
+	// ReadBatch caps how many datagrams one ingest worker drains per socket
+	// wakeup on platforms with batched reads. Default 32.
+	ReadBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Listen == "" {
+		o.Listen = "127.0.0.1:0"
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 1024
+	}
+	if o.ReadBatch <= 0 {
+		o.ReadBatch = 32
+	}
+	return o
+}
+
+// Stats is a snapshot of the plane's counters.
+type Stats struct {
+	Packets    uint64 // datagrams ingested
+	Bytes      uint64 // datagram bytes ingested
+	BadPackets uint64 // datagrams that failed to decode
+	Replicated uint64 // per-destination enqueues attempted
+	NoPort     uint64 // OIF bits with no registered destination
+	Sent       uint64 // datagrams written to downstream destinations
+	Drops      uint64 // datagrams dropped (queue full or write error)
+
+	FIB fib.Stats // lookup outcomes (matched / unmatched / wrong-IIF)
+}
+
+// Plane is one router's UDP data plane.
+type Plane struct {
+	opts Options
+	conn *net.UDPConn
+	fib  *fib.Table
+
+	ports [fib.MaxInterfaces]atomic.Pointer[outPort]
+
+	pkts       atomic.Uint64
+	bytes      atomic.Uint64
+	badPkts    atomic.Uint64
+	replicated atomic.Uint64
+	noPort     atomic.Uint64
+	sentPrev   atomic.Uint64 // sends accounted on retired ports
+	dropsPrev  atomic.Uint64 // drops accounted on retired ports
+
+	forwardNs *obs.Histogram // per-packet forward latency (batch mean)
+	fanoutH   *obs.Histogram // per-packet replication fan-out
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewPlane opens the ingest socket and starts the ingest workers.
+func NewPlane(opts Options) (*Plane, error) {
+	opts = opts.withDefaults()
+	ua, err := net.ResolveUDPAddr("udp", opts.Listen)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	// Deep socket buffers: ingest is one goroutine per worker, so bursts
+	// ride in the kernel queue instead of dropping.
+	conn.SetReadBuffer(4 << 20)
+	conn.SetWriteBuffer(4 << 20)
+	p := &Plane{
+		opts:      opts,
+		conn:      conn,
+		fib:       fib.New(),
+		forwardNs: obs.NewHistogram(),
+		fanoutH:   obs.NewHistogram(),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.ingest()
+	}
+	return p, nil
+}
+
+// Addr returns the plane's UDP listen address.
+func (p *Plane) Addr() string { return p.conn.LocalAddr().String() }
+
+// Port returns the plane's UDP listen port — what the router advertises in
+// its upstream Hello so the parent can replicate to it.
+func (p *Plane) Port() uint16 {
+	return uint16(p.conn.LocalAddr().(*net.UDPAddr).Port)
+}
+
+// FIB returns the plane's forwarding table (shared with the control plane
+// that programs it; reads are lock-free).
+func (p *Plane) FIB() *fib.Table { return p.fib }
+
+// SetRoute programs the (S,E) route: mask is the OIF bitmask to replicate
+// to, 0 deletes the route. Entries accept any incoming interface — in this
+// overlay each plane has a single ingest socket and only the source's
+// upstream path feeds it, so the paper's RPF check degenerates to the
+// exact-match itself.
+func (p *Plane) SetRoute(ch addr.Channel, mask uint32) {
+	k := fib.Key{S: ch.S, G: ch.E}
+	if mask == 0 {
+		p.fib.Delete(k)
+		return
+	}
+	p.fib.Set(k, fib.Entry{IIF: -1, OIFs: mask})
+}
+
+// Route returns the programmed OIF mask for ch (0, false when absent).
+func (p *Plane) Route(ch addr.Channel) (uint32, bool) {
+	e, ok := p.fib.Get(fib.Key{S: ch.S, G: ch.E})
+	if !ok {
+		return 0, false
+	}
+	return e.OIFs, true
+}
+
+// SetPort registers dst as the data-plane destination for interface i,
+// replacing (and draining) any previous registration. Interfaces outside
+// the FIB's 32-bit mask cannot carry data and are ignored.
+func (p *Plane) SetPort(i int, dst netip.AddrPort) {
+	if i < 0 || i >= fib.MaxInterfaces {
+		return
+	}
+	port := newOutPort(p.conn, dst, p.opts.QueueLen)
+	if old := p.ports[i].Swap(port); old != nil {
+		p.retirePort(old)
+	}
+}
+
+// ClearPort removes interface i's destination; in-flight packets for it are
+// drained and dropped. Called by the control plane's withdrawal path, so a
+// failed neighbor stops receiving data the moment its counts are withdrawn.
+func (p *Plane) ClearPort(i int) {
+	if i < 0 || i >= fib.MaxInterfaces {
+		return
+	}
+	if old := p.ports[i].Swap(nil); old != nil {
+		p.retirePort(old)
+	}
+}
+
+// PortAddr returns interface i's registered destination, if any.
+func (p *Plane) PortAddr(i int) (netip.AddrPort, bool) {
+	if i < 0 || i >= fib.MaxInterfaces {
+		return netip.AddrPort{}, false
+	}
+	if port := p.ports[i].Load(); port != nil {
+		return port.dst, true
+	}
+	return netip.AddrPort{}, false
+}
+
+// retirePort stops a port's writer and folds its final counters into the
+// plane-wide totals, so Stats stays monotonic across reprogramming.
+func (p *Plane) retirePort(o *outPort) {
+	o.stop()
+	p.sentPrev.Add(o.sent.Load())
+	p.dropsPrev.Add(o.drops.Load())
+}
+
+// HandlePacket runs the forwarding procedure for one already-read datagram:
+// decode the 12-byte header (borrowing, no copy), one lock-free ForwardMask
+// lookup, then replicate to every registered port in the mask. It returns
+// the number of destinations targeted. This is the measured hot path —
+// zero allocations in steady state; the ingest workers call it per slot of
+// each read batch, and benchmarks call it directly.
+func (p *Plane) HandlePacket(b []byte) int {
+	var pkt wire.DataPacket
+	if _, err := pkt.DecodeFromBytes(b); err != nil {
+		p.badPkts.Add(1)
+		return 0
+	}
+	mask, disp := p.fib.ForwardMask(pkt.Channel.S, pkt.Channel.E, -1)
+	if disp != fib.Forwarded {
+		// Counted and dropped by the FIB's own counters — the EXPRESS
+		// no-entry behaviour of Section 3.4.
+		return 0
+	}
+	fanout := 0
+	for m := mask; m != 0; m &= m - 1 {
+		port := p.ports[bits.TrailingZeros32(m)].Load()
+		if port == nil {
+			p.noPort.Add(1)
+			continue
+		}
+		port.send(b)
+		fanout++
+	}
+	p.replicated.Add(uint64(fanout))
+	p.fanoutH.ObserveInt(fanout)
+	return fanout
+}
+
+// Stats returns a snapshot of the plane's counters.
+func (p *Plane) Stats() Stats {
+	s := Stats{
+		Packets:    p.pkts.Load(),
+		Bytes:      p.bytes.Load(),
+		BadPackets: p.badPkts.Load(),
+		Replicated: p.replicated.Load(),
+		NoPort:     p.noPort.Load(),
+		Sent:       p.sentPrev.Load(),
+		Drops:      p.dropsPrev.Load(),
+		FIB:        p.fib.Stats(),
+	}
+	for i := range p.ports {
+		if port := p.ports[i].Load(); port != nil {
+			s.Sent += port.sent.Load()
+			s.Drops += port.drops.Load()
+		}
+	}
+	return s
+}
+
+// Close shuts the plane down: the socket closes (unblocking the ingest
+// workers), the workers are joined, then every port writer is drained.
+func (p *Plane) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	err := p.conn.Close()
+	p.wg.Wait()
+	for i := range p.ports {
+		if old := p.ports[i].Swap(nil); old != nil {
+			p.retirePort(old)
+		}
+	}
+	return err
+}

@@ -1,0 +1,244 @@
+package dataplane
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/wire"
+)
+
+func testChannel(suffix uint32) addr.Channel {
+	return addr.Channel{S: addr.MustParse("171.64.1.1"), E: addr.ExpressAddr(suffix)}
+}
+
+func mustPlane(t *testing.T, opts Options) *Plane {
+	t.Helper()
+	p, err := NewPlane(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func mustReceiver(t *testing.T) *Receiver {
+	t.Helper()
+	r, err := NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func (r *Receiver) addrPort() netip.AddrPort {
+	return r.conn.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// TestPlaneReplicates pushes packets through a live plane: two registered
+// ports on one route, every packet delivered to both, payload and header
+// intact, in order.
+func TestPlaneReplicates(t *testing.T) {
+	p := mustPlane(t, Options{})
+	r1, r2 := mustReceiver(t), mustReceiver(t)
+	p.SetPort(0, r1.addrPort())
+	p.SetPort(5, r2.addrPort())
+	ch := testChannel(9)
+	p.SetRoute(ch, 1<<0|1<<5)
+
+	src, err := NewSource(p.Addr(), ch, SourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := src.Send([]byte(fmt.Sprintf("payload-%d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, r := range map[string]*Receiver{"r1": r1, "r2": r2} {
+		for i := 1; i <= n; i++ {
+			pkt, err := r.RecvTimeout(2 * time.Second)
+			if err != nil {
+				t.Fatalf("%s: packet %d: %v", name, i, err)
+			}
+			if pkt.Channel != ch {
+				t.Fatalf("%s: channel = %v, want %v", name, pkt.Channel, ch)
+			}
+			if pkt.Seq != uint32(i) {
+				t.Fatalf("%s: seq = %d, want %d (reordered or lost)", name, pkt.Seq, i)
+			}
+			if want := fmt.Sprintf("payload-%d", i); string(pkt.Payload) != want {
+				t.Fatalf("%s: payload = %q, want %q", name, pkt.Payload, want)
+			}
+		}
+	}
+	st := p.Stats()
+	if st.Packets != n || st.Replicated != 2*n || st.BadPackets != 0 {
+		t.Errorf("stats = %+v, want %d packets / %d replicated", st, n, 2*n)
+	}
+}
+
+// TestPlaneDropsUnrouted checks the Section 3.4 no-entry behaviour: a
+// packet for a channel with no FIB entry is counted and dropped, and an OIF
+// bit with no registered port is accounted without delivery.
+func TestPlaneDropsUnrouted(t *testing.T) {
+	p := mustPlane(t, Options{})
+	ch := testChannel(1)
+	src, err := NewSource(p.Addr(), ch, SourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	// No route at all.
+	if err := src.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return p.Stats().FIB.UnmatchedDrops == 1 }, "unmatched drop")
+
+	// Route exists, but the interface has no registered destination.
+	p.SetRoute(ch, 1<<3)
+	if err := src.Send([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return p.Stats().NoPort == 1 }, "no-port account")
+	if st := p.Stats(); st.Replicated != 0 || st.Sent != 0 {
+		t.Errorf("stats = %+v, want nothing replicated", st)
+	}
+}
+
+// TestPlaneBadPacket: a datagram shorter than the 12-byte header is counted
+// as malformed, not forwarded.
+func TestPlaneBadPacket(t *testing.T) {
+	p := mustPlane(t, Options{})
+	conn, err := net.Dial("udp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return p.Stats().BadPackets == 1 }, "bad-packet account")
+}
+
+// TestClearPortStopsDelivery: clearing a port stops replication to it even
+// while the route still names its interface.
+func TestClearPortStopsDelivery(t *testing.T) {
+	p := mustPlane(t, Options{})
+	r := mustReceiver(t)
+	p.SetPort(2, r.addrPort())
+	ch := testChannel(4)
+	p.SetRoute(ch, 1<<2)
+	src, err := NewSource(p.Addr(), ch, SourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	if err := src.Send([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if pkt, err := r.RecvTimeout(2 * time.Second); err != nil || string(pkt.Payload) != "before" {
+		t.Fatalf("before clear: (%v, %v)", pkt, err)
+	}
+	p.ClearPort(2)
+	if err := src.Send([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if pkt, err := r.RecvTimeout(100 * time.Millisecond); err == nil {
+		t.Fatalf("received %q after ClearPort", pkt.Payload)
+	} else if !os.IsTimeout(err) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	waitFor(t, func() bool { return p.Stats().NoPort >= 1 }, "no-port account after clear")
+}
+
+// TestOutPortDropAccounting: with the writer stopped, the bounded queue
+// fills and further sends drop-and-account instead of blocking.
+func TestOutPortDropAccounting(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	o := newOutPort(conn, conn.LocalAddr().(*net.UDPAddr).AddrPort(), 4)
+	o.stop() // writer gone: nothing drains the queue
+	for i := 0; i < 10; i++ {
+		o.send([]byte("pkt"))
+	}
+	if drops := o.drops.Load(); drops < 6 {
+		t.Errorf("drops = %d, want >= 6 (queue len 4, 10 sends, no writer)", drops)
+	}
+}
+
+// TestSourcePacing: a paced source takes at least (n-1)/rate to emit n
+// packets.
+func TestSourcePacing(t *testing.T) {
+	p := mustPlane(t, Options{})
+	src, err := NewSource(p.Addr(), testChannel(2), SourceOptions{PacePPS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		if err := src.Send(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("50 packets at 1000 pps took %v, want >= ~49ms", elapsed)
+	}
+}
+
+// TestSetRouteZeroDeletes: mask 0 removes the entry entirely (the FIB miss
+// path, not an empty forward).
+func TestSetRouteZeroDeletes(t *testing.T) {
+	p := mustPlane(t, Options{})
+	ch := testChannel(3)
+	p.SetRoute(ch, 1)
+	if _, ok := p.Route(ch); !ok {
+		t.Fatal("route not installed")
+	}
+	p.SetRoute(ch, 0)
+	if _, ok := p.Route(ch); ok {
+		t.Fatal("route survived SetRoute(ch, 0)")
+	}
+	if p.FIB().Len() != 0 {
+		t.Errorf("fib len = %d, want 0", p.FIB().Len())
+	}
+}
+
+// TestPacketTooLarge: the source refuses payloads beyond one datagram.
+func TestPacketTooLarge(t *testing.T) {
+	p := mustPlane(t, Options{})
+	src, err := NewSource(p.Addr(), testChannel(2), SourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.Send(bytes.Repeat([]byte{0}, wire.MaxDataPayload+1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

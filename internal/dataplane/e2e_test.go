@@ -1,0 +1,307 @@
+package dataplane_test
+
+// End-to-end acceptance for the data plane (ISSUE 5): a two-router line
+// topology carries real UDP channel data programmed entirely by the ECMP
+// Count control plane — subscribe, deliver in order to every receiver, flap
+// the inter-router session, and recover after resync.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/dataplane"
+	"repro/internal/realnet"
+)
+
+// tap captures the edge router's live upstream connection so the test can
+// kill it on demand (latest connection wins across reconnects).
+type tap struct {
+	mu sync.Mutex
+	fc *realnet.FaultConn
+}
+
+func (tp *tap) set(fc *realnet.FaultConn) {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	tp.fc = fc
+}
+
+func (tp *tap) reset() bool {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if tp.fc == nil {
+		return false
+	}
+	tp.fc.Reset()
+	tp.fc = nil
+	return true
+}
+
+func waitCond(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// planeProgrammed reports whether p holds a route for ch AND every interface
+// in its mask has a registered destination port. Once true, a packet
+// injected at the plane will be replicated to live sockets — this is the
+// deterministic "delivery will work" predicate the test polls instead of
+// sleeping.
+func planeProgrammed(p *dataplane.Plane, ch addr.Channel, wantFanout int) bool {
+	mask, ok := p.Route(ch)
+	if !ok {
+		return false
+	}
+	fanout := 0
+	for i := 0; i < 32; i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		if _, ok := p.PortAddr(i); !ok {
+			return false
+		}
+		fanout++
+	}
+	return fanout == wantFanout
+}
+
+// recvOrdered reads n packets and asserts a contiguous sequence starting at
+// first, with the payload the source stamped for that seq.
+func recvOrdered(t *testing.T, name string, r *dataplane.Receiver, first uint32, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		want := first + uint32(i)
+		pkt, err := r.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("%s: waiting for seq %d: %v", name, want, err)
+		}
+		if pkt.Seq != want {
+			t.Fatalf("%s: seq = %d, want %d (loss or reordering)", name, pkt.Seq, want)
+		}
+		if wantPayload := fmt.Sprintf("pkt-%d", want); string(pkt.Payload) != wantPayload {
+			t.Fatalf("%s: payload = %q, want %q", name, pkt.Payload, wantPayload)
+		}
+	}
+}
+
+// TestEndToEndFlapRecovery is the acceptance test: three receivers
+// subscribe through an edge router whose aggregate Count programs the core;
+// a source injects at the core and every receiver sees an ordered stream
+// relayed core→edge→receiver. Then the edge↔core session is reset: the
+// core's sync.Once withdrawal path clears both the count state and the
+// edge's data port, the session resyncs, and delivery resumes intact.
+func TestEndToEndFlapRecovery(t *testing.T) {
+	core, err := realnet.NewRouterOpts("127.0.0.1:0", realnet.Options{
+		DataListen:    "127.0.0.1:0",
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+
+	tp := &tap{}
+	edge, err := realnet.NewRouterOpts("127.0.0.1:0", realnet.Options{
+		Upstream:   core.Addr(),
+		DataListen: "127.0.0.1:0",
+		// The upstream keepalive is what turns a silently dead connection
+		// into a prompt write failure — without it the flap below would only
+		// be noticed on the next count change.
+		KeepaliveInterval: 20 * time.Millisecond,
+		FlushInterval:     time.Millisecond,
+		ReconnectBase:     2 * time.Millisecond,
+		ReconnectMax:      50 * time.Millisecond,
+		Dial:              realnet.FaultDialer(tp.set),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+
+	ch := addr.Channel{S: addr.MustParse("171.64.1.1"), E: addr.ExpressAddr(42)}
+
+	// Three receivers, each a distinct neighbor session at the edge with
+	// its own advertised data port.
+	const nRecv = 3
+	recvs := make([]*dataplane.Receiver, nRecv)
+	for i := range recvs {
+		r, err := dataplane.NewReceiver()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		recvs[i] = r
+		sess, err := realnet.DialSession(edge.Addr(), realnet.SessionOptions{
+			DataPort:          r.Port(),
+			KeepaliveInterval: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		if err := sess.Subscribe(ch); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Control plane converged: counts aggregated up to the core, FIBs and
+	// data ports programmed at both hops.
+	waitCond(t, 10*time.Second, func() bool {
+		return edge.SubscriberCount(ch) == nRecv && core.SubscriberCount(ch) == nRecv &&
+			planeProgrammed(edge.DataPlane(), ch, nRecv) &&
+			planeProgrammed(core.DataPlane(), ch, 1)
+	}, "subscription to converge")
+
+	src, err := dataplane.NewSource(core.DataAddr(), ch, dataplane.SourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	const batch = 50
+	for i := 0; i < batch; i++ {
+		if err := src.Send([]byte(fmt.Sprintf("pkt-%d", src.Seq()+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range recvs {
+		recvOrdered(t, fmt.Sprintf("recv%d", i), r, 1, batch)
+	}
+
+	// Flap: kill the edge's upstream connection. The core must run the
+	// withdrawal path (counts gone, OIF cleared, data port dropped)...
+	if !tp.reset() {
+		t.Fatal("no live upstream connection to reset")
+	}
+	waitCond(t, 10*time.Second, func() bool {
+		return core.Stats().NeighborFailures >= 1
+	}, "core to withdraw the failed neighbor")
+
+	// ...and the edge's resync (new epoch Hello + full count replay) must
+	// rebuild exactly the same forwarding state.
+	waitCond(t, 10*time.Second, func() bool {
+		return core.Stats().SessionResyncs >= 1 && core.SubscriberCount(ch) == nRecv &&
+			planeProgrammed(core.DataPlane(), ch, 1)
+	}, "resync to restore core state")
+
+	for i := 0; i < batch; i++ {
+		if err := src.Send([]byte(fmt.Sprintf("pkt-%d", src.Seq()+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range recvs {
+		recvOrdered(t, fmt.Sprintf("recv%d(post-flap)", i), r, batch+1, batch)
+	}
+
+	// The recovery really went through the failure machinery, not luck.
+	st := core.Stats()
+	if st.NeighborFailures < 1 || st.SessionResyncs < 1 {
+		t.Errorf("core stats = %+v, want >=1 failure and >=1 resync", st)
+	}
+}
+
+// TestLeaveStopsDelivery (satellite 3): when the last subscriber leaves,
+// the edge drops its FIB entry immediately and the core's entry disappears
+// within one upstream flush window — after which injected packets are
+// unmatched drops, not deliveries.
+func TestLeaveStopsDelivery(t *testing.T) {
+	core, err := realnet.NewRouterOpts("127.0.0.1:0", realnet.Options{
+		DataListen:    "127.0.0.1:0",
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+	edge, err := realnet.NewRouterOpts("127.0.0.1:0", realnet.Options{
+		Upstream:      core.Addr(),
+		DataListen:    "127.0.0.1:0",
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+
+	ch := addr.Channel{S: addr.MustParse("171.64.1.1"), E: addr.ExpressAddr(7)}
+	r, err := dataplane.NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sess, err := realnet.DialSession(edge.Addr(), realnet.SessionOptions{DataPort: r.Port()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Subscribe(ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 10*time.Second, func() bool {
+		return planeProgrammed(edge.DataPlane(), ch, 1) && planeProgrammed(core.DataPlane(), ch, 1)
+	}, "join to converge")
+
+	src, err := dataplane.NewSource(core.DataAddr(), ch, dataplane.SourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := 0; i < 5; i++ {
+		if err := src.Send([]byte(fmt.Sprintf("pkt-%d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := r.RecvTimeout(5 * time.Second); err != nil {
+			t.Fatalf("pre-leave packet %d: %v", i+1, err)
+		}
+	}
+
+	// Leave. The edge tears its entry down on the spot; the core's follows
+	// as soon as the edge's next flush window (1ms here) carries the zero
+	// aggregate upstream. Both must be gone well within a second.
+	if err := sess.Unsubscribe(ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, time.Second, func() bool {
+		_, edgeHas := edge.DataPlane().Route(ch)
+		_, coreHas := core.DataPlane().Route(ch)
+		return !edgeHas && !coreHas && core.SubscriberCount(ch) == 0
+	}, "leave to tear down both FIB entries")
+
+	// Packets injected now die at the core's FIB as unmatched drops.
+	before := core.DataPlane().Stats()
+	for i := 0; i < 3; i++ {
+		if err := src.Send([]byte("late")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCond(t, 5*time.Second, func() bool {
+		st := core.DataPlane().Stats()
+		return st.FIB.UnmatchedDrops >= before.FIB.UnmatchedDrops+3
+	}, "late packets to be dropped at the core FIB")
+	if pkt, err := r.RecvTimeout(100 * time.Millisecond); err == nil {
+		t.Fatalf("received seq %d after leave", pkt.Seq)
+	}
+	if st := core.DataPlane().Stats(); st.Replicated > 5 {
+		t.Errorf("core replicated %d packets, want exactly the 5 pre-leave", st.Replicated)
+	}
+}

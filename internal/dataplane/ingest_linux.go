@@ -1,0 +1,59 @@
+//go:build linux && (amd64 || arm64)
+
+package dataplane
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// Batched socket reads: one poller wakeup drains up to ReadBatch datagrams
+// with non-blocking recvfrom calls before the worker goes back to sleep.
+// The raw syscall is used (src address pointers NULL) so the per-packet
+// read allocates nothing — net.UDPConn's ReadFrom variants are one datagram
+// per poller round trip, and the syscall package's Recvfrom heap-allocates
+// a Sockaddr per call. Falls back to the portable single-read filler if the
+// raw connection is unavailable.
+
+// newFiller returns the batch-fill function for this worker.
+func (p *Plane) newFiller() func(*readBatch) bool {
+	rc, err := p.conn.SyscallConn()
+	if err != nil {
+		return p.singleFiller()
+	}
+	return func(b *readBatch) bool {
+		b.n = 0
+		fatal := false
+		err := rc.Read(func(fd uintptr) bool {
+			for b.n < b.cap() {
+				n, errno := recvfromRaw(fd, b.rawSlot(b.n))
+				switch errno {
+				case 0:
+					b.sizes[b.n] = n
+					b.n++
+				case syscall.EINTR:
+					continue
+				case syscall.EAGAIN:
+					// Drained. Block in the poller only when the batch is
+					// still empty; otherwise hand what we have to the
+					// forwarding loop.
+					return b.n > 0
+				default:
+					fatal = true
+					return true
+				}
+			}
+			return true
+		})
+		return err == nil && !fatal
+	}
+}
+
+// recvfromRaw is recvfrom(fd, p, MSG_DONTWAIT, NULL, NULL): no source
+// address is materialized, so nothing escapes to the heap.
+func recvfromRaw(fd uintptr, p []byte) (int, syscall.Errno) {
+	n, _, errno := syscall.Syscall6(syscall.SYS_RECVFROM,
+		fd, uintptr(unsafe.Pointer(&p[0])), uintptr(len(p)),
+		uintptr(syscall.MSG_DONTWAIT), 0, 0)
+	return int(n), errno
+}

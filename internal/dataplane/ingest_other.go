@@ -1,0 +1,8 @@
+//go:build !(linux && (amd64 || arm64))
+
+package dataplane
+
+// newFiller returns the portable filler: one blocking read per batch. The
+// batch structure is unchanged, so the forwarding loop is identical; only
+// the drain width differs.
+func (p *Plane) newFiller() func(*readBatch) bool { return p.singleFiller() }

@@ -1,0 +1,21 @@
+package dataplane
+
+import "repro/internal/obs"
+
+// RegisterMetrics exposes the plane's observability surface on reg: the
+// hot-path histograms (forward latency, replication fan-out), the ingest
+// and egress counters, and the forwarding table's own metrics under the
+// dp_fib_ prefix. Everything feeding these is lock-free and allocation-free
+// on the data path, so scraping /statsz never perturbs forwarding.
+func (p *Plane) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterHistogram("dp_forward_ns", "per-packet forward latency: decode + FIB lookup + replicate (ns, batch mean)", p.forwardNs)
+	reg.RegisterHistogram("dp_fanout", "per-packet replication fan-out (destinations targeted)", p.fanoutH)
+	reg.NewCounterFunc("dp_packets_total", "data packets ingested", p.pkts.Load)
+	reg.NewCounterFunc("dp_bytes_total", "data bytes ingested", p.bytes.Load)
+	reg.NewCounterFunc("dp_bad_packets_total", "datagrams that failed to decode", p.badPkts.Load)
+	reg.NewCounterFunc("dp_replicated_total", "per-destination replications attempted", p.replicated.Load)
+	reg.NewCounterFunc("dp_no_port_total", "OIF bits with no registered destination", p.noPort.Load)
+	reg.NewCounterFunc("dp_sent_total", "data packets written downstream", func() uint64 { return p.Stats().Sent })
+	reg.NewCounterFunc("dp_drops_total", "data packets dropped (queue full or write error)", func() uint64 { return p.Stats().Drops })
+	p.fib.RegisterMetrics(reg, "dp_fib_")
+}

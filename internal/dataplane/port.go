@@ -1,0 +1,111 @@
+package dataplane
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// pktPool recycles egress packet buffers between the ingest workers
+// (producers) and the per-port writers (consumers). Capacity is one
+// maximum-sized data packet, so replication never grows a pooled buffer.
+var pktPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, wire.MaxDataPacket)
+		return &b
+	},
+}
+
+func getPkt() *[]byte  { return pktPool.Get().(*[]byte) }
+func putPkt(b *[]byte) { *b = (*b)[:0]; pktPool.Put(b) }
+
+// outPort is one egress destination: a downstream router's ingest socket or
+// a locally-subscribed receiver, selected by an OIF bit. It mirrors the
+// realnet neighbor queue design — a bounded channel drained by a dedicated
+// writer goroutine, with drop accounting instead of blocking — so a slow or
+// dead destination sheds its own load and never backpressures the shared
+// ingest path. Datagrams are written through the plane's single UDP socket
+// (per-datagram sendto is atomic, so concurrent port writers don't
+// interleave), which also gives every forwarded packet the router's data
+// port as its source address.
+type outPort struct {
+	conn *net.UDPConn
+	dst  netip.AddrPort
+
+	out      chan *[]byte
+	quit     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	sent  atomic.Uint64
+	drops atomic.Uint64
+}
+
+func newOutPort(conn *net.UDPConn, dst netip.AddrPort, queueLen int) *outPort {
+	o := &outPort{
+		conn: conn,
+		dst:  dst,
+		out:  make(chan *[]byte, queueLen),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go o.writer()
+	return o
+}
+
+// send copies the datagram into a pooled buffer and offers it to the queue
+// without ever blocking; a full queue drops and accounts. The copy keeps
+// buffer ownership linear (one producer hand-off per destination), which is
+// what lets the whole path run allocation-free out of one pool.
+func (o *outPort) send(b []byte) {
+	buf := getPkt()
+	*buf = append((*buf)[:0], b...)
+	select {
+	case o.out <- buf:
+	default:
+		o.drops.Add(1)
+		putPkt(buf)
+	}
+}
+
+// writer drains the queue onto the socket. UDP writes don't block on a slow
+// receiver, so there is no deadline machinery here; a write error (port
+// unreachable, socket closed) counts as a drop and the port keeps draining
+// so enqueues stay cheap until the control plane clears it.
+func (o *outPort) writer() {
+	defer close(o.done)
+	for {
+		select {
+		case <-o.quit:
+			// Drain without sending: the port was unregistered.
+			for {
+				select {
+				case b := <-o.out:
+					o.drops.Add(1)
+					putPkt(b)
+				default:
+					return
+				}
+			}
+		case b := <-o.out:
+			if _, err := o.conn.WriteToUDPAddrPort(*b, o.dst); err != nil {
+				o.drops.Add(1)
+			} else {
+				o.sent.Add(1)
+			}
+			putPkt(b)
+		}
+	}
+}
+
+// stop ends the writer and waits for it; packets still queued are dropped.
+// A packet enqueued concurrently with stop may be left in the channel — it
+// is unreachable afterwards and reclaimed by GC, which is acceptable for a
+// datagram plane (the queue is bounded, so the leak is too).
+func (o *outPort) stop() {
+	o.stopOnce.Do(func() { close(o.quit) })
+	<-o.done
+}

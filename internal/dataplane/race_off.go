@@ -1,0 +1,7 @@
+//go:build !race
+
+package dataplane
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// pins are skipped under -race, whose pool instrumentation allocates.
+const raceEnabled = false

@@ -1,0 +1,87 @@
+package dataplane
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Receiver is a subscriber's data endpoint: a UDP socket whose port the
+// subscriber advertises in its session Hello (SessionOptions.DataPort), so
+// the edge router replicates its subscribed channels' packets here. One
+// receiver can serve any number of subscribed channels — packets carry
+// their full (S,E) identity, so demultiplexing is the caller's Recv loop.
+type Receiver struct {
+	conn *net.UDPConn
+	buf  []byte
+}
+
+// NewReceiver opens a receiver on an ephemeral localhost port. Use
+// NewReceiverAddr to bind elsewhere.
+func NewReceiver() (*Receiver, error) { return NewReceiverAddr("127.0.0.1:0") }
+
+// NewReceiverAddr opens a receiver on the given UDP address.
+func NewReceiverAddr(listen string) (*Receiver, error) {
+	ua, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetReadBuffer(4 << 20)
+	return &Receiver{conn: conn, buf: make([]byte, wire.MaxDataPacket)}, nil
+}
+
+// Port returns the receiver's UDP port — the value to carry in the session
+// Hello's DataPort.
+func (r *Receiver) Port() uint16 {
+	return uint16(r.conn.LocalAddr().(*net.UDPAddr).Port)
+}
+
+// Addr returns the receiver's UDP listen address.
+func (r *Receiver) Addr() string { return r.conn.LocalAddr().String() }
+
+// Recv blocks for the next data packet. The returned packet's payload
+// borrows the receiver's internal buffer and is valid until the next Recv.
+func (r *Receiver) Recv() (wire.DataPacket, error) {
+	var pkt wire.DataPacket
+	n, _, err := r.conn.ReadFromUDPAddrPort(r.buf)
+	if err != nil {
+		return pkt, err
+	}
+	if _, err := pkt.DecodeFromBytes(r.buf[:n]); err != nil {
+		return pkt, err
+	}
+	return pkt, nil
+}
+
+// RecvTimeout is Recv bounded by d; it returns a timeout error when no
+// packet arrives in time (check with os.IsTimeout / net.Error.Timeout).
+func (r *Receiver) RecvTimeout(d time.Duration) (wire.DataPacket, error) {
+	r.conn.SetReadDeadline(time.Now().Add(d))
+	defer r.conn.SetReadDeadline(time.Time{})
+	return r.Recv()
+}
+
+// Drain reads and discards everything already queued on the socket and
+// returns how many datagrams it threw away — the way to separate warm-up
+// traffic from a measured window.
+func (r *Receiver) Drain() int {
+	n := 0
+	for {
+		_, err := r.RecvTimeout(time.Millisecond)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return n
+			}
+			// A malformed datagram still occupied a queue slot: drained.
+		}
+		n++
+	}
+}
+
+// Close closes the receiver's socket, unblocking any Recv.
+func (r *Receiver) Close() error { return r.conn.Close() }

@@ -1,0 +1,107 @@
+package dataplane
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/wire"
+)
+
+// SourceOptions tunes a channel source.
+type SourceOptions struct {
+	// PacePPS, when > 0, paces Send to the target packets-per-second rate:
+	// each packet is scheduled on an absolute clock (start + i/rate), so
+	// the long-run rate is exact even when individual sleeps overshoot.
+	PacePPS int
+	// StartSeq is the first sequence number stamped. Default 1, so seq 0
+	// never appears on the wire and receivers can use 0 as "nothing yet".
+	StartSeq uint32
+}
+
+// Source injects packets for one (S,E) channel into a router's data plane.
+// It owns the channel's sequence counter — the EXPRESS model has exactly
+// one sender per channel (only S may send, Section 2), which is what makes
+// a single counter sufficient for receivers to detect loss and ordering.
+// The send buffer is reused, so steady-state sending does not allocate.
+type Source struct {
+	conn *net.UDPConn
+	ch   addr.Channel
+	seq  atomic.Uint32
+	buf  []byte
+
+	interval time.Duration
+	next     time.Time
+}
+
+// NewSource connects a source for ch to the router data plane at target
+// ("host:port", the router's -data-port address).
+func NewSource(target string, ch addr.Channel, opts SourceOptions) (*Source, error) {
+	if !ch.Valid() {
+		return nil, fmt.Errorf("dataplane: invalid channel %v", ch)
+	}
+	ua, err := net.ResolveUDPAddr("udp", target)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetWriteBuffer(4 << 20)
+	s := &Source{
+		conn: conn,
+		ch:   ch,
+		buf:  make([]byte, 0, wire.MaxDataPacket),
+	}
+	start := opts.StartSeq
+	if start == 0 {
+		start = 1
+	}
+	s.seq.Store(start - 1) // Send pre-increments
+	if opts.PacePPS > 0 {
+		s.interval = time.Second / time.Duration(opts.PacePPS)
+	}
+	return s, nil
+}
+
+// Send stamps the next sequence number and writes one packet.
+func (s *Source) Send(payload []byte) error { return s.SendFlags(payload, 0) }
+
+// SendFlags is Send with explicit header flags.
+func (s *Source) SendFlags(payload []byte, flags uint8) error {
+	if len(payload) > wire.MaxDataPayload {
+		return fmt.Errorf("dataplane: payload %d exceeds %d", len(payload), wire.MaxDataPayload)
+	}
+	s.pace()
+	pkt := wire.DataPacket{Channel: s.ch, Seq: s.seq.Add(1), Flags: flags, Payload: payload}
+	s.buf = pkt.AppendTo(s.buf[:0])
+	_, err := s.conn.Write(s.buf)
+	return err
+}
+
+// pace sleeps until the packet's slot on the absolute schedule.
+func (s *Source) pace() {
+	if s.interval <= 0 {
+		return
+	}
+	now := time.Now()
+	if s.next.IsZero() {
+		s.next = now
+	}
+	if d := s.next.Sub(now); d > 0 {
+		time.Sleep(d)
+	}
+	s.next = s.next.Add(s.interval)
+}
+
+// Seq returns the last sequence number sent (StartSeq-1 before any Send).
+func (s *Source) Seq() uint32 { return s.seq.Load() }
+
+// Channel returns the source's channel.
+func (s *Source) Channel() addr.Channel { return s.ch }
+
+// Close closes the source's socket.
+func (s *Source) Close() error { return s.conn.Close() }

@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"encoding/json"
+	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/addr"
+	"repro/internal/dataplane"
 	"repro/internal/fib"
 	"repro/internal/wire"
 )
@@ -26,6 +28,8 @@ type BenchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	// Goroutines is set for the parallel lookup series (0 = serial).
 	Goroutines int `json:"goroutines,omitempty"`
+	// Fanout is set for the data-plane replication series (OIFs per packet).
+	Fanout int `json:"fanout,omitempty"`
 }
 
 // BenchReport is the full -json document.
@@ -151,6 +155,44 @@ func benchWalkCounts() testing.BenchmarkResult {
 	})
 }
 
+// benchReplicate measures the UDP data plane's per-packet replication path
+// (decode, one ForwardMask, copy+enqueue per OIF) at the given fan-out. All
+// ports aim at one sink socket; full egress queues account drops exactly
+// like an overloaded interface, without changing the measured path.
+func benchReplicate(fanout int) (BenchResult, error) {
+	p, err := dataplane.NewPlane(dataplane.Options{})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer p.Close()
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer sink.Close()
+	dst := sink.LocalAddr().(*net.UDPAddr).AddrPort()
+	for i := 0; i < fanout; i++ {
+		p.SetPort(i, dst)
+	}
+	ch := addr.Channel{S: addr.Addr(0x0a000001), E: addr.ExpressAddr(1)}
+	p.SetRoute(ch, uint32(1<<fanout)-1)
+	pkt := wire.DataPacket{Channel: ch, Seq: 1, Payload: make([]byte, 256)}
+	buf := pkt.AppendTo(nil)
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(buf)))
+		for i := 0; i < b.N; i++ {
+			if p.HandlePacket(buf) != fanout {
+				b.Fatal("short fanout")
+			}
+		}
+	})
+	out := toResult("dataplane/Replicate", 0, res)
+	out.Fanout = fanout
+	return out, nil
+}
+
 // BenchJSON runs the benchmark suite and returns the report. quick skips the
 // E4 loopback measurement (the slowest piece).
 func BenchJSON(quick bool) *BenchReport {
@@ -162,6 +204,11 @@ func BenchJSON(quick bool) *BenchReport {
 			toResult("fib/ForwardMaskParallel", gos, benchForwardParallel(gos)))
 	}
 	rep.Benchmarks = append(rep.Benchmarks, toResult("wire/WalkCountsSegment", 0, benchWalkCounts()))
+	for _, fanout := range []int{1, 4, 16} {
+		if res, err := benchReplicate(fanout); err == nil {
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
 
 	if !quick {
 		e4 := &BenchE4{Neighbors: 8}

@@ -82,4 +82,7 @@ func (r *Router) registerMetrics() {
 		reg.NewCounterFunc("router_upstream_drops_total", "segments dropped (queue full or dead upstream)", r.upSess.dropsTotal)
 		reg.NewCounterFunc("router_upstream_reconnects_total", "times the upstream link was re-established", r.upSess.reconnects.Load)
 	}
+	if r.dp != nil {
+		r.dp.RegisterMetrics(reg)
+	}
 }

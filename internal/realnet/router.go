@@ -27,11 +27,13 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/dataplane"
 	"repro/internal/wire"
 )
 
@@ -83,6 +85,20 @@ type Options struct {
 	// Dial overrides how the upstream connection is established; tests and
 	// loadgen inject fault-wrapped connections here. Default net.Dial tcp.
 	Dial func(addr string) (net.Conn, error)
+
+	// DataListen enables the UDP data plane when non-empty: the router
+	// ingests channel data packets on this address, forwards them by
+	// lock-free FIB lookup, and replicates to the data ports its neighbors
+	// advertised in their Hellos. The membership machinery programs the
+	// plane: every OIF change reprograms the (S,E) route, and the neighbor
+	// withdrawal path clears both routes and ports. Empty (the default)
+	// runs the router control-plane-only, exactly as before.
+	DataListen string
+	// DataWorkers and DataQueueLen tune the plane's ingest worker count and
+	// per-destination egress queue length (see dataplane.Options). 0 picks
+	// the defaults.
+	DataWorkers  int
+	DataQueueLen int
 }
 
 func (o Options) withDefaults() Options {
@@ -147,8 +163,9 @@ type Router struct {
 	opts    Options
 	table   *table
 	obs     *routerObs
-	upSess  *upSession // nil at the tree root
-	batcher *batcher   // nil at the tree root
+	upSess  *upSession       // nil at the tree root
+	batcher *batcher         // nil at the tree root
+	dp      *dataplane.Plane // nil when Options.DataListen is empty
 
 	mu       sync.Mutex
 	conns    []*neighbor
@@ -205,10 +222,26 @@ func NewRouterOpts(listenAddr string, opts Options) (*Router, error) {
 		obs:      newRouterObs(),
 		sessions: make(map[uint64]*sessionRecord),
 	}
+	if opts.DataListen != "" {
+		dp, err := dataplane.NewPlane(dataplane.Options{
+			Listen:   opts.DataListen,
+			Workers:  opts.DataWorkers,
+			QueueLen: opts.DataQueueLen,
+		})
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		r.dp = dp
+	}
 	if opts.Upstream != "" {
+		// The plane exists first: the upstream Hello advertises its port.
 		s, err := newUpSession(r, opts.Upstream)
 		if err != nil {
 			ln.Close()
+			if r.dp != nil {
+				r.dp.Close()
+			}
 			return nil, err
 		}
 		r.upSess = s
@@ -229,6 +262,44 @@ func NewRouterOpts(listenAddr string, opts Options) (*Router, error) {
 
 // Addr returns the router's listen address.
 func (r *Router) Addr() string { return r.ln.Addr().String() }
+
+// DataPlane returns the router's UDP data plane, or nil when disabled.
+func (r *Router) DataPlane() *dataplane.Plane { return r.dp }
+
+// DataAddr returns the data plane's UDP listen address ("" when disabled) —
+// where a source injects the channel's packets.
+func (r *Router) DataAddr() string {
+	if r.dp == nil {
+		return ""
+	}
+	return r.dp.Addr()
+}
+
+// dataPort is the port advertised in the router's upstream Hello (0 when
+// the data plane is disabled, meaning "do not replicate data to me").
+func (r *Router) dataPort() uint16 {
+	if r.dp == nil {
+		return 0
+	}
+	return r.dp.Port()
+}
+
+// registerDataPort programs the data plane's egress table from a neighbor's
+// Hello: the advertised UDP port on the host the TCP connection came from.
+// Called after the session bind (and, on a rebind, after the superseded
+// connection's withdrawal cleared the old registration), so the replayed
+// counts of the new epoch find the port in place.
+func (r *Router) registerDataPort(n *neighbor, port uint16) {
+	if r.dp == nil || port == 0 {
+		return
+	}
+	ta, ok := n.conn.RemoteAddr().(*net.TCPAddr)
+	if !ok {
+		return
+	}
+	ip := ta.AddrPort().Addr().Unmap()
+	r.dp.SetPort(n.id, netip.AddrPortFrom(ip, port))
+}
 
 // Events returns the number of membership events processed.
 func (r *Router) Events() uint64 { return r.table.totalEvents() }
@@ -335,6 +406,9 @@ func (r *Router) Close() error {
 	}
 	if r.upSess != nil {
 		r.upSess.stop()
+	}
+	if r.dp != nil {
+		r.dp.Close()
 	}
 	return err
 }
@@ -483,6 +557,7 @@ func (r *Router) bindSession(n *neighbor, h *wire.Hello) bool {
 	if rec == nil {
 		r.sessions[h.SessionID] = &sessionRecord{epoch: h.Epoch, n: n}
 		r.mu.Unlock()
+		r.registerDataPort(n, h.DataPort)
 		return true
 	}
 	if h.Epoch <= rec.epoch || rec.n == n {
@@ -502,6 +577,9 @@ func (r *Router) bindSession(n *neighbor, h *wire.Hello) bool {
 	old.superseded.Store(true)
 	old.conn.Close()
 	r.retire(old)
+	// The withdrawal above cleared the id's data port; re-register from the
+	// fresh Hello before this read loop applies the replayed counts.
+	r.registerDataPort(n, h.DataPort)
 	r.resyncs.Add(1)
 	return true
 }
@@ -517,6 +595,10 @@ func (r *Router) retire(n *neighbor) {
 
 // withdrawNeighbor removes n's contribution from every shard, driving the
 // same re-aggregation upstream as explicit zero Counts would (Section 3.2).
+// It also unprograms the data plane: every route that loses the neighbor's
+// OIF bit is rewritten (or deleted), and the neighbor's data port is
+// cleared, so packet replication toward a failed neighbor stops on the same
+// sync.Once withdrawal sweep that repairs the counts.
 func (r *Router) withdrawNeighbor(n *neighbor) {
 	var withdrawn uint64
 	for _, sh := range r.table.shards {
@@ -526,7 +608,11 @@ func (r *Router) withdrawNeighbor(n *neighbor) {
 				continue
 			}
 			delete(cs.downCounts, n.id)
+			oldOIFs := cs.oifs
 			cs.clearOIF(n.id)
+			if r.dp != nil && cs.oifs != oldOIFs {
+				r.dp.SetRoute(ch, cs.oifs)
+			}
 			total := cs.total()
 			if r.batcher != nil && (!cs.everAdv || cs.advertised != total) {
 				cs.advertised = total
@@ -539,6 +625,9 @@ func (r *Router) withdrawNeighbor(n *neighbor) {
 			withdrawn++
 		}
 		sh.mu.Unlock()
+	}
+	if r.dp != nil {
+		r.dp.ClearPort(n.id)
 	}
 	if withdrawn > 0 {
 		r.withdrawn.Add(withdrawn)
@@ -581,12 +670,18 @@ func (r *Router) processCount(n *neighbor, m *wire.Count) {
 	}
 	// Determine the physical interface of the request and compute the FIB
 	// manipulation.
+	oldOIFs := cs.oifs
 	if m.Value == 0 {
 		delete(cs.downCounts, n.id)
 		cs.clearOIF(n.id)
 	} else {
 		cs.downCounts[n.id] = m.Value
 		cs.setOIF(n.id)
+	}
+	// Program the data plane under the shard lock, so concurrent events on
+	// the same channel install their route updates in event order.
+	if r.dp != nil && cs.oifs != oldOIFs {
+		r.dp.SetRoute(m.Channel, cs.oifs)
 	}
 	total := cs.total()
 	// Record the unicast route used (the upstream neighbor).

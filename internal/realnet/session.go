@@ -17,6 +17,12 @@ type SessionOptions struct {
 	// SessionID identifies this neighbor to the router across reconnects.
 	// 0 picks a random id.
 	SessionID uint64
+	// DataPort, when non-zero, is advertised in every Hello: the UDP port
+	// (on this host) where the router should replicate data packets for the
+	// channels this session subscribes to — a dataplane.Receiver's Port(),
+	// typically. Reconnects re-advertise it, so the registration survives
+	// session flaps the same way the counts do.
+	DataPort uint16
 	// KeepaliveInterval is how often the session proves liveness and
 	// flushes buffered events. Default 500ms; negative disables (then only
 	// explicit Flush calls and full buffers touch the socket).
@@ -268,7 +274,7 @@ func (s *Session) resync(conn net.Conn) bool {
 		return true // stop the reconnect loop; Close won the race
 	}
 	c := newClient(deadlineConn{Conn: conn, d: s.opts.WriteDeadline})
-	h := wire.Hello{SessionID: s.opts.SessionID, Epoch: s.epoch + 1}
+	h := wire.Hello{SessionID: s.opts.SessionID, Epoch: s.epoch + 1, DataPort: s.opts.DataPort}
 	if err := c.sendHello(&h); err != nil {
 		conn.Close()
 		return false

@@ -65,7 +65,9 @@ func (s *upSession) start() { go s.run() }
 // aggregate the batcher emits afterwards).
 func (s *upSession) hello(n *neighbor) {
 	seg := getSeg()
-	h := wire.Hello{SessionID: s.id, Epoch: s.epoch.Add(1)}
+	// The Hello also advertises this router's data-plane port, so the
+	// upstream replicates subscribed channels' packets down to it.
+	h := wire.Hello{SessionID: s.id, Epoch: s.epoch.Add(1), DataPort: s.r.dataPort()}
 	*seg = h.AppendTo(*seg)
 	n.enqueue(seg)
 }

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"encoding/binary"
+
+	"repro/internal/addr"
+)
+
+// Data-plane packet framing. An EXPRESS channel packet carries the full
+// (S,E) channel identity in its header — Section 2's model makes forwarding
+// an exact (S,E) lookup, so the header is exactly what the Figure 5 FIB
+// entry keys on, in the same 12-byte economy: S (4 bytes), the 24-bit E
+// suffix (the 232/8 prefix is implicit), a flags byte packed into the byte
+// the suffix leaves free, and a 32-bit per-channel sequence number stamped
+// by the source (only S may send, so one counter suffices and receivers can
+// detect loss and reordering without any per-sender demux).
+//
+// Layout (big endian):
+//
+//	0..3   S
+//	4..6   E suffix (24 bits)
+//	7      flags
+//	8..11  sequence number
+//	12..   payload
+//
+// Data packets are datagram-delimited (one packet per UDP datagram), so no
+// type byte or length field is needed: the header is fixed-size and the
+// payload is the rest of the datagram.
+
+const (
+	// DataHeaderSize is the fixed header size, mirroring the 12-byte FIB
+	// entry of Figure 5.
+	DataHeaderSize = 12
+	// MaxDataPacket is the largest framed packet: a 1500-byte Ethernet
+	// frame minus the 20-byte IPv4 and 8-byte UDP headers.
+	MaxDataPacket = 1500 - 20 - 8
+	// MaxDataPayload is the largest payload that fits in one packet.
+	MaxDataPayload = MaxDataPacket - DataHeaderSize
+)
+
+// Data packet flags.
+const (
+	// DataFlagFin marks the last packet of a stream; loadgen uses it so
+	// receivers can stop counting without waiting out a timeout.
+	DataFlagFin uint8 = 1 << 0
+)
+
+// DataPacket is one channel data packet. Decoding borrows Payload from the
+// input buffer and never allocates.
+type DataPacket struct {
+	Channel addr.Channel
+	Seq     uint32
+	Flags   uint8
+	Payload []byte
+}
+
+// PutDataHeader writes the 12-byte header into b in place. b must have at
+// least DataHeaderSize bytes; sources write the header once into a reused
+// send buffer and append the payload after it.
+func PutDataHeader(b []byte, ch addr.Channel, seq uint32, flags uint8) {
+	binary.BigEndian.PutUint32(b[0:4], uint32(ch.S))
+	suffix := ch.E.ExpressSuffix()
+	b[4] = byte(suffix >> 16)
+	b[5] = byte(suffix >> 8)
+	b[6] = byte(suffix)
+	b[7] = flags
+	binary.BigEndian.PutUint32(b[8:12], seq)
+}
+
+// AppendTo appends the encoded packet (header + payload) and returns the
+// extended buffer.
+func (p *DataPacket) AppendTo(b []byte) []byte {
+	var hdr [DataHeaderSize]byte
+	PutDataHeader(hdr[:], p.Channel, p.Seq, p.Flags)
+	b = append(b, hdr[:]...)
+	return append(b, p.Payload...)
+}
+
+// Size returns the encoded size of the packet.
+func (p *DataPacket) Size() int { return DataHeaderSize + len(p.Payload) }
+
+// DecodeFromBytes parses one datagram-delimited packet. The payload borrows
+// from b; the whole buffer is consumed.
+func (p *DataPacket) DecodeFromBytes(b []byte) (int, error) {
+	if len(b) < DataHeaderSize {
+		return 0, ErrShort
+	}
+	s := addr.Addr(binary.BigEndian.Uint32(b[0:4]))
+	suffix := uint32(b[4])<<16 | uint32(b[5])<<8 | uint32(b[6])
+	p.Channel = addr.Channel{S: s, E: addr.ExpressAddr(suffix)}
+	p.Flags = b[7]
+	p.Seq = binary.BigEndian.Uint32(b[8:12])
+	p.Payload = b[DataHeaderSize:]
+	return len(b), nil
+}

@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func TestDataPacketRoundTrip(t *testing.T) {
+	in := DataPacket{
+		Channel: addr.Channel{S: addr.MustParse("171.64.1.1"), E: addr.ExpressAddr(0x00a1b2c3)},
+		Seq:     0xdeadbeef,
+		Flags:   DataFlagFin,
+		Payload: []byte("express channel payload"),
+	}
+	b := in.AppendTo(nil)
+	if len(b) != in.Size() || len(b) != DataHeaderSize+len(in.Payload) {
+		t.Fatalf("encoded size = %d, want %d", len(b), in.Size())
+	}
+	var out DataPacket
+	n, err := out.DecodeFromBytes(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("decode = (%d, %v), want (%d, nil)", n, err, len(b))
+	}
+	if out.Channel != in.Channel || out.Seq != in.Seq || out.Flags != in.Flags ||
+		!bytes.Equal(out.Payload, in.Payload) {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestDataPacketEmptyPayload(t *testing.T) {
+	in := DataPacket{Channel: addr.Channel{S: 1, E: addr.ExpressBase}, Seq: 7}
+	b := in.AppendTo(nil)
+	if len(b) != DataHeaderSize {
+		t.Fatalf("encoded size = %d, want %d", len(b), DataHeaderSize)
+	}
+	var out DataPacket
+	if _, err := out.DecodeFromBytes(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payload) != 0 || out.Seq != 7 {
+		t.Errorf("decode = %+v", out)
+	}
+}
+
+func TestDataPacketShort(t *testing.T) {
+	var p DataPacket
+	for n := 0; n < DataHeaderSize; n++ {
+		if _, err := p.DecodeFromBytes(make([]byte, n)); !errors.Is(err, ErrShort) {
+			t.Errorf("len %d: err = %v, want ErrShort", n, err)
+		}
+	}
+}
+
+// TestDataPacketProperty drives random (S, suffix, seq, flags, payload)
+// tuples through encode→decode and checks the identity; the E suffix is
+// masked to 24 bits because the 232/8 prefix is implicit on the wire.
+func TestDataPacketProperty(t *testing.T) {
+	f := func(s uint32, suffix uint32, seq uint32, flags uint8, payload []byte) bool {
+		in := DataPacket{
+			Channel: addr.Channel{S: addr.Addr(s), E: addr.ExpressAddr(suffix & 0x00ffffff)},
+			Seq:     seq,
+			Flags:   flags,
+			Payload: payload,
+		}
+		b := in.AppendTo(nil)
+		var out DataPacket
+		n, err := out.DecodeFromBytes(b)
+		return err == nil && n == len(b) &&
+			out.Channel == in.Channel && out.Seq == in.Seq && out.Flags == in.Flags &&
+			bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeDataPacketNoAlloc pins the ingest-side decode at zero
+// allocations: the payload borrows from the datagram buffer.
+func TestDecodeDataPacketNoAlloc(t *testing.T) {
+	in := DataPacket{
+		Channel: addr.Channel{S: addr.MustParse("10.0.0.1"), E: addr.ExpressAddr(9)},
+		Seq:     3,
+		Payload: bytes.Repeat([]byte{0xab}, 256),
+	}
+	b := in.AppendTo(nil)
+	var out DataPacket
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := out.DecodeFromBytes(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecodeFromBytes allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzDecodeDataPacket feeds arbitrary bytes to the decoder: it must never
+// panic, and any input it accepts must re-encode to the identical bytes
+// (decode∘encode is the identity on the accepted language).
+func FuzzDecodeDataPacket(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, DataHeaderSize-1))
+	f.Add(make([]byte, DataHeaderSize))
+	valid := DataPacket{
+		Channel: addr.Channel{S: addr.MustParse("171.64.1.1"), E: addr.ExpressAddr(5)},
+		Seq:     42,
+		Flags:   DataFlagFin,
+		Payload: []byte("payload"),
+	}
+	f.Add(valid.AppendTo(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var p DataPacket
+		n, err := p.DecodeFromBytes(b)
+		if err != nil {
+			return
+		}
+		if n != len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if !p.Channel.E.IsExpress() {
+			t.Fatalf("decoded destination %v outside 232/8", p.Channel.E)
+		}
+		out := p.AppendTo(nil)
+		if !bytes.Equal(out, b[:n]) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", b[:n], out)
+		}
+	})
+}

@@ -21,16 +21,25 @@ type Hello struct {
 	SessionID uint64
 	// Epoch increases by one on every connection attempt of the session.
 	Epoch uint64
+	// DataPort is the UDP port of the sender's data plane, on the same host
+	// as the TCP connection's source address. A non-zero port asks the
+	// receiving router to replicate channel data packets for this neighbor's
+	// subscriptions to that address — this is how the data plane's egress
+	// table is programmed by the same session machinery that carries Counts,
+	// so a session reconnect reprograms it and a session failure clears it.
+	// Zero means the neighbor has no data plane (control-only sessions).
+	DataPort uint16
 }
 
 // TypeHello extends the self-delimiting message vocabulary; see Hello.
 const TypeHello uint8 = 5
 
 // helloVersion guards the layout; bump on incompatible change.
-const helloVersion uint8 = 1
+// Version 2 added DataPort.
+const helloVersion uint8 = 2
 
-// HelloSize is the encoded size: type, version, SessionID, Epoch.
-const HelloSize = 2 + 8 + 8
+// HelloSize is the encoded size: type, version, SessionID, Epoch, DataPort.
+const HelloSize = 2 + 8 + 8 + 2
 
 // CountKeepalive is the TCP-mode per-neighbor keepalive, encoded as a
 // network-layer Count so no extra message type is needed (Section 3.2: "a
@@ -42,7 +51,8 @@ const CountKeepalive CountID = 0x8004
 func (m *Hello) AppendTo(b []byte) []byte {
 	b = append(b, TypeHello, helloVersion)
 	b = binary.BigEndian.AppendUint64(b, m.SessionID)
-	return binary.BigEndian.AppendUint64(b, m.Epoch)
+	b = binary.BigEndian.AppendUint64(b, m.Epoch)
+	return binary.BigEndian.AppendUint16(b, m.DataPort)
 }
 
 // DecodeFromBytes parses the message and returns the bytes consumed.
@@ -55,5 +65,6 @@ func (m *Hello) DecodeFromBytes(b []byte) (int, error) {
 	}
 	m.SessionID = binary.BigEndian.Uint64(b[2:10])
 	m.Epoch = binary.BigEndian.Uint64(b[10:18])
+	m.DataPort = binary.BigEndian.Uint16(b[18:20])
 	return HelloSize, nil
 }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestHelloRoundTrip(t *testing.T) {
-	in := Hello{SessionID: 0xdeadbeefcafe0001, Epoch: 42}
+	in := Hello{SessionID: 0xdeadbeefcafe0001, Epoch: 42, DataPort: 4801}
 	b := in.AppendTo(nil)
 	if len(b) != HelloSize {
 		t.Fatalf("encoded size = %d, want %d", len(b), HelloSize)
