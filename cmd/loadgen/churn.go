@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// runChurn is the FIB churn mode (experiment E14): flash-crowd Zipf
+// subscribe/unsubscribe toggles against an in-process router with a live
+// data plane, measuring route-change throughput, SetRoute publication
+// latency, and sampled install→first-packet-delivered latency. The router,
+// sessions, and stream are owned by experiments.RunChurn, so this mode
+// always runs in-process.
+func runChurn(routes, events, sessions, samples int, zipfS float64, seed int64) {
+	log.Printf("loadgen: churn mode: %d routes, %d events, %d sessions, zipf s=%g",
+		routes, events, sessions, zipfS)
+	res, err := experiments.RunChurn(experiments.ChurnOptions{
+		Routes:   routes,
+		Events:   events,
+		Sessions: sessions,
+		Samples:  samples,
+		ZipfS:    zipfS,
+		Seed:     seed,
+	})
+	if err != nil {
+		log.Fatalf("loadgen: churn: %v", err)
+	}
+	dur := func(ns float64) string {
+		d := time.Duration(ns)
+		if d >= 100*time.Microsecond {
+			return d.Round(time.Microsecond).String()
+		}
+		return d.Round(10 * time.Nanosecond).String()
+	}
+	fmt.Printf("routes=%d events=%d GOMAXPROCS=%d\n", res.Routes, res.Events, runtime.GOMAXPROCS(0))
+	fmt.Printf("churn wall        %12v\n", res.Wall.Round(time.Millisecond))
+	fmt.Printf("events/second     %12.0f\n", res.EventsPerSec)
+	fmt.Printf("install latency   n=%-8d p50=%-10s p99=%-10s max=%s  (dp_route_install_ns)\n",
+		res.Install.Count, dur(res.Install.P50), dur(res.Install.P99), dur(float64(res.Install.Max)))
+	if res.Samples > 0 {
+		fmt.Printf("install→delivery  n=%-8d p50=%-10s p99=%-10s max=%s\n",
+			res.Samples, dur(res.DeliverP50Ns), dur(res.DeliverP99Ns), dur(res.DeliverMaxNs))
+	}
+	fmt.Printf("chunk publishes   %12d (p99 %s)\n", res.ChunkPublishes, dur(res.ChunkPublishP99Ns))
+	fmt.Printf("dir rebuilds      %12d\n", res.Rebuilds)
+	os.Exit(0)
+}

@@ -28,6 +28,13 @@
 // goodput, loss, and the router's dp_forward_ns / dp_fanout histograms.
 //
 //	loadgen -data -recvs 4 -pps 50000 -payload 256 -duration 5s
+//
+// FIB churn mode (experiment E14): -churn pre-installs -routes channels,
+// then drives Zipf flash-crowd joins/leaves through -conns sessions while a
+// paced stream forwards, reporting route-change throughput, SetRoute
+// publication latency, and sampled install→first-delivery latency.
+//
+//	loadgen -churn -routes 1000000 -churn-events 50000 -zipf 1.2 -samples 40
 package main
 
 import (
@@ -62,7 +69,17 @@ func main() {
 	pps := flag.Int("pps", 0, "data mode: target packet rate (0 = unpaced, as fast as the source can send)")
 	recvs := flag.Int("recvs", 4, "data mode: subscribed receivers (the replication fan-out)")
 	payload := flag.Int("payload", 256, "data mode: payload bytes per packet")
+	churn := flag.Bool("churn", false, "FIB churn mode: Zipf flash-crowd joins/leaves against an in-process router with a live data plane (experiment E14)")
+	routes := flag.Int("routes", 100_000, "churn mode: pre-installed channel routes (the FIB size)")
+	churnEvents := flag.Int("churn-events", 20_000, "churn mode: membership toggles to drive")
+	zipfS := flag.Float64("zipf", 1.2, "churn mode: popularity exponent of the churn key draw (> 1)")
+	samples := flag.Int("samples", 40, "churn mode: install→first-delivery latency samples")
 	flag.Parse()
+
+	if *churn {
+		runChurn(*routes, *churnEvents, *conns, *samples, *zipfS, time.Now().UnixNano())
+		return
+	}
 
 	var r *realnet.Router
 	addrStr := *target

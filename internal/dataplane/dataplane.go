@@ -32,6 +32,7 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/addr"
 	"repro/internal/fib"
@@ -106,6 +107,7 @@ type Plane struct {
 
 	forwardNs *obs.Histogram // per-packet forward latency (batch mean)
 	fanoutH   *obs.Histogram // per-packet replication fan-out
+	installNs *obs.Histogram // per-SetRoute FIB publication latency
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -132,6 +134,7 @@ func NewPlane(opts Options) (*Plane, error) {
 		fib:       fib.New(),
 		forwardNs: obs.NewHistogram(),
 		fanoutH:   obs.NewHistogram(),
+		installNs: obs.NewHistogram(),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		p.wg.Add(1)
@@ -159,13 +162,21 @@ func (p *Plane) FIB() *fib.Table { return p.fib }
 // upstream path feeds it, so the paper's RPF check degenerates to the
 // exact-match itself.
 func (p *Plane) SetRoute(ch addr.Channel, mask uint32) {
+	start := time.Now()
 	k := fib.Key{S: ch.S, G: ch.E}
 	if mask == 0 {
 		p.fib.Delete(k)
-		return
+	} else {
+		p.fib.Set(k, fib.Entry{IIF: -1, OIFs: mask})
 	}
-	p.fib.Set(k, fib.Entry{IIF: -1, OIFs: mask})
+	p.installNs.Observe(uint64(time.Since(start)))
 }
+
+// RouteInstallSnapshot reports the distribution of SetRoute publication
+// latency — the control-plane half of route-install→first-packet delay that
+// the churn experiment (E14) tracks. Under the chunked-generation FIB this
+// stays O(chunk) regardless of table size.
+func (p *Plane) RouteInstallSnapshot() obs.HistSnapshot { return p.installNs.Snapshot() }
 
 // Route returns the programmed OIF mask for ch (0, false when absent).
 func (p *Plane) Route(ch addr.Channel) (uint32, bool) {

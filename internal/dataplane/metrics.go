@@ -10,6 +10,7 @@ import "repro/internal/obs"
 func (p *Plane) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterHistogram("dp_forward_ns", "per-packet forward latency: decode + FIB lookup + replicate (ns, batch mean)", p.forwardNs)
 	reg.RegisterHistogram("dp_fanout", "per-packet replication fan-out (destinations targeted)", p.fanoutH)
+	reg.RegisterHistogram("dp_route_install_ns", "per-SetRoute FIB publication latency (ns)", p.installNs)
 	reg.NewCounterFunc("dp_packets_total", "data packets ingested", p.pkts.Load)
 	reg.NewCounterFunc("dp_bytes_total", "data bytes ingested", p.bytes.Load)
 	reg.NewCounterFunc("dp_bad_packets_total", "datagrams that failed to decode", p.badPkts.Load)

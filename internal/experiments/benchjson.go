@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/addr"
 	"repro/internal/dataplane"
@@ -30,6 +31,12 @@ type BenchResult struct {
 	Goroutines int `json:"goroutines,omitempty"`
 	// Fanout is set for the data-plane replication series (OIFs per packet).
 	Fanout int `json:"fanout,omitempty"`
+	// Routes is set for the fib/churn series (pre-populated table size).
+	Routes int `json:"routes,omitempty"`
+	// ChunkPublishP99Ns is set for the fib/churn series: the p99 chunk
+	// republication duration — flat across Routes is the incremental-
+	// publication claim.
+	ChunkPublishP99Ns float64 `json:"chunk_publish_p99_ns,omitempty"`
 }
 
 // BenchReport is the full -json document.
@@ -43,6 +50,9 @@ type BenchReport struct {
 	E4 *BenchE4 `json:"e4_maintenance,omitempty"`
 	// E9: EXPRESS routing-state footprint on the shared E9 scenario.
 	E9 *BenchE9 `json:"e9_state,omitempty"`
+	// E14: end-to-end churn on a live router (events/sec, install and
+	// delivery latency).
+	E14 *BenchE14 `json:"e14_churn,omitempty"`
 }
 
 // BenchE4 summarizes RunE4Maintenance for the JSON report.
@@ -59,6 +69,21 @@ type BenchE9 struct {
 	StateEntries int `json:"state_entries"`
 	BytesPerFIB  int `json:"bytes_per_fib_entry"`
 	TotalBytes   int `json:"total_fib_bytes"`
+}
+
+// BenchE14 summarizes RunChurn for the JSON report.
+type BenchE14 struct {
+	Routes            int     `json:"routes"`
+	Events            int     `json:"events"`
+	EventsPerSec      float64 `json:"events_per_sec"`
+	InstallP50Ns      float64 `json:"install_p50_ns"`
+	InstallP99Ns      float64 `json:"install_p99_ns"`
+	DeliverP50Ns      float64 `json:"deliver_p50_ns"`
+	DeliverP99Ns      float64 `json:"deliver_p99_ns"`
+	ChunkPublishes    uint64  `json:"chunk_publishes"`
+	ChunkPublishP99Ns float64 `json:"chunk_publish_p99_ns"`
+	Rebuilds          uint64  `json:"dir_rebuilds"`
+	Error             string  `json:"error,omitempty"`
 }
 
 func toResult(name string, gos int, r testing.BenchmarkResult) BenchResult {
@@ -193,6 +218,53 @@ func benchReplicate(fanout int) (BenchResult, error) {
 	return out, nil
 }
 
+// benchChurn measures steady-state Set/Delete churn against a pre-populated
+// table — the in-process half of E14, mirroring internal/fib's
+// BenchmarkChurnPublish at its documented -benchtime 200000x. The op count
+// is fixed (not testing.Benchmark's adaptive ramp) so every table size runs
+// the identical workload and the p99 column compares like with like;
+// warm-up passes absorb any deferred growth left by populate so the
+// measured loop pays chunk publications only.
+func benchChurn(routes int) BenchResult {
+	const ops = 200_000
+	t := fib.New()
+	src := addr.MustParse("171.64.7.9")
+	window := routes / 8
+	for i := 0; i < routes+window; i++ {
+		t.Set(fib.Key{S: src, G: addr.ExpressAddr(uint32(i))}, fib.Entry{IIF: 0, OIFs: 1<<1 | 1<<3})
+	}
+	for pass := 0; pass < 8; pass++ {
+		before := t.Rebuilds()
+		for i := 0; i < window; i++ {
+			k := fib.Key{S: src, G: addr.ExpressAddr(uint32(routes + i))}
+			t.Delete(k)
+			t.Set(k, fib.Entry{IIF: 0, OIFs: 2})
+		}
+		if t.Rebuilds() == before {
+			break
+		}
+	}
+	runtime.GC() // retire the populate-phase generations before measuring
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		k := fib.Key{S: src, G: addr.ExpressAddr(uint32(routes + i%window))}
+		t.Delete(k)
+		t.Set(k, fib.Entry{IIF: 0, OIFs: 2})
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	out := toResult("fib/churn", 0, testing.BenchmarkResult{
+		N: ops, T: elapsed,
+		MemAllocs: m1.Mallocs - m0.Mallocs,
+		MemBytes:  m1.TotalAlloc - m0.TotalAlloc,
+	})
+	out.Routes = routes
+	out.ChunkPublishP99Ns = t.ChunkPublishSnapshot().P99
+	return out
+}
+
 // BenchJSON runs the benchmark suite and returns the report. quick skips the
 // E4 loopback measurement (the slowest piece).
 func BenchJSON(quick bool) *BenchReport {
@@ -208,6 +280,13 @@ func BenchJSON(quick bool) *BenchReport {
 		if res, err := benchReplicate(fanout); err == nil {
 			rep.Benchmarks = append(rep.Benchmarks, res)
 		}
+	}
+	churnSizes := []int{10_000, 100_000}
+	if !quick {
+		churnSizes = append(churnSizes, 1_000_000)
+	}
+	for _, routes := range churnSizes {
+		rep.Benchmarks = append(rep.Benchmarks, benchChurn(routes))
 	}
 
 	if !quick {
@@ -227,6 +306,23 @@ func BenchJSON(quick bool) *BenchReport {
 			BytesPerFIB:  fib.EntrySize,
 			TotalBytes:   e9.StateEntries * fib.EntrySize,
 		}
+
+		e14 := &BenchE14{}
+		if res, err := RunChurn(ChurnOptions{Routes: 100_000, Events: 20_000, Samples: 40}); err != nil {
+			e14.Error = err.Error()
+		} else {
+			e14.Routes = res.Routes
+			e14.Events = res.Events
+			e14.EventsPerSec = res.EventsPerSec
+			e14.InstallP50Ns = res.Install.P50
+			e14.InstallP99Ns = res.Install.P99
+			e14.DeliverP50Ns = res.DeliverP50Ns
+			e14.DeliverP99Ns = res.DeliverP99Ns
+			e14.ChunkPublishes = res.ChunkPublishes
+			e14.ChunkPublishP99Ns = res.ChunkPublishP99Ns
+			e14.Rebuilds = res.Rebuilds
+		}
+		rep.E14 = e14
 	}
 	return rep
 }

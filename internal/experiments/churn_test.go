@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestChurnSmall runs the E14 churn pipeline end to end at a size small
+// enough for CI: real router, real sessions, Zipf toggles, paced stream,
+// and delivery sampling. Run with -race in CI — the churn drivers, the
+// stream, the sampler, and the router's shards all interleave here.
+func TestChurnSmall(t *testing.T) {
+	res, err := RunChurn(ChurnOptions{
+		Routes:   2000,
+		Events:   2000,
+		Sessions: 2,
+		Samples:  3,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsPerSec <= 0 {
+		t.Errorf("events/sec = %g, want > 0", res.EventsPerSec)
+	}
+	if res.Install.Count == 0 {
+		t.Error("dp_route_install_ns recorded nothing")
+	}
+	if res.Samples != 3 || res.DeliverP99Ns <= 0 {
+		t.Errorf("delivery sampling: %d samples p99=%g, want 3 and > 0", res.Samples, res.DeliverP99Ns)
+	}
+	if res.DeliverP50Ns > res.DeliverMaxNs {
+		t.Errorf("p50 %g > max %g", res.DeliverP50Ns, res.DeliverMaxNs)
+	}
+	if res.ChunkPublishes == 0 {
+		t.Error("churn published no chunks")
+	}
+}

@@ -111,5 +111,8 @@ func AllTables(includeHeavy bool) []*Table {
 		ts = append(ts, E9Comparison(), E10Relay())
 	}
 	ts = append(ts, E11CountingSchemes(), E12AddrAllocation())
+	if includeHeavy {
+		ts = append(ts, E14Churn())
+	}
 	return ts
 }

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/dataplane"
+	"repro/internal/obs"
+	"repro/internal/realnet"
+	"repro/internal/workload"
+)
+
+// E14: million-route churn. The EXPRESS FIB is only as good as its behaviour
+// under membership churn — flash crowds join and leave in bursts (Section
+// 4.2's subscription dynamics), and every count transition reprograms a
+// route. This experiment drives real routers end to end: Zipf-popular
+// subscribe/unsubscribe toggles flow through TCP sessions into processCount,
+// which programs dataplane.Plane.SetRoute, which publishes into the
+// chunked-generation FIB — all while a paced UDP stream keeps the forwarding
+// hot path live. Alongside throughput it samples the user-visible latency
+// that matters: route-install→first-packet-delivered, measured by
+// subscribing a receiver to a fresh channel and probing until the first
+// datagram arrives.
+
+// ChurnOptions tunes RunChurn. Zero values select defaults sized for a
+// laptop-class run.
+type ChurnOptions struct {
+	// Routes is the steady-state channel count installed before churn.
+	Routes int
+	// Events is the number of membership toggles driven through sessions.
+	Events int
+	// Sessions is the number of concurrent subscriber sessions.
+	Sessions int
+	// Samples is the number of install→first-delivery probes taken while
+	// the churn runs.
+	Samples int
+	// ZipfS is the popularity exponent of the churn key draw (> 1).
+	ZipfS float64
+	// Seed makes the key sequence reproducible.
+	Seed int64
+}
+
+func (o ChurnOptions) withDefaults() ChurnOptions {
+	if o.Routes <= 0 {
+		o.Routes = 100_000
+	}
+	if o.Events <= 0 {
+		o.Events = 20_000
+	}
+	if o.Sessions <= 0 {
+		o.Sessions = 4
+	}
+	if o.Samples < 0 {
+		o.Samples = 0
+	} else if o.Samples == 0 {
+		o.Samples = 40
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ChurnResult is one churn run's measurements.
+type ChurnResult struct {
+	Routes       int
+	Events       int
+	Wall         time.Duration
+	EventsPerSec float64
+
+	// Install is the dp_route_install_ns distribution: SetRoute publication
+	// latency, cumulative over populate + churn (so directory growth during
+	// populate is included — the conservative read).
+	Install obs.HistSnapshot
+	// Deliver* are the sampled install→first-packet-delivered latencies in
+	// nanoseconds: subscribe Flush to first matching datagram at the
+	// receiver, taken while churn runs.
+	DeliverP50Ns float64
+	DeliverP99Ns float64
+	DeliverMaxNs float64
+	Samples      int
+
+	// FIB publication accounting after the run.
+	ChunkPublishes    uint64
+	ChunkPublishP99Ns float64
+	Rebuilds          uint64
+}
+
+func churnChannel(src addr.Addr, i int) addr.Channel {
+	return addr.Channel{S: src, E: addr.ExpressAddr(uint32(i + 1))}
+}
+
+// RunChurn populates a real router with opts.Routes channels through TCP
+// sessions, then drives opts.Events Zipf-popular membership toggles while a
+// paced UDP stream forwards and a sampler measures install→first-delivery
+// latency. See ChurnResult for what comes back.
+func RunChurn(opts ChurnOptions) (ChurnResult, error) {
+	opts = opts.withDefaults()
+	res := ChurnResult{Routes: opts.Routes, Events: opts.Events}
+	src := addr.MustParse("171.64.7.9")
+
+	r, err := realnet.NewRouterOpts("127.0.0.1:0", realnet.Options{
+		Shards:     64,
+		DataListen: "127.0.0.1:0",
+	})
+	if err != nil {
+		return res, err
+	}
+	defer r.Close()
+
+	recv, err := dataplane.NewReceiver()
+	if err != nil {
+		return res, err
+	}
+	defer recv.Close()
+
+	// Session 0 advertises the receiver's data port; it owns the stable
+	// stream channel and takes the delivery samples.
+	sessions := make([]*realnet.Session, opts.Sessions)
+	for i := range sessions {
+		so := realnet.SessionOptions{SessionID: uint64(opts.Seed)<<8 + uint64(i) + 1}
+		if i == 0 {
+			so.DataPort = recv.Port()
+		}
+		s, err := realnet.DialSession(r.Addr(), so)
+		if err != nil {
+			return res, err
+		}
+		defer s.Close()
+		sessions[i] = s
+	}
+
+	// Populate: every channel subscribed by exactly one session.
+	for i := 0; i < opts.Routes; i++ {
+		if err := sessions[i%opts.Sessions].Subscribe(churnChannel(src, i)); err != nil {
+			return res, err
+		}
+	}
+	for _, s := range sessions {
+		if err := s.Flush(); err != nil {
+			return res, err
+		}
+	}
+	if err := waitFor(30*time.Second, func() bool { return r.Channels() >= opts.Routes }); err != nil {
+		return res, fmt.Errorf("populate: %d/%d channels installed: %w", r.Channels(), opts.Routes, err)
+	}
+
+	// Stable stream: channel 0 belongs to session 0, so the receiver gets
+	// every packet; the forwarding hot path stays live during churn.
+	stable := churnChannel(src, 0)
+	stream, err := dataplane.NewSource(r.DataAddr(), stable, dataplane.SourceOptions{PacePPS: 2000})
+	if err != nil {
+		return res, err
+	}
+	defer stream.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		payload := make([]byte, 64)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				stream.Send(payload)
+			}
+		}
+	}()
+
+	// Churn: each session toggles membership on Zipf-popular channels it
+	// owns. A toggle is one event (one Count through processCount, one
+	// SetRoute). Channel 0 is excluded so the stable stream never drops.
+	baseEvents := r.Events()
+	start := time.Now()
+	churnErr := make(chan error, opts.Sessions)
+	per := opts.Events / opts.Sessions
+	for w := 0; w < opts.Sessions; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)))
+			zipf := workload.Zipf(rng, opts.ZipfS, opts.Routes)
+			s := sessions[w]
+			subscribed := make(map[addr.Channel]bool)
+			for i := 0; i < per; i++ {
+				// Draw in [0, Routes), remap onto this session's stripe.
+				idx := int(zipf.Uint64())
+				idx = idx - idx%opts.Sessions + w
+				if idx >= opts.Routes {
+					idx -= opts.Sessions
+				}
+				if idx < 0 || (w == 0 && idx == 0) {
+					idx = w + opts.Sessions // never channel 0
+				}
+				ch := churnChannel(src, idx)
+				var err error
+				if subscribed[ch] {
+					err = s.Subscribe(ch) // flash crowd back in
+					delete(subscribed, ch)
+				} else {
+					err = s.Unsubscribe(ch) // flash leave
+					subscribed[ch] = true
+				}
+				if err != nil {
+					churnErr <- err
+					return
+				}
+			}
+			// Restore the steady state so the table ends where it began.
+			for ch := range subscribed {
+				if err := s.Subscribe(ch); err != nil {
+					churnErr <- err
+					return
+				}
+			}
+			churnErr <- s.Flush()
+		}(w)
+	}
+
+	// Sample install→first-delivery latency while the churn runs: subscribe
+	// a fresh channel on the receiver's session, then probe with a source
+	// until the first matching datagram lands.
+	var deliver []float64
+	probePayload := make([]byte, 32)
+	for j := 0; j < opts.Samples; j++ {
+		chj := churnChannel(src, opts.Routes+1+j)
+		probe, err := dataplane.NewSource(r.DataAddr(), chj, dataplane.SourceOptions{})
+		if err != nil {
+			return res, err
+		}
+		recv.Drain()
+		t0 := time.Now()
+		if err := sessions[0].Subscribe(chj); err != nil {
+			return res, err
+		}
+		if err := sessions[0].Flush(); err != nil {
+			return res, err
+		}
+		deadline := t0.Add(5 * time.Second)
+		for {
+			probe.Send(probePayload)
+			pkt, err := recv.RecvTimeout(500 * time.Microsecond)
+			if err == nil && pkt.Channel == chj {
+				deliver = append(deliver, float64(time.Since(t0).Nanoseconds()))
+				break
+			}
+			if time.Now().After(deadline) {
+				probe.Close()
+				return res, fmt.Errorf("sample %d: no delivery within 5s", j)
+			}
+		}
+		probe.Close()
+		sessions[0].Unsubscribe(chj)
+		sessions[0].Flush()
+	}
+
+	for w := 0; w < opts.Sessions; w++ {
+		if err := <-churnErr; err != nil {
+			return res, err
+		}
+	}
+	// The toggles are acknowledged when the router has processed at least
+	// the driven event count (sampling adds a few more on top).
+	if err := waitFor(30*time.Second, func() bool {
+		return r.Events()-baseEvents >= uint64(per*opts.Sessions)
+	}); err != nil {
+		return res, fmt.Errorf("churn events not all processed: %w", err)
+	}
+	res.Wall = time.Since(start)
+	if res.Wall > 0 {
+		res.EventsPerSec = float64(r.Events()-baseEvents) / res.Wall.Seconds()
+	}
+
+	sort.Float64s(deliver)
+	res.Samples = len(deliver)
+	if n := len(deliver); n > 0 {
+		res.DeliverP50Ns = deliver[n/2]
+		res.DeliverP99Ns = deliver[min(n-1, n*99/100)]
+		res.DeliverMaxNs = deliver[n-1]
+	}
+
+	dp := r.DataPlane()
+	res.Install = dp.RouteInstallSnapshot()
+	ft := dp.FIB()
+	res.ChunkPublishes = ft.ChunkPublishes()
+	res.ChunkPublishP99Ns = ft.ChunkPublishSnapshot().P99
+	res.Rebuilds = ft.Rebuilds()
+	return res, nil
+}
+
+func waitFor(d time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timeout after %v", d)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// E14Churn renders the churn run as a paperbench table: route-change
+// throughput, install latency, and delivery latency at two table sizes, the
+// before/after evidence that publication cost no longer scales with the
+// table.
+func E14Churn() *Table {
+	t := &Table{
+		ID:    "E14",
+		Title: "§4.2/§5.1: FIB churn — flash-crowd joins/leaves on a live router",
+		Header: []string{"routes", "events", "events/s", "install p50", "install p99",
+			"deliver p50", "deliver p99", "chunk pubs", "pub p99", "dir rebuilds"},
+	}
+	for _, routes := range []int{10_000, 100_000} {
+		res, err := RunChurn(ChurnOptions{Routes: routes, Events: 20_000, Samples: 20})
+		if err != nil {
+			t.Note("routes=%d failed: %v", routes, err)
+			continue
+		}
+		t.AddRow(itoa(res.Routes), itoa(res.Events), f2(res.EventsPerSec),
+			durNs(res.Install.P50), durNs(res.Install.P99),
+			durNs(res.DeliverP50Ns), durNs(res.DeliverP99Ns),
+			u64(res.ChunkPublishes), durNs(res.ChunkPublishP99Ns), u64(res.Rebuilds))
+	}
+	t.Note("install = dp_route_install_ns (SetRoute → FIB publication, cumulative incl. populate); " +
+		"deliver = subscribe-flush → first datagram at the receiver, sampled during churn")
+	t.Note("chunked-generation FIB: publication republishes one ≤1024-slot chunk; directory " +
+		"rebuilds happen only on genuine capacity growth, so p99 stays flat as routes grow")
+	return t
+}
+
+func durNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

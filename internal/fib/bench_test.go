@@ -143,6 +143,53 @@ func BenchmarkSetDelete(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnPublish is the tentpole claim of the chunked-generation
+// scheme: route-change publication cost is O(chunk), not O(table). Each
+// sub-benchmark churns Set/Delete pairs against a pre-populated table and
+// reports the p99 chunk-republication duration — compare it across the
+// 10⁴/10⁵/10⁶ sizes: it must stay flat while table size grows 100×.
+func BenchmarkChurnPublish(b *testing.B) {
+	for _, routes := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("routes=%d", routes), func(b *testing.B) {
+			// The churn window is pre-populated too, so the measured loop
+			// oscillates within existing capacity — genuine growth is the
+			// directory's job and is asserted not to happen here. Populate
+			// can leave chunks just under the growth threshold (a deferred
+			// split the first tombstones would trip), so warm-up passes run
+			// until a full window of churn causes no rebuild.
+			window := routes / 8
+			t, src := populate(b, routes+window)
+			for pass := 0; pass < 8; pass++ {
+				before := t.Rebuilds()
+				for i := 0; i < window; i++ {
+					k := Key{S: src, G: addr.ExpressAddr(uint32(routes + i))}
+					t.Delete(k)
+					t.Set(k, Entry{IIF: 0, OIFs: 2})
+				}
+				if t.Rebuilds() == before {
+					break
+				}
+			}
+			baseRebuilds := t.Rebuilds()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := Key{S: src, G: addr.ExpressAddr(uint32(routes + i%window))}
+				t.Delete(k)
+				t.Set(k, Entry{IIF: 0, OIFs: 2})
+			}
+			b.StopTimer()
+			s := t.ChunkPublishSnapshot()
+			b.ReportMetric(float64(routes), "table-entries")
+			b.ReportMetric(s.P99, "chunk-publish-p99-ns")
+			b.ReportMetric(float64(t.ChunkPublishes()), "chunk-publishes")
+			if r := t.Rebuilds() - baseRebuilds; r != 0 {
+				b.Fatalf("steady churn paid %d whole-table rebuilds, want 0", r)
+			}
+		})
+	}
+}
+
 // BenchmarkSnapshot measures packing a full table into line-card format.
 func BenchmarkSnapshot(b *testing.B) {
 	t := New()

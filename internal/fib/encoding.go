@@ -81,22 +81,26 @@ func DecodeEntry(b []byte) (Key, Entry, error) {
 // the image a control plane would download to line-card SRAM. Entries that
 // have no fast-path encoding (wildcard sources, used only by baselines) are
 // skipped and counted in the second return value. Snapshot walks the current
-// RCU generation without blocking writers.
+// chunk generations without blocking writers; chunks republished mid-walk
+// may be reflected partially, as with any RCU reader.
 func (t *Table) Snapshot() (packed []byte, skipped int) {
-	a := t.p.Load()
+	d := t.dir.Load()
 	packed = make([]byte, 0, t.Len()*EntrySize)
-	for i := range a.slots {
-		kk := a.slots[i].key.Load()
-		if kk == emptyKey || kk == tombKey {
-			continue
+	for ci := range d.chunks {
+		c := d.chunks[ci].Load()
+		for i := range c.slots {
+			kk := c.slots[i].key.Load()
+			if kk == emptyKey || kk == tombKey {
+				continue
+			}
+			k, e := unpackKey(kk), unpackVal(c.slots[i].val.Load())
+			p, err := EncodeEntry(k, &e, packed)
+			if err != nil {
+				skipped++
+				continue
+			}
+			packed = p
 		}
-		k, e := unpackKey(kk), unpackVal(a.slots[i].val.Load())
-		p, err := EncodeEntry(k, &e, packed)
-		if err != nil {
-			skipped++
-			continue
-		}
-		packed = p
 	}
 	return packed, skipped
 }

@@ -7,16 +7,32 @@
 // PIM-SM, or broadcast, as with PIM-DM and DVMRP".
 //
 // The table is built the way the paper prices it (§5.1, Figure 5): entries
-// live in a flat open-addressing array of packed slots, not a pointer-chasing
-// map, and the data plane reads it without taking any lock. Readers load the
-// current slot array through an atomic.Pointer and probe with atomic loads;
-// writers serialize on a mutex and publish changes either in place (an
-// atomic slot store, ordered so the payload is visible before the key) or,
-// when the array must grow or shed tombstones, by building a fresh array and
-// swapping the pointer — RCU-style, so a concurrent lookup always sees a
-// consistent table, either pre- or post-update. Forwarding statistics are
-// striped across cache-line-padded atomic counters so concurrent lookups do
-// not serialize on a shared counter word.
+// live in flat open-addressing arrays of packed slots, not a pointer-chasing
+// map, and the data plane reads it without taking any lock.
+//
+// Publication is chunked-generation RCU. The hash space is partitioned by a
+// directory: the top hash bits select a chunk, each chunk a small packed
+// slot array published through its own atomic.Pointer. Readers load the
+// directory pointer, then the chunk pointer, and probe with atomic loads —
+// two dependent loads plus the probe, no lock, no allocation. Writers
+// serialize on a mutex and publish changes either in place (an atomic slot
+// store, ordered so the payload is visible before the key) or, when a chunk
+// must grow or shed tombstones, by rebuilding and republishing just that
+// chunk — O(chunk), bounded by maxChunkSlots, regardless of table size. Only
+// genuine capacity growth republishes the whole table: when a chunk would
+// outgrow maxChunkSlots the directory doubles and every chunk splits in two,
+// which is O(table) but amortizes over a doubling of the route count. A
+// concurrent lookup always sees a consistent table, either pre- or
+// post-update, because every publication — slot, chunk, or directory — is a
+// single atomic store.
+//
+// Under route churn this is the difference between O(table) and O(1)-ish
+// route-change cost: at 10⁶ routes a whole-table rebuild copies a million
+// entries while a chunk republication copies at most a few hundred, so the
+// §6 proactive-counting machinery can install and withdraw routes
+// continuously without the control plane melting (ROADMAP's million-route
+// item). Forwarding statistics are striped across cache-line-padded atomic
+// counters so concurrent lookups do not serialize on a shared counter word.
 //
 // The same table also serves the group-model baselines via wildcard-source
 // (*,G) entries and a bidirectional flag (CBT), so state-size comparisons
@@ -126,10 +142,19 @@ type slot struct {
 }
 
 const (
-	emptyKey = 0        // never a real key: a real entry's G is non-zero
-	tombKey  = 1 << 63  // S = 128/8 host with G == 0: also never real
-	iifAny   = 0xff     // IIF byte value meaning "accept any interface"
-	minSlots = 8        // initial capacity (power of two)
+	emptyKey = 0       // never a real key: a real entry's G is non-zero
+	tombKey  = 1 << 63 // S = 128/8 host with G == 0: also never real
+	iifAny   = 0xff    // IIF byte value meaning "accept any interface"
+	minSlots = 8       // initial chunk capacity (power of two)
+
+	// maxChunkSlots bounds a chunk's slot array, and with it the cost of
+	// one chunk republication — the route-change publication unit. A chunk
+	// that would outgrow it splits via a directory doubling instead.
+	maxChunkSlots = 1024
+	// maxDirBits caps the directory at 2^maxDirBits chunks (a pointer
+	// array, ~8 MiB at the cap — enough for ~10⁸ routes). Past it, chunks
+	// are allowed to exceed maxChunkSlots rather than split further.
+	maxDirBits = 20
 )
 
 func packKey(k Key) uint64 { return uint64(k.S)<<32 | uint64(k.G) }
@@ -156,63 +181,125 @@ func unpackVal(v uint64) Entry {
 
 // hashKey mixes the packed key so consecutive channel suffixes spread across
 // the table (Fibonacci multiplicative hashing, high bits folded down because
-// probing masks the low bits).
+// in-chunk probing masks the low bits while the directory consumes the top).
 func hashKey(kk uint64) uint64 {
 	h := kk * 0x9e3779b97f4a7c15
 	return h ^ h>>29
 }
 
-// slotArray is one published generation of the table. Readers treat it as
-// immutable structure: slots are only ever written through atomic stores
-// that keep every probe sequence valid (empty slots never reappear within a
-// generation, so probes terminate).
-type slotArray struct {
+// chunk is one published generation of one directory region. Readers treat
+// its slots as immutable structure: slots are only ever written through
+// atomic stores that keep every probe sequence valid within the generation
+// (a slot's key goes empty→key→tombstone at most once, so empty slots never
+// reappear and probes terminate).
+//
+// used and live are writer-side bookkeeping, guarded by Table.mu: occupied
+// slots (live + tombstones) and live entries. Readers never touch them.
+type chunk struct {
 	slots []slot
 	mask  uint64
+	used  int
+	live  int
 }
 
-func newSlotArray(n int) *slotArray {
-	return &slotArray{slots: make([]slot, n), mask: uint64(n - 1)}
+func newChunk(n int) *chunk {
+	return &chunk{slots: make([]slot, n), mask: uint64(n - 1)}
 }
 
 // find probes for kk and returns its payload word. It is the lock-free read
 // path: atomic key loads, linear probing, stop at the first empty slot.
-func (a *slotArray) find(kk, h uint64) (uint64, bool) {
-	i := h & a.mask
+func (c *chunk) find(kk, h uint64) (uint64, bool) {
+	i := h & c.mask
 	for {
-		got := a.slots[i].key.Load()
+		got := c.slots[i].key.Load()
 		if got == kk {
-			return a.slots[i].val.Load(), true
+			return c.slots[i].val.Load(), true
 		}
 		if got == emptyKey {
 			return 0, false
 		}
-		i = (i + 1) & a.mask
+		i = (i + 1) & c.mask
 	}
+}
+
+// probe is the writer-side walk: it returns the slot holding kk (found) or
+// the first empty slot of kk's probe sequence (not found) — the slot a fresh
+// insert must use, since tombstones are never recycled within a generation.
+func (c *chunk) probe(kk, h uint64) (uint64, bool) {
+	i := h & c.mask
+	for {
+		got := c.slots[i].key.Load()
+		if got == kk {
+			return i, true
+		}
+		if got == emptyKey {
+			return i, false
+		}
+		i = (i + 1) & c.mask
+	}
+}
+
+// directory maps the top hash bits to chunks. It is itself published through
+// an atomic.Pointer and never mutated structurally after publication; only
+// the chunk pointers inside it are swapped (by writers holding Table.mu).
+type directory struct {
+	chunks []atomic.Pointer[chunk]
+	shift  uint // chunk index = hash >> shift (shift 64 ⇒ single chunk)
+}
+
+func (d *directory) chunkFor(h uint64) *chunk {
+	return d.chunks[h>>d.shift].Load()
+}
+
+// chunkSlotsFor sizes a chunk array so that live entries occupy at most half
+// of it after publication — low enough that the next republication is a
+// tombstone or growth event, not thrash.
+func chunkSlotsFor(live int) int {
+	n := minSlots
+	for live*2 >= n {
+		n <<= 1
+	}
+	return n
 }
 
 // Table is one router's multicast FIB.
 type Table struct {
-	p    atomic.Pointer[slotArray]
+	dir  atomic.Pointer[directory]
 	live atomic.Int64 // entries currently in the table
 
-	mu   sync.Mutex // serializes writers; readers never take it
-	used int        // live entries + tombstones in the current array
+	// usedSlots and capSlots mirror the writer bookkeeping atomically so
+	// LoadFactor is a lock-free read: a /metrics scrape must never block
+	// behind a writer mid-rebuild.
+	usedSlots atomic.Int64 // live entries + tombstones across all chunks
+	capSlots  atomic.Int64 // total slots across all chunks
+
+	mu sync.Mutex // serializes writers; readers never take it
 
 	stats [statStripes]statStripe
 
-	// rebuilds and rebuildNs observe the copy-on-write generation
-	// rebuilds: how often the table paid a full rebuild and how long each
-	// one blocked the writer (readers never block — they keep probing the
-	// old generation until the pointer swap).
+	// chunkPubs and chunkPubNs observe chunk republications — the per-route
+	// publication unit: how often a Set/Delete republished its chunk and how
+	// long building the replacement took (readers never block — they keep
+	// probing the old generation until the pointer swap).
+	chunkPubs  atomic.Uint64
+	chunkPubNs *obs.Histogram
+	// rebuilds and rebuildNs observe whole-table publications — directory
+	// doublings on genuine capacity growth, the only remaining O(table)
+	// events.
 	rebuilds  atomic.Uint64
 	rebuildNs *obs.Histogram
 }
 
 // New returns an empty FIB.
 func New() *Table {
-	t := &Table{rebuildNs: obs.NewHistogram()}
-	t.p.Store(newSlotArray(minSlots))
+	t := &Table{
+		chunkPubNs: obs.NewHistogram(),
+		rebuildNs:  obs.NewHistogram(),
+	}
+	d := &directory{chunks: make([]atomic.Pointer[chunk], 1), shift: 64}
+	d.chunks[0].Store(newChunk(minSlots))
+	t.dir.Store(d)
+	t.capSlots.Store(minSlots)
 	return t
 }
 
@@ -220,14 +307,18 @@ func New() *Table {
 // use with writers.
 func (t *Table) Get(k Key) (Entry, bool) {
 	kk := packKey(k)
-	v, ok := t.p.Load().find(kk, hashKey(kk))
+	h := hashKey(kk)
+	v, ok := t.dir.Load().chunkFor(h).find(kk, h)
 	if !ok {
 		return Entry{}, false
 	}
 	return unpackVal(v), true
 }
 
-// Set inserts or replaces the entry for k.
+// Set inserts or replaces the entry for k. A replacement publishes in place
+// (one atomic payload store); an insert publishes in place too unless its
+// chunk must grow or compact, in which case only that chunk is rebuilt and
+// republished.
 func (t *Table) Set(k Key, e Entry) {
 	if k.G == 0 {
 		panic("fib: zero group/channel destination")
@@ -236,123 +327,204 @@ func (t *Table) Set(k Key, e Entry) {
 		panic(fmt.Sprintf("fib: incoming interface %d out of range", e.IIF))
 	}
 	kk, vv := packKey(k), packVal(e)
+	h := hashKey(kk)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	a := t.p.Load()
-	// Grow (or compact tombstones away) before the array passes 3/4 full,
-	// so reader probes always terminate at an empty slot.
-	if (t.used+1)*4 > len(a.slots)*3 {
-		a = t.rebuildLocked(a)
+	d := t.dir.Load()
+	ci := int(h >> d.shift)
+	c := d.chunks[ci].Load()
+	// Probe before the grow check: replacing an existing key adds no entry,
+	// so it must never pay a rebuild — a pure-replacement workload sitting
+	// at the occupancy threshold used to trigger a spurious full rebuild on
+	// every update.
+	if i, ok := c.probe(kk, h); ok {
+		c.slots[i].val.Store(vv)
+		return
 	}
-	h := hashKey(kk)
-	i := h & a.mask
-	for {
-		got := a.slots[i].key.Load()
-		if got == kk {
-			a.slots[i].val.Store(vv)
-			return
+	// Inserting: keep the chunk under 3/4 occupied (live + tombstones) so
+	// reader probes always terminate at an empty slot. Growth republishes
+	// this chunk alone — unless it would outgrow maxChunkSlots, in which
+	// case the directory doubles (the whole-table capacity-growth path).
+	for (c.used+1)*4 > len(c.slots)*3 {
+		if chunkSlotsFor(c.live+1) > maxChunkSlots && d.shift > 64-maxDirBits {
+			d = t.growDirLocked(d)
+			ci = int(h >> d.shift)
+		} else {
+			t.republishChunkLocked(d, ci, c, c.live+1)
 		}
-		if got == emptyKey {
-			// Insert only into empty slots, never recycle a tombstone in
-			// place: a slot's key is written at most once per generation
-			// (empty→key, key→tombstone), so a reader that matched a key
-			// can never observe another key's payload. Tombstones are
-			// reclaimed by rebuildLocked.
-			//
-			// Publish payload before key: a concurrent reader that observes
-			// the new key is guaranteed to read a fully written payload.
-			a.slots[i].val.Store(vv)
-			a.slots[i].key.Store(kk)
-			t.used++
-			t.live.Add(1)
-			return
-		}
-		i = (i + 1) & a.mask
+		c = d.chunks[ci].Load()
 	}
+	i := h & c.mask
+	for c.slots[i].key.Load() != emptyKey {
+		// Insert only into empty slots, never recycle a tombstone in place:
+		// a slot's key is written at most once per generation (empty→key,
+		// key→tombstone), so a reader that matched a key can never observe
+		// another key's payload. Tombstones are reclaimed by republication.
+		i = (i + 1) & c.mask
+	}
+	// Publish payload before key: a concurrent reader that observes the new
+	// key is guaranteed to read a fully written payload.
+	c.slots[i].val.Store(vv)
+	c.slots[i].key.Store(kk)
+	c.used++
+	c.live++
+	t.usedSlots.Add(1)
+	t.live.Add(1)
 }
 
-// Delete removes the entry for k.
+// Delete removes the entry for k. When the delete leaves the chunk holding
+// tombstones on a quarter or more of its slots, the chunk is compacted and
+// republished immediately — a delete-heavy flash-leave must not pin
+// occupancy near the growth threshold and leave reader probes walking long
+// tombstone runs (compaction used to trigger only from the Set path).
 func (t *Table) Delete(k Key) {
 	kk := packKey(k)
+	h := hashKey(kk)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	a := t.p.Load()
-	h := hashKey(kk)
-	i := h & a.mask
-	for {
-		got := a.slots[i].key.Load()
-		if got == kk {
-			// Tombstone, not empty: probes for keys that hashed past this
-			// slot must keep walking.
-			a.slots[i].key.Store(tombKey)
-			t.live.Add(-1)
-			return
-		}
-		if got == emptyKey {
-			return
-		}
-		i = (i + 1) & a.mask
+	d := t.dir.Load()
+	ci := int(h >> d.shift)
+	c := d.chunks[ci].Load()
+	i, ok := c.probe(kk, h)
+	if !ok {
+		return
+	}
+	// Tombstone, not empty: probes for keys that hashed past this slot must
+	// keep walking.
+	c.slots[i].key.Store(tombKey)
+	c.live--
+	t.live.Add(-1)
+	if tombs := c.used - c.live; tombs*4 >= len(c.slots) {
+		t.republishChunkLocked(d, ci, c, c.live)
 	}
 }
 
-// rebuildLocked builds a fresh array holding only live entries and publishes
-// it — the copy-on-write half of the RCU scheme. The array doubles when
-// genuinely full and stays the same size when the pressure is tombstones.
-// Concurrent readers keep probing the old generation until the pointer swap
-// and see a consistent (slightly stale) table. Caller holds t.mu.
-func (t *Table) rebuildLocked(a *slotArray) *slotArray {
+// republishChunkLocked builds a fresh array for one chunk holding only its
+// live entries — sized for targetLive, so it grows under insert pressure and
+// shrinks back after a mass leave — and publishes it with a single pointer
+// store. Concurrent readers keep probing the old generation until the swap.
+// Cost is O(chunk), bounded by maxChunkSlots, independent of table size.
+// Caller holds t.mu.
+func (t *Table) republishChunkLocked(d *directory, ci int, c *chunk, targetLive int) {
 	start := time.Now()
-	live := int(t.live.Load())
-	n := len(a.slots)
-	if (live+1)*2 > n {
-		n *= 2
-	}
-	if n < minSlots {
-		n = minSlots
-	}
-	na := newSlotArray(n)
-	for i := range a.slots {
-		kk := a.slots[i].key.Load()
+	nc := newChunk(chunkSlotsFor(targetLive))
+	for i := range c.slots {
+		kk := c.slots[i].key.Load()
 		if kk == emptyKey || kk == tombKey {
 			continue
 		}
-		j := hashKey(kk) & na.mask
-		for na.slots[j].key.Load() != emptyKey {
-			j = (j + 1) & na.mask
+		j := hashKey(kk) & nc.mask
+		for nc.slots[j].key.Load() != emptyKey {
+			j = (j + 1) & nc.mask
 		}
-		na.slots[j].val.Store(a.slots[i].val.Load())
-		na.slots[j].key.Store(kk)
+		nc.slots[j].val.Store(c.slots[i].val.Load())
+		nc.slots[j].key.Store(kk)
 	}
-	t.used = live
-	t.p.Store(na)
+	nc.used, nc.live = c.live, c.live
+	d.chunks[ci].Store(nc)
+	t.usedSlots.Add(int64(c.live - c.used))
+	t.capSlots.Add(int64(len(nc.slots) - len(c.slots)))
+	t.chunkPubs.Add(1)
+	t.chunkPubNs.Observe(uint64(time.Since(start)))
+}
+
+// growDirLocked doubles the directory, splitting every chunk in two by the
+// next hash bit — the whole-table copy-on-write path, paid only for genuine
+// capacity growth (a chunk outgrowing maxChunkSlots), so it amortizes over a
+// doubling of the route count. Readers keep probing the old directory until
+// the single pointer swap. Caller holds t.mu.
+func (t *Table) growDirLocked(d *directory) *directory {
+	start := time.Now()
+	nd := &directory{
+		chunks: make([]atomic.Pointer[chunk], len(d.chunks)*2),
+		shift:  d.shift - 1,
+	}
+	var caps int64
+	for ci := range d.chunks {
+		c := d.chunks[ci].Load()
+		// Size each half for its own live count before inserting.
+		var halfLive [2]int
+		for i := range c.slots {
+			kk := c.slots[i].key.Load()
+			if kk == emptyKey || kk == tombKey {
+				continue
+			}
+			halfLive[(hashKey(kk)>>nd.shift)&1]++
+		}
+		var halves [2]*chunk
+		for b := range halves {
+			halves[b] = newChunk(chunkSlotsFor(halfLive[b]))
+			halves[b].used, halves[b].live = halfLive[b], halfLive[b]
+			caps += int64(len(halves[b].slots))
+		}
+		for i := range c.slots {
+			kk := c.slots[i].key.Load()
+			if kk == emptyKey || kk == tombKey {
+				continue
+			}
+			h := hashKey(kk)
+			nc := halves[(h>>nd.shift)&1]
+			j := h & nc.mask
+			for nc.slots[j].key.Load() != emptyKey {
+				j = (j + 1) & nc.mask
+			}
+			nc.slots[j].val.Store(c.slots[i].val.Load())
+			nc.slots[j].key.Store(kk)
+		}
+		nd.chunks[2*ci].Store(halves[0])
+		nd.chunks[2*ci+1].Store(halves[1])
+	}
+	t.dir.Store(nd)
+	t.capSlots.Store(caps)
+	t.usedSlots.Store(t.live.Load())
 	t.rebuilds.Add(1)
 	t.rebuildNs.Observe(uint64(time.Since(start)))
-	return na
+	return nd
 }
 
 // Len returns the number of entries.
 func (t *Table) Len() int { return int(t.live.Load()) }
 
-// LoadFactor returns the occupied fraction of the current slot array —
+// LoadFactor returns the occupied fraction of the table's slot arrays —
 // live entries plus tombstones over capacity. Writers grow or compact
-// before it passes 3/4, so a healthy table reads below 0.75.
+// before any chunk passes 3/4, so a healthy table reads below 0.75. The
+// read is lock-free (atomic counters maintained by writers), so a /statsz
+// or /metrics scrape never blocks behind a rebuild.
 func (t *Table) LoadFactor() float64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return float64(t.used) / float64(len(t.p.Load().slots))
+	return float64(t.usedSlots.Load()) / float64(t.capSlots.Load())
 }
 
-// Rebuilds returns how many generation rebuilds the table has performed.
+// Rebuilds returns how many whole-table (directory-growth) rebuilds the
+// table has performed.
 func (t *Table) Rebuilds() uint64 { return t.rebuilds.Load() }
 
+// ChunkPublishes returns how many chunk republications (growth, tombstone
+// compaction, or shrink of a single chunk) the table has performed.
+func (t *Table) ChunkPublishes() uint64 { return t.chunkPubs.Load() }
+
+// ChunkPublishSnapshot returns the chunk-republication duration histogram —
+// the per-route-change publication cost the churn harness tracks.
+func (t *Table) ChunkPublishSnapshot() obs.HistSnapshot { return t.chunkPubNs.Snapshot() }
+
+// RebuildSnapshot returns the whole-table rebuild duration histogram.
+func (t *Table) RebuildSnapshot() obs.HistSnapshot { return t.rebuildNs.Snapshot() }
+
+// NumChunks returns the directory width — how many independently published
+// regions the hash space is split into.
+func (t *Table) NumChunks() int { return len(t.dir.Load().chunks) }
+
 // RegisterMetrics exposes the table's observability surface — forwarding
-// counters, size, load factor, and the generation-rebuild duration
-// histogram — on reg under the given name prefix.
+// counters, size, load factor, and the publication duration histograms
+// (chunk republications and whole-table rebuilds) — on reg under the given
+// name prefix.
 func (t *Table) RegisterMetrics(reg *obs.Registry, prefix string) {
-	reg.RegisterHistogram(prefix+"rebuild_ns", "generation rebuild duration (ns, writer-side)", t.rebuildNs)
-	reg.NewCounterFunc(prefix+"rebuilds_total", "copy-on-write generation rebuilds", t.rebuilds.Load)
+	reg.RegisterHistogram(prefix+"chunk_publish_ns", "chunk republication duration (ns, writer-side; growth, compaction, shrink)", t.chunkPubNs)
+	reg.NewCounterFunc(prefix+"chunk_publishes_total", "chunk republications", t.chunkPubs.Load)
+	reg.RegisterHistogram(prefix+"rebuild_ns", "whole-table rebuild duration (ns, writer-side; directory growth only)", t.rebuildNs)
+	reg.NewCounterFunc(prefix+"rebuilds_total", "whole-table directory-growth rebuilds", t.rebuilds.Load)
 	reg.NewGaugeFunc(prefix+"entries", "live forwarding entries", func() float64 { return float64(t.Len()) })
 	reg.NewGaugeFunc(prefix+"load_factor", "slot-array occupancy (live + tombstones)", t.LoadFactor)
+	reg.NewGaugeFunc(prefix+"chunks", "directory width (independently published regions)", func() float64 { return float64(t.NumChunks()) })
 	reg.NewCounterFunc(prefix+"lookups_total", "forwarding lookups", func() uint64 { return t.Stats().Lookups })
 	reg.NewCounterFunc(prefix+"matched_total", "lookups that matched and forwarded", func() uint64 { return t.Stats().Matched })
 	reg.NewCounterFunc(prefix+"unmatched_drops_total", "EXPRESS packets counted and dropped (no entry)", func() uint64 { return t.Stats().UnmatchedDrops })
@@ -391,15 +563,16 @@ func (t *Table) Stats() Stats {
 // Exact (S,G) entries take precedence over wildcard (*,G) entries, the
 // PIM-SM longest-match rule, so the same table serves the baselines.
 func (t *Table) ForwardMask(s, g addr.Addr, iif int) (uint32, Disposition) {
-	a := t.p.Load()
+	d := t.dir.Load()
 	kk := packKey(Key{S: s, G: g})
 	h := hashKey(kk)
 	st := &t.stats[h>>statShift]
 	st.lookups.Add(1)
-	v, ok := a.find(kk, h)
+	v, ok := d.chunkFor(h).find(kk, h)
 	if !ok && s != 0 {
 		wk := uint64(g) // wildcard (*,G) fallback
-		v, ok = a.find(wk, hashKey(wk))
+		wh := hashKey(wk)
+		v, ok = d.chunkFor(wh).find(wk, wh)
 	}
 	if !ok {
 		st.unmatchedDrops.Add(1)
@@ -454,14 +627,17 @@ func (d Disposition) String() string {
 // Keys returns all entry keys; order is unspecified. For tests and metrics.
 // Concurrent writers may be reflected partially, as with any RCU reader.
 func (t *Table) Keys() []Key {
-	a := t.p.Load()
+	d := t.dir.Load()
 	out := make([]Key, 0, t.Len())
-	for i := range a.slots {
-		kk := a.slots[i].key.Load()
-		if kk == emptyKey || kk == tombKey {
-			continue
+	for ci := range d.chunks {
+		c := d.chunks[ci].Load()
+		for i := range c.slots {
+			kk := c.slots[i].key.Load()
+			if kk == emptyKey || kk == tombKey {
+				continue
+			}
+			out = append(out, unpackKey(kk))
 		}
-		out = append(out, unpackKey(kk))
 	}
 	return out
 }

@@ -225,6 +225,131 @@ func TestGrowthAndKeys(t *testing.T) {
 	}
 }
 
+// TestMassLeaveCompaction is the flash-leave regression: Delete must
+// trigger tombstone compaction on its own. Before the fix, compaction only
+// ran from the Set path, so a delete-heavy leave wave left occupancy pinned
+// near the 3/4 growth threshold and reader probes walking long tombstone
+// runs until the next insert happened to rebuild.
+func TestMassLeaveCompaction(t *testing.T) {
+	tb := New()
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		tb.Set(Key{S: s1, G: addr.ExpressAddr(uint32(i))}, entry(0, 1))
+	}
+	pubs := tb.ChunkPublishes()
+	// Flash leave: 98% of subscribers gone, no interleaved joins.
+	for i := 0; i < n-n/50; i++ {
+		tb.Delete(Key{S: s1, G: addr.ExpressAddr(uint32(i))})
+	}
+	if tb.Len() != n/50 {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n/50)
+	}
+	if tb.ChunkPublishes() == pubs {
+		t.Fatal("mass leave triggered no compacting republication from Delete")
+	}
+	// Occupancy recovers: tombstones are reclaimed, not pinned. The
+	// delete-side trigger fires at 1/4 tombstones per chunk, so the
+	// steady-state fraction stays strictly below the 3/4 threshold.
+	if lf := tb.LoadFactor(); lf > 0.5 {
+		t.Errorf("load factor = %g after mass leave, want <= 0.5", lf)
+	}
+	if tombs := int(tb.usedSlots.Load()) - tb.Len(); tombs*4 > int(tb.capSlots.Load()) {
+		t.Errorf("%d tombstones pinned across %d slots, want < 1/4", tombs, tb.capSlots.Load())
+	}
+	// Lookup cost recovers too: no probe run may cross a quarter chunk —
+	// with tombstones compacted, survivors sit within short runs.
+	d := tb.dir.Load()
+	for ci := range d.chunks {
+		c := d.chunks[ci].Load()
+		run, maxRun := 0, 0
+		for i := 0; i < 2*len(c.slots); i++ { // wrap once to catch runs over the boundary
+			if c.slots[i%len(c.slots)].key.Load() != emptyKey {
+				run++
+				if run > maxRun {
+					maxRun = run
+				}
+			} else {
+				run = 0
+			}
+			if run > len(c.slots) {
+				break // chunk fully occupied: caught below
+			}
+		}
+		if maxRun*4 > len(c.slots)*3 {
+			t.Fatalf("chunk %d: probe run of %d across %d slots after mass leave", ci, maxRun, len(c.slots))
+		}
+	}
+	// Survivors remain reachable.
+	for i := n - n/50; i < n; i++ {
+		if _, ok := tb.Get(Key{S: s1, G: addr.ExpressAddr(uint32(i))}); !ok {
+			t.Fatalf("survivor %d lost after compaction", i)
+		}
+	}
+}
+
+// TestReplaceNeverRebuilds pins the probe-then-grow fix: a Set that replaces
+// an existing entry adds nothing to the table and must never pay a
+// republication, even with its chunk sitting exactly at the occupancy
+// threshold. Before the fix the grow check ran ahead of the existing-key
+// probe, so pure-replacement workloads near the threshold paid a spurious
+// full rebuild per update.
+func TestReplaceNeverRebuilds(t *testing.T) {
+	tb := New()
+	// minSlots = 8: six inserts put the single chunk at 6/8 occupancy, the
+	// exact state where the next *insert* must republish — (6+1)*4 > 8*3.
+	for i := 0; i < 6; i++ {
+		tb.Set(Key{S: s1, G: addr.ExpressAddr(uint32(i + 1))}, entry(0, 1))
+	}
+	if pubs, rebuilds := tb.ChunkPublishes(), tb.Rebuilds(); pubs != 0 || rebuilds != 0 {
+		t.Fatalf("setup published (%d chunk, %d table), want none", pubs, rebuilds)
+	}
+	for i := 0; i < 100; i++ {
+		tb.Set(Key{S: s1, G: addr.ExpressAddr(uint32(i%6 + 1))}, entry(1, 2))
+	}
+	if pubs, rebuilds := tb.ChunkPublishes(), tb.Rebuilds(); pubs != 0 || rebuilds != 0 {
+		t.Errorf("replacements at the growth threshold published (%d chunk, %d table), want none", pubs, rebuilds)
+	}
+	if e, ok := tb.Get(Key{S: s1, G: addr.ExpressAddr(3)}); !ok || e.IIF != 1 || e.OIFs != 1<<2 {
+		t.Errorf("replacement not applied: %+v %v", e, ok)
+	}
+	if tb.Len() != 6 {
+		t.Errorf("Len = %d, want 6", tb.Len())
+	}
+	// The deferred growth still happens on the next real insert.
+	tb.Set(Key{S: s1, G: addr.ExpressAddr(7)}, entry(0, 1))
+	if tb.ChunkPublishes() == 0 {
+		t.Error("insert past the threshold did not republish the chunk")
+	}
+}
+
+// TestChunkPublishBounded locks in the tentpole property: a route change
+// republishes one chunk, never the table, so the bytes copied per
+// publication are bounded by maxChunkSlots while the table grows without
+// bound. Whole-table work survives only as directory growth.
+func TestChunkPublishBounded(t *testing.T) {
+	tb := New()
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		tb.Set(Key{S: s1, G: addr.ExpressAddr(uint32(i))}, entry(0, 1))
+	}
+	d := tb.dir.Load()
+	for ci := range d.chunks {
+		if c := d.chunks[ci].Load(); len(c.slots) > maxChunkSlots {
+			t.Fatalf("chunk %d has %d slots, want <= %d", ci, len(c.slots), maxChunkSlots)
+		}
+	}
+	// Steady churn on a full table republishes chunks only.
+	rebuilds := tb.Rebuilds()
+	for i := 0; i < 50_000; i++ {
+		k := Key{S: s2, G: addr.ExpressAddr(uint32(n + i%4096))}
+		tb.Set(k, entry(0, 2))
+		tb.Delete(k)
+	}
+	if tb.Rebuilds() != rebuilds {
+		t.Errorf("steady churn paid %d whole-table rebuilds, want 0", tb.Rebuilds()-rebuilds)
+	}
+}
+
 func TestEntryOIFOps(t *testing.T) {
 	var e Entry
 	for i := 0; i < MaxInterfaces; i++ {

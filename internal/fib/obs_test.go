@@ -2,41 +2,57 @@ package fib
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/addr"
 	"repro/internal/obs"
 )
 
-// TestRebuildMetrics verifies the generation-rebuild instrumentation: every
-// grow/compact is counted and timed, and the load factor stays under the
-// 3/4 growth threshold.
-func TestRebuildMetrics(t *testing.T) {
+// TestPublicationMetrics verifies the chunked-publication instrumentation:
+// growth from minSlots republishes chunks (counted and timed), a directory
+// doubling is counted as a whole-table rebuild, and the load factor stays
+// under the 3/4 growth threshold.
+func TestPublicationMetrics(t *testing.T) {
 	tb := New()
 	src := addr.MustParse("171.64.7.9")
 	for i := 0; i < 1000; i++ {
 		tb.Set(Key{S: src, G: addr.ExpressAddr(uint32(i))}, entry(0, 1))
 	}
-	if tb.Rebuilds() == 0 {
-		t.Fatal("1000 inserts from minSlots triggered no rebuild")
+	if tb.ChunkPublishes() == 0 {
+		t.Fatal("1000 inserts from minSlots triggered no chunk republication")
 	}
-	if s := tb.rebuildNs.Snapshot(); s.Count != tb.Rebuilds() {
+	if s := tb.ChunkPublishSnapshot(); s.Count != tb.ChunkPublishes() {
+		t.Errorf("chunk publish histogram count = %d, want %d", s.Count, tb.ChunkPublishes())
+	}
+	// 1000 entries overflow one maxChunkSlots chunk: the directory must
+	// have doubled at least once, and that is the only whole-table path.
+	if tb.Rebuilds() == 0 {
+		t.Fatal("growth past maxChunkSlots triggered no directory rebuild")
+	}
+	if s := tb.RebuildSnapshot(); s.Count != tb.Rebuilds() {
 		t.Errorf("rebuild histogram count = %d, want %d", s.Count, tb.Rebuilds())
+	}
+	if tb.NumChunks() < 2 {
+		t.Errorf("NumChunks = %d after a directory rebuild, want >= 2", tb.NumChunks())
 	}
 	if lf := tb.LoadFactor(); lf <= 0 || lf > 0.75 {
 		t.Errorf("load factor = %g, want in (0, 0.75]", lf)
 	}
 
-	// Deleting everything leaves tombstones; the next insert pressure
-	// compacts them away in a same-size rebuild.
-	before := tb.Rebuilds()
+	// A mass leave compacts from the Delete path alone: tombstone pressure
+	// republishes chunks without any insert, and occupancy recovers.
+	pubs, rebuilds := tb.ChunkPublishes(), tb.Rebuilds()
 	for i := 0; i < 1000; i++ {
 		tb.Delete(Key{S: src, G: addr.ExpressAddr(uint32(i))})
 	}
-	for i := 2000; i < 3000; i++ {
-		tb.Set(Key{S: src, G: addr.ExpressAddr(uint32(i))}, entry(0, 1))
+	if tb.ChunkPublishes() == pubs {
+		t.Error("delete-side tombstone pressure triggered no compacting republication")
 	}
-	if tb.Rebuilds() == before {
-		t.Error("tombstone pressure triggered no compacting rebuild")
+	if tb.Rebuilds() != rebuilds {
+		t.Errorf("mass leave paid %d whole-table rebuilds, want 0", tb.Rebuilds()-rebuilds)
+	}
+	if lf := tb.LoadFactor(); lf > 0.25 {
+		t.Errorf("load factor = %g after mass leave, want <= 0.25 (tombstones reclaimed)", lf)
 	}
 }
 
@@ -62,10 +78,40 @@ func TestRegisterMetrics(t *testing.T) {
 	if s.Counters["fib_unmatched_drops_total"] != 1 {
 		t.Errorf("unmatched drops = %d, want 1", s.Counters["fib_unmatched_drops_total"])
 	}
-	if s.Counters["fib_rebuilds_total"] == 0 || s.Histograms["fib_rebuild_ns"].Count == 0 {
-		t.Error("rebuilds not visible through the registry")
+	if s.Counters["fib_chunk_publishes_total"] == 0 || s.Histograms["fib_chunk_publish_ns"].Count == 0 {
+		t.Error("chunk publications not visible through the registry")
+	}
+	if _, ok := s.Histograms["fib_rebuild_ns"]; !ok {
+		t.Error("fib_rebuild_ns not registered")
 	}
 	if lf, ok := s.Gauges["fib_load_factor"]; !ok || lf <= 0 {
 		t.Errorf("fib_load_factor = %g, want > 0", lf)
+	}
+	if nc, ok := s.Gauges["fib_chunks"]; !ok || nc < 1 {
+		t.Errorf("fib_chunks = %g, want >= 1", nc)
+	}
+}
+
+// TestLoadFactorLockFree pins the scrape-during-rebuild contract: LoadFactor
+// must not take the writer mutex, so a /statsz or /metrics scrape never
+// blocks behind a million-entry rebuild. The writer lock is held for the
+// whole test; the scrape must still return.
+func TestLoadFactorLockFree(t *testing.T) {
+	tb := New()
+	src := addr.MustParse("171.64.7.9")
+	for i := 0; i < 100; i++ {
+		tb.Set(Key{S: src, G: addr.ExpressAddr(uint32(i))}, entry(0, 1))
+	}
+	tb.mu.Lock() // a writer mid-rebuild
+	defer tb.mu.Unlock()
+	done := make(chan float64, 1)
+	go func() { done <- tb.LoadFactor() }()
+	select {
+	case lf := <-done:
+		if lf <= 0 || lf > 0.75 {
+			t.Errorf("load factor = %g, want in (0, 0.75]", lf)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("LoadFactor blocked behind the writer mutex")
 	}
 }

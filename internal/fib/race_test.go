@@ -119,3 +119,158 @@ func TestConcurrentForwardDuringChurn(t *testing.T) {
 		t.Fatalf("stats inconsistent: %+v", st)
 	}
 }
+
+// TestDeleteHeavyChurnUnderReaders is the chunk-publication churn contract:
+// writers run a delete-heavy Set/Delete mix — each key is deleted twice as
+// often as it is (re)set, so tombstone pressure keeps compacting and
+// shrinking chunks from the Delete path while concurrent ForwardMask
+// readers probe. Across every chunk republication there must be no lost
+// routes (a key the writer left present must hit with the written entry)
+// and no stale positives (a key the writer left deleted must miss). Run
+// with -race in CI.
+func TestDeleteHeavyChurnUnderReaders(t *testing.T) {
+	tb := New()
+	src := addr.MustParse("171.64.7.9")
+
+	// Stable region: always present, forcing several directory widths as
+	// the churn range grows and shrinks around it.
+	const stable = 2048
+	for i := 0; i < stable; i++ {
+		tb.Set(Key{S: src, G: addr.ExpressAddr(uint32(i))}, Entry{IIF: 0, OIFs: 1 << 2})
+	}
+
+	const (
+		writers = 2
+		readers = 4
+		rounds  = 10
+		span    = 4096 // churn keys per writer per round
+	)
+	var writerWG, readerWG sync.WaitGroup
+	var writersDone atomic.Bool
+	errs := make(chan string, readers+writers)
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			base := uint32(stable + w*span)
+			for r := 0; r < rounds; r++ {
+				// Flash crowd in...
+				for i := uint32(0); i < span; i++ {
+					tb.Set(Key{S: src, G: addr.ExpressAddr(base + i)}, Entry{IIF: 1, OIFs: 1 << 3})
+				}
+				// ...and a delete-heavy flash leave out: every key deleted,
+				// half re-set and deleted again (2 deletes per surviving set).
+				for i := uint32(0); i < span; i++ {
+					tb.Delete(Key{S: src, G: addr.ExpressAddr(base + i)})
+				}
+				for i := uint32(0); i < span; i += 2 {
+					k := Key{S: src, G: addr.ExpressAddr(base + i)}
+					tb.Set(k, Entry{IIF: 1, OIFs: 1 << 3})
+					tb.Delete(k)
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			var i uint32
+			for done := false; !done; done = writersDone.Load() {
+				// Stable range: must hit with exactly the written entry —
+				// a chunk republication losing a route would miss here.
+				mask, disp := tb.ForwardMask(src, addr.ExpressAddr(i%stable), 0)
+				if disp != Forwarded || mask != 1<<2 {
+					errs <- "stable route lost or corrupted during delete-heavy churn"
+					return
+				}
+				// Churn range: presence is racy mid-churn but the result
+				// must be coherent — a hit carries the churn entry, never
+				// a torn or foreign payload.
+				cm, cd := tb.ForwardMask(src, addr.ExpressAddr(stable+i%(writers*span)), 0)
+				switch cd {
+				case Forwarded:
+					if cm != 1<<3 {
+						errs <- "churn route returned a foreign payload"
+						return
+					}
+				case DropWrongIIF, DropUnmatched:
+				default:
+					errs <- "invalid disposition under churn"
+					return
+				}
+				i++
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	writersDone.Store(true)
+	readerWG.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+
+	// Quiesced: the table holds exactly the stable set — every churn key
+	// ended deleted, so a stale positive anywhere is a leaked tombstone
+	// resurrection and a missing stable key is a lost route.
+	if tb.Len() != stable {
+		t.Fatalf("Len = %d after delete-heavy churn, want %d", tb.Len(), stable)
+	}
+	for i := 0; i < stable; i++ {
+		if e, ok := tb.Get(Key{S: src, G: addr.ExpressAddr(uint32(i))}); !ok || e.OIFs != 1<<2 {
+			t.Fatalf("stable entry %d lost or corrupted: %+v %v", i, e, ok)
+		}
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < span; i++ {
+			k := Key{S: src, G: addr.ExpressAddr(uint32(stable + w*span + i))}
+			if _, ok := tb.Get(k); ok {
+				t.Fatalf("stale positive: churn key %v survived its final delete", k)
+			}
+		}
+	}
+	if tb.ChunkPublishes() == 0 {
+		t.Fatal("churn triggered no chunk republication — the test exercised nothing")
+	}
+}
+
+// TestChurnReaderZeroAlloc pins the reader-path allocation contract under
+// churn: ForwardMask stays 0 allocs/op on a table whose chunks have been
+// grown, tombstoned, compacted, and shrunk — mixed chunk generations and a
+// multi-chunk directory must not push the probe onto an allocating path.
+// (AllocsPerRun measures process-wide, so the churn runs in bursts between
+// measurements rather than concurrently.)
+func TestChurnReaderZeroAlloc(t *testing.T) {
+	tb := New()
+	src := addr.MustParse("171.64.7.9")
+	const stable = 4096
+	for i := 0; i < stable; i++ {
+		tb.Set(Key{S: src, G: addr.ExpressAddr(uint32(i))}, Entry{IIF: 0, OIFs: 1 << 1})
+	}
+	churn := func(span int) {
+		for i := 0; i < span; i++ {
+			k := Key{S: src, G: addr.ExpressAddr(uint32(stable + i))}
+			tb.Set(k, Entry{IIF: 0, OIFs: 1 << 4})
+		}
+		for i := 0; i < span; i++ {
+			tb.Delete(Key{S: src, G: addr.ExpressAddr(uint32(stable + i))})
+		}
+	}
+	var sink uint32
+	for round, span := range []int{1 << 12, 1 << 14, 1 << 12} {
+		churn(span) // grow, mass-leave, shrink between measurements
+		if a := testing.AllocsPerRun(1000, func() {
+			m, _ := tb.ForwardMask(src, addr.ExpressAddr(sink%stable), 0)
+			sink += m
+			_, _ = tb.ForwardMask(src, addr.ExpressAddr(stable+sink%uint32(span)), 0) // miss path
+		}); a != 0 {
+			t.Fatalf("round %d: ForwardMask allocates %.1f/op under churn, want 0", round, a)
+		}
+	}
+	_ = sink
+}
