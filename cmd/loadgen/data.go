@@ -1,9 +1,11 @@
 package main
 
-// Data-plane load mode (experiment E13): N receivers subscribe to one
-// channel, a source injects paced UDP packets at the router's data port, and
+// Data-plane load mode (experiments E13/E15): N receivers subscribe to one
+// channel, -senders sources inject paced UDP packets at the router's data
+// port — each source is its own UDP 4-tuple, so with -data-queues > 1 the
+// kernel's SO_REUSEPORT hash spreads them across ingest queues — and
 // loadgen reports offered rate, per-receiver goodput, loss, and the
-// router's own dp_forward_ns / dp_fanout histograms.
+// router's own dp_forward_ns / dp_fanout / dp_queue_pps histograms.
 
 import (
 	"fmt"
@@ -30,10 +32,11 @@ type dataReceiver struct {
 }
 
 // runData drives the data plane: subscribe recvs receivers through the
-// router, pace pps packets of payload bytes at it for duration, and report.
-// dataTarget is the UDP address packets are injected at — the in-process
-// router's own data port, or an external expressd's -data-port.
-func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, pps, payload int, duration time.Duration, statszURL string) {
+// router, offer load from senders concurrent sources (pps split evenly when
+// paced) of payload bytes each for duration, and report. dataTarget is the
+// UDP address packets are injected at — the in-process router's own data
+// port, or an external expressd's -data-port.
+func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, senders, pps, payload int, duration time.Duration, statszURL string) {
 	ch := addr.Channel{S: addr.MustParse("171.64.1.1"), E: addr.ExpressAddr(13)}
 
 	rxs := make([]*dataReceiver, recvs)
@@ -61,7 +64,16 @@ func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, pps, payload
 		rxs[i] = rx
 	}
 
-	src, err := dataplane.NewSource(dataTarget, ch, dataplane.SourceOptions{PacePPS: pps})
+	if senders < 1 {
+		senders = 1
+	}
+	perPace := 0
+	if pps > 0 {
+		if perPace = pps / senders; perPace == 0 {
+			perPace = 1
+		}
+	}
+	src, err := dataplane.NewSource(dataTarget, ch, dataplane.SourceOptions{PacePPS: perPace})
 	if err != nil {
 		log.Fatalf("loadgen: source: %v", err)
 	}
@@ -84,6 +96,23 @@ func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, pps, payload
 	measureFrom := src.Seq()
 	for _, rx := range rxs {
 		rx.r.Drain() // discard straggler probes before counting
+	}
+
+	// The remaining senders join only now, past the warm-up seq horizon, so
+	// every one of their packets counts. Each source is a distinct UDP
+	// 4-tuple: on a multi-queue plane the kernel hashes them onto different
+	// ingest queues.
+	srcs := []*dataplane.Source{src}
+	for i := 1; i < senders; i++ {
+		s, err := dataplane.NewSource(dataTarget, ch, dataplane.SourceOptions{
+			PacePPS:  perPace,
+			StartSeq: measureFrom + 1,
+		})
+		if err != nil {
+			log.Fatalf("loadgen: source %d: %v", i, err)
+		}
+		defer s.Close()
+		srcs = append(srcs, s)
 	}
 
 	stop := make(chan struct{})
@@ -111,16 +140,27 @@ func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, pps, payload
 		}(rx)
 	}
 
-	buf := make([]byte, payload)
 	start := time.Now()
 	deadline := start.Add(duration)
-	for time.Now().Before(deadline) {
-		if err := src.Send(buf); err != nil {
-			log.Fatalf("loadgen: send: %v", err)
-		}
+	var sendWG sync.WaitGroup
+	for _, s := range srcs {
+		sendWG.Add(1)
+		go func(s *dataplane.Source) {
+			defer sendWG.Done()
+			buf := make([]byte, payload)
+			for time.Now().Before(deadline) {
+				if err := s.Send(buf); err != nil {
+					log.Fatalf("loadgen: send: %v", err)
+				}
+			}
+		}(s)
 	}
+	sendWG.Wait()
 	elapsed := time.Since(start)
-	sent := uint64(src.Seq() - measureFrom)
+	var sent uint64
+	for _, s := range srcs {
+		sent += uint64(s.Seq() - measureFrom)
+	}
 	// Give in-flight packets a flush window to land before stopping the
 	// read loops.
 	time.Sleep(200 * time.Millisecond)
@@ -142,8 +182,12 @@ func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, pps, payload
 	if expected > 0 {
 		lossPct = 100 * float64(expected-rxPkts) / float64(expected)
 	}
-	fmt.Printf("recvs=%d payload=%dB duration=%v GOMAXPROCS=%d\n",
-		recvs, payload, elapsed.Round(time.Millisecond), runtime.GOMAXPROCS(0))
+	queues := 1
+	if r != nil && r.DataPlane() != nil {
+		queues = r.DataPlane().Queues()
+	}
+	fmt.Printf("recvs=%d senders=%d queues=%d payload=%dB duration=%v GOMAXPROCS=%d\n",
+		recvs, senders, queues, payload, elapsed.Round(time.Millisecond), runtime.GOMAXPROCS(0))
 	fmt.Printf("offered          %12d pkts (%.0f pps)\n", sent, float64(sent)/elapsed.Seconds())
 	fmt.Printf("delivered        %12d pkts (%.0f pps aggregate, min receiver %d)\n",
 		rxPkts, float64(rxPkts)/elapsed.Seconds(), minRx)
@@ -151,8 +195,9 @@ func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, pps, payload
 	fmt.Printf("loss             %12.2f %%\n", lossPct)
 	if r != nil {
 		ds := r.DataPlane().Stats()
-		fmt.Printf("router data      packets=%d replicated=%d sent=%d drops=%d no-port=%d bad=%d\n",
-			ds.Packets, ds.Replicated, ds.Sent, ds.Drops, ds.NoPort, ds.BadPackets)
+		fmt.Printf("router data      packets=%d replicated=%d sent=%d drops=%d write-errs=%d truncated=%d no-port=%d bad=%d\n",
+			ds.Packets, ds.Replicated, ds.Sent, ds.Drops, ds.WriteErrors, ds.Truncated, ds.NoPort, ds.BadPackets)
+		fmt.Printf("router queues    %v packets per ingest queue\n", ds.QueuePackets)
 	}
 	reportServerSide(r, statszURL)
 	os.Exit(0)

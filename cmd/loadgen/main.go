@@ -23,11 +23,15 @@
 //
 //	loadgen -conns 8 -duration 10s -flap 500ms
 //
-// Data-plane mode (experiment E13): -data subscribes -recvs receivers to one
-// channel and paces UDP packets through the router's data plane, reporting
-// goodput, loss, and the router's dp_forward_ns / dp_fanout histograms.
+// Data-plane mode (experiments E13/E15): -data subscribes -recvs receivers
+// to one channel and offers load from -senders concurrent sources through
+// the router's data plane — with -data-queues > 1 the in-process router
+// runs the multi-queue SO_REUSEPORT/recvmmsg pipeline and the distinct
+// source 4-tuples spread across its queues — reporting goodput, loss, and
+// the router's dp_forward_ns / dp_fanout / dp_queue_pps histograms.
 //
 //	loadgen -data -recvs 4 -pps 50000 -payload 256 -duration 5s
+//	loadgen -data -recvs 1 -senders 8 -data-queues 4 -duration 5s
 //
 // FIB churn mode (experiment E14): -churn pre-installs -routes channels,
 // then drives Zipf flash-crowd joins/leaves through -conns sessions while a
@@ -66,8 +70,10 @@ func main() {
 	statsz := flag.String("statsz", "", "an external router's /statsz URL to scrape for server-side histograms (e.g. http://127.0.0.1:9090/statsz)")
 	data := flag.Bool("data", false, "data-plane mode: subscribe -recvs receivers and pace UDP packets through the router (experiment E13)")
 	dataTarget := flag.String("data-target", "", "an external router's UDP data address to inject packets at (with -target; default: the in-process router's)")
-	pps := flag.Int("pps", 0, "data mode: target packet rate (0 = unpaced, as fast as the source can send)")
+	pps := flag.Int("pps", 0, "data mode: aggregate target packet rate across senders (0 = unpaced, as fast as the sources can send)")
 	recvs := flag.Int("recvs", 4, "data mode: subscribed receivers (the replication fan-out)")
+	senders := flag.Int("senders", 1, "data mode: concurrent sources offering load (distinct 4-tuples spread across -data-queues)")
+	dataQueues := flag.Int("data-queues", 0, "data mode: ingest queues for the in-process router's plane (SO_REUSEPORT + recvmmsg workers on linux; 0 = default 1)")
 	payload := flag.Int("payload", 256, "data mode: payload bytes per packet")
 	churn := flag.Bool("churn", false, "FIB churn mode: Zipf flash-crowd joins/leaves against an in-process router with a live data plane (experiment E14)")
 	routes := flag.Int("routes", 100_000, "churn mode: pre-installed channel routes (the FIB size)")
@@ -87,6 +93,7 @@ func main() {
 		opts := realnet.Options{Shards: *shards}
 		if *data {
 			opts.DataListen = "127.0.0.1:0"
+			opts.DataQueues = *dataQueues
 		}
 		var err error
 		r, err = realnet.NewRouterOpts("127.0.0.1:0", opts)
@@ -108,7 +115,7 @@ func main() {
 			}
 			dt = r.DataAddr()
 		}
-		runData(addrStr, dt, r, *recvs, *pps, *payload, *duration, *statsz)
+		runData(addrStr, dt, r, *recvs, *senders, *pps, *payload, *duration, *statsz)
 		return
 	}
 
@@ -218,6 +225,9 @@ func reportServerSide(r *realnet.Router, statszURL string) {
 	lines = appendHist(lines, snap, "router_upstream_queue_depth", "queue depth", num)
 	lines = appendHist(lines, snap, "dp_forward_ns", "dp forward", dur)
 	lines = appendHist(lines, snap, "dp_fanout", "dp fanout", num)
+	lines = appendHist(lines, snap, "dp_ingest_batch_size", "dp batch", num)
+	lines = appendHist(lines, snap, "dp_egress_burst_size", "dp burst", num)
+	lines = appendHist(lines, snap, "dp_queue_pps", "dp queue pps", num)
 	if len(lines) == 0 {
 		return
 	}

@@ -4,17 +4,22 @@
 // makes forwarding an exact-match lookup with no rendezvous, flooding, or
 // shared-tree logic.
 //
-// Each router runs a Plane: a UDP socket whose ingest workers read channel
-// data packets (the 12-byte wire.DataPacket framing) in batches into a
-// reusable scatter buffer, resolve the outgoing-interface set with a single
-// lock-free fib.Table.ForwardMask lookup, and replicate the datagram to the
-// registered egress port of every interface in the mask. The steady-state
-// hot path — decode, lookup, replicate — performs zero heap allocations:
-// decoding borrows from the read buffer, the lookup is the packed FIB's
-// atomic probe, and replication copies into pooled buffers handed to
-// bounded per-port queues (the same backpressure design as realnet's
-// per-neighbor control-plane queues: a slow or dead destination drops and
-// accounts, it never stalls ingest).
+// Each router runs a Plane: a multi-queue ingest pipeline over UDP. On
+// linux the plane binds Options.Queues sockets to one address under
+// SO_REUSEPORT — the kernel's 4-tuple hash spreads sources across queues —
+// and each queue's dedicated worker drains up to ReadBatch datagrams per
+// recvmmsg syscall into a preallocated scatter array. Per packet the worker
+// decodes the 12-byte wire.DataPacket framing (borrowing the read buffer),
+// resolves the outgoing-interface set with a single lock-free
+// fib.Table.ForwardMask lookup, and replicates the datagram to the
+// registered egress port of every interface in the mask. Egress coalesces:
+// each port's writer drains up to Burst queued packets per wakeup and
+// pushes them in one sendmmsg. The steady-state hot path — decode, lookup,
+// replicate — performs zero heap allocations: decoding borrows, the lookup
+// is the packed FIB's atomic probe, and replication copies into pooled
+// buffers handed to bounded per-port queues (the same backpressure design
+// as realnet's per-neighbor control-plane queues: a slow or dead
+// destination drops and accounts, it never stalls ingest).
 //
 // The plane holds no membership logic of its own. The control plane
 // (realnet.Router) programs it through two tables:
@@ -46,26 +51,40 @@ type Options struct {
 	// Listen is the UDP address the plane ingests channel packets on.
 	// Default "127.0.0.1:0".
 	Listen string
-	// Workers is the number of ingest workers draining the socket. The
-	// default 1 preserves datagram order end to end (one reader, FIFO
-	// per-port queues, one writer per port); more workers raise throughput
-	// but may reorder packets that arrive back to back.
-	Workers int
+	// Queues is the number of ingest queues. On linux each queue beyond the
+	// first is its own SO_REUSEPORT socket drained by a dedicated worker;
+	// the kernel hashes each source's 4-tuple onto one queue, so a single
+	// source's packets stay ordered end to end while distinct sources scale
+	// across cores. Elsewhere the workers share one socket (packets from
+	// one source may then interleave across workers). Default 1, which
+	// preserves strict arrival order on every platform.
+	Queues int
 	// QueueLen is the per-port bounded egress queue length, in packets.
 	// When a destination's queue is full the packet is dropped and
 	// accounted, never blocking ingest. Default 1024.
 	QueueLen int
-	// ReadBatch caps how many datagrams one ingest worker drains per socket
-	// wakeup on platforms with batched reads. Default 32.
+	// ReadBatch caps how many datagrams one ingest worker drains per
+	// recvmmsg syscall (per socket wakeup on platforms without it).
+	// Default 32.
 	ReadBatch int
+	// Burst caps how many queued packets one egress writer coalesces into
+	// a single sendmmsg burst per wakeup. Default 32.
+	Burst int
+
+	// forcePortable routes ingest through the portable one-datagram filler
+	// even where the recvmmsg path is available; forceSerial does the same
+	// for egress (per-datagram writes instead of sendmmsg bursts). Test
+	// hooks for the fallback paths — unexported on purpose.
+	forcePortable bool
+	forceSerial   bool
 }
 
 func (o Options) withDefaults() Options {
 	if o.Listen == "" {
 		o.Listen = "127.0.0.1:0"
 	}
-	if o.Workers <= 0 {
-		o.Workers = 1
+	if o.Queues <= 0 {
+		o.Queues = 1
 	}
 	if o.QueueLen <= 0 {
 		o.QueueLen = 1024
@@ -73,84 +92,121 @@ func (o Options) withDefaults() Options {
 	if o.ReadBatch <= 0 {
 		o.ReadBatch = 32
 	}
+	if o.Burst <= 0 {
+		o.Burst = 32
+	}
 	return o
 }
 
 // Stats is a snapshot of the plane's counters.
 type Stats struct {
-	Packets    uint64 // datagrams ingested
-	Bytes      uint64 // datagram bytes ingested
-	BadPackets uint64 // datagrams that failed to decode
-	Replicated uint64 // per-destination enqueues attempted
-	NoPort     uint64 // OIF bits with no registered destination
-	Sent       uint64 // datagrams written to downstream destinations
-	Drops      uint64 // datagrams dropped (queue full or write error)
+	Packets     uint64 // datagrams ingested
+	Bytes       uint64 // datagram bytes ingested
+	BadPackets  uint64 // datagrams that failed to decode
+	Truncated   uint64 // oversized datagrams dropped at ingest
+	Replicated  uint64 // per-destination enqueues attempted
+	NoPort      uint64 // OIF bits with no registered destination
+	Sent        uint64 // datagrams written to downstream destinations
+	Drops       uint64 // datagrams dropped on a full egress queue
+	WriteErrors uint64 // datagrams lost to socket write errors
+
+	QueuePackets []uint64 // datagrams ingested per queue
 
 	FIB fib.Stats // lookup outcomes (matched / unmatched / wrong-IIF)
 }
 
+// queue is one ingest lane: a socket (its own under SO_REUSEPORT on linux,
+// shared elsewhere) plus the counters its worker maintains.
+type queue struct {
+	id   int
+	conn *net.UDPConn
+	pkts atomic.Uint64
+}
+
 // Plane is one router's UDP data plane.
 type Plane struct {
-	opts Options
-	conn *net.UDPConn
-	fib  *fib.Table
+	opts   Options
+	conns  []*net.UDPConn // ingest sockets; conns[0] doubles as the egress socket
+	queues []*queue
+	fib    *fib.Table
 
 	ports [fib.MaxInterfaces]atomic.Pointer[outPort]
 
-	pkts       atomic.Uint64
-	bytes      atomic.Uint64
-	badPkts    atomic.Uint64
-	replicated atomic.Uint64
-	noPort     atomic.Uint64
-	sentPrev   atomic.Uint64 // sends accounted on retired ports
-	dropsPrev  atomic.Uint64 // drops accounted on retired ports
+	pkts          atomic.Uint64
+	bytes         atomic.Uint64
+	badPkts       atomic.Uint64
+	truncated     atomic.Uint64
+	replicated    atomic.Uint64
+	noPort        atomic.Uint64
+	sentPrev      atomic.Uint64 // sends accounted on retired ports
+	dropsPrev     atomic.Uint64 // queue-full drops accounted on retired ports
+	writeErrsPrev atomic.Uint64 // write errors accounted on retired ports
 
 	forwardNs *obs.Histogram // per-packet forward latency (batch mean)
 	fanoutH   *obs.Histogram // per-packet replication fan-out
 	installNs *obs.Histogram // per-SetRoute FIB publication latency
+	batchH    *obs.Histogram // datagrams drained per ingest batch
+	burstH    *obs.Histogram // datagrams coalesced per egress burst
+	queuePPS  *obs.Histogram // per-queue packet rate, sampled per second
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
 }
 
-// NewPlane opens the ingest socket and starts the ingest workers.
+// listenOne is the shared single-socket bind, used directly by the portable
+// path and for queue 0 everywhere.
+func listenOne(listen string) (*net.UDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, err
+	}
+	return net.ListenUDP("udp", ua)
+}
+
+// NewPlane opens the ingest socket(s) and starts one worker per queue.
 func NewPlane(opts Options) (*Plane, error) {
 	opts = opts.withDefaults()
-	ua, err := net.ResolveUDPAddr("udp", opts.Listen)
+	conns, err := listenQueues(opts.Listen, opts.Queues)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.ListenUDP("udp", ua)
-	if err != nil {
-		return nil, err
+	for _, c := range conns {
+		// Deep socket buffers: ingest is one goroutine per queue, so bursts
+		// ride in the kernel queue instead of dropping.
+		c.SetReadBuffer(4 << 20)
+		c.SetWriteBuffer(4 << 20)
 	}
-	// Deep socket buffers: ingest is one goroutine per worker, so bursts
-	// ride in the kernel queue instead of dropping.
-	conn.SetReadBuffer(4 << 20)
-	conn.SetWriteBuffer(4 << 20)
 	p := &Plane{
 		opts:      opts,
-		conn:      conn,
+		conns:     conns,
 		fib:       fib.New(),
 		forwardNs: obs.NewHistogram(),
 		fanoutH:   obs.NewHistogram(),
 		installNs: obs.NewHistogram(),
+		batchH:    obs.NewHistogram(),
+		burstH:    obs.NewHistogram(),
+		queuePPS:  obs.NewHistogram(),
 	}
-	for i := 0; i < opts.Workers; i++ {
+	for i := 0; i < opts.Queues; i++ {
+		q := &queue{id: i, conn: conns[i%len(conns)]}
+		p.queues = append(p.queues, q)
 		p.wg.Add(1)
-		go p.ingest()
+		go p.ingest(q)
 	}
 	return p, nil
 }
 
-// Addr returns the plane's UDP listen address.
-func (p *Plane) Addr() string { return p.conn.LocalAddr().String() }
+// Addr returns the plane's UDP listen address (shared by every queue).
+func (p *Plane) Addr() string { return p.conns[0].LocalAddr().String() }
 
 // Port returns the plane's UDP listen port — what the router advertises in
 // its upstream Hello so the parent can replicate to it.
 func (p *Plane) Port() uint16 {
-	return uint16(p.conn.LocalAddr().(*net.UDPAddr).Port)
+	return uint16(p.conns[0].LocalAddr().(*net.UDPAddr).Port)
 }
+
+// Queues returns the number of ingest queues the plane runs.
+func (p *Plane) Queues() int { return len(p.queues) }
 
 // FIB returns the plane's forwarding table (shared with the control plane
 // that programs it; reads are lock-free).
@@ -158,7 +214,7 @@ func (p *Plane) FIB() *fib.Table { return p.fib }
 
 // SetRoute programs the (S,E) route: mask is the OIF bitmask to replicate
 // to, 0 deletes the route. Entries accept any incoming interface — in this
-// overlay each plane has a single ingest socket and only the source's
+// overlay each plane has a single ingest address and only the source's
 // upstream path feeds it, so the paper's RPF check degenerates to the
 // exact-match itself.
 func (p *Plane) SetRoute(ch addr.Channel, mask uint32) {
@@ -194,7 +250,7 @@ func (p *Plane) SetPort(i int, dst netip.AddrPort) {
 	if i < 0 || i >= fib.MaxInterfaces {
 		return
 	}
-	port := newOutPort(p.conn, dst, p.opts.QueueLen)
+	port := newOutPort(p.conns[0], dst, p.opts, p.burstH)
 	if old := p.ports[i].Swap(port); old != nil {
 		p.retirePort(old)
 	}
@@ -229,6 +285,7 @@ func (p *Plane) retirePort(o *outPort) {
 	o.stop()
 	p.sentPrev.Add(o.sent.Load())
 	p.dropsPrev.Add(o.drops.Load())
+	p.writeErrsPrev.Add(o.writeErrs.Load())
 }
 
 // HandlePacket runs the forwarding procedure for one already-read datagram:
@@ -267,31 +324,43 @@ func (p *Plane) HandlePacket(b []byte) int {
 // Stats returns a snapshot of the plane's counters.
 func (p *Plane) Stats() Stats {
 	s := Stats{
-		Packets:    p.pkts.Load(),
-		Bytes:      p.bytes.Load(),
-		BadPackets: p.badPkts.Load(),
-		Replicated: p.replicated.Load(),
-		NoPort:     p.noPort.Load(),
-		Sent:       p.sentPrev.Load(),
-		Drops:      p.dropsPrev.Load(),
-		FIB:        p.fib.Stats(),
+		Packets:      p.pkts.Load(),
+		Bytes:        p.bytes.Load(),
+		BadPackets:   p.badPkts.Load(),
+		Truncated:    p.truncated.Load(),
+		Replicated:   p.replicated.Load(),
+		NoPort:       p.noPort.Load(),
+		Sent:         p.sentPrev.Load(),
+		Drops:        p.dropsPrev.Load(),
+		WriteErrors:  p.writeErrsPrev.Load(),
+		QueuePackets: make([]uint64, len(p.queues)),
+		FIB:          p.fib.Stats(),
+	}
+	for i, q := range p.queues {
+		s.QueuePackets[i] = q.pkts.Load()
 	}
 	for i := range p.ports {
 		if port := p.ports[i].Load(); port != nil {
 			s.Sent += port.sent.Load()
 			s.Drops += port.drops.Load()
+			s.WriteErrors += port.writeErrs.Load()
 		}
 	}
 	return s
 }
 
-// Close shuts the plane down: the socket closes (unblocking the ingest
+// Close shuts the plane down: the sockets close (unblocking the ingest
 // workers), the workers are joined, then every port writer is drained.
 func (p *Plane) Close() error {
 	if p.closed.Swap(true) {
 		return nil
 	}
-	err := p.conn.Close()
+	var err error
+	for _, c := range p.conns {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
 	p.wg.Wait()
 	for i := range p.ports {
 		if old := p.ports[i].Swap(nil); old != nil {

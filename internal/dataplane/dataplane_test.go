@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -171,7 +172,8 @@ func TestOutPortDropAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	o := newOutPort(conn, conn.LocalAddr().(*net.UDPAddr).AddrPort(), 4)
+	o := newOutPort(conn, conn.LocalAddr().(*net.UDPAddr).AddrPort(),
+		Options{QueueLen: 4}.withDefaults(), obs.NewHistogram())
 	o.stop() // writer gone: nothing drains the queue
 	for i := 0; i < 10; i++ {
 		o.send([]byte("pkt"))

@@ -1,0 +1,112 @@
+//go:build linux && (amd64 || arm64)
+
+package dataplane
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// Kernel-batched egress: the port writer's burst goes out in one sendmmsg
+// syscall instead of one sendto per datagram. The mmsghdr/iovec arrays and
+// the destination sockaddr are preallocated per port; every message in a
+// burst shares the same sockaddr pointer, so a flush only rewrites iovec
+// base/len pairs.
+
+// mmsgWriter owns one port's gather arrays. hdrs carries raw pointers into
+// iovs and sa; holding them all in one reachable struct keeps them live for
+// the garbage collector while the kernel reads through the raw pointers.
+type mmsgWriter struct {
+	o    *outPort
+	rc   syscall.RawConn
+	sa   syscall.RawSockaddrInet4
+	iovs []syscall.Iovec
+	hdrs []mmsghdr
+	bufs []*[]byte // burst being flushed
+	off  int       // messages already accepted by the kernel
+}
+
+// newFlusher returns the burst flush function for this port: sendmmsg when
+// the destination is IPv4 and the raw connection is available, else the
+// portable per-datagram writer.
+func (o *outPort) newFlusher(opts Options) func([]*[]byte) {
+	if opts.forceSerial {
+		return o.flushSerial
+	}
+	a := o.dst.Addr()
+	if a.Is4In6() {
+		a = a.Unmap()
+	}
+	if !a.Is4() {
+		return o.flushSerial
+	}
+	rc, err := o.conn.SyscallConn()
+	if err != nil {
+		return o.flushSerial
+	}
+	w := &mmsgWriter{
+		o:    o,
+		rc:   rc,
+		iovs: make([]syscall.Iovec, cap(o.burst)),
+		hdrs: make([]mmsghdr, cap(o.burst)),
+	}
+	port := o.dst.Port()
+	w.sa = syscall.RawSockaddrInet4{
+		Family: syscall.AF_INET,
+		Port:   port<<8 | port>>8, // sin_port is big-endian in raw sockaddr memory
+		Addr:   a.As4(),
+	}
+	for i := range w.hdrs {
+		w.hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&w.sa))
+		w.hdrs[i].hdr.Namelen = syscall.SizeofSockaddrInet4
+		w.hdrs[i].hdr.Iov = &w.iovs[i]
+		w.hdrs[i].hdr.Iovlen = 1
+	}
+	return w.flush
+}
+
+// write pushes the staged burst from offset w.off onward. Returning false
+// parks the writer goroutine in the poller until the socket is writable
+// again (a full send buffer), after which the runtime re-invokes it.
+func (w *mmsgWriter) write(fd uintptr) bool {
+	for w.off < len(w.bufs) {
+		m := len(w.bufs) - w.off
+		for i := 0; i < m; i++ {
+			b := *w.bufs[w.off+i]
+			w.iovs[i].Base = &b[0]
+			w.iovs[i].SetLen(len(b))
+		}
+		n, errno := sendmmsg(fd, w.hdrs[:m], syscall.MSG_DONTWAIT)
+		switch errno {
+		case 0:
+			if n <= 0 {
+				// Defensive: a zero-progress success would spin forever.
+				w.o.writeErrs.Add(1)
+				w.off++
+				continue
+			}
+			w.o.sent.Add(uint64(n))
+			w.off += n
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return false
+		default:
+			// sendmmsg reports an error only when the *first* message
+			// fails: account that one, skip it, and keep the burst moving.
+			w.o.writeErrs.Add(1)
+			w.off++
+		}
+	}
+	return true
+}
+
+func (w *mmsgWriter) flush(bufs []*[]byte) {
+	w.bufs, w.off = bufs, 0
+	if err := w.rc.Write(w.write); err != nil && w.off < len(w.bufs) {
+		// The raw connection itself failed (socket closed): everything not
+		// yet accepted is lost.
+		w.o.writeErrs.Add(uint64(len(w.bufs) - w.off))
+	}
+	w.bufs = nil
+}

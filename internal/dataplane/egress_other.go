@@ -1,0 +1,8 @@
+//go:build !(linux && (amd64 || arm64))
+
+package dataplane
+
+// newFlusher returns the portable burst flush: the writer still coalesces
+// its queue into bursts (the accounting and backpressure are identical),
+// it just pays one write syscall per datagram.
+func (o *outPort) newFlusher(opts Options) func([]*[]byte) { return o.flushSerial }

@@ -6,19 +6,26 @@ import (
 	"repro/internal/wire"
 )
 
+// slotBytes is the stride of one read-batch slot: one byte beyond the
+// largest valid packet, so any fill that reports a datagram longer than
+// wire.MaxDataPacket — whether the extra byte actually landed (portable
+// reads) or the kernel flagged MSG_TRUNC (recvmmsg) — is detectably
+// oversized instead of silently truncated to a decodable prefix.
+const slotBytes = wire.MaxDataPacket + 1
+
 // readBatch is one ingest worker's reusable scatter buffer: ReadBatch slots
-// of MaxDataPacket bytes in a single contiguous allocation, filled by one
+// of slotBytes bytes in a single contiguous allocation, filled by one
 // socket drain and then processed slot by slot. The buffer lives for the
 // worker's lifetime, so the steady-state read path allocates nothing.
 type readBatch struct {
-	buf   []byte // cap slots × MaxDataPacket, contiguous
-	sizes []int  // datagram length per filled slot
+	buf   []byte // cap slots × slotBytes, contiguous
+	sizes []int  // datagram length per filled slot (> MaxDataPacket: oversized)
 	n     int    // filled slots
 }
 
 func newReadBatch(slots int) *readBatch {
 	return &readBatch{
-		buf:   make([]byte, slots*wire.MaxDataPacket),
+		buf:   make([]byte, slots*slotBytes),
 		sizes: make([]int, slots),
 	}
 }
@@ -27,21 +34,22 @@ func (b *readBatch) cap() int { return len(b.sizes) }
 
 // rawSlot returns slot i's full backing array, for the read syscall.
 func (b *readBatch) rawSlot(i int) []byte {
-	return b.buf[i*wire.MaxDataPacket : (i+1)*wire.MaxDataPacket]
+	return b.buf[i*slotBytes : (i+1)*slotBytes]
 }
 
 // slot returns slot i trimmed to the received datagram.
 func (b *readBatch) slot(i int) []byte {
-	return b.buf[i*wire.MaxDataPacket : i*wire.MaxDataPacket+b.sizes[i]]
+	return b.buf[i*slotBytes : i*slotBytes+b.sizes[i]]
 }
 
-// singleFiller reads one datagram per fill with the portable API.
-// ReadFromUDPAddrPort returns the source as a value type, so this path is
-// also allocation-free — it just pays one poller round trip per packet.
-func (p *Plane) singleFiller() func(*readBatch) bool {
-	return func(b *readBatch) bool {
+// singleFiller fills one datagram per call with the portable API — the
+// non-linux ingest path and the linux fallback. ReadFromUDPAddrPort returns
+// the source as a value type, so this path is also allocation-free — it
+// just pays one poller round trip per packet.
+func (p *Plane) singleFiller(q *queue, b *readBatch) func() bool {
+	return func() bool {
 		b.n = 0
-		n, _, err := p.conn.ReadFromUDPAddrPort(b.rawSlot(0))
+		n, _, err := q.conn.ReadFromUDPAddrPort(b.rawSlot(0))
 		if err != nil {
 			return false
 		}
@@ -51,17 +59,20 @@ func (p *Plane) singleFiller() func(*readBatch) bool {
 	}
 }
 
-// ingest is one worker: fill the batch from the socket, then run the
-// forwarding procedure on every slot. The forward-latency histogram is fed
-// one observation per batch — the per-packet mean of the batch — so the hot
-// path pays one clock read per drain, not per packet (the same economy as
-// realnet's per-window propagation clock).
-func (p *Plane) ingest() {
+// ingest is one queue's worker: fill the batch from the socket, then run
+// the forwarding procedure on every slot. The forward-latency histogram is
+// fed one observation per batch — the per-packet mean of the batch — so the
+// hot path pays one clock read per drain, not per packet (the same economy
+// as realnet's per-window propagation clock). The same clock read closes
+// the queue's once-per-second rate window feeding dp_queue_pps.
+func (p *Plane) ingest(q *queue) {
 	defer p.wg.Done()
 	batch := newReadBatch(p.opts.ReadBatch)
-	fill := p.newFiller()
+	fill := p.newFiller(q, batch)
+	var winStart time.Time
+	var winPkts uint64
 	for {
-		if !fill(batch) {
+		if !fill() {
 			if p.closed.Load() {
 				return
 			}
@@ -75,12 +86,29 @@ func (p *Plane) ingest() {
 		start := time.Now()
 		var nbytes uint64
 		for i := 0; i < batch.n; i++ {
+			if batch.sizes[i] > wire.MaxDataPacket {
+				// Oversized datagram: no valid packet is this long, and a
+				// truncated prefix may still decode — drop it here rather
+				// than forward a corrupt payload.
+				p.truncated.Add(1)
+				continue
+			}
 			s := batch.slot(i)
 			nbytes += uint64(len(s))
 			p.HandlePacket(s)
 		}
+		q.pkts.Add(uint64(batch.n))
 		p.pkts.Add(uint64(batch.n))
 		p.bytes.Add(nbytes)
+		p.batchH.ObserveInt(batch.n)
 		p.forwardNs.Observe(uint64(time.Since(start)) / uint64(batch.n))
+
+		winPkts += uint64(batch.n)
+		if winStart.IsZero() {
+			winStart = start
+		} else if el := start.Sub(winStart); el >= time.Second {
+			p.queuePPS.Observe(winPkts * uint64(time.Second) / uint64(el))
+			winPkts, winStart = 0, start
+		}
 	}
 }

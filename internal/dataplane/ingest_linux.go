@@ -4,56 +4,70 @@ package dataplane
 
 import (
 	"syscall"
-	"unsafe"
 )
 
-// Batched socket reads: one poller wakeup drains up to ReadBatch datagrams
-// with non-blocking recvfrom calls before the worker goes back to sleep.
-// The raw syscall is used (src address pointers NULL) so the per-packet
-// read allocates nothing — net.UDPConn's ReadFrom variants are one datagram
-// per poller round trip, and the syscall package's Recvfrom heap-allocates
-// a Sockaddr per call. Falls back to the portable single-read filler if the
+// Kernel-batched ingest: one recvmmsg syscall drains up to ReadBatch
+// datagrams per poller wakeup into the batch's preallocated mmsghdr/iovec
+// scatter array. No source address is materialized (msg_name NULL) and the
+// arrays live for the worker's lifetime, so the steady-state read path
+// allocates nothing. Falls back to the portable single-read filler if the
 // raw connection is unavailable.
 
-// newFiller returns the batch-fill function for this worker.
-func (p *Plane) newFiller() func(*readBatch) bool {
-	rc, err := p.conn.SyscallConn()
-	if err != nil {
-		return p.singleFiller()
-	}
-	return func(b *readBatch) bool {
-		b.n = 0
-		fatal := false
-		err := rc.Read(func(fd uintptr) bool {
-			for b.n < b.cap() {
-				n, errno := recvfromRaw(fd, b.rawSlot(b.n))
-				switch errno {
-				case 0:
-					b.sizes[b.n] = n
-					b.n++
-				case syscall.EINTR:
-					continue
-				case syscall.EAGAIN:
-					// Drained. Block in the poller only when the batch is
-					// still empty; otherwise hand what we have to the
-					// forwarding loop.
-					return b.n > 0
-				default:
-					fatal = true
-					return true
-				}
-			}
-			return true
-		})
-		return err == nil && !fatal
-	}
+// mmsgReader owns the scatter arrays for one queue worker. hdrs carries raw
+// pointers into iovs and the batch buffer; holding both slices in one
+// reachable struct keeps them live for the garbage collector.
+type mmsgReader struct {
+	iovs  []syscall.Iovec
+	hdrs  []mmsghdr
+	fatal bool
 }
 
-// recvfromRaw is recvfrom(fd, p, MSG_DONTWAIT, NULL, NULL): no source
-// address is materialized, so nothing escapes to the heap.
-func recvfromRaw(fd uintptr, p []byte) (int, syscall.Errno) {
-	n, _, errno := syscall.Syscall6(syscall.SYS_RECVFROM,
-		fd, uintptr(unsafe.Pointer(&p[0])), uintptr(len(p)),
-		uintptr(syscall.MSG_DONTWAIT), 0, 0)
-	return int(n), errno
+// newFiller returns the batch-fill function for one queue's worker.
+func (p *Plane) newFiller(q *queue, b *readBatch) func() bool {
+	if p.opts.forcePortable {
+		return p.singleFiller(q, b)
+	}
+	rc, err := q.conn.SyscallConn()
+	if err != nil {
+		return p.singleFiller(q, b)
+	}
+	r := &mmsgReader{
+		iovs: make([]syscall.Iovec, b.cap()),
+		hdrs: make([]mmsghdr, b.cap()),
+	}
+	for i := range r.hdrs {
+		s := b.rawSlot(i)
+		r.iovs[i].Base = &s[0]
+		r.iovs[i].SetLen(len(s))
+		r.hdrs[i].hdr.Iov = &r.iovs[i]
+		r.hdrs[i].hdr.Iovlen = 1
+	}
+	read := func(fd uintptr) bool {
+		n, errno := recvmmsg(fd, r.hdrs, syscall.MSG_DONTWAIT)
+		switch errno {
+		case 0:
+			for i := 0; i < n; i++ {
+				b.sizes[i] = int(r.hdrs[i].n)
+				if r.hdrs[i].hdr.Flags&syscall.MSG_TRUNC != 0 {
+					// The kernel clipped the datagram to the slot; push the
+					// recorded size past every valid length so the
+					// forwarding loop drops and counts it.
+					b.sizes[i] = slotBytes
+				}
+			}
+			b.n = n
+			return true
+		case syscall.EINTR, syscall.EAGAIN:
+			// Nothing delivered: block in the poller until readable.
+			return false
+		default:
+			r.fatal = true
+			return true
+		}
+	}
+	return func() bool {
+		b.n = 0
+		r.fatal = false
+		return rc.Read(read) == nil && !r.fatal
+	}
 }

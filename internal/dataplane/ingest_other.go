@@ -5,4 +5,4 @@ package dataplane
 // newFiller returns the portable filler: one blocking read per batch. The
 // batch structure is unchanged, so the forwarding loop is identical; only
 // the drain width differs.
-func (p *Plane) newFiller() func(*readBatch) bool { return p.singleFiller() }
+func (p *Plane) newFiller(q *queue, b *readBatch) func() bool { return p.singleFiller(q, b) }

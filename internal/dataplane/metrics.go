@@ -1,22 +1,39 @@
 package dataplane
 
-import "repro/internal/obs"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // RegisterMetrics exposes the plane's observability surface on reg: the
-// hot-path histograms (forward latency, replication fan-out), the ingest
-// and egress counters, and the forwarding table's own metrics under the
-// dp_fib_ prefix. Everything feeding these is lock-free and allocation-free
-// on the data path, so scraping /statsz never perturbs forwarding.
+// hot-path histograms (forward latency, replication fan-out, ingest batch
+// and egress burst widths, per-queue packet rate), the ingest and egress
+// counters — queue-full drops and socket write errors split so backpressure
+// is distinguishable from a broken destination — and the forwarding table's
+// own metrics under the dp_fib_ prefix. Everything feeding these is
+// lock-free and allocation-free on the data path, so scraping /statsz never
+// perturbs forwarding.
 func (p *Plane) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterHistogram("dp_forward_ns", "per-packet forward latency: decode + FIB lookup + replicate (ns, batch mean)", p.forwardNs)
 	reg.RegisterHistogram("dp_fanout", "per-packet replication fan-out (destinations targeted)", p.fanoutH)
 	reg.RegisterHistogram("dp_route_install_ns", "per-SetRoute FIB publication latency (ns)", p.installNs)
+	reg.RegisterHistogram("dp_ingest_batch_size", "datagrams drained per ingest batch (recvmmsg width)", p.batchH)
+	reg.RegisterHistogram("dp_egress_burst_size", "datagrams coalesced per egress burst (sendmmsg width)", p.burstH)
+	reg.RegisterHistogram("dp_queue_pps", "per-queue ingest packet rate, sampled once per second per queue", p.queuePPS)
 	reg.NewCounterFunc("dp_packets_total", "data packets ingested", p.pkts.Load)
 	reg.NewCounterFunc("dp_bytes_total", "data bytes ingested", p.bytes.Load)
 	reg.NewCounterFunc("dp_bad_packets_total", "datagrams that failed to decode", p.badPkts.Load)
+	reg.NewCounterFunc("dp_ingest_truncated_total", "oversized datagrams dropped at ingest instead of forwarding a truncated payload", p.truncated.Load)
 	reg.NewCounterFunc("dp_replicated_total", "per-destination replications attempted", p.replicated.Load)
 	reg.NewCounterFunc("dp_no_port_total", "OIF bits with no registered destination", p.noPort.Load)
 	reg.NewCounterFunc("dp_sent_total", "data packets written downstream", func() uint64 { return p.Stats().Sent })
-	reg.NewCounterFunc("dp_drops_total", "data packets dropped (queue full or write error)", func() uint64 { return p.Stats().Drops })
+	reg.NewCounterFunc("dp_port_drops_total", "data packets dropped on a full egress queue (backpressure)", func() uint64 { return p.Stats().Drops })
+	reg.NewCounterFunc("dp_port_write_errors_total", "data packets lost to socket write errors", func() uint64 { return p.Stats().WriteErrors })
+	for _, q := range p.queues {
+		q := q
+		reg.NewCounterFunc(fmt.Sprintf("dp_queue_%d_packets_total", q.id),
+			fmt.Sprintf("data packets ingested by queue %d", q.id), q.pkts.Load)
+	}
 	p.fib.RegisterMetrics(reg, "dp_fib_")
 }

@@ -1,0 +1,253 @@
+package dataplane
+
+// Tests for the multi-queue kernel-batched pipeline (ISSUE 7): oversized-
+// datagram handling, Options defaulting, the portable fallback paths'
+// parity with the raw recvmmsg/sendmmsg paths, the drop vs write-error
+// accounting split, and multi-queue delivery.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// TestOptionsWithDefaults pins the defaulting contract: every zero-value
+// field selects its documented default, negatives are treated as unset, and
+// explicit values pass through untouched.
+func TestOptionsWithDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Options
+		want Options
+	}{
+		{"zero", Options{}, Options{Listen: "127.0.0.1:0", Queues: 1, QueueLen: 1024, ReadBatch: 32, Burst: 32}},
+		{"negative", Options{Queues: -3, QueueLen: -1, ReadBatch: -32, Burst: -8},
+			Options{Listen: "127.0.0.1:0", Queues: 1, QueueLen: 1024, ReadBatch: 32, Burst: 32}},
+		{"explicit", Options{Listen: "127.0.0.1:4801", Queues: 8, QueueLen: 64, ReadBatch: 16, Burst: 4},
+			Options{Listen: "127.0.0.1:4801", Queues: 8, QueueLen: 64, ReadBatch: 16, Burst: 4}},
+		{"partial", Options{Queues: 2}, Options{Listen: "127.0.0.1:0", Queues: 2, QueueLen: 1024, ReadBatch: 32, Burst: 32}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.in.withDefaults(); got != tc.want {
+				t.Errorf("withDefaults() = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// sendRaw writes one raw datagram of n bytes (a valid header followed by
+// padding) at the plane — bypassing Source, which refuses oversized
+// payloads by design.
+func sendRaw(t *testing.T, p *Plane, n int) {
+	t.Helper()
+	conn, err := net.Dial("udp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pkt := wire.DataPacket{Channel: testChannel(9), Seq: 1}
+	buf := pkt.AppendTo(nil)
+	buf = append(buf, bytes.Repeat([]byte{0xAB}, n-len(buf))...)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestDropsOversized is the truncation regression (ISSUE 7 satellite):
+// a datagram longer than the largest valid packet must be counted in
+// Truncated and dropped — never forwarded as a silently-truncated payload —
+// and the queue worker must keep forwarding afterwards.
+func TestIngestDropsOversized(t *testing.T) {
+	p := mustPlane(t, Options{})
+	r := mustReceiver(t)
+	p.SetPort(0, r.addrPort())
+	ch := testChannel(9)
+	p.SetRoute(ch, 1<<0)
+
+	// An oversized datagram that *starts* with a valid header: the exact
+	// shape a naive truncating read would decode and forward corrupt.
+	sendRaw(t, p, wire.MaxDataPacket+200)
+	waitFor(t, func() bool { return p.Stats().Truncated == 1 }, "truncated account")
+	if pkt, err := r.RecvTimeout(100 * time.Millisecond); err == nil {
+		t.Fatalf("oversized datagram forwarded (seq %d, %d payload bytes)", pkt.Seq, len(pkt.Payload))
+	}
+	st := p.Stats()
+	if st.Replicated != 0 || st.BadPackets != 0 {
+		t.Errorf("stats = %+v, want oversized counted only as Truncated", st)
+	}
+
+	// A maximum-size valid packet still flows: the boundary is exact.
+	src, err := NewSource(p.Addr(), ch, SourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.Send(bytes.Repeat([]byte{1}, wire.MaxDataPayload)); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := r.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatalf("max-size packet after oversized drop: %v", err)
+	}
+	if len(pkt.Payload) != wire.MaxDataPayload {
+		t.Errorf("payload = %d bytes, want %d", len(pkt.Payload), wire.MaxDataPayload)
+	}
+	if st := p.Stats(); st.Truncated != 1 {
+		t.Errorf("truncated = %d after valid max-size packet, want 1", st.Truncated)
+	}
+}
+
+// TestPortWriteErrorSplit pins the drops/write-errors accounting split: a
+// dead socket produces WriteErrors (not Drops), and a full queue produces
+// Drops (not WriteErrors).
+func TestPortWriteErrorSplit(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := conn.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	// Write errors: close the socket under the writer, then send.
+	o := newOutPort(conn, dst, Options{}.withDefaults(), obs.NewHistogram())
+	conn.Close()
+	o.send([]byte("pkt"))
+	deadline := time.Now().Add(5 * time.Second)
+	for o.writeErrs.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for a write error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d := o.drops.Load(); d != 0 {
+		t.Errorf("drops = %d after write error, want 0", d)
+	}
+	o.stop()
+
+	// Queue-full drops: stopped writer, bounded queue.
+	conn2, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	o2 := newOutPort(conn2, conn2.LocalAddr().(*net.UDPAddr).AddrPort(),
+		Options{QueueLen: 4}.withDefaults(), obs.NewHistogram())
+	o2.stop()
+	for i := 0; i < 10; i++ {
+		o2.send([]byte("pkt"))
+	}
+	if d := o2.drops.Load(); d < 6 {
+		t.Errorf("drops = %d, want >= 6", d)
+	}
+	if we := o2.writeErrs.Load(); we != 0 {
+		t.Errorf("writeErrs = %d on queue-full drops, want 0", we)
+	}
+}
+
+// TestPortableFallbackParity (ISSUE 7 satellite): the build-tag fallback
+// paths — single-datagram reads and per-datagram writes — must deliver and
+// account exactly like the recvmmsg/sendmmsg paths: same payloads in order,
+// same truncated-drop behaviour. On non-linux builds the forced options are
+// no-ops and this simply re-exercises the only path.
+func TestPortableFallbackParity(t *testing.T) {
+	run := func(t *testing.T, opts Options) {
+		p := mustPlane(t, opts)
+		r := mustReceiver(t)
+		p.SetPort(0, r.addrPort())
+		ch := testChannel(9)
+		p.SetRoute(ch, 1<<0)
+
+		src, err := NewSource(p.Addr(), ch, SourceOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		const n = 10
+		for i := 0; i < n; i++ {
+			if err := src.Send([]byte(fmt.Sprintf("p-%d", i+1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 1; i <= n; i++ {
+			pkt, err := r.RecvTimeout(2 * time.Second)
+			if err != nil {
+				t.Fatalf("packet %d: %v", i, err)
+			}
+			if pkt.Seq != uint32(i) || string(pkt.Payload) != fmt.Sprintf("p-%d", i) {
+				t.Fatalf("seq %d payload %q, want seq %d", pkt.Seq, pkt.Payload, i)
+			}
+		}
+		sendRaw(t, p, wire.MaxDataPacket+100)
+		waitFor(t, func() bool { return p.Stats().Truncated == 1 }, "truncated account")
+		st := p.Stats()
+		if st.Packets != n+1 || st.Replicated != n || st.BadPackets != 0 {
+			t.Errorf("stats = %+v, want %d packets / %d replicated / oversized truncated", st, n+1, n)
+		}
+	}
+	t.Run("raw", func(t *testing.T) { run(t, Options{}) })
+	t.Run("portable", func(t *testing.T) { run(t, Options{forcePortable: true, forceSerial: true}) })
+}
+
+// TestMultiQueueDelivery exercises the SO_REUSEPORT fan-in: distinct
+// sources (distinct 4-tuples) inject through a 4-queue plane and every
+// packet is delivered; per-queue counters sum to the total. Per-source
+// ordering is asserted per receiver stream via the seq numbers each source
+// stamps independently.
+func TestMultiQueueDelivery(t *testing.T) {
+	p := mustPlane(t, Options{Queues: 4})
+	r := mustReceiver(t)
+	p.SetPort(0, r.addrPort())
+
+	const nSrc, per = 8, 25
+	srcs := make([]*Source, nSrc)
+	for i := range srcs {
+		ch := testChannel(uint32(100 + i))
+		p.SetRoute(ch, 1<<0)
+		s, err := NewSource(p.Addr(), ch, SourceOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		srcs[i] = s
+	}
+	for j := 0; j < per; j++ {
+		for _, s := range srcs {
+			if err := s.Send([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	lastSeq := make(map[uint32]uint32) // E suffix -> last seq seen
+	for i := 0; i < nSrc*per; i++ {
+		pkt, err := r.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("packet %d/%d: %v", i+1, nSrc*per, err)
+		}
+		e := pkt.Channel.E.ExpressSuffix()
+		if pkt.Seq != lastSeq[e]+1 {
+			t.Fatalf("channel E=%d: seq %d after %d (per-source order broken)", e, pkt.Seq, lastSeq[e])
+		}
+		lastSeq[e] = pkt.Seq
+	}
+
+	st := p.Stats()
+	if st.Packets != nSrc*per {
+		t.Errorf("packets = %d, want %d", st.Packets, nSrc*per)
+	}
+	if len(st.QueuePackets) != 4 {
+		t.Fatalf("QueuePackets = %v, want 4 queues", st.QueuePackets)
+	}
+	var qsum uint64
+	for _, n := range st.QueuePackets {
+		qsum += n
+	}
+	if qsum != st.Packets {
+		t.Errorf("per-queue counters sum to %d, want %d", qsum, st.Packets)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -27,8 +28,11 @@ func putPkt(b *[]byte) { *b = (*b)[:0]; pktPool.Put(b) }
 // realnet neighbor queue design — a bounded channel drained by a dedicated
 // writer goroutine, with drop accounting instead of blocking — so a slow or
 // dead destination sheds its own load and never backpressures the shared
-// ingest path. Datagrams are written through the plane's single UDP socket
-// (per-datagram sendto is atomic, so concurrent port writers don't
+// ingest path. The writer coalesces: every wakeup it collects up to Burst
+// queued packets and flushes them together (one sendmmsg on linux, a write
+// loop elsewhere), so under load the per-datagram syscall cost amortizes
+// across the burst. Datagrams are written through the plane's primary UDP
+// socket (per-datagram sends are atomic, so concurrent port writers don't
 // interleave), which also gives every forwarded packet the router's data
 // port as its source address.
 type outPort struct {
@@ -40,18 +44,26 @@ type outPort struct {
 	done     chan struct{}
 	stopOnce sync.Once
 
-	sent  atomic.Uint64
-	drops atomic.Uint64
+	burst  []*[]byte      // writer-local staging, cap = Options.Burst
+	burstH *obs.Histogram // plane-wide egress burst-size distribution
+	flush  func([]*[]byte)
+
+	sent      atomic.Uint64 // datagrams written
+	drops     atomic.Uint64 // lost to a full queue (backpressure)
+	writeErrs atomic.Uint64 // lost to a socket write error
 }
 
-func newOutPort(conn *net.UDPConn, dst netip.AddrPort, queueLen int) *outPort {
+func newOutPort(conn *net.UDPConn, dst netip.AddrPort, opts Options, burstH *obs.Histogram) *outPort {
 	o := &outPort{
-		conn: conn,
-		dst:  dst,
-		out:  make(chan *[]byte, queueLen),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		conn:   conn,
+		dst:    dst,
+		out:    make(chan *[]byte, opts.QueueLen),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+		burst:  make([]*[]byte, 0, opts.Burst),
+		burstH: burstH,
 	}
+	o.flush = o.newFlusher(opts)
 	go o.writer()
 	return o
 }
@@ -71,10 +83,13 @@ func (o *outPort) send(b []byte) {
 	}
 }
 
-// writer drains the queue onto the socket. UDP writes don't block on a slow
-// receiver, so there is no deadline machinery here; a write error (port
-// unreachable, socket closed) counts as a drop and the port keeps draining
-// so enqueues stay cheap until the control plane clears it.
+// writer drains the queue onto the socket in bursts: block for the first
+// packet, then opportunistically collect whatever else is already queued
+// (up to the burst cap) and flush the lot in one syscall where the platform
+// allows. UDP writes don't block on a slow receiver, so there is no
+// deadline machinery here; a write error (port unreachable, socket closed)
+// is accounted and the port keeps draining so enqueues stay cheap until the
+// control plane clears it.
 func (o *outPort) writer() {
 	defer close(o.done)
 	for {
@@ -91,12 +106,33 @@ func (o *outPort) writer() {
 				}
 			}
 		case b := <-o.out:
-			if _, err := o.conn.WriteToUDPAddrPort(*b, o.dst); err != nil {
-				o.drops.Add(1)
-			} else {
-				o.sent.Add(1)
+			o.burst = append(o.burst[:0], b)
+		collect:
+			for len(o.burst) < cap(o.burst) {
+				select {
+				case b2 := <-o.out:
+					o.burst = append(o.burst, b2)
+				default:
+					break collect
+				}
 			}
-			putPkt(b)
+			o.burstH.ObserveInt(len(o.burst))
+			o.flush(o.burst)
+			for _, pb := range o.burst {
+				putPkt(pb)
+			}
+		}
+	}
+}
+
+// flushSerial writes one datagram per syscall — the portable egress path
+// and the linux fallback.
+func (o *outPort) flushSerial(bufs []*[]byte) {
+	for _, b := range bufs {
+		if _, err := o.conn.WriteToUDPAddrPort(*b, o.dst); err != nil {
+			o.writeErrs.Add(1)
+		} else {
+			o.sent.Add(1)
 		}
 	}
 }

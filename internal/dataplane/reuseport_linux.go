@@ -1,0 +1,55 @@
+//go:build linux && (amd64 || arm64)
+
+package dataplane
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// listenQueues opens the plane's ingest sockets. With n == 1 it is a plain
+// ListenUDP, byte-for-byte the portable path. With n > 1 it binds n sockets
+// to the same address under SO_REUSEPORT: the kernel hashes each datagram's
+// 4-tuple onto one of the sockets, so a given source's packets always land
+// on the same queue (per-source ordering holds) while distinct sources
+// spread across all of them — receive-side scaling without a user-space
+// dispatcher.
+func listenQueues(listen string, n int) ([]*net.UDPConn, error) {
+	if n <= 1 {
+		c, err := listenOne(listen)
+		if err != nil {
+			return nil, err
+		}
+		return []*net.UDPConn{c}, nil
+	}
+	lc := net.ListenConfig{Control: func(network, address string, rc syscall.RawConn) error {
+		var serr error
+		if err := rc.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	conns := make([]*net.UDPConn, 0, n)
+	fail := func(err error) ([]*net.UDPConn, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", listen)
+		if err != nil {
+			return fail(err)
+		}
+		conns = append(conns, pc.(*net.UDPConn))
+		if i == 0 {
+			// A ":0" listen resolves on the first bind; siblings must join
+			// that concrete port, not draw their own.
+			listen = conns[0].LocalAddr().String()
+		}
+	}
+	return conns, nil
+}

@@ -1,0 +1,18 @@
+//go:build !(linux && (amd64 || arm64))
+
+package dataplane
+
+import "net"
+
+// listenQueues on platforms without the raw-syscall fast path keeps the
+// single-socket design regardless of the requested queue count: the plane
+// still runs n ingest workers, they just share one socket (the kernel
+// load-balances wakeups across blocked readers). SO_REUSEPORT fan-in is a
+// linux semantics contract; elsewhere correctness beats parallel ingest.
+func listenQueues(listen string, n int) ([]*net.UDPConn, error) {
+	c, err := listenOne(listen)
+	if err != nil {
+		return nil, err
+	}
+	return []*net.UDPConn{c}, nil
+}

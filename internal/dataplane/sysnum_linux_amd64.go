@@ -1,0 +1,5 @@
+package dataplane
+
+// sendmmsg postdates the syscall package's API freeze, so its number is not
+// exported there; 307 is __NR_sendmmsg on linux/amd64.
+const sysSENDMMSG = 307

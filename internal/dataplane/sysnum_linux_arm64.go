@@ -1,0 +1,5 @@
+package dataplane
+
+// sendmmsg postdates the syscall package's API freeze, so its number is not
+// exported there; 269 is __NR_sendmmsg on linux/arm64.
+const sysSENDMMSG = 269

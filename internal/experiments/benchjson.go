@@ -37,6 +37,12 @@ type BenchResult struct {
 	// republication duration — flat across Routes is the incremental-
 	// publication claim.
 	ChunkPublishP99Ns float64 `json:"chunk_publish_p99_ns,omitempty"`
+	// Queues and the *PPS fields are set for the dataplane/pps series: the
+	// end-to-end offered-load run at each ingest-queue count (E15).
+	Queues     int     `json:"queues,omitempty"`
+	OfferedPPS float64 `json:"offered_pps,omitempty"`
+	IngestPPS  float64 `json:"ingest_pps,omitempty"`
+	EgressPPS  float64 `json:"egress_pps,omitempty"`
 }
 
 // BenchReport is the full -json document.
@@ -218,6 +224,30 @@ func benchReplicate(fanout int) (BenchResult, error) {
 	return out, nil
 }
 
+// benchPPS runs the E15 offered-load measurement at one queue count and
+// folds it into the benchmark schema: Iterations is the ingested packet
+// count over the window, NsPerOp the per-packet ingest cost implied by the
+// achieved rate. Near-linear IngestPPS scaling across the queues series is
+// the multi-queue pipeline claim (bounded by free cores — see E15Scaling).
+func benchPPS(queues int, window time.Duration) (BenchResult, error) {
+	res, err := RunPPS(PPSOptions{Queues: queues, Window: window})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	out := BenchResult{
+		Name:       "dataplane/pps",
+		Iterations: int(res.IngestPPS * res.Window.Seconds()),
+		Queues:     res.Queues,
+		OfferedPPS: res.OfferedPPS,
+		IngestPPS:  res.IngestPPS,
+		EgressPPS:  res.EgressPPS,
+	}
+	if res.IngestPPS > 0 {
+		out.NsPerOp = 1e9 / res.IngestPPS
+	}
+	return out, nil
+}
+
 // benchChurn measures steady-state Set/Delete churn against a pre-populated
 // table — the in-process half of E14, mirroring internal/fib's
 // BenchmarkChurnPublish at its documented -benchtime 200000x. The op count
@@ -278,6 +308,17 @@ func BenchJSON(quick bool) *BenchReport {
 	rep.Benchmarks = append(rep.Benchmarks, toResult("wire/WalkCountsSegment", 0, benchWalkCounts()))
 	for _, fanout := range []int{1, 4, 16} {
 		if res, err := benchReplicate(fanout); err == nil {
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
+	// dataplane/pps runs in quick mode too (CI's bench smoke asserts the
+	// series exists), just over a shorter steady-state window.
+	ppsWindow := 400 * time.Millisecond
+	if quick {
+		ppsWindow = 150 * time.Millisecond
+	}
+	for _, queues := range []int{1, 2, 4, 8} {
+		if res, err := benchPPS(queues, ppsWindow); err == nil {
 			rep.Benchmarks = append(rep.Benchmarks, res)
 		}
 	}

@@ -114,5 +114,6 @@ func AllTables(includeHeavy bool) []*Table {
 	if includeHeavy {
 		ts = append(ts, E14Churn())
 	}
+	ts = append(ts, E15Scaling())
 	return ts
 }

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/dataplane"
+	"repro/internal/wire"
+)
+
+// E15: end-to-end packet rate vs ingest queues. Section 5.3 argues a
+// user-level EXPRESS router can forward at rates useful for real sessions;
+// the multi-queue plane (SO_REUSEPORT + recvmmsg ingest, sendmmsg egress)
+// is the scaling story on modern hardware. This experiment offers unpaced
+// load from many concurrent sources — each a distinct UDP 4-tuple, so the
+// kernel's SO_REUSEPORT hash spreads them across queues — and measures the
+// achieved ingest and egress packet rates over a steady-state window.
+
+// PPSOptions tunes RunPPS. Zero values select defaults sized for a quick
+// loopback run.
+type PPSOptions struct {
+	// Queues is the number of ingest queues (SO_REUSEPORT sockets, each
+	// with a dedicated recvmmsg worker on linux).
+	Queues int
+	// Senders is the number of concurrent unpaced sources. Defaults to
+	// 2×Queues so every queue has work even with an unlucky hash.
+	Senders int
+	// Payload is the data payload size per packet.
+	Payload int
+	// Warmup runs load before the measurement window opens.
+	Warmup time.Duration
+	// Window is the steady-state measurement interval.
+	Window time.Duration
+}
+
+func (o PPSOptions) withDefaults() PPSOptions {
+	if o.Queues <= 0 {
+		o.Queues = 1
+	}
+	if o.Senders <= 0 {
+		o.Senders = 2 * o.Queues
+	}
+	if o.Payload <= 0 {
+		o.Payload = 256
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 100 * time.Millisecond
+	}
+	if o.Window <= 0 {
+		o.Window = 400 * time.Millisecond
+	}
+	return o
+}
+
+// PPSResult is one offered-load run's steady-state rates.
+type PPSResult struct {
+	Queues  int
+	Senders int
+	Window  time.Duration
+
+	// OfferedPPS is the aggregate sender write rate during the window.
+	OfferedPPS float64
+	// IngestPPS is the rate the plane decoded+looked-up packets (ΔPackets).
+	IngestPPS float64
+	// EgressPPS is the rate packets left via the egress writers (ΔSent).
+	EgressPPS float64
+	// DropPct is egress queue-full drops as a share of replications.
+	DropPct float64
+	// QueuePackets is the per-queue ingest split after the run — evidence
+	// the kernel hash actually spread the senders.
+	QueuePackets []uint64
+}
+
+// RunPPS stands up a Plane with opts.Queues ingest queues, one registered
+// egress port aimed at a sink socket and a single-OIF route, then offers
+// unpaced load from opts.Senders goroutines and measures steady-state
+// ingest/egress pps over opts.Window.
+func RunPPS(opts PPSOptions) (PPSResult, error) {
+	opts = opts.withDefaults()
+	res := PPSResult{Queues: opts.Queues, Senders: opts.Senders, Window: opts.Window}
+
+	p, err := dataplane.NewPlane(dataplane.Options{Queues: opts.Queues})
+	if err != nil {
+		return res, err
+	}
+	defer p.Close()
+	res.Queues = p.Queues() // what the platform actually granted
+
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return res, err
+	}
+	defer sink.Close()
+	p.SetPort(0, sink.LocalAddr().(*net.UDPAddr).AddrPort())
+	ch := addr.Channel{S: addr.MustParse("171.64.9.1"), E: addr.ExpressAddr(15)}
+	p.SetRoute(ch, 1<<0)
+
+	// The sink is never drained: the kernel drops on its full receive
+	// buffer, which is free, while the plane's Sent counter still measures
+	// egress syscall throughput.
+	pkt := wire.DataPacket{Channel: ch, Seq: 1, Payload: make([]byte, opts.Payload)}
+	buf := pkt.AppendTo(nil)
+
+	var writes atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Senders; i++ {
+		conn, err := net.Dial("udp", p.Addr()) // distinct 4-tuple per sender
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return res, err
+		}
+		defer conn.Close()
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := conn.Write(buf); err == nil {
+					writes.Add(1)
+				}
+			}
+		}(conn)
+	}
+
+	time.Sleep(opts.Warmup)
+	s0, w0, t0 := p.Stats(), writes.Load(), time.Now()
+	time.Sleep(opts.Window)
+	s1, w1, t1 := p.Stats(), writes.Load(), time.Now()
+	close(stop)
+	wg.Wait()
+
+	dt := t1.Sub(t0).Seconds()
+	if dt <= 0 {
+		return res, fmt.Errorf("empty measurement window")
+	}
+	res.OfferedPPS = float64(w1-w0) / dt
+	res.IngestPPS = float64(s1.Packets-s0.Packets) / dt
+	res.EgressPPS = float64(s1.Sent-s0.Sent) / dt
+	if repl := s1.Replicated - s0.Replicated; repl > 0 {
+		res.DropPct = 100 * float64(s1.Drops-s0.Drops) / float64(repl)
+	}
+	res.QueuePackets = s1.QueuePackets
+	return res, nil
+}
+
+// E15Scaling renders the pps-vs-queues scaling curve as a paperbench table:
+// the end-to-end throughput evidence for the multi-queue kernel-batched
+// pipeline at 1/2/4/8 ingest queues.
+func E15Scaling() *Table {
+	t := &Table{
+		ID:    "E15",
+		Title: "§5.3: data-plane packet rate — SO_REUSEPORT queues × recvmmsg/sendmmsg batching",
+		Header: []string{"queues", "senders", "offered pps", "ingest pps", "egress pps",
+			"egress drop %", "per-queue split"},
+	}
+	for _, q := range []int{1, 2, 4, 8} {
+		res, err := RunPPS(PPSOptions{Queues: q})
+		if err != nil {
+			t.Note("queues=%d failed: %v", q, err)
+			continue
+		}
+		t.AddRow(itoa(res.Queues), itoa(res.Senders),
+			f2(res.OfferedPPS), f2(res.IngestPPS), f2(res.EgressPPS),
+			f2(res.DropPct), fmt.Sprintf("%v", res.QueuePackets))
+	}
+	t.Note("each queue is one SO_REUSEPORT socket drained by a dedicated recvmmsg worker "+
+		"(≤32 datagrams/syscall); the kernel's 4-tuple hash spreads senders across queues; "+
+		"egress coalesces into sendmmsg bursts (GOMAXPROCS=%d, NumCPU=%d)",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+	t.Note("scaling is near-linear only while queues ≤ free cores: on a small CI runner the " +
+		"curve flattens (or dips from contention) once workers outnumber cores — compare " +
+		"ingest pps against NumCPU above before reading the top of the curve")
+	return t
+}

@@ -94,10 +94,11 @@ type Options struct {
 	// withdrawal path clears both routes and ports. Empty (the default)
 	// runs the router control-plane-only, exactly as before.
 	DataListen string
-	// DataWorkers and DataQueueLen tune the plane's ingest worker count and
+	// DataQueues and DataQueueLen tune the plane's ingest queue count
+	// (SO_REUSEPORT sockets with dedicated recvmmsg workers on linux) and
 	// per-destination egress queue length (see dataplane.Options). 0 picks
 	// the defaults.
-	DataWorkers  int
+	DataQueues   int
 	DataQueueLen int
 }
 
@@ -225,7 +226,7 @@ func NewRouterOpts(listenAddr string, opts Options) (*Router, error) {
 	if opts.DataListen != "" {
 		dp, err := dataplane.NewPlane(dataplane.Options{
 			Listen:   opts.DataListen,
-			Workers:  opts.DataWorkers,
+			Queues:   opts.DataQueues,
 			QueueLen: opts.DataQueueLen,
 		})
 		if err != nil {
