@@ -4,6 +4,11 @@
 // the packets the router replicates to it:
 //
 //	expressctl recv -router 127.0.0.1:4702 -source 10.0.0.1 -channel 5 -count 10
+//
+// The relay subcommand joins a relayd session as a participant, printing
+// relayed content and optionally taking the floor to speak:
+//
+//	expressctl relay -router 127.0.0.1:4701 -source 171.64.9.1 -channel 0x101 -floor -say hello
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/dataplane"
 	"repro/internal/realnet"
+	"repro/internal/relaynet"
 )
 
 // runRecv is the `expressctl recv` subcommand: open a UDP receiver socket,
@@ -70,9 +76,106 @@ func runRecv(argv []string) {
 	}
 }
 
+// runRelay is the `expressctl relay` subcommand: join a relayd session as
+// a participant (discovering the relay through the router registry unless
+// -relay pins it), print relayed content, and — with -floor — request the
+// floor and speak -say once granted.
+func runRelay(argv []string) {
+	fs := flag.NewFlagSet("relay", flag.ExitOnError)
+	router := fs.String("router", "127.0.0.1:4701", "expressd to join through")
+	source := fs.String("source", "", "session channel source address S (the primary relay host)")
+	channel := fs.Uint("channel", 1, "session channel suffix (E = 232/8 + suffix)")
+	relay := fs.String("relay", "", "relay control address (empty = discover via the router registry)")
+	backupSource := fs.String("backup-source", "", "standby relay's source address S (arms fail-over)")
+	backupChannel := fs.Uint("backup-channel", 0, "standby relay's channel suffix")
+	cold := fs.Bool("cold", false, "cold standby: join the backup channel only after fail-over")
+	watchdog := fs.Duration("watchdog", 250*time.Millisecond, "tolerated primary silence before fail-over")
+	floor := fs.Bool("floor", false, "request the floor after joining")
+	say := fs.String("say", "", "content to relay once the floor is granted")
+	count := fs.Int("count", 0, "exit after this many content packets (0 = run until interrupt)")
+	timeout := fs.Duration("timeout", 30*time.Second, "give up after this much content silence")
+	fs.Parse(argv)
+
+	if *source == "" {
+		log.Fatal("expressctl relay: -source is required")
+	}
+	s, err := addr.Parse(*source)
+	if err != nil {
+		log.Fatalf("expressctl relay: %v", err)
+	}
+	opts := relaynet.ParticipantOptions{
+		Router:  *router,
+		Channel: addr.Channel{S: s, E: addr.ExpressAddr(uint32(*channel))},
+		Control: *relay,
+	}
+	if *backupSource != "" {
+		bs, err := addr.Parse(*backupSource)
+		if err != nil {
+			log.Fatalf("expressctl relay: %v", err)
+		}
+		mode := relaynet.Hot
+		if *cold {
+			mode = relaynet.Cold
+		}
+		opts.Standby = &relaynet.ParticipantStandby{
+			Mode:          mode,
+			BackupChannel: addr.Channel{S: bs, E: addr.ExpressAddr(uint32(*backupChannel))},
+			Watchdog:      *watchdog,
+		}
+	}
+
+	content := make(chan string, 64)
+	opts.OnContent = func(from uint64, seq uint32, payload []byte) {
+		line := fmt.Sprintf("from=%d seq=%d %q", from, seq, payload)
+		select {
+		case content <- line:
+		default:
+		}
+	}
+	p, err := relaynet.Join(opts)
+	if err != nil {
+		log.Fatalf("expressctl relay: %v", err)
+	}
+	defer p.Close()
+	if err := p.WaitJoined(5 * time.Second); err != nil {
+		log.Fatalf("expressctl relay: %v", err)
+	}
+	fmt.Printf("joined session %v as participant %d\n", opts.Channel, p.ID())
+
+	if *floor {
+		p.RequestFloor()
+		tok, err := p.WaitGrant(5 * time.Second)
+		if err != nil {
+			log.Fatalf("expressctl relay: %v", err)
+		}
+		fmt.Printf("floor granted (token %d)\n", tok)
+		if *say != "" {
+			p.Say([]byte(*say))
+		}
+	}
+
+	for n := 0; *count == 0 || n < *count; n++ {
+		select {
+		case line := <-content:
+			fmt.Println(line)
+		case <-time.After(*timeout):
+			st := p.Stats()
+			log.Fatalf("expressctl relay: no content for %v (received=%d missed=%d failedOver=%v)",
+				*timeout, st.Received, st.Missed, st.FailedOver)
+		}
+	}
+	st := p.Stats()
+	fmt.Printf("received=%d missed=%d refused=%d denied=%d failedOver=%v\n",
+		st.Received, st.Missed, st.Refused, st.Denied, st.FailedOver)
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "recv" {
 		runRecv(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "relay" {
+		runRelay(os.Args[2:])
 		return
 	}
 	router := flag.String("router", "127.0.0.1:4701", "expressd to connect to")

@@ -19,6 +19,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/dataplane"
 	"repro/internal/realnet"
+	"repro/internal/wire"
 )
 
 // dataReceiver is one subscriber: a UDP receiver socket plus the session
@@ -131,7 +132,10 @@ func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, senders, pps
 						continue // timeout while the run is still going
 					}
 				}
-				if pkt.Seq <= measureFrom {
+				// Serial compare: a long run may carry the sequence counter
+				// across the uint32 rollover, where a raw <= would suddenly
+				// classify every measured packet as warm-up.
+				if !wire.SeqAfter(pkt.Seq, measureFrom) {
 					continue
 				}
 				rx.pkts.Add(1)

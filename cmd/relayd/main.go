@@ -1,0 +1,115 @@
+// Command relayd runs a Section 4 session relay as a standalone daemon on
+// the real data plane: it is the EXPRESS source of its session channel,
+// accepts participant unicast (join, floor control, content) on a UDP
+// control socket, and relays floor-holder content onto the channel through
+// an expressd router. Its neighbor session advertises the control endpoint,
+// so participants discover the relay with ECMP relay-discovery queries.
+//
+// A primary and a hot-standby backup on one machine:
+//
+//	expressd -listen 127.0.0.1:4701 -data-port 4801
+//	relayd -router 127.0.0.1:4701 -data 127.0.0.1:4801 \
+//	       -source 171.64.9.1 -channel 0x101 -admin 127.0.0.1:9191
+//	relayd -router 127.0.0.1:4701 -data 127.0.0.1:4801 \
+//	       -source 171.64.9.2 -channel 0x102 \
+//	       -standby-source 171.64.9.1 -standby-channel 0x101 -watchdog 250ms
+//	expressctl relay -router 127.0.0.1:4701 -source 171.64.9.1 -channel 0x101 -floor -say hello
+//
+// The standby subscribes to the primary's channel and promotes itself after
+// -watchdog of beacon silence; participants configured with the backup
+// channel fail over on their own watchdogs.
+//
+// With -admin set, the daemon serves /metrics (Prometheus text, relay_*
+// family), /statsz, /healthz and /debug/pprof/ on that address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/obs"
+	"repro/internal/relaynet"
+)
+
+func parseChannel(source string, suffix uint64) (addr.Channel, error) {
+	s, err := addr.Parse(source)
+	if err != nil {
+		return addr.Channel{}, err
+	}
+	return addr.Channel{S: s, E: addr.ExpressAddr(uint32(suffix))}, nil
+}
+
+func main() {
+	router := flag.String("router", "127.0.0.1:4701", "expressd control address")
+	data := flag.String("data", "127.0.0.1:4801", "expressd data-plane UDP address")
+	source := flag.String("source", "", "session channel source address S (this relay's identity)")
+	channel := flag.Uint64("channel", 1, "session channel suffix (E = 232/8 + suffix)")
+	control := flag.String("control", "127.0.0.1:0", "UDP listen address for participant control")
+	beacon := flag.Duration("beacon", 50*time.Millisecond, "liveness beacon interval (the fail-over flush window)")
+	maxQueue := flag.Int("max-floor-queue", 8, "floor requests queued behind the holder before denial")
+	admin := flag.String("admin", "", "serve /metrics, /statsz, /healthz, /debug/pprof on this address")
+	sbSource := flag.String("standby-source", "", "run as standby: the primary channel's source address S")
+	sbChannel := flag.Uint64("standby-channel", 0, "standby: the primary channel's suffix")
+	watchdog := flag.Duration("watchdog", 0, "standby: tolerated primary silence before promotion (default 5 beacons)")
+	flag.Parse()
+
+	if *source == "" {
+		log.Fatal("relayd: -source is required (the relay is the channel's S)")
+	}
+	ch, err := parseChannel(*source, *channel)
+	if err != nil {
+		log.Fatalf("relayd: %v", err)
+	}
+	opts := relaynet.Options{
+		Router:     *router,
+		DataTarget: *data,
+		Channel:    ch,
+		Control:    *control,
+		Beacon:     *beacon,
+		Floor:      relaynet.FloorPolicy{MaxQueue: *maxQueue},
+		Reg:        obs.NewRegistry(),
+	}
+	if *sbSource != "" {
+		pch, err := parseChannel(*sbSource, *sbChannel)
+		if err != nil {
+			log.Fatalf("relayd: standby channel: %v", err)
+		}
+		opts.Standby = &relaynet.StandbyOptions{PrimaryChannel: pch, Watchdog: *watchdog}
+	}
+
+	r, err := relaynet.New(opts)
+	if err != nil {
+		log.Fatalf("relayd: %v", err)
+	}
+	role := "primary"
+	if opts.Standby != nil {
+		role = fmt.Sprintf("standby for %v", opts.Standby.PrimaryChannel)
+	}
+	log.Printf("relayd: %s of channel %v, control %s, beacon %v", role, ch, r.ControlAddr(), *beacon)
+
+	var adm *obs.Admin
+	if *admin != "" {
+		adm, err = obs.NewAdmin(*admin, opts.Reg, func() error { return nil })
+		if err != nil {
+			log.Fatalf("relayd: admin: %v", err)
+		}
+		log.Printf("relayd: admin on http://%s", adm.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("relayd: shutting down (stats %+v)", r.Stats())
+	if adm != nil {
+		adm.Close()
+	}
+	if err := r.Close(); err != nil {
+		log.Printf("relayd: close: %v", err)
+	}
+}

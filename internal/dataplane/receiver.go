@@ -15,6 +15,10 @@ import (
 type Receiver struct {
 	conn *net.UDPConn
 	buf  []byte
+	// track accounts every decoded packet's sequence number with serial
+	// (wraparound-safe) arithmetic; see SeqTracker. It aggregates across
+	// channels — per-channel accounting belongs to the caller's demux.
+	track SeqTracker
 }
 
 // NewReceiver opens a receiver on an ephemeral localhost port. Use
@@ -55,8 +59,13 @@ func (r *Receiver) Recv() (wire.DataPacket, error) {
 	if _, err := pkt.DecodeFromBytes(r.buf[:n]); err != nil {
 		return pkt, err
 	}
+	r.track.Observe(&pkt)
 	return pkt, nil
 }
+
+// SeqStats returns the receiver's sequence-gap accounting: packets
+// received, gap slots currently unfilled (lost), and late arrivals.
+func (r *Receiver) SeqStats() SeqStats { return r.track.Stats() }
 
 // RecvTimeout is Recv bounded by d; it returns a timeout error when no
 // packet arrives in time (check with os.IsTimeout / net.Error.Timeout).

@@ -1,0 +1,80 @@
+package dataplane
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// SeqTracker is per-channel gap/loss accounting over the 32-bit wire
+// sequence space. All comparisons are serial (wire.SeqAfter and friends),
+// so the counter rolling over from 2^32−1 to 0 reads as a distance of one
+// packet, not a four-billion-packet gap. Safe for concurrent use.
+type SeqTracker struct {
+	mu      sync.Mutex
+	started bool
+	next    uint32 // expected next sequence (highest seen + 1)
+
+	received  uint64
+	lost      uint64 // gap slots skipped; shrinks when a late packet lands
+	late      uint64 // packets serially behind next (reorders, repairs, dups)
+	maxGap    uint32 // largest single forward jump observed
+	lastFlags uint8
+}
+
+// SeqStats is a snapshot of a tracker's counters. Lost counts gap slots
+// that no packet has (yet) filled: a reordered or repaired packet arriving
+// late decrements it, so after a repair pass Lost converges to true loss.
+type SeqStats struct {
+	Received uint64
+	Lost     uint64
+	Late     uint64
+	MaxGap   uint32
+	Next     uint32 // next expected sequence number
+	Started  bool
+}
+
+// Observe accounts one arriving packet. The first packet anchors the
+// expected sequence — any StartSeq works, including one about to wrap.
+func (t *SeqTracker) Observe(pkt *wire.DataPacket) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.received++
+	t.lastFlags = pkt.Flags
+	if !t.started {
+		t.started = true
+		t.next = pkt.Seq + 1
+		return
+	}
+	switch d := wire.SeqDelta(pkt.Seq, t.next); {
+	case d == 0:
+		t.next++
+	case d > 0:
+		t.lost += uint64(d)
+		if uint32(d) > t.maxGap {
+			t.maxGap = uint32(d)
+		}
+		t.next = pkt.Seq + 1
+	default:
+		// Serially behind: a reorder, a repair retransmission, or a dup.
+		// Count it late and let it repay one previously-counted gap slot.
+		t.late++
+		if t.lost > 0 {
+			t.lost--
+		}
+	}
+}
+
+// Stats returns a snapshot of the tracker's counters.
+func (t *SeqTracker) Stats() SeqStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return SeqStats{
+		Received: t.received,
+		Lost:     t.lost,
+		Late:     t.late,
+		MaxGap:   t.maxGap,
+		Next:     t.next,
+		Started:  t.started,
+	}
+}

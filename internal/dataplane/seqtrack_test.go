@@ -1,0 +1,110 @@
+package dataplane
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func observe(t *SeqTracker, seqs ...uint32) {
+	for _, s := range seqs {
+		t.Observe(&wire.DataPacket{Seq: s})
+	}
+}
+
+func TestSeqTrackerInOrder(t *testing.T) {
+	var tr SeqTracker
+	observe(&tr, 10, 11, 12, 13)
+	s := tr.Stats()
+	if s.Received != 4 || s.Lost != 0 || s.Late != 0 || s.Next != 14 {
+		t.Fatalf("stats = %+v, want 4 received, 0 lost, next 14", s)
+	}
+}
+
+func TestSeqTrackerGapThenRepair(t *testing.T) {
+	var tr SeqTracker
+	observe(&tr, 1, 2, 5) // 3,4 missing
+	if s := tr.Stats(); s.Lost != 2 || s.MaxGap != 2 {
+		t.Fatalf("after gap: %+v, want lost 2, maxGap 2", s)
+	}
+	observe(&tr, 3) // late repair fills one slot
+	if s := tr.Stats(); s.Lost != 1 || s.Late != 1 {
+		t.Fatalf("after repair: %+v, want lost 1, late 1", s)
+	}
+	observe(&tr, 4, 6)
+	if s := tr.Stats(); s.Lost != 0 || s.Next != 7 {
+		t.Fatalf("after full repair: %+v, want lost 0, next 7", s)
+	}
+}
+
+// TestSeqTrackerWraparound is the uint32-rollover regression: a stream
+// crossing 2^32−1 → 0 in order must account zero loss, and a gap spanning
+// the rollover must measure its true width.
+func TestSeqTrackerWraparound(t *testing.T) {
+	var tr SeqTracker
+	start := uint32(math.MaxUint32 - 2)
+	for i := uint32(0); i < 8; i++ {
+		observe(&tr, start+i) // wraps: ...fffe, ffff, 0, 1, ...
+	}
+	s := tr.Stats()
+	if s.Lost != 0 || s.Late != 0 {
+		t.Fatalf("in-order rollover: %+v, want no loss", s)
+	}
+	if s.Next != start+8 {
+		t.Fatalf("next = %d, want %d", s.Next, start+8)
+	}
+
+	var tr2 SeqTracker
+	observe(&tr2, math.MaxUint32-1, math.MaxUint32, 3) // 0,1,2 missing across the wrap
+	if s := tr2.Stats(); s.Lost != 3 || s.MaxGap != 3 {
+		t.Fatalf("gap across rollover: %+v, want lost 3", s)
+	}
+	observe(&tr2, 0) // late packet from before the wrap boundary repairs one
+	if s := tr2.Stats(); s.Lost != 2 || s.Late != 1 {
+		t.Fatalf("repair across rollover: %+v, want lost 2, late 1", s)
+	}
+}
+
+// TestReceiverSeqStatsAcrossWraparound drives a real plane end to end with
+// a source whose StartSeq sits just below the rollover, so the delivered
+// stream crosses 2^32−1 → 0 on the wire; the receiver's accounting must
+// see an ordered, loss-free stream.
+func TestReceiverSeqStatsAcrossWraparound(t *testing.T) {
+	p := mustPlane(t, Options{})
+	r := mustReceiver(t)
+	p.SetPort(0, r.addrPort())
+	ch := testChannel(77)
+	p.SetRoute(ch, 1<<0)
+
+	start := uint32(math.MaxUint32 - 2)
+	src, err := NewSource(p.Addr(), ch, SourceOptions{StartSeq: start})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	const n = 8
+	for i := 0; i < n; i++ {
+		if err := src.Send([]byte("wrap")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		pkt, err := r.RecvTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if want := start + uint32(i); pkt.Seq != want {
+			t.Fatalf("seq = %d, want %d", pkt.Seq, want)
+		}
+	}
+	s := r.SeqStats()
+	if s.Received != n || s.Lost != 0 || s.Late != 0 {
+		t.Fatalf("receiver stats = %+v, want %d received, no loss", s, n)
+	}
+	if s.Next != start+n {
+		t.Fatalf("next = %d, want %d (wrapped)", s.Next, start+n)
+	}
+}

@@ -82,6 +82,23 @@ func (s *Source) SendFlags(payload []byte, flags uint8) error {
 	return err
 }
 
+// SendSeq writes one packet with an explicit sequence number, leaving the
+// source's counter untouched. Reliable transports use it for
+// retransmissions (re-sending an old Seq must not consume a new one) and
+// for probes whose Seq the caller allocates itself. Like Send, it shares
+// the reused buffer: a source is single-sender (only S may send), so
+// callers serialize their own sends.
+func (s *Source) SendSeq(seq uint32, payload []byte, flags uint8) error {
+	if len(payload) > wire.MaxDataPayload {
+		return fmt.Errorf("dataplane: payload %d exceeds %d", len(payload), wire.MaxDataPayload)
+	}
+	s.pace()
+	pkt := wire.DataPacket{Channel: s.ch, Seq: seq, Flags: flags, Payload: payload}
+	s.buf = pkt.AppendTo(s.buf[:0])
+	_, err := s.conn.Write(s.buf)
+	return err
+}
+
 // pace sleeps until the packet's slot on the absolute schedule.
 func (s *Source) pace() {
 	if s.interval <= 0 {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/dataplane"
 	"repro/internal/fib"
+	"repro/internal/relaynet"
 	"repro/internal/wire"
 )
 
@@ -43,6 +44,16 @@ type BenchResult struct {
 	OfferedPPS float64 `json:"offered_pps,omitempty"`
 	IngestPPS  float64 `json:"ingest_pps,omitempty"`
 	EgressPPS  float64 `json:"egress_pps,omitempty"`
+	// Mode and GapFlushWindows are set for the relay/failover series (E16):
+	// NsPerOp is the mean participant outage in ns, GapFlushWindows the same
+	// in beacon intervals — the relay tier's native unit.
+	Mode            string  `json:"mode,omitempty"`
+	GapFlushWindows float64 `json:"gap_flush_windows,omitempty"`
+	// Dropped/Retransmitted are set for the relay/repair series (E16):
+	// Iterations is the datagram count, NsPerOp unused.
+	Dropped       uint64 `json:"dropped,omitempty"`
+	Retransmitted uint64 `json:"retransmitted,omitempty"`
+	RepairRounds  int    `json:"repair_rounds,omitempty"`
 }
 
 // BenchReport is the full -json document.
@@ -59,6 +70,8 @@ type BenchReport struct {
 	// E14: end-to-end churn on a live router (events/sec, install and
 	// delivery latency).
 	E14 *BenchE14 `json:"e14_churn,omitempty"`
+	// E16: session-relay fail-over and reliable repair on real sockets.
+	E16 *BenchE16 `json:"e16_relay,omitempty"`
 }
 
 // BenchE4 summarizes RunE4Maintenance for the JSON report.
@@ -90,6 +103,19 @@ type BenchE14 struct {
 	ChunkPublishP99Ns float64 `json:"chunk_publish_p99_ns"`
 	Rebuilds          uint64  `json:"dir_rebuilds"`
 	Error             string  `json:"error,omitempty"`
+}
+
+// BenchE16 summarizes the session-relay measurements for the JSON report.
+type BenchE16 struct {
+	Beacon             string  `json:"beacon"`
+	Watchdog           string  `json:"watchdog"`
+	HotGapFlushWindows float64 `json:"hot_gap_flush_windows"`
+	ColdGapFlushWin    float64 `json:"cold_gap_flush_windows"`
+	RepairDatagrams    int     `json:"repair_datagrams"`
+	RepairDropped      uint64  `json:"repair_dropped"`
+	RepairRetx         uint64  `json:"repair_retransmitted"`
+	RepairRounds       int     `json:"repair_rounds"`
+	Error              string  `json:"error,omitempty"`
 }
 
 func toResult(name string, gos int, r testing.BenchmarkResult) BenchResult {
@@ -295,6 +321,38 @@ func benchChurn(routes int) BenchResult {
 	return out
 }
 
+// benchRelayFailover runs one E16 fail-over measurement and folds it into
+// the benchmark schema: NsPerOp is the mean participant outage.
+func benchRelayFailover(mode relaynet.StandbyMode) (BenchResult, error) {
+	res, err := RunE16Failover(FailoverOptions{Mode: mode})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return BenchResult{
+		Name:            "relay/failover",
+		Iterations:      res.Participants,
+		NsPerOp:         float64(res.Gap.Nanoseconds()),
+		Mode:            mode.String(),
+		GapFlushWindows: res.GapFlushWindows,
+	}, nil
+}
+
+// benchRelayRepair runs the E16 reliable-repair measurement: Iterations is
+// the datagram count, NsPerOp unused (convergence is round-counted).
+func benchRelayRepair() (BenchResult, error) {
+	res, err := RunE16Reliable(RepairOptions{})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return BenchResult{
+		Name:          "relay/repair",
+		Iterations:    res.Datagrams,
+		Dropped:       res.Dropped,
+		Retransmitted: res.Retransmitted,
+		RepairRounds:  res.Rounds,
+	}, nil
+}
+
 // BenchJSON runs the benchmark suite and returns the report. quick skips the
 // E4 loopback measurement (the slowest piece).
 func BenchJSON(quick bool) *BenchReport {
@@ -329,6 +387,38 @@ func BenchJSON(quick bool) *BenchReport {
 	for _, routes := range churnSizes {
 		rep.Benchmarks = append(rep.Benchmarks, benchChurn(routes))
 	}
+
+	// relay/failover and relay/repair run in quick mode too (CI's bench
+	// smoke asserts the failover series exists, like dataplane/pps).
+	e16 := &BenchE16{}
+	for _, mode := range []relaynet.StandbyMode{relaynet.Hot, relaynet.Cold} {
+		res, err := benchRelayFailover(mode)
+		if err != nil {
+			e16.Error = err.Error()
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		if mode == relaynet.Hot {
+			e16.HotGapFlushWindows = res.GapFlushWindows
+		} else {
+			e16.ColdGapFlushWin = res.GapFlushWindows
+		}
+	}
+	fo := FailoverOptions{}.withDefaults()
+	e16.Beacon = fo.Beacon.String()
+	e16.Watchdog = fo.Watchdog.String()
+	if res, err := benchRelayRepair(); err != nil {
+		if e16.Error == "" {
+			e16.Error = err.Error()
+		}
+	} else {
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		e16.RepairDatagrams = res.Iterations
+		e16.RepairDropped = res.Dropped
+		e16.RepairRetx = res.Retransmitted
+		e16.RepairRounds = res.RepairRounds
+	}
+	rep.E16 = e16
 
 	if !quick {
 		e4 := &BenchE4{Neighbors: 8}

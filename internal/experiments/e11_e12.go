@@ -115,5 +115,8 @@ func AllTables(includeHeavy bool) []*Table {
 		ts = append(ts, E14Churn())
 	}
 	ts = append(ts, E15Scaling())
+	if includeHeavy {
+		ts = append(ts, E16Failover())
+	}
 	return ts
 }

@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/dataplane"
+	"repro/internal/realnet"
+	"repro/internal/reliable"
+	"repro/internal/relaynet"
+)
+
+// E16: the Section 4 session-relay tier measured on real sockets — the
+// production counterpart of E10's netsim relay study. Two questions:
+//
+//  1. Fail-over gap (Section 4.2): a primary relay dies mid-session; how
+//     long until participants receive from the promoted standby? The gap
+//     is FirstBackupData − LastPrimaryData per participant, reported in
+//     flush windows (beacon intervals) — the tier's native time unit —
+//     for hot vs cold participant standby.
+//  2. Repair under loss (Section 2.2.1): the NACK-count reliable transport
+//     over the real ECMP counting path, with a deterministic loss proxy on
+//     the router→receiver hop. How many repair rounds until every datagram
+//     is delivered in order?
+
+// FailoverOptions tunes RunE16Failover. Zero values pick a quick loopback
+// configuration.
+type FailoverOptions struct {
+	// Mode is the participants' standby flavour (Hot or Cold).
+	Mode relaynet.StandbyMode
+	// Participants is the session size. Default 3.
+	Participants int
+	// Beacon is the relay liveness interval — the flush window. Default 20ms.
+	Beacon time.Duration
+	// Watchdog is the silence budget for both the standby relay and the
+	// participants. Default 5×Beacon.
+	Watchdog time.Duration
+}
+
+func (o FailoverOptions) withDefaults() FailoverOptions {
+	if o.Participants <= 0 {
+		o.Participants = 3
+	}
+	if o.Beacon <= 0 {
+		o.Beacon = 20 * time.Millisecond
+	}
+	if o.Watchdog <= 0 {
+		o.Watchdog = 5 * o.Beacon
+	}
+	return o
+}
+
+// FailoverResult is one fail-over measurement.
+type FailoverResult struct {
+	Mode         relaynet.StandbyMode
+	Participants int
+	Beacon       time.Duration
+	Watchdog     time.Duration
+
+	// Gap is the mean per-participant outage FirstBackupData −
+	// LastPrimaryData; GapFlushWindows is the same in beacon intervals.
+	Gap             time.Duration
+	GapFlushWindows float64
+	// Promotions is the standby relay's promotion count (1 on success).
+	Promotions uint64
+	// Received is total content packets delivered across participants,
+	// before and after fail-over.
+	Received uint64
+}
+
+func waitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// RunE16Failover stands up a router, a primary relay, a standby relay, and
+// opts.Participants session members, streams content, kills the primary,
+// and measures the outage until the promoted standby's channel delivers.
+func RunE16Failover(opts FailoverOptions) (FailoverResult, error) {
+	opts = opts.withDefaults()
+	res := FailoverResult{
+		Mode:         opts.Mode,
+		Participants: opts.Participants,
+		Beacon:       opts.Beacon,
+		Watchdog:     opts.Watchdog,
+	}
+
+	router, err := realnet.NewRouterOpts("127.0.0.1:0", realnet.Options{
+		DataListen:    "127.0.0.1:0",
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer router.Close()
+
+	chPrimary := addr.Channel{S: addr.MustParse("171.64.16.1"), E: addr.ExpressAddr(0x161)}
+	chBackup := addr.Channel{S: addr.MustParse("171.64.16.2"), E: addr.ExpressAddr(0x162)}
+
+	pri, err := relaynet.New(relaynet.Options{
+		Router:     router.Addr(),
+		DataTarget: router.DataAddr(),
+		Channel:    chPrimary,
+		Beacon:     opts.Beacon,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer pri.Close()
+	bak, err := relaynet.New(relaynet.Options{
+		Router:     router.Addr(),
+		DataTarget: router.DataAddr(),
+		Channel:    chBackup,
+		Beacon:     opts.Beacon,
+		Standby:    &relaynet.StandbyOptions{PrimaryChannel: chPrimary, Watchdog: opts.Watchdog},
+	})
+	if err != nil {
+		return res, err
+	}
+	defer bak.Close()
+
+	parts := make([]*relaynet.Participant, 0, opts.Participants)
+	defer func() {
+		for _, p := range parts {
+			p.Close()
+		}
+	}()
+	for i := 0; i < opts.Participants; i++ {
+		p, err := relaynet.Join(relaynet.ParticipantOptions{
+			Router:  router.Addr(),
+			Channel: chPrimary,
+			Standby: &relaynet.ParticipantStandby{
+				Mode:          opts.Mode,
+				BackupChannel: chBackup,
+				Control:       bak.ControlAddr(),
+				Watchdog:      opts.Watchdog,
+			},
+		})
+		if err != nil {
+			return res, err
+		}
+		parts = append(parts, p)
+		if err := p.WaitJoined(5 * time.Second); err != nil {
+			return res, err
+		}
+	}
+
+	// Stream lecturer content through the primary so the gap measures a
+	// live session, not an idle one.
+	for i := 0; i < 5; i++ {
+		pri.Send([]byte(fmt.Sprintf("pre-%d", i)))
+		time.Sleep(opts.Beacon / 2)
+	}
+
+	pri.Close() // the failure: source, session, and beacons all stop
+
+	if !waitUntil(10*time.Second, bak.Active) {
+		return res, fmt.Errorf("standby never promoted")
+	}
+	if !waitUntil(10*time.Second, func() bool {
+		for _, p := range parts {
+			if !p.FailedOver() {
+				return false
+			}
+		}
+		return true
+	}) {
+		return res, fmt.Errorf("participants never failed over")
+	}
+	// The promoted standby's beacons stamp FirstBackupData; content proves
+	// the session is fully live again.
+	bak.Send([]byte("post-failover"))
+	if !waitUntil(10*time.Second, func() bool {
+		for _, p := range parts {
+			if p.Stats().FirstBackupData.IsZero() {
+				return false
+			}
+		}
+		return true
+	}) {
+		return res, fmt.Errorf("backup channel never delivered")
+	}
+
+	var totalGap time.Duration
+	for _, p := range parts {
+		st := p.Stats()
+		totalGap += st.FirstBackupData.Sub(st.LastPrimaryData)
+		res.Received += st.Received
+	}
+	res.Gap = totalGap / time.Duration(len(parts))
+	res.GapFlushWindows = float64(res.Gap) / float64(opts.Beacon)
+	res.Promotions = bak.Stats().Promotions
+	return res, nil
+}
+
+// RepairOptions tunes RunE16Reliable.
+type RepairOptions struct {
+	// Datagrams is the burst size. Default 40.
+	Datagrams int
+	// DropEvery drops every Nth datagram on the router→receiver hop.
+	// Default 4.
+	DropEvery int
+}
+
+func (o RepairOptions) withDefaults() RepairOptions {
+	if o.Datagrams <= 0 {
+		o.Datagrams = 40
+	}
+	if o.DropEvery <= 0 {
+		o.DropEvery = 4
+	}
+	return o
+}
+
+// RepairResult is one reliable-repair measurement.
+type RepairResult struct {
+	Datagrams int
+	DropEvery int
+
+	Dropped       uint64 // datagrams the loss proxy discarded
+	Retransmitted uint64
+	Probes        uint64
+	Rounds        int // repair rounds until the window drained
+	NACKsSent     uint64
+	Delivered     uint64 // in-order deliveries at the receiver
+}
+
+// RunE16Reliable drives the real-socket NACK-count transport through a
+// deterministic loss proxy until repair converges.
+func RunE16Reliable(opts RepairOptions) (RepairResult, error) {
+	opts = opts.withDefaults()
+	res := RepairResult{Datagrams: opts.Datagrams, DropEvery: opts.DropEvery}
+
+	router, err := realnet.NewRouterOpts("127.0.0.1:0", realnet.Options{
+		DataListen:    "127.0.0.1:0",
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer router.Close()
+	ch := addr.Channel{S: addr.MustParse("171.64.16.3"), E: addr.ExpressAddr(0x163)}
+
+	recv, err := dataplane.NewReceiver()
+	if err != nil {
+		return res, err
+	}
+	proxy, err := relaynet.NewLossProxy(recv.Addr(), opts.DropEvery)
+	if err != nil {
+		recv.Close()
+		return res, err
+	}
+	defer proxy.Close()
+	rsess, err := realnet.DialSession(router.Addr(), realnet.SessionOptions{DataPort: proxy.Port()})
+	if err != nil {
+		recv.Close()
+		return res, err
+	}
+	defer rsess.Close()
+	rr := reliable.NewRealReceiver(recv, rsess, ch, nil)
+	defer rr.Close()
+
+	if !waitUntil(10*time.Second, func() bool {
+		_, ok := router.DataPlane().Route(ch)
+		return ok
+	}) {
+		return res, fmt.Errorf("subscription never programmed the data plane")
+	}
+
+	src, err := dataplane.NewSource(router.DataAddr(), ch, dataplane.SourceOptions{})
+	if err != nil {
+		return res, err
+	}
+	defer src.Close()
+	ssess, err := realnet.DialSession(router.Addr(), realnet.SessionOptions{})
+	if err != nil {
+		return res, err
+	}
+	defer ssess.Close()
+	s := reliable.NewRealSender(src, ssess)
+
+	for i := 0; i < opts.Datagrams; i++ {
+		if _, err := s.Send([]byte(fmt.Sprintf("d-%d", i))); err != nil {
+			return res, err
+		}
+	}
+	for ; res.Rounds < 3*opts.Datagrams && s.Outstanding() > 0; res.Rounds++ {
+		if _, err := s.RepairRound(30*time.Millisecond, 2*time.Second); err != nil {
+			return res, err
+		}
+	}
+	if out := s.Outstanding(); out != 0 {
+		return res, fmt.Errorf("%d sequences unrepaired after %d rounds", out, res.Rounds)
+	}
+	if !waitUntil(10*time.Second, func() bool {
+		return rr.Stats().Delivered >= uint64(opts.Datagrams)
+	}) {
+		return res, fmt.Errorf("repaired datagrams never all delivered")
+	}
+
+	res.Dropped = proxy.Dropped()
+	res.Retransmitted = s.Metrics.Retransmitted
+	res.Probes = s.Metrics.Probes
+	st := rr.Stats()
+	res.NACKsSent = st.NACKsSent
+	res.Delivered = st.Delivered
+	return res, nil
+}
+
+// E16Failover renders the session-relay measurements as a paperbench table:
+// hot vs cold fail-over gap in flush windows, plus reliable repair under
+// deterministic loss.
+func E16Failover() *Table {
+	t := &Table{
+		ID:    "E16",
+		Title: "§4: session-relay fail-over and reliable repair on the real data plane",
+		Header: []string{"scenario", "beacon", "watchdog", "gap", "gap (flush windows)",
+			"promotions", "received"},
+	}
+	for _, mode := range []relaynet.StandbyMode{relaynet.Hot, relaynet.Cold} {
+		res, err := RunE16Failover(FailoverOptions{Mode: mode})
+		if err != nil {
+			t.Note("failover %v failed: %v", mode, err)
+			continue
+		}
+		t.AddRow("failover/"+mode.String(),
+			res.Beacon.String(), res.Watchdog.String(),
+			res.Gap.Round(time.Millisecond).String(), f2(res.GapFlushWindows),
+			itoa(int(res.Promotions)), itoa(int(res.Received)))
+	}
+	rep, err := RunE16Reliable(RepairOptions{})
+	if err != nil {
+		t.Note("repair failed: %v", err)
+	} else {
+		t.AddRow(fmt.Sprintf("repair/drop-every-%d", rep.DropEvery), "-", "-", "-", "-", "-",
+			itoa(int(rep.Delivered)))
+		t.Note("repair: %d datagrams, %d dropped by the proxy, %d retransmitted over %d rounds "+
+			"(%d probes, %d NACK counts raised); all delivered in order",
+			rep.Datagrams, rep.Dropped, rep.Retransmitted, rep.Rounds, rep.Probes, rep.NACKsSent)
+	}
+	t.Note("gap = FirstBackupData − LastPrimaryData per participant, averaged; the standby's " +
+		"watchdog spends up to one watchdog of silence before promoting, so the floor is " +
+		"watchdog/beacon flush windows; hot and cold differ in when the backup subscription " +
+		"is built, not in the promotion path")
+	return t
+}

@@ -55,13 +55,33 @@ func (c *Client) Unsubscribe(ch addr.Channel) error { return c.sendCount(ch, 0) 
 func (c *Client) SendCount(ch addr.Channel, v uint32) error { return c.sendCount(ch, v) }
 
 func (c *Client) sendCount(ch addr.Channel, v uint32) error {
-	m := wire.Count{Channel: ch, CountID: wire.CountSubscribers, Value: v}
+	return c.sendCountID(ch, wire.CountSubscribers, v)
+}
+
+// SendAppCount pushes an application-defined count (wire.AppCountBase
+// range) for ch — Section 6's proactive counting, and the vehicle of the
+// Section 2.2.1 NACK-count reliable transport. Zero clears the slot.
+func (c *Client) SendAppCount(ch addr.Channel, id wire.CountID, v uint32) error {
+	return c.sendCountID(ch, id, v)
+}
+
+func (c *Client) sendCountID(ch addr.Channel, id wire.CountID, v uint32) error {
+	m := wire.Count{Channel: ch, CountID: id, Value: v}
 	c.buf = m.AppendTo(c.buf[:0])
 	if _, err := c.w.Write(c.buf); err != nil {
 		return err
 	}
 	c.sent++
 	return nil
+}
+
+// sendQuery writes an ECMP CountQuery on the stream. The router answers
+// with a Count carrying the echoed Seq; the Session's reader goroutine
+// routes it back to the waiting Query call.
+func (c *Client) sendQuery(q *wire.CountQuery) error {
+	c.buf = q.AppendTo(c.buf[:0])
+	_, err := c.w.Write(c.buf)
+	return err
 }
 
 // sendHello opens a session on the connection; it must precede any Count.

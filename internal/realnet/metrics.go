@@ -55,6 +55,14 @@ func (r *Router) registerMetrics() {
 	reg.NewCounterFunc("router_neighbor_failures_total", "downstream connections whose counts were withdrawn", r.failures.Load)
 	reg.NewCounterFunc("router_withdrawn_counts_total", "per-channel contributions withdrawn on failure", r.withdrawn.Load)
 	reg.NewCounterFunc("router_session_resyncs_total", "session reconnects accepted (Hello with a newer epoch)", r.resyncs.Load)
+	reg.NewCounterFunc("router_app_counts_total", "application-defined Counts applied", r.appEvents.Load)
+	reg.NewCounterFunc("router_queries_total", "CountQuery messages received", r.queries.Load)
+	reg.NewCounterFunc("router_query_replies_total", "solicited Counts enqueued back downstream", r.queryReplies.Load)
+	reg.NewGaugeFunc("router_relays", "session relays registered for channels", func() float64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return float64(len(r.relays))
+	})
 	reg.NewGaugeFunc("router_channels", "channels currently holding state", func() float64 {
 		return float64(r.table.numChannels())
 	})

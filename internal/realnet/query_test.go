@@ -1,0 +1,133 @@
+package realnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/wire"
+)
+
+// TestSessionQueryRoundTrip exercises the sender-side counting primitive:
+// a receiver session subscribes and pushes an application count, a sender
+// session queries the router for both and gets the aggregates back on the
+// answering Counts.
+func TestSessionQueryRoundTrip(t *testing.T) {
+	r, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ch := addr.Channel{S: addr.MustParse("10.1.0.1"), E: addr.ExpressAddr(7)}
+	nack := wire.AppCountBase + 12
+
+	recv, err := DialSession(r.Addr(), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	recv.Subscribe(ch)
+	recv.SendCount(ch, 3) // downstream-router style aggregate
+	recv.Flush()
+	waitFor(t, 2*time.Second, func() bool { return r.SubscriberCount(ch) == 3 })
+
+	// Proactive app-count push on the same session (a NACK slot).
+	if err := recv.SendAppCount(ch, nack, 1); err != nil {
+		t.Fatal(err)
+	}
+	recv.Flush()
+	waitFor(t, 2*time.Second, func() bool { return r.AppCount(ch, nack) == 1 })
+
+	sender, err := DialSession(r.Addr(), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	if v, err := sender.Query(ch, wire.CountSubscribers, time.Second); err != nil || v != 3 {
+		t.Errorf("Query(subscribers) = (%d, %v), want (3, nil)", v, err)
+	}
+	if v, err := sender.Query(ch, nack, time.Second); err != nil || v != 1 {
+		t.Errorf("Query(nack) = (%d, %v), want (1, nil)", v, err)
+	}
+	// An id nobody answers times out instead of erroring the session.
+	if _, err := sender.Query(ch, wire.CountLinks, 50*time.Millisecond); err != ErrQueryTimeout {
+		t.Errorf("Query(unanswerable) err = %v, want ErrQueryTimeout", err)
+	}
+
+	// Clearing the app count removes it from the aggregate.
+	recv.SendAppCount(ch, nack, 0)
+	recv.Flush()
+	waitFor(t, 2*time.Second, func() bool { return r.AppCount(ch, nack) == 0 })
+}
+
+// TestAppCountWithdrawnWithNeighbor verifies that application counts are
+// swept by the same Section 3.2 withdrawal as subscriber counts when the
+// contributing connection dies.
+func TestAppCountWithdrawnWithNeighbor(t *testing.T) {
+	r, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ch := addr.Channel{S: addr.MustParse("10.1.0.2"), E: addr.ExpressAddr(9)}
+	nack := wire.AppCountBase + 1
+
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Subscribe(ch)
+	c.SendCount(ch, 1)
+	if err := c.SendAppCount(ch, nack, 2); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	waitFor(t, 2*time.Second, func() bool { return r.AppCount(ch, nack) == 2 })
+
+	c.Close()
+	waitFor(t, 2*time.Second, func() bool { return r.AppCount(ch, nack) == 0 })
+	if got := r.SubscriberCount(ch); got != 0 {
+		t.Errorf("subscriber count after withdrawal = %d, want 0", got)
+	}
+}
+
+// TestRelayRegistry verifies Hello v3 relay advertisement: registration on
+// bind, discovery via CountRelayAddr4/CountRelayPort queries, and removal
+// when the advertising session dies.
+func TestRelayRegistry(t *testing.T) {
+	r, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ch := addr.Channel{S: addr.MustParse("10.1.0.3"), E: addr.ExpressAddr(11)}
+
+	relay, err := DialSession(r.Addr(), SessionOptions{RelayPort: 4950, RelayChannel: ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { _, ok := r.RelayFor(ch); return ok })
+	ap, _ := r.RelayFor(ch)
+	if ap.Port() != 4950 || !ap.Addr().IsLoopback() {
+		t.Errorf("RelayFor = %v, want loopback:4950", ap)
+	}
+
+	// Wire-level discovery from another session.
+	part, err := DialSession(r.Addr(), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer part.Close()
+	if v, err := part.Query(ch, wire.CountRelayPort, time.Second); err != nil || v != 4950 {
+		t.Errorf("Query(relay port) = (%d, %v), want (4950, nil)", v, err)
+	}
+	if v, err := part.Query(ch, wire.CountRelayAddr4, time.Second); err != nil || v != 0x7f000001 {
+		t.Errorf("Query(relay addr) = (%#x, %v), want (0x7f000001, nil)", v, err)
+	}
+
+	relay.Close()
+	waitFor(t, 2*time.Second, func() bool { _, ok := r.RelayFor(ch); return !ok })
+	if v, err := part.Query(ch, wire.CountRelayPort, time.Second); err != nil || v != 0 {
+		t.Errorf("Query(relay port after withdrawal) = (%d, %v), want (0, nil)", v, err)
+	}
+}

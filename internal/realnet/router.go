@@ -23,6 +23,7 @@ package realnet
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
@@ -171,11 +172,16 @@ type Router struct {
 	mu       sync.Mutex
 	conns    []*neighbor
 	sessions map[uint64]*sessionRecord
+	relays   map[addr.Channel]relayReg
 	closed   bool
 
 	failures  atomic.Uint64 // neighbor connections retired with live counts
 	withdrawn atomic.Uint64 // per-channel contributions withdrawn
 	resyncs   atomic.Uint64 // accepted session rebinds
+
+	appEvents    atomic.Uint64 // application-defined Counts applied
+	queries      atomic.Uint64 // CountQuery messages received
+	queryReplies atomic.Uint64 // solicited Counts enqueued back downstream
 
 	// rpfSink absorbs the simulated RPF calculation so the compiler cannot
 	// elide it.
@@ -196,11 +202,54 @@ type sessionRecord struct {
 // chanState is the per-channel management record (Section 5.2's budget).
 type chanState struct {
 	downCounts map[int]uint32 // per-neighbor (interface) subscriber counts
-	oifs       uint32         // FIB outgoing-interface image
-	advertised uint32         // last aggregate handed to the batcher
+	// appCounts holds per-neighbor values for application-defined count ids
+	// (wire.AppCountBase..AppCountLast) — the proactive counting state of
+	// Section 6 that the NACK-based reliable transport (Section 2.2.1)
+	// queries. Lazily allocated; withdrawn with the neighbor like
+	// downCounts.
+	appCounts  map[wire.CountID]map[int]uint32
+	oifs       uint32 // FIB outgoing-interface image
+	advertised uint32 // last aggregate handed to the batcher
 	everAdv    bool
 	route      int // recorded unicast route (upstream neighbor id)
 }
+
+// empty reports whether the channel holds no state at all and can be
+// dropped from its shard. Callers hold the shard lock.
+func (cs *chanState) empty() bool {
+	return len(cs.downCounts) == 0 && len(cs.appCounts) == 0
+}
+
+// relayReg is one entry of the router's Section 4 relay registry: the
+// unicast control endpoint a neighbor's Hello advertised for a channel,
+// plus the connection that owns it (so the withdrawal sweep can find it).
+type relayReg struct {
+	ap    netip.AddrPort
+	owner *neighbor
+}
+
+// inboundMsgSize maps a message type byte to its fixed encoded size; false
+// rejects the type (protocol error, the connection is dropped).
+func inboundMsgSize(t uint8) (int, bool) {
+	switch t {
+	case wire.TypeCount:
+		return wire.CountSize, true
+	case wire.TypeCountAuth:
+		return wire.CountAuthSize, true
+	case wire.TypeCountQuery:
+		return wire.CountQuerySize, true
+	case wire.TypeCountResponse:
+		return wire.CountResponseSize, true
+	case wire.TypeHello:
+		return wire.HelloSize, true
+	}
+	return 0, false
+}
+
+// maxInboundMsg sizes per-connection read buffers: the largest fixed-size
+// message on the TCP stream.
+const maxInboundMsg = max(wire.CountSize, wire.CountAuthSize, wire.CountQuerySize,
+	wire.CountResponseSize, wire.HelloSize)
 
 // NewRouter listens on listenAddr ("127.0.0.1:0" for an ephemeral port).
 // If upstreamAddr is non-empty the router connects to its upstream neighbor
@@ -222,6 +271,7 @@ func NewRouterOpts(listenAddr string, opts Options) (*Router, error) {
 		table:    newTable(opts.Shards),
 		obs:      newRouterObs(),
 		sessions: make(map[uint64]*sessionRecord),
+		relays:   make(map[addr.Channel]relayReg),
 	}
 	if opts.DataListen != "" {
 		dp, err := dataplane.NewPlane(dataplane.Options{
@@ -491,24 +541,13 @@ func (r *Router) serveConn(n *neighbor) {
 		readerPool.Put(br)
 	}()
 	var hdr [1]byte
-	buf := make([]byte, wire.CountAuthSize)
+	buf := make([]byte, maxInboundMsg)
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
-		var need int
-		switch hdr[0] {
-		case wire.TypeCount:
-			need = wire.CountSize
-		case wire.TypeCountAuth:
-			need = wire.CountAuthSize
-		case wire.TypeCountQuery:
-			need = wire.CountQuerySize
-		case wire.TypeCountResponse:
-			need = wire.CountResponseSize
-		case wire.TypeHello:
-			need = wire.HelloSize
-		default:
+		need, ok := inboundMsgSize(hdr[0])
+		if !ok {
 			return // protocol error: drop the connection
 		}
 		buf[0] = hdr[0]
@@ -532,10 +571,96 @@ func (r *Router) serveConn(n *neighbor) {
 				return
 			}
 			r.processCount(n, &m)
+		case wire.TypeCountQuery:
+			var q wire.CountQuery
+			if _, err := q.DecodeFromBytes(buf[:need]); err != nil {
+				return
+			}
+			r.answerQuery(n, &q)
 		}
-		// Queries/responses are accepted for protocol completeness; the
-		// Section 5.3 experiment exercises the membership path.
+		// CountResponses are accepted for protocol completeness.
 	}
+}
+
+// answerQuery serves the ECMP query side of Section 2.2 over a neighbor
+// session: the answering Count echoes the query's Seq so the asking client
+// can correlate it, and rides the neighbor's bounded egress queue like any
+// other downstream traffic (a slow asker drops its own answers, never
+// stalls event processing). Unanswerable count ids get silence — the
+// paper's queries time out rather than error.
+func (r *Router) answerQuery(n *neighbor, q *wire.CountQuery) {
+	r.queries.Add(1)
+	if q.Seq == 0 {
+		return // nothing for the asker to correlate the answer with
+	}
+	var v uint32
+	switch {
+	case q.CountID == wire.CountSubscribers:
+		v = r.SubscriberCount(q.Channel)
+	case q.CountID >= wire.AppCountBase && q.CountID <= wire.AppCountLast:
+		v = r.AppCount(q.Channel, q.CountID)
+	case q.CountID == wire.CountRelayAddr4:
+		ap, ok := r.RelayFor(q.Channel)
+		if ok && ap.Addr().Is4() {
+			v = binary.BigEndian.Uint32(ap.Addr().AsSlice())
+		}
+	case q.CountID == wire.CountRelayPort:
+		if ap, ok := r.RelayFor(q.Channel); ok {
+			v = uint32(ap.Port())
+		}
+	default:
+		return
+	}
+	m := wire.Count{Channel: q.Channel, CountID: q.CountID, Seq: q.Seq, Value: v}
+	seg := getSeg()
+	*seg = m.AppendTo(*seg)
+	n.enqueue(seg)
+	r.queryReplies.Add(1)
+}
+
+// AppCount returns the aggregate value of an application-defined count for
+// ch across downstream neighbors (0 when nothing was pushed).
+func (r *Router) AppCount(ch addr.Channel, id wire.CountID) uint32 {
+	sh := r.table.shardFor(ch)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cs := sh.channels[ch]
+	if cs == nil {
+		return 0
+	}
+	var v uint32
+	for _, per := range cs.appCounts[id] {
+		v += per
+	}
+	return v
+}
+
+// RelayFor returns the registered Section 4 relay control endpoint for ch.
+func (r *Router) RelayFor(ch addr.Channel) (netip.AddrPort, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.relays[ch]
+	return e.ap, ok
+}
+
+// registerRelay records a Hello's relay advertisement: the advertised UDP
+// control port on the host the TCP connection came from. Last writer wins
+// per channel — a standby promoting itself re-advertises and takes over
+// the registration.
+func (r *Router) registerRelay(n *neighbor, h *wire.Hello) {
+	if h.RelayPort == 0 {
+		return
+	}
+	ta, ok := n.conn.RemoteAddr().(*net.TCPAddr)
+	if !ok {
+		return
+	}
+	ip := ta.AddrPort().Addr().Unmap()
+	r.mu.Lock()
+	if !r.closed {
+		r.relays[h.RelayChannel] = relayReg{ap: netip.AddrPortFrom(ip, h.RelayPort), owner: n}
+	}
+	r.mu.Unlock()
 }
 
 // bindSession processes a Hello. First contact registers the session; a
@@ -559,6 +684,7 @@ func (r *Router) bindSession(n *neighbor, h *wire.Hello) bool {
 		r.sessions[h.SessionID] = &sessionRecord{epoch: h.Epoch, n: n}
 		r.mu.Unlock()
 		r.registerDataPort(n, h.DataPort)
+		r.registerRelay(n, h)
 		return true
 	}
 	if h.Epoch <= rec.epoch || rec.n == n {
@@ -578,9 +704,11 @@ func (r *Router) bindSession(n *neighbor, h *wire.Hello) bool {
 	old.superseded.Store(true)
 	old.conn.Close()
 	r.retire(old)
-	// The withdrawal above cleared the id's data port; re-register from the
-	// fresh Hello before this read loop applies the replayed counts.
+	// The withdrawal above cleared the id's data port and relay entry;
+	// re-register from the fresh Hello before this read loop applies the
+	// replayed counts.
 	r.registerDataPort(n, h.DataPort)
+	r.registerRelay(n, h)
 	r.resyncs.Add(1)
 	return true
 }
@@ -605,31 +733,52 @@ func (r *Router) withdrawNeighbor(n *neighbor) {
 	for _, sh := range r.table.shards {
 		sh.mu.Lock()
 		for ch, cs := range sh.channels {
-			if _, ok := cs.downCounts[n.id]; !ok {
-				continue
+			had := false
+			if _, ok := cs.downCounts[n.id]; ok {
+				had = true
+				delete(cs.downCounts, n.id)
+				oldOIFs := cs.oifs
+				cs.clearOIF(n.id)
+				if r.dp != nil && cs.oifs != oldOIFs {
+					r.dp.SetRoute(ch, cs.oifs)
+				}
+				total := cs.total()
+				if r.batcher != nil && (!cs.everAdv || cs.advertised != total) {
+					cs.advertised = total
+					cs.everAdv = true
+					r.batcher.markLocked(sh, ch, total)
+				}
 			}
-			delete(cs.downCounts, n.id)
-			oldOIFs := cs.oifs
-			cs.clearOIF(n.id)
-			if r.dp != nil && cs.oifs != oldOIFs {
-				r.dp.SetRoute(ch, cs.oifs)
+			// Application-defined counts (NACK state and the like) withdraw
+			// with the neighbor exactly like subscriber counts do.
+			for id, per := range cs.appCounts {
+				if _, ok := per[n.id]; ok {
+					had = true
+					delete(per, n.id)
+					if len(per) == 0 {
+						delete(cs.appCounts, id)
+					}
+				}
 			}
-			total := cs.total()
-			if r.batcher != nil && (!cs.everAdv || cs.advertised != total) {
-				cs.advertised = total
-				cs.everAdv = true
-				r.batcher.markLocked(sh, ch, total)
-			}
-			if total == 0 {
+			if cs.empty() {
 				delete(sh.channels, ch)
 			}
-			withdrawn++
+			if had {
+				withdrawn++
+			}
 		}
 		sh.mu.Unlock()
 	}
 	if r.dp != nil {
 		r.dp.ClearPort(n.id)
 	}
+	r.mu.Lock()
+	for ch, e := range r.relays {
+		if e.owner == n {
+			delete(r.relays, ch)
+		}
+	}
+	r.mu.Unlock()
 	if withdrawn > 0 {
 		r.withdrawn.Add(withdrawn)
 		r.failures.Add(1)
@@ -640,8 +789,15 @@ func (r *Router) withdrawNeighbor(n *neighbor) {
 // locked, so events from different neighbors proceed in parallel whenever
 // they touch different shards.
 func (r *Router) processCount(n *neighbor, m *wire.Count) {
-	if m.CountID != wire.CountSubscribers || m.Seq != 0 {
+	if m.Seq != 0 {
+		return // solicited answers route to query clients, not into routers
+	}
+	if m.CountID >= wire.AppCountBase && m.CountID <= wire.AppCountLast {
+		r.processAppCount(n, m)
 		return
+	}
+	if m.CountID != wire.CountSubscribers {
+		return // keepalives and net-layer counts only prove liveness
 	}
 	// Simulated RPF neighbor calculation (~400 cycles), as in the paper's
 	// measurement ("Our implementation simulated an RPF neighbor
@@ -697,7 +853,7 @@ func (r *Router) processCount(n *neighbor, m *wire.Count) {
 		cs.everAdv = true
 		r.batcher.markLocked(sh, m.Channel, total)
 	}
-	if total == 0 {
+	if cs.empty() {
 		delete(sh.channels, m.Channel)
 	}
 	sh.mu.Unlock()
@@ -708,6 +864,51 @@ func (r *Router) processCount(n *neighbor, m *wire.Count) {
 		sh.subscribes.Add(1)
 	}
 	sh.events.Add(1)
+}
+
+// processAppCount applies an application-defined count push (Section 6's
+// proactive counting): the neighbor's latest value for (channel, id) is
+// recorded per interface, zero removes it, and AppCount/answerQuery
+// aggregate across interfaces on demand. App counts share the channel's
+// shard entry and the neighbor-withdrawal sweep, but never touch the FIB
+// or the upstream subscriber aggregate.
+func (r *Router) processAppCount(n *neighbor, m *wire.Count) {
+	sh := r.table.shardFor(m.Channel)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n.superseded.Load() {
+		return
+	}
+	cs := sh.channels[m.Channel]
+	if cs == nil {
+		if m.Value == 0 {
+			return
+		}
+		cs = &chanState{downCounts: make(map[int]uint32), route: -1}
+		sh.channels[m.Channel] = cs
+	}
+	if m.Value == 0 {
+		if per := cs.appCounts[m.CountID]; per != nil {
+			delete(per, n.id)
+			if len(per) == 0 {
+				delete(cs.appCounts, m.CountID)
+			}
+		}
+		if cs.empty() {
+			delete(sh.channels, m.Channel)
+		}
+	} else {
+		if cs.appCounts == nil {
+			cs.appCounts = make(map[wire.CountID]map[int]uint32)
+		}
+		per := cs.appCounts[m.CountID]
+		if per == nil {
+			per = make(map[int]uint32)
+			cs.appCounts[m.CountID] = per
+		}
+		per[n.id] = m.Value
+	}
+	r.appEvents.Add(1)
 }
 
 // simulateRPF burns approximately 400 cycles of integer work, standing in

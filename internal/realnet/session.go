@@ -1,6 +1,9 @@
 package realnet
 
 import (
+	"bufio"
+	"errors"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -23,6 +26,14 @@ type SessionOptions struct {
 	// typically. Reconnects re-advertise it, so the registration survives
 	// session flaps the same way the counts do.
 	DataPort uint16
+	// RelayPort and RelayChannel, when RelayPort is non-zero, advertise a
+	// Section 4 session relay running on this host: the router records
+	// (RelayChannel → this host, RelayPort) in its relay registry and
+	// answers CountRelayAddr4/CountRelayPort discovery queries from it.
+	// Like DataPort, the advertisement rides every Hello, so reconnects
+	// re-register the relay and a session failure withdraws it.
+	RelayPort    uint16
+	RelayChannel addr.Channel
 	// KeepaliveInterval is how often the session proves liveness and
 	// flushes buffered events. Default 500ms; negative disables (then only
 	// explicit Flush calls and full buffers touch the socket).
@@ -77,11 +88,22 @@ type Session struct {
 	mu    sync.Mutex
 	c     *Client // nil while disconnected
 	state map[addr.Channel]uint32
-	epoch uint64
-	down  chan struct{} // 1-buffered signal to the monitor
+	// appState is the desired application-defined count image, replayed on
+	// resync exactly like the subscriber counts: what the router must hold
+	// for this session once the link is connected and drained.
+	appState map[appCountKey]uint32
+	epoch    uint64
+	down     chan struct{} // 1-buffered signal to the monitor
 
 	closed     atomic.Bool
 	reconnects atomic.Uint64
+
+	// Query plumbing: outstanding queries wait on 1-buffered channels keyed
+	// by the CountQuery.Seq they sent; each connection's reader goroutine
+	// routes solicited Counts (Seq != 0) back by that key.
+	qmu     sync.Mutex
+	pending map[uint16]chan uint32
+	qseq    atomic.Uint32
 
 	rng  *rand.Rand // monitor goroutine only
 	quit chan struct{}
@@ -94,13 +116,15 @@ type Session struct {
 func DialSession(routerAddr string, opts SessionOptions) (*Session, error) {
 	opts = opts.withDefaults()
 	s := &Session{
-		target: routerAddr,
-		opts:   opts,
-		state:  make(map[addr.Channel]uint32),
-		down:   make(chan struct{}, 1),
-		rng:    rand.New(rand.NewSource(int64(opts.SessionID) ^ time.Now().UnixNano())),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
+		target:   routerAddr,
+		opts:     opts,
+		state:    make(map[addr.Channel]uint32),
+		appState: make(map[appCountKey]uint32),
+		pending:  make(map[uint16]chan uint32),
+		down:     make(chan struct{}, 1),
+		rng:      rand.New(rand.NewSource(int64(opts.SessionID) ^ time.Now().UnixNano())),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	conn, err := opts.Dial(routerAddr)
 	if err != nil {
@@ -135,6 +159,36 @@ func (s *Session) SendCount(ch addr.Channel, v uint32) error {
 	}
 	if s.c != nil {
 		if err := s.c.sendCount(ch, v); err != nil {
+			s.markDownLocked()
+		}
+	}
+	return nil
+}
+
+// appCountKey identifies one application-defined count slot of the session.
+type appCountKey struct {
+	ch addr.Channel
+	id wire.CountID
+}
+
+// SendAppCount sets the desired application-defined count (wire.AppCountBase
+// range) for (ch, id); zero clears it. Like SendCount, the value is sent on
+// the live connection when there is one and replayed after the next
+// reconnect otherwise.
+func (s *Session) SendAppCount(ch addr.Channel, id wire.CountID, v uint32) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := appCountKey{ch: ch, id: id}
+	if v == 0 {
+		delete(s.appState, k)
+	} else {
+		s.appState[k] = v
+	}
+	if s.c != nil {
+		if err := s.c.SendAppCount(ch, id, v); err != nil {
 			s.markDownLocked()
 		}
 	}
@@ -274,7 +328,13 @@ func (s *Session) resync(conn net.Conn) bool {
 		return true // stop the reconnect loop; Close won the race
 	}
 	c := newClient(deadlineConn{Conn: conn, d: s.opts.WriteDeadline})
-	h := wire.Hello{SessionID: s.opts.SessionID, Epoch: s.epoch + 1, DataPort: s.opts.DataPort}
+	h := wire.Hello{
+		SessionID:    s.opts.SessionID,
+		Epoch:        s.epoch + 1,
+		DataPort:     s.opts.DataPort,
+		RelayPort:    s.opts.RelayPort,
+		RelayChannel: s.opts.RelayChannel,
+	}
 	if err := c.sendHello(&h); err != nil {
 		conn.Close()
 		return false
@@ -285,13 +345,127 @@ func (s *Session) resync(conn net.Conn) bool {
 			return false
 		}
 	}
+	for k, v := range s.appState {
+		if err := c.SendAppCount(k.ch, k.id, v); err != nil {
+			conn.Close()
+			return false
+		}
+	}
 	if err := c.Flush(); err != nil {
 		conn.Close()
 		return false
 	}
 	s.epoch++
 	s.c = c
+	go s.readLoop(c)
 	return true
+}
+
+// readLoop drains router→client messages from one connection: solicited
+// Counts (Seq != 0) answer outstanding queries; everything else is consumed
+// so the socket never backs up. When the read side dies while the
+// connection is still current, the link is marked down — a half-open
+// connection is detected by its silence, not only by a failed write.
+func (s *Session) readLoop(c *Client) {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(c.conn)
+	defer func() {
+		br.Reset(nil)
+		readerPool.Put(br)
+	}()
+	var hdr [1]byte
+	buf := make([]byte, maxInboundMsg)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			break
+		}
+		need, ok := inboundMsgSize(hdr[0])
+		if !ok {
+			break // protocol error: drop the connection
+		}
+		buf[0] = hdr[0]
+		if _, err := io.ReadFull(br, buf[1:need]); err != nil {
+			break
+		}
+		if hdr[0] != wire.TypeCount && hdr[0] != wire.TypeCountAuth {
+			continue
+		}
+		var m wire.Count
+		if _, err := m.DecodeFromBytes(buf[:need]); err != nil {
+			break
+		}
+		if m.Seq == 0 {
+			continue // unsolicited; only query answers route anywhere
+		}
+		s.qmu.Lock()
+		if ch, ok := s.pending[m.Seq]; ok {
+			delete(s.pending, m.Seq)
+			ch <- m.Value // 1-buffered, never blocks
+		}
+		s.qmu.Unlock()
+	}
+	s.mu.Lock()
+	if s.c == c {
+		s.markDownLocked()
+	}
+	s.mu.Unlock()
+}
+
+// ErrQueryTimeout reports that a Query got no answer within its timeout.
+var ErrQueryTimeout = errors.New("realnet: count query timed out")
+
+// Query sends an ECMP CountQuery for (ch, id) to the router and waits for
+// the answering Count, up to timeout. This is the sender-side counting
+// primitive of Section 2.2: subscriber counts (wire.CountSubscribers),
+// application-defined counts in the wire.AppCountBase range (the NACK-count
+// reliable transport), and relay discovery (wire.CountRelayAddr4 /
+// wire.CountRelayPort) all ride it. A session flap while waiting surfaces
+// as a timeout; callers retry, and the resync machinery repairs the link
+// underneath them.
+func (s *Session) Query(ch addr.Channel, id wire.CountID, timeout time.Duration) (uint32, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	var seq uint16
+	for seq == 0 {
+		seq = uint16(s.qseq.Add(1))
+	}
+	reply := make(chan uint32, 1)
+	s.qmu.Lock()
+	s.pending[seq] = reply
+	s.qmu.Unlock()
+	defer func() {
+		s.qmu.Lock()
+		delete(s.pending, seq)
+		s.qmu.Unlock()
+	}()
+
+	q := wire.CountQuery{Channel: ch, CountID: id, Seq: seq, TimeoutMs: uint32(timeout / time.Millisecond)}
+	s.mu.Lock()
+	if s.c == nil {
+		s.mu.Unlock()
+		return 0, ErrQueryTimeout
+	}
+	if err := s.c.sendQuery(&q); err != nil {
+		s.markDownLocked()
+		s.mu.Unlock()
+		return 0, ErrQueryTimeout
+	}
+	if err := s.c.Flush(); err != nil {
+		s.markDownLocked()
+		s.mu.Unlock()
+		return 0, ErrQueryTimeout
+	}
+	s.mu.Unlock()
+
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case v := <-reply:
+		return v, nil
+	case <-t.C:
+		return 0, ErrQueryTimeout
+	}
 }
 
 // keepalive proves liveness and flushes anything buffered; a failure marks

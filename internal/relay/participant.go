@@ -18,9 +18,13 @@ type Participant struct {
 	// OnContent receives relayed session content in sequence-number order
 	// awareness: gaps are counted in Missed.
 	OnContent func(rp *RelayedPacket)
-	nextSeq   uint32
-	Missed    uint64
-	Received  uint64
+	// nextSeq is the expected next sequence once seqStarted; comparisons
+	// are serial (wraparound-safe), and a separate flag marks the stream
+	// anchored so sequence 0 needs no sentinel meaning.
+	nextSeq    uint32
+	seqStarted bool
+	Missed     uint64
+	Received   uint64
 
 	// direct channels joined via announcements.
 	directChannels map[addr.Channel]bool
@@ -90,10 +94,17 @@ func (p *Participant) onData(ch addr.Channel, pkt *netsim.Packet) {
 		}
 		return
 	}
-	if p.nextSeq != 0 && rp.Seq > p.nextSeq {
-		p.Missed += uint64(rp.Seq - p.nextSeq)
+	if !p.seqStarted {
+		p.seqStarted = true
+		p.nextSeq = rp.Seq + 1
+	} else {
+		if wire.SeqAfter(rp.Seq, p.nextSeq) {
+			p.Missed += uint64(wire.SeqDelta(rp.Seq, p.nextSeq))
+		}
+		// A serially late packet (reorder or repair) must not drag the
+		// expectation backwards and double-count the gap it fills.
+		p.nextSeq = wire.SeqMax(p.nextSeq, rp.Seq+1)
 	}
-	p.nextSeq = rp.Seq + 1
 	p.Received++
 	if p.OnContent != nil {
 		p.OnContent(rp)

@@ -49,7 +49,13 @@ type StandbyParticipant struct {
 	FirstBackupData netsim.Time
 
 	failedOver bool
-	timer      *netsim.Timer
+	// lastPrimary is the arrival time of the most recent primary-channel
+	// packet — the deadline watchdog's liveness evidence. Every arrival
+	// re-arms the watchdog by refreshing this stamp; the single timer
+	// checks it on expiry and re-schedules for the remainder when the
+	// primary proved alive in the meantime. One timer per watchdog window
+	// instead of one per packet, and no Stop calls on fired timers.
+	lastPrimary netsim.Time
 }
 
 // JoinWithStandby joins a session with a configured backup relay.
@@ -70,26 +76,42 @@ func JoinWithStandby(host *netsim.Node, srAddr addr.Addr, ch addr.Channel, cfg S
 			if sp.failedOver {
 				inner(c, pkt)
 			}
-			return // backup traffic is ignored until fail-over
+			return // backup traffic is ignored until fail-over, and it
+			// never feeds the watchdog: only primary arrivals prove the
+			// primary alive
 		}
-		sp.resetWatchdog()
+		sp.lastPrimary = host.Sim().Now()
 		inner(c, pkt)
 	}
-	sp.resetWatchdog()
+	sp.lastPrimary = host.Sim().Now()
+	sp.armWatchdog(cfg.Watchdog)
 	return sp
 }
 
 // FailedOver reports whether the participant switched to the backup.
 func (sp *StandbyParticipant) FailedOver() bool { return sp.failedOver }
 
-func (sp *StandbyParticipant) resetWatchdog() {
-	if sp.timer != nil {
-		sp.timer.Stop()
-	}
+// armWatchdog schedules the single liveness check d from now. On expiry,
+// if a primary packet arrived inside the window the timer re-arms for the
+// remainder of that packet's Watchdog allowance; only genuine silence of a
+// full Watchdog interval fails over. Data arrivals just stamp lastPrimary,
+// so a bursty primary costs no timer churn at all.
+func (sp *StandbyParticipant) armWatchdog(d netsim.Time) {
 	if sp.failedOver || sp.cfg.Watchdog <= 0 {
 		return
 	}
-	sp.timer = sp.sub.Node().Sim().After(sp.cfg.Watchdog, sp.failOver)
+	sim := sp.sub.Node().Sim()
+	sim.After(d, func() {
+		if sp.failedOver {
+			return
+		}
+		idle := sim.Now() - sp.lastPrimary
+		if idle < sp.cfg.Watchdog {
+			sp.armWatchdog(sp.cfg.Watchdog - idle)
+			return
+		}
+		sp.failOver()
+	})
 }
 
 // failOver switches to the backup relay: hot standby already has the

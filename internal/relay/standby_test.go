@@ -1,0 +1,110 @@
+package relay
+
+import (
+	"testing"
+
+	"repro/internal/ecmp"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+)
+
+// standbySession builds a primary and a backup SR on a line topology with
+// one standby participant at the far end.
+func standbySession(t *testing.T, seed int64, mode StandbyMode, watchdog netsim.Time) (*testutil.Net, *SR, *SR, *StandbyParticipant) {
+	t.Helper()
+	n := testutil.LineNet(seed, 6, ecmp.DefaultConfig())
+	priHost, _, i0 := netsim.AttachHost(n.Sim, n.Routers[0].Node(), 90, netsim.DefaultLAN)
+	n.Routers[0].SetIfaceMode(i0, ecmp.ModeUDP)
+	bakHost, _, i1 := netsim.AttachHost(n.Sim, n.Routers[1].Node(), 91, netsim.DefaultLAN)
+	n.Routers[1].SetIfaceMode(i1, ecmp.ModeUDP)
+
+	pri, priCh, err := New(priHost, FloorPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bak, bakCh, err := New(bakHost, FloorPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subHost, _, i2 := netsim.AttachHost(n.Sim, n.Routers[5].Node(), 92, netsim.DefaultLAN)
+	n.Routers[5].SetIfaceMode(i2, ecmp.ModeUDP)
+	sp := JoinWithStandby(subHost, priHost.Addr, priCh, StandbyConfig{
+		Mode: mode, BackupAddr: bakHost.Addr, BackupChannel: bakCh, Watchdog: watchdog,
+	})
+	n.Start()
+	n.Sim.RunUntil(500 * netsim.Millisecond)
+	return n, pri, bak, sp
+}
+
+// TestWatchdogRearmsOnEveryArrival is the standby regression: a primary
+// streaming steadily at a cadence well inside the watchdog interval must
+// keep re-arming it indefinitely — across many multiples of the watchdog —
+// and fail-over must happen only after genuine primary silence.
+func TestWatchdogRearmsOnEveryArrival(t *testing.T) {
+	const watchdog = 2 * netsim.Second
+	n, pri, bak, sp := standbySession(t, 57, Hot, watchdog)
+
+	// Primary ticks every 500 ms for 20 s — ten watchdog intervals.
+	const ticks = 40
+	for i := 0; i < ticks; i++ {
+		n.Sim.At(netsim.Time(i)*500*netsim.Millisecond+netsim.Second, func() { pri.SendPrimary(500, "tick") })
+	}
+	// Backup streams throughout: its traffic must never feed the watchdog.
+	for i := 0; i < 400; i++ {
+		n.Sim.At(netsim.Time(i)*100*netsim.Millisecond+netsim.Second, func() { bak.SendPrimary(500, "bak") })
+	}
+	lastPrimaryAt := netsim.Time(ticks-1)*500*netsim.Millisecond + netsim.Second
+
+	n.Sim.RunUntil(lastPrimaryAt)
+	if sp.FailedOver() {
+		t.Fatalf("failed over at %v while the primary was streaming", sp.FailedOverAt)
+	}
+	n.Sim.RunUntil(lastPrimaryAt + 4*watchdog)
+	if !sp.FailedOver() {
+		t.Fatal("never failed over after primary fell silent")
+	}
+	// Fail-over must come one watchdog interval after the LAST primary
+	// packet, not after join: the deadline re-arms on every arrival.
+	if sp.FailedOverAt < lastPrimaryAt+watchdog {
+		t.Errorf("failed over at %v, before silence reached the watchdog (last primary %v + %v)",
+			sp.FailedOverAt, lastPrimaryAt, watchdog)
+	}
+	if sp.FailedOverAt > lastPrimaryAt+2*watchdog {
+		t.Errorf("failed over at %v, more than 2 watchdog intervals after last primary %v",
+			sp.FailedOverAt, lastPrimaryAt)
+	}
+	if sp.FirstBackupData == 0 {
+		t.Fatal("no backup data after hot fail-over")
+	}
+}
+
+// TestStandbyFailOverHotAndCold checks both Section 4.2 modes end to end
+// and the expected ordering: hot (pre-subscribed) resumes no slower than
+// cold (join-after-failure) on the same topology and cadence.
+func TestStandbyFailOverHotAndCold(t *testing.T) {
+	gaps := map[StandbyMode]netsim.Time{}
+	for _, mode := range []StandbyMode{Hot, Cold} {
+		const watchdog = 2 * netsim.Second
+		n, pri, bak, sp := standbySession(t, 58, mode, watchdog)
+		for i := 0; i < 5; i++ {
+			n.Sim.At(netsim.Time(i)*500*netsim.Millisecond+netsim.Second, func() { pri.SendPrimary(500, "tick") })
+		}
+		for i := 0; i < 2000; i++ {
+			n.Sim.At(netsim.Time(i)*20*netsim.Millisecond+netsim.Second, func() { bak.SendPrimary(500, "tick") })
+		}
+		n.Sim.RunUntil(60 * netsim.Second)
+		if !sp.FailedOver() {
+			t.Fatalf("%v standby never failed over", mode)
+		}
+		if sp.FirstBackupData == 0 {
+			t.Fatalf("%v standby got no backup data", mode)
+		}
+		if sp.FirstBackupData < sp.FailedOverAt {
+			t.Fatalf("%v: backup data at %v precedes fail-over at %v", mode, sp.FirstBackupData, sp.FailedOverAt)
+		}
+		gaps[mode] = sp.FirstBackupData - sp.FailedOverAt
+	}
+	if gaps[Cold] < gaps[Hot] {
+		t.Errorf("cold gap %v < hot gap %v; pre-subscription should not lose", gaps[Cold], gaps[Hot])
+	}
+}

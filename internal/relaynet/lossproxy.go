@@ -1,0 +1,91 @@
+package relaynet
+
+import (
+	"net"
+	"sync/atomic"
+)
+
+// LossProxy is a deterministic lossy UDP hop for repair testing: it
+// forwards datagrams to a fixed target, dropping every Nth. Interpose it
+// on the router→receiver path by advertising the proxy's port as the
+// session DataPort and pointing the proxy at the real receiver — loss then
+// lands exactly where NACK-based repair must detect it, with a drop
+// pattern tests can predict packet-for-packet.
+type LossProxy struct {
+	conn   *net.UDPConn
+	target *net.UDPAddr
+	every  uint64 // drop datagrams where count % every == 0; 0 = lossless
+
+	count     atomic.Uint64
+	dropped   atomic.Uint64
+	forwarded atomic.Uint64
+
+	closed atomic.Bool
+	done   chan struct{}
+}
+
+// NewLossProxy listens on an ephemeral localhost port and forwards to
+// target, dropping every Nth datagram (1-based: with every=4, datagrams
+// 4, 8, 12, ... are dropped). every <= 0 forwards everything.
+func NewLossProxy(target string, every int) (*LossProxy, error) {
+	ta, err := net.ResolveUDPAddr("udp", target)
+	if err != nil {
+		return nil, err
+	}
+	la, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, err
+	}
+	p := &LossProxy{conn: conn, target: ta, done: make(chan struct{})}
+	if every > 0 {
+		p.every = uint64(every)
+	}
+	go p.run()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what to advertise in place of
+// the real destination.
+func (p *LossProxy) Addr() string { return p.conn.LocalAddr().String() }
+
+// Port returns the proxy's UDP port.
+func (p *LossProxy) Port() uint16 { return uint16(p.conn.LocalAddr().(*net.UDPAddr).Port) }
+
+// Dropped returns how many datagrams the proxy has discarded.
+func (p *LossProxy) Dropped() uint64 { return p.dropped.Load() }
+
+// Forwarded returns how many datagrams the proxy has passed through.
+func (p *LossProxy) Forwarded() uint64 { return p.forwarded.Load() }
+
+// Close stops the proxy.
+func (p *LossProxy) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	err := p.conn.Close()
+	<-p.done
+	return err
+}
+
+func (p *LossProxy) run() {
+	defer close(p.done)
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := p.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return
+		}
+		c := p.count.Add(1)
+		if p.every > 0 && c%p.every == 0 {
+			p.dropped.Add(1)
+			continue
+		}
+		if _, err := p.conn.WriteToUDP(buf[:n], p.target); err == nil {
+			p.forwarded.Add(1)
+		}
+	}
+}

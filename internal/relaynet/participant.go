@@ -1,0 +1,475 @@
+package relaynet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/dataplane"
+	"repro/internal/realnet"
+	"repro/internal/wire"
+)
+
+// StandbyMode selects the Section 4.2 fail-over flavour.
+type StandbyMode uint8
+
+const (
+	// Hot pre-subscribes to the backup channel, paying its state cost up
+	// front for a faster resume after fail-over.
+	Hot StandbyMode = iota
+	// Cold joins the backup channel only after the primary fails.
+	Cold
+)
+
+func (m StandbyMode) String() string {
+	if m == Hot {
+		return "hot"
+	}
+	return "cold"
+}
+
+// ParticipantStandby wires a participant to a backup relay.
+type ParticipantStandby struct {
+	Mode StandbyMode
+	// BackupChannel is the standby relay's channel.
+	BackupChannel addr.Channel
+	// Control is the backup relay's control address; empty discovers it
+	// through the router's relay registry after fail-over.
+	Control string
+	// Watchdog is how long primary silence is tolerated before fail-over.
+	// Default 5 beacon intervals at the default beacon rate (250ms).
+	Watchdog time.Duration
+}
+
+// ParticipantOptions configures Join.
+type ParticipantOptions struct {
+	// Router is the participant's edge router TCP address.
+	Router string
+	// Channel is the primary session channel.
+	Channel addr.Channel
+	// Control is the primary relay's UDP control address; empty discovers
+	// it through the router's relay registry (CountRelayAddr4/Port).
+	Control string
+	// ID is the participant identity carried in RelayMsg.From (0 picks a
+	// random one).
+	ID uint64
+	// SessionID pins the neighbor-session id (0 picks a random one).
+	SessionID uint64
+	// Standby, when non-nil, arms fail-over to a backup relay.
+	Standby *ParticipantStandby
+	// OnContent receives relayed session content: the original speaker's
+	// id (0 = the relay itself or a direct secondary source), the channel
+	// sequence number, and the payload (borrowed; copy to retain).
+	OnContent func(from uint64, seq uint32, payload []byte)
+}
+
+// ParticipantStats snapshots delivery and fail-over accounting.
+type ParticipantStats struct {
+	Received uint64 // content packets delivered
+	Missed   uint64 // sequence-gap slots on the current channel
+	Refused  uint64 // RelayRefused replies (spoke without the floor)
+	Denied   uint64 // RelayFloorDeny replies
+
+	FailedOver bool
+	// LastPrimaryData is the arrival time of the last primary-channel
+	// packet; FirstBackupData − LastPrimaryData is the total outage the
+	// fail-over gap measures (in flush windows: divide by the beacon
+	// interval).
+	LastPrimaryData time.Time
+	FailedOverAt    time.Time
+	FirstBackupData time.Time
+}
+
+// Participant is one session member on the real data plane: an EXPRESS
+// subscriber to the session channel plus a unicast control leg to the
+// relay.
+type Participant struct {
+	opts ParticipantOptions
+	id   uint64
+
+	recv *dataplane.Receiver
+	sess *realnet.Session
+	ctrl *net.UDPConn
+
+	relayAddr atomic.Value // netip.AddrPort: current relay control endpoint
+
+	lastPrimary  atomic.Int64 // UnixNano of last primary-channel arrival
+	failedOverAt atomic.Int64
+	firstBackup  atomic.Int64
+	failedOver   atomic.Bool
+
+	mu         sync.Mutex
+	seqStarted bool
+	nextSeq    uint32
+	received   uint64
+	missed     uint64
+	direct     map[addr.Channel]bool
+
+	joinOnce sync.Once
+	joined   chan struct{}
+	grants   chan uint32
+	refused  atomic.Uint64
+	denied   atomic.Uint64
+
+	sendMu sync.Mutex
+	sbuf   []byte
+
+	closed atomic.Bool
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// ErrNoRelay reports that relay discovery found no registered relay.
+var ErrNoRelay = errors.New("relaynet: no relay registered for channel")
+
+// Join connects a participant: subscribe to the session channel (and the
+// backup channel when hot standby is configured), locate the relay, and
+// register with it.
+func Join(opts ParticipantOptions) (*Participant, error) {
+	for opts.ID == 0 {
+		opts.ID = rand.Uint64()
+	}
+	if opts.Standby != nil && opts.Standby.Watchdog <= 0 {
+		opts.Standby.Watchdog = 250 * time.Millisecond
+	}
+	p := &Participant{
+		opts:   opts,
+		id:     opts.ID,
+		direct: make(map[addr.Channel]bool),
+		joined: make(chan struct{}),
+		grants: make(chan uint32, 4),
+		sbuf:   make([]byte, 0, wire.MaxRelayPacket),
+		quit:   make(chan struct{}),
+	}
+	var err error
+	p.recv, err = dataplane.NewReceiver()
+	if err != nil {
+		return nil, err
+	}
+	p.sess, err = realnet.DialSession(opts.Router, realnet.SessionOptions{
+		SessionID: opts.SessionID,
+		DataPort:  p.recv.Port(),
+	})
+	if err != nil {
+		p.recv.Close()
+		return nil, err
+	}
+	p.sess.Subscribe(opts.Channel)
+	if opts.Standby != nil && opts.Standby.Mode == Hot {
+		p.sess.Subscribe(opts.Standby.BackupChannel)
+	}
+	p.sess.Flush()
+
+	ua, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err == nil {
+		p.ctrl, err = net.ListenUDP("udp", ua)
+	}
+	if err != nil {
+		p.sess.Close()
+		p.recv.Close()
+		return nil, err
+	}
+
+	ap, err := p.locateRelay(opts.Control, opts.Channel)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.relayAddr.Store(ap)
+	p.lastPrimary.Store(time.Now().UnixNano())
+
+	p.wg.Add(2)
+	go p.dataLoop()
+	go p.ctrlLoop()
+	if opts.Standby != nil {
+		p.wg.Add(1)
+		go p.watchdog()
+	}
+	p.sendCtrl(&wire.RelayMsg{Kind: wire.RelayJoin, From: p.id})
+	return p, nil
+}
+
+// locateRelay resolves the relay control endpoint: an explicit address
+// when configured, the router's relay registry otherwise. Discovery
+// retries briefly — the relay's Hello may still be in flight.
+func (p *Participant) locateRelay(control string, ch addr.Channel) (netip.AddrPort, error) {
+	if control != "" {
+		return netip.ParseAddrPort(control)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		a, err1 := p.sess.Query(ch, wire.CountRelayAddr4, 250*time.Millisecond)
+		port, err2 := p.sess.Query(ch, wire.CountRelayPort, 250*time.Millisecond)
+		if err1 == nil && err2 == nil && a != 0 && port != 0 {
+			ip := netip.AddrFrom4([4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)})
+			return netip.AddrPortFrom(ip, uint16(port)), nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return netip.AddrPort{}, ErrNoRelay
+}
+
+// ID returns the participant's identity.
+func (p *Participant) ID() uint64 { return p.id }
+
+// Session exposes the participant's neighbor session.
+func (p *Participant) Session() *realnet.Session { return p.sess }
+
+// RequestFloor asks the current relay for the floor.
+func (p *Participant) RequestFloor() { p.sendCtrl(&wire.RelayMsg{Kind: wire.RelayFloorRequest, From: p.id}) }
+
+// ReleaseFloor returns the floor.
+func (p *Participant) ReleaseFloor() { p.sendCtrl(&wire.RelayMsg{Kind: wire.RelayFloorRelease, From: p.id}) }
+
+// Say relays content through the relay; it reaches the session only while
+// this participant holds the floor.
+func (p *Participant) Say(payload []byte) {
+	p.sendCtrl(&wire.RelayMsg{Kind: wire.RelayData, From: p.id, Payload: payload})
+}
+
+// WaitJoined blocks until the relay acknowledged the join.
+func (p *Participant) WaitJoined(timeout time.Duration) error {
+	select {
+	case <-p.joined:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("relaynet: join not acknowledged within %v", timeout)
+	}
+}
+
+// WaitGrant blocks until a floor grant arrives and returns its token.
+func (p *Participant) WaitGrant(timeout time.Duration) (uint32, error) {
+	select {
+	case tok := <-p.grants:
+		return tok, nil
+	case <-time.After(timeout):
+		return 0, fmt.Errorf("relaynet: no floor grant within %v", timeout)
+	}
+}
+
+// FailedOver reports whether the participant switched to the backup relay.
+func (p *Participant) FailedOver() bool { return p.failedOver.Load() }
+
+// Stats snapshots delivery and fail-over accounting.
+func (p *Participant) Stats() ParticipantStats {
+	p.mu.Lock()
+	received, missed := p.received, p.missed
+	p.mu.Unlock()
+	return ParticipantStats{
+		Received:        received,
+		Missed:          missed,
+		Refused:         p.refused.Load(),
+		Denied:          p.denied.Load(),
+		FailedOver:      p.failedOver.Load(),
+		LastPrimaryData: nanoTime(p.lastPrimary.Load()),
+		FailedOverAt:    nanoTime(p.failedOverAt.Load()),
+		FirstBackupData: nanoTime(p.firstBackup.Load()),
+	}
+}
+
+func nanoTime(n int64) time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// Close leaves the session and releases every socket.
+func (p *Participant) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	close(p.quit)
+	if p.ctrl != nil {
+		p.sendCtrl(&wire.RelayMsg{Kind: wire.RelayLeave, From: p.id})
+		p.ctrl.Close()
+	}
+	p.recv.Close()
+	err := p.sess.Close()
+	p.wg.Wait()
+	return err
+}
+
+// sendCtrl unicasts one control message to the current relay.
+func (p *Participant) sendCtrl(m *wire.RelayMsg) {
+	ap, _ := p.relayAddr.Load().(netip.AddrPort)
+	if !ap.IsValid() {
+		return
+	}
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	p.sbuf = m.AppendTo(p.sbuf[:0])
+	p.ctrl.WriteToUDPAddrPort(p.sbuf, ap)
+}
+
+// ctrlLoop consumes unicast replies from the relay.
+func (p *Participant) ctrlLoop() {
+	defer p.wg.Done()
+	buf := make([]byte, wire.MaxRelayPacket)
+	for {
+		n, _, err := p.ctrl.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return
+		}
+		var m wire.RelayMsg
+		if _, err := m.DecodeFromBytes(buf[:n]); err != nil {
+			continue
+		}
+		switch m.Kind {
+		case wire.RelayJoinAck:
+			p.joinOnce.Do(func() { close(p.joined) })
+		case wire.RelayFloorGrant:
+			select {
+			case p.grants <- m.Token:
+			default:
+			}
+		case wire.RelayFloorDeny:
+			p.denied.Add(1)
+		case wire.RelayRefused:
+			p.refused.Add(1)
+		}
+	}
+}
+
+// dataLoop consumes channel traffic from the data plane.
+func (p *Participant) dataLoop() {
+	defer p.wg.Done()
+	for {
+		pkt, err := p.recv.Recv()
+		if err != nil {
+			return
+		}
+		p.onChannel(&pkt)
+	}
+}
+
+// onChannel dispatches one channel packet by its (S,E) identity: relay
+// framing on the session and backup channels, raw payloads on direct
+// channels joined via announcements.
+func (p *Participant) onChannel(pkt *wire.DataPacket) {
+	p.mu.Lock()
+	isDirect := p.direct[pkt.Channel]
+	p.mu.Unlock()
+	if isDirect {
+		p.deliver(0, pkt.Seq, pkt.Payload, false)
+		return
+	}
+
+	var m wire.RelayMsg
+	if _, err := m.DecodeFromBytes(pkt.Payload); err != nil {
+		return
+	}
+
+	switch {
+	case pkt.Channel == p.opts.Channel:
+		if p.failedOver.Load() {
+			return // a zombie primary's traffic after fail-over
+		}
+		p.lastPrimary.Store(time.Now().UnixNano())
+	case p.opts.Standby != nil && pkt.Channel == p.opts.Standby.BackupChannel:
+		if !p.failedOver.Load() {
+			return // hot pre-subscription; never feeds the watchdog
+		}
+		p.firstBackup.CompareAndSwap(0, time.Now().UnixNano())
+	default:
+		return
+	}
+
+	switch m.Kind {
+	case wire.RelayBeacon:
+		// Liveness only; already stamped above.
+	case wire.RelayData:
+		p.deliver(m.From, pkt.Seq, m.Payload, true)
+	case wire.RelayAnnounce:
+		p.mu.Lock()
+		follow := !p.direct[m.Channel]
+		if follow {
+			p.direct[m.Channel] = true
+		}
+		p.mu.Unlock()
+		if follow {
+			p.sess.Subscribe(m.Channel)
+			p.sess.Flush()
+		}
+	}
+}
+
+// deliver runs the serial sequence-gap accounting and hands content to the
+// application. tracked distinguishes the relay-framed session stream
+// (single source, gaps meaningful) from direct channels (their own
+// counters, tracked by the aggregate receiver stats only).
+func (p *Participant) deliver(from uint64, seq uint32, payload []byte, tracked bool) {
+	p.mu.Lock()
+	if tracked {
+		if !p.seqStarted {
+			p.seqStarted = true
+			p.nextSeq = seq + 1
+		} else {
+			if wire.SeqAfter(seq, p.nextSeq) {
+				p.missed += uint64(wire.SeqDelta(seq, p.nextSeq))
+			}
+			// A serially late packet (reorder or repair) must not drag the
+			// expectation backwards and double-count the gap it fills.
+			p.nextSeq = wire.SeqMax(p.nextSeq, seq+1)
+		}
+	}
+	p.received++
+	cb := p.opts.OnContent
+	p.mu.Unlock()
+	if cb != nil {
+		cb(from, seq, payload)
+	}
+}
+
+// watchdog runs the participant's deadline check, mirroring the standby
+// relay's: one timer per watchdog window, re-armed for the remainder when
+// the primary proved alive inside it.
+func (p *Participant) watchdog() {
+	defer p.wg.Done()
+	wd := p.opts.Standby.Watchdog
+	t := time.NewTimer(wd)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-t.C:
+			idle := time.Since(time.Unix(0, p.lastPrimary.Load()))
+			if idle < wd {
+				t.Reset(wd - idle)
+				continue
+			}
+			p.failOver()
+			return
+		}
+	}
+}
+
+// failOver switches to the backup relay: hot standby already holds the
+// subscription; cold standby builds the branch now. The sequence tracker
+// restarts — the backup relay owns its own channel counter.
+func (p *Participant) failOver() {
+	if p.failedOver.Swap(true) {
+		return
+	}
+	p.failedOverAt.Store(time.Now().UnixNano())
+	sb := p.opts.Standby
+	p.mu.Lock()
+	p.seqStarted = false
+	p.mu.Unlock()
+	if sb.Mode == Cold {
+		p.sess.Subscribe(sb.BackupChannel)
+	}
+	p.sess.Unsubscribe(p.opts.Channel)
+	p.sess.Flush()
+	if ap, err := p.locateRelay(sb.Control, sb.BackupChannel); err == nil {
+		p.relayAddr.Store(ap)
+		p.sendCtrl(&wire.RelayMsg{Kind: wire.RelayJoin, From: p.id})
+	}
+}

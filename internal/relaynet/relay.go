@@ -1,0 +1,543 @@
+// Package relaynet is the Section 4 session-relay tier on the real data
+// plane: the production counterpart of the netsim internal/relay package.
+//
+// A Relay is the single EXPRESS source of its session channel (S = the
+// relay host, only S may send). Participants unicast control traffic —
+// join, floor request/release, and content to be relayed — to the relay's
+// UDP control socket using the wire.RelayMsg framing; the relay stamps
+// relayed content onto the channel through the router's data plane, so
+// every subscriber receives it over ordinary (S,E) replication.
+//
+// The relay's TCP neighbor session advertises the control endpoint
+// (SessionOptions.RelayPort/RelayChannel), so participants can discover it
+// from any on-tree router with CountRelayAddr4/CountRelayPort queries
+// instead of out-of-band configuration.
+//
+// Fail-over (Section 4.2): a standby Relay subscribes to the primary's
+// channel and feeds a deadline watchdog exclusively from channel arrivals —
+// the primary beacons every flush window, so an idle-but-healthy session
+// still proves liveness. Genuine silence of a full watchdog interval
+// promotes the standby: it starts beaconing and relaying on its own
+// channel, where hot participants are already subscribed and cold ones
+// join on their own watchdog expiry. A relay never beacons while its
+// neighbor session is down: a promoted standby and a partitioned old
+// primary cannot both claim a live channel (split-brain guard).
+package relaynet
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/dataplane"
+	"repro/internal/obs"
+	"repro/internal/realnet"
+	"repro/internal/wire"
+)
+
+// Refusal reasons carried in RelayFloorDeny / RelayRefused tokens.
+const (
+	// RefuseNotHolder: RelayData from a participant that does not hold the
+	// floor (and is not the relay itself).
+	RefuseNotHolder uint32 = 1
+	// RefuseQueueFull: the floor queue is at its policy limit.
+	RefuseQueueFull uint32 = 2
+	// RefuseStandby: the relay is a standby that has not been promoted.
+	RefuseStandby uint32 = 3
+)
+
+// FloorPolicy bounds the Section 4.4 floor-control state.
+type FloorPolicy struct {
+	// MaxQueue is how many floor requests may wait behind the holder before
+	// further requests are denied. Default 8.
+	MaxQueue int
+}
+
+// StandbyOptions turns a Relay into a Section 4.2 backup: it watches the
+// primary's channel and promotes itself after Watchdog of silence.
+type StandbyOptions struct {
+	// PrimaryChannel is the channel whose silence triggers promotion.
+	PrimaryChannel addr.Channel
+	// Watchdog is how long primary silence is tolerated. Default 5 beacon
+	// intervals.
+	Watchdog time.Duration
+}
+
+// Options configures a Relay.
+type Options struct {
+	// Router is the edge router's TCP control address.
+	Router string
+	// DataTarget is the router's data-plane UDP address (Router.DataAddr())
+	// where the relay injects channel packets.
+	DataTarget string
+	// Channel is the session channel this relay sources.
+	Channel addr.Channel
+	// Control is the UDP listen address for participant unicast control.
+	// Default "127.0.0.1:0".
+	Control string
+	// Beacon is the liveness-beacon interval — the relay tier's flush
+	// window, the unit fail-over gaps are measured in. Default 50ms.
+	Beacon time.Duration
+	// Floor is the floor-control policy.
+	Floor FloorPolicy
+	// Standby, when non-nil, starts the relay as a backup for another
+	// relay's channel instead of an active primary.
+	Standby *StandbyOptions
+	// SessionID pins the neighbor-session id (0 picks a random one).
+	SessionID uint64
+	// Keepalive overrides the neighbor session's keepalive interval.
+	Keepalive time.Duration
+	// PacePPS paces the channel source (0 = unpaced).
+	PacePPS int
+	// Dial overrides session dialing; tests inject fault-wrapped
+	// connections here.
+	Dial func(string) (net.Conn, error)
+	// Reg, when non-nil, receives the relay_* metrics.
+	Reg *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Control == "" {
+		o.Control = "127.0.0.1:0"
+	}
+	if o.Beacon <= 0 {
+		o.Beacon = 50 * time.Millisecond
+	}
+	if o.Floor.MaxQueue <= 0 {
+		o.Floor.MaxQueue = 8
+	}
+	if o.Standby != nil && o.Standby.Watchdog <= 0 {
+		o.Standby.Watchdog = 5 * o.Beacon
+	}
+	return o
+}
+
+// RelayStats is a snapshot of the relay's counters.
+type RelayStats struct {
+	Participants int
+	Joins        uint64
+	Relayed      uint64
+	Beacons      uint64
+	FloorGrants  uint64
+	FloorDenies  uint64
+	Refused      uint64
+	Promotions   uint64
+	Announces    uint64
+}
+
+// Relay is one session relay: primary (active from the start) or standby
+// (active after promotion).
+type Relay struct {
+	opts Options
+
+	ctrl *net.UDPConn
+	src  *dataplane.Source
+	sess *realnet.Session
+	recv *dataplane.Receiver // standby primary-channel watch; nil on a primary
+
+	// active gates beaconing and relaying: a standby refuses work until the
+	// watchdog promotes it.
+	active atomic.Bool
+	// lastPrimary is the UnixNano arrival stamp of the most recent
+	// primary-channel packet — the deadline watchdog's liveness evidence.
+	lastPrimary atomic.Int64
+	promotedAt  atomic.Int64
+	nextToken   atomic.Uint32
+
+	mu     sync.Mutex
+	parts  map[uint64]netip.AddrPort
+	holder uint64
+	queue  []uint64
+	cbuf   []byte // control-reply encode buffer
+
+	sendMu sync.Mutex
+	sbuf   []byte // channel-send encode buffer
+
+	joins, relayed, beacons   atomic.Uint64
+	grants, denies, refusedN  atomic.Uint64
+	promotions, announces     atomic.Uint64
+
+	closed atomic.Bool
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New starts a relay. A primary begins beaconing immediately; a standby
+// (opts.Standby non-nil) subscribes to the primary channel and waits.
+func New(opts Options) (*Relay, error) {
+	opts = opts.withDefaults()
+	if !opts.Channel.Valid() {
+		return nil, fmt.Errorf("relaynet: invalid channel %v", opts.Channel)
+	}
+	ua, err := net.ResolveUDPAddr("udp", opts.Control)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	r := &Relay{
+		opts:  opts,
+		ctrl:  ctrl,
+		parts: make(map[uint64]netip.AddrPort),
+		cbuf:  make([]byte, 0, wire.MaxRelayPacket),
+		sbuf:  make([]byte, 0, wire.MaxRelayPacket),
+		quit:  make(chan struct{}),
+	}
+	r.src, err = dataplane.NewSource(opts.DataTarget, opts.Channel, dataplane.SourceOptions{PacePPS: opts.PacePPS})
+	if err != nil {
+		ctrl.Close()
+		return nil, err
+	}
+	var dataPort uint16
+	if opts.Standby != nil {
+		r.recv, err = dataplane.NewReceiver()
+		if err != nil {
+			ctrl.Close()
+			r.src.Close()
+			return nil, err
+		}
+		dataPort = r.recv.Port()
+	}
+	r.sess, err = realnet.DialSession(opts.Router, realnet.SessionOptions{
+		SessionID:         opts.SessionID,
+		DataPort:          dataPort,
+		RelayPort:         uint16(ctrl.LocalAddr().(*net.UDPAddr).Port),
+		RelayChannel:      opts.Channel,
+		KeepaliveInterval: opts.Keepalive,
+		Dial:              opts.Dial,
+	})
+	if err != nil {
+		ctrl.Close()
+		r.src.Close()
+		if r.recv != nil {
+			r.recv.Close()
+		}
+		return nil, err
+	}
+	if opts.Standby != nil {
+		r.lastPrimary.Store(time.Now().UnixNano())
+		if err := r.sess.Subscribe(opts.Standby.PrimaryChannel); err == nil {
+			r.sess.Flush()
+		}
+		r.wg.Add(2)
+		go r.watchLoop()
+		go r.watchdog()
+	} else {
+		r.active.Store(true)
+	}
+	r.registerMetrics()
+	r.wg.Add(2)
+	go r.ctrlLoop()
+	go r.beaconLoop()
+	return r, nil
+}
+
+// ControlAddr returns the relay's UDP control address — what participants
+// unicast to, and what the router registry advertises.
+func (r *Relay) ControlAddr() string { return r.ctrl.LocalAddr().String() }
+
+// Channel returns the channel this relay sources.
+func (r *Relay) Channel() addr.Channel { return r.opts.Channel }
+
+// Session exposes the relay's neighbor session.
+func (r *Relay) Session() *realnet.Session { return r.sess }
+
+// Active reports whether the relay is sourcing its channel (a primary, or
+// a promoted standby).
+func (r *Relay) Active() bool { return r.active.Load() }
+
+// PromotedAt returns when a standby promoted itself (zero time if never).
+func (r *Relay) PromotedAt() time.Time {
+	n := r.promotedAt.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// Holder returns the participant currently holding the floor (0 = none).
+func (r *Relay) Holder() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.holder
+}
+
+// Stats snapshots the relay's counters.
+func (r *Relay) Stats() RelayStats {
+	r.mu.Lock()
+	n := len(r.parts)
+	r.mu.Unlock()
+	return RelayStats{
+		Participants: n,
+		Joins:        r.joins.Load(),
+		Relayed:      r.relayed.Load(),
+		Beacons:      r.beacons.Load(),
+		FloorGrants:  r.grants.Load(),
+		FloorDenies:  r.denies.Load(),
+		Refused:      r.refusedN.Load(),
+		Promotions:   r.promotions.Load(),
+		Announces:    r.announces.Load(),
+	}
+}
+
+// Send relays content originated by the relay host itself (the Section 4.3
+// lecturer case: the lecture site is also the SR). From is 0 on the wire.
+func (r *Relay) Send(payload []byte) error {
+	if !r.active.Load() {
+		return fmt.Errorf("relaynet: standby relay is not active")
+	}
+	r.relayed.Add(1)
+	return r.sendChannel(&wire.RelayMsg{Kind: wire.RelayData, Payload: payload})
+}
+
+// Announce tells the session a secondary source switched to its direct
+// channel (Section 4.1): participants that hear it subscribe to direct and
+// receive that source without the relay hop.
+func (r *Relay) Announce(from uint64, direct addr.Channel) error {
+	if !r.active.Load() {
+		return fmt.Errorf("relaynet: standby relay is not active")
+	}
+	r.announces.Add(1)
+	return r.sendChannel(&wire.RelayMsg{Kind: wire.RelayAnnounce, From: from, Channel: direct})
+}
+
+// Close shuts the relay down: control socket, channel source, watch
+// receiver, and neighbor session.
+func (r *Relay) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	close(r.quit)
+	r.ctrl.Close()
+	if r.recv != nil {
+		r.recv.Close()
+	}
+	r.src.Close()
+	err := r.sess.Close()
+	r.wg.Wait()
+	return err
+}
+
+// sendChannel encodes m as a DataPacket payload and injects it on the
+// channel. Serialized: the source is single-sender.
+func (r *Relay) sendChannel(m *wire.RelayMsg) error {
+	r.sendMu.Lock()
+	defer r.sendMu.Unlock()
+	r.sbuf = m.AppendTo(r.sbuf[:0])
+	return r.src.Send(r.sbuf)
+}
+
+// ctrlLoop serves participant unicast: every datagram is one RelayMsg.
+func (r *Relay) ctrlLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, wire.MaxRelayPacket)
+	for {
+		n, from, err := r.ctrl.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return // socket closed
+		}
+		var m wire.RelayMsg
+		if _, err := m.DecodeFromBytes(buf[:n]); err != nil {
+			continue // malformed datagram: drop, never crash the daemon
+		}
+		r.handleCtrl(&m, from)
+	}
+}
+
+func (r *Relay) handleCtrl(m *wire.RelayMsg, from netip.AddrPort) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch m.Kind {
+	case wire.RelayJoin:
+		r.parts[m.From] = from
+		r.joins.Add(1)
+		r.replyLocked(from, &wire.RelayMsg{Kind: wire.RelayJoinAck, From: m.From, Channel: r.opts.Channel})
+	case wire.RelayLeave:
+		delete(r.parts, m.From)
+		if r.holder == m.From {
+			r.releaseLocked()
+		}
+		r.dequeue(m.From)
+	case wire.RelayFloorRequest:
+		r.parts[m.From] = from // a floor request is an implicit join
+		r.floorRequestLocked(m.From, from)
+	case wire.RelayFloorRelease:
+		if r.holder == m.From {
+			r.releaseLocked()
+		}
+	case wire.RelayData:
+		if !r.active.Load() {
+			r.refusedN.Add(1)
+			r.replyLocked(from, &wire.RelayMsg{Kind: wire.RelayRefused, From: m.From, Token: RefuseStandby})
+			return
+		}
+		if r.holder != m.From {
+			r.refusedN.Add(1)
+			r.replyLocked(from, &wire.RelayMsg{Kind: wire.RelayRefused, From: m.From, Token: RefuseNotHolder})
+			return
+		}
+		r.relayed.Add(1)
+		r.sendChannel(&wire.RelayMsg{Kind: wire.RelayData, From: m.From, Payload: m.Payload})
+	}
+}
+
+// floorRequestLocked grants, queues, or denies. Callers hold r.mu.
+func (r *Relay) floorRequestLocked(id uint64, at netip.AddrPort) {
+	if r.holder == 0 || r.holder == id {
+		r.grantLocked(id, at)
+		return
+	}
+	for _, q := range r.queue {
+		if q == id {
+			return // already waiting
+		}
+	}
+	if len(r.queue) >= r.opts.Floor.MaxQueue {
+		r.denies.Add(1)
+		r.replyLocked(at, &wire.RelayMsg{Kind: wire.RelayFloorDeny, From: id, Token: RefuseQueueFull})
+		return
+	}
+	r.queue = append(r.queue, id)
+}
+
+// releaseLocked frees the floor and promotes the next queued requester.
+// Callers hold r.mu.
+func (r *Relay) releaseLocked() {
+	r.holder = 0
+	for len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		if at, ok := r.parts[next]; ok {
+			r.grantLocked(next, at)
+			return
+		}
+	}
+}
+
+func (r *Relay) grantLocked(id uint64, at netip.AddrPort) {
+	r.holder = id
+	r.grants.Add(1)
+	r.replyLocked(at, &wire.RelayMsg{Kind: wire.RelayFloorGrant, From: id, Token: r.nextToken.Add(1)})
+}
+
+func (r *Relay) dequeue(id uint64) {
+	for i, q := range r.queue {
+		if q == id {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// replyLocked unicasts m to a participant. Callers hold r.mu (which also
+// serializes cbuf).
+func (r *Relay) replyLocked(to netip.AddrPort, m *wire.RelayMsg) {
+	r.cbuf = m.AppendTo(r.cbuf[:0])
+	r.ctrl.WriteToUDPAddrPort(r.cbuf, to)
+}
+
+// beaconLoop proves the relay alive on the channel every Beacon interval —
+// the signal every fail-over watchdog in the tier (standby relays, hot and
+// cold participants) feeds on. An inactive standby stays silent, and so
+// does a relay whose neighbor session is down: beaconing while partitioned
+// from the router would let a zombie primary fight a promoted standby for
+// the session (split brain) the moment the partition heals.
+func (r *Relay) beaconLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.opts.Beacon)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.quit:
+			return
+		case <-t.C:
+			if !r.active.Load() || !r.sess.Connected() {
+				continue
+			}
+			if err := r.sendChannel(&wire.RelayMsg{Kind: wire.RelayBeacon}); err == nil {
+				r.beacons.Add(1)
+			}
+		}
+	}
+}
+
+// watchLoop (standby only) stamps lastPrimary on every primary-channel
+// arrival. Beacons count: the watchdog watches relay liveness, not session
+// chatter.
+func (r *Relay) watchLoop() {
+	defer r.wg.Done()
+	for {
+		pkt, err := r.recv.Recv()
+		if err != nil {
+			return // receiver closed
+		}
+		if pkt.Channel == r.opts.Standby.PrimaryChannel {
+			r.lastPrimary.Store(time.Now().UnixNano())
+		}
+	}
+}
+
+// watchdog (standby only) runs the deadline check: one timer per watchdog
+// window, re-armed for the remainder whenever the primary proved alive
+// inside it. Only genuine silence of a full Watchdog interval promotes.
+func (r *Relay) watchdog() {
+	defer r.wg.Done()
+	wd := r.opts.Standby.Watchdog
+	t := time.NewTimer(wd)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.quit:
+			return
+		case <-t.C:
+			idle := time.Since(time.Unix(0, r.lastPrimary.Load()))
+			if idle < wd {
+				t.Reset(wd - idle)
+				continue
+			}
+			r.promote()
+			return
+		}
+	}
+}
+
+// promote activates a standby: it starts beaconing and accepting relay
+// work on its own channel, where hot participants are already subscribed.
+func (r *Relay) promote() {
+	r.promotions.Add(1)
+	r.promotedAt.Store(time.Now().UnixNano())
+	r.active.Store(true)
+}
+
+// registerMetrics publishes the relay_* family on the configured registry.
+func (r *Relay) registerMetrics() {
+	reg := r.opts.Reg
+	if reg == nil {
+		return
+	}
+	reg.NewGaugeFunc("relay_participants", "registered session participants", func() float64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return float64(len(r.parts))
+	})
+	reg.NewGaugeFunc("relay_active", "1 while sourcing the channel (primary or promoted standby)", func() float64 {
+		if r.active.Load() {
+			return 1
+		}
+		return 0
+	})
+	reg.NewCounterFunc("relay_joins_total", "participant joins accepted", r.joins.Load)
+	reg.NewCounterFunc("relay_relayed_total", "content packets relayed onto the channel", r.relayed.Load)
+	reg.NewCounterFunc("relay_beacons_total", "liveness beacons sent", r.beacons.Load)
+	reg.NewCounterFunc("relay_floor_grants_total", "floor grants issued", r.grants.Load)
+	reg.NewCounterFunc("relay_floor_denies_total", "floor requests denied by policy", r.denies.Load)
+	reg.NewCounterFunc("relay_refused_total", "RelayData refused (not holder / standby)", r.refusedN.Load)
+	reg.NewCounterFunc("relay_promotions_total", "standby promotions (fail-overs)", r.promotions.Load)
+	reg.NewCounterFunc("relay_announces_total", "secondary-source announcements sent", r.announces.Load)
+}

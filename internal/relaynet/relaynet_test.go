@@ -1,0 +1,403 @@
+package relaynet_test
+
+// End-to-end acceptance for the session-relay tier (ISSUE 8): a real
+// router carries the session channel; a primary relay and a hot/cold
+// standby serve participants over real sockets; the primary is killed and
+// the tier fails over — watchdog-driven, measured, and race-clean.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/realnet"
+	"repro/internal/relaynet"
+	"repro/internal/wire"
+)
+
+func waitCond(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// inbox collects delivered content per participant, keyed by payload.
+type inbox struct {
+	mu    sync.Mutex
+	from  map[string]uint64
+	count int
+}
+
+func newInbox() *inbox { return &inbox{from: make(map[string]uint64)} }
+
+func (ib *inbox) deliver(from uint64, _ uint32, payload []byte) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	ib.from[string(payload)] = from
+	ib.count++
+}
+
+func (ib *inbox) has(payload string) (uint64, bool) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	f, ok := ib.from[payload]
+	return f, ok
+}
+
+func dataRouter(t *testing.T) *realnet.Router {
+	t.Helper()
+	r, err := realnet.NewRouterOpts("127.0.0.1:0", realnet.Options{
+		DataListen:    "127.0.0.1:0",
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+var (
+	chPrimary = addr.Channel{S: addr.MustParse("171.64.9.1"), E: addr.ExpressAddr(0x101)}
+	chBackup  = addr.Channel{S: addr.MustParse("171.64.9.2"), E: addr.ExpressAddr(0x102)}
+)
+
+// TestRelaySessionEndToEnd is the acceptance path: join through registry
+// discovery, floor grant, relayed delivery at every participant, kill the
+// primary, standby fail-over, delivery resumes on the backup channel.
+func TestRelaySessionEndToEnd(t *testing.T) {
+	router := dataRouter(t)
+	const beacon = 20 * time.Millisecond
+
+	pri, err := relaynet.New(relaynet.Options{
+		Router: router.Addr(), DataTarget: router.DataAddr(),
+		Channel: chPrimary, Beacon: beacon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pri.Close()
+	bak, err := relaynet.New(relaynet.Options{
+		Router: router.Addr(), DataTarget: router.DataAddr(),
+		Channel: chBackup, Beacon: beacon,
+		Standby: &relaynet.StandbyOptions{PrimaryChannel: chPrimary, Watchdog: 8 * beacon},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bak.Close()
+	if bak.Active() {
+		t.Fatal("standby active before promotion")
+	}
+
+	// Three participants, all discovering the primary relay through the
+	// router registry (no Control configured), all hot standby.
+	const nPart = 3
+	parts := make([]*relaynet.Participant, nPart)
+	boxes := make([]*inbox, nPart)
+	for i := range parts {
+		boxes[i] = newInbox()
+		p, err := relaynet.Join(relaynet.ParticipantOptions{
+			Router:    router.Addr(),
+			Channel:   chPrimary,
+			ID:        uint64(100 + i),
+			OnContent: boxes[i].deliver,
+			Standby: &relaynet.ParticipantStandby{
+				Mode: relaynet.Hot, BackupChannel: chBackup, Watchdog: 10 * beacon,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		parts[i] = p
+		if err := p.WaitJoined(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCond(t, 10*time.Second, func() bool {
+		return router.SubscriberCount(chPrimary) >= nPart && router.SubscriberCount(chBackup) >= nPart
+	}, "subscriptions to converge")
+
+	// Floor grant, then relayed delivery at every participant.
+	parts[0].RequestFloor()
+	if _, err := parts[0].WaitGrant(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		parts[0].Say([]byte(fmt.Sprintf("pri-%d", i)))
+	}
+	for pi, ib := range boxes {
+		waitCond(t, 5*time.Second, func() bool {
+			_, ok := ib.has("pri-4")
+			return ok
+		}, fmt.Sprintf("participant %d to receive relayed content", pi))
+		if from, _ := ib.has("pri-0"); from != parts[0].ID() {
+			t.Errorf("participant %d: content attributed to %d, want speaker %d", pi, from, parts[0].ID())
+		}
+	}
+
+	// A non-holder's Say must be refused, not relayed.
+	parts[1].Say([]byte("stolen-floor"))
+	waitCond(t, 5*time.Second, func() bool { return parts[1].Stats().Refused >= 1 }, "refusal of non-holder data")
+	if _, ok := boxes[2].has("stolen-floor"); ok {
+		t.Fatal("non-holder content was relayed")
+	}
+
+	// Kill the primary. The standby's watchdog must promote it, and every
+	// participant must fail over and see backup-channel data.
+	pri.Close()
+	waitCond(t, 15*time.Second, func() bool { return bak.Active() }, "standby promotion")
+	if bak.PromotedAt().IsZero() {
+		t.Fatal("promoted standby has no promotion stamp")
+	}
+	for pi, p := range parts {
+		waitCond(t, 15*time.Second, func() bool { return p.FailedOver() }, fmt.Sprintf("participant %d fail-over", pi))
+	}
+	for pi, p := range parts {
+		waitCond(t, 15*time.Second, func() bool { return !p.Stats().FirstBackupData.IsZero() },
+			fmt.Sprintf("participant %d first backup data", pi))
+		st := p.Stats()
+		if st.FirstBackupData.Before(st.FailedOverAt) {
+			t.Errorf("participant %d: backup data at %v precedes fail-over at %v", pi, st.FirstBackupData, st.FailedOverAt)
+		}
+	}
+
+	// Delivery resumes through the backup relay.
+	parts[0].RequestFloor()
+	if _, err := parts[0].WaitGrant(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		parts[0].Say([]byte(fmt.Sprintf("bak-%d", i)))
+	}
+	for pi, ib := range boxes {
+		waitCond(t, 5*time.Second, func() bool {
+			_, ok := ib.has("bak-4")
+			return ok
+		}, fmt.Sprintf("participant %d post-fail-over delivery", pi))
+	}
+	if st := bak.Stats(); st.Promotions != 1 || st.Relayed < 5 {
+		t.Errorf("backup stats = %+v, want 1 promotion and >=5 relayed", st)
+	}
+}
+
+// killSwitch injects the primary-relay failure deterministically: it holds
+// the relay's live upstream FaultConn, and once thrown it resets the
+// connection and fails every redial — the relay's split-brain guard then
+// silences its beacons without the process "crashing".
+type killSwitch struct {
+	mu   sync.Mutex
+	fc   *realnet.FaultConn
+	dead bool
+}
+
+var errKilled = errors.New("relaynet_test: dial refused by kill switch")
+
+func (ks *killSwitch) dial(target string) (net.Conn, error) {
+	ks.mu.Lock()
+	dead := ks.dead
+	ks.mu.Unlock()
+	if dead {
+		return nil, errKilled
+	}
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		return nil, err
+	}
+	fc := realnet.NewFaultConn(conn)
+	ks.mu.Lock()
+	ks.fc = fc
+	ks.mu.Unlock()
+	return fc, nil
+}
+
+func (ks *killSwitch) kill() {
+	ks.mu.Lock()
+	ks.dead = true
+	fc := ks.fc
+	ks.mu.Unlock()
+	if fc != nil {
+		fc.Reset()
+	}
+}
+
+// TestRelayFailOverHotAndCold covers both Section 4.2 modes against the
+// injected-fault primary: the watchdog must hold while beacons flow, fire
+// only on genuine silence, and the cold participant must build its backup
+// branch only at fail-over.
+func TestRelayFailOverHotAndCold(t *testing.T) {
+	for _, mode := range []relaynet.StandbyMode{relaynet.Hot, relaynet.Cold} {
+		t.Run(mode.String(), func(t *testing.T) {
+			router := dataRouter(t)
+			const beacon = 20 * time.Millisecond
+			const watchdog = 8 * beacon
+
+			ks := &killSwitch{}
+			pri, err := relaynet.New(relaynet.Options{
+				Router: router.Addr(), DataTarget: router.DataAddr(),
+				Channel: chPrimary, Beacon: beacon,
+				Keepalive: 10 * time.Millisecond,
+				Dial:      ks.dial,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pri.Close()
+			bak, err := relaynet.New(relaynet.Options{
+				Router: router.Addr(), DataTarget: router.DataAddr(),
+				Channel: chBackup, Beacon: beacon,
+				Standby: &relaynet.StandbyOptions{PrimaryChannel: chPrimary, Watchdog: watchdog},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer bak.Close()
+
+			ib := newInbox()
+			p, err := relaynet.Join(relaynet.ParticipantOptions{
+				Router: router.Addr(), Channel: chPrimary, ID: 7, OnContent: ib.deliver,
+				Standby: &relaynet.ParticipantStandby{
+					Mode: mode, BackupChannel: chBackup,
+					Control: bak.ControlAddr(), Watchdog: watchdog,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			if err := p.WaitJoined(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			wantPre := 0 // cold: nobody on the backup channel yet
+			if mode == relaynet.Hot {
+				wantPre = 1 // hot: the participant pre-subscribed
+			}
+			if n := router.SubscriberCount(chBackup); int(n) != wantPre {
+				t.Fatalf("%v backup-channel subscribers = %d pre-fail-over, want %d", mode, n, wantPre)
+			}
+
+			// The watchdog regression: an idle-but-beaconing primary must
+			// hold off fail-over across many watchdog intervals.
+			time.Sleep(4 * watchdog)
+			if p.FailedOver() || bak.Active() {
+				t.Fatal("failed over while the primary was beaconing")
+			}
+
+			ks.kill()
+			waitCond(t, 15*time.Second, func() bool { return bak.Active() }, "standby promotion")
+			waitCond(t, 15*time.Second, func() bool { return p.FailedOver() }, "participant fail-over")
+			waitCond(t, 15*time.Second, func() bool { return !p.Stats().FirstBackupData.IsZero() }, "first backup data")
+
+			st := p.Stats()
+			gap := st.FirstBackupData.Sub(st.LastPrimaryData)
+			if gap <= 0 {
+				t.Fatalf("fail-over gap %v, want > 0 (last primary %v, first backup %v)",
+					gap, st.LastPrimaryData, st.FirstBackupData)
+			}
+			// The gap is at least the watchdog (silence must accumulate
+			// before anyone moves); it is the headline E16 measurement.
+			if gap < watchdog {
+				t.Errorf("gap %v shorter than the watchdog %v: fail-over before proven silence", gap, watchdog)
+			}
+			t.Logf("%v fail-over gap: %v (%.1f flush windows)", mode, gap, float64(gap)/float64(beacon))
+
+			// Delivery resumes through the promoted standby.
+			p.RequestFloor()
+			if _, err := p.WaitGrant(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			p.Say([]byte("after-failover"))
+			waitCond(t, 5*time.Second, func() bool {
+				_, ok := ib.has("after-failover")
+				return ok
+			}, "post-fail-over delivery")
+		})
+	}
+}
+
+// TestAnnounceFollowsSecondarySource: a RelayAnnounce on the session
+// channel makes participants subscribe to the announced direct channel and
+// deliver its raw (unframed) traffic.
+func TestAnnounceFollowsSecondarySource(t *testing.T) {
+	router := dataRouter(t)
+	pri, err := relaynet.New(relaynet.Options{
+		Router: router.Addr(), DataTarget: router.DataAddr(),
+		Channel: chPrimary, Beacon: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pri.Close()
+
+	ib := newInbox()
+	p, err := relaynet.Join(relaynet.ParticipantOptions{
+		Router: router.Addr(), Channel: chPrimary, ID: 9, OnContent: ib.deliver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.WaitJoined(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	direct := addr.Channel{S: addr.MustParse("171.64.9.3"), E: addr.ExpressAddr(0x103)}
+	if err := pri.Announce(42, direct); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 10*time.Second, func() bool { return router.SubscriberCount(direct) == 1 }, "announce-driven subscription")
+
+	// The secondary source sends raw payloads on its direct channel.
+	src, err := newDirectSource(router.DataAddr(), direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	waitCond(t, 10*time.Second, func() bool {
+		src.Send([]byte("direct-content"))
+		_, ok := ib.has("direct-content")
+		return ok
+	}, "direct-channel delivery")
+	if from, _ := ib.has("direct-content"); from != 0 {
+		t.Errorf("direct content attributed to %d, want 0", from)
+	}
+}
+
+// newDirectSource is a bare data-plane source for the secondary-speaker
+// side of the announce test.
+func newDirectSource(dataAddr string, ch addr.Channel) (*directSource, error) {
+	ua, err := net.ResolveUDPAddr("udp", dataAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	return &directSource{conn: conn, ch: ch, seq: 1}, nil
+}
+
+type directSource struct {
+	conn *net.UDPConn
+	ch   addr.Channel
+	seq  uint32
+}
+
+func (s *directSource) Send(payload []byte) error {
+	pkt := wire.DataPacket{Channel: s.ch, Seq: s.seq, Payload: payload}
+	s.seq++
+	_, err := s.conn.Write(pkt.AppendTo(nil))
+	return err
+}
+
+func (s *directSource) Close() error { return s.conn.Close() }

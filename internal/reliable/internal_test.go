@@ -1,0 +1,105 @@
+package reliable
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWindowBoundsSpanNotCount is the countId-aliasing regression: with
+// sequence s unrepaired, sequence s+Window maps to the same nackID, so a
+// receiver's NACK for one is indistinguishable from a NACK for the other.
+// The guard must refuse the send on *span*, which a bound on the count of
+// outstanding sequences (here: just one) would happily let through.
+func TestWindowBoundsSpanNotCount(t *testing.T) {
+	s := &Sender{unrepaired: map[uint32]*sentRecord{0: {}}}
+	s.nextSeq = Window // next send would be seq Window: nackID(Window) == nackID(0)
+	if nackID(Window) != nackID(0) {
+		t.Fatalf("test premise broken: nackID(%d)=%v, nackID(0)=%v", Window, nackID(Window), nackID(0))
+	}
+	if !s.windowFull() {
+		t.Fatal("span of Window with 1 outstanding not refused: countId aliasing possible")
+	}
+	if _, err := s.Send(1, "x"); err == nil {
+		t.Fatal("Send succeeded into an aliasing window")
+	}
+
+	// A dense window one short of the span limit is still fine.
+	s2 := &Sender{unrepaired: make(map[uint32]*sentRecord)}
+	for i := uint32(0); i < Window-1; i++ {
+		s2.unrepaired[i] = &sentRecord{}
+	}
+	s2.nextSeq = Window - 1
+	if s2.windowFull() {
+		t.Fatal("span < Window refused")
+	}
+}
+
+// TestWindowSpanAcrossWraparound checks the span guard with sequence
+// numbers straddling the uint32 rollover: the true span is small, so the
+// window must not read as full.
+func TestWindowSpanAcrossWraparound(t *testing.T) {
+	s := &Sender{unrepaired: map[uint32]*sentRecord{math.MaxUint32 - 1: {}, math.MaxUint32: {}, 0: {}}}
+	s.nextSeq = 1
+	if s.windowFull() {
+		t.Fatal("span 3 across rollover read as full")
+	}
+	s.unrepaired[1] = &sentRecord{}
+	oldest := uint32(math.MaxUint32 - 1)
+	s.nextSeq = oldest + Window // span exactly Window from oldest, wrapped
+	if !s.windowFull() {
+		t.Fatal("span Window across rollover not refused")
+	}
+}
+
+// TestReceiverWraparound drives the in-order buffer across 2^32−1 → 0 with
+// a StartSeq just below the boundary: out-of-order arrival, hole tracking,
+// and NACK answering must all use serial comparisons.
+func TestReceiverWraparound(t *testing.T) {
+	start := uint32(math.MaxUint32 - 2)
+	var delivered []uint32
+	r := &Receiver{
+		next:   start,
+		buffer: make(map[uint32]*Datagram),
+		seen:   make(map[uint32]bool),
+	}
+	r.OnDeliver = func(d *Datagram) { delivered = append(delivered, d.Seq) }
+
+	// Arrivals: start, start+1, then a hole at start+2 (== MaxUint32), then
+	// post-wrap sequences 0 and 1.
+	for _, seq := range []uint32{start, start + 1, 0, 1} {
+		r.onDatagram(&Datagram{Seq: seq})
+	}
+	if len(delivered) != 2 {
+		t.Fatalf("delivered %v before hole filled, want just the first two", delivered)
+	}
+	if !r.Missing(math.MaxUint32) {
+		t.Fatal("hole at MaxUint32 not reported missing")
+	}
+	if r.Missing(0) || r.Missing(1) {
+		t.Fatal("buffered post-wrap sequences reported missing")
+	}
+	if got := r.answerNACK(r.ch, nackID(math.MaxUint32)); got != 1 {
+		t.Fatalf("answerNACK(hole slot) = %d, want 1", got)
+	}
+	if got := r.answerNACK(r.ch, nackID(0)); got != 0 {
+		t.Fatalf("answerNACK(seen slot) = %d, want 0", got)
+	}
+
+	// The repair arrives: everything through seq 1 delivers in order.
+	r.onDatagram(&Datagram{Seq: math.MaxUint32})
+	want := []uint32{start, start + 1, math.MaxUint32, 0, 1}
+	if len(delivered) != len(want) {
+		t.Fatalf("delivered %v, want %v", delivered, want)
+	}
+	for i := range want {
+		if delivered[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", delivered, want)
+		}
+	}
+	if r.next != 2 {
+		t.Fatalf("next = %d, want 2 (wrapped)", r.next)
+	}
+	if r.Metrics.NACKsSent != 1 {
+		t.Fatalf("NACKsSent = %d, want 1", r.Metrics.NACKsSent)
+	}
+}

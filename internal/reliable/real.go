@@ -1,0 +1,358 @@
+package reliable
+
+// Real-socket port of the NACK-count transport: the same Section 2.2.1
+// protocol as the netsim Sender/Receiver, but over internal/dataplane UDP
+// channel packets and the router's real ECMP counting path. Receivers
+// *push* their hole state as application-defined Counts on their neighbor
+// session (the proactive counting of Section 6); the router aggregates
+// them per channel, and the sender's CountQuery reads the aggregate — one
+// query returns how many receivers still miss a sequence, with no
+// per-receiver feedback traffic at all.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/dataplane"
+	"repro/internal/realnet"
+	"repro/internal/wire"
+)
+
+// realRecord is one unrepaired datagram on the real sender: a private copy
+// of the payload (the caller's buffer is reused) plus the retirement
+// streak. A sequence retires only after two consecutive rounds report a
+// zero NACK count: a receiver that lost both the datagram and that round's
+// probe cannot NACK yet, and retiring on the first clean query would
+// orphan its hole forever (the sender stops querying a slot it no longer
+// tracks). Two rounds with a fresh probe between them give the hole a
+// second chance to surface.
+type realRecord struct {
+	payload     []byte
+	cleanRounds int
+}
+
+// RealSender is the reliable source over a real data plane: it owns the
+// channel's sequence counter (sends go through Source.SendSeq, so
+// retransmissions never consume fresh sequence numbers) and uses the
+// neighbor session's CountQuery as the NACK-count read path.
+type RealSender struct {
+	src  *dataplane.Source
+	sess *realnet.Session
+	ch   addr.Channel
+
+	mu         sync.Mutex
+	nextSeq    uint32
+	unrepaired map[uint32]*realRecord
+
+	Metrics SenderMetrics
+}
+
+// NewRealSender wraps a channel source and the neighbor session used for
+// NACK-count queries. The sender continues the source's sequence space.
+func NewRealSender(src *dataplane.Source, sess *realnet.Session) *RealSender {
+	return &RealSender{
+		src:        src,
+		sess:       sess,
+		ch:         src.Channel(),
+		nextSeq:    src.Seq() + 1,
+		unrepaired: make(map[uint32]*realRecord),
+	}
+}
+
+// windowFull reports whether sending nextSeq would alias an unrepaired
+// sequence's NACK countId — the same serial span bound as the netsim
+// sender. Callers hold s.mu.
+func (s *RealSender) windowFull() bool {
+	if len(s.unrepaired) == 0 {
+		return false
+	}
+	oldest := s.nextSeq
+	for seq := range s.unrepaired {
+		if wire.SeqBefore(seq, oldest) {
+			oldest = seq
+		}
+	}
+	return wire.SeqDelta(s.nextSeq, oldest) >= Window
+}
+
+// Send transmits the next in-sequence datagram and returns its sequence
+// number. The payload is copied; the caller's buffer may be reused.
+func (s *RealSender) Send(payload []byte) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.windowFull() {
+		return 0, fmt.Errorf("reliable: repair window full (span %d)", Window)
+	}
+	seq := s.nextSeq
+	if err := s.src.SendSeq(seq, payload, 0); err != nil {
+		return 0, err
+	}
+	s.nextSeq++
+	s.unrepaired[seq] = &realRecord{payload: append([]byte(nil), payload...)}
+	s.Metrics.Sent++
+	return seq, nil
+}
+
+// Outstanding returns the number of sequences not yet confirmed repaired.
+func (s *RealSender) Outstanding() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.unrepaired)
+}
+
+// RepairRound multicasts a probe (tail losses must become holes before
+// they are NACKable), waits settle for receivers' pushed hole counts to
+// reach the router, then queries the NACK count for every outstanding
+// sequence and retransmits those still missing somewhere. Returns how many
+// sequences needed repair.
+//
+// The probe is a high-water marker outside the ordered stream: it re-
+// stamps the newest data sequence with DataFlagProbe, consumes no sequence
+// number, and is never tracked — receivers use it only to learn how far
+// the stream extends, so a dropped probe costs nothing but one round of
+// detection latency (the next round carries a fresh one).
+func (s *RealSender) RepairRound(settle, timeout time.Duration) (int, error) {
+	s.mu.Lock()
+	s.Metrics.RepairRounds++
+	if len(s.unrepaired) == 0 {
+		s.mu.Unlock()
+		return 0, nil
+	}
+	if err := s.src.SendSeq(s.nextSeq-1, nil, wire.DataFlagProbe); err == nil {
+		s.Metrics.Probes++
+	}
+	suspects := make(map[uint32]*realRecord, len(s.unrepaired))
+	for seq, rec := range s.unrepaired {
+		suspects[seq] = rec
+	}
+	s.mu.Unlock()
+
+	if settle > 0 {
+		time.Sleep(settle)
+	}
+	repaired := 0
+	var firstErr error
+	for seq, rec := range suspects {
+		s.mu.Lock()
+		s.Metrics.NACKQueries++
+		s.mu.Unlock()
+		missing, err := s.sess.Query(s.ch, nackID(seq), timeout)
+		if err != nil {
+			// A flapped session surfaces as a timeout; the sequence stays
+			// outstanding for the next round.
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.mu.Lock()
+		if missing == 0 {
+			rec.cleanRounds++
+			if rec.cleanRounds >= 2 {
+				delete(s.unrepaired, seq) // everyone provably has it
+			}
+		} else {
+			rec.cleanRounds = 0
+			repaired++
+			s.Metrics.Retransmitted++
+			s.src.SendSeq(seq, rec.payload, wire.DataFlagRetx)
+		}
+		s.mu.Unlock()
+	}
+	return repaired, firstErr
+}
+
+// RealReceiver is the reliable subscriber over a real data plane: it
+// buffers out-of-order channel packets, delivers in order, and pushes its
+// hole state to the router as application-defined NACK counts — raised
+// when a hole opens, cleared the moment a repair fills it.
+type RealReceiver struct {
+	recv *dataplane.Receiver
+	sess *realnet.Session
+	ch   addr.Channel
+
+	mu      sync.Mutex
+	started bool
+	next    uint32
+	buffer  map[uint32]*bufferedPkt
+	seen    map[uint32]bool
+	raised  map[wire.CountID]bool
+	// probeHi is the exclusive high-water a probe advertised (valid when
+	// probeHiSet): the stream extends at least this far, so every unseen
+	// sequence below it is a NACKable hole even when the arrivals that
+	// would prove it were themselves lost.
+	probeHi    uint32
+	probeHiSet bool
+	metrics    ReceiverMetrics
+
+	// onDeliver receives datagrams in sequence order; the payload is a
+	// private copy.
+	onDeliver func(seq uint32, payload []byte, flags uint8)
+
+	wg sync.WaitGroup
+}
+
+type bufferedPkt struct {
+	payload []byte
+	flags   uint8
+}
+
+// NewRealReceiver subscribes sess to ch and consumes recv until the
+// receiver socket is closed, handing in-order datagrams to onDeliver (the
+// payload is a private copy; nil discards). recv must be the data endpoint
+// the session's Hello advertises (directly or through a loss-injecting
+// proxy).
+func NewRealReceiver(recv *dataplane.Receiver, sess *realnet.Session, ch addr.Channel,
+	onDeliver func(seq uint32, payload []byte, flags uint8)) *RealReceiver {
+	r := &RealReceiver{
+		recv:      recv,
+		sess:      sess,
+		ch:        ch,
+		buffer:    make(map[uint32]*bufferedPkt),
+		seen:      make(map[uint32]bool),
+		raised:    make(map[wire.CountID]bool),
+		onDeliver: onDeliver,
+	}
+	sess.Subscribe(ch)
+	sess.Flush()
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+// Stats snapshots the receiver's metrics.
+func (r *RealReceiver) Stats() ReceiverMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics
+}
+
+// Next returns the lowest undelivered sequence number.
+func (r *RealReceiver) Next() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Close closes the data socket, stopping the receive loop.
+func (r *RealReceiver) Close() error {
+	err := r.recv.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *RealReceiver) loop() {
+	defer r.wg.Done()
+	for {
+		pkt, err := r.recv.Recv()
+		if err != nil {
+			return
+		}
+		if pkt.Channel != r.ch {
+			continue
+		}
+		r.onPacket(&pkt)
+	}
+}
+
+func (r *RealReceiver) onPacket(pkt *wire.DataPacket) {
+	type delivery struct {
+		seq     uint32
+		payload []byte
+		flags   uint8
+	}
+	var out []delivery
+
+	r.mu.Lock()
+	if pkt.Flags&wire.DataFlagProbe != 0 {
+		// A probe is a high-water marker, not stream content: it re-stamps
+		// an existing sequence and is never buffered or delivered. Before
+		// the first data arrival it is also ignored — there is no anchor
+		// to measure holes against yet.
+		if r.started {
+			if hi := pkt.Seq + 1; !r.probeHiSet || wire.SeqAfter(hi, r.probeHi) {
+				r.probeHi = hi
+				r.probeHiSet = true
+			}
+			r.syncNACKsLocked()
+		}
+		r.mu.Unlock()
+		return
+	}
+	if !r.started {
+		r.started = true
+		r.next = pkt.Seq
+	}
+	if r.seen[pkt.Seq] || wire.SeqBefore(pkt.Seq, r.next) {
+		r.metrics.Duplicates++
+		r.mu.Unlock()
+		return
+	}
+	r.metrics.Received++
+	r.seen[pkt.Seq] = true
+	r.buffer[pkt.Seq] = &bufferedPkt{payload: append([]byte(nil), pkt.Payload...), flags: pkt.Flags}
+	for {
+		bp, ok := r.buffer[r.next]
+		if !ok {
+			break
+		}
+		delete(r.buffer, r.next)
+		delete(r.seen, r.next) // below next, SeqBefore guards duplicates
+		out = append(out, delivery{seq: r.next, payload: bp.payload, flags: bp.flags})
+		r.next++
+		r.metrics.Delivered++
+	}
+	r.syncNACKsLocked()
+	cb := r.onDeliver
+	r.mu.Unlock()
+
+	if cb != nil {
+		for _, d := range out {
+			cb(d.seq, d.payload, d.flags)
+		}
+	}
+}
+
+// syncNACKsLocked pushes the receiver's hole state to the router: one
+// application-defined count per NACK slot, raised while the congruent
+// sequence below the high-water mark is missing and cleared once it
+// arrives. The sender's span bound (Window) guarantees at most one live
+// sequence per slot, so a slot is unambiguous. Callers hold r.mu.
+func (r *RealReceiver) syncNACKsLocked() {
+	hi := r.next
+	for s := range r.buffer {
+		if !wire.SeqBefore(s, hi) {
+			hi = s + 1
+		}
+	}
+	if r.probeHiSet && wire.SeqAfter(r.probeHi, hi) {
+		hi = r.probeHi
+	}
+	holes := make(map[wire.CountID]bool)
+	for seq := r.next; wire.SeqBefore(seq, hi); seq++ {
+		if !r.seen[seq] {
+			holes[nackID(seq)] = true
+		}
+	}
+	changed := false
+	for id := range holes {
+		if !r.raised[id] {
+			r.raised[id] = true
+			r.sess.SendAppCount(r.ch, id, 1)
+			r.metrics.NACKsSent++
+			changed = true
+		}
+	}
+	for id := range r.raised {
+		if !holes[id] {
+			delete(r.raised, id)
+			r.sess.SendAppCount(r.ch, id, 0)
+			changed = true
+		}
+	}
+	if changed {
+		r.sess.Flush()
+	}
+}

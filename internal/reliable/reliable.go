@@ -24,8 +24,12 @@ import (
 
 // Window is how many outstanding sequence numbers map onto the
 // application-defined countId space at once. NACK queries for sequence s
-// use countId nackBase + s mod Window, so at most Window sequences may be
-// unrepaired simultaneously.
+// use countId nackBase + s mod Window, so the *span* of unrepaired
+// sequences (newest − oldest) must stay below Window: two live sequences
+// that are Window apart would share a countId, and a NACK for one would
+// be indistinguishable from a NACK for the other. (Bounding the count of
+// outstanding sequences is not enough — 2 outstanding sequences can still
+// be Window apart.)
 const Window = 512
 
 // nackBase is the first application-defined countId used for NACK counts.
@@ -67,6 +71,9 @@ type SenderMetrics struct {
 	NACKQueries   uint64
 	Retransmitted uint64
 	Subcasts      uint64
+	// Probes counts high-water probes on the real transport (the netsim
+	// sender's probes consume sequence numbers and count under Sent).
+	Probes uint64
 }
 
 // NewSender wraps an EXPRESS source and channel.
@@ -74,11 +81,27 @@ func NewSender(src *express.Source, ch addr.Channel) *Sender {
 	return &Sender{src: src, ch: ch, unrepaired: make(map[uint32]*sentRecord)}
 }
 
+// windowFull reports whether sending nextSeq would alias an unrepaired
+// sequence's NACK countId: the serial span from the oldest unrepaired
+// sequence through nextSeq inclusive would reach Window.
+func (s *Sender) windowFull() bool {
+	if len(s.unrepaired) == 0 {
+		return false
+	}
+	oldest := s.nextSeq
+	for seq := range s.unrepaired {
+		if wire.SeqBefore(seq, oldest) {
+			oldest = seq
+		}
+	}
+	return wire.SeqDelta(s.nextSeq, oldest) >= Window
+}
+
 // Send transmits the next in-sequence datagram and returns its sequence
 // number.
 func (s *Sender) Send(size int, payload any) (uint32, error) {
-	if len(s.unrepaired) >= Window {
-		return 0, fmt.Errorf("reliable: repair window full (%d outstanding)", Window)
+	if s.windowFull() {
+		return 0, fmt.Errorf("reliable: repair window full (span %d)", Window)
 	}
 	seq := s.nextSeq
 	s.nextSeq++
@@ -208,16 +231,18 @@ func NewReceiver(sub *express.Subscriber, ch addr.Channel) *Receiver {
 // Next returns the lowest undelivered sequence number.
 func (r *Receiver) Next() uint32 { return r.next }
 
-// Missing reports whether seq is a known hole: some higher sequence has
-// arrived but seq has not.
+// Missing reports whether seq is a known hole: some serially higher
+// sequence has arrived but seq has not. All comparisons are serial
+// (RFC 1982 style), so streams crossing the uint32 rollover keep exact
+// hole accounting.
 func (r *Receiver) Missing(seq uint32) bool {
-	return seq < r.highestSeen() && !r.seen[seq] && seq >= r.next
+	return wire.SeqBefore(seq, r.highestSeen()) && !r.seen[seq] && !wire.SeqBefore(seq, r.next)
 }
 
 func (r *Receiver) highestSeen() uint32 {
 	hi := r.next
 	for s := range r.buffer {
-		if s >= hi {
+		if !wire.SeqBefore(s, hi) {
 			hi = s + 1
 		}
 	}
@@ -225,7 +250,7 @@ func (r *Receiver) highestSeen() uint32 {
 }
 
 func (r *Receiver) onDatagram(d *Datagram) {
-	if r.seen[d.Seq] || d.Seq < r.next {
+	if r.seen[d.Seq] || wire.SeqBefore(d.Seq, r.next) {
 		r.Metrics.Duplicates++
 		return
 	}
@@ -258,7 +283,7 @@ func (r *Receiver) answerNACK(_ addr.Channel, id wire.CountID) uint32 {
 	}
 	slot := uint32(id - nackBase)
 	hi := r.highestSeen()
-	for seq := r.next; seq < hi; seq++ {
+	for seq := r.next; wire.SeqBefore(seq, hi); seq++ {
 		if seq%Window == slot && !r.seen[seq] {
 			r.Metrics.NACKsSent++
 			return 1

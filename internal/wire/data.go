@@ -43,6 +43,13 @@ const (
 	// DataFlagFin marks the last packet of a stream; loadgen uses it so
 	// receivers can stop counting without waiting out a timeout.
 	DataFlagFin uint8 = 1 << 0
+	// DataFlagProbe marks a reliable-transport repair-round probe: a
+	// sequence-consuming packet whose only job is to raise receivers'
+	// high-water marks so tail losses become NACKable holes.
+	DataFlagProbe uint8 = 1 << 1
+	// DataFlagRetx marks a retransmission. Semantics are identical to the
+	// original send (receivers slot it by Seq); the flag exists for stats.
+	DataFlagRetx uint8 = 1 << 2
 )
 
 // DataPacket is one channel data packet. Decoding borrows Payload from the

@@ -67,6 +67,12 @@ const (
 	NetCountBase    CountID = 0x8000
 	CountLinks      CountID = 0x8001
 	CountTreeWeight CountID = 0x8002
+	// CountRelayAddr4 and CountRelayPort discover the Section 4 session
+	// relay serving a channel: a router answers with the relay's IPv4
+	// address (as the count value) and its unicast control port. Zero means
+	// no relay is registered for the channel.
+	CountRelayAddr4 CountID = 0x8003
+	CountRelayPort  CountID = 0x8005
 )
 
 // IsNetworkLayer reports whether the id is answered by routers rather than

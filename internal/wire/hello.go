@@ -1,6 +1,10 @@
 package wire
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"repro/internal/addr"
+)
 
 // Hello opens (or re-opens) a resilient neighbor session on a TCP-mode ECMP
 // connection. It is not one of the paper's three ECMP messages; it is the
@@ -29,17 +33,27 @@ type Hello struct {
 	// so a session reconnect reprograms it and a session failure clears it.
 	// Zero means the neighbor has no data plane (control-only sessions).
 	DataPort uint16
+	// RelayPort, when non-zero, advertises that this session's host runs a
+	// session relay (Section 4) reachable for participant unicast control
+	// on that UDP port, serving the channel in RelayChannel. The router
+	// records the advertisement in its relay registry, keyed by channel,
+	// and answers CountRelayAddr4/CountRelayPort queries from it — relay
+	// discovery rides the same session machinery as DataPort, so a
+	// reconnect re-advertises and a session failure withdraws the entry.
+	RelayPort    uint16
+	RelayChannel addr.Channel
 }
 
 // TypeHello extends the self-delimiting message vocabulary; see Hello.
 const TypeHello uint8 = 5
 
 // helloVersion guards the layout; bump on incompatible change.
-// Version 2 added DataPort.
-const helloVersion uint8 = 2
+// Version 2 added DataPort; version 3 added RelayPort and RelayChannel.
+const helloVersion uint8 = 3
 
-// HelloSize is the encoded size: type, version, SessionID, Epoch, DataPort.
-const HelloSize = 2 + 8 + 8 + 2
+// HelloSize is the encoded size: type, version, SessionID, Epoch, DataPort,
+// RelayPort, RelayChannel (S + 24-bit E suffix).
+const HelloSize = 2 + 8 + 8 + 2 + 2 + 7
 
 // CountKeepalive is the TCP-mode per-neighbor keepalive, encoded as a
 // network-layer Count so no extra message type is needed (Section 3.2: "a
@@ -52,7 +66,11 @@ func (m *Hello) AppendTo(b []byte) []byte {
 	b = append(b, TypeHello, helloVersion)
 	b = binary.BigEndian.AppendUint64(b, m.SessionID)
 	b = binary.BigEndian.AppendUint64(b, m.Epoch)
-	return binary.BigEndian.AppendUint16(b, m.DataPort)
+	b = binary.BigEndian.AppendUint16(b, m.DataPort)
+	b = binary.BigEndian.AppendUint16(b, m.RelayPort)
+	var ch [7]byte
+	putChannel(ch[:], m.RelayChannel)
+	return append(b, ch[:]...)
 }
 
 // DecodeFromBytes parses the message and returns the bytes consumed.
@@ -66,5 +84,7 @@ func (m *Hello) DecodeFromBytes(b []byte) (int, error) {
 	m.SessionID = binary.BigEndian.Uint64(b[2:10])
 	m.Epoch = binary.BigEndian.Uint64(b[10:18])
 	m.DataPort = binary.BigEndian.Uint16(b[18:20])
+	m.RelayPort = binary.BigEndian.Uint16(b[20:22])
+	m.RelayChannel = getChannel(b[22:29])
 	return HelloSize, nil
 }

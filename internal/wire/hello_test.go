@@ -3,10 +3,21 @@ package wire
 import (
 	"errors"
 	"testing"
+
+	"repro/internal/addr"
 )
 
 func TestHelloRoundTrip(t *testing.T) {
-	in := Hello{SessionID: 0xdeadbeefcafe0001, Epoch: 42, DataPort: 4801}
+	in := Hello{
+		SessionID: 0xdeadbeefcafe0001,
+		Epoch:     42,
+		DataPort:  4801,
+		RelayPort: 4950,
+		RelayChannel: addr.Channel{
+			S: addr.MustParse("171.64.9.9"),
+			E: addr.ExpressAddr(0x00abcdef),
+		},
+	}
 	b := in.AppendTo(nil)
 	if len(b) != HelloSize {
 		t.Fatalf("encoded size = %d, want %d", len(b), HelloSize)

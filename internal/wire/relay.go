@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// Session-relay control framing. The Section 4 relay tier runs two packet
+// flows beside the raw channel data path:
+//
+//   - participant ↔ relay unicast control (join, floor request/release,
+//     data-to-relay) on the relay's UDP control socket, and
+//   - relay → session framing inside DataPacket payloads on the channel
+//     (relayed content, beacons, secondary-source announcements).
+//
+// Both use the same RelayMsg codec, so one decoder (and one fuzz target)
+// covers every relay-tier packet. Like data packets, relay messages are
+// datagram-delimited: fixed 24-byte header, payload is the rest.
+//
+// Layout (big endian):
+//
+//	0       type (TypeRelayMsg)
+//	1       version
+//	2       kind
+//	3       flags
+//	4..11   participant id (From)
+//	12..15  token (grant tokens, refusal reasons, mode bits — per kind)
+//	16..19  channel S
+//	20..22  channel E suffix (24 bits)
+//	23      reserved (must be zero)
+//	24..    payload
+
+// TypeRelayMsg extends the message vocabulary; it never appears on the TCP
+// count stream, but a distinct type byte keeps every codec self-identifying.
+const TypeRelayMsg uint8 = 6
+
+// relayVersion guards the layout; bump on incompatible change.
+const relayVersion uint8 = 1
+
+const (
+	// RelayHeaderSize is the fixed relay-message header size.
+	RelayHeaderSize = 24
+	// MaxRelayPacket matches the data plane's Ethernet-frame budget.
+	MaxRelayPacket = 1500 - 20 - 8
+	// MaxRelayPayload is the largest payload that fits in one message.
+	MaxRelayPayload = MaxRelayPacket - RelayHeaderSize
+)
+
+// RelayKind discriminates relay-tier messages.
+type RelayKind uint8
+
+const (
+	// RelayJoin registers a participant with the relay (unicast, to relay).
+	RelayJoin RelayKind = 1 + iota
+	// RelayJoinAck confirms a join; Channel carries the session channel.
+	RelayJoinAck
+	// RelayLeave deregisters a participant.
+	RelayLeave
+	// RelayFloorRequest asks for the floor (unicast, to relay).
+	RelayFloorRequest
+	// RelayFloorRelease returns the floor (unicast, to relay).
+	RelayFloorRelease
+	// RelayFloorGrant notifies the participant it holds the floor.
+	RelayFloorGrant
+	// RelayFloorDeny refuses a floor request (policy limit).
+	RelayFloorDeny
+	// RelayData is content: participant→relay unicast on the control
+	// socket, and relay→session on the channel (From = original speaker).
+	RelayData
+	// RelayRefused tells a non-holder its RelayData was not relayed.
+	RelayRefused
+	// RelayBeacon is the relay's periodic liveness signal on the channel;
+	// participants and standby relays feed their fail-over watchdogs
+	// exclusively from channel arrivals, so an idle-but-healthy session
+	// still proves its relay is alive.
+	RelayBeacon
+	// RelayAnnounce tells the session a secondary source switched to the
+	// direct channel carried in Channel (Section 4.1).
+	RelayAnnounce
+
+	relayKindMax = RelayAnnounce
+)
+
+// String names the kind for logs and metrics.
+func (k RelayKind) String() string {
+	switch k {
+	case RelayJoin:
+		return "join"
+	case RelayJoinAck:
+		return "join-ack"
+	case RelayLeave:
+		return "leave"
+	case RelayFloorRequest:
+		return "floor-request"
+	case RelayFloorRelease:
+		return "floor-release"
+	case RelayFloorGrant:
+		return "floor-grant"
+	case RelayFloorDeny:
+		return "floor-deny"
+	case RelayData:
+		return "data"
+	case RelayRefused:
+		return "refused"
+	case RelayBeacon:
+		return "beacon"
+	case RelayAnnounce:
+		return "announce"
+	}
+	return fmt.Sprintf("relay-kind-%d", uint8(k))
+}
+
+// ErrBadKind reports an out-of-range relay message kind.
+var ErrBadKind = fmt.Errorf("wire: unknown relay message kind")
+
+// RelayMsg is one relay-tier message. Decoding borrows Payload from the
+// input buffer and never allocates.
+type RelayMsg struct {
+	Kind  RelayKind
+	Flags uint8
+	// From identifies the participant: the requester on unicast control
+	// messages, the original speaker on relayed channel content.
+	From uint64
+	// Token carries per-kind scalar context (grant token, deny reason).
+	Token uint32
+	// Channel is the session channel (join acks, announces); zero when a
+	// kind does not need it.
+	Channel addr.Channel
+	Payload []byte
+}
+
+// AppendTo appends the encoded message and returns the extended buffer.
+func (m *RelayMsg) AppendTo(b []byte) []byte {
+	var hdr [RelayHeaderSize]byte
+	hdr[0] = TypeRelayMsg
+	hdr[1] = relayVersion
+	hdr[2] = uint8(m.Kind)
+	hdr[3] = m.Flags
+	binary.BigEndian.PutUint64(hdr[4:12], m.From)
+	binary.BigEndian.PutUint32(hdr[12:16], m.Token)
+	binary.BigEndian.PutUint32(hdr[16:20], uint32(m.Channel.S))
+	suffix := m.Channel.E.ExpressSuffix()
+	hdr[20] = byte(suffix >> 16)
+	hdr[21] = byte(suffix >> 8)
+	hdr[22] = byte(suffix)
+	hdr[23] = 0
+	b = append(b, hdr[:]...)
+	return append(b, m.Payload...)
+}
+
+// Size returns the encoded size of the message.
+func (m *RelayMsg) Size() int { return RelayHeaderSize + len(m.Payload) }
+
+// DecodeFromBytes parses one datagram-delimited relay message. The payload
+// borrows from b; the whole buffer is consumed.
+func (m *RelayMsg) DecodeFromBytes(b []byte) (int, error) {
+	if len(b) < RelayHeaderSize {
+		return 0, ErrShort
+	}
+	if b[0] != TypeRelayMsg || b[1] != relayVersion {
+		return 0, ErrBadType
+	}
+	k := RelayKind(b[2])
+	if k == 0 || k > relayKindMax {
+		return 0, ErrBadKind
+	}
+	if b[23] != 0 {
+		return 0, fmt.Errorf("%w: non-zero reserved byte", ErrBadType)
+	}
+	m.Kind = k
+	m.Flags = b[3]
+	m.From = binary.BigEndian.Uint64(b[4:12])
+	m.Token = binary.BigEndian.Uint32(b[12:16])
+	s := addr.Addr(binary.BigEndian.Uint32(b[16:20]))
+	suffix := uint32(b[20])<<16 | uint32(b[21])<<8 | uint32(b[22])
+	m.Channel = addr.Channel{S: s, E: addr.ExpressAddr(suffix)}
+	m.Payload = b[RelayHeaderSize:]
+	return len(b), nil
+}

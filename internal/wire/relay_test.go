@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func TestRelayMsgRoundTrip(t *testing.T) {
+	in := RelayMsg{
+		Kind:    RelayData,
+		Flags:   3,
+		From:    0x1122334455667788,
+		Token:   0xcafebabe,
+		Channel: addr.Channel{S: addr.MustParse("171.64.9.9"), E: addr.ExpressAddr(0x00abcdef)},
+		Payload: []byte("who holds the floor"),
+	}
+	b := in.AppendTo(nil)
+	if len(b) != in.Size() || len(b) != RelayHeaderSize+len(in.Payload) {
+		t.Fatalf("encoded size = %d, want %d", len(b), in.Size())
+	}
+	var out RelayMsg
+	n, err := out.DecodeFromBytes(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("decode = (%d, %v), want (%d, nil)", n, err, len(b))
+	}
+	if out.Kind != in.Kind || out.Flags != in.Flags || out.From != in.From ||
+		out.Token != in.Token || out.Channel != in.Channel ||
+		!bytes.Equal(out.Payload, in.Payload) {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestRelayMsgRejects(t *testing.T) {
+	var m RelayMsg
+	for n := 0; n < RelayHeaderSize; n++ {
+		if _, err := m.DecodeFromBytes(make([]byte, n)); !errors.Is(err, ErrShort) {
+			t.Errorf("len %d: err = %v, want ErrShort", n, err)
+		}
+	}
+	good := (&RelayMsg{Kind: RelayBeacon}).AppendTo(nil)
+
+	bad := append([]byte(nil), good...)
+	bad[0] = TypeCount
+	if _, err := m.DecodeFromBytes(bad); !errors.Is(err, ErrBadType) {
+		t.Errorf("wrong type byte: err = %v, want ErrBadType", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[1] = relayVersion + 1
+	if _, err := m.DecodeFromBytes(bad); !errors.Is(err, ErrBadType) {
+		t.Errorf("wrong version: err = %v, want ErrBadType", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[2] = 0
+	if _, err := m.DecodeFromBytes(bad); !errors.Is(err, ErrBadKind) {
+		t.Errorf("kind 0: err = %v, want ErrBadKind", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[2] = uint8(relayKindMax) + 1
+	if _, err := m.DecodeFromBytes(bad); !errors.Is(err, ErrBadKind) {
+		t.Errorf("kind out of range: err = %v, want ErrBadKind", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[23] = 1
+	if _, err := m.DecodeFromBytes(bad); err == nil {
+		t.Error("non-zero reserved byte accepted")
+	}
+}
+
+// TestRelayMsgProperty drives random field tuples through encode→decode and
+// checks the identity; the E suffix is masked to 24 bits because the 232/8
+// prefix is implicit on the wire.
+func TestRelayMsgProperty(t *testing.T) {
+	f := func(kind uint8, flags uint8, from uint64, token uint32, s uint32, suffix uint32, payload []byte) bool {
+		k := RelayKind(kind%uint8(relayKindMax)) + 1
+		in := RelayMsg{
+			Kind:    k,
+			Flags:   flags,
+			From:    from,
+			Token:   token,
+			Channel: addr.Channel{S: addr.Addr(s), E: addr.ExpressAddr(suffix & 0x00ffffff)},
+			Payload: payload,
+		}
+		b := in.AppendTo(nil)
+		var out RelayMsg
+		n, err := out.DecodeFromBytes(b)
+		return err == nil && n == len(b) &&
+			out.Kind == in.Kind && out.Flags == in.Flags && out.From == in.From &&
+			out.Token == in.Token && out.Channel == in.Channel &&
+			bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzDecodeRelayMsg mirrors FuzzDecodeDataPacket for the relay control
+// framing: the decoder must never panic, must consume the whole datagram,
+// must only accept in-range kinds, and decode∘encode must be the identity
+// on the accepted language.
+func FuzzDecodeRelayMsg(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, RelayHeaderSize-1))
+	f.Add(make([]byte, RelayHeaderSize))
+	for _, k := range []RelayKind{RelayJoin, RelayFloorGrant, RelayData, RelayBeacon, RelayAnnounce} {
+		m := RelayMsg{
+			Kind:    k,
+			From:    77,
+			Token:   5,
+			Channel: addr.Channel{S: addr.MustParse("171.64.1.1"), E: addr.ExpressAddr(9)},
+			Payload: []byte("seed"),
+		}
+		f.Add(m.AppendTo(nil))
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var m RelayMsg
+		n, err := m.DecodeFromBytes(b)
+		if err != nil {
+			return
+		}
+		if n != len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if m.Kind == 0 || m.Kind > relayKindMax {
+			t.Fatalf("accepted out-of-range kind %d", m.Kind)
+		}
+		if !m.Channel.E.IsExpress() {
+			t.Fatalf("decoded destination %v outside 232/8", m.Channel.E)
+		}
+		out := m.AppendTo(nil)
+		if !bytes.Equal(out, b[:n]) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", b[:n], out)
+		}
+	})
+}

@@ -1,0 +1,29 @@
+package wire
+
+// Serial sequence-number arithmetic (RFC 1982 style) over the 32-bit
+// DataPacket.Seq space. A channel source stamps an ever-increasing counter
+// that wraps at 2^32; receivers comparing raw integers would see the
+// rollover from 2^32−1 to 0 as a ~4-billion-packet gap and poison every
+// loss/gap statistic downstream. These comparisons interpret the unsigned
+// difference as a signed distance instead, so they are correct whenever the
+// true distance between the two sequence numbers is less than 2^31 — far
+// beyond any real reorder window or repair horizon.
+
+// SeqDelta returns the signed serial distance a−b: positive when a is
+// ahead of b, negative when behind, 0 when equal. Valid while the true
+// distance is < 2^31.
+func SeqDelta(a, b uint32) int32 { return int32(a - b) }
+
+// SeqBefore reports whether a is serially earlier than b.
+func SeqBefore(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SeqAfter reports whether a is serially later than b.
+func SeqAfter(a, b uint32) bool { return int32(a-b) > 0 }
+
+// SeqMax returns the serially later of a and b.
+func SeqMax(a, b uint32) uint32 {
+	if SeqBefore(a, b) {
+		return b
+	}
+	return a
+}

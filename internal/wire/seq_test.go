@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeqSerialArithmetic(t *testing.T) {
+	cases := []struct {
+		a, b  uint32
+		delta int32
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 1, -1},
+		{100, 50, 50},
+		// The rollover: 2^32−1 → 0 is a distance of 1, not −(2^32−1).
+		{0, math.MaxUint32, 1},
+		{math.MaxUint32, 0, -1},
+		{2, math.MaxUint32 - 2, 5},
+		{math.MaxUint32 - 2, 2, -5},
+	}
+	for _, c := range cases {
+		if got := SeqDelta(c.a, c.b); got != c.delta {
+			t.Errorf("SeqDelta(%d,%d) = %d, want %d", c.a, c.b, got, c.delta)
+		}
+		if got := SeqBefore(c.a, c.b); got != (c.delta < 0) {
+			t.Errorf("SeqBefore(%d,%d) = %v, want %v", c.a, c.b, got, c.delta < 0)
+		}
+		if got := SeqAfter(c.a, c.b); got != (c.delta > 0) {
+			t.Errorf("SeqAfter(%d,%d) = %v, want %v", c.a, c.b, got, c.delta > 0)
+		}
+	}
+}
+
+func TestSeqMaxAcrossRollover(t *testing.T) {
+	if got := SeqMax(math.MaxUint32, 3); got != 3 {
+		t.Fatalf("SeqMax(MaxUint32, 3) = %d, want 3 (3 is serially later)", got)
+	}
+	if got := SeqMax(3, math.MaxUint32); got != 3 {
+		t.Fatalf("SeqMax(3, MaxUint32) = %d, want 3", got)
+	}
+	if got := SeqMax(7, 9); got != 9 {
+		t.Fatalf("SeqMax(7,9) = %d, want 9", got)
+	}
+}
