@@ -42,6 +42,7 @@ type config struct {
 	admin      string
 	dataPort   int
 	dataQueues int
+	dataHopID  int
 	shards     int
 	flushEvery time.Duration
 	keepalive  time.Duration
@@ -87,6 +88,7 @@ func newDaemon(cfg config) (*daemon, error) {
 		KeepaliveMisses:   cfg.kaMisses,
 		DataListen:        cfg.dataListen(),
 		DataQueues:        cfg.dataQueues,
+		DataHopID:         uint16(cfg.dataHopID),
 	})
 	if err != nil {
 		return nil, err
@@ -131,8 +133,9 @@ func (d *daemon) statsLoop(every time.Duration) {
 		last = st.Events
 		if dp := d.r.DataPlane(); dp != nil {
 			ds := dp.Stats()
-			log.Printf("expressd: data packets=%d bytes=%d replicated=%d sent=%d drops=%d write-errs=%d bad=%d truncated=%d no-port=%d",
-				ds.Packets, ds.Bytes, ds.Replicated, ds.Sent, ds.Drops, ds.WriteErrors, ds.BadPackets, ds.Truncated, ds.NoPort)
+			log.Printf("expressd: data packets=%d bytes=%d replicated=%d sent=%d drops=%d write-errs=%d bad=%d truncated=%d no-port=%d sr-fwd=%d sr-fallback=%d sr-bad=%d",
+				ds.Packets, ds.Bytes, ds.Replicated, ds.Sent, ds.Drops, ds.WriteErrors, ds.BadPackets, ds.Truncated, ds.NoPort,
+				ds.SRForwarded, ds.SRFallback, ds.SRBad)
 		}
 	}
 }
@@ -165,6 +168,7 @@ func main() {
 	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP address serving /metrics, /statsz, /healthz and /debug/pprof (empty disables)")
 	flag.IntVar(&cfg.dataPort, "data-port", -1, "UDP port for the data plane on the -listen host (0 = kernel-chosen, negative disables)")
 	flag.IntVar(&cfg.dataQueues, "data-queues", 0, "data-plane ingest queues: SO_REUSEPORT sockets with dedicated recvmmsg workers on linux (0 = default 1)")
+	flag.IntVar(&cfg.dataHopID, "data-hop-id", 0, "hop ID (1-65535) for source-routed extension headers: packets carrying a bitmap stack forward off this hop's group with zero FIB lookups (0 = header-unaware)")
 	flag.IntVar(&cfg.shards, "shards", 0, "channel-table shards (0 = default)")
 	flag.DurationVar(&cfg.flushEvery, "flush-interval", 0, "upstream batcher age trigger (0 = default)")
 	flag.DurationVar(&cfg.keepalive, "keepalive", 0, "neighbor liveness probe interval; enables the silent-neighbor reaper and upstream keepalives (0 disables)")

@@ -37,7 +37,7 @@ type dataReceiver struct {
 // paced) of payload bytes each for duration, and report. dataTarget is the
 // UDP address packets are injected at — the in-process router's own data
 // port, or an external expressd's -data-port.
-func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, senders, pps, payload int, duration time.Duration, statszURL string) {
+func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, senders, pps, payload int, duration time.Duration, statszURL string, srMode bool) {
 	ch := addr.Channel{S: addr.MustParse("171.64.1.1"), E: addr.ExpressAddr(13)}
 
 	rxs := make([]*dataReceiver, recvs)
@@ -114,6 +114,28 @@ func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, senders, pps
 		}
 		defer s.Close()
 		srcs = append(srcs, s)
+	}
+
+	// Source-routed mode: an SRTree watches the router's OIF image (the
+	// router becomes header-aware as hop 1) and pushes the folded bitmap
+	// stack to every source, so the measured traffic below forwards off the
+	// header with zero FIB lookups; membership changes mid-run refold and
+	// re-push automatically.
+	if srMode {
+		tree := realnet.NewSRTree(0)
+		defer tree.Close()
+		tree.AddRouter(r, 1, 0)
+		tree.Serve(ch, func(h []byte) {
+			for _, s := range srcs {
+				if err := s.SetSourceRoute(h); err != nil {
+					log.Fatalf("loadgen: set source route: %v", err)
+				}
+			}
+		})
+		tree.Recompute()
+		if !srcs[0].SourceRouted() {
+			log.Fatal("loadgen: -sr: no header after recompute (tree overflow or empty OIF image)")
+		}
 	}
 
 	stop := make(chan struct{})
@@ -201,6 +223,7 @@ func runData(ctrlAddr, dataTarget string, r *realnet.Router, recvs, senders, pps
 		ds := r.DataPlane().Stats()
 		fmt.Printf("router data      packets=%d replicated=%d sent=%d drops=%d write-errs=%d truncated=%d no-port=%d bad=%d\n",
 			ds.Packets, ds.Replicated, ds.Sent, ds.Drops, ds.WriteErrors, ds.Truncated, ds.NoPort, ds.BadPackets)
+		fmt.Printf("router srcroute  forwarded=%d fallback=%d bad=%d\n", ds.SRForwarded, ds.SRFallback, ds.SRBad)
 		fmt.Printf("router queues    %v packets per ingest queue\n", ds.QueuePackets)
 	}
 	reportServerSide(r, statszURL)

@@ -33,6 +33,13 @@
 //	loadgen -data -recvs 4 -pps 50000 -payload 256 -duration 5s
 //	loadgen -data -recvs 1 -senders 8 -data-queues 4 -duration 5s
 //
+// With -sr the same run forwards source-routed (experiment E17): an SRTree
+// folds the router's live OIF image into per-hop bitmap headers pushed to
+// every source, and the router (hop ID 1) replicates off the header with
+// zero FIB lookups — dp_sr_forwarded_total counts the fast path.
+//
+//	loadgen -data -sr -recvs 4 -pps 50000 -duration 5s
+//
 // FIB churn mode (experiment E14): -churn pre-installs -routes channels,
 // then drives Zipf flash-crowd joins/leaves through -conns sessions while a
 // paced stream forwards, reporting route-change throughput, SetRoute
@@ -74,6 +81,7 @@ func main() {
 	recvs := flag.Int("recvs", 4, "data mode: subscribed receivers (the replication fan-out)")
 	senders := flag.Int("senders", 1, "data mode: concurrent sources offering load (distinct 4-tuples spread across -data-queues)")
 	dataQueues := flag.Int("data-queues", 0, "data mode: ingest queues for the in-process router's plane (SO_REUSEPORT + recvmmsg workers on linux; 0 = default 1)")
+	srMode := flag.Bool("sr", false, "data mode: source-routed forwarding — an SRTree folds the live tree into per-hop bitmap headers, the in-process router (hop ID 1) forwards off them with zero FIB lookups")
 	payload := flag.Int("payload", 256, "data mode: payload bytes per packet")
 	churn := flag.Bool("churn", false, "FIB churn mode: Zipf flash-crowd joins/leaves against an in-process router with a live data plane (experiment E14)")
 	routes := flag.Int("routes", 100_000, "churn mode: pre-installed channel routes (the FIB size)")
@@ -115,8 +123,14 @@ func main() {
 			}
 			dt = r.DataAddr()
 		}
-		runData(addrStr, dt, r, *recvs, *senders, *pps, *payload, *duration, *statsz)
+		if *srMode && r == nil {
+			log.Fatal("loadgen: -sr needs the in-process router (drop -target)")
+		}
+		runData(addrStr, dt, r, *recvs, *senders, *pps, *payload, *duration, *statsz, *srMode)
 		return
+	}
+	if *srMode {
+		log.Fatal("loadgen: -sr only applies to -data mode")
 	}
 
 	if *flap > 0 {

@@ -75,10 +75,11 @@ func main() {
 			"E14": experiments.E14Churn,
 			"E15": experiments.E15Scaling,
 			"E16": experiments.E16Failover,
+			"E17": experiments.E17State,
 		}
 		r, ok := runners[strings.ToUpper(*only)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E12, E14, E15, E16)\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E12, E14..E17)\n", *only)
 			os.Exit(2)
 		}
 		r().WriteTo(os.Stdout)

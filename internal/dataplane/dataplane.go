@@ -70,6 +70,12 @@ type Options struct {
 	// Burst caps how many queued packets one egress writer coalesces into
 	// a single sendmmsg burst per wakeup. Default 32.
 	Burst int
+	// HopID is this plane's identity in source-routed extension headers
+	// (wire.DataFlagSrcRoute): packets carrying a bitmap stack are forwarded
+	// off the entry keyed by this ID with zero FIB lookups. 0 (the default)
+	// means header-unaware — source-routed packets take the FIB path like
+	// any other. Changeable at runtime with SetHopID.
+	HopID uint16
 
 	// forcePortable routes ingest through the portable one-datagram filler
 	// even where the recvmmsg path is available; forceSerial does the same
@@ -110,6 +116,10 @@ type Stats struct {
 	Drops       uint64 // datagrams dropped on a full egress queue
 	WriteErrors uint64 // datagrams lost to socket write errors
 
+	SRForwarded uint64 // packets forwarded off the source-route header (no FIB lookup)
+	SRFallback  uint64 // source-routed packets sent down the FIB path (exhausted stack, foreign hop, unaware plane)
+	SRBad       uint64 // source-routed packets with a malformed extension header
+
 	QueuePackets []uint64 // datagrams ingested per queue
 
 	FIB fib.Stats // lookup outcomes (matched / unmatched / wrong-IIF)
@@ -132,12 +142,17 @@ type Plane struct {
 
 	ports [fib.MaxInterfaces]atomic.Pointer[outPort]
 
+	hopID atomic.Uint32 // uint16 hop identity; 0 = header-unaware
+
 	pkts          atomic.Uint64
 	bytes         atomic.Uint64
 	badPkts       atomic.Uint64
 	truncated     atomic.Uint64
 	replicated    atomic.Uint64
 	noPort        atomic.Uint64
+	srForwarded   atomic.Uint64
+	srFallback    atomic.Uint64
+	srBad         atomic.Uint64
 	sentPrev      atomic.Uint64 // sends accounted on retired ports
 	dropsPrev     atomic.Uint64 // queue-full drops accounted on retired ports
 	writeErrsPrev atomic.Uint64 // write errors accounted on retired ports
@@ -187,6 +202,7 @@ func NewPlane(opts Options) (*Plane, error) {
 		burstH:    obs.NewHistogram(),
 		queuePPS:  obs.NewHistogram(),
 	}
+	p.hopID.Store(uint32(opts.HopID))
 	for i := 0; i < opts.Queues; i++ {
 		q := &queue{id: i, conn: conns[i%len(conns)]}
 		p.queues = append(p.queues, q)
@@ -288,17 +304,32 @@ func (p *Plane) retirePort(o *outPort) {
 	p.writeErrsPrev.Add(o.writeErrs.Load())
 }
 
+// SetHopID changes the plane's source-route hop identity at runtime; 0
+// turns the header fast path off (header-unaware). The control plane uses
+// it when a router joins or leaves a source-routed domain.
+func (p *Plane) SetHopID(hop uint16) { p.hopID.Store(uint32(hop)) }
+
+// HopID returns the plane's source-route hop identity (0 = unaware).
+func (p *Plane) HopID() uint16 { return uint16(p.hopID.Load()) }
+
 // HandlePacket runs the forwarding procedure for one already-read datagram:
-// decode the 12-byte header (borrowing, no copy), one lock-free ForwardMask
-// lookup, then replicate to every registered port in the mask. It returns
-// the number of destinations targeted. This is the measured hot path —
-// zero allocations in steady state; the ingest workers call it per slot of
-// each read batch, and benchmarks call it directly.
+// decode the 12-byte header (borrowing, no copy), then either the
+// source-route fast path (the packet carries its own OIF bitmap — zero FIB
+// lookups) or one lock-free ForwardMask lookup, and replicate to every
+// registered port in the mask. It returns the number of destinations
+// targeted. This is the measured hot path — zero allocations in steady
+// state; the ingest workers call it per slot of each read batch, and
+// benchmarks call it directly.
 func (p *Plane) HandlePacket(b []byte) int {
 	var pkt wire.DataPacket
 	if _, err := pkt.DecodeFromBytes(b); err != nil {
 		p.badPkts.Add(1)
 		return 0
+	}
+	if pkt.Flags&wire.DataFlagSrcRoute != 0 {
+		if fanout, done := p.forwardSrcRouted(&pkt, b); done {
+			return fanout
+		}
 	}
 	mask, disp := p.fib.ForwardMask(pkt.Channel.S, pkt.Channel.E, -1)
 	if disp != fib.Forwarded {
@@ -306,6 +337,47 @@ func (p *Plane) HandlePacket(b []byte) int {
 		// no-entry behaviour of Section 3.4.
 		return 0
 	}
+	return p.replicate(b, mask)
+}
+
+// forwardSrcRouted is the header fast path: parse the extension header in
+// place, look this hop up in the current bitmap group, pop the group (a
+// one-byte cursor write in the borrowed ingest buffer — per-destination
+// copies happen downstream in outPort.send, so children receive the popped
+// stack), and replicate off the header's bitmap with zero FIB lookups and
+// zero allocations. done=false sends the packet down the packed-FIB path:
+// the stack is exhausted (the packet is past its encoded tree), this hop is
+// not in the group (rerouted path), this plane is header-unaware (HopID 0),
+// or the header is malformed. Fallback keeps delivery correct whenever the
+// tree computation and the actual topology disagree; it only costs the FIB
+// state the header was meant to save.
+func (p *Plane) forwardSrcRouted(pkt *wire.DataPacket, b []byte) (fanout int, done bool) {
+	hop := uint16(p.hopID.Load())
+	if hop == 0 {
+		p.srFallback.Add(1)
+		return 0, false
+	}
+	h, _, err := wire.ParseExtHeader(pkt.Payload)
+	if err != nil {
+		p.srBad.Add(1)
+		return 0, false
+	}
+	mask, st := h.PopMask(hop)
+	switch st {
+	case wire.SRFound:
+	case wire.SRMalformed:
+		p.srBad.Add(1)
+		return 0, false
+	default: // SRExhausted, SRNotFound
+		p.srFallback.Add(1)
+		return 0, false
+	}
+	p.srForwarded.Add(1)
+	return p.replicate(b, mask), true
+}
+
+// replicate fans the datagram out to every registered port in mask.
+func (p *Plane) replicate(b []byte, mask uint32) int {
 	fanout := 0
 	for m := mask; m != 0; m &= m - 1 {
 		port := p.ports[bits.TrailingZeros32(m)].Load()
@@ -333,6 +405,9 @@ func (p *Plane) Stats() Stats {
 		Sent:         p.sentPrev.Load(),
 		Drops:        p.dropsPrev.Load(),
 		WriteErrors:  p.writeErrsPrev.Load(),
+		SRForwarded:  p.srForwarded.Load(),
+		SRFallback:   p.srFallback.Load(),
+		SRBad:        p.srBad.Load(),
 		QueuePackets: make([]uint64, len(p.queues)),
 		FIB:          p.fib.Stats(),
 	}

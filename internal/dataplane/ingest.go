@@ -46,12 +46,23 @@ func (b *readBatch) slot(i int) []byte {
 // non-linux ingest path and the linux fallback. ReadFromUDPAddrPort returns
 // the source as a value type, so this path is also allocation-free — it
 // just pays one poller round trip per packet.
+//
+// Oversized datagrams reach this path two ways, and both must land in the
+// same truncated-drop accounting as the linux MSG_TRUNC path: platforms
+// that silently truncate fill the slot's whole stride (slotBytes is one
+// past the largest valid packet, so the length itself convicts), and
+// platforms that error (winsock's WSAEMSGSIZE, after discarding the tail)
+// are classified by oversizeReadErr and recorded as a full-stride slot so
+// the forwarding loop drops and counts them identically.
 func (p *Plane) singleFiller(q *queue, b *readBatch) func() bool {
 	return func() bool {
 		b.n = 0
 		n, _, err := q.conn.ReadFromUDPAddrPort(b.rawSlot(0))
 		if err != nil {
-			return false
+			if !oversizeReadErr(err) {
+				return false
+			}
+			n = slotBytes
 		}
 		b.sizes[0] = n
 		b.n = 1

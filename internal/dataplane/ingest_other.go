@@ -4,5 +4,8 @@ package dataplane
 
 // newFiller returns the portable filler: one blocking read per batch. The
 // batch structure is unchanged, so the forwarding loop is identical; only
-// the drain width differs.
+// the drain width differs. Oversized datagrams keep MSG_TRUNC parity in
+// singleFiller: silently-truncating platforms overfill the slot stride, and
+// erroring platforms (winsock) are classified by oversizeReadErr — both
+// land in the same truncated-drop accounting as the linux raw path.
 func (p *Plane) newFiller(q *queue, b *readBatch) func() bool { return p.singleFiller(q, b) }

@@ -27,6 +27,9 @@ func (p *Plane) RegisterMetrics(reg *obs.Registry) {
 	reg.NewCounterFunc("dp_ingest_truncated_total", "oversized datagrams dropped at ingest instead of forwarding a truncated payload", p.truncated.Load)
 	reg.NewCounterFunc("dp_replicated_total", "per-destination replications attempted", p.replicated.Load)
 	reg.NewCounterFunc("dp_no_port_total", "OIF bits with no registered destination", p.noPort.Load)
+	reg.NewCounterFunc("dp_sr_forwarded_total", "packets forwarded off the source-route header bitmap (zero FIB lookups)", p.srForwarded.Load)
+	reg.NewCounterFunc("dp_sr_fallback_total", "source-routed packets forwarded off the packed FIB instead (exhausted stack, foreign hop, or header-unaware plane)", p.srFallback.Load)
+	reg.NewCounterFunc("dp_sr_bad_total", "source-routed packets whose extension header failed to parse", p.srBad.Load)
 	reg.NewCounterFunc("dp_sent_total", "data packets written downstream", func() uint64 { return p.Stats().Sent })
 	reg.NewCounterFunc("dp_port_drops_total", "data packets dropped on a full egress queue (backpressure)", func() uint64 { return p.Stats().Drops })
 	reg.NewCounterFunc("dp_port_write_errors_total", "data packets lost to socket write errors", func() uint64 { return p.Stats().WriteErrors })

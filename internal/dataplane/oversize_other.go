@@ -1,0 +1,22 @@
+//go:build !windows
+
+package dataplane
+
+import (
+	"errors"
+	"syscall"
+)
+
+// oversizeReadErr reports whether a datagram read failed because the
+// datagram was longer than the supplied buffer. Unix sockets silently
+// truncate instead of erroring (the slot's extra stride byte is what
+// detects that case), but a kernel can still surface EMSGSIZE, and the
+// portable ingest path must count it as an oversized drop rather than
+// treating it as a transient socket error.
+// oversizeErrno is the platform's message-size errno, exposed for the
+// classification test.
+const oversizeErrno = syscall.EMSGSIZE
+
+func oversizeReadErr(err error) bool {
+	return errors.Is(err, oversizeErrno)
+}

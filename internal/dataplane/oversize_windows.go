@@ -1,0 +1,26 @@
+//go:build windows
+
+package dataplane
+
+import (
+	"errors"
+	"syscall"
+)
+
+// oversizeReadErr reports whether a datagram read failed because the
+// datagram was longer than the supplied buffer. Winsock is the platform
+// that actually takes this path in steady state: recvfrom on a too-small
+// buffer fails with WSAEMSGSIZE after discarding the datagram's tail, so
+// without this classification the portable ingest loop would misread every
+// oversized datagram as a transient socket error (1 ms backoff, no
+// dp_ingest_truncated_total accounting) instead of dropping and counting
+// it like the linux MSG_TRUNC path.
+// oversizeErrno is the platform's message-size errno, exposed for the
+// classification test. Winsock's WSAEMSGSIZE (10040); the syscall package
+// does not export the WSA constants, and syscall.EMSGSIZE on windows is an
+// APPLICATION_ERROR-offset value that never comes back from recvfrom.
+const oversizeErrno = syscall.Errno(10040)
+
+func oversizeReadErr(err error) bool {
+	return errors.Is(err, oversizeErrno)
+}

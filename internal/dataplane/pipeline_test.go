@@ -7,8 +7,10 @@ package dataplane
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"testing"
 	"time"
 
@@ -184,13 +186,46 @@ func TestPortableFallbackParity(t *testing.T) {
 		}
 		sendRaw(t, p, wire.MaxDataPacket+100)
 		waitFor(t, func() bool { return p.Stats().Truncated == 1 }, "truncated account")
+		// The minimal oversized datagram — one byte past the largest valid
+		// packet, exactly filling a read slot — must also be convicted: it is
+		// the boundary where a fallback that shrinks its buffer by even one
+		// byte would silently truncate instead of dropping.
+		sendRaw(t, p, wire.MaxDataPacket+1)
+		waitFor(t, func() bool { return p.Stats().Truncated == 2 }, "boundary truncated account")
+		// And the worker keeps forwarding after both drops.
+		if err := src.Send([]byte("after-oversized")); err != nil {
+			t.Fatal(err)
+		}
+		if pkt, err := r.RecvTimeout(2 * time.Second); err != nil || string(pkt.Payload) != "after-oversized" {
+			t.Fatalf("post-drop delivery = (%q, %v)", pkt.Payload, err)
+		}
 		st := p.Stats()
-		if st.Packets != n+1 || st.Replicated != n || st.BadPackets != 0 {
-			t.Errorf("stats = %+v, want %d packets / %d replicated / oversized truncated", st, n+1, n)
+		if st.Packets != n+3 || st.Replicated != n+1 || st.BadPackets != 0 {
+			t.Errorf("stats = %+v, want %d packets / %d replicated / oversized truncated", st, n+3, n+1)
 		}
 	}
 	t.Run("raw", func(t *testing.T) { run(t, Options{}) })
 	t.Run("portable", func(t *testing.T) { run(t, Options{forcePortable: true, forceSerial: true}) })
+}
+
+// TestOversizeReadErrClassification pins the portable path's second
+// oversized-datagram channel: platforms whose sockets *error* on a
+// too-small buffer (winsock WSAEMSGSIZE) rather than silently truncating.
+// The classifier must catch the platform's message-size errno — wrapped the
+// way the net package wraps it — and nothing else, so real socket failures
+// still take the transient-error backoff.
+func TestOversizeReadErrClassification(t *testing.T) {
+	if !oversizeReadErr(&net.OpError{Op: "read", Err: os.NewSyscallError("recvfrom", oversizeErrno)}) {
+		t.Error("wrapped message-size errno not classified as oversized")
+	}
+	if !oversizeReadErr(oversizeErrno) {
+		t.Error("bare message-size errno not classified as oversized")
+	}
+	for _, err := range []error{nil, net.ErrClosed, errors.New("boom")} {
+		if oversizeReadErr(err) {
+			t.Errorf("%v misclassified as oversized", err)
+		}
+	}
 }
 
 // TestMultiQueueDelivery exercises the SO_REUSEPORT fan-in: distinct

@@ -59,6 +59,16 @@ func (r *Receiver) Recv() (wire.DataPacket, error) {
 	if _, err := pkt.DecodeFromBytes(r.buf[:n]); err != nil {
 		return pkt, err
 	}
+	if pkt.Flags&wire.DataFlagSrcRoute != 0 {
+		// Strip the source-route extension header: it is routing state, not
+		// application payload. Length-prefixed, so unaware middle hops and
+		// end hosts skip it without understanding the groups inside.
+		_, rest, err := wire.ParseExtHeader(pkt.Payload)
+		if err != nil {
+			return pkt, err
+		}
+		pkt.Payload = rest
+	}
 	r.track.Observe(&pkt)
 	return pkt, nil
 }

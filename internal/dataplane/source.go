@@ -32,6 +32,12 @@ type Source struct {
 	seq  atomic.Uint32
 	buf  []byte
 
+	// srh, when non-nil, is the source-route extension header inserted
+	// after the data header of every packet (DataFlagSrcRoute set). The
+	// tree-computation service swaps it atomically on membership change;
+	// nil means plain FIB-forwarded packets.
+	srh atomic.Pointer[[]byte]
+
 	interval time.Duration
 	next     time.Time
 }
@@ -67,19 +73,41 @@ func NewSource(target string, ch addr.Channel, opts SourceOptions) (*Source, err
 	return s, nil
 }
 
+// SetSourceRoute installs hdr (an encoded wire extension header) as the
+// source-route stack carried by every subsequent packet; nil or empty
+// clears it, returning the source to plain FIB-forwarded packets. The
+// header is copied, so callers may reuse their buffer. Safe to call
+// concurrently with sends — the tree-computation service pushes new stacks
+// on membership change while the application keeps sending.
+func (s *Source) SetSourceRoute(hdr []byte) error {
+	if len(hdr) == 0 {
+		s.srh.Store(nil)
+		return nil
+	}
+	h, rest, err := wire.ParseExtHeader(hdr)
+	if err == nil && len(rest) > 0 {
+		err = wire.ErrExtHeader
+	}
+	if err == nil {
+		err = h.Validate()
+	}
+	if err != nil {
+		return err
+	}
+	cp := append([]byte(nil), hdr...)
+	s.srh.Store(&cp)
+	return nil
+}
+
+// SourceRouted reports whether a source-route header is installed.
+func (s *Source) SourceRouted() bool { return s.srh.Load() != nil }
+
 // Send stamps the next sequence number and writes one packet.
 func (s *Source) Send(payload []byte) error { return s.SendFlags(payload, 0) }
 
 // SendFlags is Send with explicit header flags.
 func (s *Source) SendFlags(payload []byte, flags uint8) error {
-	if len(payload) > wire.MaxDataPayload {
-		return fmt.Errorf("dataplane: payload %d exceeds %d", len(payload), wire.MaxDataPayload)
-	}
-	s.pace()
-	pkt := wire.DataPacket{Channel: s.ch, Seq: s.seq.Add(1), Flags: flags, Payload: payload}
-	s.buf = pkt.AppendTo(s.buf[:0])
-	_, err := s.conn.Write(s.buf)
-	return err
+	return s.send(s.seq.Add(1), payload, flags)
 }
 
 // SendSeq writes one packet with an explicit sequence number, leaving the
@@ -89,13 +117,28 @@ func (s *Source) SendFlags(payload []byte, flags uint8) error {
 // the reused buffer: a source is single-sender (only S may send), so
 // callers serialize their own sends.
 func (s *Source) SendSeq(seq uint32, payload []byte, flags uint8) error {
-	if len(payload) > wire.MaxDataPayload {
-		return fmt.Errorf("dataplane: payload %d exceeds %d", len(payload), wire.MaxDataPayload)
+	return s.send(seq, payload, flags)
+}
+
+func (s *Source) send(seq uint32, payload []byte, flags uint8) error {
+	var srh []byte
+	if hp := s.srh.Load(); hp != nil {
+		srh = *hp
+		flags |= wire.DataFlagSrcRoute
+	}
+	if len(payload)+len(srh) > wire.MaxDataPayload {
+		return fmt.Errorf("dataplane: payload %d + source-route header %d exceeds %d",
+			len(payload), len(srh), wire.MaxDataPayload)
 	}
 	s.pace()
-	pkt := wire.DataPacket{Channel: s.ch, Seq: seq, Flags: flags, Payload: payload}
-	s.buf = pkt.AppendTo(s.buf[:0])
-	_, err := s.conn.Write(s.buf)
+	b := s.buf[:0]
+	var hdr [wire.DataHeaderSize]byte
+	wire.PutDataHeader(hdr[:], s.ch, seq, flags)
+	b = append(b, hdr[:]...)
+	b = append(b, srh...)
+	b = append(b, payload...)
+	s.buf = b
+	_, err := s.conn.Write(b)
 	return err
 }
 

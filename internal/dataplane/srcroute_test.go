@@ -1,0 +1,363 @@
+package dataplane
+
+import (
+	"bytes"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func planeAddrPort(t *testing.T, p *Plane) netip.AddrPort {
+	t.Helper()
+	ap, err := netip.ParseAddrPort(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ap
+}
+
+func srPacket(t *testing.T, suffix uint32, groups [][]wire.HopEntry, payload []byte) []byte {
+	t.Helper()
+	srh, err := wire.AppendExtHeader(nil, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := wire.DataPacket{
+		Channel: testChannel(suffix),
+		Seq:     1,
+		Flags:   wire.DataFlagSrcRoute,
+		Payload: append(srh, payload...),
+	}
+	return pkt.AppendTo(nil)
+}
+
+// TestSrcRouteChainZeroFIB forwards a packet down a two-plane chain (core →
+// edge) purely off the extension header: neither plane has any FIB entry,
+// the core pops depth 0 and the edge pops depth 1, and the receiver gets
+// the application payload with the routing stack stripped.
+func TestSrcRouteChainZeroFIB(t *testing.T) {
+	edge := mustPlane(t, Options{HopID: 2})
+	core := mustPlane(t, Options{HopID: 1})
+	sink := mustReceiver(t)
+	core.SetPort(3, planeAddrPort(t, edge))
+	edge.SetPort(7, sink.addrPort())
+
+	payload := []byte("source routed payload")
+	raw := srPacket(t, 42, [][]wire.HopEntry{
+		{{Hop: 1, OIFs: 1 << 3}},
+		{{Hop: 2, OIFs: 1 << 7}},
+	}, payload)
+
+	src, err := NewSource(core.Addr(), testChannel(42), SourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := src.conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+
+	pkt, err := sink.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pkt.Payload, payload) {
+		t.Fatalf("payload = %q, want %q", pkt.Payload, payload)
+	}
+	if pkt.Flags&wire.DataFlagSrcRoute == 0 {
+		t.Fatal("delivered packet lost its source-route flag")
+	}
+	if pkt.Channel != testChannel(42) {
+		t.Fatalf("channel = %v", pkt.Channel)
+	}
+	for name, p := range map[string]*Plane{"core": core, "edge": edge} {
+		s := p.Stats()
+		if s.SRForwarded != 1 || s.SRFallback != 0 || s.SRBad != 0 {
+			t.Errorf("%s: SR stats = %d/%d/%d, want 1/0/0", name, s.SRForwarded, s.SRFallback, s.SRBad)
+		}
+		if s.FIB.Lookups != 0 {
+			t.Errorf("%s: header fast path touched the FIB: %+v", name, s.FIB)
+		}
+	}
+}
+
+// TestSrcRouteFallbacks drives every fallback rule: header-unaware plane,
+// exhausted stack, foreign hop, and malformed header all take the packed
+// FIB path (and still deliver when a route exists).
+func TestSrcRouteFallbacks(t *testing.T) {
+	p := mustPlane(t, Options{HopID: 5})
+	sink := mustReceiver(t)
+	p.SetPort(0, sink.addrPort())
+	ch := testChannel(7)
+	p.SetRoute(ch, 1<<0)
+
+	recvOne := func(t *testing.T, want []byte) {
+		t.Helper()
+		pkt, err := sink.RecvTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pkt.Payload, want) {
+			t.Fatalf("payload = %q, want %q", pkt.Payload, want)
+		}
+	}
+	stats := func() (fwd, fb, bad uint64) {
+		s := p.Stats()
+		return s.SRForwarded, s.SRFallback, s.SRBad
+	}
+
+	t.Run("exhausted stack", func(t *testing.T) {
+		// A stack for some other hop, already consumed: cursor == length.
+		srh, err := wire.AppendExtHeaderPopped(nil, [][]wire.HopEntry{{{Hop: 9, OIFs: 1}}}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := []byte("past the tree")
+		pkt := wire.DataPacket{Channel: ch, Seq: 1, Flags: wire.DataFlagSrcRoute, Payload: append(srh, payload...)}
+		if n := p.HandlePacket(pkt.AppendTo(nil)); n != 1 {
+			t.Fatalf("fanout = %d", n)
+		}
+		recvOne(t, payload)
+		if fwd, fb, _ := stats(); fwd != 0 || fb != 1 {
+			t.Fatalf("fwd/fb = %d/%d, want 0/1", fwd, fb)
+		}
+	})
+	t.Run("foreign hop", func(t *testing.T) {
+		payload := []byte("foreign hop")
+		raw := srPacket(t, 7, [][]wire.HopEntry{{{Hop: 6, OIFs: 1 << 9}}}, payload)
+		if n := p.HandlePacket(raw); n != 1 {
+			t.Fatalf("fanout = %d", n)
+		}
+		recvOne(t, payload)
+		if _, fb, _ := stats(); fb != 2 {
+			t.Fatalf("fallback = %d, want 2", fb)
+		}
+	})
+	t.Run("malformed header", func(t *testing.T) {
+		pkt := wire.DataPacket{Channel: ch, Seq: 2, Flags: wire.DataFlagSrcRoute, Payload: []byte{0xff}}
+		if n := p.HandlePacket(pkt.AppendTo(nil)); n != 1 {
+			t.Fatalf("fanout = %d", n)
+		}
+		// The receiver cannot strip a malformed header; it surfaces the
+		// decode error rather than handing up routing bytes as payload.
+		if _, err := sink.RecvTimeout(2 * time.Second); err == nil {
+			t.Fatal("malformed source-routed packet decoded cleanly at the receiver")
+		}
+		if _, _, bad := stats(); bad != 1 {
+			t.Fatalf("bad = %d, want 1", bad)
+		}
+	})
+	t.Run("header-unaware plane", func(t *testing.T) {
+		p.SetHopID(0)
+		defer p.SetHopID(5)
+		payload := []byte("unaware hop")
+		raw := srPacket(t, 7, [][]wire.HopEntry{{{Hop: 5, OIFs: 1 << 9}}}, payload)
+		if n := p.HandlePacket(raw); n != 1 {
+			t.Fatalf("fanout = %d", n)
+		}
+		recvOne(t, payload)
+		if _, fb, _ := stats(); fb != 3 {
+			t.Fatalf("fallback = %d, want 3", fb)
+		}
+	})
+	// Every fallback above went through a real FIB lookup.
+	if s := p.Stats(); s.FIB.Matched != 4 {
+		t.Fatalf("FIB matched = %d, want 4", s.FIB.Matched)
+	}
+}
+
+// TestSrcRouteSourceReceiverRoundTrip exercises the Source/Receiver ends:
+// SetSourceRoute makes every Send carry the stack, receivers see clean
+// payloads, and clearing it returns to plain packets mid-stream.
+func TestSrcRouteSourceReceiverRoundTrip(t *testing.T) {
+	p := mustPlane(t, Options{HopID: 1})
+	sink := mustReceiver(t)
+	p.SetPort(2, sink.addrPort())
+	ch := testChannel(11)
+	p.SetRoute(ch, 1<<2) // fallback route; the header should win while set
+
+	src, err := NewSource(p.Addr(), ch, SourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	srh, err := wire.AppendExtHeader(nil, [][]wire.HopEntry{{{Hop: 1, OIFs: 1 << 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetSourceRoute(srh); err != nil {
+		t.Fatal(err)
+	}
+	if !src.SourceRouted() {
+		t.Fatal("SourceRouted = false after SetSourceRoute")
+	}
+	if err := src.Send([]byte("routed")); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := sink.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pkt.Payload, []byte("routed")) || pkt.Flags&wire.DataFlagSrcRoute == 0 {
+		t.Fatalf("routed packet = %q flags %#x", pkt.Payload, pkt.Flags)
+	}
+	if err := src.SetSourceRoute(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Send([]byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err = sink.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pkt.Payload, []byte("plain")) || pkt.Flags&wire.DataFlagSrcRoute != 0 {
+		t.Fatalf("plain packet = %q flags %#x", pkt.Payload, pkt.Flags)
+	}
+	if s := p.Stats(); s.SRForwarded != 1 || s.FIB.Matched != 1 {
+		t.Fatalf("SRForwarded/FIB.Matched = %d/%d, want 1/1", s.SRForwarded, s.FIB.Matched)
+	}
+	// A header budget violation is the source's error, not a silent drop.
+	if err := src.SetSourceRoute([]byte{1}); err == nil {
+		t.Fatal("SetSourceRoute accepted a malformed header")
+	}
+	big := make([]byte, wire.MaxDataPayload)
+	if err := src.SetSourceRoute(srh); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Send(big); err == nil {
+		t.Fatal("Send accepted payload + header over MaxDataPayload")
+	}
+}
+
+// TestSrcRouteForwardNoAlloc pins the header fast path — decode, parse,
+// pop, replicate — at zero allocations, same bar as the FIB path.
+func TestSrcRouteForwardNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool instrumentation allocates")
+	}
+	p := mustPlane(t, Options{HopID: 3})
+	sink := mustReceiver(t)
+	p.SetPort(1, sink.addrPort())
+	raw := srPacket(t, 9, [][]wire.HopEntry{{{Hop: 3, OIFs: 1 << 1}}}, []byte("x"))
+	cursorOff := wire.DataHeaderSize + 1
+	// Warm-up primes the egress buffer pool and fills the queue to its
+	// steady state, as in TestReplicateZeroAlloc.
+	for i := 0; i < 20000; i++ {
+		p.HandlePacket(raw)
+		raw[cursorOff] = wire.ExtHeaderFixed
+	}
+	allocs := testing.AllocsPerRun(5000, func() {
+		if n := p.HandlePacket(raw); n != 1 {
+			t.Fatal("not forwarded off the header")
+		}
+		raw[cursorOff] = wire.ExtHeaderFixed // rewind the popped cursor
+	})
+	if allocs != 0 {
+		t.Errorf("header fast path allocates %.1f/op, want 0", allocs)
+	}
+	if s := p.Stats(); s.SRForwarded == 0 || s.FIB.Matched != 0 {
+		t.Fatalf("SRForwarded = %d, FIB.Matched = %d", s.SRForwarded, s.FIB.Matched)
+	}
+}
+
+// TestSrcRouteRaceChurn interleaves header-mode forwarding with FIB churn
+// and route-mode switches: one goroutine hammers HandlePacket with
+// source-routed packets, one churns SetRoute over the same channels, one
+// flips the plane between header-aware and unaware, and one flips the
+// source between routed and plain. Run under -race.
+func TestSrcRouteRaceChurn(t *testing.T) {
+	p := mustPlane(t, Options{HopID: 4})
+	sink := mustReceiver(t)
+	p.SetPort(0, sink.addrPort())
+	p.SetPort(1, sink.addrPort())
+
+	const lanes = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // forwarding
+		defer wg.Done()
+		raw := srPacket(t, 1, [][]wire.HopEntry{{{Hop: 4, OIFs: 0b11}}}, []byte("race"))
+		cursorOff := wire.DataHeaderSize + 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.HandlePacket(raw)
+			raw[cursorOff] = wire.ExtHeaderFixed
+		}
+	}()
+	go func() { // FIB churn over the same channels
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ch := testChannel(uint32(i % lanes))
+			if i%2 == 0 {
+				p.SetRoute(ch, 0b11)
+			} else {
+				p.SetRoute(ch, 0)
+			}
+			i++
+		}
+	}()
+	go func() { // header-aware ↔ unaware
+		defer wg.Done()
+		on := true
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if on {
+				p.SetHopID(0)
+			} else {
+				p.SetHopID(4)
+			}
+			on = !on
+		}
+	}()
+	go func() { // source route set ↔ cleared
+		defer wg.Done()
+		src, err := NewSource(p.Addr(), testChannel(1), SourceOptions{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer src.Close()
+		srh, _ := wire.AppendExtHeader(nil, [][]wire.HopEntry{{{Hop: 4, OIFs: 1}}})
+		on := true
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if on {
+				src.SetSourceRoute(srh)
+			} else {
+				src.SetSourceRoute(nil)
+			}
+			src.Send([]byte("churn"))
+			on = !on
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	s := p.Stats()
+	if s.SRForwarded+s.SRFallback == 0 {
+		t.Fatal("no source-routed packets processed")
+	}
+}

@@ -54,6 +54,24 @@ type BenchResult struct {
 	Dropped       uint64 `json:"dropped,omitempty"`
 	Retransmitted uint64 `json:"retransmitted,omitempty"`
 	RepairRounds  int    `json:"repair_rounds,omitempty"`
+	// Channels and the state/header fields are set for the fib/state series
+	// (E17): fabric FIB bytes per forwarding mode on the modeled Clos, the
+	// mean encoded bitmap-stack size, and how many channels overflowed the
+	// header budget back onto the FIB. Mode distinguishes "fib"/"header";
+	// the dataplane/srforward series reuses Mode and Fanout for the
+	// end-to-end HandlePacket comparison of the same two paths.
+	Channels       int     `json:"channels,omitempty"`
+	StateBytes     int64   `json:"state_bytes,omitempty"`
+	HeaderBudget   int     `json:"header_budget,omitempty"`
+	HeaderBytesAvg float64 `json:"header_bytes_avg,omitempty"`
+	SROverflows    int     `json:"sr_overflows,omitempty"`
+
+	// Provenance: every series records the parallelism it ran under and the
+	// suite mode, so numbers from different machines or quick runs are never
+	// diffed as like-for-like. Stamped centrally by BenchJSON.
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	RunMode    string `json:"run_mode"`
 }
 
 // BenchReport is the full -json document.
@@ -61,6 +79,8 @@ type BenchReport struct {
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
 	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	RunMode    string        `json:"run_mode"` // "quick" or "full"
 	Benchmarks []BenchResult `json:"benchmarks"`
 
 	// E4: measured ECMP state-maintenance rate over loopback TCP.
@@ -356,7 +376,16 @@ func benchRelayRepair() (BenchResult, error) {
 // BenchJSON runs the benchmark suite and returns the report. quick skips the
 // E4 loopback measurement (the slowest piece).
 func BenchJSON(quick bool) *BenchReport {
-	rep := &BenchReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+	rep := &BenchReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		RunMode:    "full",
+	}
+	if quick {
+		rep.RunMode = "quick"
+	}
 
 	rep.Benchmarks = append(rep.Benchmarks, toResult("fib/ForwardMask", 0, benchForwardSerial()))
 	for _, gos := range []int{1, 4, 16} {
@@ -386,6 +415,19 @@ func BenchJSON(quick bool) *BenchReport {
 	}
 	for _, routes := range churnSizes {
 		rep.Benchmarks = append(rep.Benchmarks, benchChurn(routes))
+	}
+
+	// fib/state and dataplane/srforward (E17): fabric state per forwarding
+	// mode and the header-pop vs FIB-lookup packet cost. The state series
+	// runs in quick mode too (CI's bench smoke asserts it exists), at the
+	// same reduced scales as fib/churn.
+	for _, channels := range churnSizes {
+		rep.Benchmarks = append(rep.Benchmarks, benchE17State(channels, 17)...)
+	}
+	for _, header := range []bool{true, false} {
+		if res, err := benchSRForward(4, header); err == nil {
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
 	}
 
 	// relay/failover and relay/repair run in quick mode too (CI's bench
@@ -454,6 +496,11 @@ func BenchJSON(quick bool) *BenchReport {
 			e14.Rebuilds = res.Rebuilds
 		}
 		rep.E14 = e14
+	}
+	for i := range rep.Benchmarks {
+		rep.Benchmarks[i].GoMaxProcs = rep.GoMaxProcs
+		rep.Benchmarks[i].NumCPU = rep.NumCPU
+		rep.Benchmarks[i].RunMode = rep.RunMode
 	}
 	return rep
 }

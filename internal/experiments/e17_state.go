@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/dataplane"
+	"repro/internal/fib"
+	"repro/internal/wire"
+)
+
+// E17: source-routed forwarding state. The EXPRESS cost model (Section 5)
+// prices a channel at one FIB entry per on-tree router; the source-routed
+// mode moves the replication tree into the packet — a per-hop bitmap stack
+// bounded at wire.MaxExtHeader — so fabric routers hold state only for
+// channels whose stack overflows the budget. This experiment quantifies the
+// trade on a Clos fabric: total fabric state in both modes at 10⁴–10⁶
+// channels, and the per-packet forwarding cost of the header pop against
+// the packed-FIB lookup it replaces.
+
+// The modeled fabric: a 4-pod Clos with 4 cores, 2 aggregation routers per
+// pod, and 4 edge routers per pod (4 core + 8 agg + 16 edge). A channel
+// enters at one core, fans out to the aggregation layer of each subscribed
+// pod, and from there to its subscribed edges.
+const (
+	e17Pods         = 4
+	e17Cores        = 4
+	e17AggsPerPod   = 2
+	e17EdgesPerPod  = 4
+	e17Edges        = e17Pods * e17EdgesPerPod
+	e17BudgetLoose  = wire.MaxExtHeader // the wire format's cap
+	e17BudgetTight  = 64                // conservative per-packet overhead budget
+	e17MedianSample = 4096              // channels sampled for the parse benchmark's representative header
+)
+
+// Nonzero hop IDs per layer: cores 1..4, aggs 5..12, edges 13..28.
+func e17CoreHop(c int) uint16 { return uint16(1 + c) }
+func e17AggHop(a int) uint16  { return uint16(1 + e17Cores + a) }
+func e17EdgeHop(e int) uint16 { return uint16(1 + e17Cores + e17Pods*e17AggsPerPod + e) }
+
+// e17Tree draws channel i's subscription deterministically from rng and
+// returns its depth-ordered bitmap stack plus the on-tree router count
+// (ingress core + one agg per subscribed pod + subscribed edges).
+func e17Tree(rng *rand.Rand, i int) (groups [][]wire.HopEntry, nodes int) {
+	// Low egress diversity (the P³FA observation): most channels reach few
+	// edges — min-of-three uniforms skews the draw small — while the heavy
+	// tail (flash crowds) still produces fabric-wide trees that exercise
+	// the header-budget overflow.
+	nEdges := 1 + min(rng.Intn(e17Edges), min(rng.Intn(e17Edges), rng.Intn(e17Edges)))
+	perm := rng.Perm(e17Edges)[:nEdges]
+
+	core := i % e17Cores
+	var podEdges [e17Pods]uint32 // edge OIF mask at the pod's agg
+	for _, e := range perm {
+		podEdges[e/e17EdgesPerPod] |= 1 << (e % e17EdgesPerPod)
+	}
+	var coreMask uint32
+	aggGroup := make([]wire.HopEntry, 0, e17Pods)
+	edgeGroup := make([]wire.HopEntry, 0, nEdges)
+	for p := 0; p < e17Pods; p++ {
+		if podEdges[p] == 0 {
+			continue
+		}
+		coreMask |= 1 << p
+		agg := p*e17AggsPerPod + i%e17AggsPerPod
+		aggGroup = append(aggGroup, wire.HopEntry{Hop: e17AggHop(agg), OIFs: podEdges[p]})
+		nodes++
+	}
+	for _, e := range perm {
+		hosts := uint32(rng.Intn(255) + 1) // nonzero subscriber-facing port mask
+		edgeGroup = append(edgeGroup, wire.HopEntry{Hop: e17EdgeHop(e), OIFs: hosts})
+		nodes++
+	}
+	nodes++ // the ingress core
+	groups = [][]wire.HopEntry{
+		{{Hop: e17CoreHop(core), OIFs: coreMask}},
+		aggGroup,
+		edgeGroup,
+	}
+	return groups, nodes
+}
+
+// E17Result is one scale point of the state comparison.
+type E17Result struct {
+	Channels int
+
+	// FIB mode: one packed entry per on-tree router.
+	FIBFabricEntries int64
+	FIBFabricBytes   int64
+	Core0Entries     int     // channels ingressing at core 0 (the real table built below)
+	FIBLookupNs      float64 // ForwardMask on that real table
+	AvgHeaderBytes   float64 // mean encoded stack size (loose budget)
+	HeaderParseNs    float64 // ParseExtHeader + PopMask on a representative header
+
+	// Header mode, per budget: only overflowed channels keep fabric entries.
+	Overflows         map[int]int
+	HeaderFabricBytes map[int]int64
+}
+
+// RunE17State models channels deterministically (seeded) on the Clos fabric,
+// builds core 0's real FIB table for the FIB-mode lookup benchmark, and
+// totals fabric state under both forwarding modes.
+func RunE17State(channels int, seed int64) E17Result {
+	rng := rand.New(rand.NewSource(seed))
+	res := E17Result{
+		Channels:          channels,
+		Overflows:         map[int]int{},
+		HeaderFabricBytes: map[int]int64{},
+	}
+	budgets := []int{e17BudgetLoose, e17BudgetTight}
+
+	core0 := fib.New()
+	src := addr.MustParse("171.64.17.1")
+	var headerBytes int64
+	var repr []byte // representative mid-run header for the parse bench
+	for i := 0; i < channels; i++ {
+		groups, nodes := e17Tree(rng, i)
+		res.FIBFabricEntries += int64(nodes)
+		size := wire.ExtHeaderSize(groups)
+		headerBytes += int64(size)
+		for _, budget := range budgets {
+			if size > budget {
+				res.Overflows[budget]++
+				res.HeaderFabricBytes[budget] += int64(nodes * fib.EntrySize)
+			}
+		}
+		if i%e17Cores == 0 {
+			// Core 0 is this channel's ingress: a real packed-FIB entry.
+			core0.Set(fib.Key{S: src, G: addr.ExpressAddr(uint32(i))},
+				fib.Entry{IIF: 0, OIFs: groups[0][0].OIFs})
+			res.Core0Entries++
+		}
+		if repr == nil && i >= e17MedianSample/2 {
+			repr, _ = wire.AppendExtHeader(nil, groups)
+		}
+	}
+	res.FIBFabricBytes = int64(fib.MemoryFor(int(res.FIBFabricEntries)))
+	res.AvgHeaderBytes = float64(headerBytes) / float64(channels)
+
+	// FIB-mode forwarding cost: ForwardMask against core 0's real table at
+	// this scale — the lookup the header pop eliminates.
+	lookup := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		n := res.Core0Entries
+		for i := 0; i < b.N; i++ {
+			g := addr.ExpressAddr(uint32((i % n) * e17Cores))
+			if _, disp := core0.ForwardMask(src, g, 0); disp != fib.Forwarded {
+				b.Fatal("miss")
+			}
+		}
+	})
+	res.FIBLookupNs = float64(lookup.T.Nanoseconds()) / float64(lookup.N)
+
+	// Header-mode forwarding cost: parse + pop at the ingress hop. PopMask
+	// advances the cursor in place, so each iteration rewinds it.
+	hop := repr // captured: a real mid-run header
+	parse := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hop[1] = wire.ExtHeaderFixed
+			h, _, err := wire.ParseExtHeader(hop)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, st := h.PopMask(e17CoreHop(0)); st != wire.SRFound {
+				b.Fatal("pop missed")
+			}
+		}
+	})
+	res.HeaderParseNs = float64(parse.T.Nanoseconds()) / float64(parse.N)
+	return res
+}
+
+// benchSRForward measures the full data-plane forwarding path per mode at
+// the given fan-out: HandlePacket on a source-routed packet (header pop,
+// zero FIB lookups) against the same packet forwarded off the packed FIB.
+// Both paths must run allocation-free.
+func benchSRForward(fanout int, header bool) (BenchResult, error) {
+	p, err := dataplane.NewPlane(dataplane.Options{HopID: 1})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer p.Close()
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer sink.Close()
+	dst := sink.LocalAddr().(*net.UDPAddr).AddrPort()
+	for i := 0; i < fanout; i++ {
+		p.SetPort(i, dst)
+	}
+	ch := addr.Channel{S: addr.Addr(0x0a110001), E: addr.ExpressAddr(1)}
+	mask := uint32(1<<fanout) - 1
+
+	pkt := wire.DataPacket{Channel: ch, Seq: 1, Payload: make([]byte, 256)}
+	name := "dataplane/srforward"
+	mode := "fib"
+	if header {
+		mode = "header"
+		hdr, err := wire.AppendExtHeader(nil, [][]wire.HopEntry{{{Hop: 1, OIFs: mask}}})
+		if err != nil {
+			return BenchResult{}, err
+		}
+		pkt.Flags = wire.DataFlagSrcRoute
+		pkt.Payload = append(hdr, pkt.Payload...)
+	} else {
+		p.SetRoute(ch, mask)
+	}
+	buf := pkt.AppendTo(nil)
+	cursor := wire.DataHeaderSize + 1
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(buf)))
+		for i := 0; i < b.N; i++ {
+			if header {
+				buf[cursor] = wire.ExtHeaderFixed
+			}
+			if p.HandlePacket(buf) != fanout {
+				b.Fatal("short fanout")
+			}
+		}
+	})
+	out := toResult(name, 0, res)
+	out.Mode = mode
+	out.Fanout = fanout
+	st := p.Stats()
+	if header && (st.SRForwarded == 0 || st.FIB.Lookups != 0) {
+		out.Mode = "header-fellback" // should never happen; make it visible in the JSON
+	}
+	return out, nil
+}
+
+// benchE17State folds one scale point into fib/state series rows: a "fib"
+// row (fabric bytes, real-table lookup ns) and one "header" row per budget
+// (residual overflow state, header parse ns).
+func benchE17State(channels int, seed int64) []BenchResult {
+	res := RunE17State(channels, seed)
+	rows := []BenchResult{{
+		Name:       "fib/state",
+		Mode:       "fib",
+		Channels:   res.Channels,
+		Iterations: res.Channels,
+		NsPerOp:    res.FIBLookupNs,
+		StateBytes: res.FIBFabricBytes,
+	}}
+	for _, budget := range []int{e17BudgetLoose, e17BudgetTight} {
+		rows = append(rows, BenchResult{
+			Name:           "fib/state",
+			Mode:           "header",
+			Channels:       res.Channels,
+			Iterations:     res.Channels,
+			NsPerOp:        res.HeaderParseNs,
+			StateBytes:     res.HeaderFabricBytes[budget],
+			HeaderBudget:   budget,
+			HeaderBytesAvg: res.AvgHeaderBytes,
+			SROverflows:    res.Overflows[budget],
+		})
+	}
+	return rows
+}
+
+// E17State renders the state comparison as a paperbench table.
+func E17State() *Table {
+	t := &Table{
+		ID:    "E17",
+		Title: "§5/Elmo: source-routed forwarding — fabric state and per-packet cost vs the packed FIB",
+		Header: []string{"channels", "fib entries", "fib bytes", "lookup ns", "hdr avg B",
+			"parse ns", "ovfl@255", "hdr bytes@255", "ovfl@64", "hdr bytes@64"},
+	}
+	for _, channels := range []int{10_000, 100_000, 1_000_000} {
+		res := RunE17State(channels, 17)
+		t.AddRow(itoa(res.Channels), itoa(int(res.FIBFabricEntries)), itoa(int(res.FIBFabricBytes)),
+			f2(res.FIBLookupNs), f2(res.AvgHeaderBytes), f2(res.HeaderParseNs),
+			itoa(res.Overflows[e17BudgetLoose]), itoa(int(res.HeaderFabricBytes[e17BudgetLoose])),
+			itoa(res.Overflows[e17BudgetTight]), itoa(int(res.HeaderFabricBytes[e17BudgetTight])))
+	}
+	t.Note("4-core/8-agg/16-edge Clos, seeded subscriptions (1-16 edges/channel); fib mode prices "+
+		"one %d-byte packed entry per on-tree router, header mode holds fabric state only for "+
+		"channels whose bitmap stack overflows the budget", fib.EntrySize)
+	t.Note("lookup ns = ForwardMask on core 0's real table at that scale; parse ns = " +
+		"ParseExtHeader+PopMask on a representative header — constant in the channel count")
+	return t
+}

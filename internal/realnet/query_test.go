@@ -131,3 +131,73 @@ func TestRelayRegistry(t *testing.T) {
 		t.Errorf("Query(relay port after withdrawal) = (%d, %v), want (0, nil)", v, err)
 	}
 }
+
+// TestRelayRegistryFlapResync pins the relay-registry lifecycle across
+// session flaps (ISSUE 9 satellite): every flap's rebind withdraws the dead
+// connection's registration in the same exactly-once sweep as its counts
+// and re-registers from the resync Hello, so discovery keeps answering
+// through flaps; and when the session dies for good the entry goes with it
+// — the regression being that a superseded connection's late registration,
+// racing the rebind, left a stale entry owned by an already-retired
+// neighbor (its retireOnce spent), answering CountRelayAddr4 forever.
+func TestRelayRegistryFlapResync(t *testing.T) {
+	r, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ch := addr.Channel{S: addr.MustParse("10.1.0.4"), E: addr.ExpressAddr(13)}
+
+	var tap faultTap
+	relay, err := DialSession(r.Addr(), SessionOptions{
+		RelayPort:         4960,
+		RelayChannel:      ch,
+		KeepaliveInterval: 20 * time.Millisecond,
+		ReconnectBase:     5 * time.Millisecond,
+		Dial:              FaultDialer(tap.hook),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay.Subscribe(ch)
+	relay.Flush()
+	waitFor(t, 2*time.Second, func() bool { _, ok := r.RelayFor(ch); return ok })
+
+	part, err := DialSession(r.Addr(), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer part.Close()
+
+	const flaps = 3
+	for i := 0; i < flaps; i++ {
+		tap.current().Reset()
+		want := uint64(i + 1)
+		waitFor(t, 5*time.Second, func() bool {
+			return relay.Reconnects() >= want && r.Stats().SessionResyncs >= want
+		})
+		// Re-registered by the resync Hello, and discoverable on the wire.
+		waitFor(t, 2*time.Second, func() bool { _, ok := r.RelayFor(ch); return ok })
+		if v, err := part.Query(ch, wire.CountRelayAddr4, time.Second); err != nil || v != 0x7f000001 {
+			t.Fatalf("flap %d: Query(relay addr) = (%#x, %v), want (0x7f000001, nil)", i+1, v, err)
+		}
+		if v, err := part.Query(ch, wire.CountRelayPort, time.Second); err != nil || v != 4960 {
+			t.Fatalf("flap %d: Query(relay port) = (%d, %v), want (4960, nil)", i+1, v, err)
+		}
+	}
+
+	// The session dies for good: the current connection's sweep must remove
+	// the registration — a stale owner from any of the flapped connections
+	// must not keep answering discovery.
+	relay.Close()
+	waitFor(t, 2*time.Second, func() bool { _, ok := r.RelayFor(ch); return !ok })
+	if v, err := part.Query(ch, wire.CountRelayAddr4, time.Second); err != nil || v != 0 {
+		t.Errorf("Query(relay addr after death) = (%#x, %v), want (0, nil)", v, err)
+	}
+	if v, err := part.Query(ch, wire.CountRelayPort, time.Second); err != nil || v != 0 {
+		t.Errorf("Query(relay port after death) = (%d, %v), want (0, nil)", v, err)
+	}
+	if got := r.SubscriberCount(ch); got != 0 {
+		t.Errorf("subscriber count after death = %d, want 0", got)
+	}
+}

@@ -101,6 +101,12 @@ type Options struct {
 	// the defaults.
 	DataQueues   int
 	DataQueueLen int
+	// DataHopID is the data plane's identity in source-routed extension
+	// headers: packets carrying a per-hop bitmap stack are forwarded off
+	// the entry keyed by this ID with zero FIB lookups (see SRTree). 0
+	// (the default) leaves the plane header-unaware — source-routed
+	// packets fall back to the packed FIB like any other.
+	DataHopID uint16
 }
 
 func (o Options) withDefaults() Options {
@@ -182,6 +188,10 @@ type Router struct {
 	appEvents    atomic.Uint64 // application-defined Counts applied
 	queries      atomic.Uint64 // CountQuery messages received
 	queryReplies atomic.Uint64 // solicited Counts enqueued back downstream
+
+	// routeObs, when set, observes every OIF-image change (see
+	// SetRouteObserver). Called under the owning shard's lock.
+	routeObs atomic.Pointer[func(addr.Channel, uint32)]
 
 	// rpfSink absorbs the simulated RPF calculation so the compiler cannot
 	// elide it.
@@ -278,6 +288,7 @@ func NewRouterOpts(listenAddr string, opts Options) (*Router, error) {
 			Listen:   opts.DataListen,
 			Queues:   opts.DataQueues,
 			QueueLen: opts.DataQueueLen,
+			HopID:    opts.DataHopID,
 		})
 		if err != nil {
 			ln.Close()
@@ -335,13 +346,19 @@ func (r *Router) dataPort() uint16 {
 	return r.dp.Port()
 }
 
-// registerDataPort programs the data plane's egress table from a neighbor's
-// Hello: the advertised UDP port on the host the TCP connection came from.
-// Called after the session bind (and, on a rebind, after the superseded
-// connection's withdrawal cleared the old registration), so the replayed
-// counts of the new epoch find the port in place.
-func (r *Router) registerDataPort(n *neighbor, port uint16) {
-	if r.dp == nil || port == 0 {
+// registerHello installs a Hello's advertisements — the neighbor's data
+// port into the plane's egress table and its relay endpoint into the relay
+// registry — under r.mu, which makes registration mutually exclusive with
+// the withdrawal sweep. The gone/superseded checks inside the lock close
+// the registration/withdrawal race: both flags are set before retire runs,
+// so either this registration lands first and the sweep (which also holds
+// r.mu) removes it, or the flag is already observable here and the stale
+// registration is skipped. Without the lock, a reconnect racing this
+// connection's late registration could leave a retired neighbor's port and
+// relay entry installed forever — its retireOnce is already spent, so no
+// future sweep would ever remove them.
+func (r *Router) registerHello(n *neighbor, h *wire.Hello) {
+	if h.DataPort == 0 && h.RelayPort == 0 {
 		return
 	}
 	ta, ok := n.conn.RemoteAddr().(*net.TCPAddr)
@@ -349,7 +366,19 @@ func (r *Router) registerDataPort(n *neighbor, port uint16) {
 		return
 	}
 	ip := ta.AddrPort().Addr().Unmap()
-	r.dp.SetPort(n.id, netip.AddrPortFrom(ip, port))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || n.gone.Load() || n.superseded.Load() {
+		return
+	}
+	if r.dp != nil && h.DataPort != 0 {
+		r.dp.SetPort(n.id, netip.AddrPortFrom(ip, h.DataPort))
+	}
+	if h.RelayPort != 0 {
+		// Last writer wins per channel — a standby promoting itself
+		// re-advertises and takes over the registration.
+		r.relays[h.RelayChannel] = relayReg{ap: netip.AddrPortFrom(ip, h.RelayPort), owner: n}
+	}
 }
 
 // Events returns the number of membership events processed.
@@ -360,6 +389,29 @@ func (r *Router) EventsByType() (uint64, uint64) { return r.table.eventsByType()
 
 // Channels returns the number of channels with state.
 func (r *Router) Channels() int { return r.table.numChannels() }
+
+// SetRouteObserver installs fn to be called on every OIF-image change —
+// both membership events and neighbor withdrawals — with the channel and
+// its new mask. The tree-computation service (SRTree) uses it to track
+// which channels need their source-route headers refolded. fn runs under
+// the owning shard's lock: it must be fast, must not block, and must not
+// call back into the router (mark-and-kick, recompute elsewhere). nil
+// uninstalls.
+func (r *Router) SetRouteObserver(fn func(addr.Channel, uint32)) {
+	if fn == nil {
+		r.routeObs.Store(nil)
+		return
+	}
+	r.routeObs.Store(&fn)
+}
+
+// notifyRoute invokes the route observer, if any. Callers hold the shard
+// lock, so observations for one channel arrive in event order.
+func (r *Router) notifyRoute(ch addr.Channel, oifs uint32) {
+	if fn := r.routeObs.Load(); fn != nil {
+		(*fn)(ch, oifs)
+	}
+}
 
 // OIFMask returns the FIB outgoing-interface image for ch — the bitmask a
 // line card would hold for the channel. Interfaces ≥ fib.MaxInterfaces have
@@ -643,26 +695,6 @@ func (r *Router) RelayFor(ch addr.Channel) (netip.AddrPort, bool) {
 	return e.ap, ok
 }
 
-// registerRelay records a Hello's relay advertisement: the advertised UDP
-// control port on the host the TCP connection came from. Last writer wins
-// per channel — a standby promoting itself re-advertises and takes over
-// the registration.
-func (r *Router) registerRelay(n *neighbor, h *wire.Hello) {
-	if h.RelayPort == 0 {
-		return
-	}
-	ta, ok := n.conn.RemoteAddr().(*net.TCPAddr)
-	if !ok {
-		return
-	}
-	ip := ta.AddrPort().Addr().Unmap()
-	r.mu.Lock()
-	if !r.closed {
-		r.relays[h.RelayChannel] = relayReg{ap: netip.AddrPortFrom(ip, h.RelayPort), owner: n}
-	}
-	r.mu.Unlock()
-}
-
 // bindSession processes a Hello. First contact registers the session; a
 // reconnect (same SessionID, strictly higher epoch) supersedes the previous
 // connection — its counts are withdrawn before this read loop goes on to
@@ -683,8 +715,7 @@ func (r *Router) bindSession(n *neighbor, h *wire.Hello) bool {
 	if rec == nil {
 		r.sessions[h.SessionID] = &sessionRecord{epoch: h.Epoch, n: n}
 		r.mu.Unlock()
-		r.registerDataPort(n, h.DataPort)
-		r.registerRelay(n, h)
+		r.registerHello(n, h)
 		return true
 	}
 	if h.Epoch <= rec.epoch || rec.n == n {
@@ -706,9 +737,10 @@ func (r *Router) bindSession(n *neighbor, h *wire.Hello) bool {
 	r.retire(old)
 	// The withdrawal above cleared the id's data port and relay entry;
 	// re-register from the fresh Hello before this read loop applies the
-	// replayed counts.
-	r.registerDataPort(n, h.DataPort)
-	r.registerRelay(n, h)
+	// replayed counts. registerHello re-checks this connection's own flags
+	// under r.mu, so an even newer epoch superseding *this* connection in
+	// the window after retire cannot be overwritten by a stale entry.
+	r.registerHello(n, h)
 	r.resyncs.Add(1)
 	return true
 }
@@ -739,8 +771,11 @@ func (r *Router) withdrawNeighbor(n *neighbor) {
 				delete(cs.downCounts, n.id)
 				oldOIFs := cs.oifs
 				cs.clearOIF(n.id)
-				if r.dp != nil && cs.oifs != oldOIFs {
-					r.dp.SetRoute(ch, cs.oifs)
+				if cs.oifs != oldOIFs {
+					if r.dp != nil {
+						r.dp.SetRoute(ch, cs.oifs)
+					}
+					r.notifyRoute(ch, cs.oifs)
 				}
 				total := cs.total()
 				if r.batcher != nil && (!cs.everAdv || cs.advertised != total) {
@@ -769,10 +804,14 @@ func (r *Router) withdrawNeighbor(n *neighbor) {
 		}
 		sh.mu.Unlock()
 	}
+	// Port and relay-registry teardown under r.mu, the same critical
+	// section registerHello installs into: after this block releases the
+	// lock, any later registration attempt from this neighbor observes its
+	// gone/superseded flag and is refused, so the sweep's effect is final.
+	r.mu.Lock()
 	if r.dp != nil {
 		r.dp.ClearPort(n.id)
 	}
-	r.mu.Lock()
 	for ch, e := range r.relays {
 		if e.owner == n {
 			delete(r.relays, ch)
@@ -837,8 +876,11 @@ func (r *Router) processCount(n *neighbor, m *wire.Count) {
 	}
 	// Program the data plane under the shard lock, so concurrent events on
 	// the same channel install their route updates in event order.
-	if r.dp != nil && cs.oifs != oldOIFs {
-		r.dp.SetRoute(m.Channel, cs.oifs)
+	if cs.oifs != oldOIFs {
+		if r.dp != nil {
+			r.dp.SetRoute(m.Channel, cs.oifs)
+		}
+		r.notifyRoute(m.Channel, cs.oifs)
 	}
 	total := cs.total()
 	// Record the unicast route used (the upstream neighbor).

@@ -1,0 +1,254 @@
+package realnet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/addr"
+	"repro/internal/wire"
+)
+
+// SRTree is the tree-computation service of the source-routed forwarding
+// mode (Elmo-style): it watches the Count tree's OIF images across a set of
+// routers and folds them, per channel, into a per-hop bitmap stack — the
+// wire extension header a source stamps on every packet so core routers
+// replicate with zero per-channel FIB state.
+//
+// The service is controller-shaped: it is configured with the topology
+// image (which router sits at which tree depth, under which hop ID — the
+// same global view an SDN controller holds in Elmo), subscribes to each
+// router's OIF changes through SetRouteObserver, and on any change marks
+// the channel dirty and refolds it on a background worker. The folded
+// header is pushed to the channel's registered sink (normally the channel
+// source's SetSourceRoute). When a channel's tree exceeds the header budget
+// the push is nil — the source reverts to plain packets and the path
+// forwards off the packed FIB, the overflow→FIB fallback rule — and the
+// overflow is counted. P³FA's low-egress-diversity observation is the bet
+// that overflow stays rare: real per-hop fan-out is small.
+type SRTree struct {
+	budget int
+
+	mu      sync.Mutex
+	nodes   []srNode
+	sinks   map[addr.Channel]func([]byte)
+	dirty   map[addr.Channel]struct{}
+	closed  bool
+	kick    chan struct{}
+	quit    chan struct{}
+	done    chan struct{}
+	encBuf []byte
+	groups [][]wire.HopEntry
+
+	recomputes atomic.Uint64
+	pushes     atomic.Uint64
+	overflows  atomic.Uint64
+	empties    atomic.Uint64
+}
+
+// srNode is one router's place in the replication topology.
+type srNode struct {
+	r     *Router
+	hop   uint16
+	depth int
+}
+
+// SRTreeStats is a snapshot of the service's counters.
+type SRTreeStats struct {
+	Recomputes uint64 // channel refolds performed
+	Pushes     uint64 // headers pushed to sinks (including nil fallbacks)
+	Overflows  uint64 // refolds that exceeded the header budget (→ FIB fallback)
+	Empties    uint64 // refolds with no subscribed hops anywhere (→ nil push)
+}
+
+// NewSRTree starts the service. budget bounds the encoded header size in
+// bytes; 0 (or anything past the wire format's 255-byte cap) selects
+// wire.MaxExtHeader. Smaller budgets model links with tighter headroom and
+// are how tests exercise the overflow→FIB fallback.
+func NewSRTree(budget int) *SRTree {
+	if budget <= 0 || budget > wire.MaxExtHeader {
+		budget = wire.MaxExtHeader
+	}
+	t := &SRTree{
+		budget: budget,
+		sinks:  make(map[addr.Channel]func([]byte)),
+		dirty:  make(map[addr.Channel]struct{}),
+		kick:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+		encBuf: make([]byte, 0, wire.MaxExtHeader),
+	}
+	go t.worker()
+	return t
+}
+
+// AddRouter places r in the topology image at the given tree depth (0 =
+// first hop below the source) under the given hop ID, makes the router's
+// data plane header-aware under that ID, and subscribes to its OIF changes.
+// hop must be nonzero (0 is the wire format's header-unaware reservation).
+func (t *SRTree) AddRouter(r *Router, hop uint16, depth int) {
+	if hop == 0 || depth < 0 {
+		return
+	}
+	t.mu.Lock()
+	t.nodes = append(t.nodes, srNode{r: r, hop: hop, depth: depth})
+	t.mu.Unlock()
+	if dp := r.DataPlane(); dp != nil {
+		dp.SetHopID(hop)
+	}
+	// The observer runs under the router's shard lock: mark and kick only.
+	r.SetRouteObserver(func(ch addr.Channel, _ uint32) { t.markDirty(ch) })
+}
+
+// Serve registers the sink for ch's headers — normally the channel source's
+// SetSourceRoute, wrapped to taste — and schedules an initial fold. The
+// sink receives nil when the channel has no tree or its stack exceeds the
+// budget (the caller should then send plain, FIB-forwarded packets). The
+// header bytes are only valid for the duration of the call — copy to keep
+// (dataplane.Source.SetSourceRoute already does).
+func (t *SRTree) Serve(ch addr.Channel, sink func([]byte)) {
+	t.mu.Lock()
+	t.sinks[ch] = sink
+	t.mu.Unlock()
+	t.markDirty(ch)
+}
+
+// Stop unregisters ch; no further pushes will arrive at its sink.
+func (t *SRTree) Stop(ch addr.Channel) {
+	t.mu.Lock()
+	delete(t.sinks, ch)
+	delete(t.dirty, ch)
+	t.mu.Unlock()
+}
+
+// markDirty schedules ch for a refold. Fast and non-blocking: it is called
+// from route observers holding shard locks.
+func (t *SRTree) markDirty(ch addr.Channel) {
+	t.mu.Lock()
+	if !t.closed {
+		t.dirty[ch] = struct{}{}
+	}
+	t.mu.Unlock()
+	select {
+	case t.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stats returns a snapshot of the service's counters.
+func (t *SRTree) Stats() SRTreeStats {
+	return SRTreeStats{
+		Recomputes: t.recomputes.Load(),
+		Pushes:     t.pushes.Load(),
+		Overflows:  t.overflows.Load(),
+		Empties:    t.empties.Load(),
+	}
+}
+
+// Recompute folds every registered channel now, synchronously — tests and
+// callers that just built a topology use it to avoid waiting on the worker.
+func (t *SRTree) Recompute() {
+	t.mu.Lock()
+	for ch := range t.sinks {
+		t.dirty[ch] = struct{}{}
+	}
+	t.mu.Unlock()
+	t.drain()
+}
+
+// Close stops the worker. Registered routers keep their observers; they
+// mark into a closed service harmlessly.
+func (t *SRTree) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.quit)
+	<-t.done
+}
+
+func (t *SRTree) worker() {
+	defer close(t.done)
+	for {
+		select {
+		case <-t.quit:
+			return
+		case <-t.kick:
+		}
+		t.drain()
+	}
+}
+
+// drain refolds every dirty channel. The dirty set and topology are copied
+// under t.mu; the folds themselves run unlocked — OIFMask takes shard locks
+// and must never nest inside t.mu (the observers run under those same shard
+// locks and take t.mu).
+func (t *SRTree) drain() {
+	for {
+		t.mu.Lock()
+		if len(t.dirty) == 0 || t.closed {
+			t.mu.Unlock()
+			return
+		}
+		var ch addr.Channel
+		for ch = range t.dirty {
+			break
+		}
+		delete(t.dirty, ch)
+		sink := t.sinks[ch]
+		nodes := t.nodes
+		t.mu.Unlock()
+
+		if sink == nil {
+			continue // OIF churn on a channel nobody serves
+		}
+		hdr := t.fold(ch, nodes)
+		t.pushes.Add(1)
+		sink(hdr)
+	}
+}
+
+// fold computes ch's bitmap stack from the live OIF images: one group per
+// tree depth holding every router at that depth with a nonzero mask.
+// Returns nil when the channel has no subscribed hops or the encoding
+// exceeds the budget — the FIB-fallback signal.
+func (t *SRTree) fold(ch addr.Channel, nodes []srNode) []byte {
+	t.recomputes.Add(1)
+	maxDepth := -1
+	for _, n := range nodes {
+		if n.depth > maxDepth {
+			maxDepth = n.depth
+		}
+	}
+	if cap(t.groups) < maxDepth+1 {
+		t.groups = make([][]wire.HopEntry, maxDepth+1)
+	}
+	groups := t.groups[:maxDepth+1]
+	for i := range groups {
+		groups[i] = nil
+	}
+	total := 0
+	for _, n := range nodes {
+		if mask := n.r.OIFMask(ch); mask != 0 {
+			groups[n.depth] = append(groups[n.depth], wire.HopEntry{Hop: n.hop, OIFs: mask})
+			total++
+		}
+	}
+	if total == 0 {
+		t.empties.Add(1)
+		return nil
+	}
+	if size := wire.ExtHeaderSize(groups); size < 0 || size > t.budget {
+		t.overflows.Add(1)
+		return nil
+	}
+	enc, err := wire.AppendExtHeader(t.encBuf[:0], groups)
+	if err != nil {
+		t.overflows.Add(1)
+		return nil
+	}
+	t.encBuf = enc
+	return enc
+}

@@ -1,0 +1,332 @@
+package realnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/dataplane"
+	"repro/internal/wire"
+)
+
+// srPlaneReady reports whether p holds a route for ch and every interface in
+// its mask has a registered destination port — the deterministic "delivery
+// will work" predicate (same shape as the dataplane e2e tests).
+func srPlaneReady(p *dataplane.Plane, ch addr.Channel, wantFanout int) bool {
+	mask, ok := p.Route(ch)
+	if !ok {
+		return false
+	}
+	fanout := 0
+	for i := 0; i < 32; i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		if _, ok := p.PortAddr(i); !ok {
+			return false
+		}
+		fanout++
+	}
+	return fanout == wantFanout
+}
+
+func srRecvOrdered(t *testing.T, name string, r *dataplane.Receiver, first uint32, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		want := first + uint32(i)
+		pkt, err := r.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("%s: waiting for seq %d: %v", name, want, err)
+		}
+		if pkt.Seq != want {
+			t.Fatalf("%s: seq = %d, want %d", name, pkt.Seq, want)
+		}
+		if wantPayload := fmt.Sprintf("pkt-%d", want); string(pkt.Payload) != wantPayload {
+			t.Fatalf("%s: payload = %q, want %q", name, pkt.Payload, wantPayload)
+		}
+	}
+}
+
+// srTopo is the two-hop line used by the source-routing e2e tests: a core
+// and an edge router with data planes, one receiver subscribed at the edge.
+type srTopo struct {
+	core, edge *Router
+	recv       *dataplane.Receiver
+	ch         addr.Channel
+}
+
+func newSRTopo(t *testing.T, suffix uint32) *srTopo {
+	t.Helper()
+	core, err := NewRouterOpts("127.0.0.1:0", Options{
+		DataListen:    "127.0.0.1:0",
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { core.Close() })
+	edge, err := NewRouterOpts("127.0.0.1:0", Options{
+		Upstream:      core.Addr(),
+		DataListen:    "127.0.0.1:0",
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { edge.Close() })
+
+	ch := addr.Channel{S: addr.MustParse("10.2.0.1"), E: addr.ExpressAddr(suffix)}
+	recv, err := dataplane.NewReceiver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { recv.Close() })
+	sess, err := DialSession(edge.Addr(), SessionOptions{DataPort: recv.Port()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	if err := sess.Subscribe(ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return srPlaneReady(edge.DataPlane(), ch, 1) && srPlaneReady(core.DataPlane(), ch, 1)
+	})
+	return &srTopo{core: core, edge: edge, recv: recv, ch: ch}
+}
+
+// TestSRTreeHeaderModeParity is the tentpole e2e: the SRTree folds the live
+// Count tree into a two-group bitmap stack, pushes it to the source, and the
+// stamped packets traverse core and edge entirely off the header — zero FIB
+// lookups at either hop — with delivery identical to FIB mode, to which the
+// source then reverts mid-stream.
+func TestSRTreeHeaderModeParity(t *testing.T) {
+	tp := newSRTopo(t, 21)
+	tree := NewSRTree(0)
+	defer tree.Close()
+	tree.AddRouter(tp.core, 1, 0)
+	tree.AddRouter(tp.edge, 2, 1)
+
+	src, err := dataplane.NewSource(tp.core.DataAddr(), tp.ch, dataplane.SourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	tree.Serve(tp.ch, func(h []byte) { src.SetSourceRoute(h) })
+	tree.Recompute()
+	if !src.SourceRouted() {
+		t.Fatal("source not routed after synchronous recompute")
+	}
+
+	const batch = 50
+	for i := 0; i < batch; i++ {
+		if err := src.Send([]byte(fmt.Sprintf("pkt-%d", src.Seq()+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srRecvOrdered(t, "header-mode", tp.recv, 1, batch)
+
+	for _, hop := range []struct {
+		name string
+		p    *dataplane.Plane
+	}{{"core", tp.core.DataPlane()}, {"edge", tp.edge.DataPlane()}} {
+		st := hop.p.Stats()
+		if st.SRForwarded != batch {
+			t.Errorf("%s: SRForwarded = %d, want %d", hop.name, st.SRForwarded, batch)
+		}
+		if st.FIB.Lookups != 0 {
+			t.Errorf("%s: FIB lookups = %d in header mode, want 0", hop.name, st.FIB.Lookups)
+		}
+		if st.SRFallback != 0 || st.SRBad != 0 {
+			t.Errorf("%s: SR fallback/bad = %d/%d, want 0/0", hop.name, st.SRFallback, st.SRBad)
+		}
+	}
+
+	// Revert to FIB mode mid-stream: unserve and clear the source's header.
+	tree.Stop(tp.ch)
+	if err := src.SetSourceRoute(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < batch; i++ {
+		if err := src.Send([]byte(fmt.Sprintf("pkt-%d", src.Seq()+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srRecvOrdered(t, "fib-mode", tp.recv, batch+1, batch)
+	st := tp.core.DataPlane().Stats()
+	if st.FIB.Matched != batch {
+		t.Errorf("core: FIB matched = %d after reverting, want %d", st.FIB.Matched, batch)
+	}
+	if st.SRForwarded != batch {
+		t.Errorf("core: SRForwarded = %d after reverting, want %d (unchanged)", st.SRForwarded, batch)
+	}
+	ts := tree.Stats()
+	if ts.Pushes == 0 || ts.Overflows != 0 {
+		t.Errorf("tree stats = %+v, want pushes > 0 and no overflows", ts)
+	}
+}
+
+// TestSRTreeOverflowFallsBackToFIB pins the overflow→FIB rule end to end: a
+// budget too small for even one entry makes the SRTree push nil, the source
+// sends plain packets, and delivery proceeds identically off the packed FIB
+// with the SR fast path never taken.
+func TestSRTreeOverflowFallsBackToFIB(t *testing.T) {
+	tp := newSRTopo(t, 22)
+	// Minimum non-empty stack is fixed(2) + count(1) + entry(6) = 9 bytes;
+	// a budget of 8 overflows any subscribed tree.
+	tree := NewSRTree(8)
+	defer tree.Close()
+	tree.AddRouter(tp.core, 1, 0)
+	tree.AddRouter(tp.edge, 2, 1)
+
+	src, err := dataplane.NewSource(tp.core.DataAddr(), tp.ch, dataplane.SourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	tree.Serve(tp.ch, func(h []byte) { src.SetSourceRoute(h) })
+	tree.Recompute()
+	if src.SourceRouted() {
+		t.Fatal("source routed despite overflow; want nil push")
+	}
+	if ts := tree.Stats(); ts.Overflows == 0 {
+		t.Fatalf("tree stats = %+v, want overflows > 0", ts)
+	}
+
+	const batch = 20
+	for i := 0; i < batch; i++ {
+		if err := src.Send([]byte(fmt.Sprintf("pkt-%d", src.Seq()+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srRecvOrdered(t, "overflow-fallback", tp.recv, 1, batch)
+	st := tp.core.DataPlane().Stats()
+	if st.SRForwarded != 0 || st.FIB.Matched != batch {
+		t.Errorf("core: SRForwarded/FIB.Matched = %d/%d, want 0/%d", st.SRForwarded, st.FIB.Matched, batch)
+	}
+}
+
+// TestSRTreeUnawareHopFallsBack pins the header-unaware cascade: when the
+// first hop has no hop ID it cannot pop its group, so it FIB-forwards with
+// the header intact; the next hop then finds a foreign group under the
+// cursor and falls back too. Delivery is unharmed — every hop lands on the
+// same OIFs the FIB would have chosen.
+func TestSRTreeUnawareHopFallsBack(t *testing.T) {
+	tp := newSRTopo(t, 23)
+	tree := NewSRTree(0)
+	defer tree.Close()
+	tree.AddRouter(tp.core, 1, 0)
+	tree.AddRouter(tp.edge, 2, 1)
+	// Simulate a legacy core: header-unaware, but still in the stack that
+	// the (stale) controller image keeps encoding.
+	tp.core.DataPlane().SetHopID(0)
+
+	src, err := dataplane.NewSource(tp.core.DataAddr(), tp.ch, dataplane.SourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	tree.Serve(tp.ch, func(h []byte) { src.SetSourceRoute(h) })
+	tree.Recompute()
+	if !src.SourceRouted() {
+		t.Fatal("source not routed after recompute")
+	}
+
+	const batch = 20
+	for i := 0; i < batch; i++ {
+		if err := src.Send([]byte(fmt.Sprintf("pkt-%d", src.Seq()+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srRecvOrdered(t, "unaware-fallback", tp.recv, 1, batch)
+
+	coreSt := tp.core.DataPlane().Stats()
+	if coreSt.SRFallback != batch || coreSt.FIB.Matched != batch {
+		t.Errorf("core: SRFallback/FIB.Matched = %d/%d, want %d/%d",
+			coreSt.SRFallback, coreSt.FIB.Matched, batch, batch)
+	}
+	edgeSt := tp.edge.DataPlane().Stats()
+	if edgeSt.SRFallback != batch || edgeSt.FIB.Matched != batch {
+		t.Errorf("edge: SRFallback/FIB.Matched = %d/%d, want %d/%d (cursor cascade)",
+			edgeSt.SRFallback, edgeSt.FIB.Matched, batch, batch)
+	}
+}
+
+// TestSRTreeFoldUnit exercises the fold itself without data planes: headers
+// reflect live OIF images, refold on membership change, and go nil when the
+// last subscriber leaves.
+func TestSRTreeFoldUnit(t *testing.T) {
+	r, err := NewRouter("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ch := addr.Channel{S: addr.MustParse("10.2.0.2"), E: addr.ExpressAddr(5)}
+
+	tree := NewSRTree(0)
+	defer tree.Close()
+	tree.AddRouter(r, 7, 0)
+
+	var mu sync.Mutex
+	var last []byte
+	gotNil := false
+	tree.Serve(ch, func(h []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		if h == nil {
+			gotNil = true
+			last = nil
+			return
+		}
+		last = append(last[:0], h...)
+	})
+	tree.Recompute()
+	mu.Lock()
+	if !gotNil || last != nil {
+		t.Fatalf("initial fold: gotNil=%v last=%v, want nil push (no subscribers)", gotNil, last)
+	}
+	gotNil = false
+	mu.Unlock()
+
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Subscribe(ch)
+	c.Flush()
+	// The OIF change fires the route observer, which refolds on the worker.
+	waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return last != nil
+	})
+	mu.Lock()
+	h, rest, err := wire.ParseExtHeader(last)
+	mu.Unlock()
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("ParseExtHeader(pushed) = rest %d, %v", len(rest), err)
+	}
+	groups, _, err := h.Groups()
+	if err != nil || len(groups) != 1 || len(groups[0]) != 1 {
+		t.Fatalf("Groups() = %v, %v; want one group of one entry", groups, err)
+	}
+	if groups[0][0].Hop != 7 || groups[0][0].OIFs != r.OIFMask(ch) {
+		t.Errorf("entry = %+v, want hop 7 mask %#x", groups[0][0], r.OIFMask(ch))
+	}
+
+	// Last subscriber leaves: the refold must push nil (back to FIB mode —
+	// where the missing FIB entry drops, exactly as it should).
+	c.Unsubscribe(ch)
+	c.Flush()
+	waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return gotNil
+	})
+}

@@ -1,0 +1,272 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Source-routed replication header (Elmo-style). When DataFlagSrcRoute is
+// set, an extension header sits between the 12-byte data header and the
+// payload, carrying the whole replication tree as a stack of per-hop output
+// bitmaps. Core routers forward off their bitmap with zero FIB state; only
+// the source (or first-hop router) knows the tree.
+//
+// Layout (big endian), ≤ 255 bytes total:
+//
+//	0        total ext-header length in bytes (includes these two bytes)
+//	1        cursor: offset of the current hop group from ext-header start;
+//	         == length once every group has been consumed
+//	2..len-1 hop groups, back to back, each:
+//	           count byte n (≥ 1)
+//	           n × 6-byte entries: hop ID (uint16), OIF bitmap (uint32)
+//
+// Groups are ordered by tree depth: group d holds the (hop, bitmap) entry
+// of every router at depth d, so a packet popped d times presents exactly
+// the group its receivers belong to. Pop-on-forward is a single in-place
+// byte write (the cursor advances past the consumed group); since every
+// router at one depth shares the group, a hop pops only after matching its
+// own ID, and a hop that finds the cursor exhausted, the header malformed,
+// or its ID absent falls back to the packed FIB. P³FA's low-egress-diversity
+// observation is what makes the 255-byte budget workable: real per-hop
+// fan-out is small, so trees of useful depth fit.
+
+const (
+	// DataFlagSrcRoute marks a packet carrying a source-route extension
+	// header between the data header and the payload.
+	DataFlagSrcRoute uint8 = 1 << 3
+
+	// ExtHeaderFixed is the fixed prefix: length byte + cursor byte.
+	ExtHeaderFixed = 2
+	// HopEntrySize is one (hop ID, OIF bitmap) entry.
+	HopEntrySize = 6
+	// MaxExtHeader bounds the whole extension header; the one-byte length
+	// field makes the bound structural, not advisory.
+	MaxExtHeader = 255
+)
+
+// ErrExtHeader is returned for any malformed extension header.
+var ErrExtHeader = errors.New("wire: malformed source-route extension header")
+
+// HopEntry is one router's slice of the replication tree: the OIF bitmap it
+// should replicate to, keyed by its hop ID (0 is reserved for
+// header-unaware hops and never appears in a valid header).
+type HopEntry struct {
+	Hop  uint16
+	OIFs uint32
+}
+
+// ExtHeaderSize returns the encoded size of a header holding groups, or -1
+// if it exceeds MaxExtHeader. Tree computation uses it to price a tree
+// against the header budget without encoding.
+func ExtHeaderSize(groups [][]HopEntry) int {
+	n := ExtHeaderFixed
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		n += 1 + HopEntrySize*len(g)
+	}
+	if n > MaxExtHeader {
+		return -1
+	}
+	return n
+}
+
+// AppendExtHeader appends an encoded extension header with the cursor at
+// the first group. Empty groups are elided; at least one non-empty group is
+// required, entries must have nonzero hop IDs, and the result must fit
+// MaxExtHeader.
+func AppendExtHeader(dst []byte, groups [][]HopEntry) ([]byte, error) {
+	return AppendExtHeaderPopped(dst, groups, 0)
+}
+
+// AppendExtHeaderPopped is AppendExtHeader with the cursor already advanced
+// past the first popped non-empty groups — the state of a header that has
+// traversed that many tree levels. popped may equal the group count
+// (exhausted header). It exists so decode→re-encode is an identity for any
+// valid header, which the fuzzer leans on.
+func AppendExtHeaderPopped(dst []byte, groups [][]HopEntry, popped int) ([]byte, error) {
+	size := ExtHeaderSize(groups)
+	if size < 0 {
+		return dst, fmt.Errorf("%w: %d groups exceed %d-byte budget", ErrExtHeader, len(groups), MaxExtHeader)
+	}
+	if size == ExtHeaderFixed {
+		return dst, fmt.Errorf("%w: no non-empty groups", ErrExtHeader)
+	}
+	cursor := ExtHeaderFixed
+	seen := 0
+	dst = append(dst, byte(size), 0)
+	base := len(dst) - ExtHeaderFixed
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if seen < popped {
+			cursor += 1 + HopEntrySize*len(g)
+		}
+		seen++
+		if len(g) > MaxExtHeader/HopEntrySize {
+			return dst[:base], fmt.Errorf("%w: group of %d entries", ErrExtHeader, len(g))
+		}
+		dst = append(dst, byte(len(g)))
+		for _, e := range g {
+			if e.Hop == 0 {
+				return dst[:base], fmt.Errorf("%w: zero hop ID", ErrExtHeader)
+			}
+			var ent [HopEntrySize]byte
+			binary.BigEndian.PutUint16(ent[0:2], e.Hop)
+			binary.BigEndian.PutUint32(ent[2:6], e.OIFs)
+			dst = append(dst, ent[:]...)
+		}
+	}
+	if popped < 0 || popped > seen {
+		return dst[:base], fmt.Errorf("%w: popped %d of %d groups", ErrExtHeader, popped, seen)
+	}
+	if popped == seen {
+		cursor = size
+	}
+	dst[base+1] = byte(cursor)
+	return dst, nil
+}
+
+// ExtHeader is a zero-copy view over an encoded extension header. The
+// fast-path constructor only checks the bounds needed to index safely;
+// structural validation is Validate's job.
+type ExtHeader struct {
+	b []byte
+}
+
+// ParseExtHeader splits a data-packet payload into the extension-header
+// view and the application payload that follows it. It never allocates.
+func ParseExtHeader(payload []byte) (ExtHeader, []byte, error) {
+	if len(payload) < ExtHeaderFixed {
+		return ExtHeader{}, nil, ErrExtHeader
+	}
+	n := int(payload[0])
+	if n < ExtHeaderFixed || n > len(payload) {
+		return ExtHeader{}, nil, ErrExtHeader
+	}
+	return ExtHeader{b: payload[:n]}, payload[n:], nil
+}
+
+// Len returns the total encoded length in bytes.
+func (h ExtHeader) Len() int { return len(h.b) }
+
+// Exhausted reports whether every hop group has been consumed.
+func (h ExtHeader) Exhausted() bool { return int(h.b[1]) >= len(h.b) }
+
+// SRStatus is the outcome of a PopMask lookup.
+type SRStatus uint8
+
+const (
+	// SRFound: the hop owns an entry in the current group; the mask was
+	// returned and the cursor advanced past the group.
+	SRFound SRStatus = iota
+	// SRExhausted: the stack has no groups left (the packet is past the
+	// encoded tree); forward off the FIB.
+	SRExhausted
+	// SRNotFound: the current group has no entry for this hop (the hop is
+	// not part of the encoded tree level); forward off the FIB.
+	SRNotFound
+	// SRMalformed: the group structure is inconsistent; forward off the
+	// FIB and count the packet as bad.
+	SRMalformed
+)
+
+// PopMask looks up hop in the current group. On a hit it advances the
+// cursor past the group in place — the caller replicates the mutated
+// buffer, so children at the next tree depth see their own group — and
+// returns the hop's OIF bitmap. It only inspects the current group, costs
+// O(group entries), and never allocates.
+func (h ExtHeader) PopMask(hop uint16) (uint32, SRStatus) {
+	cur := int(h.b[1])
+	if cur >= len(h.b) {
+		if cur == len(h.b) {
+			return 0, SRExhausted
+		}
+		return 0, SRMalformed
+	}
+	if cur < ExtHeaderFixed {
+		return 0, SRMalformed
+	}
+	n := int(h.b[cur])
+	end := cur + 1 + HopEntrySize*n
+	if n == 0 || end > len(h.b) {
+		return 0, SRMalformed
+	}
+	for off := cur + 1; off < end; off += HopEntrySize {
+		if binary.BigEndian.Uint16(h.b[off:off+2]) == hop {
+			h.b[1] = byte(end)
+			return binary.BigEndian.Uint32(h.b[off+2 : off+6]), SRFound
+		}
+	}
+	return 0, SRNotFound
+}
+
+// Validate walks the whole structure: groups must exactly tile the region
+// after the fixed prefix, every group must be non-empty with nonzero hop
+// IDs, and the cursor must land on a group boundary or the end.
+func (h ExtHeader) Validate() error {
+	_, _, err := h.decode(false)
+	return err
+}
+
+// Groups decodes the header into structured form plus the number of groups
+// already popped. It allocates and exists for tests, fuzzing, and tree
+// computation — the data plane uses PopMask.
+func (h ExtHeader) Groups() ([][]HopEntry, int, error) {
+	return h.decode(true)
+}
+
+func (h ExtHeader) decode(build bool) ([][]HopEntry, int, error) {
+	cur := int(h.b[1])
+	if cur < ExtHeaderFixed || cur > len(h.b) {
+		return nil, 0, fmt.Errorf("%w: cursor %d outside [%d,%d]", ErrExtHeader, cur, ExtHeaderFixed, len(h.b))
+	}
+	var groups [][]HopEntry
+	popped := -1
+	off := ExtHeaderFixed
+	if off == len(h.b) {
+		return nil, 0, fmt.Errorf("%w: no groups", ErrExtHeader)
+	}
+	for off < len(h.b) {
+		if off == cur {
+			popped = len(groups)
+		}
+		n := int(h.b[off])
+		end := off + 1 + HopEntrySize*n
+		if n == 0 || end > len(h.b) {
+			return nil, 0, fmt.Errorf("%w: group at %d (count %d) overruns length %d", ErrExtHeader, off, n, len(h.b))
+		}
+		if build {
+			g := make([]HopEntry, 0, n)
+			for p := off + 1; p < end; p += HopEntrySize {
+				hop := binary.BigEndian.Uint16(h.b[p : p+2])
+				if hop == 0 {
+					return nil, 0, fmt.Errorf("%w: zero hop ID at %d", ErrExtHeader, p)
+				}
+				g = append(g, HopEntry{Hop: hop, OIFs: binary.BigEndian.Uint32(h.b[p+2 : p+6])})
+			}
+			groups = append(groups, g)
+		} else {
+			for p := off + 1; p < end; p += HopEntrySize {
+				if h.b[p] == 0 && h.b[p+1] == 0 {
+					return nil, 0, fmt.Errorf("%w: zero hop ID at %d", ErrExtHeader, p)
+				}
+			}
+			groups = append(groups, nil)
+		}
+		off = end
+	}
+	if cur == len(h.b) {
+		popped = len(groups)
+	}
+	if popped < 0 {
+		return nil, 0, fmt.Errorf("%w: cursor %d not on a group boundary", ErrExtHeader, cur)
+	}
+	if !build {
+		return nil, popped, nil
+	}
+	return groups, popped, nil
+}

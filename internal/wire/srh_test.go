@@ -1,0 +1,334 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func mustExtHeader(t *testing.T, groups [][]HopEntry) []byte {
+	t.Helper()
+	b, err := AppendExtHeader(nil, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestExtHeaderRoundTrip(t *testing.T) {
+	in := [][]HopEntry{
+		{{Hop: 1, OIFs: 0b1010}},
+		{{Hop: 2, OIFs: 1}, {Hop: 3, OIFs: 0xffffffff}},
+		{{Hop: 10, OIFs: 0}, {Hop: 11, OIFs: 7}, {Hop: 12, OIFs: 1 << 31}},
+	}
+	b := mustExtHeader(t, in)
+	if want := ExtHeaderSize(in); len(b) != want {
+		t.Fatalf("encoded %d bytes, ExtHeaderSize says %d", len(b), want)
+	}
+	h, rest, err := ParseExtHeader(b)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("parse = (%v, %d trailing), want clean", err, len(rest))
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	groups, popped, err := h.Groups()
+	if err != nil || popped != 0 {
+		t.Fatalf("Groups = (popped %d, %v)", popped, err)
+	}
+	if len(groups) != len(in) {
+		t.Fatalf("decoded %d groups, want %d", len(groups), len(in))
+	}
+	for i := range in {
+		if len(groups[i]) != len(in[i]) {
+			t.Fatalf("group %d: %d entries, want %d", i, len(groups[i]), len(in[i]))
+		}
+		for j := range in[i] {
+			if groups[i][j] != in[i][j] {
+				t.Fatalf("group %d entry %d = %+v, want %+v", i, j, groups[i][j], in[i][j])
+			}
+		}
+	}
+}
+
+func TestExtHeaderPopOnForward(t *testing.T) {
+	in := [][]HopEntry{
+		{{Hop: 1, OIFs: 0b0110}},
+		{{Hop: 2, OIFs: 0b0001}, {Hop: 3, OIFs: 0b1000}},
+	}
+	b := mustExtHeader(t, in)
+	app := []byte("app payload")
+	payload := append(append([]byte(nil), b...), app...)
+
+	h, rest, err := ParseExtHeader(payload)
+	if err != nil || !bytes.Equal(rest, app) {
+		t.Fatalf("parse = (%v, %q)", err, rest)
+	}
+	// Depth 0: hop 1 pops its group.
+	if mask, st := h.PopMask(1); st != SRFound || mask != 0b0110 {
+		t.Fatalf("depth-0 pop = (%#b, %v)", mask, st)
+	}
+	// The same (now popped) buffer reaches both depth-1 routers; each sees
+	// only its own entry in the shared group.
+	for _, tc := range []struct {
+		hop  uint16
+		mask uint32
+	}{{2, 0b0001}, {3, 0b1000}} {
+		child := append([]byte(nil), payload...)
+		hc, _, err := ParseExtHeader(child)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask, st := hc.PopMask(tc.hop)
+		if st != SRFound || mask != tc.mask {
+			t.Fatalf("hop %d pop = (%#b, %v), want (%#b, SRFound)", tc.hop, mask, st, tc.mask)
+		}
+		if !hc.Exhausted() {
+			t.Fatalf("hop %d: stack not exhausted after last group", tc.hop)
+		}
+		// Past the tree: receivers and deeper hops fall back to the FIB.
+		if _, st := hc.PopMask(tc.hop); st != SRExhausted {
+			t.Fatalf("pop past end = %v, want SRExhausted", st)
+		}
+	}
+	// A depth-1 hop that is not in the group (e.g. a rerouted path) falls
+	// back without popping.
+	other := append([]byte(nil), payload...)
+	ho, _, _ := ParseExtHeader(other)
+	if _, st := ho.PopMask(99); st != SRNotFound {
+		t.Fatalf("unknown hop = %v, want SRNotFound", st)
+	}
+	if ho.Exhausted() {
+		t.Fatal("SRNotFound must not advance the cursor")
+	}
+}
+
+func TestExtHeaderPoppedEncoding(t *testing.T) {
+	in := [][]HopEntry{
+		{{Hop: 1, OIFs: 2}},
+		{{Hop: 2, OIFs: 4}},
+	}
+	for popped := 0; popped <= 2; popped++ {
+		b, err := AppendExtHeaderPopped(nil, in, popped)
+		if err != nil {
+			t.Fatalf("popped=%d: %v", popped, err)
+		}
+		h, _, err := ParseExtHeader(b)
+		if err != nil {
+			t.Fatalf("popped=%d: %v", popped, err)
+		}
+		if _, got, err := h.Groups(); err != nil || got != popped {
+			t.Fatalf("popped=%d: Groups = (%d, %v)", popped, got, err)
+		}
+		if h.Exhausted() != (popped == 2) {
+			t.Fatalf("popped=%d: Exhausted = %v", popped, h.Exhausted())
+		}
+	}
+	if _, err := AppendExtHeaderPopped(nil, in, 3); err == nil {
+		t.Fatal("popped past group count must fail")
+	}
+}
+
+func TestExtHeaderEncodeErrors(t *testing.T) {
+	if _, err := AppendExtHeader(nil, nil); !errors.Is(err, ErrExtHeader) {
+		t.Errorf("empty tree: err = %v", err)
+	}
+	if _, err := AppendExtHeader(nil, [][]HopEntry{{}, {}}); !errors.Is(err, ErrExtHeader) {
+		t.Errorf("all-empty groups: err = %v", err)
+	}
+	if _, err := AppendExtHeader(nil, [][]HopEntry{{{Hop: 0, OIFs: 1}}}); !errors.Is(err, ErrExtHeader) {
+		t.Errorf("zero hop ID: err = %v", err)
+	}
+	// 43 entries × 6 + 1 group byte + 2 fixed = 261 > 255.
+	big := make([]HopEntry, 43)
+	for i := range big {
+		big[i] = HopEntry{Hop: uint16(i + 1)}
+	}
+	if _, err := AppendExtHeader(nil, [][]HopEntry{big}); !errors.Is(err, ErrExtHeader) {
+		t.Errorf("over budget: err = %v", err)
+	}
+	// Largest header that fits must encode.
+	fits := big[:42]
+	if b, err := AppendExtHeader(nil, [][]HopEntry{fits}); err != nil || len(b) != 255 {
+		t.Errorf("max-size header: (%d bytes, %v)", len(b), err)
+	}
+}
+
+func TestParseExtHeaderErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"one byte", []byte{5}},
+		{"length under fixed", []byte{1, 2, 0}},
+		{"length past buffer", []byte{9, 2, 1, 0, 1, 0, 0, 0}},
+	} {
+		if _, _, err := ParseExtHeader(tc.b); !errors.Is(err, ErrExtHeader) {
+			t.Errorf("%s: err = %v, want ErrExtHeader", tc.name, err)
+		}
+	}
+	// Structurally broken but parseable headers: PopMask reports
+	// SRMalformed, Validate rejects.
+	for _, tc := range []struct {
+		name string
+		b    []byte
+	}{
+		{"zero count group", []byte{4, 2, 0, 0}},
+		{"group overruns", []byte{9, 2, 2, 0, 1, 0, 0, 0, 0}},
+		{"cursor off boundary", []byte{9, 3, 1, 0, 1, 0, 0, 0, 1}},
+		{"cursor under fixed", []byte{9, 1, 1, 0, 1, 0, 0, 0, 1}},
+		{"no groups at all", []byte{2, 2}},
+	} {
+		h, _, err := ParseExtHeader(tc.b)
+		if err != nil {
+			if tc.name == "no groups at all" || tc.name == "cursor under fixed" {
+				continue // rejected even by the light parse is fine too
+			}
+			t.Errorf("%s: light parse rejected: %v", tc.name, err)
+			continue
+		}
+		if err := h.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+		if tc.name == "cursor off boundary" || tc.name == "no groups at all" {
+			continue // PopMask can legally read a mid-entry "group" there
+		}
+		if _, st := h.PopMask(1); st != SRMalformed && st != SRNotFound {
+			t.Errorf("%s: PopMask = %v", tc.name, st)
+		}
+	}
+}
+
+// TestExtHeaderNoAlloc pins encode-into-reused-buffer, parse, and pop at
+// zero allocations: the data plane runs parse+pop per packet, and sources
+// re-encode per tree push into a reused buffer.
+func TestExtHeaderNoAlloc(t *testing.T) {
+	groups := [][]HopEntry{
+		{{Hop: 1, OIFs: 3}},
+		{{Hop: 2, OIFs: 1}, {Hop: 3, OIFs: 8}},
+	}
+	buf := make([]byte, 0, MaxExtHeader)
+	allocs := testing.AllocsPerRun(1000, func() {
+		var err error
+		if _, err = AppendExtHeader(buf[:0], groups); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendExtHeader allocates %.1f/op, want 0", allocs)
+	}
+	enc := mustExtHeader(t, groups)
+	payload := append(enc, []byte("data")...)
+	allocs = testing.AllocsPerRun(1000, func() {
+		h, _, err := ParseExtHeader(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, st := h.PopMask(1); st != SRFound {
+			t.Fatal(st)
+		}
+		payload[1] = ExtHeaderFixed // rewind the cursor for the next run
+	})
+	if allocs != 0 {
+		t.Errorf("ParseExtHeader+PopMask allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestExtHeaderPropertyRandomTrees drives random bounded trees through
+// encode → parse → pop-at-every-depth and checks each hop recovers exactly
+// its own bitmap.
+func TestExtHeaderPropertyRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 500; iter++ {
+		depth := 1 + rng.Intn(4)
+		groups := make([][]HopEntry, depth)
+		hop := uint16(1)
+		for d := range groups {
+			n := 1 + rng.Intn(5)
+			for i := 0; i < n; i++ {
+				groups[d] = append(groups[d], HopEntry{Hop: hop, OIFs: rng.Uint32()})
+				hop++
+			}
+		}
+		if ExtHeaderSize(groups) < 0 {
+			continue
+		}
+		b := mustExtHeader(t, groups)
+		for d := range groups {
+			pick := groups[d][rng.Intn(len(groups[d]))]
+			cp := append([]byte(nil), b...)
+			cp[1] = byte(ExtHeaderSize(groups[:d])) // cursor at depth d
+			h, _, err := ParseExtHeader(cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mask, st := h.PopMask(pick.Hop)
+			if st != SRFound || mask != pick.OIFs {
+				t.Fatalf("iter %d depth %d hop %d: (%#x, %v), want (%#x, SRFound)",
+					iter, d, pick.Hop, mask, st, pick.OIFs)
+			}
+		}
+	}
+}
+
+// FuzzDecodeExtHeader feeds arbitrary bytes to the extension-header parser:
+// it must never panic, any accepted header must consume exactly its length
+// byte, structurally valid headers must re-encode to identical bytes
+// (decode∘encode identity), and every group must stay inside the ≤255-byte
+// bounded-bitmap budget.
+func FuzzDecodeExtHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 2})
+	f.Add([]byte{0, 0, 0})
+	seed, _ := AppendExtHeader(nil, [][]HopEntry{
+		{{Hop: 1, OIFs: 6}},
+		{{Hop: 2, OIFs: 1}, {Hop: 3, OIFs: 8}},
+	})
+	f.Add(seed)
+	popped, _ := AppendExtHeaderPopped(nil, [][]HopEntry{{{Hop: 9, OIFs: 0xff}}}, 1)
+	f.Add(popped)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, rest, err := ParseExtHeader(b)
+		if err != nil {
+			return
+		}
+		if h.Len() < ExtHeaderFixed || h.Len() > MaxExtHeader || h.Len()+len(rest) != len(b) {
+			t.Fatalf("parse split %d+%d of %d bytes", h.Len(), len(rest), len(b))
+		}
+		groups, np, gerr := h.Groups()
+		if (h.Validate() == nil) != (gerr == nil) {
+			t.Fatalf("Validate and Groups disagree: %v vs %v", h.Validate(), gerr)
+		}
+		if gerr != nil {
+			// Light parse accepted, structure invalid: PopMask must still
+			// be safe on it (no panic) for any hop.
+			h.PopMask(0)
+			h.PopMask(1)
+			return
+		}
+		total := ExtHeaderFixed
+		for _, g := range groups {
+			if len(g) == 0 {
+				t.Fatal("valid header decoded an empty group")
+			}
+			total += 1 + HopEntrySize*len(g)
+			for _, e := range g {
+				if e.Hop == 0 {
+					t.Fatal("valid header decoded hop ID 0")
+				}
+			}
+		}
+		if total != h.Len() {
+			t.Fatalf("groups cover %d of %d bytes", total, h.Len())
+		}
+		out, err := AppendExtHeaderPopped(nil, groups, np)
+		if err != nil {
+			t.Fatalf("re-encode of valid header failed: %v", err)
+		}
+		if !bytes.Equal(out, b[:h.Len()]) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", b[:h.Len()], out)
+		}
+	})
+}
