@@ -9,25 +9,41 @@
 // relayed content and optionally taking the floor to speak:
 //
 //	expressctl relay -router 127.0.0.1:4701 -source 171.64.9.1 -channel 0x101 -floor -say hello
+//
+// The send subcommand sources a paced data stream onto a channel, and the
+// scenario subcommand runs a multi-process topology with a chaos schedule
+// and invariant checks (see internal/scenario):
+//
+//	expressctl send -data 127.0.0.1:4702 -source 171.64.1.1 -channel 42 -rate 200
+//	expressctl scenario -preset isp -seed 7 -cycles 2
+//	expressctl scenario -list
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/addr"
 	"repro/internal/dataplane"
 	"repro/internal/realnet"
 	"repro/internal/relaynet"
+	"repro/internal/scenario"
 )
 
 // runRecv is the `expressctl recv` subcommand: open a UDP receiver socket,
 // dial a resilient session that advertises its port in the Hello, subscribe,
 // and print every data packet until -count packets arrived or -timeout of
-// silence passed.
+// silence passed. With -json each packet becomes one machine-readable line
+// with a nanosecond arrival timestamp — the scenario harness's delivery
+// probe — and the human banner moves to stderr.
 func runRecv(argv []string) {
 	fs := flag.NewFlagSet("recv", flag.ExitOnError)
 	router := fs.String("router", "127.0.0.1:4701", "expressd to subscribe through")
@@ -35,6 +51,9 @@ func runRecv(argv []string) {
 	channel := fs.Uint("channel", 1, "channel suffix (E = 232/8 + suffix)")
 	count := fs.Int("count", 0, "stop after this many packets (0 = run until timeout or interrupt)")
 	timeout := fs.Duration("timeout", 30*time.Second, "give up after this much silence")
+	jsonOut := fs.Bool("json", false, "one JSON line per packet (ns timestamp, channel, seq, len) on stdout")
+	reconnectBase := fs.Duration("reconnect-base", 0, "initial session reconnect backoff (0 = default)")
+	reconnectMax := fs.Duration("reconnect-max", 0, "session reconnect backoff cap (0 = default)")
 	fs.Parse(argv)
 
 	s, err := addr.Parse(*source)
@@ -53,6 +72,8 @@ func runRecv(argv []string) {
 	sess, err := realnet.DialSession(*router, realnet.SessionOptions{
 		DataPort:          r.Port(),
 		KeepaliveInterval: 100 * time.Millisecond,
+		ReconnectBase:     *reconnectBase,
+		ReconnectMax:      *reconnectMax,
 	})
 	if err != nil {
 		log.Fatalf("expressctl recv: %v", err)
@@ -64,16 +85,86 @@ func runRecv(argv []string) {
 	if err := sess.Flush(); err != nil {
 		log.Fatalf("expressctl recv: %v", err)
 	}
-	fmt.Printf("listening on udp %s, subscribed to %v via %s\n", r.Addr(), ch, *router)
+	banner := fmt.Sprintf("listening on udp %s, subscribed to %v via %s", r.Addr(), ch, *router)
+	if *jsonOut {
+		fmt.Fprintln(os.Stderr, banner)
+	} else {
+		fmt.Println(banner)
+	}
 
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
 	for n := 0; *count == 0 || n < *count; n++ {
 		pkt, err := r.RecvTimeout(*timeout)
 		if err != nil {
+			out.Flush()
 			log.Fatalf("expressctl recv: %v", err)
 		}
-		fmt.Printf("%v seq=%d flags=%#x %d bytes: %q\n",
+		if *jsonOut {
+			fmt.Fprintf(out, `{"ns":%d,"s":%q,"e":%q,"seq":%d,"flags":%d,"len":%d}`+"\n",
+				time.Now().UnixNano(), pkt.Channel.S, pkt.Channel.E, pkt.Seq, pkt.Flags, len(pkt.Payload))
+			out.Flush() // arrival timestamps must not sit in a buffer
+			continue
+		}
+		fmt.Fprintf(out, "%v seq=%d flags=%#x %d bytes: %q\n",
 			pkt.Channel, pkt.Seq, pkt.Flags, len(pkt.Payload), pkt.Payload)
+		out.Flush()
 	}
+}
+
+// runSend is the `expressctl send` subcommand: a paced source process
+// injecting sequenced packets at a router's data port until -count packets
+// are sent or a SIGTERM/SIGINT asks it to stop (exit 0 — scenario
+// teardown must be able to stop a source cleanly).
+func runSend(argv []string) {
+	fs := flag.NewFlagSet("send", flag.ExitOnError)
+	data := fs.String("data", "127.0.0.1:4801", "router data-plane UDP address to inject at")
+	source := fs.String("source", "10.0.0.1", "channel source address S")
+	channel := fs.Uint("channel", 1, "channel suffix (E = 232/8 + suffix)")
+	rate := fs.Int("rate", 200, "packets per second")
+	payload := fs.Int("payload", 64, "payload bytes per packet")
+	count := fs.Int("count", 0, "stop after this many packets (0 = run until interrupt)")
+	fs.Parse(argv)
+
+	s, err := addr.Parse(*source)
+	if err != nil {
+		log.Fatalf("expressctl send: %v", err)
+	}
+	ch := addr.Channel{S: s, E: addr.ExpressAddr(uint32(*channel))}
+	src, err := dataplane.NewSource(*data, ch, dataplane.SourceOptions{})
+	if err != nil {
+		log.Fatalf("expressctl send: %v", err)
+	}
+	defer src.Close()
+	if *rate <= 0 {
+		*rate = 200
+	}
+	if *payload <= 0 {
+		*payload = 1
+	}
+	buf := make([]byte, *payload)
+	for i := range buf {
+		buf[i] = byte('a' + i%26)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(time.Second / time.Duration(*rate))
+	defer tick.Stop()
+	sent := 0
+	for *count == 0 || sent < *count {
+		select {
+		case <-sig:
+			fmt.Printf("sent %d packets on %v to %s\n", sent, ch, *data)
+			return
+		case <-tick.C:
+		}
+		if err := src.Send(buf); err != nil {
+			log.Fatalf("expressctl send: %v", err)
+		}
+		sent++
+	}
+	fmt.Printf("sent %d packets on %v to %s\n", sent, ch, *data)
 }
 
 // runRelay is the `expressctl relay` subcommand: join a relayd session as
@@ -169,13 +260,104 @@ func runRelay(argv []string) {
 		st.Received, st.Missed, st.Refused, st.Denied, st.FailedOver)
 }
 
+// runScenario is the `expressctl scenario` subcommand: run a declarative
+// multi-process topology with its chaos schedule and exit non-zero if any
+// invariant was violated. Progress goes to stderr, the result JSON to
+// stdout.
+//
+//	expressctl scenario -preset isp
+//	expressctl scenario -file topo.json -seed 7 -cycles 3 -keep
+func runScenario(argv []string) {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	preset := fs.String("preset", "", "embedded preset to run (see -list)")
+	file := fs.String("file", "", "topology JSON file to run")
+	list := fs.Bool("list", false, "list embedded presets and exit")
+	bins := fs.String("bins", "", "directory holding prebuilt expressd/relayd/expressctl (empty = go build)")
+	dir := fs.String("dir", "", "run directory for logs and captures (empty = temp dir)")
+	keep := fs.Bool("keep", false, "keep the run directory")
+	seed := fs.Int64("seed", 0, "replace the file's chaos schedule with seeded generated chaos")
+	cycles := fs.Int("cycles", 1, "generated disrupt/recover cycles when -seed is set")
+	quiet := fs.Bool("quiet", false, "suppress progress lines on stderr")
+	fs.Parse(argv)
+
+	if *list {
+		for _, name := range scenario.Presets() {
+			t, err := scenario.LoadPreset(name)
+			if err != nil {
+				log.Fatalf("expressctl scenario: preset %s: %v", name, err)
+			}
+			fmt.Printf("%-12s %s\n", name, t.Description)
+		}
+		return
+	}
+	var topo *scenario.Topology
+	var err error
+	switch {
+	case *preset != "" && *file != "":
+		log.Fatal("expressctl scenario: -preset and -file are mutually exclusive")
+	case *preset != "":
+		topo, err = scenario.LoadPreset(*preset)
+	case *file != "":
+		topo, err = scenario.Load(*file)
+	default:
+		log.Fatal("expressctl scenario: need -preset or -file (or -list)")
+	}
+	if err != nil {
+		log.Fatalf("expressctl scenario: %v", err)
+	}
+	if *seed != 0 {
+		topo.Chaos = nil // regenerate below via Options.Seed
+	}
+
+	opts := scenario.Options{
+		Dir:         *dir,
+		Keep:        *keep || *dir != "",
+		Seed:        *seed,
+		ChaosCycles: *cycles,
+		Log:         os.Stderr,
+	}
+	if *quiet {
+		opts.Log = nil
+	}
+	if *bins != "" {
+		opts.Bins = map[string]string{
+			"expressd":   filepath.Join(*bins, "expressd"),
+			"relayd":     filepath.Join(*bins, "relayd"),
+			"expressctl": filepath.Join(*bins, "expressctl"),
+		}
+	}
+	runner, err := scenario.New(topo, opts)
+	if err != nil {
+		log.Fatalf("expressctl scenario: %v", err)
+	}
+	res, err := runner.Run()
+	if err != nil {
+		log.Fatalf("expressctl scenario: %v", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(res)
+	if res.Failed() {
+		fmt.Fprintf(os.Stderr, "expressctl scenario: %d invariant violation(s)\n", len(res.Violations))
+		os.Exit(1)
+	}
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "recv" {
 		runRecv(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "send" {
+		runSend(os.Args[2:])
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "relay" {
 		runRelay(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		runScenario(os.Args[2:])
 		return
 	}
 	router := flag.String("router", "127.0.0.1:4701", "expressd to connect to")

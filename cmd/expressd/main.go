@@ -37,17 +37,20 @@ import (
 // config is everything main parses from flags, separated so tests can run a
 // daemon without touching the flag package or the process signal handler.
 type config struct {
-	listen     string
-	upstream   string
-	admin      string
-	dataPort   int
-	dataQueues int
-	dataHopID  int
-	shards     int
-	flushEvery time.Duration
-	keepalive  time.Duration
-	kaMisses   int
-	statsEvery time.Duration
+	listen        string
+	upstream      string
+	admin         string
+	dataPort      int
+	dataQueues    int
+	dataHopID     int
+	shards        int
+	flushEvery    time.Duration
+	keepalive     time.Duration
+	kaMisses      int
+	statsEvery    time.Duration
+	reconnectBase time.Duration
+	reconnectMax  time.Duration
+	drainTimeout  time.Duration
 }
 
 // dataListen derives the UDP data-plane bind address from -data-port: the
@@ -74,9 +77,10 @@ type daemon struct {
 	r     *realnet.Router
 	admin *obs.Admin
 
-	done    chan struct{}
-	wg      sync.WaitGroup
-	closing sync.Once
+	drainTimeout time.Duration
+	done         chan struct{}
+	wg           sync.WaitGroup
+	closing      sync.Once
 }
 
 func newDaemon(cfg config) (*daemon, error) {
@@ -86,6 +90,8 @@ func newDaemon(cfg config) (*daemon, error) {
 		FlushInterval:     cfg.flushEvery,
 		KeepaliveInterval: cfg.keepalive,
 		KeepaliveMisses:   cfg.kaMisses,
+		ReconnectBase:     cfg.reconnectBase,
+		ReconnectMax:      cfg.reconnectMax,
 		DataListen:        cfg.dataListen(),
 		DataQueues:        cfg.dataQueues,
 		DataHopID:         uint16(cfg.dataHopID),
@@ -93,10 +99,16 @@ func newDaemon(cfg config) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &daemon{r: r, done: make(chan struct{})}
+	d := &daemon{r: r, drainTimeout: cfg.drainTimeout, done: make(chan struct{})}
 
 	if cfg.admin != "" {
-		d.admin, err = obs.NewAdmin(cfg.admin, r.Obs(), d.health)
+		// The data plane's on-demand packet capture rides the admin surface
+		// (enumerated on /debug/, armed and drained by the scenario harness).
+		var extra []obs.DebugHandler
+		if dp := r.DataPlane(); dp != nil {
+			extra = dp.PdumpHandlers()
+		}
+		d.admin, err = obs.NewAdmin(cfg.admin, r.Obs(), d.health, extra...)
 		if err != nil {
 			r.Close()
 			return nil, err
@@ -149,13 +161,21 @@ func (d *daemon) health() error {
 	}
 }
 
-// Close is idempotent and safe from any goroutine.
+// Close is idempotent and safe from any goroutine. Before the router tears
+// its ports down it gives the data plane's egress writers a bounded window
+// to flush packets already accepted for replication — a graceful stop
+// should not drop datagrams that were already on their way out.
 func (d *daemon) Close() {
 	d.closing.Do(func() {
 		close(d.done)
 		d.wg.Wait()
 		if d.admin != nil {
 			d.admin.Close()
+		}
+		if dp := d.r.DataPlane(); dp != nil && d.drainTimeout > 0 {
+			if !dp.DrainEgress(d.drainTimeout) {
+				log.Printf("expressd: egress not drained within %v, closing anyway", d.drainTimeout)
+			}
 		}
 		d.r.Close()
 	})
@@ -174,6 +194,9 @@ func main() {
 	flag.DurationVar(&cfg.keepalive, "keepalive", 0, "neighbor liveness probe interval; enables the silent-neighbor reaper and upstream keepalives (0 disables)")
 	flag.IntVar(&cfg.kaMisses, "keepalive-misses", 0, "missed probe budget before a silent neighbor's counts are withdrawn (0 = default)")
 	flag.DurationVar(&cfg.statsEvery, "stats", 10*time.Second, "interval between stats lines (0 disables)")
+	flag.DurationVar(&cfg.reconnectBase, "reconnect-base", 0, "initial upstream reconnect backoff (0 = default)")
+	flag.DurationVar(&cfg.reconnectMax, "reconnect-max", 0, "upstream reconnect backoff cap (0 = default)")
+	flag.DurationVar(&cfg.drainTimeout, "drain", time.Second, "graceful-shutdown budget for flushing egress queues (0 disables the drain)")
 	flag.Parse()
 
 	d, err := newDaemon(cfg)
@@ -193,5 +216,14 @@ func main() {
 	<-sig
 	fmt.Println()
 	log.Printf("expressd: shutting down after %d events", d.r.Events())
+	// A second signal while the drain is in flight force-exits: an operator
+	// (or a chaos schedule) that signals twice wants the process gone now.
+	go func() {
+		<-sig
+		log.Printf("expressd: second signal, forcing exit")
+		os.Exit(1)
+	}()
 	d.Close()
+	log.Printf("expressd: clean shutdown")
+	os.Exit(0)
 }

@@ -189,6 +189,51 @@ func TestAdminEndpointsUnderLoad(t *testing.T) {
 	}
 }
 
+// TestPdumpOnAdmin: a daemon with a data plane exposes the packet-capture
+// endpoints on its admin surface, enumerated on the /debug/ index; a daemon
+// without a data plane omits them. Close drains egress before teardown.
+func TestPdumpOnAdmin(t *testing.T) {
+	d, err := newDaemon(config{
+		listen:       "127.0.0.1:0",
+		admin:        "127.0.0.1:0",
+		dataPort:     0, // kernel-chosen: enables the plane
+		drainTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.admin.Addr()
+
+	if code, body := get(t, base+"/debug/"); code != http.StatusOK || !strings.Contains(body, "/debug/pdump/start") {
+		t.Errorf("/debug/ index = %d, missing pdump entries:\n%s", code, body)
+	}
+	resp, err := http.Post(base+"/debug/pdump/start", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("POST /debug/pdump/start = %d, want 200", resp.StatusCode)
+	}
+	if code, _ := get(t, base+"/debug/pdump/fetch"); code != http.StatusOK {
+		t.Errorf("GET /debug/pdump/fetch = %d, want 200", code)
+	}
+
+	// No data plane: no pdump endpoints, and the index must not list them.
+	d2, err := newDaemon(config{listen: "127.0.0.1:0", admin: "127.0.0.1:0", dataPort: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if code, body := get(t, "http://"+d2.admin.Addr()+"/debug/"); code != http.StatusOK || strings.Contains(body, "pdump") {
+		t.Errorf("planeless /debug/ index = %d, should not list pdump:\n%s", code, body)
+	}
+
+	d.Close() // exercises the drain path with the plane live
+}
+
 // TestAdminAddrInUse: a bad admin address must fail daemon startup and not
 // leak the already-listening router.
 func TestAdminAddrInUse(t *testing.T) {

@@ -76,10 +76,11 @@ func main() {
 			"E15": experiments.E15Scaling,
 			"E16": experiments.E16Failover,
 			"E17": experiments.E17State,
+			"E18": experiments.E18Scenario,
 		}
 		r, ok := runners[strings.ToUpper(*only)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E12, E14..E17)\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (E1..E12, E14..E18)\n", *only)
 			os.Exit(2)
 		}
 		r().WriteTo(os.Stdout)

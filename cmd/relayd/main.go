@@ -106,10 +106,19 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("relayd: shutting down (stats %+v)", r.Stats())
+	// A second signal during teardown force-exits (chaos schedules and
+	// impatient operators alike).
+	go func() {
+		<-sig
+		log.Printf("relayd: second signal, forcing exit")
+		os.Exit(1)
+	}()
 	if adm != nil {
 		adm.Close()
 	}
 	if err := r.Close(); err != nil {
 		log.Printf("relayd: close: %v", err)
 	}
+	log.Printf("relayd: clean shutdown")
+	os.Exit(0)
 }

@@ -164,6 +164,8 @@ type Plane struct {
 	burstH    *obs.Histogram // datagrams coalesced per egress burst
 	queuePPS  *obs.Histogram // per-queue packet rate, sampled per second
 
+	pdMuState // on-demand packet capture (pdump.go)
+
 	closed atomic.Bool
 	wg     sync.WaitGroup
 }
@@ -320,11 +322,18 @@ func (p *Plane) HopID() uint16 { return uint16(p.hopID.Load()) }
 // targeted. This is the measured hot path — zero allocations in steady
 // state; the ingest workers call it per slot of each read batch, and
 // benchmarks call it directly.
-func (p *Plane) HandlePacket(b []byte) int {
+func (p *Plane) HandlePacket(b []byte) int { return p.handlePacket(b, 0) }
+
+// handlePacket is HandlePacket with the ingest queue id threaded through,
+// so armed packet captures can attribute each record to its queue.
+func (p *Plane) handlePacket(b []byte, qid int) int {
 	var pkt wire.DataPacket
 	if _, err := pkt.DecodeFromBytes(b); err != nil {
 		p.badPkts.Add(1)
 		return 0
+	}
+	if ring := p.pdArmed.Load(); ring != nil {
+		ring.record(PdumpIn, uint8(qid), &pkt, len(b))
 	}
 	if pkt.Flags&wire.DataFlagSrcRoute != 0 {
 		if fanout, done := p.forwardSrcRouted(&pkt, b); done {
@@ -337,7 +346,7 @@ func (p *Plane) HandlePacket(b []byte) int {
 		// no-entry behaviour of Section 3.4.
 		return 0
 	}
-	return p.replicate(b, mask)
+	return p.replicate(&pkt, b, mask)
 }
 
 // forwardSrcRouted is the header fast path: parse the extension header in
@@ -373,19 +382,24 @@ func (p *Plane) forwardSrcRouted(pkt *wire.DataPacket, b []byte) (fanout int, do
 		return 0, false
 	}
 	p.srForwarded.Add(1)
-	return p.replicate(b, mask), true
+	return p.replicate(pkt, b, mask), true
 }
 
 // replicate fans the datagram out to every registered port in mask.
-func (p *Plane) replicate(b []byte, mask uint32) int {
+func (p *Plane) replicate(pkt *wire.DataPacket, b []byte, mask uint32) int {
+	ring := p.pdArmed.Load()
 	fanout := 0
 	for m := mask; m != 0; m &= m - 1 {
-		port := p.ports[bits.TrailingZeros32(m)].Load()
+		oif := bits.TrailingZeros32(m)
+		port := p.ports[oif].Load()
 		if port == nil {
 			p.noPort.Add(1)
 			continue
 		}
 		port.send(b)
+		if ring != nil {
+			ring.record(PdumpOut, uint8(oif), pkt, len(b))
+		}
 		fanout++
 	}
 	p.replicated.Add(uint64(fanout))
@@ -422,6 +436,32 @@ func (p *Plane) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// DrainEgress waits until every registered port's egress queue is empty, or
+// the timeout elapses, and reports whether the drain completed. A graceful
+// daemon shutdown calls this before Close so packets already accepted for
+// replication leave the box instead of being dropped by the port teardown —
+// the difference between a clean SIGTERM stop and a crash, as seen by a
+// downstream receiver.
+func (p *Plane) DrainEgress(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		empty := true
+		for i := range p.ports {
+			if port := p.ports[i].Load(); port != nil && len(port.out) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // Close shuts the plane down: the sockets close (unblocking the ingest

@@ -106,7 +106,7 @@ func (p *Plane) ingest(q *queue) {
 			}
 			s := batch.slot(i)
 			nbytes += uint64(len(s))
-			p.HandlePacket(s)
+			p.handlePacket(s, q.id)
 		}
 		q.pkts.Add(uint64(batch.n))
 		p.pkts.Add(uint64(batch.n))

@@ -1,0 +1,294 @@
+package dataplane
+
+// On-demand packet capture, modeled on ndn-dpdk's pdump facility: a
+// lock-free ring of truncated packet records the forwarding hot path writes
+// into only while an operator has armed it. The design constraints are the
+// plane's own: the disarmed cost must be one atomic pointer load (the fast
+// path is pinned at 0 allocs/op in CI and must stay there), and the armed
+// cost must be a fixed-size record write with no locks, no channels and no
+// allocations — capture never perturbs the traffic it observes beyond the
+// clock read that timestamps it.
+//
+// Records are truncated by construction: the ring stores the forwarding
+// metadata (direction, queue or OIF, channel, sequence, flags, datagram
+// length, wall-clock ns), never payload bytes. That is what a chaos harness
+// needs to reconstruct "which datagrams moved where around the event"
+// without the capture buffer itself becoming a memory or privacy problem.
+//
+// Concurrency: every ingest worker and the replication path write records,
+// so slots are claimed with one atomic fetch-add and sealed with a per-slot
+// stamp (a seqlock in miniature): the writer clears the stamp, fills the
+// record, then stores claim+1. A reader accepts a slot only when the stamp
+// read before and after the copy agree and are non-zero. Two writers can
+// collide on one slot only when one of them lags a full ring generation
+// behind the other inside a single record write — for a diagnostic ring
+// that rare torn record is discarded by the stamp check, not defended
+// against with a lock.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Pdump record directions.
+const (
+	PdumpIn  uint8 = 0 // decoded at ingest, before the forwarding decision
+	PdumpOut uint8 = 1 // enqueued to an egress port (Queue = the OIF index)
+)
+
+const (
+	pdumpDefaultCap = 4096
+	pdumpMinCap     = 64
+	pdumpMaxCap     = 1 << 20
+)
+
+// PdumpRecord is one truncated packet record.
+type PdumpRecord struct {
+	NS    int64     // wall-clock timestamp, ns since the epoch
+	S     addr.Addr // channel source
+	E     addr.Addr // channel destination (EXPRESS address)
+	Seq   uint32    // source-stamped sequence number
+	Len   uint16    // full datagram length, bytes (the part not captured)
+	Dir   uint8     // PdumpIn or PdumpOut
+	Queue uint8     // ingest queue (Dir in) or OIF index (Dir out)
+	Flags uint8     // wire flags byte
+}
+
+// pdumpSlot is one sealed ring entry; see the stamp protocol above.
+type pdumpSlot struct {
+	stamp atomic.Uint64 // 0 = empty/in-progress, else claim index + 1
+	rec   PdumpRecord
+}
+
+type pdumpRing struct {
+	mask   uint64
+	cursor atomic.Uint64 // claims issued; slot = claim & mask
+	slots  []pdumpSlot
+}
+
+func newPdumpRing(capacity int) *pdumpRing {
+	if capacity <= 0 {
+		capacity = pdumpDefaultCap
+	}
+	if capacity < pdumpMinCap {
+		capacity = pdumpMinCap
+	}
+	if capacity > pdumpMaxCap {
+		capacity = pdumpMaxCap
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &pdumpRing{mask: uint64(n - 1), slots: make([]pdumpSlot, n)}
+}
+
+// record writes one sealed record. Zero allocations; called from the
+// forwarding hot path only when the ring is armed.
+func (r *pdumpRing) record(dir, queue uint8, pkt *wire.DataPacket, dglen int) {
+	claim := r.cursor.Add(1) - 1
+	s := &r.slots[claim&r.mask]
+	s.stamp.Store(0)
+	s.rec = PdumpRecord{
+		NS:    time.Now().UnixNano(),
+		S:     pkt.Channel.S,
+		E:     pkt.Channel.E,
+		Seq:   pkt.Seq,
+		Len:   uint16(dglen),
+		Dir:   dir,
+		Queue: queue,
+		Flags: pkt.Flags,
+	}
+	s.stamp.Store(claim + 1)
+}
+
+// snapshot copies the sealed records oldest-first. Slots mid-write (stamp
+// torn across the copy) are skipped rather than waited on.
+func (r *pdumpRing) snapshot() []PdumpRecord {
+	end := r.cursor.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if end > n {
+		start = end - n
+	}
+	out := make([]PdumpRecord, 0, end-start)
+	for c := start; c < end; c++ {
+		s := &r.slots[c&r.mask]
+		s1 := s.stamp.Load()
+		if s1 == 0 {
+			continue
+		}
+		rec := s.rec
+		if s.stamp.Load() != s1 {
+			continue // torn: a writer lapped us mid-copy
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// PdumpStats describes the capture facility's state.
+type PdumpStats struct {
+	Armed    bool   `json:"armed"`
+	Capacity int    `json:"capacity"` // ring slots (0 when never armed)
+	Captured uint64 `json:"captured"` // records written since arming
+	Dropped  uint64 `json:"dropped"`  // older records overwritten by ring wrap
+}
+
+// PdumpStart arms the capture ring with the given capacity (rounded up to a
+// power of two, clamped to [64, 1<<20]; <=0 selects 4096). It fails when a
+// capture is already armed — stop and fetch first, so two operators cannot
+// silently steal each other's ring.
+func (p *Plane) PdumpStart(capacity int) error {
+	p.pdMu.Lock()
+	defer p.pdMu.Unlock()
+	if p.pdArmed.Load() != nil {
+		return fmt.Errorf("pdump: already armed")
+	}
+	r := newPdumpRing(capacity)
+	p.pdHeld = r
+	p.pdArmed.Store(r)
+	return nil
+}
+
+// PdumpStop disarms the capture; the ring is retained so PdumpFetch still
+// returns everything captured. Stopping an idle facility is a no-op.
+func (p *Plane) PdumpStop() PdumpStats {
+	p.pdMu.Lock()
+	defer p.pdMu.Unlock()
+	p.pdArmed.Store(nil)
+	return p.pdumpStatsLocked()
+}
+
+// PdumpFetch returns the captured records oldest-first, from the armed ring
+// or — after PdumpStop — the retained one.
+func (p *Plane) PdumpFetch() []PdumpRecord {
+	p.pdMu.Lock()
+	r := p.pdHeld
+	p.pdMu.Unlock()
+	if r == nil {
+		return nil
+	}
+	return r.snapshot()
+}
+
+// PdumpStats reports the facility's current state.
+func (p *Plane) PdumpStats() PdumpStats {
+	p.pdMu.Lock()
+	defer p.pdMu.Unlock()
+	return p.pdumpStatsLocked()
+}
+
+func (p *Plane) pdumpStatsLocked() PdumpStats {
+	st := PdumpStats{Armed: p.pdArmed.Load() != nil}
+	if r := p.pdHeld; r != nil {
+		st.Capacity = len(r.slots)
+		st.Captured = r.cursor.Load()
+		if st.Captured > uint64(st.Capacity) {
+			st.Dropped = st.Captured - uint64(st.Capacity)
+		}
+	}
+	return st
+}
+
+// pdumpRecordView is the JSON shape /debug/pdump/fetch emits: the record
+// with the direction spelled out and addresses dotted, so a captured window
+// is readable without the repo's own tooling.
+type pdumpRecordView struct {
+	NS    int64  `json:"ns"`
+	Dir   string `json:"dir"`
+	Queue uint8  `json:"queue"`
+	S     string `json:"s"`
+	E     string `json:"e"`
+	Seq   uint32 `json:"seq"`
+	Flags uint8  `json:"flags"`
+	Len   uint16 `json:"len"`
+}
+
+func pdumpView(rec PdumpRecord) pdumpRecordView {
+	dir := "in"
+	if rec.Dir == PdumpOut {
+		dir = "out"
+	}
+	return pdumpRecordView{
+		NS: rec.NS, Dir: dir, Queue: rec.Queue,
+		S: rec.S.String(), E: rec.E.String(),
+		Seq: rec.Seq, Flags: rec.Flags, Len: rec.Len,
+	}
+}
+
+// PdumpHandlers returns the admin debug endpoints of the capture facility,
+// ready to mount on an obs.Admin:
+//
+//	POST /debug/pdump/start?cap=N   arm the ring (N slots, default 4096)
+//	POST /debug/pdump/stop          disarm, retaining the ring
+//	GET  /debug/pdump/fetch         drain the captured records as JSON
+func (p *Plane) PdumpHandlers() []obs.DebugHandler {
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	return []obs.DebugHandler{
+		{
+			Path: "/debug/pdump/start", Method: http.MethodPost,
+			Help: "arm the packet-capture ring (?cap=N slots, default 4096)",
+			Handle: func(w http.ResponseWriter, r *http.Request) {
+				capacity := 0
+				if s := r.URL.Query().Get("cap"); s != "" {
+					v, err := strconv.Atoi(s)
+					if err != nil {
+						http.Error(w, "bad cap: "+err.Error(), http.StatusBadRequest)
+						return
+					}
+					capacity = v
+				}
+				if err := p.PdumpStart(capacity); err != nil {
+					http.Error(w, err.Error(), http.StatusConflict)
+					return
+				}
+				writeJSON(w, p.PdumpStats())
+			},
+		},
+		{
+			Path: "/debug/pdump/stop", Method: http.MethodPost,
+			Help: "disarm the packet-capture ring (records stay fetchable)",
+			Handle: func(w http.ResponseWriter, r *http.Request) {
+				writeJSON(w, p.PdumpStop())
+			},
+		},
+		{
+			Path: "/debug/pdump/fetch", Method: http.MethodGet,
+			Help: "drain captured packet records (oldest first)",
+			Handle: func(w http.ResponseWriter, r *http.Request) {
+				recs := p.PdumpFetch()
+				views := make([]pdumpRecordView, len(recs))
+				for i, rec := range recs {
+					views[i] = pdumpView(rec)
+				}
+				writeJSON(w, struct {
+					PdumpStats
+					Records []pdumpRecordView `json:"records"`
+				}{p.PdumpStats(), views})
+			},
+		},
+	}
+}
+
+// pdMuState is embedded in Plane; kept here so everything pdump lives in
+// one file.
+type pdMuState struct {
+	pdMu    sync.Mutex
+	pdHeld  *pdumpRing                // last armed ring, kept for fetch-after-stop
+	pdArmed atomic.Pointer[pdumpRing] // non-nil while capturing (the hot-path gate)
+}

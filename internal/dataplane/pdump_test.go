@@ -1,0 +1,293 @@
+package dataplane
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestPdumpDisarmedZeroAlloc pins the disarmed capture gate at zero cost to
+// the hot path: with no ring armed, HandlePacket must stay allocation-free
+// (the gate is one atomic pointer load). Guarded in CI with the other
+// alloc pins.
+func TestPdumpDisarmedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool instrumentation allocates")
+	}
+	p, buf := benchPlane(t, 4)
+	if p.PdumpStats().Armed {
+		t.Fatal("plane armed at birth")
+	}
+	for i := 0; i < 20000; i++ {
+		p.HandlePacket(buf)
+	}
+	if allocs := testing.AllocsPerRun(5000, func() {
+		p.HandlePacket(buf)
+	}); allocs != 0 {
+		t.Errorf("disarmed HandlePacket allocates %.1f times per packet, want 0", allocs)
+	}
+}
+
+// TestPdumpArmedZeroAlloc pins the armed write path: claiming a slot,
+// filling the fixed-size record and sealing the stamp must not touch the
+// heap either — capture never perturbs the traffic it observes. Guarded in
+// CI with the other alloc pins.
+func TestPdumpArmedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool instrumentation allocates")
+	}
+	p, buf := benchPlane(t, 4)
+	if err := p.PdumpStart(1024); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		p.HandlePacket(buf)
+	}
+	if allocs := testing.AllocsPerRun(5000, func() {
+		p.HandlePacket(buf)
+	}); allocs != 0 {
+		t.Errorf("armed HandlePacket allocates %.1f times per packet, want 0", allocs)
+	}
+}
+
+// TestPdumpCapture covers the record semantics: one ingress record per
+// decoded packet, one egress record per replicated destination (tagged with
+// the OIF), records survive PdumpStop, and re-arming while armed is
+// refused.
+func TestPdumpCapture(t *testing.T) {
+	const fanout = 3
+	p, buf := benchPlane(t, fanout)
+	if err := p.PdumpStart(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PdumpStart(0); err == nil {
+		t.Fatal("double arm accepted")
+	}
+
+	const pkts = 5
+	before := time.Now().UnixNano()
+	for i := 0; i < pkts; i++ {
+		if got := p.HandlePacket(buf); got != fanout {
+			t.Fatalf("fanout = %d, want %d", got, fanout)
+		}
+	}
+	st := p.PdumpStop()
+	if st.Armed {
+		t.Error("still armed after stop")
+	}
+	if want := uint64(pkts * (1 + fanout)); st.Captured != want {
+		t.Errorf("captured = %d, want %d", st.Captured, want)
+	}
+
+	recs := p.PdumpFetch()
+	if len(recs) != pkts*(1+fanout) {
+		t.Fatalf("fetched %d records, want %d", len(recs), pkts*(1+fanout))
+	}
+	var ins, outs int
+	oifs := map[uint8]int{}
+	for i, r := range recs {
+		switch r.Dir {
+		case PdumpIn:
+			ins++
+		case PdumpOut:
+			outs++
+			oifs[r.Queue]++
+		default:
+			t.Fatalf("record %d: bad dir %d", i, r.Dir)
+		}
+		if r.Len != uint16(len(buf)) {
+			t.Errorf("record %d: len = %d, want %d", i, r.Len, len(buf))
+		}
+		if r.NS < before || r.NS > time.Now().UnixNano() {
+			t.Errorf("record %d: timestamp %d outside the run", i, r.NS)
+		}
+		if r.S.String() != "171.64.1.1" {
+			t.Errorf("record %d: S = %v", i, r.S)
+		}
+		if i > 0 && r.NS < recs[i-1].NS {
+			t.Errorf("record %d older than its predecessor", i)
+		}
+	}
+	if ins != pkts || outs != pkts*fanout {
+		t.Errorf("ins/outs = %d/%d, want %d/%d", ins, outs, pkts, pkts*fanout)
+	}
+	for oif := uint8(0); oif < fanout; oif++ {
+		if oifs[oif] != pkts {
+			t.Errorf("OIF %d: %d egress records, want %d", oif, oifs[oif], pkts)
+		}
+	}
+
+	// Stopped: the hot path writes nothing more, the ring stays fetchable.
+	p.HandlePacket(buf)
+	if got := len(p.PdumpFetch()); got != len(recs) {
+		t.Errorf("records grew to %d after stop", got)
+	}
+	// A fresh arm starts a fresh ring.
+	if err := p.PdumpStart(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.PdumpFetch()); got != 0 {
+		t.Errorf("re-armed ring holds %d stale records", got)
+	}
+}
+
+// TestPdumpRingWrap: a full ring overwrites oldest-first and accounts the
+// overwritten records as dropped; the fetch returns exactly the last
+// `capacity` records in order.
+func TestPdumpRingWrap(t *testing.T) {
+	p, buf := benchPlane(t, 1)
+	if err := p.PdumpStart(1); err != nil { // clamps up to the 64-slot minimum
+		t.Fatal(err)
+	}
+	const pkts = 100 // 200 records (in+out) through a 64-slot ring
+	for i := 0; i < pkts; i++ {
+		p.HandlePacket(buf)
+	}
+	st := p.PdumpStop()
+	if st.Capacity != 64 {
+		t.Fatalf("capacity = %d, want 64", st.Capacity)
+	}
+	if st.Captured != 2*pkts {
+		t.Errorf("captured = %d, want %d", st.Captured, 2*pkts)
+	}
+	if want := uint64(2*pkts - 64); st.Dropped != want {
+		t.Errorf("dropped = %d, want %d", st.Dropped, want)
+	}
+	recs := p.PdumpFetch()
+	if len(recs) != 64 {
+		t.Fatalf("fetched %d records, want 64", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].NS < recs[i-1].NS {
+			t.Errorf("record %d out of order after wrap", i)
+		}
+	}
+}
+
+// TestPdumpEndpoints drives the facility end to end over the admin surface:
+// arm with POST, capture live packets, drain with GET, disarm with POST —
+// and wrong-method hits answer 405, not 404.
+func TestPdumpEndpoints(t *testing.T) {
+	p, buf := benchPlane(t, 2)
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg)
+	a, err := obs.NewAdmin("127.0.0.1:0", reg, nil, p.PdumpHandlers()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	base := "http://" + a.Addr()
+
+	post := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(base+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := post("/debug/pdump/start?cap=128"); code != 200 || !strings.Contains(body, `"armed": true`) {
+		t.Fatalf("start = %d %q", code, body)
+	}
+	if code, _ := post("/debug/pdump/start"); code != http.StatusConflict {
+		t.Errorf("second start = %d, want 409", code)
+	}
+
+	const pkts = 7
+	for i := 0; i < pkts; i++ {
+		p.HandlePacket(buf)
+	}
+
+	resp, err := http.Get(base + "/debug/pdump/fetch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Captured uint64 `json:"captured"`
+		Records  []struct {
+			Dir   string `json:"dir"`
+			S     string `json:"s"`
+			Seq   uint32 `json:"seq"`
+			Len   int    `json:"len"`
+			NS    int64  `json:"ns"`
+			Queue uint8  `json:"queue"`
+		} `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("fetch not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if want := pkts * 3; len(doc.Records) != want { // 1 in + 2 out per packet
+		t.Fatalf("fetched %d records, want %d", len(doc.Records), want)
+	}
+	if doc.Records[0].S != "171.64.1.1" || doc.Records[0].NS == 0 {
+		t.Errorf("first record = %+v", doc.Records[0])
+	}
+	dirs := map[string]int{}
+	for _, r := range doc.Records {
+		dirs[r.Dir]++
+	}
+	if dirs["in"] != pkts || dirs["out"] != 2*pkts {
+		t.Errorf("dirs = %v", dirs)
+	}
+
+	// Wrong methods: 405 with Allow, never 404.
+	for path, wrong := range map[string]string{
+		"/debug/pdump/start": http.MethodGet,
+		"/debug/pdump/stop":  http.MethodGet,
+		"/debug/pdump/fetch": http.MethodPost,
+	} {
+		req, _ := http.NewRequest(wrong, base+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", wrong, path, resp.StatusCode)
+		}
+		if resp.Header.Get("Allow") == "" {
+			t.Errorf("%s %s: missing Allow header", wrong, path)
+		}
+	}
+
+	if code, body := post("/debug/pdump/stop"); code != 200 || !strings.Contains(body, `"armed": false`) {
+		t.Errorf("stop = %d %q", code, body)
+	}
+}
+
+// TestDrainEgress: packets accepted for replication before a graceful stop
+// leave through the egress writers before Close tears the ports down.
+func TestDrainEgress(t *testing.T) {
+	p, buf := benchPlane(t, 4)
+	for i := 0; i < 500; i++ {
+		p.HandlePacket(buf)
+	}
+	if !p.DrainEgress(5 * time.Second) {
+		t.Fatal("egress queues did not drain")
+	}
+	// Drained means every accepted packet resolves one way or the other
+	// (queue-full drops happened at enqueue time, not in the drain); the
+	// writer may still be flushing its final burst, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := p.Stats()
+		if st.Sent+st.Drops+st.WriteErrors == st.Replicated {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicated %d but only %d resolved (sent %d drops %d errs %d)",
+				st.Replicated, st.Sent+st.Drops+st.WriteErrors, st.Sent, st.Drops, st.WriteErrors)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -65,6 +65,18 @@ type BenchResult struct {
 	HeaderBudget   int     `json:"header_budget,omitempty"`
 	HeaderBytesAvg float64 `json:"header_bytes_avg,omitempty"`
 	SROverflows    int     `json:"sr_overflows,omitempty"`
+	// Runs/Failures and the Recovery* fields are set for the
+	// scenario/recovery series (E18): multi-process chaos runs on the
+	// preset named by Mode. NsPerOp is the mean heal-to-first-delivery
+	// time, Iterations the recovery sample count, Failures the runs that
+	// violated an invariant or failed as a harness. The dataplane/pps_mp
+	// series reuses the Queues/*PPS fields with Mode="multi-process" — a
+	// caveated single-host curve (see RunPPSMP).
+	Runs          int     `json:"runs,omitempty"`
+	Failures      int     `json:"failures,omitempty"`
+	RecoveryP50Ns float64 `json:"recovery_p50_ns,omitempty"`
+	RecoveryP90Ns float64 `json:"recovery_p90_ns,omitempty"`
+	RecoveryP99Ns float64 `json:"recovery_p99_ns,omitempty"`
 
 	// Provenance: every series records the parallelism it ran under and the
 	// suite mode, so numbers from different machines or quick runs are never
@@ -92,6 +104,9 @@ type BenchReport struct {
 	E14 *BenchE14 `json:"e14_churn,omitempty"`
 	// E16: session-relay fail-over and reliable repair on real sockets.
 	E16 *BenchE16 `json:"e16_relay,omitempty"`
+	// E18: chaos-recovery distribution on the multi-process scenario
+	// harness.
+	E18 *BenchE18 `json:"e18_scenario,omitempty"`
 }
 
 // BenchE4 summarizes RunE4Maintenance for the JSON report.
@@ -123,6 +138,20 @@ type BenchE14 struct {
 	ChunkPublishP99Ns float64 `json:"chunk_publish_p99_ns"`
 	Rebuilds          uint64  `json:"dir_rebuilds"`
 	Error             string  `json:"error,omitempty"`
+}
+
+// BenchE18 summarizes the scenario-harness chaos runs for the JSON report.
+type BenchE18 struct {
+	Preset        string  `json:"preset"`
+	Runs          int     `json:"runs"`
+	Failures      int     `json:"failures"`
+	Samples       int     `json:"samples"`
+	BudgetMS      float64 `json:"budget_ms"`
+	RecoveryP50MS float64 `json:"recovery_p50_ms"`
+	RecoveryP90MS float64 `json:"recovery_p90_ms"`
+	RecoveryP99MS float64 `json:"recovery_p99_ms"`
+	RecoveryMaxMS float64 `json:"recovery_max_ms"`
+	Error         string  `json:"error,omitempty"`
 }
 
 // BenchE16 summarizes the session-relay measurements for the JSON report.
@@ -461,6 +490,71 @@ func BenchJSON(quick bool) *BenchReport {
 		e16.RepairRounds = res.RepairRounds
 	}
 	rep.E16 = e16
+
+	// scenario/recovery (E18) runs in quick mode too (CI's bench smoke
+	// asserts the series exists): quick replays the smoke3 preset's own
+	// schedule twice, full commits the 20-seed ISP distribution. The
+	// scenario binaries are built once and shared with the multi-process
+	// pps rows below.
+	bins, binsCleanup, binsErr := e18Binaries(nil)
+	if binsCleanup != nil {
+		defer binsCleanup()
+	}
+	e18opts := E18Options{Preset: "isp", Runs: 20, Cycles: 2, BaseSeed: 1, Bins: bins}
+	if quick {
+		e18opts = E18Options{Preset: "smoke3", Runs: 2, PresetChaos: true, Bins: bins}
+	}
+	e18 := &BenchE18{Preset: e18opts.Preset}
+	if binsErr != nil {
+		e18.Error = binsErr.Error()
+	} else if res, err := RunE18(e18opts); err != nil {
+		e18.Error = err.Error()
+	} else {
+		rep.Benchmarks = append(rep.Benchmarks, BenchResult{
+			Name:          "scenario/recovery",
+			Mode:          res.Preset,
+			Iterations:    len(res.SamplesMS),
+			NsPerOp:       res.MeanMS * 1e6,
+			Runs:          len(res.Runs),
+			Failures:      res.Failures,
+			RecoveryP50Ns: res.P50MS * 1e6,
+			RecoveryP90Ns: res.P90MS * 1e6,
+			RecoveryP99Ns: res.P99MS * 1e6,
+		})
+		e18.Runs = len(res.Runs)
+		e18.Failures = res.Failures
+		e18.Samples = len(res.SamplesMS)
+		e18.BudgetMS = res.BudgetMS
+		e18.RecoveryP50MS = res.P50MS
+		e18.RecoveryP90MS = res.P90MS
+		e18.RecoveryP99MS = res.P99MS
+		e18.RecoveryMaxMS = res.MaxMS
+	}
+	rep.E18 = e18
+
+	// dataplane/pps_mp (full only): the E15 offered-load curve re-run
+	// against a real expressd process — single-host caveat, see RunPPSMP.
+	if !quick && binsErr == nil {
+		for _, queues := range []int{1, 2, 4, 8} {
+			res, err := RunPPSMP(MPPPSOptions{Bins: bins, Queues: queues, Window: ppsWindow})
+			if err != nil {
+				continue
+			}
+			row := BenchResult{
+				Name:       "dataplane/pps_mp",
+				Mode:       "multi-process",
+				Iterations: int(res.IngestPPS * res.Window.Seconds()),
+				Queues:     res.Queues,
+				OfferedPPS: res.OfferedPPS,
+				IngestPPS:  res.IngestPPS,
+				EgressPPS:  res.EgressPPS,
+			}
+			if res.IngestPPS > 0 {
+				row.NsPerOp = 1e9 / res.IngestPPS
+			}
+			rep.Benchmarks = append(rep.Benchmarks, row)
+		}
+	}
 
 	if !quick {
 		e4 := &BenchE4{Neighbors: 8}

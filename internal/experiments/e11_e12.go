@@ -116,7 +116,7 @@ func AllTables(includeHeavy bool) []*Table {
 	}
 	ts = append(ts, E15Scaling())
 	if includeHeavy {
-		ts = append(ts, E16Failover(), E17State())
+		ts = append(ts, E16Failover(), E17State(), E18Scenario())
 	}
 	return ts
 }

@@ -161,7 +161,7 @@ func E15Scaling() *Table {
 	t := &Table{
 		ID:    "E15",
 		Title: "§5.3: data-plane packet rate — SO_REUSEPORT queues × recvmmsg/sendmmsg batching",
-		Header: []string{"queues", "senders", "offered pps", "ingest pps", "egress pps",
+		Header: []string{"mode", "queues", "senders", "offered pps", "ingest pps", "egress pps",
 			"egress drop %", "per-queue split"},
 	}
 	for _, q := range []int{1, 2, 4, 8} {
@@ -170,9 +170,29 @@ func E15Scaling() *Table {
 			t.Note("queues=%d failed: %v", q, err)
 			continue
 		}
-		t.AddRow(itoa(res.Queues), itoa(res.Senders),
+		t.AddRow("in-process", itoa(res.Queues), itoa(res.Senders),
 			f2(res.OfferedPPS), f2(res.IngestPPS), f2(res.EgressPPS),
 			f2(res.DropPct), fmt.Sprintf("%v", res.QueuePackets))
+	}
+	if bins, cleanup, err := e18Binaries(nil); err != nil {
+		t.Note("multi-process rows skipped: %v", err)
+	} else {
+		for _, q := range []int{1, 2, 4, 8} {
+			res, err := RunPPSMP(MPPPSOptions{Bins: bins, Queues: q})
+			if err != nil {
+				t.Note("multi-process queues=%d failed: %v", q, err)
+				continue
+			}
+			t.AddRow("multi-process", itoa(res.Queues), itoa(res.Senders),
+				f2(res.OfferedPPS), f2(res.IngestPPS), f2(res.EgressPPS), "-", "-")
+		}
+		if cleanup != nil {
+			cleanup()
+		}
+		t.Note("multi-process rows offer the same load at a real expressd process over loopback " +
+			"UDP and read dp_packets/dp_sent deltas from its /statsz — a caveated single-host " +
+			"curve: senders, kernel and router share these cores, so absolute rates undercount " +
+			"a dedicated router and scaling flattens earlier than in-process")
 	}
 	t.Note("each queue is one SO_REUSEPORT socket drained by a dedicated recvmmsg worker "+
 		"(≤32 datagrams/syscall); the kernel's 4-tuple hash spreads senders across queues; "+

@@ -1,0 +1,481 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/obs"
+	"repro/internal/realnet"
+	"repro/internal/scenario"
+	"repro/internal/wire"
+)
+
+// E18: chaos-recovery distributions on the multi-process scenario harness.
+// Section 3.4's failure story (withdraw on cut, resync on heal, delivery
+// resumes within the soft-state flush budget) is tested in-process by the
+// integration suite; E18 measures it across OS-process boundaries: real
+// expressd trees, SIGKILL'd and partitioned on a seeded schedule, with
+// recovery read from receiver arrival streams. The committed series is 20
+// seeded runs on the ISP preset (core, two shimmed aggregations, four
+// edges); each seed generates a distinct disrupt/recover schedule, so the
+// distribution covers different cut points and outage lengths.
+//
+// The same file carries the E15 multi-process addendum: the offered-load
+// pps measurement re-run against a real expressd process over loopback
+// UDP. Those numbers are a caveated single-host curve — senders, the
+// kernel, and the router share one machine — so they are recorded with
+// provenance stamps and compared against the in-process series, never
+// across machines.
+
+// E18Options tunes RunE18. Zero values select the committed full-mode
+// configuration (20 seeded runs on the ISP preset).
+type E18Options struct {
+	// Preset names the embedded scenario topology. Default "isp".
+	Preset string
+	// Runs is how many scenario runs to execute. Default 20.
+	Runs int
+	// Cycles is the disrupt/recover cycle count per seeded run. Default 2.
+	Cycles int
+	// BaseSeed is the first run's chaos seed; run i uses BaseSeed+i.
+	// Default 1.
+	BaseSeed int64
+	// PresetChaos runs the preset's own committed schedule instead of
+	// seeding one — every run identical. Used by quick mode, where the
+	// point is that the series exists, not the distribution's shape.
+	PresetChaos bool
+	// Bins maps binary name to path (see scenario.Options.Bins). Nil
+	// builds once into a temp dir shared by all runs.
+	Bins map[string]string
+	// Log receives harness progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (o E18Options) withDefaults() E18Options {
+	if o.Preset == "" {
+		o.Preset = "isp"
+	}
+	if o.Runs <= 0 {
+		o.Runs = 20
+	}
+	if o.Cycles <= 0 {
+		o.Cycles = 2
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	return o
+}
+
+// E18Run is one scenario run's summary.
+type E18Run struct {
+	Seed         int64
+	Events       int
+	RecoveriesMS []float64
+	Violations   []string
+	Skipped      int
+	Err          string
+}
+
+// E18Result aggregates the recovery-time distribution across runs.
+type E18Result struct {
+	Preset   string
+	BudgetMS float64
+	Runs     []E18Run
+	// Failures counts runs that either violated an invariant or failed as
+	// a harness (process would not start, convergence timed out).
+	Failures int
+	// SamplesMS is every measured recovery across all runs, sorted.
+	// Recoveries that never happened within budget+grace are counted as
+	// violations on their run, not as samples here.
+	SamplesMS []float64
+	MeanMS    float64
+	P50MS     float64
+	P90MS     float64
+	P99MS     float64
+	MaxMS     float64
+}
+
+// pctSorted returns the nearest-rank percentile of a sorted slice.
+func pctSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// e18Binaries resolves the scenario binaries: opts-provided, or built once
+// into a temp dir. The returned cleanup is non-nil exactly when a temp dir
+// was created.
+func e18Binaries(bins map[string]string) (map[string]string, func(), error) {
+	if bins != nil {
+		return bins, nil, nil
+	}
+	dir, err := os.MkdirTemp("", "express-scenario-bins")
+	if err != nil {
+		return nil, nil, err
+	}
+	built, err := scenario.BuildBinaries(dir)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	return built, func() { os.RemoveAll(dir) }, nil
+}
+
+// RunE18 executes opts.Runs multi-process scenario runs and aggregates
+// their delivery-recovery measurements. Individual run failures are
+// recorded and counted, not fatal; the error return is for setup problems
+// (unknown preset, binaries would not build) or every single run failing.
+func RunE18(opts E18Options) (*E18Result, error) {
+	opts = opts.withDefaults()
+	bins, cleanup, err := e18Binaries(opts.Bins)
+	if err != nil {
+		return nil, err
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+
+	res := &E18Result{Preset: opts.Preset}
+	for i := 0; i < opts.Runs; i++ {
+		topo, err := scenario.LoadPreset(opts.Preset)
+		if err != nil {
+			return nil, err
+		}
+		runOpts := scenario.Options{Bins: bins, Log: opts.Log}
+		summary := E18Run{}
+		if !opts.PresetChaos {
+			topo.Chaos = nil // regenerate from the seed
+			runOpts.Seed = opts.BaseSeed + int64(i)
+			runOpts.ChaosCycles = opts.Cycles
+			summary.Seed = runOpts.Seed
+		}
+		r, err := scenario.New(topo, runOpts)
+		if err != nil {
+			summary.Err = err.Error()
+			res.Failures++
+			res.Runs = append(res.Runs, summary)
+			continue
+		}
+		out, err := r.Run()
+		r.Close()
+		if err != nil {
+			summary.Err = err.Error()
+			res.Failures++
+			res.Runs = append(res.Runs, summary)
+			continue
+		}
+		summary.Events = len(out.Events)
+		summary.Violations = out.Violations
+		summary.Skipped = len(out.Skipped)
+		for _, rec := range out.Recoveries {
+			summary.RecoveriesMS = append(summary.RecoveriesMS, rec.RecoveryMS)
+			if rec.RecoveryMS > 0 {
+				res.SamplesMS = append(res.SamplesMS, rec.RecoveryMS)
+			}
+		}
+		if out.Failed() {
+			res.Failures++
+		}
+		res.BudgetMS = out.BudgetMS
+		res.Runs = append(res.Runs, summary)
+	}
+
+	sort.Float64s(res.SamplesMS)
+	if n := len(res.SamplesMS); n > 0 {
+		var sum float64
+		for _, v := range res.SamplesMS {
+			sum += v
+		}
+		res.MeanMS = sum / float64(n)
+		res.P50MS = pctSorted(res.SamplesMS, 50)
+		res.P90MS = pctSorted(res.SamplesMS, 90)
+		res.P99MS = pctSorted(res.SamplesMS, 99)
+		res.MaxMS = res.SamplesMS[n-1]
+	}
+	if len(res.SamplesMS) == 0 && res.Failures == opts.Runs {
+		return res, errors.New("every scenario run failed")
+	}
+	return res, nil
+}
+
+// E18Scenario renders the committed chaos-recovery distribution as a
+// paperbench table: one row per seeded run plus the aggregate percentiles.
+func E18Scenario() *Table {
+	t := &Table{
+		ID:     "E18",
+		Title:  "§3.4: delivery recovery under process kill and link partition — multi-process harness",
+		Header: []string{"seed", "events", "recoveries", "slowest ms", "violations"},
+	}
+	res, err := RunE18(E18Options{})
+	if err != nil {
+		t.Note("failed: %v", err)
+		return t
+	}
+	for _, run := range res.Runs {
+		if run.Err != "" {
+			t.AddRow(fmt.Sprintf("%d", run.Seed), "-", "-", "-", "harness: "+run.Err)
+			continue
+		}
+		slowest := 0.0
+		for _, ms := range run.RecoveriesMS {
+			if ms > slowest {
+				slowest = ms
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", run.Seed), itoa(run.Events),
+			itoa(len(run.RecoveriesMS)), f2(slowest), itoa(len(run.Violations)))
+	}
+	t.Note("preset %s: %d runs, %d recovery samples, budget %.0fms per event; "+
+		"recovery ms p50=%.1f p90=%.1f p99=%.1f max=%.1f, %d failed runs",
+		res.Preset, len(res.Runs), len(res.SamplesMS), res.BudgetMS,
+		res.P50MS, res.P90MS, res.P99MS, res.MaxMS, res.Failures)
+	t.Note("each run spawns real expressd processes wired per the preset, generates a seeded " +
+		"disrupt/recover schedule (SIGKILL+restart of mid-tree routers, partition+heal of " +
+		"shimmed links), and measures heal-to-first-delivery per affected receiver from the " +
+		"receivers' own arrival streams")
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// E15 multi-process addendum: offered load against a real expressd process.
+
+// MPPPSOptions tunes RunPPSMP. Zero values mirror PPSOptions defaults.
+type MPPPSOptions struct {
+	// Bins must map "expressd" to a built binary (see scenario.BuildBinaries).
+	Bins    map[string]string
+	Queues  int
+	Senders int
+	Payload int
+	Warmup  time.Duration
+	Window  time.Duration
+}
+
+func (o MPPPSOptions) withDefaults() MPPPSOptions {
+	if o.Queues <= 0 {
+		o.Queues = 1
+	}
+	if o.Senders <= 0 {
+		o.Senders = 2 * o.Queues
+	}
+	if o.Payload <= 0 {
+		o.Payload = 256
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 150 * time.Millisecond
+	}
+	if o.Window <= 0 {
+		o.Window = 400 * time.Millisecond
+	}
+	return o
+}
+
+// MPPPSResult is one multi-process offered-load run. The rates are read
+// from the router process's /statsz counters, so they measure the same
+// ingest/egress path as PPSResult — just across a process boundary.
+type MPPPSResult struct {
+	Queues  int
+	Senders int
+	Window  time.Duration
+
+	OfferedPPS float64
+	IngestPPS  float64
+	EgressPPS  float64
+}
+
+func freeLoopbackPort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// scrapeStatsz fetches and decodes one /statsz snapshot.
+func scrapeStatsz(adminAddr string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	c := http.Client{Timeout: 2 * time.Second}
+	resp, err := c.Get("http://" + adminAddr + "/statsz")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("statsz: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}
+
+// RunPPSMP is RunPPS across a process boundary: it spawns a real expressd
+// with opts.Queues ingest queues, subscribes one receiver port through a
+// genuine control-plane session (installing the (S,E) route), then offers
+// unpaced loopback UDP load from opts.Senders goroutines and reads the
+// steady-state ingest/egress rates from the router's /statsz. The egress
+// sink is never drained, exactly like RunPPS: the kernel drops on its full
+// receive buffer while dp_sent_total still measures egress syscall
+// throughput.
+//
+// Caveat for reading the numbers: senders, the router process, and the
+// kernel's loopback path all share this host's cores, so absolute rates
+// undercount a dedicated router and the queue-scaling curve flattens
+// earlier than in-process E15. Compare only within one machine and run
+// mode (the JSON series carries provenance stamps for exactly this).
+func RunPPSMP(opts MPPPSOptions) (MPPPSResult, error) {
+	opts = opts.withDefaults()
+	res := MPPPSResult{Queues: opts.Queues, Senders: opts.Senders, Window: opts.Window}
+	bin := opts.Bins["expressd"]
+	if bin == "" {
+		return res, errors.New("no expressd binary provided")
+	}
+
+	ctlPort, err := freeLoopbackPort()
+	if err != nil {
+		return res, err
+	}
+	dataPort, err := freeLoopbackPort()
+	if err != nil {
+		return res, err
+	}
+	adminPort, err := freeLoopbackPort()
+	if err != nil {
+		return res, err
+	}
+	ctl := fmt.Sprintf("127.0.0.1:%d", ctlPort)
+	admin := fmt.Sprintf("127.0.0.1:%d", adminPort)
+	data := fmt.Sprintf("127.0.0.1:%d", dataPort)
+
+	cmd := exec.Command(bin,
+		"-listen", ctl,
+		"-data-port", fmt.Sprintf("%d", dataPort),
+		"-data-queues", fmt.Sprintf("%d", opts.Queues),
+		"-admin", admin,
+		"-stats", "0",
+	)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		return res, err
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	healthy := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if _, err := scrapeStatsz(admin); err == nil {
+			healthy = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !healthy {
+		return res, errors.New("expressd admin never came up")
+	}
+
+	// Subscribe an egress port through a real session so the route exists.
+	// The sink is intentionally never read.
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return res, err
+	}
+	defer sink.Close()
+	ch := addr.Channel{S: addr.MustParse("171.64.9.1"), E: addr.ExpressAddr(15)}
+	sess, err := realnet.DialSession(ctl, realnet.SessionOptions{
+		DataPort:          uint16(sink.LocalAddr().(*net.UDPAddr).Port),
+		KeepaliveInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer sess.Close()
+	if err := sess.Subscribe(ch); err != nil {
+		return res, err
+	}
+	if err := sess.Flush(); err != nil {
+		return res, err
+	}
+	routed := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if snap, err := scrapeStatsz(admin); err == nil && snap.Gauges["router_channels"] >= 1 {
+			routed = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !routed {
+		return res, errors.New("route never installed")
+	}
+
+	pkt := wire.DataPacket{Channel: ch, Seq: 1, Payload: make([]byte, opts.Payload)}
+	buf := pkt.AppendTo(nil)
+	var writes atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Senders; i++ {
+		conn, err := net.Dial("udp", data) // distinct 4-tuple per sender
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return res, err
+		}
+		defer conn.Close()
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := conn.Write(buf); err == nil {
+					writes.Add(1)
+				}
+			}
+		}(conn)
+	}
+
+	time.Sleep(opts.Warmup)
+	s0, err := scrapeStatsz(admin)
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		return res, err
+	}
+	w0, t0 := writes.Load(), time.Now()
+	time.Sleep(opts.Window)
+	s1, err := scrapeStatsz(admin)
+	w1, t1 := writes.Load(), time.Now()
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return res, err
+	}
+
+	dt := t1.Sub(t0).Seconds()
+	if dt <= 0 {
+		return res, errors.New("empty measurement window")
+	}
+	res.OfferedPPS = float64(w1-w0) / dt
+	res.IngestPPS = float64(s1.Counters["dp_packets_total"]-s0.Counters["dp_packets_total"]) / dt
+	res.EgressPPS = float64(s1.Counters["dp_sent_total"]-s0.Counters["dp_sent_total"]) / dt
+	return res, nil
+}

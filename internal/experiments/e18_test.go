@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPctSorted(t *testing.T) {
+	if v := pctSorted(nil, 50); v != 0 {
+		t.Errorf("empty p50 = %v", v)
+	}
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{50, 6}, {90, 10}, {99, 10}, {0, 1}}
+	for _, tc := range cases {
+		if v := pctSorted(s, tc.p); v != tc.want {
+			t.Errorf("p%v = %v, want %v", tc.p, v, tc.want)
+		}
+	}
+}
+
+// TestRunPPSMP: the multi-process offered-load measurement stands up a
+// real expressd, installs a route through a genuine session, and reads
+// non-zero ingest and egress rates from its /statsz.
+func TestRunPPSMP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns an expressd process")
+	}
+	bins, cleanup, err := e18Binaries(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+	res, err := RunPPSMP(MPPPSOptions{Bins: bins, Queues: 2, Window: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OfferedPPS <= 0 || res.IngestPPS <= 0 || res.EgressPPS <= 0 {
+		t.Errorf("rates not all positive: %+v", res)
+	}
+	if res.IngestPPS > res.OfferedPPS*1.5 {
+		t.Errorf("ingest %v implausibly above offered %v", res.IngestPPS, res.OfferedPPS)
+	}
+}
+
+// TestRunE18PresetChaos: one replay of the smoke3 schedule through the
+// RunE18 aggregation path yields samples within budget and no failures.
+func TestRunE18PresetChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process scenario run")
+	}
+	res, err := RunE18(E18Options{Preset: "smoke3", Runs: 1, PresetChaos: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Errorf("failures = %d: %+v", res.Failures, res.Runs)
+	}
+	if len(res.SamplesMS) == 0 {
+		t.Fatal("no recovery samples")
+	}
+	if res.MaxMS <= 0 || res.MaxMS > res.BudgetMS {
+		t.Errorf("max recovery %vms outside (0, %v]ms", res.MaxMS, res.BudgetMS)
+	}
+	if res.P50MS > res.P99MS || res.P99MS > res.MaxMS {
+		t.Errorf("percentiles not monotone: p50=%v p99=%v max=%v", res.P50MS, res.P99MS, res.MaxMS)
+	}
+}

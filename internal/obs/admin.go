@@ -2,25 +2,78 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strings"
 	"time"
 )
 
+// DebugHandler is one operational endpoint a daemon mounts under /debug/ —
+// the registration surface subsystems use to expose on-demand facilities
+// (the data plane's packet-dump arm/drain endpoints, for example) without
+// the obs package importing them. The Admin enforces Method and lists every
+// registered handler on the /debug/ index, so an operator can discover what
+// a running daemon offers with one GET.
+type DebugHandler struct {
+	// Path is the absolute mount path; it must begin with "/debug/".
+	Path string
+	// Method is the only HTTP method the handler accepts; any other method
+	// on Path is answered 405 with an Allow header. Empty accepts all.
+	Method string
+	// Help is the one-line description the /debug/ index prints.
+	Help string
+	// Handle serves the endpoint.
+	Handle http.HandlerFunc
+}
+
 // Admin is the operational HTTP endpoint of a daemon: the scrape surface
-// (/metrics text, /statsz JSON), a liveness probe (/healthz), and the
-// stdlib profiler (/debug/pprof/). It binds its own listener so the data
-// and control sockets of the router stay untouched, and it shuts down
-// cleanly — Close unblocks the serve loop and closes the listener.
+// (/metrics text, /statsz JSON), a liveness probe (/healthz), the stdlib
+// profiler (/debug/pprof/), and any subsystem debug handlers registered at
+// construction — all enumerated on the /debug/ index. It binds its own
+// listener so the data and control sockets of the router stay untouched,
+// and it shuts down cleanly — Close unblocks the serve loop and closes the
+// listener.
 type Admin struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
+// methodGuard wraps h so that only the given method reaches it; everything
+// else is answered 405 (Method Not Allowed) with an Allow header — not 404,
+// so a wrong-method probe of a live endpoint is distinguishable from a typo
+// in the path.
+func methodGuard(method string, h http.HandlerFunc) http.HandlerFunc {
+	if method == "" {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			http.Error(w, fmt.Sprintf("method %s not allowed (use %s)", r.Method, method),
+				http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
 // NewAdmin serves reg on addr (":0" picks an ephemeral port). healthy, if
 // non-nil, gates /healthz: a non-nil error reports 503 with the error text.
-func NewAdmin(addr string, reg *Registry, healthy func() error) (*Admin, error) {
+// extra handlers are mounted under /debug/ with their methods enforced and
+// appear on the /debug/ index; a handler whose path does not start with
+// /debug/ (or collides with a built-in) is rejected.
+func NewAdmin(addr string, reg *Registry, healthy func() error, extra ...DebugHandler) (*Admin, error) {
+	for _, dh := range extra {
+		if !strings.HasPrefix(dh.Path, "/debug/") {
+			return nil, fmt.Errorf("obs: debug handler %q must be mounted under /debug/", dh.Path)
+		}
+		if strings.HasPrefix(dh.Path, "/debug/pprof") {
+			return nil, fmt.Errorf("obs: debug handler %q collides with the built-in profiler", dh.Path)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -50,6 +103,31 @@ func NewAdmin(addr string, reg *Registry, healthy func() error) (*Admin, error) 
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	// The index: every debug endpoint this daemon serves, built-ins first.
+	index := []DebugHandler{
+		{Path: "/debug/pprof/", Method: http.MethodGet, Help: "stdlib profiler index (cmdline, profile, symbol, trace)"},
+	}
+	index = append(index, extra...)
+	sort.SliceStable(index, func(i, j int) bool { return index[i].Path < index[j].Path })
+	mux.HandleFunc("/debug/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "debug endpoints:\n")
+		for _, dh := range index {
+			method := dh.Method
+			if method == "" {
+				method = "ANY"
+			}
+			fmt.Fprintf(w, "%-6s %-24s %s\n", method, dh.Path, dh.Help)
+		}
+	})
+	for _, dh := range extra {
+		mux.HandleFunc(dh.Path, methodGuard(dh.Method, dh.Handle))
+	}
 
 	a := &Admin{
 		ln: ln,

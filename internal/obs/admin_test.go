@@ -90,3 +90,82 @@ func TestAdminClose(t *testing.T) {
 		t.Error("admin still serving after Close")
 	}
 }
+
+// TestAdminDebugHandlers covers the subsystem debug-handler surface: extra
+// handlers mount under /debug/, the index enumerates them, the declared
+// method is enforced with 405 (never 404 — a live endpoint probed with the
+// wrong verb must be distinguishable from a missing one), and paths outside
+// /debug/ or shadowing the profiler are rejected at construction.
+func TestAdminDebugHandlers(t *testing.T) {
+	var armed bool
+	a, err := NewAdmin("127.0.0.1:0", NewRegistry(), nil,
+		DebugHandler{
+			Path: "/debug/pdump/start", Method: http.MethodPost, Help: "arm the capture ring",
+			Handle: func(w http.ResponseWriter, _ *http.Request) { armed = true; w.Write([]byte("armed\n")) },
+		},
+		DebugHandler{
+			Path: "/debug/pdump/fetch", Method: http.MethodGet, Help: "drain captured records",
+			Handle: func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte("[]\n")) },
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Index lists both registered handlers and the built-in profiler.
+	code, body := adminGet(t, a, "/debug/")
+	if code != 200 {
+		t.Fatalf("/debug/ = %d", code)
+	}
+	for _, want := range []string{"/debug/pdump/start", "/debug/pdump/fetch", "/debug/pprof/", "arm the capture ring"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/ index missing %q:\n%s", want, body)
+		}
+	}
+
+	// Wrong method on a registered endpoint: 405 with Allow, not 404.
+	resp, err := http.Get("http://" + a.Addr() + "/debug/pdump/start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /debug/pdump/start = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow = %q, want POST", allow)
+	}
+	if armed {
+		t.Error("wrong-method request reached the handler")
+	}
+
+	// Right method goes through.
+	resp, err = http.Post("http://"+a.Addr()+"/debug/pdump/start", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !armed {
+		t.Errorf("POST /debug/pdump/start = %d (armed=%v), want 200 and armed", resp.StatusCode, armed)
+	}
+
+	// Unknown debug path is still 404 (the index only serves /debug/ itself).
+	if code, _ := adminGet(t, a, "/debug/nonesuch"); code != http.StatusNotFound {
+		t.Errorf("/debug/nonesuch = %d, want 404", code)
+	}
+}
+
+func TestAdminDebugHandlerRejections(t *testing.T) {
+	h := func(w http.ResponseWriter, _ *http.Request) {}
+	if _, err := NewAdmin("127.0.0.1:0", NewRegistry(), nil,
+		DebugHandler{Path: "/pdump", Handle: h}); err == nil {
+		t.Error("handler outside /debug/ accepted")
+	}
+	if _, err := NewAdmin("127.0.0.1:0", NewRegistry(), nil,
+		DebugHandler{Path: "/debug/pprof/evil", Handle: h}); err == nil {
+		t.Error("handler shadowing /debug/pprof accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package scenario
+
+// The chaos schedule: timestamped events the runner executes against the
+// live deployment, and a seeded generator that derives a schedule from the
+// topology's shape. Generation is deliberately deterministic — the same
+// (topology, seed, cycles) triple always yields the same event list — so a
+// failing chaos run is quotable by its seed and replayable bit-for-bit.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Event ops.
+const (
+	OpKill      = "kill"        // SIGKILL a node (state lost; neighbors must rebuild it)
+	OpRestart   = "restart"     // start a killed/stopped node again on its original ports
+	OpStop      = "stop"        // SIGTERM a node and require a clean exit 0
+	OpPartition = "partition"   // shimmed link: drop the session and refuse reconnects
+	OpHeal      = "heal"        // shimmed link: carry traffic again
+	OpDelay     = "delay"       // shimmed link: set per-direction latency (arg "up=5ms,down=1ms" or "5ms")
+	OpPdumpOn   = "pdump_start" // arm a router's packet-capture ring (arg: slot count)
+	OpPdumpOff  = "pdump_stop"  // disarm it
+	OpPdumpGet  = "pdump_fetch" // drain captured records to a file in the run dir
+)
+
+// Event is one scheduled action. AtMS is milliseconds after traffic
+// converges (all receivers delivering), not after process launch — chaos
+// timing should not absorb startup jitter.
+type Event struct {
+	AtMS   int    `json:"at_ms"`
+	Op     string `json:"op"`
+	Target string `json:"target"`        // node name, or link ID "from>to" for link ops
+	Arg    string `json:"arg,omitempty"` // op-specific
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("t+%dms %s %s", e.AtMS, e.Op, e.Target)
+	if e.Arg != "" {
+		s += " " + e.Arg
+	}
+	return s
+}
+
+func (t *Topology) validateEvent(i int, ev Event, names map[string]string) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("topology %s: chaos[%d] (%s): %s", t.Name, i, ev, fmt.Sprintf(format, args...))
+	}
+	if ev.AtMS < 0 {
+		return bad("negative timestamp")
+	}
+	switch ev.Op {
+	case OpKill, OpRestart, OpStop:
+		switch names[ev.Target] {
+		case "router", "relay":
+		case "":
+			return bad("target does not exist")
+		default:
+			return bad("target is a %s; kill/restart/stop apply to routers and relays", names[ev.Target])
+		}
+	case OpPartition, OpHeal, OpDelay:
+		l, ok := t.Link(ev.Target)
+		if !ok {
+			return bad("no such link (want a \"from>to\" link ID)")
+		}
+		if !l.shimmed() {
+			return bad("link is not shimmed; set \"shim\": true to make it a chaos target")
+		}
+	case OpPdumpOn, OpPdumpOff, OpPdumpGet:
+		if names[ev.Target] != "router" {
+			return bad("packet capture lives on routers")
+		}
+	default:
+		return bad("unknown op %q", ev.Op)
+	}
+	return nil
+}
+
+// GenerateChaos derives `cycles` disrupt/recover pairs from the topology:
+// each cycle either kills and restarts a mid-tree router (one that both has
+// an upstream and carries other routers' traffic) or partitions and heals a
+// shimmed link on a delivery path. Event times walk forward with jittered
+// gaps so consecutive cycles never overlap. Deterministic in (topo, seed,
+// cycles); the result passes Validate when appended to topo.Chaos.
+func GenerateChaos(t *Topology, seed int64, cycles int) []Event {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Candidate routers: mid-tree first (kill tests state rebuild across
+	// two live neighbors), else any non-root.
+	isParent := map[string]bool{}
+	for _, l := range t.Links {
+		isParent[l.To] = true
+	}
+	var mid, nonRoot []string
+	for _, r := range t.Routers {
+		if t.Upstream(r.Name) == "" {
+			continue
+		}
+		nonRoot = append(nonRoot, r.Name)
+		if isParent[r.Name] {
+			mid = append(mid, r.Name)
+		}
+	}
+	routers := mid
+	if len(routers) == 0 {
+		routers = nonRoot
+	}
+	var links []string
+	for _, l := range t.Links {
+		if l.shimmed() {
+			links = append(links, l.ID())
+		}
+	}
+
+	var evs []Event
+	at := 0
+	for c := 0; c < cycles; c++ {
+		at += 300 + rng.Intn(400) // settle time before the next disruption
+		outage := 100 + rng.Intn(300)
+		// Prefer kills when both kinds are available: a restarted process
+		// has lost everything, which is the stronger soft-state test.
+		useLink := len(links) > 0 && (len(routers) == 0 || rng.Intn(3) == 0)
+		switch {
+		case useLink:
+			id := links[rng.Intn(len(links))]
+			evs = append(evs,
+				Event{AtMS: at, Op: OpPartition, Target: id},
+				Event{AtMS: at + outage, Op: OpHeal, Target: id})
+		case len(routers) > 0:
+			r := routers[rng.Intn(len(routers))]
+			evs = append(evs,
+				Event{AtMS: at, Op: OpKill, Target: r},
+				Event{AtMS: at + outage, Op: OpRestart, Target: r})
+		default:
+			return evs // nothing to disrupt
+		}
+		at += outage
+	}
+	return evs
+}

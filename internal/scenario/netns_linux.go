@@ -1,0 +1,91 @@
+//go:build linux && scenario_netns
+
+package scenario
+
+// Experimental netns isolation: each router gets its own network namespace
+// joined to a host bridge by a veth pair, so links cross a real (virtual)
+// interface instead of loopback. Requires privileges (CAP_NET_ADMIN) and
+// iproute2; built only under -tags scenario_netns so the default build
+// never depends on either. Sources, receivers and relays run in their
+// router's namespace.
+//
+// Addressing: the bridge takes 10.199.0.1/24; router i (in file order)
+// gets 10.199.0.(10+i). The runner substitutes these IPs for 127.0.0.1
+// when composing listen and dial addresses.
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+)
+
+const (
+	nsPrefix   = "exsc-"
+	bridgeName = "exscbr0"
+	bridgeIP   = "10.199.0.1/24"
+)
+
+func netnsAvailable() bool {
+	return exec.Command("ip", "link", "show").Run() == nil
+}
+
+func ipCmd(args ...string) error {
+	out, err := exec.Command("ip", args...).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("ip %s: %v: %s", strings.Join(args, " "), err, out)
+	}
+	return nil
+}
+
+func netnsSetup(t *Topology, run *Runner) error {
+	if !netnsAvailable() {
+		return fmt.Errorf("scenario: ip(8) unusable; netns isolation needs CAP_NET_ADMIN")
+	}
+	if err := ipCmd("link", "add", bridgeName, "type", "bridge"); err != nil {
+		return err
+	}
+	if err := ipCmd("addr", "add", bridgeIP, "dev", bridgeName); err != nil {
+		return err
+	}
+	if err := ipCmd("link", "set", bridgeName, "up"); err != nil {
+		return err
+	}
+	for i, r := range t.Routers {
+		ns := nsPrefix + r.Name
+		ip := fmt.Sprintf("10.199.0.%d", 10+i)
+		veth, peer := fmt.Sprintf("ve%d", i), fmt.Sprintf("vp%d", i)
+		steps := [][]string{
+			{"netns", "add", ns},
+			{"link", "add", veth, "type", "veth", "peer", "name", peer},
+			{"link", "set", veth, "master", bridgeName},
+			{"link", "set", veth, "up"},
+			{"link", "set", peer, "netns", ns},
+			{"-n", ns, "addr", "add", ip + "/24", "dev", peer},
+			{"-n", ns, "link", "set", peer, "up"},
+			{"-n", ns, "link", "set", "lo", "up"},
+		}
+		for _, s := range steps {
+			if err := ipCmd(s...); err != nil {
+				netnsTeardown(run)
+				return err
+			}
+		}
+		run.nodeNS[r.Name] = ns
+		run.nodeIP[r.Name] = ip
+	}
+	return nil
+}
+
+func netnsTeardown(run *Runner) {
+	for _, ns := range run.nodeNS {
+		exec.Command("ip", "netns", "del", ns).Run()
+	}
+	exec.Command("ip", "link", "del", bridgeName).Run()
+}
+
+func nsWrap(ns, bin string, args []string) (string, []string) {
+	if ns == "" {
+		return bin, args
+	}
+	return "ip", append([]string{"netns", "exec", ns, bin}, args...)
+}

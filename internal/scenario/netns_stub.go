@@ -1,0 +1,21 @@
+//go:build !linux || !scenario_netns
+
+package scenario
+
+import "fmt"
+
+// The netns isolation path is compiled only on linux with the
+// scenario_netns build tag (it shells out to ip(8) and needs privileges).
+// Everywhere else the loopback path is the only one available.
+
+func netnsAvailable() bool { return false }
+
+func netnsSetup(t *Topology, run *Runner) error {
+	return fmt.Errorf("scenario: isolation \"netns\" requires linux, the scenario_netns build tag and privileges; use loopback")
+}
+
+func netnsTeardown(run *Runner) {}
+
+// nsWrap would prefix the command with `ip netns exec <ns>`; without netns
+// support it is the identity.
+func nsWrap(ns, bin string, args []string) (string, []string) { return bin, args }

@@ -1,0 +1,35 @@
+package scenario
+
+// Shipped topology presets, embedded so `expressctl scenario -preset isp`
+// works from any directory with no files on disk. Each is a valid, runnable
+// scenario; `expressctl scenario -list` enumerates them.
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed presets/*.json
+var presetFS embed.FS
+
+// Presets returns the embedded preset names, sorted.
+func Presets() []string {
+	entries, _ := presetFS.ReadDir("presets")
+	var names []string
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadPreset parses and validates an embedded preset by name.
+func LoadPreset(name string) (*Topology, error) {
+	b, err := presetFS.ReadFile("presets/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: no preset %q (have %s)", name, strings.Join(Presets(), ", "))
+	}
+	return Parse(b)
+}

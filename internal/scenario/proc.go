@@ -1,0 +1,175 @@
+package scenario
+
+// Process management for the runner: each node is one real OS process whose
+// stdout/stderr land in the run directory, restartable on its original
+// arguments (ports are fixed at allocation time, so a restarted router
+// comes back exactly where its neighbors expect it).
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+)
+
+type proc struct {
+	name string
+	kind string // "router", "relay", "source", "receiver"
+	bin  string
+	args []string
+	ns   string // netns name ("" on loopback)
+
+	logPath string
+	logF    *os.File
+
+	// onLine, when set, receives every stdout line (receivers' JSON
+	// arrival stream); stdout still lands in the log file too.
+	onLine func(string)
+
+	mu      sync.Mutex
+	cmd     *exec.Cmd
+	waitErr error
+	waited  chan struct{} // closed when the current cmd has been reaped
+}
+
+func newProc(dir, name, kind, bin string, args []string, ns string) (*proc, error) {
+	p := &proc{name: name, kind: kind, bin: bin, args: args, ns: ns,
+		logPath: filepath.Join(dir, name+".log")}
+	f, err := os.OpenFile(p.logPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p.logF = f
+	return p, nil
+}
+
+// start launches (or relaunches) the process.
+func (p *proc) start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cmd != nil {
+		select {
+		case <-p.waited:
+		default:
+			return fmt.Errorf("%s: already running", p.name)
+		}
+	}
+	bin, args := nsWrap(p.ns, p.bin, p.args)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = p.logF
+	fmt.Fprintf(p.logF, "--- start %s %v\n", bin, args)
+	if p.onLine != nil {
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		go func() {
+			sc := bufio.NewScanner(pipe)
+			sc.Buffer(make([]byte, 64*1024), 1024*1024)
+			for sc.Scan() {
+				line := sc.Text()
+				fmt.Fprintln(p.logF, line)
+				p.onLine(line)
+			}
+		}()
+	} else {
+		cmd.Stdout = p.logF
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("%s: %v", p.name, err)
+	}
+	waited := make(chan struct{})
+	p.cmd, p.waited = cmd, waited
+	go func() {
+		err := cmd.Wait()
+		p.mu.Lock()
+		p.waitErr = err
+		p.mu.Unlock()
+		close(waited)
+	}()
+	return nil
+}
+
+func (p *proc) running() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cmd == nil {
+		return false
+	}
+	select {
+	case <-p.waited:
+		return false
+	default:
+		return true
+	}
+}
+
+// kill SIGKILLs the process and reaps it.
+func (p *proc) kill() error {
+	p.mu.Lock()
+	cmd, waited := p.cmd, p.waited
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("%s: not running", p.name)
+	}
+	cmd.Process.Kill()
+	<-waited
+	return nil
+}
+
+// stop SIGTERMs the process and waits up to timeout for it to exit,
+// returning the exit code (0 = the clean-shutdown invariant held).
+func (p *proc) stop(timeout time.Duration) (int, error) {
+	p.mu.Lock()
+	cmd, waited := p.cmd, p.waited
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return 0, fmt.Errorf("%s: not running", p.name)
+	}
+	select {
+	case <-waited: // already gone
+	default:
+		cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-waited:
+		case <-time.After(timeout):
+			cmd.Process.Kill()
+			<-waited
+			return -1, fmt.Errorf("%s: no exit within %v of SIGTERM; killed", p.name, timeout)
+		}
+	}
+	p.mu.Lock()
+	err := p.waitErr
+	p.mu.Unlock()
+	if err == nil {
+		return 0, nil
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), nil
+	}
+	return -1, err
+}
+
+func (p *proc) close() {
+	if p.running() {
+		p.kill()
+	}
+	p.logF.Close()
+}
+
+// freePort reserves a currently-free TCP port by binding :0 and closing.
+// The tiny reuse race is acceptable for a test harness; explicit ports in
+// the topology file avoid it entirely.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}

@@ -1,0 +1,1148 @@
+package scenario
+
+// The runner: bring a topology up as real processes, execute the chaos
+// schedule against wall clock, and check the recovery invariants from the
+// outside. See the package comment in topology.go for the model.
+//
+// Invariants checked (violations are collected, not fatal, so one run
+// reports everything it saw):
+//
+//   - recovery: after a disruption heals, every affected receiver gets a
+//     packet within BudgetFlushWindows flush windows of the heal.
+//   - withdraw-exactly-once: the disrupted node's parent increments
+//     router_neighbor_failures_total by exactly one per disruption — the
+//     failure machinery neither misses a cut nor double-withdraws.
+//   - resync-on-heal: a healed partition increments the parent's
+//     router_session_resyncs_total (the surviving session re-Helloed with
+//     a newer epoch and replayed its counts). Kill/restart cuts are
+//     exempt: a restarted process is a brand-new session, not a resync.
+//   - no split-brain: at no sampling instant do two relays of the same
+//     session group report relay_active=1 (debounced over two samples).
+//   - clean stop: OpStop'd processes, and every router and relay at
+//     teardown, exit 0 on SIGTERM.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Options tunes a Runner.
+type Options struct {
+	// Bins maps binary name (expressd, relayd, expressctl) to path. Empty
+	// entries (or a nil map) are built from source via BuildBinaries.
+	Bins map[string]string
+	// Dir is the run directory for logs, pdump fetches and result.json.
+	// Empty creates a temp dir (removed on Close unless Keep).
+	Dir  string
+	Keep bool
+	// Seed, when != 0 and the topology has no chaos schedule of its own,
+	// generates ChaosCycles disrupt/recover cycles deterministically.
+	Seed        int64
+	ChaosCycles int
+	// ConvergeTimeout bounds the wait for first delivery to every
+	// receiver. Default 30s.
+	ConvergeTimeout time.Duration
+	// Log receives human-readable progress lines (nil = silent).
+	Log io.Writer
+}
+
+// ExecutedEvent is a schedule entry plus the wall-clock instant it ran.
+type ExecutedEvent struct {
+	Event
+	NS int64 `json:"ns"`
+}
+
+// Recovery is one (disruption, receiver) delivery-resumption measurement.
+type Recovery struct {
+	Event      string  `json:"event"`
+	Receiver   string  `json:"receiver"`
+	RecoveryMS float64 `json:"recovery_ms"` // -1: never resumed within budget+grace
+}
+
+// ReceiverResult summarizes one receiver's arrival stream.
+type ReceiverResult struct {
+	Packets int   `json:"packets"`
+	FirstNS int64 `json:"first_ns,omitempty"`
+	LastNS  int64 `json:"last_ns,omitempty"`
+}
+
+// Result is what a run leaves behind.
+type Result struct {
+	Topology   string                    `json:"topology"`
+	Seed       int64                     `json:"seed,omitempty"`
+	Dir        string                    `json:"dir"`
+	BudgetMS   float64                   `json:"budget_ms"`
+	Events     []ExecutedEvent           `json:"events"`
+	Receivers  map[string]ReceiverResult `json:"receivers"`
+	Recoveries []Recovery                `json:"recoveries,omitempty"`
+	PdumpFiles []string                  `json:"pdump_files,omitempty"`
+	Skipped    []string                  `json:"skipped,omitempty"` // checks not applicable this run
+	Violations []string                  `json:"violations,omitempty"`
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// MaxRecoveryMS returns the slowest measured recovery (0 if none).
+func (r *Result) MaxRecoveryMS() float64 {
+	max := 0.0
+	for _, rec := range r.Recoveries {
+		if rec.RecoveryMS > max {
+			max = rec.RecoveryMS
+		}
+	}
+	return max
+}
+
+// arrivals is one receiver's packet-arrival log, fed by its stdout stream.
+type arrivals struct {
+	mu sync.Mutex
+	ns []int64 // receiver-stamped wall clock, append-only
+}
+
+func (a *arrivals) add(ns int64) {
+	a.mu.Lock()
+	a.ns = append(a.ns, ns)
+	a.mu.Unlock()
+}
+
+func (a *arrivals) count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.ns)
+}
+
+// firstAfter returns the earliest arrival > t, or 0.
+func (a *arrivals) firstAfter(t int64) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	i := sort.Search(len(a.ns), func(i int) bool { return a.ns[i] > t })
+	if i == len(a.ns) {
+		return 0
+	}
+	return a.ns[i]
+}
+
+func (a *arrivals) bounds() (first, last int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.ns) == 0 {
+		return 0, 0
+	}
+	return a.ns[0], a.ns[len(a.ns)-1]
+}
+
+// disruption is the bookkeeping around one cut: which parent observes it,
+// the parent's counters before, and when it healed.
+type disruption struct {
+	ev          ExecutedEvent
+	parent      string // router scraped for withdraw/resync deltas ("" = none)
+	parentInc   int    // parent's restart count at pre-scrape time
+	preFailures uint64
+	preResyncs  uint64
+	wantResync  bool // partition/heal cuts only; see package comment
+	healNS      int64
+	affected    []string
+}
+
+// Runner drives one scenario run. Not reusable.
+type Runner struct {
+	topo *Topology
+	opts Options
+
+	dir      string
+	ownDir   bool
+	bins     map[string]string
+	procs    map[string]*proc
+	starts   map[string]int // restart counts
+	shims    map[string]*LinkShim
+	arrive   map[string]*arrivals
+	baseline map[string]*obs.Snapshot
+
+	nodeNS map[string]string // netns per router (scenario_netns only)
+	nodeIP map[string]string
+
+	ctlPort, dataPort, adminPort map[string]int // routers
+	relayCtl, relayAdmin         map[string]int
+
+	res *Result
+}
+
+// New validates the environment and prepares (but does not start) a run.
+func New(t *Topology, opts Options) (*Runner, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		topo: t, opts: opts,
+		procs: map[string]*proc{}, starts: map[string]int{},
+		shims: map[string]*LinkShim{}, arrive: map[string]*arrivals{},
+		baseline: map[string]*obs.Snapshot{},
+		nodeNS:   map[string]string{}, nodeIP: map[string]string{},
+		ctlPort: map[string]int{}, dataPort: map[string]int{}, adminPort: map[string]int{},
+		relayCtl: map[string]int{}, relayAdmin: map[string]int{},
+	}
+	if opts.Log == nil {
+		r.opts.Log = io.Discard
+	}
+	if r.opts.ConvergeTimeout <= 0 {
+		r.opts.ConvergeTimeout = 30 * time.Second
+	}
+	r.dir = opts.Dir
+	if r.dir == "" {
+		d, err := os.MkdirTemp("", "scenario-"+t.Name+"-")
+		if err != nil {
+			return nil, err
+		}
+		r.dir, r.ownDir = d, true
+	} else if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		return nil, err
+	}
+	var err error
+	r.bins, err = resolveBins(opts.Bins, r.dir)
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Dir returns the run directory.
+func (r *Runner) Dir() string { return r.dir }
+
+// Close tears everything down (idempotent; Run calls it on every path).
+func (r *Runner) Close() {
+	for _, p := range r.procs {
+		p.close()
+	}
+	for _, s := range r.shims {
+		s.Close()
+	}
+	if r.topo != nil && r.topo.Isolation == "netns" {
+		netnsTeardown(r)
+	}
+	if r.ownDir && !r.opts.Keep {
+		os.RemoveAll(r.dir)
+	}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	fmt.Fprintf(r.opts.Log, "scenario: "+format+"\n", args...)
+}
+
+func (r *Runner) flushInterval() time.Duration {
+	if r.topo.FlushInterval > 0 {
+		return time.Duration(r.topo.FlushInterval)
+	}
+	return 2 * time.Millisecond
+}
+
+func (r *Runner) budget() time.Duration {
+	w := r.topo.BudgetFlushWindows
+	if w <= 0 {
+		w = 1500
+	}
+	return time.Duration(w) * r.flushInterval()
+}
+
+func (r *Runner) ip(node string) string {
+	if ip, ok := r.nodeIP[node]; ok {
+		return ip
+	}
+	return "127.0.0.1"
+}
+
+func (r *Runner) routerCtl(name string) string {
+	return fmt.Sprintf("%s:%d", r.ip(name), r.ctlPort[name])
+}
+func (r *Runner) routerData(name string) string {
+	return fmt.Sprintf("%s:%d", r.ip(name), r.dataPort[name])
+}
+func (r *Runner) routerAdmin(name string) string {
+	return fmt.Sprintf("%s:%d", r.ip(name), r.adminPort[name])
+}
+
+// Run executes the scenario and returns its Result. The returned error is
+// for harness failures (process would not start, convergence never
+// happened); invariant violations land in Result.Violations instead.
+func (r *Runner) Run() (*Result, error) {
+	defer r.Close()
+	chaos := r.topo.SortedChaos()
+	if len(chaos) == 0 && r.opts.Seed != 0 {
+		cycles := r.opts.ChaosCycles
+		if cycles <= 0 {
+			cycles = 1
+		}
+		gen := GenerateChaos(r.topo, r.opts.Seed, cycles)
+		// Validate against the topology like file-borne events.
+		names := map[string]string{}
+		for _, rt := range r.topo.Routers {
+			names[rt.Name] = "router"
+		}
+		for _, rl := range r.topo.Relays {
+			names[rl.Name] = "relay"
+		}
+		for i, ev := range gen {
+			if err := r.topo.validateEvent(i, ev, names); err != nil {
+				return nil, err
+			}
+		}
+		chaos = gen
+		r.logf("generated %d chaos events from seed %d", len(gen), r.opts.Seed)
+	}
+	r.res = &Result{
+		Topology:  r.topo.Name,
+		Seed:      r.opts.Seed,
+		Dir:       r.dir,
+		BudgetMS:  float64(r.budget()) / float64(time.Millisecond),
+		Receivers: map[string]ReceiverResult{},
+	}
+
+	if r.topo.Isolation == "netns" {
+		if err := netnsSetup(r.topo, r); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.allocatePorts(); err != nil {
+		return nil, err
+	}
+	if err := r.startShims(); err != nil {
+		return nil, err
+	}
+	if err := r.startRouters(); err != nil {
+		return nil, err
+	}
+	if err := r.startRelays(); err != nil {
+		return nil, err
+	}
+	if err := r.startReceivers(); err != nil {
+		return nil, err
+	}
+	if err := r.startSources(); err != nil {
+		return nil, err
+	}
+	if err := r.waitConvergence(); err != nil {
+		return nil, err
+	}
+	r.scrapeBaselines()
+
+	relayDone := make(chan struct{})
+	var relayWG sync.WaitGroup
+	if len(r.topo.Relays) > 0 {
+		relayWG.Add(1)
+		go r.relayMonitor(relayDone, &relayWG)
+	}
+
+	disruptions := r.executeChaos(chaos)
+	r.measureRecoveries(disruptions)
+	r.checkWithdrawInvariants(disruptions)
+
+	close(relayDone)
+	relayWG.Wait()
+
+	r.teardown()
+	r.collectReceivers()
+
+	if b, err := json.MarshalIndent(r.res, "", "  "); err == nil {
+		os.WriteFile(filepath.Join(r.dir, "result.json"), b, 0o644)
+	}
+	return r.res, nil
+}
+
+// resolveBins fills missing binary paths, building from source if needed.
+func resolveBins(bins map[string]string, dir string) (map[string]string, error) {
+	out := map[string]string{}
+	for k, v := range bins {
+		out[k] = v
+	}
+	need := false
+	for _, b := range []string{"expressd", "relayd", "expressctl"} {
+		if out[b] == "" {
+			need = true
+		}
+	}
+	if !need {
+		return out, nil
+	}
+	if env := os.Getenv("SCENARIO_BINDIR"); env != "" {
+		for _, b := range []string{"expressd", "relayd", "expressctl"} {
+			if out[b] == "" {
+				out[b] = filepath.Join(env, b)
+			}
+		}
+		return out, nil
+	}
+	built, err := BuildBinaries(filepath.Join(dir, "bin"))
+	if err != nil {
+		return nil, err
+	}
+	for b, p := range built {
+		if out[b] == "" {
+			out[b] = p
+		}
+	}
+	return out, nil
+}
+
+// BuildBinaries compiles expressd, relayd and expressctl from the module
+// source into dir and returns their paths. The module root is discovered
+// with `go list -m`, so it works from any working directory inside the
+// repo (tests included).
+func BuildBinaries(dir string) (map[string]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	rootB, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: locating module root: %v", err)
+	}
+	root := strings.TrimSpace(string(rootB))
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator),
+		"./cmd/expressd", "./cmd/relayd", "./cmd/expressctl")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("scenario: go build: %v: %s", err, out)
+	}
+	bins := map[string]string{}
+	for _, b := range []string{"expressd", "relayd", "expressctl"} {
+		bins[b] = filepath.Join(dir, b)
+	}
+	return bins, nil
+}
+
+func (r *Runner) allocatePorts() error {
+	alloc := func(explicit int) (int, error) {
+		if explicit != 0 {
+			return explicit, nil
+		}
+		return freePort()
+	}
+	var err error
+	for _, rt := range r.topo.Routers {
+		if r.ctlPort[rt.Name], err = alloc(rt.Port); err != nil {
+			return err
+		}
+		if r.dataPort[rt.Name], err = alloc(rt.DataPort); err != nil {
+			return err
+		}
+		if r.adminPort[rt.Name], err = alloc(rt.AdminPort); err != nil {
+			return err
+		}
+	}
+	for _, rl := range r.topo.Relays {
+		if r.relayCtl[rl.Name], err = alloc(rl.ControlPort); err != nil {
+			return err
+		}
+		if r.relayAdmin[rl.Name], err = alloc(rl.AdminPort); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runner) startShims() error {
+	for _, l := range r.topo.Links {
+		if !l.shimmed() {
+			continue
+		}
+		// The shim listens where the child can reach it; on loopback that
+		// is any free port. Target is the parent's control address.
+		s, err := NewLinkShim(r.ip(l.From)+":0", r.routerCtl(l.To))
+		if err != nil {
+			return fmt.Errorf("scenario: shim %s: %v", l.ID(), err)
+		}
+		s.SetDelay(time.Duration(l.DelayUp), time.Duration(l.DelayDown))
+		r.shims[l.ID()] = s
+		r.logf("shim %s on %s -> %s", l.ID(), s.Addr(), r.routerCtl(l.To))
+	}
+	return nil
+}
+
+// routerArgs composes one expressd command line: harness defaults tuned
+// for fast failure detection and bounded reconnect backoff, overridden by
+// the router's own flag map, plus the fixed wiring flags.
+func (r *Runner) routerArgs(rt RouterSpec) []string {
+	flags := map[string]string{
+		"stats":          "2s",
+		"flush-interval": r.flushInterval().String(),
+		"keepalive":      "25ms",
+		"reconnect-base": "5ms",
+		"reconnect-max":  "150ms",
+		"drain":          "500ms",
+	}
+	for k, v := range rt.Flags {
+		flags[k] = v
+	}
+	args := []string{
+		"-listen", r.routerCtl(rt.Name),
+		"-data-port", strconv.Itoa(r.dataPort[rt.Name]),
+		"-admin", r.routerAdmin(rt.Name),
+	}
+	if up := r.topo.Upstream(rt.Name); up != "" {
+		target := r.routerCtl(up)
+		if l, ok := r.topo.Link(rt.Name + ">" + up); ok && l.shimmed() {
+			target = r.shims[l.ID()].Addr()
+		}
+		args = append(args, "-upstream", target)
+	}
+	keys := make([]string, 0, len(flags))
+	for k := range flags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		args = append(args, "-"+k, flags[k])
+	}
+	return args
+}
+
+// startRouters launches parents before children so a child's first
+// upstream dial finds a listener.
+func (r *Runner) startRouters() error {
+	depth := func(name string) int { return len(r.topo.PathToRoot(name)) }
+	order := append([]RouterSpec(nil), r.topo.Routers...)
+	sort.SliceStable(order, func(i, j int) bool { return depth(order[i].Name) < depth(order[j].Name) })
+	for _, rt := range order {
+		p, err := newProc(r.dir, rt.Name, "router", r.bins["expressd"], r.routerArgs(rt), r.nodeNS[rt.Name])
+		if err != nil {
+			return err
+		}
+		r.procs[rt.Name] = p
+		if err := p.start(); err != nil {
+			return err
+		}
+		if err := r.waitHealthy(rt.Name, 10*time.Second); err != nil {
+			return err
+		}
+		r.logf("router %s up: ctl=%s data=%s admin=%s", rt.Name,
+			r.routerCtl(rt.Name), r.routerData(rt.Name), r.routerAdmin(rt.Name))
+	}
+	return nil
+}
+
+func (r *Runner) relayArgs(rl RelaySpec) []string {
+	flags := map[string]string{"beacon": "25ms"}
+	for k, v := range rl.Flags {
+		flags[k] = v
+	}
+	args := []string{
+		"-router", r.routerCtl(rl.Router),
+		"-data", r.routerData(rl.Router),
+		"-source", rl.Source,
+		"-channel", strconv.FormatUint(uint64(rl.Channel), 10),
+		"-control", fmt.Sprintf("%s:%d", r.ip(rl.Router), r.relayCtl[rl.Name]),
+		"-admin", fmt.Sprintf("%s:%d", r.ip(rl.Router), r.relayAdmin[rl.Name]),
+	}
+	if rl.StandbyFor != "" {
+		for _, prim := range r.topo.Relays {
+			if prim.Name == rl.StandbyFor {
+				args = append(args,
+					"-standby-source", prim.Source,
+					"-standby-channel", strconv.FormatUint(uint64(prim.Channel), 10))
+				if _, ok := flags["watchdog"]; !ok {
+					flags["watchdog"] = "250ms"
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(flags))
+	for k := range flags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		args = append(args, "-"+k, flags[k])
+	}
+	return args
+}
+
+func (r *Runner) startRelays() error {
+	for _, rl := range r.topo.Relays {
+		p, err := newProc(r.dir, rl.Name, "relay", r.bins["relayd"], r.relayArgs(rl), r.nodeNS[rl.Router])
+		if err != nil {
+			return err
+		}
+		r.procs[rl.Name] = p
+		if err := p.start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runner) startReceivers() error {
+	for _, rc := range r.topo.Receivers {
+		args := []string{"recv",
+			"-router", r.routerCtl(rc.Router),
+			"-source", rc.Source,
+			"-channel", strconv.FormatUint(uint64(rc.Channel), 10),
+			"-count", "0",
+			"-timeout", "600s",
+			"-json",
+			"-reconnect-base", "5ms",
+			"-reconnect-max", "150ms",
+		}
+		p, err := newProc(r.dir, rc.Name, "receiver", r.bins["expressctl"], args, r.nodeNS[rc.Router])
+		if err != nil {
+			return err
+		}
+		arr := &arrivals{}
+		r.arrive[rc.Name] = arr
+		p.onLine = func(line string) {
+			if !strings.HasPrefix(line, "{") {
+				return
+			}
+			var rec struct {
+				NS int64 `json:"ns"`
+			}
+			if json.Unmarshal([]byte(line), &rec) == nil && rec.NS > 0 {
+				arr.add(rec.NS)
+			}
+		}
+		r.procs[rc.Name] = p
+		if err := p.start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runner) startSources() error {
+	for _, s := range r.topo.Sources {
+		rate, payload := s.RatePPS, s.PayloadLen
+		if rate <= 0 {
+			rate = 200
+		}
+		if payload <= 0 {
+			payload = 64
+		}
+		args := []string{"send",
+			"-data", r.routerData(s.Router),
+			"-source", s.Source,
+			"-channel", strconv.FormatUint(uint64(s.Channel), 10),
+			"-rate", strconv.Itoa(rate),
+			"-payload", strconv.Itoa(payload),
+			"-count", "0",
+		}
+		p, err := newProc(r.dir, s.Name, "source", r.bins["expressctl"], args, r.nodeNS[s.Router])
+		if err != nil {
+			return err
+		}
+		r.procs[s.Name] = p
+		if err := p.start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitHealthy polls a router's /healthz until it answers 200.
+func (r *Runner) waitHealthy(router string, timeout time.Duration) error {
+	url := "http://" + r.routerAdmin(router) + "/healthz"
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("scenario: router %s never became healthy (%s)", router, url)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitConvergence blocks until every receiver has seen at least one packet
+// — the moment the whole control-plane chain (subscribe, aggregate,
+// program, advertise data ports) demonstrably works end to end. Chaos
+// timestamps count from here.
+func (r *Runner) waitConvergence() error {
+	if len(r.topo.Receivers) == 0 {
+		return nil
+	}
+	deadline := time.Now().Add(r.opts.ConvergeTimeout)
+	for {
+		missing := ""
+		for name, arr := range r.arrive {
+			if arr.count() == 0 {
+				missing = name
+				break
+			}
+		}
+		if missing == "" {
+			r.logf("converged: every receiver delivering")
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("scenario: receiver %s saw no packets within %v (logs in %s)",
+				missing, r.opts.ConvergeTimeout, r.dir)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (r *Runner) scrapeBaselines() {
+	for _, rt := range r.topo.Routers {
+		if snap, err := scrapeStatsz(r.routerAdmin(rt.Name)); err == nil {
+			r.baseline[rt.Name] = snap
+		}
+	}
+}
+
+// executeChaos runs the schedule against the wall clock (t0 = now, i.e.
+// convergence) and returns the disruption bookkeeping for the invariant
+// passes.
+func (r *Runner) executeChaos(chaos []Event) []*disruption {
+	t0 := time.Now()
+	open := map[string]*disruption{} // by target
+	var all []*disruption
+	for _, ev := range chaos {
+		if d := time.Until(t0.Add(time.Duration(ev.AtMS) * time.Millisecond)); d > 0 {
+			time.Sleep(d)
+		}
+		ex := ExecutedEvent{Event: ev, NS: time.Now().UnixNano()}
+		r.logf("chaos: %s", ev)
+		switch ev.Op {
+		case OpKill, OpStop:
+			d := r.openDisruption(ex, ev.Target, "")
+			if d != nil {
+				open[ev.Target] = d
+				all = append(all, d)
+			}
+			if ev.Op == OpKill {
+				if err := r.procs[ev.Target].kill(); err != nil {
+					r.violationf("kill %s: %v", ev.Target, err)
+				}
+			} else if code, err := r.procs[ev.Target].stop(5 * time.Second); err != nil || code != 0 {
+				r.violationf("clean-stop: %s exited %d (err %v), want 0", ev.Target, code, err)
+			}
+		case OpRestart:
+			if err := r.procs[ev.Target].start(); err != nil {
+				r.violationf("restart %s: %v", ev.Target, err)
+				break
+			}
+			r.starts[ev.Target]++
+			if d := open[ev.Target]; d != nil {
+				d.healNS = time.Now().UnixNano()
+				delete(open, ev.Target)
+			}
+		case OpPartition:
+			d := r.openDisruption(ex, "", ev.Target)
+			if d != nil {
+				open[ev.Target] = d
+				all = append(all, d)
+			}
+			r.shims[ev.Target].Partition()
+		case OpHeal:
+			r.shims[ev.Target].Heal()
+			if d := open[ev.Target]; d != nil {
+				d.healNS = time.Now().UnixNano()
+				delete(open, ev.Target)
+			}
+		case OpDelay:
+			up, down, err := parseDelayArg(ev.Arg)
+			if err != nil {
+				r.violationf("delay %s: %v", ev.Target, err)
+				break
+			}
+			r.shims[ev.Target].SetDelay(up, down)
+		case OpPdumpOn:
+			q := ""
+			if ev.Arg != "" {
+				q = "?cap=" + ev.Arg
+			}
+			r.adminPost(ev.Target, "/debug/pdump/start"+q)
+		case OpPdumpOff:
+			r.adminPost(ev.Target, "/debug/pdump/stop")
+		case OpPdumpGet:
+			r.fetchPdump(ev)
+		}
+		ex.NS = time.Now().UnixNano() // executed instant, after the action
+		r.res.Events = append(r.res.Events, ex)
+	}
+	return all
+}
+
+// openDisruption snapshots the observing parent's counters before a cut.
+// Exactly one of cutNode/cutLink is set. Returns nil when the cut has no
+// observing parent (root router, relay, unlinked node) — recovery is then
+// still measured, the withdraw invariants are skipped.
+func (r *Runner) openDisruption(ex ExecutedEvent, cutNode, cutLink string) *disruption {
+	d := &disruption{ev: ex}
+	switch {
+	case cutLink != "":
+		l, _ := r.topo.Link(cutLink)
+		d.parent = l.To
+		d.wantResync = true
+		d.affected = r.affectedReceivers(l.From, cutLink)
+	case cutNode != "":
+		if r.topo.router(cutNode) == nil {
+			// A relay: no parent-router bookkeeping, no delivery path cut.
+			return d
+		}
+		d.parent = r.topo.Upstream(cutNode)
+		d.affected = r.affectedReceivers(cutNode, "")
+	}
+	if d.parent != "" {
+		d.parentInc = r.starts[d.parent]
+		if snap, err := scrapeStatsz(r.routerAdmin(d.parent)); err == nil {
+			d.preFailures = snap.Counters["router_neighbor_failures_total"]
+			d.preResyncs = snap.Counters["router_session_resyncs_total"]
+		} else {
+			r.logf("warning: pre-scrape of %s failed: %v", d.parent, err)
+			d.parent = ""
+		}
+	}
+	return d
+}
+
+// affectedReceivers: receivers whose path to the root crosses the cut
+// while their channel's source injects on the root side of it.
+func (r *Runner) affectedReceivers(cutNode, cutLink string) []string {
+	srcRouter := map[string]string{} // "S/E" -> router
+	for _, s := range r.topo.Sources {
+		srcRouter[s.Source+"/"+strconv.FormatUint(uint64(s.Channel), 10)] = s.Router
+	}
+	onPath := func(router string) bool {
+		path := r.topo.PathToRoot(router)
+		for _, hop := range path {
+			if cutNode != "" && hop == cutNode {
+				return true
+			}
+			if cutLink != "" && hop+">"+r.topo.Upstream(hop) == cutLink {
+				return true
+			}
+		}
+		return false
+	}
+	var out []string
+	for _, rc := range r.topo.Receivers {
+		src, ok := srcRouter[rc.Source+"/"+strconv.FormatUint(uint64(rc.Channel), 10)]
+		if !ok {
+			continue // no live source for this channel; nothing to measure
+		}
+		if onPath(rc.Router) && !onPath(src) {
+			out = append(out, rc.Name)
+		}
+	}
+	return out
+}
+
+// measureRecoveries waits for delivery to resume at every affected
+// receiver of every healed disruption and records the timings; a receiver
+// that stays silent past budget+grace is a violation.
+func (r *Runner) measureRecoveries(disruptions []*disruption) {
+	budget := r.budget()
+	const grace = 2 * time.Second
+	for _, d := range disruptions {
+		if d.healNS == 0 {
+			if len(d.affected) > 0 {
+				r.res.Skipped = append(r.res.Skipped,
+					fmt.Sprintf("recovery after %s: never healed in-schedule", d.ev.Event))
+			}
+			continue
+		}
+		for _, name := range d.affected {
+			arr := r.arrive[name]
+			deadline := time.Unix(0, d.healNS).Add(budget + grace)
+			var first int64
+			for {
+				if first = arr.firstAfter(d.healNS); first != 0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			rec := Recovery{Event: d.ev.Event.String(), Receiver: name, RecoveryMS: -1}
+			if first != 0 {
+				rec.RecoveryMS = float64(first-d.healNS) / float64(time.Millisecond)
+			}
+			r.res.Recoveries = append(r.res.Recoveries, rec)
+			switch {
+			case first == 0:
+				r.violationf("recovery: %s: no delivery to %s within %v+%v of heal",
+					d.ev.Event, name, budget, grace)
+			case rec.RecoveryMS > float64(budget)/float64(time.Millisecond):
+				r.violationf("recovery: %s: delivery to %s resumed after %.1fms, budget %v",
+					d.ev.Event, name, rec.RecoveryMS, budget)
+			}
+		}
+	}
+}
+
+// checkWithdrawInvariants scrapes each observing parent once, after all
+// recoveries, and requires failures to have advanced by exactly the number
+// of cuts it observed (withdraw-exactly-once) and resyncs by at least the
+// healed partitions. Cuts whose parent was itself restarted in between are
+// skipped: the counters died with the process.
+func (r *Runner) checkWithdrawInvariants(disruptions []*disruption) {
+	type agg struct {
+		preFailures, preResyncs uint64
+		cuts, resyncCuts        int
+	}
+	byParent := map[string]*agg{}
+	for _, d := range disruptions {
+		if d.parent == "" {
+			continue
+		}
+		if d.parentInc != r.starts[d.parent] {
+			r.res.Skipped = append(r.res.Skipped,
+				fmt.Sprintf("withdraw check for %s: parent %s restarted mid-window", d.ev.Event, d.parent))
+			continue
+		}
+		a := byParent[d.parent]
+		if a == nil {
+			a = &agg{preFailures: d.preFailures, preResyncs: d.preResyncs}
+			byParent[d.parent] = a
+		}
+		a.cuts++
+		if d.wantResync && d.healNS != 0 {
+			a.resyncCuts++
+		}
+	}
+	// Settle: the last withdrawal can still be in flight right after the
+	// last recovery; give the counters a few flush windows.
+	parents := make([]string, 0, len(byParent))
+	for p := range byParent {
+		parents = append(parents, p)
+	}
+	sort.Strings(parents)
+	deadline := time.Now().Add(5 * time.Second)
+	for _, parent := range parents {
+		a := byParent[parent]
+		for {
+			snap, err := scrapeStatsz(r.routerAdmin(parent))
+			if err != nil {
+				r.violationf("withdraw check: scraping %s: %v", parent, err)
+				break
+			}
+			failures := snap.Counters["router_neighbor_failures_total"] - a.preFailures
+			resyncs := snap.Counters["router_session_resyncs_total"] - a.preResyncs
+			if failures == uint64(a.cuts) && resyncs >= uint64(a.resyncCuts) {
+				break
+			}
+			if time.Now().After(deadline) {
+				if failures != uint64(a.cuts) {
+					r.violationf("withdraw-exactly-once: %s counted %d neighbor failures for %d cuts",
+						parent, failures, a.cuts)
+				}
+				if resyncs < uint64(a.resyncCuts) {
+					r.violationf("resync-on-heal: %s counted %d resyncs for %d healed partitions",
+						parent, resyncs, a.resyncCuts)
+				}
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+// relayMonitor samples every relay's relay_active gauge and flags two
+// consecutive samples with more than one active relay in the same session
+// group (primary + its standbys) — the split-brain the beacon watchdog
+// must prevent.
+func (r *Runner) relayMonitor(done chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	groups := map[string][]string{} // primary name -> relay names
+	for _, rl := range r.topo.Relays {
+		key := rl.Name
+		if rl.StandbyFor != "" {
+			key = rl.StandbyFor
+		}
+		groups[key] = append(groups[key], rl.Name)
+	}
+	streak := map[string]int{}
+	flagged := map[string]bool{}
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
+		for primary, members := range groups {
+			if len(members) < 2 {
+				continue
+			}
+			active := 0
+			for _, name := range members {
+				if !r.procs[name].running() {
+					continue
+				}
+				addr := fmt.Sprintf("%s:%d", r.ip(r.relayRouter(name)), r.relayAdmin[name])
+				snap, err := scrapeStatsz(addr)
+				if err != nil {
+					continue
+				}
+				if snap.Gauges["relay_active"] > 0.5 {
+					active++
+				}
+			}
+			if active > 1 {
+				streak[primary]++
+				if streak[primary] >= 2 && !flagged[primary] {
+					flagged[primary] = true
+					r.violationf("split-brain: %d relays of group %s active simultaneously", active, primary)
+				}
+			} else {
+				streak[primary] = 0
+			}
+		}
+	}
+}
+
+func (r *Runner) relayRouter(name string) string {
+	for _, rl := range r.topo.Relays {
+		if rl.Name == name {
+			return rl.Router
+		}
+	}
+	return ""
+}
+
+// teardown stops traffic first, then relays and routers leaf-first with
+// the clean-shutdown invariant: SIGTERM must produce exit 0.
+func (r *Runner) teardown() {
+	for _, s := range r.topo.Sources {
+		if p := r.procs[s.Name]; p != nil && p.running() {
+			p.stop(3 * time.Second)
+		}
+	}
+	for _, rc := range r.topo.Receivers {
+		if p := r.procs[rc.Name]; p != nil && p.running() {
+			p.kill() // receivers run until killed; no clean-exit contract
+		}
+	}
+	for _, rl := range r.topo.Relays {
+		if p := r.procs[rl.Name]; p != nil && p.running() {
+			if code, err := p.stop(5 * time.Second); err != nil || code != 0 {
+				r.violationf("clean-stop: relay %s exited %d (err %v), want 0", rl.Name, code, err)
+			}
+		}
+	}
+	depth := func(name string) int { return len(r.topo.PathToRoot(name)) }
+	order := append([]RouterSpec(nil), r.topo.Routers...)
+	sort.SliceStable(order, func(i, j int) bool { return depth(order[i].Name) > depth(order[j].Name) })
+	for _, rt := range order {
+		if p := r.procs[rt.Name]; p != nil && p.running() {
+			if code, err := p.stop(5 * time.Second); err != nil || code != 0 {
+				r.violationf("clean-stop: router %s exited %d (err %v), want 0", rt.Name, code, err)
+			}
+		}
+	}
+}
+
+func (r *Runner) collectReceivers() {
+	for name, arr := range r.arrive {
+		first, last := arr.bounds()
+		r.res.Receivers[name] = ReceiverResult{Packets: arr.count(), FirstNS: first, LastNS: last}
+	}
+}
+
+func (r *Runner) violationf(format string, args ...any) {
+	v := fmt.Sprintf(format, args...)
+	r.logf("VIOLATION: %s", v)
+	r.res.Violations = append(r.res.Violations, v)
+}
+
+func (r *Runner) adminPost(router, path string) {
+	url := "http://" + r.routerAdmin(router) + path
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		r.logf("warning: POST %s: %v", url, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.logf("warning: POST %s: status %d", url, resp.StatusCode)
+	}
+}
+
+// fetchPdump drains a router's capture ring into the run directory.
+func (r *Runner) fetchPdump(ev Event) {
+	url := "http://" + r.routerAdmin(ev.Target) + "/debug/pdump/fetch"
+	resp, err := http.Get(url)
+	if err != nil {
+		r.logf("warning: GET %s: %v", url, err)
+		return
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		r.logf("warning: GET %s: status %d err %v", url, resp.StatusCode, err)
+		return
+	}
+	path := filepath.Join(r.dir, fmt.Sprintf("pdump-%s-%dms.json", ev.Target, ev.AtMS))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		r.logf("warning: writing %s: %v", path, err)
+		return
+	}
+	r.res.PdumpFiles = append(r.res.PdumpFiles, path)
+	r.logf("pdump: %s (%d bytes)", path, len(b))
+}
+
+func parseDelayArg(arg string) (up, down time.Duration, err error) {
+	if arg == "" {
+		return 0, 0, nil
+	}
+	if !strings.Contains(arg, "=") {
+		d, err := time.ParseDuration(arg)
+		return d, d, err
+	}
+	for _, part := range strings.Split(arg, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("bad delay %q (want \"5ms\" or \"up=5ms,down=1ms\")", arg)
+		}
+		d, perr := time.ParseDuration(v)
+		if perr != nil {
+			return 0, 0, perr
+		}
+		switch k {
+		case "up":
+			up = d
+		case "down":
+			down = d
+		default:
+			return 0, 0, fmt.Errorf("bad delay direction %q", k)
+		}
+	}
+	return up, down, nil
+}
+
+// scrapeStatsz fetches and decodes one /statsz snapshot.
+func scrapeStatsz(admin string) (*obs.Snapshot, error) {
+	resp, err := http.Get("http://" + admin + "/statsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("statsz on %s: status %d", admin, resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("statsz on %s: %v", admin, err)
+	}
+	return &snap, nil
+}

@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseDelayArg(t *testing.T) {
+	cases := []struct {
+		arg      string
+		up, down time.Duration
+		bad      bool
+	}{
+		{"", 0, 0, false},
+		{"5ms", 5 * time.Millisecond, 5 * time.Millisecond, false},
+		{"up=5ms,down=1ms", 5 * time.Millisecond, time.Millisecond, false},
+		{"down=2ms", 0, 2 * time.Millisecond, false},
+		{"sideways=1ms", 0, 0, true},
+		{"up=fast", 0, 0, true},
+	}
+	for _, tc := range cases {
+		up, down, err := parseDelayArg(tc.arg)
+		if tc.bad {
+			if err == nil {
+				t.Errorf("%q: accepted", tc.arg)
+			}
+			continue
+		}
+		if err != nil || up != tc.up || down != tc.down {
+			t.Errorf("%q = (%v, %v, %v), want (%v, %v)", tc.arg, up, down, err, tc.up, tc.down)
+		}
+	}
+}
+
+// TestAffectedReceivers: only receivers whose delivery path crosses the
+// cut, with the source on the far side, count as affected.
+func TestAffectedReceivers(t *testing.T) {
+	topo, err := LoadPreset("isp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{topo: topo}
+
+	got := r.affectedReceivers("agg1", "")
+	if want := []string{"r11", "r12"}; strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("kill agg1 affects %v, want %v", got, want)
+	}
+	got = r.affectedReceivers("", "agg2>core")
+	if want := []string{"r21", "r22"}; strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("partition agg2>core affects %v, want %v", got, want)
+	}
+	// Cutting an edge router affects only its own receiver.
+	if got = r.affectedReceivers("e12", ""); strings.Join(got, ",") != "r12" {
+		t.Errorf("kill e12 affects %v, want [r12]", got)
+	}
+}
+
+// TestScenarioSmoke is the acceptance test for the whole harness: build
+// the real binaries, run the smoke3 preset (core<-mid<-edge, kill and
+// restart the mid router with the core's packet capture armed), and
+// require a clean invariant slate plus a non-empty capture around the
+// event. This spawns ~6 OS processes and takes a few seconds.
+func TestScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process scenario run")
+	}
+	topo, err := LoadPreset("smoke3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	r, err := New(topo, Options{Dir: dir, Keep: true, Log: testLogWriter{t}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	if res.Failed() {
+		t.Errorf("invariant violations:\n  %s", strings.Join(res.Violations, "\n  "))
+	}
+	if len(res.Events) != len(topo.Chaos) {
+		t.Errorf("executed %d events, want %d", len(res.Events), len(topo.Chaos))
+	}
+
+	// The kill/restart cycle must have been measured for both receivers,
+	// within the preset's budget.
+	if len(res.Recoveries) != 2 {
+		t.Fatalf("recoveries = %+v, want one per receiver", res.Recoveries)
+	}
+	for _, rec := range res.Recoveries {
+		if rec.RecoveryMS <= 0 || rec.RecoveryMS > res.BudgetMS {
+			t.Errorf("recovery %+v outside (0, %v]ms", rec, res.BudgetMS)
+		}
+	}
+	for name, rr := range res.Receivers {
+		if rr.Packets == 0 {
+			t.Errorf("receiver %s saw no packets", name)
+		}
+	}
+
+	// The armed capture at the core caught datagrams around the event.
+	if len(res.PdumpFiles) != 1 {
+		t.Fatalf("pdump files = %v, want exactly one", res.PdumpFiles)
+	}
+	b, err := os.ReadFile(res.PdumpFiles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Captured uint64 `json:"captured"`
+		Records  []struct {
+			NS  int64  `json:"ns"`
+			Dir string `json:"dir"`
+			S   string `json:"s"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(b, &dump); err != nil {
+		t.Fatalf("pdump fetch not JSON: %v", err)
+	}
+	if dump.Captured == 0 || len(dump.Records) == 0 {
+		t.Fatal("armed capture recorded nothing")
+	}
+	killNS := int64(0)
+	for _, ev := range res.Events {
+		if ev.Op == OpKill {
+			killNS = ev.NS
+		}
+	}
+	var before, after int
+	for _, rec := range dump.Records {
+		if rec.S != "171.64.1.1" {
+			t.Fatalf("captured record for foreign channel: %+v", rec)
+		}
+		if rec.NS < killNS {
+			before++
+		} else {
+			after++
+		}
+	}
+	if before == 0 || after == 0 {
+		t.Errorf("capture not centered on the event: %d records before the kill, %d after", before, after)
+	}
+
+	// result.json landed in the run dir for offline analysis.
+	if _, err := os.Stat(filepath.Join(dir, "result.json")); err != nil {
+		t.Errorf("result.json: %v", err)
+	}
+	// And per-process logs exist.
+	for _, name := range []string{"core", "mid", "edge", "src", "rcv1"} {
+		if _, err := os.Stat(filepath.Join(dir, name+".log")); err != nil {
+			t.Errorf("%s.log: %v", name, err)
+		}
+	}
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

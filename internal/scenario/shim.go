@@ -1,0 +1,191 @@
+package scenario
+
+// LinkShim is the userspace link impairment box: a TCP proxy interposed on
+// one neighbor session (the child router dials the shim; the shim dials the
+// parent). It gives the chaos schedule three real behaviors a loopback
+// socket cannot fake:
+//
+//   - partition: every proxied connection is torn down and new dials are
+//     accepted-then-closed, so the child's reconnect loop spins against a
+//     dead link until heal — exactly the failure the withdraw machinery
+//     must detect from silence, not from a FIN it would get if the parent
+//     itself closed.
+//   - heal: new connections are carried again (existing state is not
+//     restored; the child resyncs, as after any reconnect).
+//   - delay: each direction sleeps its configured latency before relaying
+//     a read chunk, approximating one-way propagation delay (bandwidth is
+//     not modeled). Directions are independent, so a link can be slow
+//     upstream and fast downstream.
+//
+// Only the TCP control session is shimmed; data-plane UDP flows directly
+// between the routers' advertised ports.
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type LinkShim struct {
+	ln     net.Listener
+	target string
+
+	partitioned atomic.Bool
+	delayUp     atomic.Int64 // ns, client->target
+	delayDown   atomic.Int64 // ns, target->client
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{} // both sides of every live pair
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewLinkShim starts a shim listening on listen (e.g. "127.0.0.1:4710")
+// and forwarding to target.
+func NewLinkShim(listen, target string) (*LinkShim, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	s := &LinkShim{
+		ln:     ln,
+		target: target,
+		conns:  map[net.Conn]struct{}{},
+		done:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr is the address the child router should use as its -upstream.
+func (s *LinkShim) Addr() string { return s.ln.Addr().String() }
+
+// Partition drops every proxied connection and refuses new ones until Heal.
+func (s *LinkShim) Partition() {
+	s.partitioned.Store(true)
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// Heal lets new connections through again.
+func (s *LinkShim) Heal() { s.partitioned.Store(false) }
+
+// Partitioned reports the current impairment state.
+func (s *LinkShim) Partitioned() bool { return s.partitioned.Load() }
+
+// SetDelay sets the per-direction relay latency (zero disables). Applies to
+// chunks relayed after the call; existing connections are kept.
+func (s *LinkShim) SetDelay(up, down time.Duration) {
+	s.delayUp.Store(int64(up))
+	s.delayDown.Store(int64(down))
+}
+
+// Close stops the shim and severs every proxied connection.
+func (s *LinkShim) Close() error {
+	select {
+	case <-s.done:
+		return nil
+	default:
+	}
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *LinkShim) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		if s.partitioned.Load() {
+			// Accept-then-close: the child sees the link die immediately
+			// and re-enters its backoff loop, the same as a dialed-but-
+			// dead path.
+			c.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go s.serve(c)
+	}
+}
+
+func (s *LinkShim) serve(client net.Conn) {
+	defer s.wg.Done()
+	upstream, err := net.DialTimeout("tcp", s.target, 5*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	s.track(client, upstream)
+	var pair sync.WaitGroup
+	pair.Add(2)
+	go s.pump(&pair, upstream, client, &s.delayUp)
+	go s.pump(&pair, client, upstream, &s.delayDown)
+	pair.Wait()
+	s.untrack(client, upstream)
+}
+
+// pump relays src while sleeping the direction's latency before each
+// write. One side closing (or Partition closing both) ends the pair.
+func (s *LinkShim) pump(pair *sync.WaitGroup, dst, src net.Conn, delay *atomic.Int64) {
+	defer pair.Done()
+	defer dst.Close()
+	defer src.Close()
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if d := delay.Load(); d > 0 {
+				select {
+				case <-time.After(time.Duration(d)):
+				case <-s.done:
+					return
+				}
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			return
+		}
+	}
+}
+
+func (s *LinkShim) track(cs ...net.Conn) {
+	s.mu.Lock()
+	for _, c := range cs {
+		s.conns[c] = struct{}{}
+	}
+	s.mu.Unlock()
+}
+
+func (s *LinkShim) untrack(cs ...net.Conn) {
+	s.mu.Lock()
+	for _, c := range cs {
+		delete(s.conns, c)
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func dialShim(t *testing.T, s *LinkShim) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", s.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func roundTrip(c net.Conn, msg string) (string, error) {
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := io.ReadFull(c, buf)
+	return string(buf[:n]), err
+}
+
+// TestShimPassThrough: an unimpaired shim relays both directions.
+func TestShimPassThrough(t *testing.T) {
+	ln := echoServer(t)
+	s, err := NewLinkShim("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := dialShim(t, s)
+	if got, err := roundTrip(c, "hello"); err != nil || got != "hello" {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+}
+
+// TestShimPartitionHeal: partition severs live connections and refuses new
+// ones; heal carries fresh connections again.
+func TestShimPartitionHeal(t *testing.T) {
+	ln := echoServer(t)
+	s, err := NewLinkShim("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := dialShim(t, s)
+	if _, err := roundTrip(c, "pre"); err != nil {
+		t.Fatal(err)
+	}
+	s.Partition()
+	if !s.Partitioned() {
+		t.Fatal("Partitioned() = false after Partition")
+	}
+
+	// The live connection dies promptly.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read on a partitioned connection succeeded")
+	}
+
+	// New connections are accepted then immediately closed: the dialer
+	// sees the link as dead on first use, like a refused reconnect.
+	c2, err := net.DialTimeout("tcp", s.Addr(), 2*time.Second)
+	if err == nil {
+		c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+		c2.Write([]byte("x"))
+		if _, rerr := c2.Read(buf); rerr == nil {
+			t.Fatal("partitioned shim carried traffic")
+		}
+		c2.Close()
+	}
+
+	s.Heal()
+	c3 := dialShim(t, s)
+	if got, err := roundTrip(c3, "post"); err != nil || got != "post" {
+		t.Fatalf("after heal: round trip = %q, %v", got, err)
+	}
+}
+
+// TestShimDelay: configured latency shows up on the delayed direction.
+func TestShimDelay(t *testing.T) {
+	ln := echoServer(t)
+	s, err := NewLinkShim("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := dialShim(t, s)
+	start := time.Now()
+	if _, err := roundTrip(c, "fast"); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Since(start)
+
+	s.SetDelay(50*time.Millisecond, 0) // up only: one-way delay per round trip
+	start = time.Now()
+	if _, err := roundTrip(c, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	delayed := time.Since(start)
+	if delayed < 45*time.Millisecond {
+		t.Errorf("delayed round trip took %v (undelayed %v), want >= ~50ms", delayed, base)
+	}
+}

@@ -1,0 +1,390 @@
+// Package scenario is the multi-process topology runner: it turns a
+// declarative JSON topology file into a live deployment of real expressd,
+// relayd and expressctl processes wired together over loopback (or, with
+// the scenario_netns build tag on linux, per-node network namespaces),
+// drives a timestamped chaos schedule against it — partition and heal a
+// link, kill and restart a router, slow a link asymmetrically — and checks
+// the paper's recovery invariants from the outside, by scraping each node's
+// /statsz admin endpoint and each receiver's packet-arrival stream.
+//
+// The harness exercises the same machinery as the in-process e2e tests but
+// across real process boundaries: a killed router loses all its state and
+// must be rebuilt by its neighbors' resyncs (Section 5.3's soft-state
+// argument), and a partitioned link is a real TCP connection a shim refuses
+// to carry, not a mock.
+//
+// Control-plane chaos only: link shims carry the TCP neighbor sessions;
+// data-plane UDP flows directly between the processes' advertised data
+// ports. Partitioning a link therefore pauses delivery only once the parent
+// withdraws the failed neighbor's counts — which is exactly the detection
+// path the invariants measure.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/addr"
+)
+
+// Duration marshals as a time.Duration string ("25ms") so topology files
+// stay readable; bare integers are accepted as nanoseconds.
+type Duration time.Duration
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("bad duration %q: %v", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("duration must be a string like \"25ms\" or integer ns")
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Topology is the declarative scenario file: nodes, links, traffic and the
+// chaos schedule. Zero ports mean "allocate a free one at run time";
+// explicit ports make a file fully deterministic (and must not collide).
+type Topology struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// Isolation selects how nodes are separated: "" or "loopback" runs
+	// every process on 127.0.0.1 with distinct ports; "netns" gives each
+	// router its own network namespace (linux, scenario_netns build tag,
+	// requires privileges).
+	Isolation string `json:"isolation,omitempty"`
+
+	// FlushInterval is the routers' upstream batcher window, the unit the
+	// recovery budget is denominated in. Default 2ms.
+	FlushInterval Duration `json:"flush_interval,omitempty"`
+
+	// BudgetFlushWindows bounds recovery: after a disruption heals,
+	// delivery to every affected receiver must resume within this many
+	// flush windows. Default 1500.
+	BudgetFlushWindows int `json:"budget_flush_windows,omitempty"`
+
+	Routers   []RouterSpec   `json:"routers"`
+	Links     []LinkSpec     `json:"links,omitempty"`
+	Relays    []RelaySpec    `json:"relays,omitempty"`
+	Sources   []SourceSpec   `json:"sources,omitempty"`
+	Receivers []ReceiverSpec `json:"receivers,omitempty"`
+	Chaos     []Event        `json:"chaos,omitempty"`
+}
+
+// RouterSpec is one expressd process. Every router runs the data plane and
+// an admin endpoint (the harness needs /statsz and /debug/pdump).
+type RouterSpec struct {
+	Name      string            `json:"name"`
+	Port      int               `json:"port,omitempty"`       // control listen
+	DataPort  int               `json:"data_port,omitempty"`  // UDP data plane
+	AdminPort int               `json:"admin_port,omitempty"` // /statsz, /debug
+	Flags     map[string]string `json:"flags,omitempty"`      // extra expressd flags, override harness defaults
+}
+
+// LinkSpec wires From's -upstream to To, optionally through a userspace
+// shim that the chaos schedule can partition, heal or slow per direction.
+// Each router has at most one upstream (EXPRESS trees are single-parent),
+// so the link list must form a forest.
+type LinkSpec struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Shim interposes the TCP proxy even with no initial delay, making the
+	// link a valid partition/heal/delay target. Links with delays are
+	// shimmed implicitly.
+	Shim      bool     `json:"shim,omitempty"`
+	DelayUp   Duration `json:"delay_up,omitempty"`   // From -> To
+	DelayDown Duration `json:"delay_down,omitempty"` // To -> From
+}
+
+// ID is the link's chaos-target name.
+func (l LinkSpec) ID() string { return l.From + ">" + l.To }
+
+func (l LinkSpec) shimmed() bool { return l.Shim || l.DelayUp > 0 || l.DelayDown > 0 }
+
+// RelaySpec is one relayd process (Section 4 session relay). StandbyFor
+// names another relay in the file; the standby watches that primary's
+// channel and promotes itself on beacon silence.
+type RelaySpec struct {
+	Name        string            `json:"name"`
+	Router      string            `json:"router"`
+	Source      string            `json:"source"`
+	Channel     uint32            `json:"channel"`
+	ControlPort int               `json:"control_port,omitempty"`
+	AdminPort   int               `json:"admin_port,omitempty"`
+	StandbyFor  string            `json:"standby_for,omitempty"`
+	Flags       map[string]string `json:"flags,omitempty"`
+}
+
+// SourceSpec is one paced sender (expressctl send) injecting at its
+// router's data port.
+type SourceSpec struct {
+	Name       string `json:"name"`
+	Router     string `json:"router"`
+	Source     string `json:"source"`
+	Channel    uint32 `json:"channel"`
+	RatePPS    int    `json:"rate_pps,omitempty"`    // default 200
+	PayloadLen int    `json:"payload_len,omitempty"` // default 64
+}
+
+// ReceiverSpec is one expressctl recv -json process subscribing through its
+// router and emitting a timestamped JSON line per delivered packet.
+type ReceiverSpec struct {
+	Name    string `json:"name"`
+	Router  string `json:"router"`
+	Source  string `json:"source"`
+	Channel uint32 `json:"channel"`
+}
+
+// Load parses and validates a topology file.
+func Load(path string) (*Topology, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(b)
+}
+
+// Parse parses and validates topology JSON.
+func Parse(b []byte) (*Topology, error) {
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	var t Topology
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("topology: %v", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Upstream returns the parent router of r ("" for a root) from the link
+// list. Valid only after Validate.
+func (t *Topology) Upstream(r string) string {
+	for _, l := range t.Links {
+		if l.From == r {
+			return l.To
+		}
+	}
+	return ""
+}
+
+// PathToRoot returns r and its ancestors, child-first. Valid only after
+// Validate (which rejects cycles).
+func (t *Topology) PathToRoot(r string) []string {
+	var path []string
+	for r != "" {
+		path = append(path, r)
+		r = t.Upstream(r)
+	}
+	return path
+}
+
+// Link returns the link with the given ID, if any.
+func (t *Topology) Link(id string) (LinkSpec, bool) {
+	for _, l := range t.Links {
+		if l.ID() == id {
+			return l, true
+		}
+	}
+	return LinkSpec{}, false
+}
+
+func (t *Topology) router(name string) *RouterSpec {
+	for i := range t.Routers {
+		if t.Routers[i].Name == name {
+			return &t.Routers[i]
+		}
+	}
+	return nil
+}
+
+// Validate rejects malformed topologies with a message naming the offender:
+// duplicate node names, dangling link endpoints, multi-parent routers,
+// upstream cycles, port collisions, unparsable addresses and chaos events
+// aimed at nothing.
+func (t *Topology) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("topology: missing name")
+	}
+	if len(t.Routers) == 0 {
+		return fmt.Errorf("topology %s: no routers", t.Name)
+	}
+
+	names := map[string]string{} // name -> kind
+	claim := func(name, kind string) error {
+		if name == "" {
+			return fmt.Errorf("topology %s: unnamed %s", t.Name, kind)
+		}
+		if prev, dup := names[name]; dup {
+			return fmt.Errorf("topology %s: duplicate node name %q (%s and %s)", t.Name, name, prev, kind)
+		}
+		names[name] = kind
+		return nil
+	}
+	for _, r := range t.Routers {
+		if err := claim(r.Name, "router"); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Relays {
+		if err := claim(r.Name, "relay"); err != nil {
+			return err
+		}
+	}
+	for _, s := range t.Sources {
+		if err := claim(s.Name, "source"); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Receivers {
+		if err := claim(r.Name, "receiver"); err != nil {
+			return err
+		}
+	}
+
+	// Links: endpoints exist, single-parent, acyclic.
+	parents := map[string]string{}
+	for _, l := range t.Links {
+		for _, end := range []string{l.From, l.To} {
+			if t.router(end) == nil {
+				return fmt.Errorf("topology %s: link %s: %q is not a router", t.Name, l.ID(), end)
+			}
+		}
+		if l.From == l.To {
+			return fmt.Errorf("topology %s: link %s: self-loop", t.Name, l.ID())
+		}
+		if prev, dup := parents[l.From]; dup {
+			return fmt.Errorf("topology %s: router %q has two upstreams (%q and %q); EXPRESS trees are single-parent",
+				t.Name, l.From, prev, l.To)
+		}
+		parents[l.From] = l.To
+	}
+	for _, r := range t.Routers {
+		seen := map[string]bool{}
+		for cur := r.Name; cur != ""; cur = parents[cur] {
+			if seen[cur] {
+				return fmt.Errorf("topology %s: upstream cycle through %q", t.Name, cur)
+			}
+			seen[cur] = true
+		}
+	}
+
+	// Attachment points and channel addresses.
+	checkAttach := func(kind, name, router string) error {
+		if t.router(router) == nil {
+			return fmt.Errorf("topology %s: %s %q: router %q does not exist", t.Name, kind, name, router)
+		}
+		return nil
+	}
+	checkAddr := func(kind, name, s string) error {
+		if _, err := addr.Parse(s); err != nil {
+			return fmt.Errorf("topology %s: %s %q: source address: %v", t.Name, kind, name, err)
+		}
+		return nil
+	}
+	for _, r := range t.Relays {
+		if err := checkAttach("relay", r.Name, r.Router); err != nil {
+			return err
+		}
+		if err := checkAddr("relay", r.Name, r.Source); err != nil {
+			return err
+		}
+		if r.StandbyFor != "" {
+			if names[r.StandbyFor] != "relay" {
+				return fmt.Errorf("topology %s: relay %q: standby_for %q is not a relay", t.Name, r.Name, r.StandbyFor)
+			}
+			if r.StandbyFor == r.Name {
+				return fmt.Errorf("topology %s: relay %q: standby for itself", t.Name, r.Name)
+			}
+		}
+	}
+	for _, s := range t.Sources {
+		if err := checkAttach("source", s.Name, s.Router); err != nil {
+			return err
+		}
+		if err := checkAddr("source", s.Name, s.Source); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Receivers {
+		if err := checkAttach("receiver", r.Name, r.Router); err != nil {
+			return err
+		}
+		if err := checkAddr("receiver", r.Name, r.Source); err != nil {
+			return err
+		}
+	}
+
+	// Explicit port collisions.
+	ports := map[int]string{}
+	claimPort := func(p int, what string) error {
+		if p == 0 {
+			return nil
+		}
+		if p < 0 || p > 65535 {
+			return fmt.Errorf("topology %s: %s: port %d out of range", t.Name, what, p)
+		}
+		if prev, dup := ports[p]; dup {
+			return fmt.Errorf("topology %s: port %d claimed by both %s and %s", t.Name, p, prev, what)
+		}
+		ports[p] = what
+		return nil
+	}
+	for _, r := range t.Routers {
+		if err := claimPort(r.Port, r.Name+" control"); err != nil {
+			return err
+		}
+		if err := claimPort(r.DataPort, r.Name+" data"); err != nil {
+			return err
+		}
+		if err := claimPort(r.AdminPort, r.Name+" admin"); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Relays {
+		if err := claimPort(r.ControlPort, r.Name+" control"); err != nil {
+			return err
+		}
+		if err := claimPort(r.AdminPort, r.Name+" admin"); err != nil {
+			return err
+		}
+	}
+
+	switch t.Isolation {
+	case "", "loopback", "netns":
+	default:
+		return fmt.Errorf("topology %s: unknown isolation %q (want loopback or netns)", t.Name, t.Isolation)
+	}
+
+	for i, ev := range t.Chaos {
+		if err := t.validateEvent(i, ev, names); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortedChaos returns the schedule ordered by timestamp (stable, so
+// same-instant events keep file order).
+func (t *Topology) SortedChaos() []Event {
+	evs := append([]Event(nil), t.Chaos...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].AtMS < evs[j].AtMS })
+	return evs
+}

@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPresetsRoundTrip: every embedded preset parses, validates, and
+// survives a marshal/reparse round trip semantically intact — the JSON
+// schema has no write-only or lossy fields.
+func TestPresetsRoundTrip(t *testing.T) {
+	names := Presets()
+	if len(names) < 4 {
+		t.Fatalf("presets = %v, want at least smoke3, flap_resync, isp, clos", names)
+	}
+	for _, want := range []string{"smoke3", "flap_resync", "isp", "clos"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("preset %q missing from %v", want, names)
+		}
+	}
+	for _, name := range names {
+		topo, err := LoadPreset(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if topo.Name != name {
+			t.Errorf("preset %s: name field is %q", name, topo.Name)
+		}
+		b, err := json.Marshal(topo)
+		if err != nil {
+			t.Fatalf("preset %s: marshal: %v", name, err)
+		}
+		again, err := Parse(b)
+		if err != nil {
+			t.Fatalf("preset %s: reparse: %v", name, err)
+		}
+		if !reflect.DeepEqual(topo, again) {
+			t.Errorf("preset %s: round trip changed the topology:\nwas  %+v\nnow %+v", name, topo, again)
+		}
+	}
+}
+
+// TestValidateRejections: each malformed topology is refused with a
+// message naming the offender.
+func TestValidateRejections(t *testing.T) {
+	base := func() *Topology {
+		return &Topology{
+			Name:    "t",
+			Routers: []RouterSpec{{Name: "a"}, {Name: "b"}},
+			Links:   []LinkSpec{{From: "b", To: "a"}},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Topology)
+		want string
+	}{
+		{"dangling link endpoint", func(tp *Topology) {
+			tp.Links = append(tp.Links, LinkSpec{From: "b", To: "ghost"})
+		}, `"ghost" is not a router`},
+		{"duplicate node names", func(tp *Topology) {
+			tp.Receivers = []ReceiverSpec{{Name: "b", Router: "a", Source: "171.64.1.1"}}
+		}, "duplicate node name"},
+		{"port collision", func(tp *Topology) {
+			tp.Routers[0].Port = 4000
+			tp.Routers[1].DataPort = 4000
+		}, "port 4000 claimed by both"},
+		{"two upstreams", func(tp *Topology) {
+			tp.Routers = append(tp.Routers, RouterSpec{Name: "c"})
+			tp.Links = append(tp.Links, LinkSpec{From: "b", To: "c"})
+		}, "two upstreams"},
+		{"upstream cycle", func(tp *Topology) {
+			tp.Links = append(tp.Links, LinkSpec{From: "a", To: "b"})
+		}, "cycle"},
+		{"self loop", func(tp *Topology) {
+			tp.Links = append(tp.Links, LinkSpec{From: "a", To: "a"})
+		}, "self-loop"},
+		{"receiver on missing router", func(tp *Topology) {
+			tp.Receivers = []ReceiverSpec{{Name: "r", Router: "nope", Source: "171.64.1.1"}}
+		}, `router "nope" does not exist`},
+		{"bad source address", func(tp *Topology) {
+			tp.Sources = []SourceSpec{{Name: "s", Router: "a", Source: "not-an-ip"}}
+		}, "source address"},
+		{"chaos at nothing", func(tp *Topology) {
+			tp.Chaos = []Event{{Op: OpKill, Target: "ghost"}}
+		}, "target does not exist"},
+		{"chaos partition of unshimmed link", func(tp *Topology) {
+			tp.Chaos = []Event{{Op: OpPartition, Target: "b>a"}}
+		}, "not shimmed"},
+		{"chaos unknown op", func(tp *Topology) {
+			tp.Chaos = []Event{{Op: "meteor", Target: "a"}}
+		}, "unknown op"},
+		{"chaos kill of a receiver", func(tp *Topology) {
+			tp.Receivers = []ReceiverSpec{{Name: "r", Router: "a", Source: "171.64.1.1"}}
+			tp.Chaos = []Event{{Op: OpKill, Target: "r"}}
+		}, "target is a receiver"},
+		{"standby for non-relay", func(tp *Topology) {
+			tp.Relays = []RelaySpec{{Name: "rl", Router: "a", Source: "171.64.9.1", StandbyFor: "b"}}
+		}, "not a relay"},
+		{"unknown isolation", func(tp *Topology) {
+			tp.Isolation = "vm"
+		}, "unknown isolation"},
+	}
+	for _, tc := range cases {
+		tp := base()
+		tc.mut(tp)
+		err := tp.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted, want rejection containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base topology must be valid: %v", err)
+	}
+}
+
+// TestParseUnknownField: topology files with typos fail loudly instead of
+// silently ignoring the field.
+func TestParseUnknownField(t *testing.T) {
+	_, err := Parse([]byte(`{"name":"t","routers":[{"name":"a"}],"receviers":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "receviers") {
+		t.Fatalf("err = %v, want unknown-field rejection naming \"receviers\"", err)
+	}
+}
+
+// TestChaosDeterminism: the generator is a pure function of (topology,
+// seed, cycles) — same seed, same schedule; different seed, different
+// schedule (on a topology with enough choices).
+func TestChaosDeterminism(t *testing.T) {
+	topo, err := LoadPreset("isp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := GenerateChaos(topo, 7, 5)
+	b := GenerateChaos(topo, 7, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	if len(a) != 10 {
+		t.Fatalf("5 cycles produced %d events, want 10 (disrupt+recover each)", len(a))
+	}
+	c := GenerateChaos(topo, 8, 5)
+	if reflect.DeepEqual(a, c) {
+		t.Error("seeds 7 and 8 produced identical schedules")
+	}
+
+	// Generated schedules are valid against the topology.
+	topo.Chaos = a
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("generated schedule rejected: %v", err)
+	}
+
+	// Pairing: every disruption is followed by its recovery on the same
+	// target, later in time.
+	for i := 0; i < len(a); i += 2 {
+		d, r := a[i], a[i+1]
+		if d.Target != r.Target {
+			t.Errorf("cycle %d: disrupt %s but recover %s", i/2, d.Target, r.Target)
+		}
+		if r.AtMS <= d.AtMS {
+			t.Errorf("cycle %d: recovery at %dms not after disruption at %dms", i/2, r.AtMS, d.AtMS)
+		}
+		switch d.Op {
+		case OpKill:
+			if r.Op != OpRestart {
+				t.Errorf("cycle %d: kill recovered by %q", i/2, r.Op)
+			}
+		case OpPartition:
+			if r.Op != OpHeal {
+				t.Errorf("cycle %d: partition recovered by %q", i/2, r.Op)
+			}
+		default:
+			t.Errorf("cycle %d: unexpected disrupt op %q", i/2, d.Op)
+		}
+	}
+}
+
+// TestTopologyHelpers: Upstream/PathToRoot/Link on the ISP preset shape.
+func TestTopologyHelpers(t *testing.T) {
+	topo, err := LoadPreset("isp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up := topo.Upstream("e11"); up != "agg1" {
+		t.Errorf("Upstream(e11) = %q", up)
+	}
+	if up := topo.Upstream("core"); up != "" {
+		t.Errorf("Upstream(core) = %q, want root", up)
+	}
+	want := []string{"e11", "agg1", "core"}
+	if got := topo.PathToRoot("e11"); !reflect.DeepEqual(got, want) {
+		t.Errorf("PathToRoot(e11) = %v, want %v", got, want)
+	}
+	if l, ok := topo.Link("agg1>core"); !ok || !l.shimmed() {
+		t.Errorf("Link(agg1>core) = %+v ok=%v, want shimmed link", l, ok)
+	}
+}
